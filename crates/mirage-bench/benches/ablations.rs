@@ -1,0 +1,82 @@
+//! Ablation benchmarks for the design choices DESIGN.md §4 calls out:
+//! backfill flavors, state-history length and dense vs top-1 MoE
+//! (performance side; the quality side lives in the `ablation_suite`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mirage_core::state::PredecessorState;
+use mirage_core::{StateEncoder, StateHistory, SuccessorSpec, STATE_VARS};
+use mirage_sim::{BackfillPolicy, SimConfig, Simulator};
+use mirage_trace::{clean_trace, ClusterProfile, JobRecord, SynthConfig, TraceGenerator, HOUR};
+
+fn one_month(profile: &ClusterProfile, seed: u64) -> Vec<JobRecord> {
+    let mut cfg = SynthConfig::new(profile.clone(), seed);
+    cfg.months = Some(1);
+    let raw = TraceGenerator::new(cfg).generate();
+    clean_trace(&raw, profile.nodes).0
+}
+
+fn bench_backfill_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_backfill");
+    group.sample_size(10);
+    let profile = ClusterProfile::v100();
+    let jobs = one_month(&profile, 42);
+    for (name, policy) in [
+        ("easy_backfill", BackfillPolicy::Easy { reserve_depth: 1 }),
+        ("deep_reservations", BackfillPolicy::Easy { reserve_depth: 8 }),
+        ("no_backfill", BackfillPolicy::None),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = SimConfig::new(profile.nodes);
+                    cfg.backfill = policy;
+                    let mut sim = Simulator::new(cfg);
+                    sim.load_trace(&jobs);
+                    sim
+                },
+                |mut sim| {
+                    sim.run_to_completion();
+                    sim.metrics().avg_wait
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_history_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_history_encode");
+    let profile = ClusterProfile::v100();
+    let jobs = one_month(&profile, 43);
+    let mut sim = Simulator::new(SimConfig::new(profile.nodes));
+    sim.load_trace(&jobs);
+    sim.run_until(10 * 24 * HOUR);
+    let snap = sim.sample();
+    let encoder = StateEncoder::new(profile.nodes, 48 * HOUR);
+    let pred = PredecessorState {
+        nodes: 1,
+        timelimit: 48 * HOUR,
+        queue_time: HOUR,
+        elapsed: 10 * HOUR,
+    };
+    let succ = SuccessorSpec { nodes: 1, timelimit: 48 * HOUR };
+    for k in [6usize, 24, 144] {
+        group.bench_function(format!("encode_and_stack_k{k}"), |b| {
+            b.iter(|| {
+                let mut h = StateHistory::new(k);
+                for _ in 0..k {
+                    h.push(encoder.encode(&snap, &pred, &succ));
+                }
+                let m = h.matrix();
+                (m.rows(), m.cols())
+            })
+        });
+    }
+    assert_eq!(STATE_VARS, 40);
+    group.finish();
+}
+
+criterion_group!(benches, bench_backfill_ablation, bench_history_length);
+criterion_main!(benches);

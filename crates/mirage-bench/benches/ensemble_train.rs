@@ -1,0 +1,45 @@
+//! Ensemble-baseline training/prediction benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_ensemble::{Dataset, ForestConfig, GbdtConfig, GradientBoosting, RandomForest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_wait_data(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let ys: Vec<f32> = rows
+        .iter()
+        .map(|r| r[0] * 3.0 + r[1] * r[2] + rng.gen_range(-0.2..0.2))
+        .collect();
+    Dataset::from_rows(&rows, &ys)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble_fit");
+    group.sample_size(10);
+    let data = synthetic_wait_data(500, 40, 1);
+    group.bench_function("random_forest_60_trees", |b| {
+        b.iter(|| RandomForest::fit(&data, &ForestConfig { n_trees: 60, ..Default::default() }))
+    });
+    group.bench_function("gbdt_60_rounds", |b| {
+        b.iter(|| GradientBoosting::fit(&data, &GbdtConfig { n_rounds: 60, ..Default::default() }))
+    });
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble_predict");
+    let data = synthetic_wait_data(500, 40, 2);
+    let forest = RandomForest::fit(&data, &ForestConfig::default());
+    let gbdt = GradientBoosting::fit(&data, &GbdtConfig::default());
+    let row: Vec<f32> = (0..40).map(|i| (i as f32 * 0.1).sin()).collect();
+    group.bench_function("forest_single_row", |b| b.iter(|| forest.predict(&row)));
+    group.bench_function("gbdt_single_row", |b| b.iter(|| gbdt.predict(&row)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Neural-network kernel benchmarks: the building blocks behind every
+//! Mirage decision (one transformer forward per 10-minute invocation) and
+//! every training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_nn::foundation::{FoundationKind, FoundationNet};
+use mirage_nn::param::{Grads, ParamSet};
+use mirage_nn::tensor::Matrix;
+use mirage_nn::transformer::{TransformerConfig, TransformerEncoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for n in [32usize, 128] {
+        let a = Matrix::xavier(n, n, &mut rng);
+        let b = Matrix::xavier(n, n, &mut rng);
+        group.bench_function(format!("{n}x{n}"), |bch| bch.iter(|| a.matmul(&b)));
+    }
+    group.finish();
+}
+
+fn paper_scale_config() -> TransformerConfig {
+    // The paper's full state matrix: k = 144 rows of m = 40 variables.
+    TransformerConfig { input_dim: 40, seq_len: 144, d_model: 32, heads: 4, layers: 2, ff_mult: 2 }
+}
+
+fn bench_transformer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transformer");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Experiment-scale model (DESIGN.md substitution 3).
+    let small_cfg = TransformerConfig::small(40, 24);
+    let mut ps_small = ParamSet::new();
+    let small = TransformerEncoder::new(&mut ps_small, "t", small_cfg, &mut rng);
+    let x_small = Matrix::xavier(24, 40, &mut rng);
+    group.bench_function("forward_small_k24", |b| {
+        b.iter(|| small.forward(&ps_small, &x_small))
+    });
+    group.bench_function("forward_backward_small_k24", |b| {
+        b.iter(|| {
+            let (y, cache) = small.forward(&ps_small, &x_small);
+            let mut grads = Grads::new(&ps_small);
+            small.backward(&ps_small, &cache, &y, &mut grads);
+            grads.global_norm()
+        })
+    });
+
+    // Paper-scale model: one forward = one provisioning decision.
+    let mut ps_paper = ParamSet::new();
+    let paper = TransformerEncoder::new(&mut ps_paper, "t", paper_scale_config(), &mut rng);
+    let x_paper = Matrix::xavier(144, 40, &mut rng);
+    group.bench_function("forward_paper_k144", |b| {
+        b.iter(|| paper.forward(&ps_paper, &x_paper))
+    });
+    group.finish();
+}
+
+fn bench_moe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moe");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = TransformerConfig::small(40, 24);
+    let x = Matrix::xavier(24, 40, &mut rng);
+    for (name, kind) in [
+        ("dense_4_experts", FoundationKind::MoE { experts: 4 }),
+        ("top1_4_experts", FoundationKind::MoETopOne { experts: 4 }),
+    ] {
+        let mut ps = ParamSet::new();
+        let net = FoundationNet::new(&mut ps, "m", kind, cfg, &mut rng);
+        group.bench_function(name, |b| b.iter(|| net.forward(&ps, &x)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_transformer, bench_moe);
+criterion_main!(benches);

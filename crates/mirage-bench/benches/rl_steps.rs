@@ -1,0 +1,75 @@
+//! RL training-step benchmarks: DQN mini-batch updates and PG episode
+//! updates at the experiment scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_nn::foundation::FoundationKind;
+use mirage_nn::tensor::Matrix;
+use mirage_nn::transformer::TransformerConfig;
+use mirage_rl::{
+    ActionEncoding, DqnAgent, DqnConfig, DualHeadConfig, DualHeadNet, EpisodeSample, Experience,
+    PgAgent, PgConfig, ReplayBuffer,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn experiment_net(seed: u64) -> DualHeadNet {
+    DualHeadNet::new(DualHeadConfig {
+        foundation: FoundationKind::Transformer,
+        transformer: TransformerConfig {
+            input_dim: 40,
+            seq_len: 12,
+            d_model: 16,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        },
+        action_encoding: ActionEncoding::TwoHead,
+        freeze_foundation: false,
+        seed,
+    })
+}
+
+fn random_state(rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(12, 40, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn bench_dqn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dqn");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut replay = ReplayBuffer::new(1024);
+    for _ in 0..512 {
+        let s = random_state(&mut rng);
+        replay.push(Experience::terminal(s, rng.gen_range(0..2), -rng.gen_range(0.0..40.0f32)));
+    }
+    let mut agent = DqnAgent::new(experiment_net(1), DqnConfig::default());
+    group.bench_function("train_batch_32", |b| {
+        b.iter(|| {
+            let batch = replay.sample(&mut rng, 32);
+            agent.train_batch(&batch)
+        })
+    });
+    let state = random_state(&mut rng);
+    group.bench_function("greedy_decision", |b| b.iter(|| agent.act_greedy(&state)));
+    group.finish();
+}
+
+fn bench_pg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pg");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut agent = PgAgent::new(experiment_net(2), PgConfig::default());
+    let episodes: Vec<EpisodeSample> = (0..4)
+        .map(|_| EpisodeSample {
+            steps: (0..48).map(|_| (random_state(&mut rng), rng.gen_range(0..2))).collect(),
+            episode_return: -rng.gen_range(0.0..40.0f32),
+        })
+        .collect();
+    group.bench_function("train_4_episodes_48_steps", |b| {
+        b.iter(|| agent.train_episodes(&episodes))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dqn, bench_pg);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Simulator-throughput benchmarks (§5.2 performance claims).
+//!
+//! The paper claims the fast simulator replays "a one month workload
+//! within one minute" and is 3–26× cheaper than the standard Slurm
+//! simulator. These benches put numbers on both claims.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mirage_sim::reference::{ReferenceConfig, ReferenceSimulator};
+use mirage_sim::{SimConfig, Simulator};
+use mirage_trace::{clean_trace, ClusterProfile, JobRecord, SynthConfig, TraceGenerator, WEEK};
+
+fn one_month(profile: &ClusterProfile, seed: u64) -> Vec<JobRecord> {
+    let mut cfg = SynthConfig::new(profile.clone(), seed);
+    cfg.months = Some(1);
+    let raw = TraceGenerator::new(cfg).generate();
+    clean_trace(&raw, profile.nodes).0
+}
+
+fn bench_fast_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_one_month_replay");
+    group.sample_size(10);
+    for profile in [ClusterProfile::v100(), ClusterProfile::rtx(), ClusterProfile::a100()] {
+        let jobs = one_month(&profile, 42);
+        group.bench_function(profile.name.clone(), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulator::new(SimConfig::new(profile.nodes));
+                    sim.load_trace(&jobs);
+                    sim
+                },
+                |mut sim| {
+                    sim.run_to_completion();
+                    sim.completed().len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_week(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_reference_one_week");
+    group.sample_size(10);
+    let profile = ClusterProfile::v100();
+    let jobs: Vec<JobRecord> = one_month(&profile, 43)
+        .into_iter()
+        .filter(|j| j.submit < WEEK)
+        .collect();
+    group.bench_function("reference_V100", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = ReferenceSimulator::new(ReferenceConfig::new(profile.nodes));
+                sim.load_trace(&jobs);
+                sim
+            },
+            |mut sim| {
+                sim.run_to_completion();
+                sim.completed().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("fast_V100_same_week", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(SimConfig::new(profile.nodes));
+                sim.load_trace(&jobs);
+                sim
+            },
+            |mut sim| {
+                sim.run_to_completion();
+                sim.completed().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    let profile = ClusterProfile::v100();
+    group.bench_function("v100_3_months", |b| {
+        b.iter(|| {
+            let mut cfg = SynthConfig::new(profile.clone(), 7);
+            cfg.months = Some(3);
+            TraceGenerator::new(cfg).generate().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_replay, bench_reference_week, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 1: average queue wait time per month on the V100 and RTX
+//! clusters.
+//!
+//! The paper's peaks: up to ~40 h on V100 (February 2021), lower but
+//! spiky on RTX. The synthetic traces are replayed through the Slurm
+//! simulator to obtain start times, then bucketed by month.
+
+use mirage_bench::{hours, prepare_cluster};
+use mirage_sim::{SimConfig, Simulator};
+use mirage_trace::stats::monthly_avg_wait;
+use mirage_trace::ClusterProfile;
+
+fn main() {
+    println!("Figure 1: Average Queue Wait Time per month (hours)");
+    for profile in [ClusterProfile::v100(), ClusterProfile::rtx()] {
+        let pc = prepare_cluster(&profile, None, 42);
+        let mut sim = Simulator::new(SimConfig::new(profile.nodes));
+        sim.load_trace(&pc.jobs);
+        sim.run_to_completion();
+        let done = sim.completed();
+        let by_month = monthly_avg_wait(&done);
+        println!("\n{} ({} months):", profile.name, profile.trace_months);
+        print!("  month:");
+        for m in by_month.keys() {
+            print!(" {:>6}", m + 1);
+        }
+        println!();
+        print!("  wait :");
+        for w in by_month.values() {
+            print!(" {:>6.1}", hours(*w));
+        }
+        println!();
+        let peak = by_month.values().cloned().fold(0.0f64, f64::max);
+        println!("  peak month avg wait: {:.1} h (paper: V100 peaks ≈ 40 h)", hours(peak));
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 2: job arrival distribution per month on the three clusters.
+//!
+//! Paper: mean ± std of monthly job counts are 2 955 ± 1 289 (V100),
+//! 8 378 ± 20 177 (RTX; the paper's std is inflated by the short-job
+//! bursts), 4 377 ± 659 (A100), with "no clear pattern of job arrival at a
+//! month granularity".
+
+use mirage_bench::prepare_cluster;
+use mirage_trace::stats::{monthly_count_mean_std, monthly_job_counts};
+use mirage_trace::ClusterProfile;
+
+fn main() {
+    println!("Figure 2: Job Arrival Distribution (jobs per month, cleaned trace)");
+    let paper = [(2955.0, 1289.0), (8378.0, 20177.0), (4377.0, 659.0)];
+    for (profile, (p_mean, p_std)) in ClusterProfile::all().iter().zip(paper) {
+        let pc = prepare_cluster(profile, None, 42);
+        let counts = monthly_job_counts(&pc.jobs);
+        let (mean, std) = monthly_count_mean_std(&pc.jobs);
+        println!("\n{}:", profile.name);
+        print!("  month:");
+        for m in counts.keys() {
+            print!(" {:>6}", m + 1);
+        }
+        println!();
+        print!("  jobs :");
+        for c in counts.values() {
+            print!(" {c:>6}");
+        }
+        println!();
+        println!(
+            "  measured {mean:.0} ± {std:.0} / month   (paper: {p_mean:.0} ± {p_std:.0})"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 9: average interruption of a pair of 48-hour **eight-node** jobs
+//! on the three clusters, under heavy and medium load.
+//!
+//! Paper shapes: XGBoost/RF reduce interruption by 37.5 % / 40.0 % /
+//! 82.5 % across clusters; MoE+DQN 32.2 % / 28.2 % / 77.5 % (slightly
+//! behind the ensembles); transformer+PG best on average (43.9 % / 34.9 %
+//! / 90.1 %); medium load: ensembles nearly eliminate interruption.
+
+use mirage_bench::{
+    interruption_experiment, prepare_cluster, print_panel, print_reductions, ExperimentScale,
+    FigureMetric,
+};
+use mirage_core::LoadLevel;
+use mirage_trace::ClusterProfile;
+
+fn main() {
+    let scale = ExperimentScale::default();
+    let mut reports = Vec::new();
+    for profile in ClusterProfile::all() {
+        eprintln!("[fig9] preparing + training on {} ...", profile.name);
+        let pc = prepare_cluster(&profile, None, 42);
+        let exp = interruption_experiment(&pc, 8, 43, scale);
+        reports.push((profile.name.clone(), exp.report));
+    }
+    let refs: Vec<(String, &mirage_core::EvalReport)> =
+        reports.iter().map(|(n, r)| (n.clone(), r)).collect();
+    print_panel(
+        "Figure 9(a): avg interruption, 48h 8-node pairs",
+        FigureMetric::Interruption,
+        LoadLevel::Heavy,
+        &refs,
+    );
+    print_reductions(LoadLevel::Heavy, &refs);
+    print_panel(
+        "Figure 9(b): avg interruption, 48h 8-node pairs",
+        FigureMetric::Interruption,
+        LoadLevel::Medium,
+        &refs,
+    );
+    print_reductions(LoadLevel::Medium, &refs);
+}

@@ -1,0 +1,37 @@
+//! Probes the load-level mix of validation episodes per cluster: runs only
+//! the (free) reactive baseline and reports how many sampled episodes land
+//! in each §6 load class. Useful when tuning cluster profiles or episode
+//! warm-ups.
+
+use mirage_bench::{busiest_user, prepare_cluster};
+use mirage_core::{evaluate, EvalConfig, EpisodeConfig, LoadLevel, ProvisionPolicy, ReactivePolicy};
+use mirage_trace::ClusterProfile;
+
+fn main() {
+    for profile in ClusterProfile::all() {
+        let pc = prepare_cluster(&profile, None, 42);
+        for pair_nodes in [1u32, 8] {
+            let episode = EpisodeConfig {
+                pair_nodes,
+                pair_user: busiest_user(&pc.jobs),
+                ..EpisodeConfig::default()
+            };
+            let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
+            let report = evaluate(
+                &mut methods,
+                &pc.jobs,
+                pc.profile.nodes,
+                pc.val_range,
+                &EvalConfig { episode, n_episodes: 40, seed: 42 ^ 0xEE },
+            );
+            let h = report.episodes_at(LoadLevel::Heavy);
+            let m = report.episodes_at(LoadLevel::Medium);
+            let l = report.episodes_at(LoadLevel::Light);
+            let s = report.summarize("reactive", LoadLevel::Heavy);
+            println!(
+                "{:5} {}n: heavy={h:2} medium={m:2} light={l:2}  heavy avg wait {:6.1}h",
+                profile.name, pair_nodes, s.avg_interruption_h
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Table 1: stats of the job traces of V100, RTX and A100.
+//!
+//! Paper values: node counts 88/84/76; original job counts
+//! 189,899 / 375,095 / 49,997; filtered counts 65,017 / 175,090 / 24,779.
+
+use mirage_bench::prepare_cluster;
+use mirage_trace::ClusterProfile;
+
+fn main() {
+    println!("Table 1: Stats of the Job Traces (synthetic reproduction)");
+    println!(
+        "{:8} {:>6} {:>8} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "cluster", "nodes", "months", "orig jobs", "filtered", "ratio", "paper orig", "paper filt"
+    );
+    let paper = [(189_899usize, 65_017usize), (375_095, 175_090), (49_997, 24_779)];
+    for (profile, (p_orig, p_filt)) in ClusterProfile::all().iter().zip(paper) {
+        let pc = prepare_cluster(profile, None, 42);
+        println!(
+            "{:8} {:>6} {:>8} {:>12} {:>12} {:>10.2} {:>12} {:>12}",
+            profile.name,
+            profile.nodes,
+            profile.trace_months,
+            pc.raw_jobs,
+            pc.clean_report.filtered,
+            pc.raw_jobs as f64 / pc.clean_report.filtered.max(1) as f64,
+            p_orig,
+            p_filt,
+        );
+        println!(
+            "         cleaning: oversized removed = {}, chains merged = {}, sub-jobs absorbed = {}",
+            pc.clean_report.oversized_removed,
+            pc.clean_report.groups_merged,
+            pc.clean_report.subjobs_absorbed
+        );
+    }
+}

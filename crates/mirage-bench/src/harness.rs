@@ -1,0 +1,212 @@
+//! Shared experiment plumbing.
+
+use mirage_core::prelude::*;
+use mirage_core::train::{collect_offline, sample_training_starts, OfflineData};
+use mirage_trace::{clean_trace, split_by_time, CleanReport, ClusterProfile, JobRecord, SynthConfig, TraceGenerator, HOUR};
+
+/// Whether `MIRAGE_QUICK=1` smoke mode is active.
+pub fn quick_mode() -> bool {
+    std::env::var("MIRAGE_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// A generated, cleaned and split cluster trace ready for experiments.
+pub struct PreparedCluster {
+    /// Cluster profile the trace models.
+    pub profile: ClusterProfile,
+    /// Cleaned jobs, sorted by submit time.
+    pub jobs: Vec<JobRecord>,
+    /// Raw (pre-cleaning) job count.
+    pub raw_jobs: usize,
+    /// Cleaning report (Table 1 numbers).
+    pub clean_report: CleanReport,
+    /// Training range `[start, end)` (first 80 % of the span).
+    pub train_range: (i64, i64),
+    /// Validation range `[start, end)` (last 20 %).
+    pub val_range: (i64, i64),
+}
+
+/// Generates, cleans and splits one cluster's trace (80:20 as in §6).
+pub fn prepare_cluster(profile: &ClusterProfile, months: Option<u32>, seed: u64) -> PreparedCluster {
+    let mut cfg = SynthConfig::new(profile.clone(), seed);
+    cfg.months = months;
+    if quick_mode() {
+        cfg.months = Some(months.unwrap_or(profile.trace_months).min(3));
+    }
+    let raw = TraceGenerator::new(cfg).generate();
+    let (jobs, clean_report) = clean_trace(&raw, profile.nodes);
+    let split = split_by_time(&jobs, 0.8);
+    let first = jobs.first().map(|j| j.submit).unwrap_or(0);
+    let last = jobs.last().map(|j| j.submit).unwrap_or(0);
+    PreparedCluster {
+        profile: profile.clone(),
+        raw_jobs: raw.len(),
+        clean_report,
+        train_range: (first, split.split_time),
+        val_range: (split.split_time, last),
+        jobs,
+    }
+}
+
+/// One full §6 experiment: train all eight methods on the training range,
+/// evaluate them on identical validation episodes.
+pub struct InterruptionExperiment {
+    /// Evaluation report over the validation episodes.
+    pub report: EvalReport,
+    /// The episode configuration used.
+    pub episode: EpisodeConfig,
+}
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Offline collection episode starts.
+    pub offline_episodes: usize,
+    /// Online RL fine-tuning episodes.
+    pub online_episodes: usize,
+    /// Validation episodes.
+    pub eval_episodes: usize,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        if quick_mode() {
+            Self { offline_episodes: 8, online_episodes: 12, eval_episodes: 10 }
+        } else {
+            Self { offline_episodes: 32, online_episodes: 80, eval_episodes: 60 }
+        }
+    }
+}
+
+/// Most node-second-hungry user of a trace. The provisioned pair runs as
+/// this user so its sub-jobs queue with a realistic (poor) fair-share
+/// standing — a fresh user id would jump every congested queue.
+pub fn busiest_user(jobs: &[JobRecord]) -> u32 {
+    use std::collections::HashMap;
+    let mut usage: HashMap<u32, f64> = HashMap::new();
+    for j in jobs {
+        *usage.entry(j.user).or_insert(0.0) += j.nodes as f64 * j.runtime as f64;
+    }
+    usage
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+        .map(|(u, _)| u)
+        .unwrap_or(0)
+}
+
+/// Runs the Fig 8/9 pipeline for one cluster and pair size.
+pub fn interruption_experiment(
+    pc: &PreparedCluster,
+    pair_nodes: u32,
+    seed: u64,
+    scale: ExperimentScale,
+) -> InterruptionExperiment {
+    let mut tcfg = TrainConfig::default();
+    tcfg.episode.pair_nodes = pair_nodes;
+    tcfg.episode.pair_user = busiest_user(&pc.jobs);
+    tcfg.offline_episodes = scale.offline_episodes;
+    tcfg.online_episodes = scale.online_episodes;
+    tcfg.seed = seed;
+
+    let starts = sample_training_starts(
+        &pc.jobs,
+        pc.profile.nodes,
+        pc.train_range.0,
+        pc.train_range.1,
+        &tcfg.episode,
+        tcfg.offline_episodes,
+        seed,
+    );
+    let data: OfflineData = collect_offline(&pc.jobs, pc.profile.nodes, &tcfg, &starts);
+
+    let mut methods: Vec<Box<dyn ProvisionPolicy>> = MethodKind::all()
+        .into_iter()
+        .map(|kind| {
+            mirage_core::train::train_method(
+                kind,
+                &pc.jobs,
+                pc.profile.nodes,
+                &tcfg,
+                &data,
+                pc.train_range,
+            )
+        })
+        .collect();
+
+    let ecfg = EvalConfig {
+        episode: tcfg.episode,
+        n_episodes: scale.eval_episodes,
+        seed: seed ^ 0xEE,
+    };
+    let report = evaluate(&mut methods, &pc.jobs, pc.profile.nodes, pc.val_range, &ecfg);
+    InterruptionExperiment { report, episode: tcfg.episode }
+}
+
+/// Which outcome column a figure shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureMetric {
+    /// Average interruption (Figs 8, 9).
+    Interruption,
+    /// Average overlap (Fig 10).
+    Overlap,
+}
+
+/// Prints one paper-style figure panel: methods × clusters at one load
+/// level.
+pub fn print_panel(
+    title: &str,
+    metric: FigureMetric,
+    load: LoadLevel,
+    cluster_reports: &[(String, &EvalReport)],
+) {
+    println!("\n=== {title} [{} load] ===", load.label());
+    print!("{:18}", "method");
+    for (name, report) in cluster_reports {
+        print!(" | {:>21}", format!("{} (n={})", name, report.episodes_at(load)));
+    }
+    println!();
+    let methods: Vec<String> = cluster_reports
+        .first()
+        .map(|(_, r)| r.method_names.clone())
+        .unwrap_or_default();
+    for m in &methods {
+        print!("{m:18}");
+        for (_, report) in cluster_reports {
+            let s = report.summarize(m, load);
+            let value = match metric {
+                FigureMetric::Interruption => s.avg_interruption_h,
+                FigureMetric::Overlap => s.avg_overlap_h,
+            };
+            print!(
+                " | {:>8.2}h  zero={:3.0}%",
+                value,
+                s.zero_interruption_frac * 100.0
+            );
+        }
+        println!();
+    }
+}
+
+/// Prints interruption reductions vs the reactive baseline (the §6
+/// headline statistic).
+pub fn print_reductions(load: LoadLevel, cluster_reports: &[(String, &EvalReport)]) {
+    println!("\n--- interruption reduction vs reactive [{} load] ---", load.label());
+    let methods: Vec<String> = cluster_reports
+        .first()
+        .map(|(_, r)| r.method_names.clone())
+        .unwrap_or_default();
+    for m in methods.iter().filter(|m| m.as_str() != "reactive") {
+        print!("{m:18}");
+        for (_, report) in cluster_reports {
+            match report.reduction_vs_reactive(m, load) {
+                Some(red) => print!(" | {red:>7.1}%"),
+                None => print!(" | {:>8}", "n/a"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Formats seconds as hours with one decimal.
+pub fn hours(secs: f64) -> f64 {
+    secs / HOUR as f64
+}

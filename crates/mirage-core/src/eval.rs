@@ -1,0 +1,323 @@
+//! Evaluation harness (§6 of the paper).
+//!
+//! Validation episodes are sampled from the held-out range; every method
+//! runs the *same* episode (same trace window, same start instant), and
+//! results are grouped by the cluster-load level observed under the
+//! reactive baseline:
+//!
+//! * **heavy** — reactive queue wait > 12 h,
+//! * **medium** — 2–12 h,
+//! * **light** — < 2 h.
+//!
+//! Reported per method × load level: average interruption, average
+//! overlap, and the zero-interruption episode fraction (the paper's
+//! "jobs safeguarded with zero interruption").
+
+use mirage_trace::{JobRecord, HOUR};
+use serde::{Deserialize, Serialize};
+
+use crate::episode::{run_episode, EpisodeConfig};
+use crate::policy::ProvisionPolicy;
+use crate::reward::EpisodeOutcome;
+use crate::train::{episode_window, sample_episode_starts};
+
+/// Cluster-load classification thresholds (§6: by reactive queue wait).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoadLevel {
+    /// Reactive wait below 2 h.
+    Light,
+    /// Reactive wait in [2 h, 12 h).
+    Medium,
+    /// Reactive wait of 12 h or more.
+    Heavy,
+}
+
+impl LoadLevel {
+    /// Classifies by the reactive baseline's queue wait.
+    pub fn classify(reactive_wait: i64) -> Self {
+        if reactive_wait >= 12 * HOUR {
+            LoadLevel::Heavy
+        } else if reactive_wait >= 2 * HOUR {
+            LoadLevel::Medium
+        } else {
+            LoadLevel::Light
+        }
+    }
+
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadLevel::Light => "light",
+            LoadLevel::Medium => "medium",
+            LoadLevel::Heavy => "heavy",
+        }
+    }
+
+    /// All levels, heaviest first (the paper's figure order).
+    pub fn all() -> [LoadLevel; 3] {
+        [LoadLevel::Heavy, LoadLevel::Medium, LoadLevel::Light]
+    }
+}
+
+/// One method's outcomes on one episode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodOutcome {
+    /// Method label.
+    pub method: String,
+    /// Episode outcome.
+    pub outcome: EpisodeOutcome,
+    /// Whether the method submitted proactively.
+    pub proactive: bool,
+}
+
+/// One validation episode across all methods.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpisodeRecord {
+    /// Predecessor submission instant.
+    pub t0: i64,
+    /// Load level under the reactive baseline.
+    pub load: LoadLevel,
+    /// The reactive successor wait (the classification statistic).
+    pub reactive_wait: i64,
+    /// Per-method outcomes (same order as the evaluated method list).
+    pub methods: Vec<MethodOutcome>,
+}
+
+/// Aggregate over episodes for one method at one load level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodSummary {
+    /// Method label.
+    pub method: String,
+    /// Load level.
+    pub load: LoadLevel,
+    /// Episodes aggregated.
+    pub episodes: usize,
+    /// Mean interruption, hours.
+    pub avg_interruption_h: f64,
+    /// Mean overlap, hours.
+    pub avg_overlap_h: f64,
+    /// Fraction of episodes with zero interruption.
+    pub zero_interruption_frac: f64,
+}
+
+/// Full evaluation output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Per-episode records.
+    pub episodes: Vec<EpisodeRecord>,
+    /// Method labels in evaluation order.
+    pub method_names: Vec<String>,
+}
+
+/// Evaluation settings.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Episode shape (must match what the methods were trained for).
+    pub episode: EpisodeConfig,
+    /// Validation episodes to sample.
+    pub n_episodes: usize,
+    /// Start-sampling seed.
+    pub seed: u64,
+}
+
+/// Runs every method over the same sampled validation episodes.
+///
+/// The first method should be the reactive baseline; its successor wait
+/// classifies each episode's load level. (If it is not, the reactive wait
+/// is computed with an implicit extra run.)
+pub fn evaluate(
+    methods: &mut [Box<dyn ProvisionPolicy>],
+    trace: &[JobRecord],
+    nodes: u32,
+    range: (i64, i64),
+    cfg: &EvalConfig,
+) -> EvalReport {
+    let starts = sample_episode_starts(range.0, range.1, &cfg.episode, cfg.n_episodes, cfg.seed);
+    let method_names: Vec<String> = methods.iter().map(|m| m.name()).collect();
+    let reactive_idx = method_names.iter().position(|n| n == "reactive");
+
+    let mut episodes = Vec::with_capacity(starts.len());
+    for &t0 in &starts {
+        let window = episode_window(trace, t0, &cfg.episode);
+        let mut outcomes: Vec<MethodOutcome> = Vec::with_capacity(methods.len());
+        for m in methods.iter_mut() {
+            m.reset();
+            let result = run_episode(window, nodes, &cfg.episode, t0, |ctx| m.decide(ctx));
+            outcomes.push(MethodOutcome {
+                method: m.name(),
+                outcome: result.outcome,
+                proactive: result.submitted_by_policy,
+            });
+        }
+        let reactive_wait = match reactive_idx {
+            Some(i) => outcomes[i].outcome.interruption,
+            None => {
+                let r = run_episode(window, nodes, &cfg.episode, t0, |_| {
+                    crate::episode::Action::Wait
+                });
+                r.outcome.interruption
+            }
+        };
+        episodes.push(EpisodeRecord {
+            t0,
+            load: LoadLevel::classify(reactive_wait),
+            reactive_wait,
+            methods: outcomes,
+        });
+    }
+    EvalReport { episodes, method_names }
+}
+
+impl EvalReport {
+    /// Aggregates one method at one load level.
+    pub fn summarize(&self, method: &str, load: LoadLevel) -> MethodSummary {
+        let mut n = 0usize;
+        let mut sum_i = 0.0f64;
+        let mut sum_o = 0.0f64;
+        let mut zero = 0usize;
+        for ep in self.episodes.iter().filter(|e| e.load == load) {
+            if let Some(mo) = ep.methods.iter().find(|m| m.method == method) {
+                n += 1;
+                sum_i += mo.outcome.interruption as f64 / 3600.0;
+                sum_o += mo.outcome.overlap as f64 / 3600.0;
+                if mo.outcome.zero_interruption() {
+                    zero += 1;
+                }
+            }
+        }
+        MethodSummary {
+            method: method.to_string(),
+            load,
+            episodes: n,
+            avg_interruption_h: if n > 0 { sum_i / n as f64 } else { 0.0 },
+            avg_overlap_h: if n > 0 { sum_o / n as f64 } else { 0.0 },
+            zero_interruption_frac: if n > 0 { zero as f64 / n as f64 } else { 0.0 },
+        }
+    }
+
+    /// All summaries: methods × load levels (paper figure layout).
+    pub fn all_summaries(&self) -> Vec<MethodSummary> {
+        let mut out = Vec::new();
+        for load in LoadLevel::all() {
+            for m in &self.method_names {
+                out.push(self.summarize(m, load));
+            }
+        }
+        out
+    }
+
+    /// Episode count at a load level.
+    pub fn episodes_at(&self, load: LoadLevel) -> usize {
+        self.episodes.iter().filter(|e| e.load == load).count()
+    }
+
+    /// Interruption reduction of `method` vs the reactive baseline at a
+    /// load level, in percent (the §6.1 headline statistic).
+    pub fn reduction_vs_reactive(&self, method: &str, load: LoadLevel) -> Option<f64> {
+        let m = self.summarize(method, load);
+        let r = self.summarize("reactive", load);
+        if m.episodes == 0 || r.episodes == 0 || r.avg_interruption_h <= 0.0 {
+            return None;
+        }
+        Some((1.0 - m.avg_interruption_h / r.avg_interruption_h) * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AvgWaitPolicy, ReactivePolicy};
+    use mirage_trace::{DAY, MINUTE};
+
+    fn tiny_episode() -> EpisodeConfig {
+        EpisodeConfig {
+            pair_nodes: 1,
+            pair_timelimit: 4 * HOUR,
+            pair_runtime: 4 * HOUR,
+            decision_interval: 30 * MINUTE,
+            history_k: 4,
+            warmup: DAY,
+            pair_user: 999,
+        }
+    }
+
+    fn congested_trace(days: i64) -> Vec<JobRecord> {
+        // Steady stream keeping a 4-node cluster busy.
+        (0..days * 24 * 2)
+            .map(|i| {
+                JobRecord::new(
+                    i as u64 + 1,
+                    format!("bg{i}"),
+                    (i % 5) as u32,
+                    i * HOUR / 2,
+                    2,
+                    6 * HOUR,
+                    3 * HOUR,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn load_classification_thresholds() {
+        assert_eq!(LoadLevel::classify(0), LoadLevel::Light);
+        assert_eq!(LoadLevel::classify(2 * HOUR), LoadLevel::Medium);
+        assert_eq!(LoadLevel::classify(12 * HOUR - 1), LoadLevel::Medium);
+        assert_eq!(LoadLevel::classify(12 * HOUR), LoadLevel::Heavy);
+        assert_eq!(LoadLevel::classify(3 * DAY), LoadLevel::Heavy);
+    }
+
+    #[test]
+    fn evaluation_runs_all_methods_on_same_episodes() {
+        let trace = congested_trace(14);
+        let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
+            Box::new(ReactivePolicy),
+            Box::new(AvgWaitPolicy::default()),
+        ];
+        let cfg = EvalConfig { episode: tiny_episode(), n_episodes: 4, seed: 7 };
+        let report = evaluate(&mut methods, &trace, 4, (0, 14 * DAY), &cfg);
+        assert_eq!(report.episodes.len(), 4);
+        for ep in &report.episodes {
+            assert_eq!(ep.methods.len(), 2);
+            assert_eq!(ep.methods[0].method, "reactive");
+            // Reactive never overlaps by construction.
+            assert_eq!(ep.methods[0].outcome.overlap, 0);
+        }
+        let summaries = report.all_summaries();
+        assert_eq!(summaries.len(), 2 * 3);
+        let total: usize = LoadLevel::all()
+            .iter()
+            .map(|&l| report.episodes_at(l))
+            .sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn summaries_aggregate_consistently() {
+        let trace = congested_trace(10);
+        let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
+        let cfg = EvalConfig { episode: tiny_episode(), n_episodes: 3, seed: 9 };
+        let report = evaluate(&mut methods, &trace, 4, (0, 10 * DAY), &cfg);
+        for load in LoadLevel::all() {
+            let s = report.summarize("reactive", load);
+            assert_eq!(s.episodes, report.episodes_at(load));
+            assert!(s.avg_interruption_h >= 0.0);
+            assert!(s.zero_interruption_frac >= 0.0 && s.zero_interruption_frac <= 1.0);
+        }
+    }
+
+    #[test]
+    fn reduction_vs_reactive_is_zero_for_itself() {
+        let trace = congested_trace(10);
+        let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
+        let cfg = EvalConfig { episode: tiny_episode(), n_episodes: 3, seed: 11 };
+        let report = evaluate(&mut methods, &trace, 4, (0, 10 * DAY), &cfg);
+        for load in LoadLevel::all() {
+            if report.episodes_at(load) > 0 {
+                if let Some(red) = report.reduction_vs_reactive("reactive", load) {
+                    assert!(red.abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

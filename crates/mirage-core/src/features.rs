@@ -1,0 +1,91 @@
+//! Feature extraction for the ensemble baselines (§6: Random Forest and
+//! XGBoost).
+//!
+//! Trees cannot consume the full `k × m` state matrix efficiently, so the
+//! ensemble methods see a compact summary: the newest state vector, two
+//! older vectors for trend information, and the pair-specific scalars.
+
+use crate::episode::DecisionContext;
+use crate::state::STATE_VARS;
+
+/// Width of the ensemble feature vector.
+pub const FEATURE_DIM: usize = 3 * STATE_VARS + 3;
+
+/// Builds the ensemble feature vector from a decision context.
+///
+/// Layout: newest state row ‖ row k/2 ‖ row 0 (oldest) ‖
+/// `[pred_remaining_h, recent_avg_wait_h, queued_nodes_fraction]`.
+pub fn extract_features(ctx: &DecisionContext) -> Vec<f32> {
+    let m = &ctx.state_matrix;
+    let k = m.rows();
+    let mut f = Vec::with_capacity(FEATURE_DIM);
+    f.extend_from_slice(m.row(k - 1));
+    f.extend_from_slice(m.row(k / 2));
+    f.extend_from_slice(m.row(0));
+    f.push(ctx.pred_remaining as f32 / 3600.0);
+    f.push(ctx.recent_avg_wait.unwrap_or(0.0) as f32 / 3600.0);
+    let total = ctx.snapshot.total_nodes.max(1);
+    f.push(ctx.snapshot.queued_nodes() as f32 / total as f32);
+    debug_assert_eq!(f.len(), FEATURE_DIM);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SuccessorSpec;
+    use mirage_nn::Matrix;
+    use mirage_sim::ClusterSnapshot;
+    use mirage_trace::HOUR;
+
+    fn ctx(k: usize) -> DecisionContext {
+        DecisionContext {
+            now: 0,
+            state_matrix: Matrix::from_fn(k, STATE_VARS, |r, c| (r * STATE_VARS + c) as f32),
+            snapshot: ClusterSnapshot {
+                now: 0,
+                free_nodes: 2,
+                total_nodes: 8,
+                queued: vec![],
+                running: vec![],
+            },
+            pred_started: true,
+            pred_remaining: 2 * HOUR,
+            recent_avg_wait: Some(3.0 * HOUR as f64),
+            successor: SuccessorSpec { nodes: 1, timelimit: 48 * HOUR },
+        }
+    }
+
+    #[test]
+    fn feature_vector_has_documented_width() {
+        let f = extract_features(&ctx(8));
+        assert_eq!(f.len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn rows_are_sampled_newest_middle_oldest() {
+        let f = extract_features(&ctx(8));
+        // Newest row starts at element 7·40.
+        assert_eq!(f[0], (7 * STATE_VARS) as f32);
+        // Middle row (k/2 = 4).
+        assert_eq!(f[STATE_VARS], (4 * STATE_VARS) as f32);
+        // Oldest row.
+        assert_eq!(f[2 * STATE_VARS], 0.0);
+    }
+
+    #[test]
+    fn scalar_tail_is_in_hours_and_fractions() {
+        let f = extract_features(&ctx(4));
+        assert!((f[FEATURE_DIM - 3] - 2.0).abs() < 1e-6, "pred remaining in hours");
+        assert!((f[FEATURE_DIM - 2] - 3.0).abs() < 1e-6, "avg wait in hours");
+        assert_eq!(f[FEATURE_DIM - 1], 0.0, "empty queue fraction");
+    }
+
+    #[test]
+    fn missing_avg_wait_encodes_zero() {
+        let mut c = ctx(4);
+        c.recent_avg_wait = None;
+        let f = extract_features(&c);
+        assert_eq!(f[FEATURE_DIM - 2], 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Mirage — the proactive resource provisioner (the paper's primary
+//! contribution).
+//!
+//! Given a chain of wall-clock-limited sub-jobs on a batch GPU cluster,
+//! Mirage decides *when* to submit each successor sub-job so that it
+//! starts right as its predecessor ends, minimizing service interruption
+//! at a controlled overlap cost. This crate assembles the substrates into
+//! the full system:
+//!
+//! * [`state`] — the §4.1 40-variable state encoding and the `k × m`
+//!   state-matrix history,
+//! * [`reward`] — the §4.5 interruption/overlap reward with the
+//!   user-configurable `e_I`/`e_O` coefficients,
+//! * [`episode`] — the provisioning-episode driver over the Slurm
+//!   simulator (submit / no-submit every decision interval),
+//! * [`policy`] — the eight §6 methods behind one trait,
+//! * [`features`] — compact features for the ensemble baselines,
+//! * [`train`] — §4.9 offline collection + foundation pretraining +
+//!   online RL fine-tuning,
+//! * [`eval`] — the §6 evaluation harness (load levels, zero-interruption
+//!   fractions, reduction vs reactive),
+//! * [`chain`] — whole-chain provisioning (§4.1's rolling
+//!   predecessor–successor pairs),
+//! * [`tune`] — deterministic hyperparameter grid search (the RayTune
+//!   substitution).
+
+pub mod chain;
+pub mod episode;
+pub mod eval;
+pub mod features;
+pub mod policy;
+pub mod reward;
+pub mod state;
+pub mod train;
+pub mod tune;
+
+pub use chain::{chain_stretch, provision_chain, ChainResult, ChainSummary};
+pub use episode::{run_episode, Action, DecisionContext, EpisodeConfig, EpisodeResult};
+pub use eval::{evaluate, EvalConfig, EvalReport, LoadLevel, MethodSummary};
+pub use policy::{
+    AvgWaitPolicy, DqnPolicy, PgPolicy, ProvisionPolicy, ReactivePolicy, WaitModel,
+    WaitPredictorPolicy,
+};
+pub use reward::{EpisodeOutcome, RewardShaper};
+pub use state::{PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS};
+pub use train::{
+    collect_offline, sample_episode_starts, sample_training_starts, train_method, MethodKind,
+    OfflineData, TrainConfig,
+};
+pub use tune::{grid_search, Candidate, TuneGrid, TuneResult};
+
+/// Convenience imports.
+pub mod prelude {
+    pub use crate::episode::{run_episode, Action, DecisionContext, EpisodeConfig, EpisodeResult};
+    pub use crate::eval::{evaluate, EvalConfig, EvalReport, LoadLevel, MethodSummary};
+    pub use crate::policy::{
+        AvgWaitPolicy, DqnPolicy, PgPolicy, ProvisionPolicy, ReactivePolicy, WaitPredictorPolicy,
+    };
+    pub use crate::reward::{EpisodeOutcome, RewardShaper};
+    pub use crate::state::{StateEncoder, StateHistory, STATE_VARS};
+    pub use crate::train::{collect_offline, train_method, MethodKind, TrainConfig};
+}

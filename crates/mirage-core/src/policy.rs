@@ -1,0 +1,259 @@
+//! The eight provisioning policies compared in §6 of the paper.
+//!
+//! * Heuristics: [`ReactivePolicy`] (the common practice) and
+//!   [`AvgWaitPolicy`] (submit `T_avg` before the predecessor's end).
+//! * Ensemble learners: [`WaitPredictorPolicy`] wrapping a Random Forest
+//!   or XGBoost-style wait predictor.
+//! * RL: [`DqnPolicy`] and [`PgPolicy`] over a transformer or MoE
+//!   foundation — the four {transformer, MoE} × {DQN, PG} combinations.
+
+use mirage_ensemble::{GradientBoosting, RandomForest};
+use mirage_rl::{DqnAgent, PgAgent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::episode::{Action, DecisionContext};
+use crate::features::extract_features;
+
+/// A provisioning policy: called at every decision instant.
+pub trait ProvisionPolicy: Send {
+    /// Display name used in reports (e.g. `"reactive"`, `"MoE+DQN"`).
+    fn name(&self) -> String;
+    /// Per-episode reset (clear internal state).
+    fn reset(&mut self) {}
+    /// The §4.3 decision: submit the successor now or wait.
+    fn decide(&mut self, ctx: &DecisionContext) -> Action;
+}
+
+/// The reactive baseline: never submits proactively; the episode driver's
+/// fallback submits at predecessor completion — exactly what researchers
+/// do by hand today (§6: "the reactive baseline is what researchers
+/// usually use as a common practice").
+#[derive(Debug, Clone, Default)]
+pub struct ReactivePolicy;
+
+impl ProvisionPolicy for ReactivePolicy {
+    fn name(&self) -> String {
+        "reactive".into()
+    }
+
+    fn decide(&mut self, _ctx: &DecisionContext) -> Action {
+        Action::Wait
+    }
+}
+
+/// The `avg` heuristic: monitor the average queue wait `T_avg` and submit
+/// the successor `T_avg` before the predecessor finishes.
+#[derive(Debug, Clone)]
+pub struct AvgWaitPolicy {
+    /// Safety multiplier on `T_avg` (1.0 = the paper's heuristic).
+    pub multiplier: f64,
+}
+
+impl Default for AvgWaitPolicy {
+    fn default() -> Self {
+        Self { multiplier: 1.0 }
+    }
+}
+
+impl ProvisionPolicy for AvgWaitPolicy {
+    fn name(&self) -> String {
+        "avg".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext) -> Action {
+        // Until the predecessor runs, its end time is unbounded — wait.
+        if !ctx.pred_started {
+            return Action::Wait;
+        }
+        let t_avg = ctx.recent_avg_wait.unwrap_or(0.0) * self.multiplier;
+        if (ctx.pred_remaining as f64) <= t_avg {
+            Action::Submit
+        } else {
+            Action::Wait
+        }
+    }
+}
+
+/// Which ensemble model backs a [`WaitPredictorPolicy`].
+#[derive(Debug, Clone)]
+pub enum WaitModel {
+    /// Random forest regressor.
+    Forest(RandomForest),
+    /// Gradient-boosted trees (XGBoost-style).
+    Gbdt(GradientBoosting),
+}
+
+impl WaitModel {
+    fn predict_wait_hours(&self, features: &[f32]) -> f32 {
+        match self {
+            WaitModel::Forest(f) => f.predict(features),
+            WaitModel::Gbdt(g) => g.predict(features),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            WaitModel::Forest(_) => "random-forest",
+            WaitModel::Gbdt(_) => "xgboost",
+        }
+    }
+}
+
+/// Ensemble policy: predicts the successor's queue wait from the current
+/// features and submits once the predecessor's remaining time drops below
+/// the prediction.
+#[derive(Debug, Clone)]
+pub struct WaitPredictorPolicy {
+    /// The fitted wait model (target in hours).
+    pub model: WaitModel,
+}
+
+impl WaitPredictorPolicy {
+    /// Wraps a fitted model.
+    pub fn new(model: WaitModel) -> Self {
+        Self { model }
+    }
+}
+
+impl ProvisionPolicy for WaitPredictorPolicy {
+    fn name(&self) -> String {
+        self.model.label().into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext) -> Action {
+        if !ctx.pred_started {
+            return Action::Wait;
+        }
+        let features = extract_features(ctx);
+        let predicted_wait_h = self.model.predict_wait_hours(&features).max(0.0);
+        if ctx.pred_remaining as f32 / 3600.0 <= predicted_wait_h {
+            Action::Submit
+        } else {
+            Action::Wait
+        }
+    }
+}
+
+/// DQN policy (deterministic, §4.4): submit when Q(submit) > Q(no-submit).
+pub struct DqnPolicy {
+    /// The trained agent.
+    pub agent: DqnAgent,
+    /// Display label (`"transformer+DQN"` / `"MoE+DQN"`).
+    pub label: String,
+}
+
+impl ProvisionPolicy for DqnPolicy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext) -> Action {
+        Action::from_index(self.agent.act_greedy(&ctx.state_matrix))
+    }
+}
+
+/// Policy-gradient policy (non-deterministic, §4.4): the action is sampled
+/// from the P-head's output distribution.
+pub struct PgPolicy {
+    /// The trained agent.
+    pub agent: PgAgent,
+    /// Display label (`"transformer+PG"` / `"MoE+PG"`).
+    pub label: String,
+    /// Sampling seed (per-policy stream keeps evaluation reproducible).
+    pub rng: StdRng,
+    /// `true` = argmax instead of sampling (deterministic evaluation).
+    pub deterministic: bool,
+}
+
+impl PgPolicy {
+    /// Sampling policy with the given seed.
+    pub fn new(agent: PgAgent, label: impl Into<String>, seed: u64) -> Self {
+        Self { agent, label: label.into(), rng: StdRng::seed_from_u64(seed), deterministic: false }
+    }
+}
+
+impl ProvisionPolicy for PgPolicy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext) -> Action {
+        let idx = if self.deterministic {
+            self.agent.act_greedy(&ctx.state_matrix)
+        } else {
+            self.agent.act(&ctx.state_matrix, &mut self.rng)
+        };
+        Action::from_index(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{SuccessorSpec, STATE_VARS};
+    use mirage_nn::Matrix;
+    use mirage_sim::ClusterSnapshot;
+    use mirage_trace::HOUR;
+
+    fn ctx(pred_started: bool, pred_remaining: i64, avg_wait: Option<f64>) -> DecisionContext {
+        DecisionContext {
+            now: 0,
+            state_matrix: Matrix::zeros(4, STATE_VARS),
+            snapshot: ClusterSnapshot {
+                now: 0,
+                free_nodes: 4,
+                total_nodes: 8,
+                queued: vec![],
+                running: vec![],
+            },
+            pred_started,
+            pred_remaining,
+            recent_avg_wait: avg_wait,
+            successor: SuccessorSpec { nodes: 1, timelimit: 48 * HOUR },
+        }
+    }
+
+    #[test]
+    fn reactive_always_waits() {
+        let mut p = ReactivePolicy;
+        assert_eq!(p.decide(&ctx(true, 0, Some(1e9))), Action::Wait);
+        assert_eq!(p.name(), "reactive");
+    }
+
+    #[test]
+    fn avg_submits_when_remaining_below_t_avg() {
+        let mut p = AvgWaitPolicy::default();
+        // 2h remaining, 3h average wait → submit now.
+        assert_eq!(p.decide(&ctx(true, 2 * HOUR, Some(3.0 * HOUR as f64))), Action::Submit);
+        // 5h remaining, 3h average wait → hold.
+        assert_eq!(p.decide(&ctx(true, 5 * HOUR, Some(3.0 * HOUR as f64))), Action::Wait);
+        // Not started yet → always hold.
+        assert_eq!(p.decide(&ctx(false, 0, Some(1e9))), Action::Wait);
+        // No wait data → nothing suggests congestion; hold until the end.
+        assert_eq!(p.decide(&ctx(true, HOUR, None)), Action::Wait);
+    }
+
+    #[test]
+    fn avg_multiplier_scales_the_threshold() {
+        let mut cautious = AvgWaitPolicy { multiplier: 0.5 };
+        // 2h remaining, 3h avg → 1.5h effective threshold → hold.
+        assert_eq!(cautious.decide(&ctx(true, 2 * HOUR, Some(3.0 * HOUR as f64))), Action::Wait);
+    }
+
+    #[test]
+    fn wait_predictor_uses_model_output() {
+        use mirage_ensemble::{Dataset, GbdtConfig};
+        // Train a trivial GBDT that always predicts ~5 (hours).
+        let rows: Vec<Vec<f32>> = (0..16).map(|_| vec![0.0; crate::features::FEATURE_DIM]).collect();
+        let ys = vec![5.0f32; 16];
+        let data = Dataset::from_rows(&rows, &ys);
+        let model = GradientBoosting::fit(&data, &GbdtConfig { n_rounds: 2, ..Default::default() });
+        let mut p = WaitPredictorPolicy::new(WaitModel::Gbdt(model));
+        assert_eq!(p.name(), "xgboost");
+        // 3h remaining < 5h predicted wait → submit.
+        assert_eq!(p.decide(&ctx(true, 3 * HOUR, None)), Action::Submit);
+        // 10h remaining > 5h predicted wait → hold.
+        assert_eq!(p.decide(&ctx(true, 10 * HOUR, None)), Action::Wait);
+    }
+}

@@ -1,0 +1,330 @@
+//! State encoding (§4.1–4.2 of the paper).
+//!
+//! Each instant is summarized by an `m = 40`-dimensional vector:
+//!
+//! | vars   | content                                                        |
+//! |--------|----------------------------------------------------------------|
+//! | 1      | queued job count                                               |
+//! | 2–6    | queued sizes: 0/25/50/75/100th percentiles                     |
+//! | 7–11   | queued ages: percentiles                                       |
+//! | 12–16  | queued runtime limits: percentiles                             |
+//! | 17     | running job count                                              |
+//! | 18–24  | running sizes: percentiles + mean + std                        |
+//! | 25–29  | running elapsed: percentiles                                   |
+//! | 30–34  | running limits: percentiles                                    |
+//! | 35–38  | predecessor size, limit, queue time, elapsed                   |
+//! | 39–40  | successor size, limit                                          |
+//!
+//! `k` consecutive vectors, recorded every `interval` seconds, stack into
+//! the `k × m` state matrix the foundation model consumes (the paper's
+//! default: 144 rows at 10-minute cadence = 24 h of history).
+//!
+//! All features are normalized: node counts by the partition size, times
+//! by the site's 48 h limit, counts by `log1p` against a nominal queue
+//! scale — trees ignore this, the transformer needs it.
+
+use mirage_nn::Matrix;
+use mirage_sim::ClusterSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Width of the per-instant state vector (fixed by the paper).
+pub const STATE_VARS: usize = 40;
+
+/// Predecessor-job status at encoding time (§4.1(c)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredecessorState {
+    /// Requested nodes.
+    pub nodes: u32,
+    /// Wall-clock limit, seconds.
+    pub timelimit: i64,
+    /// Queue wait it experienced, seconds (0 while still queued).
+    pub queue_time: i64,
+    /// Elapsed runtime, seconds (0 while queued).
+    pub elapsed: i64,
+}
+
+/// Successor-job static information (§4.1(d); it has not entered the
+/// cluster yet).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuccessorSpec {
+    /// Requested nodes.
+    pub nodes: u32,
+    /// Wall-clock limit, seconds.
+    pub timelimit: i64,
+}
+
+/// Normalizing encoder from cluster snapshots to state vectors/matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateEncoder {
+    /// Partition size for node normalization.
+    pub total_nodes: u32,
+    /// Time normalizer (the site's 48 h cap).
+    pub max_time: i64,
+    /// Nominal queue length for count normalization.
+    pub queue_scale: f32,
+}
+
+impl StateEncoder {
+    /// Encoder for a partition of `total_nodes` with a 48 h limit.
+    pub fn new(total_nodes: u32, max_time: i64) -> Self {
+        Self { total_nodes, max_time, queue_scale: 1000.0 }
+    }
+
+    #[inline]
+    fn norm_nodes(&self, n: f32) -> f32 {
+        n / self.total_nodes.max(1) as f32
+    }
+
+    #[inline]
+    fn norm_time(&self, t: f32) -> f32 {
+        (t / self.max_time as f32).clamp(0.0, 4.0)
+    }
+
+    #[inline]
+    fn norm_count(&self, c: f32) -> f32 {
+        (1.0 + c).ln() / (1.0 + self.queue_scale).ln()
+    }
+
+    /// Encodes one instant into the 40-variable vector.
+    pub fn encode(
+        &self,
+        snap: &ClusterSnapshot,
+        pred: &PredecessorState,
+        succ: &SuccessorSpec,
+    ) -> [f32; STATE_VARS] {
+        let mut v = [0.0f32; STATE_VARS];
+
+        // (a) queue state.
+        v[0] = self.norm_count(snap.queued.len() as f32);
+        let q_sizes: Vec<f32> = snap.queued.iter().map(|q| q.nodes as f32).collect();
+        let q_ages: Vec<f32> = snap.queued.iter().map(|q| q.age as f32).collect();
+        let q_limits: Vec<f32> = snap.queued.iter().map(|q| q.timelimit as f32).collect();
+        write_percentiles(&mut v[1..6], &q_sizes, |x| self.norm_nodes(x));
+        write_percentiles(&mut v[6..11], &q_ages, |x| self.norm_time(x));
+        write_percentiles(&mut v[11..16], &q_limits, |x| self.norm_time(x));
+
+        // (b) server state.
+        v[16] = self.norm_count(snap.running.len() as f32);
+        let r_sizes: Vec<f32> = snap.running.iter().map(|r| r.nodes as f32).collect();
+        let r_elapsed: Vec<f32> = snap.running.iter().map(|r| r.elapsed as f32).collect();
+        let r_limits: Vec<f32> = snap.running.iter().map(|r| r.timelimit as f32).collect();
+        write_percentiles(&mut v[17..22], &r_sizes, |x| self.norm_nodes(x));
+        v[22] = self.norm_nodes(mean(&r_sizes));
+        v[23] = self.norm_nodes(std_dev(&r_sizes));
+        write_percentiles(&mut v[24..29], &r_elapsed, |x| self.norm_time(x));
+        write_percentiles(&mut v[29..34], &r_limits, |x| self.norm_time(x));
+
+        // (c) predecessor job state.
+        v[34] = self.norm_nodes(pred.nodes as f32);
+        v[35] = self.norm_time(pred.timelimit as f32);
+        v[36] = self.norm_time(pred.queue_time as f32);
+        v[37] = self.norm_time(pred.elapsed as f32);
+
+        // (d) successor job information.
+        v[38] = self.norm_nodes(succ.nodes as f32);
+        v[39] = self.norm_time(succ.timelimit as f32);
+        v
+    }
+}
+
+/// Fixed-length history of state vectors forming the `k × m` state matrix.
+#[derive(Debug, Clone)]
+pub struct StateHistory {
+    k: usize,
+    rows: Vec<[f32; STATE_VARS]>,
+}
+
+impl StateHistory {
+    /// History holding the most recent `k` vectors.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "history must hold at least one row");
+        Self { k, rows: Vec::with_capacity(k) }
+    }
+
+    /// Appends the newest vector, evicting the oldest beyond `k`.
+    pub fn push(&mut self, v: [f32; STATE_VARS]) {
+        if self.rows.len() == self.k {
+            self.rows.remove(0);
+        }
+        self.rows.push(v);
+    }
+
+    /// Recorded row count (≤ k).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The state matrix: oldest row first, newest last. Until `k` rows have
+    /// been recorded, the earliest row is repeated as left-padding so the
+    /// matrix always has `k` rows (the foundation model expects a fixed
+    /// sequence length).
+    pub fn matrix(&self) -> Matrix {
+        assert!(!self.rows.is_empty(), "no state recorded yet");
+        Matrix::from_fn(self.k, STATE_VARS, |r, c| {
+            let pad = self.k - self.rows.len();
+            let idx = r.saturating_sub(pad);
+            self.rows[idx.min(self.rows.len() - 1)][c]
+        })
+    }
+
+    /// Most recent vector.
+    pub fn latest(&self) -> &[f32; STATE_VARS] {
+        self.rows.last().expect("no state recorded yet")
+    }
+}
+
+/// Writes `[p0, p25, p50, p75, p100]` of `xs` (after `f`) into `out`.
+fn write_percentiles(out: &mut [f32], xs: &[f32], f: impl Fn(f32) -> f32) {
+    debug_assert_eq!(out.len(), 5);
+    if xs.is_empty() {
+        out.fill(0.0);
+        return;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (i, p) in [0.0f32, 0.25, 0.5, 0.75, 1.0].iter().enumerate() {
+        let idx = ((sorted.len() - 1) as f32 * p).round() as usize;
+        out[i] = f(sorted[idx]);
+    }
+}
+
+fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_sim::{QueuedJobView, RunningJobView};
+    use mirage_trace::HOUR;
+
+    fn snap(queued: usize, running: usize) -> ClusterSnapshot {
+        ClusterSnapshot {
+            now: 1000,
+            free_nodes: 4,
+            total_nodes: 16,
+            queued: (0..queued)
+                .map(|i| QueuedJobView {
+                    id: i as u64,
+                    nodes: 1 + (i % 4) as u32,
+                    submit: 0,
+                    age: (i as i64 + 1) * HOUR,
+                    timelimit: 24 * HOUR,
+                    user: 1,
+                })
+                .collect(),
+            running: (0..running)
+                .map(|i| RunningJobView {
+                    id: 100 + i as u64,
+                    nodes: 2,
+                    start: 0,
+                    elapsed: (i as i64 + 1) * HOUR / 2,
+                    timelimit: 48 * HOUR,
+                    user: 2,
+                })
+                .collect(),
+        }
+    }
+
+    fn pred() -> PredecessorState {
+        PredecessorState { nodes: 1, timelimit: 48 * HOUR, queue_time: HOUR, elapsed: 10 * HOUR }
+    }
+
+    fn succ() -> SuccessorSpec {
+        SuccessorSpec { nodes: 1, timelimit: 48 * HOUR }
+    }
+
+    #[test]
+    fn vector_is_forty_wide_and_finite() {
+        let enc = StateEncoder::new(16, 48 * HOUR);
+        let v = enc.encode(&snap(5, 3), &pred(), &succ());
+        assert_eq!(v.len(), 40);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn empty_cluster_encodes_zeros_for_stats() {
+        let enc = StateEncoder::new(16, 48 * HOUR);
+        let v = enc.encode(&snap(0, 0), &pred(), &succ());
+        assert_eq!(v[0], 0.0, "log1p(0) = 0 queue count");
+        assert!(v[1..16].iter().all(|&x| x == 0.0), "queue stats empty");
+        assert!(v[17..34].iter().all(|&x| x == 0.0), "server stats empty");
+        // Predecessor/successor vars still present.
+        assert!(v[34] > 0.0 && v[39] > 0.0);
+    }
+
+    #[test]
+    fn busier_queue_raises_count_var() {
+        let enc = StateEncoder::new(16, 48 * HOUR);
+        let v_small = enc.encode(&snap(2, 0), &pred(), &succ());
+        let v_big = enc.encode(&snap(50, 0), &pred(), &succ());
+        assert!(v_big[0] > v_small[0]);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let enc = StateEncoder::new(16, 48 * HOUR);
+        let v = enc.encode(&snap(9, 0), &pred(), &succ());
+        for w in v[6..11].windows(2) {
+            assert!(w[0] <= w[1], "age percentiles must be sorted: {:?}", &v[6..11]);
+        }
+    }
+
+    #[test]
+    fn normalization_bounds_hold() {
+        let enc = StateEncoder::new(16, 48 * HOUR);
+        let v = enc.encode(&snap(20, 10), &pred(), &succ());
+        // Node fractions within [0, 2] (oversized jobs clamp naturally).
+        assert!(v[1..6].iter().all(|&x| (0.0..=2.0).contains(&x)));
+        // Times clamped at 4× the max limit.
+        assert!(v.iter().all(|&x| x <= 4.0));
+    }
+
+    #[test]
+    fn history_pads_then_slides() {
+        let mut h = StateHistory::new(3);
+        let mk = |x: f32| {
+            let mut v = [0.0f32; STATE_VARS];
+            v[0] = x;
+            v
+        };
+        h.push(mk(1.0));
+        let m = h.matrix();
+        assert_eq!(m.shape(), (3, STATE_VARS));
+        // All rows padded with the single recorded vector.
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 0), 1.0);
+        h.push(mk(2.0));
+        h.push(mk(3.0));
+        h.push(mk(4.0)); // evicts 1.0
+        let m = h.matrix();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.get(2, 0), 4.0);
+        assert_eq!(h.latest()[0], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no state recorded")]
+    fn empty_history_matrix_panics() {
+        let h = StateHistory::new(2);
+        let _ = h.matrix();
+    }
+}

@@ -1,0 +1,746 @@
+//! Training pipelines (§4.9 of the paper).
+//!
+//! * **Offline sample collection** (§4.9.1): episodes replayed from the
+//!   training range submit the successor at evenly split points between
+//!   the predecessor's start and its end; every decision in the episode
+//!   is credited with the delayed episode reward (Eq. 8) and stored in
+//!   the experience memory pool.
+//! * **Foundation pretraining**: supervised reward regression over the
+//!   collected pool (`mirage-rl::offline`).
+//! * **Online training** (§4.9.2): DQN trains on-policy with ε-greedy
+//!   exploration and replay mini-batches; PG trains on Monte-Carlo
+//!   episode rollouts.
+//! * **Ensemble fitting**: the same episodes supply (features → observed
+//!   successor wait) pairs for the Random Forest / XGBoost baselines.
+
+use mirage_ensemble::{
+    Dataset, ForestConfig, GbdtConfig, GradientBoosting, RandomForest,
+};
+use mirage_nn::foundation::FoundationKind;
+use mirage_nn::transformer::TransformerConfig;
+use mirage_rl::{
+    pretrain_foundation, ActionEncoding, DqnAgent, DqnConfig, DualHeadConfig, DualHeadNet,
+    EpisodeSample, Experience, PgAgent, PgConfig, PretrainConfig, ReplayBuffer, RewardSample,
+};
+use mirage_trace::{JobRecord, DAY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::episode::{run_episode, Action, EpisodeConfig, EpisodeResult};
+use crate::features::extract_features;
+use crate::policy::{
+    AvgWaitPolicy, DqnPolicy, PgPolicy, ProvisionPolicy, ReactivePolicy, WaitModel,
+    WaitPredictorPolicy,
+};
+use crate::reward::RewardShaper;
+use crate::state::STATE_VARS;
+
+/// The eight §6 methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// Submit on predecessor completion (common practice).
+    Reactive,
+    /// Submit `T_avg` before the predecessor's end.
+    AvgHeuristic,
+    /// Random-forest wait predictor.
+    RandomForest,
+    /// Gradient-boosted wait predictor.
+    Xgboost,
+    /// Transformer foundation + DQN head.
+    TransformerDqn,
+    /// MoE foundation + DQN head (the paper's default Mirage model).
+    MoeDqn,
+    /// Transformer foundation + PG head (the aggressive option).
+    TransformerPg,
+    /// MoE foundation + PG head.
+    MoePg,
+}
+
+impl MethodKind {
+    /// All methods in the order the paper's figures list them.
+    pub fn all() -> [MethodKind; 8] {
+        [
+            MethodKind::Reactive,
+            MethodKind::AvgHeuristic,
+            MethodKind::RandomForest,
+            MethodKind::Xgboost,
+            MethodKind::TransformerDqn,
+            MethodKind::MoeDqn,
+            MethodKind::TransformerPg,
+            MethodKind::MoePg,
+        ]
+    }
+
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodKind::Reactive => "reactive",
+            MethodKind::AvgHeuristic => "avg",
+            MethodKind::RandomForest => "random-forest",
+            MethodKind::Xgboost => "xgboost",
+            MethodKind::TransformerDqn => "transformer+DQN",
+            MethodKind::MoeDqn => "MoE+DQN",
+            MethodKind::TransformerPg => "transformer+PG",
+            MethodKind::MoePg => "MoE+PG",
+        }
+    }
+
+    /// Whether this method needs any training at all.
+    pub fn is_learned(&self) -> bool {
+        !matches!(self, MethodKind::Reactive | MethodKind::AvgHeuristic)
+    }
+}
+
+/// End-to-end training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Episode shape (pair size, cadence, history length…).
+    pub episode: EpisodeConfig,
+    /// Predecessor start points sampled from the training range.
+    pub offline_episodes: usize,
+    /// Successor submission split points per episode (7 in §4.9.1).
+    pub split_points: usize,
+    /// Reward shaping coefficients.
+    pub shaper: RewardShaper,
+    /// Foundation/optimizer seed.
+    pub seed: u64,
+    /// MoE expert count.
+    pub moe_experts: usize,
+    /// Foundation pretraining settings.
+    pub pretrain: PretrainConfig,
+    /// Online DQN settings.
+    pub dqn: DqnConfig,
+    /// Online PG settings.
+    pub pg: PgConfig,
+    /// Online fine-tuning episodes (per RL method).
+    pub online_episodes: usize,
+    /// Replay-batch size for online DQN updates.
+    pub batch_size: usize,
+    /// Replay mini-batch updates after each online episode.
+    pub updates_per_episode: usize,
+    /// Cap on reward samples used for foundation pretraining (subsampled
+    /// deterministically when the pool is larger).
+    pub max_pretrain_samples: usize,
+    /// Transformer width/depth.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder layers.
+    pub layers: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            episode: EpisodeConfig::default(),
+            offline_episodes: 24,
+            split_points: 7,
+            shaper: RewardShaper::default(),
+            seed: 0,
+            moe_experts: 3,
+            pretrain: PretrainConfig { epochs: 4, batch_size: 32, lr: 1e-3, seed: 0, grad_clip: 5.0 },
+            dqn: DqnConfig::default(),
+            // Low online lr: REINFORCE fine-tunes the behavior-cloned
+            // policy without being able to wipe it out in a few bad
+            // episode batches.
+            pg: PgConfig { entropy_coef: 0.02, lr: 3e-4, ..PgConfig::default() },
+            online_episodes: 60,
+            batch_size: 32,
+            updates_per_episode: 6,
+            max_pretrain_samples: 2500,
+            d_model: 16,
+            heads: 2,
+            layers: 1,
+        }
+    }
+}
+
+/// Offline data pools produced by §4.9.1 collection.
+#[derive(Debug, Default)]
+pub struct OfflineData {
+    /// (state, action, reward) triples for foundation pretraining and DQN.
+    pub reward_samples: Vec<RewardSample>,
+    /// (features, successor wait in hours) pairs for the ensembles.
+    pub wait_samples: Vec<(Vec<f32>, f32)>,
+    /// Decisions of the best-reward run per episode start — the
+    /// behavior-cloning warm start for the P-head (REINFORCE alone is too
+    /// sample-hungry at this scale; see DESIGN.md §3).
+    pub best_run_decisions: Vec<(mirage_nn::Matrix, usize)>,
+}
+
+/// Samples episode start instants uniformly within `[range_start,
+/// range_end)`, leaving room for warm-up before and the episode horizon
+/// after.
+pub fn sample_episode_starts(
+    range_start: i64,
+    range_end: i64,
+    episode: &EpisodeConfig,
+    n: usize,
+    seed: u64,
+) -> Vec<i64> {
+    // The warm-up window may reach *before* range_start: it only replays
+    // background context that already existed (no leakage), and insisting
+    // on post-start warm-up would blind short validation ranges to their
+    // early congested stretches.
+    let lo = range_start + 2 * DAY;
+    let hi = (range_end - episode.pair_timelimit - 2 * DAY).max(lo + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut starts: Vec<i64> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    starts.sort_unstable();
+    starts
+}
+
+/// Samples *training* episode starts with a congestion bias: candidates
+/// are ranked by the local offered demand (node-seconds submitted in the
+/// preceding two days over capacity) and half the picks come from the most
+/// congested quartile. Heavy-load episodes are where the paper's results
+/// live, but they are rare under uniform sampling — this keeps them in the
+/// training diet without touching the (uniformly sampled) validation set.
+pub fn sample_training_starts(
+    trace: &[JobRecord],
+    nodes: u32,
+    range_start: i64,
+    range_end: i64,
+    episode: &EpisodeConfig,
+    n: usize,
+    seed: u64,
+) -> Vec<i64> {
+    let candidates = sample_episode_starts(range_start, range_end, episode, n * 3, seed);
+    let demand_at = |t0: i64| -> f64 {
+        let from = t0 - 2 * DAY;
+        let lo = trace.partition_point(|j| j.submit < from);
+        let hi = trace.partition_point(|j| j.submit < t0);
+        let ns: f64 = trace[lo..hi]
+            .iter()
+            .map(|j| j.nodes as f64 * j.runtime as f64)
+            .sum();
+        ns / (f64::from(nodes.max(1)) * (2 * DAY) as f64)
+    };
+    let mut ranked: Vec<(f64, i64)> = candidates.iter().map(|&t| (demand_at(t), t)).collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let top_quartile = ranked.len() / 4;
+    let mut picks: Vec<i64> = Vec::with_capacity(n);
+    // Half from the congested quartile, half spread over the full ranking.
+    for (_, t) in ranked.iter().take(top_quartile.max(1)).take(n / 2) {
+        picks.push(*t);
+    }
+    let rest = &ranked[top_quartile.min(ranked.len())..];
+    if !rest.is_empty() {
+        let stride = (rest.len() / (n - picks.len()).max(1)).max(1);
+        for (_, t) in rest.iter().step_by(stride) {
+            if picks.len() >= n {
+                break;
+            }
+            picks.push(*t);
+        }
+    }
+    while picks.len() < n && !ranked.is_empty() {
+        picks.push(ranked[picks.len() % ranked.len()].1);
+    }
+    picks.sort_unstable();
+    picks
+}
+
+/// Slices the (submit-sorted) trace to the window an episode at `t0`
+/// needs: warm-up before, generous horizon after.
+pub fn episode_window<'a>(trace: &'a [JobRecord], t0: i64, episode: &EpisodeConfig) -> &'a [JobRecord] {
+    let from = t0 - episode.warmup;
+    let to = t0 + 2 * episode.pair_timelimit + 6 * DAY;
+    let lo = trace.partition_point(|j| j.submit < from);
+    let hi = trace.partition_point(|j| j.submit < to);
+    &trace[lo..hi]
+}
+
+/// §4.9.1 offline collection: for each start, one reactive run plus
+/// `split_points` runs that submit the successor at evenly split elapsed
+/// fractions of the predecessor's limit. Every decision of a run is
+/// credited with the delayed episode reward. Runs execute in parallel.
+pub fn collect_offline(
+    trace: &[JobRecord],
+    nodes: u32,
+    cfg: &TrainConfig,
+    starts: &[i64],
+) -> OfflineData {
+    let points = cfg.split_points.max(1);
+    let mut tasks: Vec<(i64, Option<usize>)> = Vec::new();
+    for &t0 in starts {
+        tasks.push((t0, None)); // reactive run (never submit proactively)
+        for j in 0..points {
+            tasks.push((t0, Some(j)));
+        }
+    }
+    let results: Vec<(i64, EpisodeResult, Option<Vec<f32>>)> = tasks
+        .par_iter()
+        .map(|&(t0, split)| {
+            let window = episode_window(trace, t0, &cfg.episode);
+            let mut submit_features: Option<Vec<f32>> = None;
+            let result = run_episode(window, nodes, &cfg.episode, t0, |ctx| {
+                let act = match split {
+                    None => Action::Wait,
+                    Some(j) => {
+                        // Submit once the predecessor's elapsed fraction
+                        // passes (j+1)/(points+1) of its limit.
+                        let threshold = (j as i64 + 1) * cfg.episode.pair_timelimit
+                            / (points as i64 + 1);
+                        let elapsed = cfg.episode.pair_timelimit - ctx.pred_remaining;
+                        if ctx.pred_started && elapsed >= threshold {
+                            Action::Submit
+                        } else {
+                            Action::Wait
+                        }
+                    }
+                };
+                if act == Action::Submit && submit_features.is_none() {
+                    submit_features = Some(extract_features(ctx));
+                }
+                act
+            });
+            (t0, result, submit_features)
+        })
+        .collect();
+
+    let mut data = OfflineData::default();
+    let mut best_per_start: std::collections::HashMap<i64, (f32, usize)> =
+        std::collections::HashMap::new();
+    for (i, (t0, result, submit_features)) in results.iter().enumerate() {
+        let reward = cfg.shaper.reward(&result.outcome);
+        for (state, action) in &result.decisions {
+            data.reward_samples.push(RewardSample {
+                state: state.clone(),
+                action: *action,
+                reward,
+            });
+        }
+        if let Some(features) = submit_features {
+            data.wait_samples
+                .push((features.clone(), result.succ_wait() as f32 / 3600.0));
+        }
+        best_per_start
+            .entry(*t0)
+            .and_modify(|(best, idx)| {
+                if reward > *best {
+                    *best = reward;
+                    *idx = i;
+                }
+            })
+            .or_insert((reward, i));
+    }
+    let mut best: Vec<(i64, usize)> =
+        best_per_start.into_iter().map(|(t0, (_, idx))| (t0, idx)).collect();
+    best.sort_unstable();
+    for (_, idx) in best {
+        for (state, action) in &results[idx].1.decisions {
+            data.best_run_decisions.push((state.clone(), *action));
+        }
+    }
+    data
+}
+
+/// Fits the Random Forest wait predictor on offline wait samples.
+pub fn train_forest(data: &OfflineData, seed: u64) -> RandomForest {
+    let (rows, ys): (Vec<Vec<f32>>, Vec<f32>) = data.wait_samples.iter().cloned().unzip();
+    let ds = Dataset::from_rows(&rows, &ys);
+    RandomForest::fit(&ds, &ForestConfig { n_trees: 60, seed, ..ForestConfig::default() })
+}
+
+/// Fits the XGBoost-style wait predictor on offline wait samples.
+pub fn train_gbdt(data: &OfflineData, seed: u64) -> GradientBoosting {
+    let (rows, ys): (Vec<Vec<f32>>, Vec<f32>) = data.wait_samples.iter().cloned().unzip();
+    let ds = Dataset::from_rows(&rows, &ys);
+    GradientBoosting::fit(&ds, &GbdtConfig { n_rounds: 60, seed, ..GbdtConfig::default() })
+}
+
+fn transformer_config(cfg: &TrainConfig) -> TransformerConfig {
+    TransformerConfig {
+        input_dim: STATE_VARS,
+        seq_len: cfg.episode.history_k,
+        d_model: cfg.d_model,
+        heads: cfg.heads,
+        layers: cfg.layers,
+        ff_mult: 2,
+    }
+}
+
+/// Builds and pretrains a dual-head network of the given foundation kind.
+pub fn build_pretrained_net(
+    kind: FoundationKind,
+    cfg: &TrainConfig,
+    data: &OfflineData,
+) -> DualHeadNet {
+    let mut net = DualHeadNet::new(DualHeadConfig {
+        foundation: kind,
+        transformer: transformer_config(cfg),
+        action_encoding: ActionEncoding::TwoHead,
+        freeze_foundation: false,
+        seed: cfg.seed,
+    });
+    if !data.reward_samples.is_empty() {
+        if data.reward_samples.len() > cfg.max_pretrain_samples {
+            // Deterministic stride subsample keeps episode diversity.
+            let stride = data.reward_samples.len() / cfg.max_pretrain_samples + 1;
+            let sub: Vec<RewardSample> = data
+                .reward_samples
+                .iter()
+                .step_by(stride.max(1))
+                .cloned()
+                .collect();
+            pretrain_foundation(&mut net, &sub, &cfg.pretrain);
+        } else {
+            pretrain_foundation(&mut net, &data.reward_samples, &cfg.pretrain);
+        }
+    }
+    net
+}
+
+/// Online DQN fine-tuning (§4.9.2a): ε-greedy episodes against the
+/// simulator; each episode's decisions enter the replay pool with the
+/// delayed episode reward, followed by a mini-batch update.
+pub fn train_dqn_online(
+    net: DualHeadNet,
+    trace: &[JobRecord],
+    nodes: u32,
+    cfg: &TrainConfig,
+    starts: &[i64],
+    warm_start: &OfflineData,
+) -> DqnAgent {
+    let mut agent = DqnAgent::new(net, cfg.dqn);
+    // Submit decisions are ~1-in-50 of the pool; keep them in their own
+    // buffer and draw half of every mini-batch from it so the Q(submit)
+    // column actually trains (class-balanced replay).
+    let mut replay_wait = ReplayBuffer::new(8192);
+    let mut replay_submit = ReplayBuffer::new(4096);
+    let push = |e: Experience, w: &mut ReplayBuffer, s: &mut ReplayBuffer| {
+        if e.action == 1 {
+            s.push(e);
+        } else {
+            w.push(e);
+        }
+    };
+    for s in &warm_start.reward_samples {
+        push(
+            Experience::terminal(s.state.clone(), s.action, s.reward),
+            &mut replay_wait,
+            &mut replay_submit,
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD9);
+    for (i, &t0) in starts.iter().cycle().take(cfg.online_episodes).enumerate() {
+        let window = episode_window(trace, t0, &cfg.episode);
+        let agent_ref = &mut agent;
+        let mut ep_rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64) << 3);
+        let result = run_episode(window, nodes, &cfg.episode, t0, |ctx| {
+            Action::from_index(agent_ref.act(&ctx.state_matrix, &mut ep_rng))
+        });
+        let reward = cfg.shaper.reward(&result.outcome);
+        for (state, action) in &result.decisions {
+            push(
+                Experience::terminal(state.clone(), *action, reward),
+                &mut replay_wait,
+                &mut replay_submit,
+            );
+        }
+        if replay_wait.len() + replay_submit.len() >= cfg.batch_size {
+            for _ in 0..cfg.updates_per_episode.max(1) {
+                let half = cfg.batch_size / 2;
+                let mut batch = replay_wait.sample(&mut rng, cfg.batch_size - half);
+                if !replay_submit.is_empty() {
+                    batch.extend(replay_submit.sample(&mut rng, half));
+                }
+                agent.train_batch(&batch);
+            }
+        }
+    }
+    agent
+}
+
+/// Warm-starts the P-head (and shared foundation) by behavior-cloning the
+/// best-reward offline run of each training episode: cross-entropy between
+/// the P-head's softmax and the demonstrated submit/no-submit decisions.
+/// REINFORCE then fine-tunes from a sensible policy instead of noise.
+pub fn behavior_clone(
+    net: &mut DualHeadNet,
+    samples: &[(mirage_nn::Matrix, usize)],
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+) {
+    use mirage_nn::loss::softmax_cross_entropy;
+    use mirage_nn::optim::{Adam, Optimizer};
+    use mirage_nn::Grads;
+    use rand::seq::SliceRandom;
+
+    if samples.is_empty() {
+        return;
+    }
+    // Submit decisions are ~1-in-50 (one per episode): balance the classes
+    // or the clone degenerates to "always wait".
+    let n = samples.len() as f32;
+    let n_submit = samples.iter().filter(|(_, a)| *a == 1).count() as f32;
+    let n_wait = n - n_submit;
+    let class_w = [
+        if n_wait > 0.0 { n / (2.0 * n_wait) } else { 0.0 },
+        if n_submit > 0.0 { n / (2.0 * n_submit) } else { 0.0 },
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opt = Adam::new(lr);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    for _ in 0..epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(32) {
+            let netref = &*net;
+            // Collect per-sample grads in order, then fold sequentially:
+            // floating-point merge order stays deterministic across runs.
+            let per_sample: Vec<Grads> = chunk
+                .par_iter()
+                .map(|&i| {
+                    let (state, action) = &samples[i];
+                    let (logits, cache) = netref.p_forward(state);
+                    let (_, d_logits) = softmax_cross_entropy(&logits, *action);
+                    let d_logits = d_logits.scale(class_w[*action]);
+                    let mut grads = Grads::new(&netref.ps);
+                    netref.p_backward(&cache, &d_logits, &mut grads);
+                    grads
+                })
+                .collect();
+            let mut grads = per_sample
+                .into_iter()
+                .fold(Grads::new(&netref.ps), |mut acc, g| {
+                    acc.merge(g);
+                    acc
+                });
+            grads.scale(1.0 / chunk.len() as f32);
+            grads.clip_global_norm(5.0);
+            opt.step(&mut net.ps, &grads);
+        }
+    }
+}
+
+/// Online PG fine-tuning (§4.9.2b): Monte-Carlo rollouts under the current
+/// stochastic policy, REINFORCE update per small batch of episodes.
+pub fn train_pg_online(
+    net: DualHeadNet,
+    trace: &[JobRecord],
+    nodes: u32,
+    cfg: &TrainConfig,
+    starts: &[i64],
+) -> PgAgent {
+    let mut agent = PgAgent::new(net, cfg.pg);
+    let batch = 4usize;
+    let mut pending: Vec<EpisodeSample> = Vec::with_capacity(batch);
+    for (i, &t0) in starts.iter().cycle().take(cfg.online_episodes).enumerate() {
+        let window = episode_window(trace, t0, &cfg.episode);
+        let agent_ref = &agent;
+        let mut ep_rng = StdRng::seed_from_u64(cfg.seed ^ 0xBEEF ^ ((i as u64) << 4));
+        let result = run_episode(window, nodes, &cfg.episode, t0, |ctx| {
+            Action::from_index(agent_ref.act(&ctx.state_matrix, &mut ep_rng))
+        });
+        let reward = cfg.shaper.reward(&result.outcome);
+        pending.push(EpisodeSample {
+            steps: result.decisions.clone(),
+            episode_return: reward,
+        });
+        if pending.len() >= batch {
+            agent.train_episodes(&pending);
+            pending.clear();
+        }
+    }
+    if !pending.is_empty() {
+        agent.train_episodes(&pending);
+    }
+    agent
+}
+
+/// Trains one §6 method end to end and returns it as a policy. For the
+/// heuristics this is free; for the ensembles it fits on the offline wait
+/// samples; for the RL methods it pretrains the foundation and fine-tunes
+/// online.
+pub fn train_method(
+    kind: MethodKind,
+    trace: &[JobRecord],
+    nodes: u32,
+    cfg: &TrainConfig,
+    data: &OfflineData,
+    train_range: (i64, i64),
+) -> Box<dyn ProvisionPolicy> {
+    match kind {
+        MethodKind::Reactive => Box::new(ReactivePolicy),
+        MethodKind::AvgHeuristic => Box::new(AvgWaitPolicy::default()),
+        MethodKind::RandomForest => Box::new(WaitPredictorPolicy::new(WaitModel::Forest(
+            train_forest(data, cfg.seed),
+        ))),
+        MethodKind::Xgboost => Box::new(WaitPredictorPolicy::new(WaitModel::Gbdt(
+            train_gbdt(data, cfg.seed),
+        ))),
+        MethodKind::TransformerDqn | MethodKind::MoeDqn => {
+            let foundation = if kind == MethodKind::MoeDqn {
+                FoundationKind::MoE { experts: cfg.moe_experts }
+            } else {
+                FoundationKind::Transformer
+            };
+            let net = build_pretrained_net(foundation, cfg, data);
+            let starts = sample_training_starts(
+                trace,
+                nodes,
+                train_range.0,
+                train_range.1,
+                &cfg.episode,
+                cfg.online_episodes.max(1),
+                cfg.seed ^ 0x51,
+            );
+            let agent = train_dqn_online(net, trace, nodes, cfg, &starts, data);
+            Box::new(DqnPolicy { agent, label: kind.label().into() })
+        }
+        MethodKind::TransformerPg | MethodKind::MoePg => {
+            let foundation = if kind == MethodKind::MoePg {
+                FoundationKind::MoE { experts: cfg.moe_experts }
+            } else {
+                FoundationKind::Transformer
+            };
+            let mut net = build_pretrained_net(foundation, cfg, data);
+            behavior_clone(
+                &mut net,
+                &data.best_run_decisions,
+                cfg.pretrain.epochs + 4,
+                cfg.pretrain.lr,
+                cfg.seed ^ 0x77,
+            );
+            let starts = sample_training_starts(
+                trace,
+                nodes,
+                train_range.0,
+                train_range.1,
+                &cfg.episode,
+                cfg.online_episodes.max(1),
+                cfg.seed ^ 0x52,
+            );
+            let agent = train_pg_online(net, trace, nodes, cfg, &starts);
+            Box::new(PgPolicy::new(agent, kind.label(), cfg.seed ^ 0x53))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_trace::{HOUR, MINUTE};
+
+    fn tiny_cfg() -> TrainConfig {
+        TrainConfig {
+            episode: EpisodeConfig {
+                pair_nodes: 1,
+                pair_timelimit: 4 * HOUR,
+                pair_runtime: 4 * HOUR,
+                decision_interval: 30 * MINUTE,
+                history_k: 4,
+                warmup: DAY,
+                pair_user: 999,
+            },
+            offline_episodes: 3,
+            split_points: 3,
+            online_episodes: 2,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ..TrainConfig::default()
+        }
+    }
+
+    fn bg_trace(span_days: i64) -> Vec<JobRecord> {
+        (0..span_days * 24)
+            .map(|i| {
+                JobRecord::new(
+                    i as u64 + 1,
+                    format!("bg{i}"),
+                    (i % 7) as u32,
+                    i * HOUR,
+                    1 + (i % 3) as u32,
+                    4 * HOUR,
+                    2 * HOUR,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn start_sampling_respects_bounds() {
+        let cfg = tiny_cfg();
+        let starts = sample_episode_starts(0, 20 * DAY, &cfg.episode, 10, 1);
+        assert_eq!(starts.len(), 10);
+        for &s in &starts {
+            assert!(s >= cfg.episode.warmup);
+            assert!(s < 20 * DAY);
+        }
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn window_slices_by_submit_time() {
+        let cfg = tiny_cfg();
+        let trace = bg_trace(30);
+        let w = episode_window(&trace, 10 * DAY, &cfg.episode);
+        assert!(!w.is_empty());
+        assert!(w.iter().all(|j| j.submit >= 9 * DAY));
+        assert!(w.len() < trace.len());
+    }
+
+    #[test]
+    fn offline_collection_produces_both_pools() {
+        let cfg = tiny_cfg();
+        let trace = bg_trace(12);
+        let starts = sample_episode_starts(0, 12 * DAY, &cfg.episode, cfg.offline_episodes, 2);
+        let data = collect_offline(&trace, 4, &cfg, &starts);
+        assert!(!data.reward_samples.is_empty(), "reward pool empty");
+        assert!(!data.wait_samples.is_empty(), "wait pool empty");
+        // Eq 8: every decision of an episode shares the episode reward —
+        // rewards are ≤ 0 (negative penalties).
+        assert!(data.reward_samples.iter().all(|s| s.reward <= 0.0));
+        // Scheduled runs must contain submit actions.
+        assert!(data.reward_samples.iter().any(|s| s.action == 1));
+        assert!(data.reward_samples.iter().any(|s| s.action == 0));
+        // Wait targets are non-negative hours.
+        assert!(data.wait_samples.iter().all(|(_, w)| *w >= 0.0));
+    }
+
+    #[test]
+    fn heuristic_methods_need_no_data() {
+        let cfg = tiny_cfg();
+        let data = OfflineData::default();
+        let p = train_method(MethodKind::Reactive, &[], 4, &cfg, &data, (0, DAY));
+        assert_eq!(p.name(), "reactive");
+        let p = train_method(MethodKind::AvgHeuristic, &[], 4, &cfg, &data, (0, DAY));
+        assert_eq!(p.name(), "avg");
+    }
+
+    #[test]
+    fn ensemble_training_runs_end_to_end() {
+        let cfg = tiny_cfg();
+        let trace = bg_trace(12);
+        let starts = sample_episode_starts(0, 12 * DAY, &cfg.episode, 2, 3);
+        let data = collect_offline(&trace, 4, &cfg, &starts);
+        let forest = train_forest(&data, 0);
+        assert!(forest.n_trees() > 0);
+        let gbdt = train_gbdt(&data, 0);
+        assert!(gbdt.n_trees() > 0);
+    }
+
+    #[test]
+    fn rl_training_runs_end_to_end() {
+        let cfg = tiny_cfg();
+        let trace = bg_trace(14);
+        let starts = sample_episode_starts(0, 14 * DAY, &cfg.episode, 2, 4);
+        let data = collect_offline(&trace, 4, &cfg, &starts);
+        let p = train_method(
+            MethodKind::TransformerDqn,
+            &trace,
+            4,
+            &cfg,
+            &data,
+            (0, 14 * DAY),
+        );
+        assert_eq!(p.name(), "transformer+DQN");
+        let p = train_method(MethodKind::TransformerPg, &trace, 4, &cfg, &data, (0, 14 * DAY));
+        assert_eq!(p.name(), "transformer+PG");
+    }
+}

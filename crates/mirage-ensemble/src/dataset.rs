@@ -1,0 +1,106 @@
+//! Flat row-major dataset for tree learners.
+
+/// A dense feature matrix with one target per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Vec<f32>,
+    n_features: usize,
+    targets: Vec<f32>,
+}
+
+impl Dataset {
+    /// Builds a dataset from rows; all rows must share the same width.
+    pub fn from_rows(rows: &[Vec<f32>], targets: &[f32]) -> Self {
+        assert_eq!(rows.len(), targets.len(), "row/target count mismatch");
+        let n_features = rows.first().map_or(0, |r| r.len());
+        let mut features = Vec::with_capacity(rows.len() * n_features);
+        for row in rows {
+            assert_eq!(row.len(), n_features, "ragged feature rows");
+            features.extend_from_slice(row);
+        }
+        Self { features, n_features, targets: targets.to_vec() }
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the dataset has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Feature width.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Feature row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Feature `f` of sample `i`.
+    #[inline]
+    pub fn feature(&self, i: usize, f: usize) -> f32 {
+        self.features[i * self.n_features + f]
+    }
+
+    /// Target of sample `i`.
+    #[inline]
+    pub fn target(&self, i: usize) -> f32 {
+        self.targets[i]
+    }
+
+    /// All targets.
+    #[inline]
+    pub fn targets(&self) -> &[f32] {
+        &self.targets
+    }
+
+    /// Mean target (the 0-rule baseline).
+    pub fn target_mean(&self) -> f32 {
+        if self.targets.is_empty() {
+            0.0
+        } else {
+            self.targets.iter().sum::<f32>() / self.targets.len() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let d = Dataset::from_rows(
+            &[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            &[10.0, 20.0, 30.0],
+        );
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert_eq!(d.feature(2, 1), 6.0);
+        assert_eq!(d.target(0), 10.0);
+        assert!((d.target_mean() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = Dataset::from_rows(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::from_rows(&[], &[]);
+        assert!(d.is_empty());
+        assert_eq!(d.target_mean(), 0.0);
+    }
+}

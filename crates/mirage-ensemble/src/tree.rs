@@ -1,0 +1,294 @@
+//! CART regression tree with variance-reduction splits.
+//!
+//! The building block for the Random Forest baseline (\[7\] in the paper).
+//! Splits greedily minimize the weighted child variance; leaves predict the
+//! sample mean.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Minimum samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum samples required to consider splitting a node.
+    pub min_samples_split: usize,
+    /// Features examined per split; `None` = all (set by the forest for
+    /// feature bagging).
+    pub feature_subsample: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 8,
+            min_samples_leaf: 2,
+            min_samples_split: 4,
+            feature_subsample: None,
+        }
+    }
+}
+
+/// Arena node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree on the sample indices `idx` of `data`.
+    pub fn fit_indices(
+        data: &Dataset,
+        idx: &[usize],
+        cfg: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!idx.is_empty(), "cannot fit a tree on zero samples");
+        let mut nodes = Vec::new();
+        let mut scratch: Vec<usize> = idx.to_vec();
+        build(data, &mut scratch, 0, cfg, rng, &mut nodes);
+        Self { nodes }
+    }
+
+    /// Fits a tree on the whole dataset.
+    pub fn fit(data: &Dataset, cfg: &TreeConfig, rng: &mut impl Rng) -> Self {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        Self::fit_indices(data, &idx, cfg, rng)
+    }
+
+    /// Predicts one feature row.
+    pub fn predict(&self, row: &[f32]) -> f32 {
+        let mut i = 0u32;
+        loop {
+            match &self.nodes[i as usize] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Node count (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached (diagnostic).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: u32) -> usize {
+            match &nodes[i as usize] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+/// Recursively builds the subtree over `idx`, returning its node id.
+fn build(
+    data: &Dataset,
+    idx: &mut [usize],
+    depth: usize,
+    cfg: &TreeConfig,
+    rng: &mut impl Rng,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    let mean = mean_of(data, idx);
+    if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+        nodes.push(Node::Leaf { value: mean });
+        return (nodes.len() - 1) as u32;
+    }
+    let Some((feature, threshold)) = best_split(data, idx, cfg, rng) else {
+        nodes.push(Node::Leaf { value: mean });
+        return (nodes.len() - 1) as u32;
+    };
+    // Partition in place.
+    let mid = partition(data, idx, feature, threshold);
+    if mid == 0 || mid == idx.len() {
+        nodes.push(Node::Leaf { value: mean });
+        return (nodes.len() - 1) as u32;
+    }
+    let me = nodes.len() as u32;
+    nodes.push(Node::Leaf { value: mean }); // placeholder, patched below
+    let (l_idx, r_idx) = idx.split_at_mut(mid);
+    let left = build(data, l_idx, depth + 1, cfg, rng, nodes);
+    let right = build(data, r_idx, depth + 1, cfg, rng, nodes);
+    nodes[me as usize] = Node::Split { feature, threshold, left, right };
+    me
+}
+
+fn mean_of(data: &Dataset, idx: &[usize]) -> f32 {
+    idx.iter().map(|&i| data.target(i)).sum::<f32>() / idx.len() as f32
+}
+
+fn partition(data: &Dataset, idx: &mut [usize], feature: usize, threshold: f32) -> usize {
+    let mut mid = 0;
+    for i in 0..idx.len() {
+        if data.feature(idx[i], feature) <= threshold {
+            idx.swap(i, mid);
+            mid += 1;
+        }
+    }
+    mid
+}
+
+/// Finds the variance-minimizing `(feature, threshold)` over `idx`, or
+/// `None` if no admissible split improves on the parent.
+fn best_split(
+    data: &Dataset,
+    idx: &[usize],
+    cfg: &TreeConfig,
+    rng: &mut impl Rng,
+) -> Option<(usize, f32)> {
+    let n = idx.len() as f32;
+    let total_sum: f32 = idx.iter().map(|&i| data.target(i)).sum();
+    let total_sq: f32 = idx.iter().map(|&i| data.target(i) * data.target(i)).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n;
+
+    let mut features: Vec<usize> = (0..data.n_features()).collect();
+    if let Some(k) = cfg.feature_subsample {
+        features.shuffle(rng);
+        features.truncate(k.max(1).min(features.len()));
+    }
+
+    let mut best: Option<(f32, usize, f32)> = None; // (sse, feature, threshold)
+    let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+    for &f in &features {
+        order.clear();
+        order.extend_from_slice(idx);
+        order.sort_by(|&a, &b| {
+            data.feature(a, f)
+                .partial_cmp(&data.feature(b, f))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_sum = 0.0f32;
+        let mut left_sq = 0.0f32;
+        for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
+            let y = data.target(i);
+            left_sum += y;
+            left_sq += y * y;
+            let nl = (k + 1) as f32;
+            let nr = n - nl;
+            if (k + 1) < cfg.min_samples_leaf || (order.len() - k - 1) < cfg.min_samples_leaf {
+                continue;
+            }
+            let xv = data.feature(i, f);
+            let xn = data.feature(order[k + 1], f);
+            if xv == xn {
+                continue; // cannot split between equal values
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            if best.map_or(sse < parent_sse - 1e-9, |(b, _, _)| sse < b) {
+                best = Some((sse, f, 0.5 * (xv + xn)));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn step_data(n: usize) -> Dataset {
+        // y = 1 if x0 > 0.5 else 0 — one split solves it.
+        let rows: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / n as f32, 0.0]).collect();
+        let ys: Vec<f32> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        Dataset::from_rows(&rows, &ys)
+    }
+
+    #[test]
+    fn learns_a_step_function_exactly() {
+        let data = step_data(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = RegressionTree::fit(&data, &TreeConfig::default(), &mut rng);
+        for i in 0..data.len() {
+            assert_eq!(tree.predict(data.row(i)), data.target(i));
+        }
+    }
+
+    #[test]
+    fn depth_zero_gives_mean_leaf() {
+        let data = step_data(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let tree = RegressionTree::fit(&data, &cfg, &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        let mean = data.target_mean();
+        assert!((tree.predict(data.row(0)) - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let data = step_data(20);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TreeConfig { min_samples_leaf: 10, ..TreeConfig::default() };
+        let tree = RegressionTree::fit(&data, &cfg, &mut rng);
+        // With min leaf = 10 on 20 samples only the midpoint split works.
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn constant_targets_need_no_split() {
+        let rows: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let ys = vec![5.0; 10];
+        let data = Dataset::from_rows(&rows, &ys);
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = RegressionTree::fit(&data, &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.node_count(), 1, "no split improves on a constant");
+        assert_eq!(tree.predict(&[3.0]), 5.0);
+    }
+
+    #[test]
+    fn learns_quadratic_within_tolerance() {
+        let rows: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32 / 200.0]).collect();
+        let ys: Vec<f32> = rows.iter().map(|r| r[0] * r[0]).collect();
+        let data = Dataset::from_rows(&rows, &ys);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TreeConfig { max_depth: 6, ..TreeConfig::default() };
+        let tree = RegressionTree::fit(&data, &cfg, &mut rng);
+        let mse: f32 = (0..data.len())
+            .map(|i| {
+                let d = tree.predict(data.row(i)) - data.target(i);
+                d * d
+            })
+            .sum::<f32>()
+            / data.len() as f32;
+        assert!(mse < 1e-3, "mse = {mse}");
+    }
+
+    #[test]
+    fn fit_is_deterministic_given_seed() {
+        let data = step_data(50);
+        let cfg = TreeConfig { feature_subsample: Some(1), ..TreeConfig::default() };
+        let t1 = RegressionTree::fit(&data, &cfg, &mut StdRng::seed_from_u64(9));
+        let t2 = RegressionTree::fit(&data, &cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(t1, t2);
+    }
+}

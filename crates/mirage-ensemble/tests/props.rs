@@ -1,0 +1,88 @@
+//! Property-based tests for the tree learners.
+
+use mirage_ensemble::{
+    Dataset, ForestConfig, GbdtConfig, GradientBoosting, RandomForest, RegressionTree, TreeConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        (prop::collection::vec(-10.0f32..10.0, 3), -100.0f32..100.0),
+        8..60,
+    )
+    .prop_map(|pairs| {
+        let (rows, ys): (Vec<Vec<f32>>, Vec<f32>) = pairs.into_iter().unzip();
+        Dataset::from_rows(&rows, &ys)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CART leaves are sample means, so predictions stay inside the target
+    /// range for any data.
+    #[test]
+    fn tree_predictions_bounded_by_targets(data in dataset_strategy()) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = RegressionTree::fit(&data, &TreeConfig::default(), &mut rng);
+        let lo = data.targets().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = data.targets().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for i in 0..data.len() {
+            let p = tree.predict(data.row(i));
+            prop_assert!(p >= lo - 1e-4 && p <= hi + 1e-4, "{p} outside [{lo},{hi}]");
+        }
+    }
+
+    /// Forest predictions are convex combinations of tree predictions, so
+    /// they are bounded by the target range too.
+    #[test]
+    fn forest_predictions_bounded(data in dataset_strategy()) {
+        let forest = RandomForest::fit(&data, &ForestConfig { n_trees: 7, ..Default::default() });
+        let lo = data.targets().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = data.targets().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for i in 0..data.len() {
+            let p = forest.predict(data.row(i));
+            prop_assert!(p >= lo - 1e-3 && p <= hi + 1e-3);
+        }
+    }
+
+    /// Boosting with zero rounds predicts the target mean exactly.
+    #[test]
+    fn gbdt_base_case(data in dataset_strategy()) {
+        let model = GradientBoosting::fit(&data, &GbdtConfig { n_rounds: 0, ..Default::default() });
+        let mean = data.target_mean();
+        prop_assert!((model.predict(data.row(0)) - mean).abs() < 1e-5);
+    }
+
+    /// Boosting training error is monotone non-increasing in rounds.
+    #[test]
+    fn gbdt_training_error_non_increasing(data in dataset_strategy()) {
+        let cfg = GbdtConfig { n_rounds: 12, subsample: 1.0, ..Default::default() };
+        let model = GradientBoosting::fit(&data, &cfg);
+        let mse_at = |rounds: usize| -> f64 {
+            (0..data.len())
+                .map(|i| {
+                    let d = model.predict_truncated(data.row(i), rounds) - data.target(i);
+                    (d as f64) * (d as f64)
+                })
+                .sum::<f64>() / data.len() as f64
+        };
+        let mut prev = mse_at(0);
+        for r in [3, 6, 12] {
+            let cur = mse_at(r);
+            prop_assert!(cur <= prev + 1e-4, "mse rose from {prev} to {cur} at {r} rounds");
+            prev = cur;
+        }
+    }
+
+    /// Fitting is deterministic for a fixed seed.
+    #[test]
+    fn fits_are_deterministic(data in dataset_strategy(), seed in 0u64..1000) {
+        let fc = ForestConfig { n_trees: 4, seed, ..Default::default() };
+        prop_assert_eq!(RandomForest::fit(&data, &fc), RandomForest::fit(&data, &fc));
+        let gc = GbdtConfig { n_rounds: 4, seed, ..Default::default() };
+        prop_assert_eq!(GradientBoosting::fit(&data, &gc), GradientBoosting::fit(&data, &gc));
+    }
+}

@@ -1,0 +1,127 @@
+//! Elementwise activations with exact backward passes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Matrix;
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// Gaussian error linear unit (tanh approximation, as in GPT/BERT).
+    Gelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Pass-through.
+    Identity,
+}
+
+/// Forward cache: the pre-activation input.
+#[derive(Debug, Clone)]
+pub struct ActivationCache {
+    x: Matrix,
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/π)
+
+impl Activation {
+    /// Scalar forward.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Gelu => {
+                let inner = GELU_C * (x + 0.044715 * x * x * x);
+                0.5 * x * (1.0 + inner.tanh())
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Scalar derivative at `x`.
+    #[inline]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Gelu => {
+                let u = GELU_C * (x + 0.044715 * x * x * x);
+                let t = u.tanh();
+                let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+                0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Matrix forward.
+    pub fn forward(self, x: &Matrix) -> (Matrix, ActivationCache) {
+        (x.map(|v| self.apply(v)), ActivationCache { x: x.clone() })
+    }
+
+    /// Matrix backward: `dx = dy ⊙ f′(x)`.
+    pub fn backward(self, cache: &ActivationCache, dy: &Matrix) -> Matrix {
+        let deriv = cache.x.map(|v| self.derivative(v));
+        dy.hadamard(&deriv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::row_vector(vec![-1.0, 0.0, 2.0]);
+        let (y, _) = Activation::Relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0, GELU(large) ≈ identity, GELU(-large) ≈ 0.
+        assert_eq!(Activation::Gelu.apply(0.0), 0.0);
+        assert!((Activation::Gelu.apply(10.0) - 10.0).abs() < 1e-4);
+        assert!(Activation::Gelu.apply(-10.0).abs() < 1e-4);
+        // Smooth positive bias near zero: GELU(1) ≈ 0.841.
+        assert!((Activation::Gelu.apply(1.0) - 0.841).abs() < 5e-3);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in [Activation::Relu, Activation::Gelu, Activation::Tanh, Activation::Identity] {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                if act == Activation::Relu && x.abs() < eps {
+                    continue; // kink
+                }
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative(x);
+                assert!(
+                    (numeric - analytic).abs() < 5e-3,
+                    "{act:?} at {x}: {analytic} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_backward_is_elementwise() {
+        let x = Matrix::row_vector(vec![-1.0, 2.0]);
+        let (_, cache) = Activation::Relu.forward(&x);
+        let dy = Matrix::row_vector(vec![3.0, 3.0]);
+        let dx = Activation::Relu.backward(&cache, &dy);
+        assert_eq!(dx.data(), &[0.0, 3.0]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Multi-head self-attention (Vaswani et al.) with manual backward pass.
+//!
+//! This is the mechanism §4.6 of the paper leans on: attention over the
+//! sequence of historical cluster snapshots "filters out irrelevant
+//! snapshots in history and identifies ones that contribute to prediction".
+
+use rand::Rng;
+
+use crate::linear::{Linear, LinearCache};
+use crate::param::{Grads, ParamSet};
+use crate::tensor::Matrix;
+
+/// Multi-head self-attention over a `seq × d_model` input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    /// Head count (must divide `d_model`).
+    pub heads: usize,
+    /// Model width.
+    pub d_model: usize,
+}
+
+/// Forward cache for the backward pass.
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    cq: LinearCache,
+    ck: LinearCache,
+    cv: LinearCache,
+    co: LinearCache,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Per-head softmaxed attention matrices (`seq × seq`).
+    attn: Vec<Matrix>,
+}
+
+impl MultiHeadAttention {
+    /// Allocates projection parameters.
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(heads > 0 && d_model.is_multiple_of(heads), "heads must divide d_model");
+        Self {
+            wq: Linear::new(ps, &format!("{name}.wq"), d_model, d_model, rng),
+            wk: Linear::new(ps, &format!("{name}.wk"), d_model, d_model, rng),
+            wv: Linear::new(ps, &format!("{name}.wv"), d_model, d_model, rng),
+            wo: Linear::new(ps, &format!("{name}.wo"), d_model, d_model, rng),
+            heads,
+            d_model,
+        }
+    }
+
+    /// Head width.
+    fn d_head(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// Self-attention forward over `x` (`seq × d_model`).
+    pub fn forward(&self, ps: &ParamSet, x: &Matrix) -> (Matrix, AttentionCache) {
+        let (q, cq) = self.wq.forward(ps, x);
+        let (k, ck) = self.wk.forward(ps, x);
+        let (v, cv) = self.wv.forward(ps, x);
+        let dh = self.d_head();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let seq = x.rows();
+        let mut concat = Matrix::zeros(seq, self.d_model);
+        let mut attn = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = col_slice(&q, h * dh, dh);
+            let kh = col_slice(&k, h * dh, dh);
+            let vh = col_slice(&v, h * dh, dh);
+            let scores = qh.matmul_t(&kh).scale(scale);
+            let a = scores.softmax_rows();
+            let oh = a.matmul(&vh);
+            col_slice_write(&mut concat, &oh, h * dh);
+            attn.push(a);
+        }
+        let (y, co) = self.wo.forward(ps, &concat);
+        (y, AttentionCache { cq, ck, cv, co, q, k, v, attn })
+    }
+
+    /// Backward pass; accumulates all projection gradients and returns `dx`.
+    pub fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &AttentionCache,
+        dy: &Matrix,
+        grads: &mut Grads,
+    ) -> Matrix {
+        let dh = self.d_head();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let seq = dy.rows();
+        let d_concat = self.wo.backward(ps, &cache.co, dy, grads);
+
+        let mut dq = Matrix::zeros(seq, self.d_model);
+        let mut dk = Matrix::zeros(seq, self.d_model);
+        let mut dv = Matrix::zeros(seq, self.d_model);
+        for h in 0..self.heads {
+            let doh = col_slice(&d_concat, h * dh, dh);
+            let qh = col_slice(&cache.q, h * dh, dh);
+            let kh = col_slice(&cache.k, h * dh, dh);
+            let vh = col_slice(&cache.v, h * dh, dh);
+            let a = &cache.attn[h];
+            // O = A·V
+            let da = doh.matmul_t(&vh);
+            let dvh = a.t_matmul(&doh);
+            // softmax backward (per row).
+            let ds = softmax_rows_backward(a, &da).scale(scale);
+            let dqh = ds.matmul(&kh);
+            let dkh = ds.t_matmul(&qh);
+            col_slice_write(&mut dq, &dqh, h * dh);
+            col_slice_write(&mut dk, &dkh, h * dh);
+            col_slice_write(&mut dv, &dvh, h * dh);
+        }
+        let dx_q = self.wq.backward(ps, &cache.cq, &dq, grads);
+        let dx_k = self.wk.backward(ps, &cache.ck, &dk, grads);
+        let dx_v = self.wv.backward(ps, &cache.cv, &dv, grads);
+        dx_q.add(&dx_k).add(&dx_v)
+    }
+}
+
+/// Copies columns `[start, start+width)` into a new matrix.
+fn col_slice(m: &Matrix, start: usize, width: usize) -> Matrix {
+    Matrix::from_fn(m.rows(), width, |r, c| m.get(r, start + c))
+}
+
+/// Writes `src` into columns `[start, ...)` of `dst`.
+fn col_slice_write(dst: &mut Matrix, src: &Matrix, start: usize) {
+    for r in 0..src.rows() {
+        for c in 0..src.cols() {
+            dst.set(r, start + c, src.get(r, c));
+        }
+    }
+}
+
+/// Row-wise softmax Jacobian-vector product: given the softmax output `a`
+/// and upstream `da`, returns `ds` where `s` are the pre-softmax scores.
+pub fn softmax_rows_backward(a: &Matrix, da: &Matrix) -> Matrix {
+    let mut ds = Matrix::zeros(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        let arow = a.row(r);
+        let darow = da.row(r);
+        let dot: f32 = arow.iter().zip(darow).map(|(x, y)| x * y).sum();
+        for c in 0..a.cols() {
+            ds.set(r, c, arow[c] * (darow[c] - dot));
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mha = MultiHeadAttention::new(&mut ps, "a", 8, 2, &mut rng);
+        let x = Matrix::xavier(5, 8, &mut rng);
+        let (y, cache) = mha.forward(&ps, &x);
+        assert_eq!(y.shape(), (5, 8));
+        assert_eq!(cache.attn.len(), 2);
+        // Attention rows are probability distributions.
+        for a in &cache.attn {
+            for r in 0..a.rows() {
+                let s: f32 = a.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide d_model")]
+    fn rejects_indivisible_heads() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = MultiHeadAttention::new(&mut ps, "a", 7, 2, &mut rng);
+    }
+
+    #[test]
+    fn softmax_backward_matches_jacobian() {
+        // For a 1×n row: ds_i = a_i (da_i − Σ_j da_j a_j).
+        let logits = Matrix::row_vector(vec![0.3, -0.2, 0.9]);
+        let a = logits.softmax_rows();
+        let da = Matrix::row_vector(vec![1.0, 0.0, -1.0]);
+        let ds = softmax_rows_backward(&a, &da);
+        // Finite differences through the softmax.
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut up = logits.clone();
+            up.set(0, i, up.get(0, i) + eps);
+            let mut dn = logits.clone();
+            dn.set(0, i, dn.get(0, i) - eps);
+            let f = |m: &Matrix| -> f32 {
+                let s = m.softmax_rows();
+                s.row(0).iter().zip(da.row(0)).map(|(x, y)| x * y).sum()
+            };
+            let num = (f(&up) - f(&dn)) / (2.0 * eps);
+            assert!((ds.get(0, i) - num).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mha = MultiHeadAttention::new(&mut ps, "a", 6, 2, &mut rng);
+        let x = Matrix::xavier(4, 6, &mut rng);
+        let wvec: Vec<f32> = (0..24).map(|i| ((i * 7) as f32 * 0.13).cos()).collect();
+        let weights = Matrix::from_vec(4, 6, wvec);
+        let loss = |ps: &ParamSet| mha.forward(ps, &x).0.hadamard(&weights).sum();
+        let (_, cache) = mha.forward(&ps, &x);
+        let mut grads = Grads::new(&ps);
+        let dx = mha.backward(&ps, &cache, &weights, &mut grads);
+        let ids = [
+            mha.wq.w, mha.wq.b, mha.wk.w, mha.wk.b, mha.wv.w, mha.wv.b, mha.wo.w, mha.wo.b,
+        ];
+        check_gradients(&mut ps, &ids, loss, &grads, 1e-2, 3e-2).unwrap();
+        // Spot-check dx.
+        let eps = 1e-2;
+        let mut x2 = x.clone();
+        for (r, c) in [(0, 0), (2, 3), (3, 5)] {
+            let orig = x2.get(r, c);
+            x2.set(r, c, orig + eps);
+            let up = mha.forward(&ps, &x2).0.hadamard(&weights).sum();
+            x2.set(r, c, orig - eps);
+            let dn = mha.forward(&ps, &x2).0.hadamard(&weights).sum();
+            x2.set(r, c, orig);
+            let num = (up - dn) / (2.0 * eps);
+            assert!((dx.get(r, c) - num).abs() < 3e-2, "dx[{r},{c}]");
+        }
+    }
+}

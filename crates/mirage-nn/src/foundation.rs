@@ -1,0 +1,184 @@
+//! Foundation-model abstraction: transformer vs MoE-transformer.
+//!
+//! The paper's dual-head architecture (Fig 5/6) shares one *foundation
+//! model* between the V-head and the P-head; the foundation is either a
+//! plain transformer encoder or an MoE of transformer experts. This module
+//! unifies the two behind one enum so agents are generic over the choice.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::moe::{GatingKind, MoECache, MoEFoundation};
+use crate::param::{Grads, ParamSet};
+use crate::tensor::Matrix;
+use crate::transformer::{TransformerCache, TransformerConfig, TransformerEncoder};
+
+/// Which foundation architecture to build (§6 compares both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FoundationKind {
+    /// Single transformer encoder.
+    Transformer,
+    /// Dense (weighted-average) MoE of transformer experts.
+    MoE {
+        /// Expert count (10 by default in the paper).
+        experts: usize,
+    },
+    /// Top-1 sparse MoE (kept for the ablation; the paper found it
+    /// inferior and omits its results).
+    MoETopOne {
+        /// Expert count.
+        experts: usize,
+    },
+}
+
+/// A foundation network: maps a `seq × m` state matrix to a `1 × d_model`
+/// feature row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FoundationNet {
+    /// Plain transformer encoder.
+    Transformer(TransformerEncoder),
+    /// Mixture-of-experts encoder.
+    MoE(MoEFoundation),
+}
+
+/// Forward cache of a foundation network.
+#[derive(Debug, Clone)]
+pub enum FoundationCache {
+    /// Transformer cache.
+    Transformer(TransformerCache),
+    /// MoE cache.
+    MoE(MoECache),
+}
+
+impl FoundationNet {
+    /// Builds the chosen architecture, allocating parameters in `ps`.
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        kind: FoundationKind,
+        cfg: TransformerConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        match kind {
+            FoundationKind::Transformer => {
+                FoundationNet::Transformer(TransformerEncoder::new(ps, name, cfg, rng))
+            }
+            FoundationKind::MoE { experts } => FoundationNet::MoE(MoEFoundation::new(
+                ps,
+                name,
+                cfg,
+                experts,
+                GatingKind::Dense,
+                rng,
+            )),
+            FoundationKind::MoETopOne { experts } => FoundationNet::MoE(MoEFoundation::new(
+                ps,
+                name,
+                cfg,
+                experts,
+                GatingKind::TopOne,
+                rng,
+            )),
+        }
+    }
+
+    /// Feature width.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            FoundationNet::Transformer(t) => t.out_dim(),
+            FoundationNet::MoE(m) => m.out_dim(),
+        }
+    }
+
+    /// Encodes a state matrix into a pooled feature row.
+    pub fn forward(&self, ps: &ParamSet, x: &Matrix) -> (Matrix, FoundationCache) {
+        match self {
+            FoundationNet::Transformer(t) => {
+                let (y, c) = t.forward(ps, x);
+                (y, FoundationCache::Transformer(c))
+            }
+            FoundationNet::MoE(m) => {
+                let (y, c) = m.forward(ps, x);
+                (y, FoundationCache::MoE(c))
+            }
+        }
+    }
+
+    /// Backward from the feature gradient; returns `dx`.
+    pub fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &FoundationCache,
+        d_feat: &Matrix,
+        grads: &mut Grads,
+    ) -> Matrix {
+        match (self, cache) {
+            (FoundationNet::Transformer(t), FoundationCache::Transformer(c)) => {
+                t.backward(ps, c, d_feat, grads)
+            }
+            (FoundationNet::MoE(m), FoundationCache::MoE(c)) => m.backward(ps, c, d_feat, grads),
+            _ => panic!("foundation cache kind mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> TransformerConfig {
+        TransformerConfig { input_dim: 4, seq_len: 3, d_model: 8, heads: 2, layers: 1, ff_mult: 2 }
+    }
+
+    #[test]
+    fn all_kinds_produce_features() {
+        for kind in [
+            FoundationKind::Transformer,
+            FoundationKind::MoE { experts: 2 },
+            FoundationKind::MoETopOne { experts: 2 },
+        ] {
+            let mut ps = ParamSet::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let net = FoundationNet::new(&mut ps, "f", kind, tiny(), &mut rng);
+            let x = Matrix::xavier(3, 4, &mut rng);
+            let (y, cache) = net.forward(&ps, &x);
+            assert_eq!(y.shape(), (1, 8));
+            assert_eq!(net.out_dim(), 8);
+            let mut grads = Grads::new(&ps);
+            let dx = net.backward(&ps, &cache, &Matrix::full(1, 8, 1.0), &mut grads);
+            assert_eq!(dx.shape(), (3, 4));
+            assert!(grads.iter().count() > 0);
+        }
+    }
+
+    #[test]
+    fn moe_has_more_parameters_than_transformer() {
+        let mut ps_t = ParamSet::new();
+        let mut ps_m = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _t = FoundationNet::new(&mut ps_t, "f", FoundationKind::Transformer, tiny(), &mut rng);
+        let _m = FoundationNet::new(
+            &mut ps_m,
+            "f",
+            FoundationKind::MoE { experts: 4 },
+            tiny(),
+            &mut rng,
+        );
+        assert!(ps_m.scalar_count() > 3 * ps_t.scalar_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "cache kind mismatch")]
+    fn mismatched_cache_panics() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = FoundationNet::new(&mut ps, "t", FoundationKind::Transformer, tiny(), &mut rng);
+        let m = FoundationNet::new(&mut ps, "m", FoundationKind::MoE { experts: 2 }, tiny(), &mut rng);
+        let x = Matrix::xavier(3, 4, &mut rng);
+        let (_, c_moe) = m.forward(&ps, &x);
+        let mut grads = Grads::new(&ps);
+        let _ = t.backward(&ps, &c_moe, &Matrix::zeros(1, 8), &mut grads);
+    }
+}

@@ -1,0 +1,88 @@
+//! Finite-difference gradient checking.
+//!
+//! Every manual backward pass in this crate is validated against central
+//! differences. The checker is public so downstream crates (the RL heads,
+//! the dual-head agent) can verify their own composite losses too.
+
+use crate::param::{Grads, ParamId, ParamSet};
+
+/// Verifies analytic gradients of `loss` with central finite differences.
+///
+/// For each parameter in `ids`, perturbs every element by `±eps` and
+/// compares `(loss(x+eps) − loss(x−eps)) / 2eps` against the accumulated
+/// analytic gradient. Fails if any element deviates by more than
+/// `tol · max(1, |analytic|)`.
+///
+/// `loss` must be a pure function of the parameter set.
+pub fn check_gradients(
+    ps: &mut ParamSet,
+    ids: &[ParamId],
+    loss: impl Fn(&ParamSet) -> f32,
+    grads: &Grads,
+    eps: f32,
+    tol: f32,
+) -> Result<(), String> {
+    for &id in ids {
+        let (rows, cols) = ps.get(id).shape();
+        let analytic = grads
+            .get(id)
+            .ok_or_else(|| format!("no gradient accumulated for {}", ps.name(id)))?
+            .clone();
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = ps.get(id).get(r, c);
+                ps.get_mut(id).set(r, c, orig + eps);
+                let up = loss(ps);
+                ps.get_mut(id).set(r, c, orig - eps);
+                let down = loss(ps);
+                ps.get_mut(id).set(r, c, orig);
+                let numeric = (up - down) / (2.0 * eps);
+                let a = analytic.get(r, c);
+                let scale = a.abs().max(1.0);
+                if (a - numeric).abs() > tol * scale {
+                    return Err(format!(
+                        "{}[{r},{c}]: analytic {a:.5} vs numeric {numeric:.5}",
+                        ps.name(id)
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Matrix;
+
+    #[test]
+    fn accepts_correct_gradient() {
+        // loss = sum(w^2) → dloss/dw = 2w.
+        let mut ps = ParamSet::new();
+        let w = ps.alloc("w", Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]));
+        let mut grads = Grads::new(&ps);
+        grads.accumulate(w, ps.get(w).scale(2.0));
+        let loss = |ps: &ParamSet| ps.get(w).data().iter().map(|v| v * v).sum::<f32>();
+        check_gradients(&mut ps, &[w], loss, &grads, 1e-3, 1e-2).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_gradient() {
+        let mut ps = ParamSet::new();
+        let w = ps.alloc("w", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let mut grads = Grads::new(&ps);
+        grads.accumulate(w, Matrix::row_vector(vec![100.0, 100.0]));
+        let loss = |ps: &ParamSet| ps.get(w).sum();
+        assert!(check_gradients(&mut ps, &[w], loss, &grads, 1e-3, 1e-2).is_err());
+    }
+
+    #[test]
+    fn reports_missing_gradient() {
+        let mut ps = ParamSet::new();
+        let w = ps.alloc("w", Matrix::zeros(1, 1));
+        let grads = Grads::new(&ps);
+        let err = check_gradients(&mut ps, &[w], |_| 0.0, &grads, 1e-3, 1e-2).unwrap_err();
+        assert!(err.contains("no gradient"));
+    }
+}

@@ -1,0 +1,53 @@
+//! From-scratch neural-network substrate for the Mirage reproduction.
+//!
+//! The paper builds its provisioner on PyTorch; this crate provides the
+//! equivalent pieces natively in Rust (DESIGN.md §3, substitution 2):
+//!
+//! * [`tensor::Matrix`] — the dense f32 matrix everything runs on,
+//! * [`param`] — parameter store + gradient accumulators (stateless,
+//!   thread-parallel-friendly modules),
+//! * [`linear`], [`activation`], [`layernorm`], [`attention`] — layers
+//!   with manual, finite-difference-checked backward passes,
+//! * [`transformer`] — the pre-LN encoder foundation model of §4.6,
+//! * [`moe`] — dense and top-1 mixture-of-experts foundations of §4.7,
+//! * [`foundation`] — the transformer/MoE abstraction agents build on,
+//! * [`optim`] — SGD and Adam,
+//! * [`loss`] — MSE/Huber/cross-entropy/REINFORCE surrogates,
+//! * [`gradcheck`] — the finite-difference checker used across the tests,
+//! * [`serialize`] — JSON checkpoints.
+
+pub mod activation;
+pub mod attention;
+pub mod foundation;
+pub mod gradcheck;
+pub mod layernorm;
+pub mod linear;
+pub mod loss;
+pub mod moe;
+pub mod optim;
+pub mod param;
+pub mod serialize;
+pub mod tensor;
+pub mod transformer;
+
+pub use activation::Activation;
+pub use attention::MultiHeadAttention;
+pub use foundation::{FoundationCache, FoundationKind, FoundationNet};
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use moe::{GatingKind, MoEFoundation};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use param::{Grads, ParamId, ParamSet};
+pub use tensor::Matrix;
+pub use transformer::{TransformerConfig, TransformerEncoder};
+
+/// Convenience imports.
+pub mod prelude {
+    pub use crate::activation::Activation;
+    pub use crate::foundation::{FoundationKind, FoundationNet};
+    pub use crate::linear::Linear;
+    pub use crate::optim::{Adam, Optimizer, Sgd};
+    pub use crate::param::{Grads, ParamId, ParamSet};
+    pub use crate::tensor::Matrix;
+    pub use crate::transformer::{TransformerConfig, TransformerEncoder};
+}

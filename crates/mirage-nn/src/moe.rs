@@ -1,0 +1,260 @@
+//! Mixture-of-Experts foundation model (§2.4, §4.7 of the paper).
+//!
+//! `E` expert transformer encoders share an architecture; a softmax gating
+//! layer computes per-expert weights from the flattened input (Eq. 7):
+//! `G(x) = softmax(x · W)`. Two combination schemes are implemented, as in
+//! the paper:
+//!
+//! * **dense** — the weighted average of all expert outputs (the paper's
+//!   default; Top-1 was found inferior but is kept for the ablation),
+//! * **top-1 sparse** — only the argmax expert runs, scaled by its gate
+//!   weight (cheaper, sparsely activated).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::attention::softmax_rows_backward;
+use crate::linear::{Linear, LinearCache};
+use crate::param::{Grads, ParamSet};
+use crate::tensor::Matrix;
+use crate::transformer::{TransformerCache, TransformerConfig, TransformerEncoder};
+
+/// Expert combination scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GatingKind {
+    /// Weighted average of all experts (dense MoE).
+    Dense,
+    /// Only the highest-gate expert is evaluated (sparse MoE).
+    TopOne,
+}
+
+/// MoE of transformer experts with a learned softmax gate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MoEFoundation {
+    /// Expert encoders (identical architecture, independent parameters).
+    pub experts: Vec<TransformerEncoder>,
+    /// Gating layer over the flattened state (`seq·m → E`).
+    pub gate: Linear,
+    /// Combination scheme.
+    pub kind: GatingKind,
+    cfg: TransformerConfig,
+}
+
+/// MoE forward cache.
+#[derive(Debug, Clone)]
+pub struct MoECache {
+    c_gate: LinearCache,
+    /// Gate probabilities (`1 × E`).
+    gate_probs: Matrix,
+    /// Expert outputs and caches; `None` for experts skipped under Top-1.
+    expert_out: Vec<Option<(Matrix, TransformerCache)>>,
+    x_shape: (usize, usize),
+}
+
+impl MoEFoundation {
+    /// Builds `n_experts` expert encoders plus the gate.
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        cfg: TransformerConfig,
+        n_experts: usize,
+        kind: GatingKind,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(n_experts >= 1, "need at least one expert");
+        let experts = (0..n_experts)
+            .map(|e| TransformerEncoder::new(ps, &format!("{name}.expert{e}"), cfg, rng))
+            .collect();
+        let gate = Linear::new(
+            ps,
+            &format!("{name}.gate"),
+            cfg.input_dim * cfg.seq_len,
+            n_experts,
+            rng,
+        );
+        Self { experts, gate, kind, cfg }
+    }
+
+    /// Expert count.
+    pub fn n_experts(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Output feature width (same as each expert's).
+    pub fn out_dim(&self) -> usize {
+        self.cfg.d_model
+    }
+
+    /// Forward over a `seq × input_dim` state matrix.
+    pub fn forward(&self, ps: &ParamSet, x: &Matrix) -> (Matrix, MoECache) {
+        // Gate sees the zero-padded flattened state so short sequences work.
+        let flat = flatten_padded(x, self.cfg.seq_len, self.cfg.input_dim);
+        let (logits, c_gate) = self.gate.forward(ps, &flat);
+        let gate_probs = logits.softmax_rows();
+
+        let mut out = Matrix::zeros(1, self.out_dim());
+        let mut expert_out: Vec<Option<(Matrix, TransformerCache)>> =
+            (0..self.experts.len()).map(|_| None).collect();
+        match self.kind {
+            GatingKind::Dense => {
+                for (e, expert) in self.experts.iter().enumerate() {
+                    let (feat, cache) = expert.forward(ps, x);
+                    out.add_scaled(&feat, gate_probs.get(0, e));
+                    expert_out[e] = Some((feat, cache));
+                }
+            }
+            GatingKind::TopOne => {
+                let best = gate_probs.argmax();
+                let (feat, cache) = self.experts[best].forward(ps, x);
+                out.add_scaled(&feat, gate_probs.get(0, best));
+                expert_out[best] = Some((feat, cache));
+            }
+        }
+        (
+            out,
+            MoECache { c_gate, gate_probs, expert_out, x_shape: x.shape() },
+        )
+    }
+
+    /// Backward pass; accumulates gate and (active) expert gradients and
+    /// returns `dx`.
+    pub fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &MoECache,
+        d_out: &Matrix,
+        grads: &mut Grads,
+    ) -> Matrix {
+        let e_count = self.experts.len();
+        // d gate_probs_e = ⟨d_out, feat_e⟩ for active experts.
+        let mut d_gate_probs = Matrix::zeros(1, e_count);
+        let (rows, cols) = cache.x_shape;
+        let mut dx = Matrix::zeros(rows, cols);
+        for (e, slot) in cache.expert_out.iter().enumerate() {
+            let Some((feat, ecache)) = slot else { continue };
+            let g = cache.gate_probs.get(0, e);
+            d_gate_probs.set(0, e, d_out.hadamard(feat).sum());
+            let d_feat = d_out.scale(g);
+            let dxe = self.experts[e].backward(ps, ecache, &d_feat, grads);
+            dx.add_assign(&dxe);
+        }
+        // Through the softmax and the gate linear.
+        let d_logits = softmax_rows_backward(&cache.gate_probs, &d_gate_probs);
+        let d_flat = self.gate.backward(ps, &cache.c_gate, &d_logits, grads);
+        // Fold the flattened-gate gradient back onto the (unpadded) input.
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dx.get(r, c) + d_flat.get(0, r * self.cfg.input_dim + c);
+                dx.set(r, c, v);
+            }
+        }
+        dx
+    }
+}
+
+/// Flattens `x` row-major into a `1 × (seq_len·width)` vector, zero-padding
+/// missing rows.
+fn flatten_padded(x: &Matrix, seq_len: usize, width: usize) -> Matrix {
+    let mut flat = Matrix::zeros(1, seq_len * width);
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            flat.set(0, r * width + c, x.get(r, c));
+        }
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> TransformerConfig {
+        TransformerConfig { input_dim: 3, seq_len: 3, d_model: 4, heads: 2, layers: 1, ff_mult: 2 }
+    }
+
+    #[test]
+    fn dense_moe_mixes_all_experts() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let moe = MoEFoundation::new(&mut ps, "m", tiny(), 3, GatingKind::Dense, &mut rng);
+        let x = Matrix::xavier(3, 3, &mut rng);
+        let (y, cache) = moe.forward(&ps, &x);
+        assert_eq!(y.shape(), (1, 4));
+        assert_eq!(cache.expert_out.iter().filter(|e| e.is_some()).count(), 3);
+        let gsum: f32 = cache.gate_probs.data().iter().sum();
+        assert!((gsum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn top_one_runs_exactly_one_expert() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let moe = MoEFoundation::new(&mut ps, "m", tiny(), 4, GatingKind::TopOne, &mut rng);
+        let x = Matrix::xavier(3, 3, &mut rng);
+        let (_, cache) = moe.forward(&ps, &x);
+        assert_eq!(cache.expert_out.iter().filter(|e| e.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let moe = MoEFoundation::new(&mut ps, "m", tiny(), 2, GatingKind::Dense, &mut rng);
+        let x = Matrix::xavier(3, 3, &mut rng);
+        let weights = Matrix::row_vector(vec![0.3, -0.7, 1.1, 0.5]);
+        let loss = |ps: &ParamSet| moe.forward(ps, &x).0.hadamard(&weights).sum();
+        let (_, cache) = moe.forward(&ps, &x);
+        let mut grads = Grads::new(&ps);
+        let dx = moe.backward(&ps, &cache, &weights, &mut grads);
+        let ids: Vec<_> = ps.iter().map(|(id, _)| id).collect();
+        check_gradients(&mut ps, &ids, loss, &grads, 1e-2, 5e-2).unwrap();
+        // dx spot checks (gate path + expert path both contribute).
+        let eps = 1e-2;
+        let mut x2 = x.clone();
+        for (r, c) in [(0, 0), (1, 2), (2, 1)] {
+            let orig = x2.get(r, c);
+            x2.set(r, c, orig + eps);
+            let up = moe.forward(&ps, &x2).0.hadamard(&weights).sum();
+            x2.set(r, c, orig - eps);
+            let dn = moe.forward(&ps, &x2).0.hadamard(&weights).sum();
+            x2.set(r, c, orig);
+            let num = (up - dn) / (2.0 * eps);
+            assert!((dx.get(r, c) - num).abs() < 5e-2, "dx[{r},{c}]");
+        }
+    }
+
+    #[test]
+    fn top_one_gradients_flow_to_active_expert_only() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let moe = MoEFoundation::new(&mut ps, "m", tiny(), 2, GatingKind::TopOne, &mut rng);
+        let x = Matrix::xavier(3, 3, &mut rng);
+        let (_, cache) = moe.forward(&ps, &x);
+        let active = cache.expert_out.iter().position(|e| e.is_some()).unwrap();
+        let inactive = 1 - active;
+        let mut grads = Grads::new(&ps);
+        let d = Matrix::full(1, 4, 1.0);
+        moe.backward(&ps, &cache, &d, &mut grads);
+        // Gate always receives gradient.
+        assert!(grads.get(moe.gate.w).is_some());
+        // The active expert's embed weight has gradient, the other's none.
+        assert!(grads.get(moe.experts[active].embed_w()).is_some());
+        assert!(grads.get(moe.experts[inactive].embed_w()).is_none());
+    }
+
+    #[test]
+    fn padding_keeps_short_sequences_working() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let moe = MoEFoundation::new(&mut ps, "m", tiny(), 2, GatingKind::Dense, &mut rng);
+        let x = Matrix::xavier(2, 3, &mut rng); // shorter than seq_len = 3
+        let (y, cache) = moe.forward(&ps, &x);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let mut grads = Grads::new(&ps);
+        let dx = moe.backward(&ps, &cache, &Matrix::full(1, 4, 1.0), &mut grads);
+        assert_eq!(dx.shape(), (2, 3));
+    }
+}

@@ -1,0 +1,231 @@
+//! Parameter storage and gradient accumulation.
+//!
+//! Modules are *stateless*: they hold [`ParamId`] handles into a shared
+//! [`ParamSet`] and thread explicit caches between `forward` and
+//! `backward`. That makes data-parallel training trivial — many threads
+//! run forward/backward against `&ParamSet` and produce private [`Grads`]
+//! that are then merged — and it keeps optimizer state (Adam moments)
+//! aligned with parameters by index.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Matrix;
+
+/// Handle to one parameter matrix inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// Flat store of named parameter matrices.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamSet {
+    params: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamSet {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn alloc(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.params.push(value);
+        self.names.push(name.into());
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Parameter by handle.
+    #[inline]
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0]
+    }
+
+    /// Mutable parameter by handle.
+    #[inline]
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0]
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar parameter count (for model-size reporting).
+    pub fn scalar_count(&self) -> usize {
+        self.params.iter().map(|m| m.rows() * m.cols()).sum()
+    }
+
+    /// Iterates over `(id, matrix)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.params.iter().enumerate().map(|(i, m)| (ParamId(i), m))
+    }
+
+    /// Applies `update(param, grad)` for every parameter with a gradient.
+    pub fn apply_grads(&mut self, grads: &Grads, mut update: impl FnMut(&mut Matrix, &Matrix)) {
+        for (i, g) in grads.iter() {
+            update(&mut self.params[i.0], g);
+        }
+    }
+}
+
+/// Gradient accumulator parallel to a [`ParamSet`].
+///
+/// Entries are lazily allocated: untouched parameters cost nothing, which
+/// matters when only a head is being trained on top of a frozen foundation.
+#[derive(Debug, Clone, Default)]
+pub struct Grads {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Grads {
+    /// Empty accumulator sized for `params`.
+    pub fn new(params: &ParamSet) -> Self {
+        Self { grads: vec![None; params.len()] }
+    }
+
+    /// Accumulates `g` into the gradient of `id`.
+    pub fn accumulate(&mut self, id: ParamId, g: Matrix) {
+        match &mut self.grads[id.0] {
+            Some(existing) => existing.add_assign(&g),
+            slot => *slot = Some(g),
+        }
+    }
+
+    /// Gradient of `id`, if any has been accumulated.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads[id.0].as_ref()
+    }
+
+    /// Merges another accumulator into this one (summing).
+    pub fn merge(&mut self, other: Grads) {
+        assert_eq!(self.grads.len(), other.grads.len(), "grads size mismatch");
+        for (mine, theirs) in self.grads.iter_mut().zip(other.grads) {
+            match (mine.as_mut(), theirs) {
+                (Some(m), Some(t)) => m.add_assign(&t),
+                (None, Some(t)) => *mine = Some(t),
+                _ => {}
+            }
+        }
+    }
+
+    /// Scales every gradient by `alpha` (e.g. 1/batch for averaging).
+    pub fn scale(&mut self, alpha: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            *g = g.scale(alpha);
+        }
+    }
+
+    /// Global L2 norm across all gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| g.data().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips the global norm to `max_norm` (no-op if already within).
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+    }
+
+    /// Iterates over accumulated `(id, grad)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (ParamId(i), g)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_lookup() {
+        let mut ps = ParamSet::new();
+        let a = ps.alloc("w", Matrix::full(2, 2, 1.0));
+        let b = ps.alloc("b", Matrix::zeros(1, 2));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.name(a), "w");
+        assert_eq!(ps.name(b), "b");
+        assert_eq!(ps.scalar_count(), 6);
+        ps.get_mut(b).set(0, 0, 5.0);
+        assert_eq!(ps.get(b).get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn grads_accumulate_and_merge() {
+        let mut ps = ParamSet::new();
+        let a = ps.alloc("a", Matrix::zeros(1, 2));
+        let b = ps.alloc("b", Matrix::zeros(1, 2));
+        let mut g1 = Grads::new(&ps);
+        g1.accumulate(a, Matrix::row_vector(vec![1.0, 2.0]));
+        g1.accumulate(a, Matrix::row_vector(vec![1.0, 1.0]));
+        let mut g2 = Grads::new(&ps);
+        g2.accumulate(a, Matrix::row_vector(vec![1.0, 0.0]));
+        g2.accumulate(b, Matrix::row_vector(vec![5.0, 5.0]));
+        g1.merge(g2);
+        assert_eq!(g1.get(a).unwrap().data(), &[3.0, 3.0]);
+        assert_eq!(g1.get(b).unwrap().data(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn untouched_params_have_no_grad() {
+        let mut ps = ParamSet::new();
+        let a = ps.alloc("a", Matrix::zeros(1, 2));
+        let b = ps.alloc("b", Matrix::zeros(1, 2));
+        let mut g = Grads::new(&ps);
+        g.accumulate(a, Matrix::row_vector(vec![1.0, 1.0]));
+        assert!(g.get(b).is_none());
+        assert_eq!(g.iter().count(), 1);
+    }
+
+    #[test]
+    fn global_norm_and_clipping() {
+        let mut ps = ParamSet::new();
+        let a = ps.alloc("a", Matrix::zeros(1, 2));
+        let mut g = Grads::new(&ps);
+        g.accumulate(a, Matrix::row_vector(vec![3.0, 4.0]));
+        assert!((g.global_norm() - 5.0).abs() < 1e-6);
+        g.clip_global_norm(1.0);
+        assert!((g.global_norm() - 1.0).abs() < 1e-6);
+        // Already-small gradients are untouched.
+        let before = g.get(a).unwrap().clone();
+        g.clip_global_norm(10.0);
+        assert_eq!(g.get(a).unwrap(), &before);
+    }
+
+    #[test]
+    fn apply_grads_visits_only_touched_params() {
+        let mut ps = ParamSet::new();
+        let a = ps.alloc("a", Matrix::full(1, 2, 1.0));
+        let _b = ps.alloc("b", Matrix::full(1, 2, 1.0));
+        let mut g = Grads::new(&ps);
+        g.accumulate(a, Matrix::row_vector(vec![0.5, 0.5]));
+        let mut visits = 0;
+        ps.apply_grads(&g, |p, gr| {
+            visits += 1;
+            p.add_scaled(gr, -1.0);
+        });
+        assert_eq!(visits, 1);
+        assert_eq!(ps.get(a).data(), &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Checkpointing: save/load parameter sets as JSON.
+//!
+//! JSON keeps checkpoints human-inspectable and append-friendly for the
+//! experiment manifests; the models here are small enough (10⁴–10⁶
+//! scalars) that a binary format buys nothing.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::param::ParamSet;
+
+/// Saves a parameter set to `path` as JSON.
+pub fn save_params(ps: &ParamSet, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    serde_json::to_writer(&mut w, ps)?;
+    w.flush()
+}
+
+/// Loads a parameter set from a JSON file written by [`save_params`].
+pub fn load_params(path: impl AsRef<Path>) -> std::io::Result<ParamSet> {
+    let file = File::open(path)?;
+    let r = BufReader::new(file);
+    Ok(serde_json::from_reader(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Matrix;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut ps = ParamSet::new();
+        let a = ps.alloc("layer.w", Matrix::from_vec(2, 2, vec![1.5, -2.0, 0.0, 3.25]));
+        let b = ps.alloc("layer.b", Matrix::row_vector(vec![0.5]));
+        let dir = std::env::temp_dir().join("mirage_nn_ser_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        save_params(&ps, &path).unwrap();
+        let loaded = load_params(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(a), ps.get(a));
+        assert_eq!(loaded.get(b), ps.get(b));
+        assert_eq!(loaded.name(a), "layer.w");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_params("/nonexistent/mirage/ckpt.json").is_err());
+    }
+}

@@ -1,0 +1,450 @@
+//! Dense row-major f32 matrix — the only tensor type the substrate needs.
+//!
+//! Kept deliberately small: the Mirage networks are 2-D at every point
+//! (sequences are handled as `seq_len × d_model` matrices, mini-batches by
+//! data-parallel per-sample passes). Matmul switches to rayon row
+//! parallelism above a size threshold.
+
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Element count above which matmul fans out across rayon threads.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Self { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing buffer (`data.len()` must equal `rows × cols`).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Self { rows, cols, data }
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Self { rows: 1, cols, data }
+    }
+
+    /// Xavier/Glorot uniform initialization for a `rows × cols` weight.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        Self::from_fn(rows, cols, |_, _| rng.gen_range(-bound..bound))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Flat element view.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat element view.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {:?} × {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let work = self.rows * self.cols * rhs.cols;
+        if work >= PAR_THRESHOLD * 64 {
+            let cols = self.cols;
+            let rcols = rhs.cols;
+            out.data
+                .par_chunks_mut(rcols)
+                .zip(self.data.par_chunks(cols))
+                .for_each(|(orow, arow)| {
+                    matmul_row(arow, &rhs.data, rcols, orow);
+                });
+        } else {
+            for r in 0..self.rows {
+                let arow = self.row(r);
+                let orow = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                matmul_row(arow, &rhs.data, rhs.cols, orow);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × rhs` without materializing the transpose.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul shape mismatch: {:?}ᵀ × {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = rhs.row(r);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × rhsᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t shape mismatch: {:?} × {:?}ᵀ",
+            self.shape(),
+            rhs.shape()
+        );
+        Matrix::from_fn(self.rows, rhs.rows, |r, c| {
+            dot(self.row(r), rhs.row(c))
+        })
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Elementwise sum (shapes must match).
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place elementwise `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * rhs`.
+    pub fn add_scaled(&mut self, rhs: &Matrix, alpha: f32) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * alpha).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Adds a `1 × cols` row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sums all rows into a `1 × cols` vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Mean of all rows as a `1 × cols` vector.
+    pub fn mean_rows(&self) -> Matrix {
+        self.sum_rows().scale(1.0 / self.rows.max(1) as f32)
+    }
+
+    /// Row-wise softmax (numerically stabilized).
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            softmax_in_place(out.row_mut(r));
+        }
+        out
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.data.iter().map(|&v| f(v)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element in a `1 × n` or `n × 1` vector.
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[inline]
+fn matmul_row(arow: &[f32], b: &[f32], bcols: usize, out: &mut [f32]) {
+    // k-outer loop: streams through B row-by-row, vectorizer-friendly.
+    for (k, &a) in arow.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let brow = &b[k * bcols..(k + 1) * bcols];
+        for (o, &bv) in out.iter_mut().zip(brow) {
+            *o += a * bv;
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Numerically-stable in-place softmax of one slice.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::xavier(80, 96, &mut rng);
+        let b = Matrix::xavier(96, 72, &mut rng);
+        let c = a.matmul(&b);
+        // Serial reference.
+        let expected = Matrix::from_fn(80, 72, |r, k| {
+            (0..96).map(|j| a.get(r, j) * b.get(j, k)).sum()
+        });
+        for (x, y) in c.data().iter().zip(expected.data()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transposed_products_agree_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::xavier(7, 5, &mut rng);
+        let b = Matrix::xavier(7, 4, &mut rng);
+        let c = Matrix::xavier(6, 5, &mut rng);
+        let tm = a.t_matmul(&b);
+        let tm_ref = a.transpose().matmul(&b);
+        for (x, y) in tm.data().iter().zip(tm_ref.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        let mt = a.matmul_t(&c);
+        let mt_ref = a.matmul(&c.transpose());
+        for (x, y) in mt.data().iter().zip(mt_ref.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Large inputs do not overflow (stability shift).
+        assert!((s.get(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+        // Monotone in the logits.
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = a.add_row_broadcast(&Matrix::row_vector(vec![10.0, 20.0, 30.0]));
+        assert_eq!(b.row(0), &[11.0, 22.0, 33.0]);
+        assert_eq!(b.row(1), &[14.0, 25.0, 36.0]);
+        assert_eq!(a.sum_rows().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.mean_rows().data(), &[2.5, 3.5, 4.5]);
+        assert_eq!(a.sum(), 21.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(1, 3, &[1.0, -2.0, 3.0]);
+        let b = m(1, 3, &[2.0, 2.0, 2.0]);
+        assert_eq!(a.add(&b).data(), &[3.0, 0.0, 5.0]);
+        assert_eq!(a.sub(&b).data(), &[-1.0, -4.0, 1.0]);
+        assert_eq!(a.hadamard(&b).data(), &[2.0, -4.0, 6.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, -4.0, 6.0]);
+        assert_eq!(a.map(f32::abs).data(), &[1.0, 2.0, 3.0]);
+        let mut c = a.clone();
+        c.add_scaled(&b, 0.5);
+        assert_eq!(c.data(), &[2.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn argmax_and_norm() {
+        let a = m(1, 4, &[0.1, 3.0, -2.0, 1.0]);
+        assert_eq!(a.argmax(), 1);
+        let b = m(1, 2, &[3.0, 4.0]);
+        assert!((b.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Matrix::xavier(64, 64, &mut rng);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound));
+        let mut rng2 = StdRng::seed_from_u64(3);
+        assert_eq!(w, Matrix::xavier(64, 64, &mut rng2));
+    }
+}

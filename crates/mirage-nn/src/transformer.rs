@@ -1,0 +1,305 @@
+//! Transformer encoder (pre-LN) — the paper's foundation model (§4.6).
+//!
+//! The encoder consumes the `k × m` state matrix of §4.2 as a sequence of
+//! `k` snapshot rows: each row is embedded to `d_model`, sinusoidal
+//! positional encodings are added, the stack of encoder layers mixes
+//! history with multi-head self-attention, and mean-pooling produces the
+//! `1 × d_model` feature the V-head / P-head decision layers consume.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{Activation, ActivationCache};
+use crate::attention::{AttentionCache, MultiHeadAttention};
+use crate::layernorm::{LayerNorm, LayerNormCache};
+use crate::linear::{Linear, LinearCache};
+use crate::param::{Grads, ParamSet};
+use crate::tensor::Matrix;
+
+/// Transformer encoder hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Width of one input snapshot row (`m`, 40 in the paper).
+    pub input_dim: usize,
+    /// History length in snapshots (`k`, 144 in the paper).
+    pub seq_len: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Encoder layer count.
+    pub layers: usize,
+    /// Feed-forward expansion factor (`d_ff = ff_mult × d_model`).
+    pub ff_mult: usize,
+}
+
+impl TransformerConfig {
+    /// Small defaults used by the experiment harness (DESIGN.md §3,
+    /// substitution 3): k = 24 rows of m = 40 variables, d_model = 32.
+    pub fn small(input_dim: usize, seq_len: usize) -> Self {
+        Self { input_dim, seq_len, d_model: 32, heads: 4, layers: 2, ff_mult: 2 }
+    }
+}
+
+/// One pre-LN encoder layer:
+/// `h = x + MHSA(LN1(x))`; `y = h + FFN(LN2(h))`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncoderLayer {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    act: Activation,
+}
+
+/// Cache of one encoder layer.
+#[derive(Debug, Clone)]
+pub struct EncoderLayerCache {
+    c_ln1: LayerNormCache,
+    c_attn: AttentionCache,
+    c_ln2: LayerNormCache,
+    c_ff1: LinearCache,
+    c_act: ActivationCache,
+    c_ff2: LinearCache,
+}
+
+impl EncoderLayer {
+    fn new(ps: &mut ParamSet, name: &str, cfg: &TransformerConfig, rng: &mut impl Rng) -> Self {
+        let d = cfg.d_model;
+        let d_ff = cfg.ff_mult * d;
+        Self {
+            ln1: LayerNorm::new(ps, &format!("{name}.ln1"), d),
+            attn: MultiHeadAttention::new(ps, &format!("{name}.attn"), d, cfg.heads, rng),
+            ln2: LayerNorm::new(ps, &format!("{name}.ln2"), d),
+            ff1: Linear::new(ps, &format!("{name}.ff1"), d, d_ff, rng),
+            ff2: Linear::new(ps, &format!("{name}.ff2"), d_ff, d, rng),
+            act: Activation::Gelu,
+        }
+    }
+
+    fn forward(&self, ps: &ParamSet, x: &Matrix) -> (Matrix, EncoderLayerCache) {
+        let (n1, c_ln1) = self.ln1.forward(ps, x);
+        let (a, c_attn) = self.attn.forward(ps, &n1);
+        let h = x.add(&a);
+        let (n2, c_ln2) = self.ln2.forward(ps, &h);
+        let (f1, c_ff1) = self.ff1.forward(ps, &n2);
+        let (g, c_act) = self.act.forward(&f1);
+        let (f2, c_ff2) = self.ff2.forward(ps, &g);
+        let y = h.add(&f2);
+        (y, EncoderLayerCache { c_ln1, c_attn, c_ln2, c_ff1, c_act, c_ff2 })
+    }
+
+    fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &EncoderLayerCache,
+        dy: &Matrix,
+        grads: &mut Grads,
+    ) -> Matrix {
+        // y = h + FFN(LN2(h)) → dh = dy + LN2ᵀ(FFNᵀ(dy)).
+        let d_f2 = self.ff2.backward(ps, &cache.c_ff2, dy, grads);
+        let d_g = self.act.backward(&cache.c_act, &d_f2);
+        let d_n2 = self.ff1.backward(ps, &cache.c_ff1, &d_g, grads);
+        let d_h_ffn = self.ln2.backward(ps, &cache.c_ln2, &d_n2, grads);
+        let dh = dy.add(&d_h_ffn);
+        // h = x + MHSA(LN1(x)) → dx = dh + LN1ᵀ(MHSAᵀ(dh)).
+        let d_a = self.attn.backward(ps, &cache.c_attn, &dh, grads);
+        let d_x_attn = self.ln1.backward(ps, &cache.c_ln1, &d_a, grads);
+        dh.add(&d_x_attn)
+    }
+}
+
+/// Full encoder: row embedding + positional encoding + layer stack +
+/// mean pooling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransformerEncoder {
+    /// Hyperparameters.
+    pub cfg: TransformerConfig,
+    embed: Linear,
+    layers: Vec<EncoderLayer>,
+    /// Precomputed sinusoidal positional encodings (`seq_len × d_model`).
+    pos: Matrix,
+}
+
+/// Encoder cache.
+#[derive(Debug, Clone)]
+pub struct TransformerCache {
+    c_embed: LinearCache,
+    c_layers: Vec<EncoderLayerCache>,
+    seq: usize,
+}
+
+impl TransformerEncoder {
+    /// Allocates all encoder parameters in `ps`.
+    pub fn new(ps: &mut ParamSet, name: &str, cfg: TransformerConfig, rng: &mut impl Rng) -> Self {
+        let embed = Linear::new(ps, &format!("{name}.embed"), cfg.input_dim, cfg.d_model, rng);
+        let layers = (0..cfg.layers)
+            .map(|l| EncoderLayer::new(ps, &format!("{name}.layer{l}"), &cfg, rng))
+            .collect();
+        let pos = positional_encoding(cfg.seq_len, cfg.d_model);
+        Self { cfg, embed, layers, pos }
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.cfg.d_model
+    }
+
+    /// Handle of the row-embedding weight (used by tests and diagnostics to
+    /// check which parts of a model received gradients).
+    pub fn embed_w(&self) -> crate::param::ParamId {
+        self.embed.w
+    }
+
+    /// Encodes a `seq × input_dim` state matrix into a pooled `1 × d_model`
+    /// feature row.
+    pub fn forward(&self, ps: &ParamSet, x: &Matrix) -> (Matrix, TransformerCache) {
+        assert_eq!(x.cols(), self.cfg.input_dim, "state row width mismatch");
+        assert!(x.rows() <= self.cfg.seq_len, "sequence longer than configured");
+        let (e, c_embed) = self.embed.forward(ps, x);
+        let mut h = Matrix::from_fn(e.rows(), e.cols(), |r, c| e.get(r, c) + self.pos.get(r, c));
+        let mut c_layers = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (next, c) = layer.forward(ps, &h);
+            h = next;
+            c_layers.push(c);
+        }
+        let pooled = h.mean_rows();
+        (pooled, TransformerCache { c_embed, c_layers, seq: x.rows() })
+    }
+
+    /// Backward from the pooled feature gradient (`1 × d_model`).
+    pub fn backward(
+        &self,
+        ps: &ParamSet,
+        cache: &TransformerCache,
+        d_pooled: &Matrix,
+        grads: &mut Grads,
+    ) -> Matrix {
+        // Mean pooling spreads the gradient evenly over sequence rows.
+        let seq = cache.seq;
+        let scale = 1.0 / seq as f32;
+        let mut dh = Matrix::from_fn(seq, self.cfg.d_model, |_, c| d_pooled.get(0, c) * scale);
+        for (layer, c) in self.layers.iter().zip(&cache.c_layers).rev() {
+            dh = layer.backward(ps, c, &dh, grads);
+        }
+        // Positional encodings are constants: gradient passes through.
+        self.embed.backward(ps, &cache.c_embed, &dh, grads)
+    }
+}
+
+/// Standard sinusoidal positional encodings.
+pub fn positional_encoding(seq_len: usize, d_model: usize) -> Matrix {
+    Matrix::from_fn(seq_len, d_model, |pos, i| {
+        let exponent = (2 * (i / 2)) as f32 / d_model as f32;
+        let rate = 1.0 / 10_000f32.powf(exponent);
+        let angle = pos as f32 * rate;
+        if i % 2 == 0 {
+            angle.sin()
+        } else {
+            angle.cos()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> TransformerConfig {
+        TransformerConfig { input_dim: 5, seq_len: 4, d_model: 8, heads: 2, layers: 2, ff_mult: 2 }
+    }
+
+    #[test]
+    fn forward_produces_pooled_feature() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = TransformerEncoder::new(&mut ps, "t", tiny(), &mut rng);
+        let x = Matrix::xavier(4, 5, &mut rng);
+        let (y, _) = enc.forward(&ps, &x);
+        assert_eq!(y.shape(), (1, 8));
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn positional_encoding_distinguishes_positions() {
+        let pe = positional_encoding(10, 8);
+        assert_eq!(pe.shape(), (10, 8));
+        // Different positions get different encodings.
+        assert_ne!(pe.row(0), pe.row(5));
+        // All values bounded by 1.
+        assert!(pe.data().iter().all(|v| v.abs() <= 1.0));
+        // pos 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+        assert_eq!(pe.get(0, 0), 0.0);
+        assert_eq!(pe.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn attention_mixes_information_across_rows() {
+        // Changing one input row must change the pooled output (attention
+        // propagates it), unlike a row-local model.
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = TransformerEncoder::new(&mut ps, "t", tiny(), &mut rng);
+        let x = Matrix::xavier(4, 5, &mut rng);
+        let (y1, _) = enc.forward(&ps, &x);
+        let mut x2 = x.clone();
+        x2.set(3, 2, x2.get(3, 2) + 1.0);
+        let (y2, _) = enc.forward(&ps, &x2);
+        let diff: f32 = y1.sub(&y2).norm();
+        assert!(diff > 1e-6, "pooled output insensitive to input change");
+    }
+
+    #[test]
+    fn full_gradcheck_through_the_stack() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = TransformerConfig {
+            input_dim: 3,
+            seq_len: 3,
+            d_model: 4,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        };
+        let enc = TransformerEncoder::new(&mut ps, "t", cfg, &mut rng);
+        let x = Matrix::xavier(3, 3, &mut rng);
+        let wv: Vec<f32> = (0..4).map(|i| (i as f32 + 1.0) * 0.3).collect();
+        let weights = Matrix::row_vector(wv);
+        let loss = |ps: &ParamSet| enc.forward(ps, &x).0.hadamard(&weights).sum();
+        let (_, cache) = enc.forward(&ps, &x);
+        let mut grads = Grads::new(&ps);
+        enc.backward(&ps, &cache, &weights, &mut grads);
+        // Check every parameter in the model.
+        let ids: Vec<_> = ps.iter().map(|(id, _)| id).collect();
+        check_gradients(&mut ps, &ids, loss, &grads, 1e-2, 4e-2).unwrap();
+    }
+
+    #[test]
+    fn shorter_sequences_are_accepted() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = TransformerEncoder::new(&mut ps, "t", tiny(), &mut rng);
+        let x = Matrix::xavier(2, 5, &mut rng); // seq 2 < configured 4
+        let (y, cache) = enc.forward(&ps, &x);
+        assert_eq!(y.shape(), (1, 8));
+        let mut grads = Grads::new(&ps);
+        let d = Matrix::full(1, 8, 1.0);
+        let dx = enc.backward(&ps, &cache, &d, &mut grads);
+        assert_eq!(dx.shape(), (2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence longer")]
+    fn oversized_sequence_panics() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let enc = TransformerEncoder::new(&mut ps, "t", tiny(), &mut rng);
+        let x = Matrix::xavier(9, 5, &mut rng);
+        let _ = enc.forward(&ps, &x);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the tensor and layer algebra.
+
+use mirage_nn::tensor::Matrix;
+use mirage_nn::{Activation, Grads, LayerNorm, Linear, ParamSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) within f32 tolerance.
+    #[test]
+    fn matmul_is_associative(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 5),
+        c in matrix_strategy(5, 2),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Transpose is an involution and (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_laws(a in matrix_strategy(4, 3), b in matrix_strategy(3, 5)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows are probability distributions, invariant to shifts.
+    #[test]
+    fn softmax_is_shift_invariant_distribution(a in matrix_strategy(3, 6), shift in -5.0f32..5.0) {
+        let s1 = a.softmax_rows();
+        let s2 = a.map(|v| v + shift).softmax_rows();
+        for r in 0..3 {
+            let sum: f32 = s1.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+        }
+        for (x, y) in s1.data().iter().zip(s2.data()) {
+            prop_assert!((x - y).abs() < 1e-5, "shift changed softmax");
+        }
+    }
+
+    /// Layer norm always standardizes rows regardless of input scale.
+    #[test]
+    fn layernorm_standardizes(rows in matrix_strategy(4, 8), scale in 0.1f32..50.0) {
+        let mut ps = ParamSet::new();
+        let ln = LayerNorm::new(&mut ps, "ln", 8);
+        let x = rows.scale(scale);
+        let (y, _) = ln.forward(&ps, &x);
+        for r in 0..y.rows() {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
+            prop_assert!(mean.abs() < 1e-3, "row {r} mean {mean}");
+        }
+    }
+
+    /// Linear layers are affine: f(αx) − f(0) = α(f(x) − f(0)).
+    #[test]
+    fn linear_is_affine(x in matrix_strategy(1, 6), alpha in -2.0f32..2.0) {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut ps, "l", 6, 4, &mut rng);
+        let zero = Matrix::zeros(1, 6);
+        let (f0, _) = lin.forward(&ps, &zero);
+        let (fx, _) = lin.forward(&ps, &x);
+        let (fax, _) = lin.forward(&ps, &x.scale(alpha));
+        for i in 0..4 {
+            let lhs = fax.get(0, i) - f0.get(0, i);
+            let rhs = alpha * (fx.get(0, i) - f0.get(0, i));
+            prop_assert!((lhs - rhs).abs() < 1e-3);
+        }
+    }
+
+    /// Activations are monotone non-decreasing (ReLU, Tanh, Identity).
+    #[test]
+    fn activations_monotone(a in -5.0f32..5.0, b in -5.0f32..5.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for act in [Activation::Relu, Activation::Tanh, Activation::Identity] {
+            prop_assert!(act.apply(lo) <= act.apply(hi) + 1e-6);
+        }
+    }
+
+    /// Gradient accumulation is commutative: merge(a, b) == merge(b, a).
+    #[test]
+    fn grads_merge_commutes(v1 in prop::collection::vec(-2.0f32..2.0, 6),
+                            v2 in prop::collection::vec(-2.0f32..2.0, 6)) {
+        let mut ps = ParamSet::new();
+        let id = ps.alloc("w", Matrix::zeros(2, 3));
+        let mk = |v: &[f32]| {
+            let mut g = Grads::new(&ps);
+            g.accumulate(id, Matrix::from_vec(2, 3, v.to_vec()));
+            g
+        };
+        let mut ab = mk(&v1);
+        ab.merge(mk(&v2));
+        let mut ba = mk(&v2);
+        ba.merge(mk(&v1));
+        for (x, y) in ab.get(id).unwrap().data().iter().zip(ba.get(id).unwrap().data()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

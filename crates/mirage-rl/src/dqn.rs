@@ -1,0 +1,335 @@
+//! Deep Q-Network agent (§2.2, §4.9 of the paper).
+//!
+//! ε-greedy action selection over the dual-head network's Q-values, with
+//! experience-replay mini-batches, Huber TD loss, an optional target
+//! network, gradient clipping and Adam. Mini-batch gradients are computed
+//! data-parallel with rayon (each sample's forward/backward runs against
+//! the shared `&ParamSet`).
+
+use mirage_nn::loss::huber;
+use mirage_nn::optim::{Adam, Optimizer};
+use mirage_nn::param::Grads;
+use mirage_nn::tensor::Matrix;
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::dualhead::DualHeadNet;
+use crate::replay::Experience;
+use crate::schedule::EpsilonSchedule;
+
+/// DQN hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Exploration schedule.
+    pub epsilon: EpsilonSchedule,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Huber threshold for the TD loss.
+    pub huber_delta: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+    /// Steps between target-network syncs (0 = no target network).
+    pub target_sync: u64,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            epsilon: EpsilonSchedule::default(),
+            lr: 1e-3,
+            huber_delta: 1.0,
+            grad_clip: 5.0,
+            target_sync: 200,
+        }
+    }
+}
+
+/// DQN agent over a [`DualHeadNet`].
+#[derive(Debug, Clone)]
+pub struct DqnAgent {
+    /// Online network.
+    pub net: DualHeadNet,
+    /// Frozen copy used for bootstrap targets (None = bootstrap from the
+    /// online network).
+    target: Option<DualHeadNet>,
+    opt: Adam,
+    cfg: DqnConfig,
+    /// Environment steps taken (drives ε decay).
+    pub steps: u64,
+    train_steps: u64,
+}
+
+impl DqnAgent {
+    /// Wraps a network with DQN training machinery.
+    pub fn new(net: DualHeadNet, cfg: DqnConfig) -> Self {
+        let target = (cfg.target_sync > 0).then(|| net.clone());
+        let opt = Adam::new(cfg.lr);
+        Self { net, target, opt, cfg, steps: 0, train_steps: 0 }
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f32 {
+        self.cfg.epsilon.value(self.steps)
+    }
+
+    /// ε-greedy action; advances the exploration clock.
+    pub fn act(&mut self, state: &Matrix, rng: &mut impl Rng) -> usize {
+        self.steps += 1;
+        if rng.gen::<f32>() < self.epsilon() {
+            rng.gen_range(0..2)
+        } else {
+            self.net.greedy_action(state)
+        }
+    }
+
+    /// Greedy action (serving-time policy, §4.4: submit only when
+    /// Q(submit) exceeds Q(no-submit)).
+    pub fn act_greedy(&self, state: &Matrix) -> usize {
+        self.net.greedy_action(state)
+    }
+
+    /// One mini-batch update; returns the mean TD loss.
+    pub fn train_batch(&mut self, batch: &[&Experience]) -> f32 {
+        assert!(!batch.is_empty(), "empty training batch");
+        let bootstrap_net = self.target.as_ref().unwrap_or(&self.net);
+        let gamma = self.cfg.gamma;
+        let delta = self.cfg.huber_delta;
+        let net = &self.net;
+
+        // Per-sample forward/backward in parallel; gradients are collected
+        // in batch order and folded sequentially so the floating-point
+        // merge order — and therefore training — is deterministic.
+        let per_sample: Vec<(f32, Grads)> = batch
+            .par_iter()
+            .map(|e| {
+                let (q, cache) = net.q_forward(&e.state);
+                let target = match (&e.next_state, e.done) {
+                    (Some(next), false) => {
+                        let (qn, _) = bootstrap_net.q_forward(next);
+                        e.reward + gamma * qn[0].max(qn[1])
+                    }
+                    _ => e.reward,
+                };
+                let pred = Matrix::row_vector(vec![q[e.action]]);
+                let tgt = Matrix::row_vector(vec![target]);
+                let (loss, dl) = huber(&pred, &tgt, delta);
+                let mut dq = [0.0f32; 2];
+                dq[e.action] = dl.get(0, 0);
+                let mut grads = Grads::new(&net.ps);
+                net.q_backward(&cache, dq, &mut grads);
+                (loss, grads)
+            })
+            .collect();
+        let (total_loss, merged) = per_sample.into_iter().fold(
+            (0.0f32, Grads::new(&net.ps)),
+            |(l1, mut g1), (l2, g2)| {
+                g1.merge(g2);
+                (l1 + l2, g1)
+            },
+        );
+
+        let mut grads = merged;
+        grads.scale(1.0 / batch.len() as f32);
+        if self.cfg.grad_clip > 0.0 {
+            grads.clip_global_norm(self.cfg.grad_clip);
+        }
+        self.opt.step(&mut self.net.ps, &grads);
+        self.train_steps += 1;
+        if self.cfg.target_sync > 0 && self.train_steps.is_multiple_of(self.cfg.target_sync) {
+            self.target = Some(self.net.clone());
+        }
+        total_loss / batch.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dualhead::{ActionEncoding, DualHeadConfig, DualHeadNet};
+    use crate::env::test_envs::{Chain, SignBandit};
+    use crate::env::Environment;
+    use crate::replay::ReplayBuffer;
+    use mirage_nn::foundation::FoundationKind;
+    use mirage_nn::transformer::TransformerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(enc: ActionEncoding, seed: u64) -> DualHeadNet {
+        DualHeadNet::new(DualHeadConfig {
+            foundation: FoundationKind::Transformer,
+            transformer: TransformerConfig {
+                input_dim: 3,
+                seq_len: 2,
+                d_model: 8,
+                heads: 2,
+                layers: 1,
+                ff_mult: 2,
+            },
+            action_encoding: enc,
+            freeze_foundation: false,
+            seed,
+        })
+    }
+
+    /// Fills a replay buffer with random-action bandit transitions.
+    fn bandit_buffer(seed: u64, n: usize) -> ReplayBuffer {
+        let mut env = SignBandit::new(seed, 2, 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut rb = ReplayBuffer::new(n);
+        let mut state = env.reset();
+        for _ in 0..n {
+            let action = rng.gen_range(0..2);
+            let r = env.step(action);
+            rb.push(Experience::terminal(state, action, r.reward));
+            state = r.state;
+        }
+        rb
+    }
+
+    fn bandit_accuracy(agent: &DqnAgent, seed: u64, trials: usize) -> f64 {
+        let mut env = SignBandit::new(seed, 2, 3);
+        let mut correct = 0;
+        let mut state = env.reset();
+        for _ in 0..trials {
+            if agent.act_greedy(&state) == env.correct_action() {
+                correct += 1;
+            }
+            state = env.reset();
+        }
+        correct as f64 / trials as f64
+    }
+
+    #[test]
+    fn learns_the_sign_bandit() {
+        let mut agent = DqnAgent::new(tiny_net(ActionEncoding::TwoHead, 3), DqnConfig {
+            lr: 3e-3,
+            ..DqnConfig::default()
+        });
+        let rb = bandit_buffer(1, 512);
+        let mut rng = StdRng::seed_from_u64(2);
+        let before = bandit_accuracy(&agent, 99, 100);
+        for _ in 0..150 {
+            let batch = rb.sample(&mut rng, 16);
+            agent.train_batch(&batch);
+        }
+        let after = bandit_accuracy(&agent, 99, 100);
+        assert!(
+            after > 0.85,
+            "DQN should solve the bandit: before {before:.2}, after {after:.2}"
+        );
+    }
+
+    #[test]
+    fn ordinal_encoding_also_learns() {
+        let mut agent = DqnAgent::new(tiny_net(ActionEncoding::OrdinalInput, 5), DqnConfig {
+            lr: 3e-3,
+            ..DqnConfig::default()
+        });
+        let rb = bandit_buffer(7, 512);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..150 {
+            let batch = rb.sample(&mut rng, 16);
+            agent.train_batch(&batch);
+        }
+        let acc = bandit_accuracy(&agent, 11, 100);
+        assert!(acc > 0.8, "ordinal-input DQN accuracy {acc:.2}");
+    }
+
+    #[test]
+    fn bootstraps_through_the_chain() {
+        // Chain of 4: reward only at the end; Q must propagate backwards.
+        let net = DualHeadNet::new(DualHeadConfig {
+            foundation: FoundationKind::Transformer,
+            transformer: TransformerConfig {
+                input_dim: 4,
+                seq_len: 1,
+                d_model: 8,
+                heads: 2,
+                layers: 1,
+                ff_mult: 2,
+            },
+            action_encoding: ActionEncoding::TwoHead,
+            freeze_foundation: false,
+            seed: 9,
+        });
+        let mut agent = DqnAgent::new(net, DqnConfig {
+            gamma: 0.9,
+            lr: 3e-3,
+            target_sync: 50,
+            ..DqnConfig::default()
+        });
+        // Random-policy experience.
+        let mut env = Chain::new(4);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut rb = ReplayBuffer::new(2048);
+        let mut state = env.reset();
+        for _ in 0..2000 {
+            let action = rng.gen_range(0..2);
+            let r = env.step(action);
+            if r.done {
+                rb.push(Experience::terminal(state, action, r.reward));
+            } else {
+                rb.push(Experience::step(state, action, r.reward, r.state.clone()));
+            }
+            state = if r.done { env.reset() } else { r.state };
+        }
+        for _ in 0..300 {
+            let batch = rb.sample(&mut rng, 32);
+            agent.train_batch(&batch);
+        }
+        // Greedy policy must walk the chain to the reward.
+        let mut env = Chain::new(4);
+        let mut s = env.reset();
+        let mut total = 0.0;
+        for _ in 0..10 {
+            let r = env.step(agent.act_greedy(&s));
+            total += r.reward;
+            s = r.state;
+            if r.done {
+                break;
+            }
+        }
+        assert!(total > 0.9, "greedy policy should reach the chain end");
+    }
+
+    #[test]
+    fn epsilon_decays_with_steps() {
+        let mut agent = DqnAgent::new(tiny_net(ActionEncoding::TwoHead, 1), DqnConfig {
+            epsilon: EpsilonSchedule::linear(1.0, 0.0, 10),
+            ..DqnConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = Matrix::zeros(2, 3);
+        assert_eq!(agent.epsilon(), 1.0);
+        for _ in 0..10 {
+            let _ = agent.act(&s, &mut rng);
+        }
+        assert_eq!(agent.epsilon(), 0.0);
+    }
+
+    #[test]
+    fn training_reduces_td_loss() {
+        let mut agent = DqnAgent::new(tiny_net(ActionEncoding::TwoHead, 13), DqnConfig {
+            lr: 3e-3,
+            ..DqnConfig::default()
+        });
+        let rb = bandit_buffer(14, 256);
+        let mut rng = StdRng::seed_from_u64(15);
+        let first: f32 = (0..5)
+            .map(|_| agent.train_batch(&rb.sample(&mut rng, 16)))
+            .sum::<f32>()
+            / 5.0;
+        for _ in 0..100 {
+            agent.train_batch(&rb.sample(&mut rng, 16));
+        }
+        let last: f32 = (0..5)
+            .map(|_| agent.train_batch(&rb.sample(&mut rng, 16)))
+            .sum::<f32>()
+            / 5.0;
+        assert!(last < first, "TD loss should drop: {first:.4} → {last:.4}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Dual-head network (§4, Fig 5/6 of the paper).
+//!
+//! One shared *foundation model* (transformer or MoE-transformer) feeds two
+//! decision heads:
+//!
+//! * the **V-head** (Q-value head) maps features to Q(s, no-submit) and
+//!   Q(s, submit),
+//! * the **P-head** maps features to action logits for the policy-gradient
+//!   agent,
+//!
+//! plus a **reward head** used during offline foundation pretraining
+//! (§4.9.1: the foundation learns to predict the observed episode reward
+//! from the flattened state).
+//!
+//! Two action encodings are supported (DESIGN.md §3, substitution 4):
+//! [`ActionEncoding::TwoHead`] evaluates both actions in one pass;
+//! [`ActionEncoding::OrdinalInput`] reproduces the paper's layout, where an
+//! ordinal action variable (−1 / +1, 0 for the P-head) is appended to every
+//! state row and the foundation runs once per queried action.
+
+use mirage_nn::foundation::{FoundationCache, FoundationKind, FoundationNet};
+use mirage_nn::linear::{Linear, LinearCache};
+use mirage_nn::param::{Grads, ParamSet};
+use mirage_nn::tensor::Matrix;
+use mirage_nn::transformer::TransformerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How actions are presented to the Q function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionEncoding {
+    /// Q-head outputs one value per action from a single foundation pass.
+    TwoHead,
+    /// The paper's layout: an ordinal action variable is appended to each
+    /// state row; the foundation runs once per action.
+    OrdinalInput,
+}
+
+/// Dual-head model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DualHeadConfig {
+    /// Foundation architecture.
+    pub foundation: FoundationKind,
+    /// Encoder hyperparameters; `input_dim` is the width of one state row
+    /// *without* the ordinal variable.
+    pub transformer: TransformerConfig,
+    /// Action encoding for the Q path.
+    pub action_encoding: ActionEncoding,
+    /// When `true`, online head training does not update the foundation
+    /// (the §4.9 two-phase recipe: offline foundation, online heads).
+    pub freeze_foundation: bool,
+    /// Parameter-init seed.
+    pub seed: u64,
+}
+
+impl DualHeadConfig {
+    /// Small-scale defaults for a given state-row width and history length.
+    pub fn small(kind: FoundationKind, m: usize, k: usize, seed: u64) -> Self {
+        Self {
+            foundation: kind,
+            transformer: TransformerConfig::small(m, k),
+            action_encoding: ActionEncoding::TwoHead,
+            freeze_foundation: false,
+            seed,
+        }
+    }
+}
+
+/// The shared-foundation dual-head network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DualHeadNet {
+    /// All parameters (foundation + heads).
+    pub ps: ParamSet,
+    /// Shared foundation.
+    pub foundation: FoundationNet,
+    /// Q-value head.
+    pub q_head: Linear,
+    /// Policy head (2 logits).
+    pub p_head: Linear,
+    /// Scalar reward head for offline pretraining.
+    pub reward_head: Linear,
+    /// Configuration the network was built with.
+    pub cfg: DualHeadConfig,
+    /// Param ids belonging to the foundation (for freezing).
+    foundation_param_limit: usize,
+}
+
+/// Cache of one Q forward pass.
+#[derive(Debug, Clone)]
+pub struct QCache {
+    /// Per-action (foundation cache, head cache); `TwoHead` uses index 0.
+    passes: Vec<(FoundationCache, LinearCache)>,
+}
+
+/// Cache of one policy/reward forward pass.
+#[derive(Debug, Clone)]
+pub struct HeadCache {
+    f_cache: FoundationCache,
+    l_cache: LinearCache,
+}
+
+impl DualHeadNet {
+    /// Builds foundation and heads from the config.
+    pub fn new(cfg: DualHeadConfig) -> Self {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut tcfg = cfg.transformer;
+        if cfg.action_encoding == ActionEncoding::OrdinalInput {
+            tcfg.input_dim += 1; // room for the ordinal action variable
+        }
+        let foundation = FoundationNet::new(&mut ps, "foundation", cfg.foundation, tcfg, &mut rng);
+        let foundation_param_limit = ps.len();
+        let d = foundation.out_dim();
+        let q_out = match cfg.action_encoding {
+            ActionEncoding::TwoHead => 2,
+            ActionEncoding::OrdinalInput => 1,
+        };
+        let q_head = Linear::new(&mut ps, "q_head", d, q_out, &mut rng);
+        let p_head = Linear::new(&mut ps, "p_head", d, 2, &mut rng);
+        let reward_head = Linear::new(&mut ps, "reward_head", d, 1, &mut rng);
+        Self { ps, foundation, q_head, p_head, reward_head, cfg, foundation_param_limit }
+    }
+
+    /// Whether `id` belongs to the foundation (vs a head).
+    pub fn is_foundation_param(&self, id: mirage_nn::ParamId) -> bool {
+        id.0 < self.foundation_param_limit
+    }
+
+    /// Appends the ordinal action column when the encoding requires it.
+    fn augment(&self, state: &Matrix, ordinal: f32) -> Matrix {
+        match self.cfg.action_encoding {
+            ActionEncoding::TwoHead => state.clone(),
+            ActionEncoding::OrdinalInput => {
+                Matrix::from_fn(state.rows(), state.cols() + 1, |r, c| {
+                    if c < state.cols() {
+                        state.get(r, c)
+                    } else {
+                        ordinal
+                    }
+                })
+            }
+        }
+    }
+
+    /// Q-values for both actions: returns `[Q(s, no-submit), Q(s, submit)]`.
+    pub fn q_forward(&self, state: &Matrix) -> ([f32; 2], QCache) {
+        match self.cfg.action_encoding {
+            ActionEncoding::TwoHead => {
+                let (feat, f_cache) = self.foundation.forward(&self.ps, state);
+                let (q, l_cache) = self.q_head.forward(&self.ps, &feat);
+                ([q.get(0, 0), q.get(0, 1)], QCache { passes: vec![(f_cache, l_cache)] })
+            }
+            ActionEncoding::OrdinalInput => {
+                let mut vals = [0.0f32; 2];
+                let mut passes = Vec::with_capacity(2);
+                for (i, ordinal) in [(-1.0f32), 1.0].iter().enumerate() {
+                    let x = self.augment(state, *ordinal);
+                    let (feat, f_cache) = self.foundation.forward(&self.ps, &x);
+                    let (q, l_cache) = self.q_head.forward(&self.ps, &feat);
+                    vals[i] = q.get(0, 0);
+                    passes.push((f_cache, l_cache));
+                }
+                (vals, QCache { passes })
+            }
+        }
+    }
+
+    /// Backward through the Q path with per-action output gradients.
+    pub fn q_backward(&self, cache: &QCache, dq: [f32; 2], grads: &mut Grads) {
+        match self.cfg.action_encoding {
+            ActionEncoding::TwoHead => {
+                let (f_cache, l_cache) = &cache.passes[0];
+                let dy = Matrix::row_vector(vec![dq[0], dq[1]]);
+                let d_feat = self.q_head.backward(&self.ps, l_cache, &dy, grads);
+                if !self.cfg.freeze_foundation {
+                    self.foundation.backward(&self.ps, f_cache, &d_feat, grads);
+                }
+            }
+            ActionEncoding::OrdinalInput => {
+                for (i, (f_cache, l_cache)) in cache.passes.iter().enumerate() {
+                    if dq[i] == 0.0 {
+                        continue;
+                    }
+                    let dy = Matrix::row_vector(vec![dq[i]]);
+                    let d_feat = self.q_head.backward(&self.ps, l_cache, &dy, grads);
+                    if !self.cfg.freeze_foundation {
+                        self.foundation.backward(&self.ps, f_cache, &d_feat, grads);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Policy logits (`1 × 2`). With ordinal encoding the action variable
+    /// is 0, as the paper specifies for the PG network.
+    pub fn p_forward(&self, state: &Matrix) -> (Matrix, HeadCache) {
+        let x = self.augment(state, 0.0);
+        let (feat, f_cache) = self.foundation.forward(&self.ps, &x);
+        let (logits, l_cache) = self.p_head.forward(&self.ps, &feat);
+        (logits, HeadCache { f_cache, l_cache })
+    }
+
+    /// Backward through the policy path.
+    pub fn p_backward(&self, cache: &HeadCache, d_logits: &Matrix, grads: &mut Grads) {
+        let d_feat = self.p_head.backward(&self.ps, &cache.l_cache, d_logits, grads);
+        if !self.cfg.freeze_foundation {
+            self.foundation.backward(&self.ps, &cache.f_cache, &d_feat, grads);
+        }
+    }
+
+    /// Scalar reward prediction for offline pretraining. `action` supplies
+    /// the ordinal when the encoding requires it.
+    pub fn reward_forward(&self, state: &Matrix, action: Option<usize>) -> (f32, HeadCache) {
+        let ordinal = match action {
+            Some(1) => 1.0,
+            Some(_) => -1.0,
+            None => 0.0,
+        };
+        let x = self.augment(state, ordinal);
+        let (feat, f_cache) = self.foundation.forward(&self.ps, &x);
+        let (r, l_cache) = self.reward_head.forward(&self.ps, &feat);
+        (r.get(0, 0), HeadCache { f_cache, l_cache })
+    }
+
+    /// Backward through the reward path. Pretraining always updates the
+    /// foundation — that is its entire purpose — regardless of the online
+    /// freeze flag.
+    pub fn reward_backward(&self, cache: &HeadCache, d_r: f32, grads: &mut Grads) {
+        let dy = Matrix::row_vector(vec![d_r]);
+        let d_feat = self.reward_head.backward(&self.ps, &cache.l_cache, &dy, grads);
+        self.foundation.backward(&self.ps, &cache.f_cache, &d_feat, grads);
+    }
+
+    /// Greedy action under the Q function.
+    pub fn greedy_action(&self, state: &Matrix) -> usize {
+        let (q, _) = self.q_forward(state);
+        usize::from(q[1] > q[0])
+    }
+
+    /// Action probabilities under the policy head.
+    pub fn action_probs(&self, state: &Matrix) -> [f32; 2] {
+        let (logits, _) = self.p_forward(state);
+        let sm = logits.softmax_rows();
+        [sm.get(0, 0), sm.get(0, 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_nn::gradcheck::check_gradients;
+    use mirage_nn::loss::mse;
+
+    fn tiny_cfg(enc: ActionEncoding, kind: FoundationKind) -> DualHeadConfig {
+        DualHeadConfig {
+            foundation: kind,
+            transformer: TransformerConfig {
+                input_dim: 4,
+                seq_len: 3,
+                d_model: 8,
+                heads: 2,
+                layers: 1,
+                ff_mult: 2,
+            },
+            action_encoding: enc,
+            freeze_foundation: false,
+            seed: 1,
+        }
+    }
+
+    fn state(seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::xavier(3, 4, &mut rng)
+    }
+
+    #[test]
+    fn both_encodings_produce_two_q_values() {
+        for enc in [ActionEncoding::TwoHead, ActionEncoding::OrdinalInput] {
+            let net = DualHeadNet::new(tiny_cfg(enc, FoundationKind::Transformer));
+            let (q, _) = net.q_forward(&state(0));
+            assert!(q[0].is_finite() && q[1].is_finite());
+        }
+    }
+
+    #[test]
+    fn ordinal_encoding_distinguishes_actions() {
+        let net = DualHeadNet::new(tiny_cfg(ActionEncoding::OrdinalInput, FoundationKind::Transformer));
+        let (q, _) = net.q_forward(&state(3));
+        assert_ne!(q[0], q[1], "different ordinals must give different Q");
+    }
+
+    #[test]
+    fn q_gradcheck_two_head() {
+        let net = DualHeadNet::new(tiny_cfg(ActionEncoding::TwoHead, FoundationKind::Transformer));
+        let s = state(1);
+        let target = Matrix::row_vector(vec![0.5, -0.5]);
+        let loss_fn = |ps: &ParamSet| {
+            let mut probe = net.clone();
+            probe.ps = ps.clone();
+            let (q, _) = probe.q_forward(&s);
+            mse(&Matrix::row_vector(vec![q[0], q[1]]), &target).0
+        };
+        let (q, cache) = net.q_forward(&s);
+        let (_, dq_mat) = mse(&Matrix::row_vector(vec![q[0], q[1]]), &target);
+        let mut grads = Grads::new(&net.ps);
+        net.q_backward(&cache, [dq_mat.get(0, 0), dq_mat.get(0, 1)], &mut grads);
+        let ids: Vec<_> = grads.iter().map(|(id, _)| id).collect();
+        let mut ps = net.ps.clone();
+        check_gradients(&mut ps, &ids, loss_fn, &grads, 1e-2, 5e-2).unwrap();
+    }
+
+    #[test]
+    fn q_gradcheck_ordinal_input() {
+        let net =
+            DualHeadNet::new(tiny_cfg(ActionEncoding::OrdinalInput, FoundationKind::Transformer));
+        let s = state(2);
+        // Loss touches only action 1 (the common TD case).
+        let loss_fn = |ps: &ParamSet| {
+            let mut probe = net.clone();
+            probe.ps = ps.clone();
+            let (q, _) = probe.q_forward(&s);
+            (q[1] - 2.0) * (q[1] - 2.0)
+        };
+        let (q, cache) = net.q_forward(&s);
+        let mut grads = Grads::new(&net.ps);
+        net.q_backward(&cache, [0.0, 2.0 * (q[1] - 2.0)], &mut grads);
+        let ids: Vec<_> = grads.iter().map(|(id, _)| id).collect();
+        let mut ps = net.ps.clone();
+        check_gradients(&mut ps, &ids, loss_fn, &grads, 1e-2, 5e-2).unwrap();
+    }
+
+    #[test]
+    fn freezing_blocks_foundation_gradients() {
+        let mut cfg = tiny_cfg(ActionEncoding::TwoHead, FoundationKind::Transformer);
+        cfg.freeze_foundation = true;
+        let net = DualHeadNet::new(cfg);
+        let s = state(4);
+        let (_, cache) = net.q_forward(&s);
+        let mut grads = Grads::new(&net.ps);
+        net.q_backward(&cache, [1.0, 1.0], &mut grads);
+        for (id, _) in grads.iter() {
+            assert!(!net.is_foundation_param(id), "foundation param got a gradient");
+        }
+        // Heads still learn.
+        assert!(grads.get(net.q_head.w).is_some());
+    }
+
+    #[test]
+    fn reward_path_always_trains_foundation() {
+        let mut cfg = tiny_cfg(ActionEncoding::TwoHead, FoundationKind::Transformer);
+        cfg.freeze_foundation = true; // must not affect pretraining
+        let net = DualHeadNet::new(cfg);
+        let s = state(5);
+        let (_, cache) = net.reward_forward(&s, Some(1));
+        let mut grads = Grads::new(&net.ps);
+        net.reward_backward(&cache, 1.0, &mut grads);
+        assert!(
+            grads.iter().any(|(id, _)| net.is_foundation_param(id)),
+            "pretraining must reach the foundation"
+        );
+    }
+
+    #[test]
+    fn p_head_probs_are_a_distribution() {
+        let net = DualHeadNet::new(tiny_cfg(ActionEncoding::TwoHead, FoundationKind::MoE { experts: 2 }));
+        let p = net.action_probs(&state(6));
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-5);
+        assert!(p[0] > 0.0 && p[1] > 0.0);
+    }
+
+    #[test]
+    fn heads_share_the_foundation() {
+        // A gradient step on the P path must change Q outputs too (shared
+        // foundation), when not frozen.
+        let net = DualHeadNet::new(tiny_cfg(ActionEncoding::TwoHead, FoundationKind::Transformer));
+        let s = state(7);
+        let (q_before, _) = net.q_forward(&s);
+        let (logits, cache) = net.p_forward(&s);
+        let mut grads = Grads::new(&net.ps);
+        let d = logits.scale(1.0); // arbitrary gradient
+        net.p_backward(&cache, &d, &mut grads);
+        let mut moved = net.clone();
+        moved.ps.apply_grads(&grads, |p, g| p.add_scaled(g, -0.5));
+        let (q_after, _) = moved.q_forward(&s);
+        assert!(
+            (q_before[0] - q_after[0]).abs() > 1e-7 || (q_before[1] - q_after[1]).abs() > 1e-7,
+            "P-path update should move shared foundation and hence Q"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Reinforcement-learning framework for the Mirage reproduction.
+//!
+//! Implements the paper's RL machinery on top of `mirage-nn`:
+//!
+//! * [`env::Environment`] — the agent–environment interface of §2.2,
+//! * [`replay::ReplayBuffer`] — experience replay (§4.8),
+//! * [`dualhead::DualHeadNet`] — the shared-foundation V-head/P-head
+//!   architecture of Fig 5/6, with both action encodings,
+//! * [`dqn::DqnAgent`] — ε-greedy DQN with Huber TD loss and an optional
+//!   target network (§2.2, §4.9.2),
+//! * [`pg::PgAgent`] — REINFORCE with moving-average baseline and entropy
+//!   regularization (§2.3, §4.9.2),
+//! * [`offline::pretrain_foundation`] — supervised reward-regression
+//!   pretraining of the foundation (§4.9.1).
+
+pub mod dqn;
+pub mod dualhead;
+pub mod env;
+pub mod offline;
+pub mod pg;
+pub mod replay;
+pub mod schedule;
+
+pub use dqn::{DqnAgent, DqnConfig};
+pub use dualhead::{ActionEncoding, DualHeadConfig, DualHeadNet};
+pub use env::{rollout, Environment, StepResult};
+pub use offline::{pretrain_foundation, reward_mse, PretrainConfig, RewardSample};
+pub use pg::{EpisodeSample, PgAgent, PgConfig};
+pub use replay::{Experience, ReplayBuffer};
+pub use schedule::EpsilonSchedule;
+
+/// Convenience imports.
+pub mod prelude {
+    pub use crate::dqn::{DqnAgent, DqnConfig};
+    pub use crate::dualhead::{ActionEncoding, DualHeadConfig, DualHeadNet};
+    pub use crate::env::{Environment, StepResult};
+    pub use crate::offline::{pretrain_foundation, PretrainConfig, RewardSample};
+    pub use crate::pg::{EpisodeSample, PgAgent, PgConfig};
+    pub use crate::replay::{Experience, ReplayBuffer};
+    pub use crate::schedule::EpsilonSchedule;
+}

@@ -1,0 +1,286 @@
+//! Policy-gradient (REINFORCE) agent (§2.3, §4.9 of the paper).
+//!
+//! The P-head outputs a softmax over {no-submit, submit}; actions are
+//! sampled from it ("non-deterministic policy", §4.4). Training follows
+//! Eq. 6: Monte-Carlo rollouts, return-weighted log-probability gradients,
+//! with a moving-average baseline and optional entropy regularization for
+//! variance control.
+
+use mirage_nn::loss::policy_gradient_loss;
+use mirage_nn::optim::{Adam, Optimizer};
+use mirage_nn::param::Grads;
+use mirage_nn::tensor::Matrix;
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::dualhead::DualHeadNet;
+
+/// REINFORCE hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PgConfig {
+    /// Adam learning rate.
+    pub lr: f32,
+    /// EMA coefficient for the return baseline.
+    pub baseline_beta: f32,
+    /// Entropy-bonus coefficient (0 disables).
+    pub entropy_coef: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+}
+
+impl Default for PgConfig {
+    fn default() -> Self {
+        Self { lr: 1e-3, baseline_beta: 0.9, entropy_coef: 0.01, grad_clip: 5.0 }
+    }
+}
+
+/// One collected episode: the visited `(state, action)` pairs and the
+/// episode return (the paper's delayed terminal reward).
+#[derive(Debug, Clone)]
+pub struct EpisodeSample {
+    /// Trajectory of decisions.
+    pub steps: Vec<(Matrix, usize)>,
+    /// Total (undiscounted) episode return.
+    pub episode_return: f32,
+}
+
+/// REINFORCE agent over a [`DualHeadNet`].
+#[derive(Debug, Clone)]
+pub struct PgAgent {
+    /// The dual-head network (P-head is the policy).
+    pub net: DualHeadNet,
+    opt: Adam,
+    cfg: PgConfig,
+    baseline: f32,
+    baseline_initialized: bool,
+    /// Episodes consumed so far.
+    pub episodes: u64,
+}
+
+impl PgAgent {
+    /// Wraps a network with REINFORCE training machinery.
+    pub fn new(net: DualHeadNet, cfg: PgConfig) -> Self {
+        let opt = Adam::new(cfg.lr);
+        Self { net, opt, cfg, baseline: 0.0, baseline_initialized: false, episodes: 0 }
+    }
+
+    /// Current return baseline.
+    pub fn baseline(&self) -> f32 {
+        self.baseline
+    }
+
+    /// Samples an action from the policy distribution.
+    pub fn act(&self, state: &Matrix, rng: &mut impl Rng) -> usize {
+        let p = self.net.action_probs(state);
+        usize::from(rng.gen::<f32>() >= p[0])
+    }
+
+    /// Most-probable action (used for deterministic evaluation).
+    pub fn act_greedy(&self, state: &Matrix) -> usize {
+        let p = self.net.action_probs(state);
+        usize::from(p[1] > p[0])
+    }
+
+    /// One REINFORCE update from a batch of complete episodes; returns the
+    /// mean surrogate loss.
+    pub fn train_episodes(&mut self, episodes: &[EpisodeSample]) -> f32 {
+        assert!(!episodes.is_empty(), "empty episode batch");
+        // Baseline from the batch (EMA across calls).
+        let batch_mean: f32 =
+            episodes.iter().map(|e| e.episode_return).sum::<f32>() / episodes.len() as f32;
+        if self.baseline_initialized {
+            self.baseline =
+                self.cfg.baseline_beta * self.baseline + (1.0 - self.cfg.baseline_beta) * batch_mean;
+        } else {
+            self.baseline = batch_mean;
+            self.baseline_initialized = true;
+        }
+        let baseline = self.baseline;
+        let entropy_coef = self.cfg.entropy_coef;
+        let net = &self.net;
+
+        let step_count: usize = episodes.iter().map(|e| e.steps.len()).sum();
+        // Parallel per-episode passes, deterministic in-order merge.
+        let per_episode: Vec<(f32, Grads)> = episodes
+            .par_iter()
+            .map(|ep| {
+                let advantage = ep.episode_return - baseline;
+                let mut grads = Grads::new(&net.ps);
+                let mut loss_sum = 0.0f32;
+                for (state, action) in &ep.steps {
+                    let (logits, cache) = net.p_forward(state);
+                    let (loss, mut d_logits) = policy_gradient_loss(&logits, *action, advantage);
+                    if entropy_coef > 0.0 {
+                        d_logits.add_assign(&entropy_grad(&logits).scale(entropy_coef));
+                    }
+                    net.p_backward(&cache, &d_logits, &mut grads);
+                    loss_sum += loss;
+                }
+                (loss_sum, grads)
+            })
+            .collect();
+        let (total_loss, merged) = per_episode.into_iter().fold(
+            (0.0f32, Grads::new(&net.ps)),
+            |(l1, mut g1), (l2, g2)| {
+                g1.merge(g2);
+                (l1 + l2, g1)
+            },
+        );
+
+        let mut grads = merged;
+        grads.scale(1.0 / step_count.max(1) as f32);
+        if self.cfg.grad_clip > 0.0 {
+            grads.clip_global_norm(self.cfg.grad_clip);
+        }
+        self.opt.step(&mut self.net.ps, &grads);
+        self.episodes += episodes.len() as u64;
+        total_loss / step_count.max(1) as f32
+    }
+}
+
+/// Gradient of `−H(π)` w.r.t. the logits (added to push *toward* higher
+/// entropy when scaled positively and subtracted from the loss gradient):
+/// `d(−H)/dz_i = p_i (log p_i + H)`.
+fn entropy_grad(logits: &Matrix) -> Matrix {
+    let p = logits.softmax_rows();
+    let h: f32 = -p.data().iter().map(|&x| if x > 0.0 { x * x.ln() } else { 0.0 }).sum::<f32>();
+    p.map(|pi| if pi > 0.0 { pi * (pi.ln() + h) } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dualhead::{ActionEncoding, DualHeadConfig, DualHeadNet};
+    use crate::env::test_envs::SignBandit;
+    use crate::env::Environment;
+    use mirage_nn::foundation::FoundationKind;
+    use mirage_nn::transformer::TransformerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(kind: FoundationKind, seed: u64) -> DualHeadNet {
+        DualHeadNet::new(DualHeadConfig {
+            foundation: kind,
+            transformer: TransformerConfig {
+                input_dim: 3,
+                seq_len: 2,
+                d_model: 8,
+                heads: 2,
+                layers: 1,
+                ff_mult: 2,
+            },
+            action_encoding: ActionEncoding::TwoHead,
+            freeze_foundation: false,
+            seed,
+        })
+    }
+
+    fn collect_episodes(
+        agent: &PgAgent,
+        env: &mut SignBandit,
+        rng: &mut StdRng,
+        n: usize,
+    ) -> Vec<EpisodeSample> {
+        (0..n)
+            .map(|_| {
+                let state = env.reset();
+                let action = agent.act(&state, rng);
+                let r = env.step(action);
+                EpisodeSample { steps: vec![(state, action)], episode_return: r.reward }
+            })
+            .collect()
+    }
+
+    fn accuracy(agent: &PgAgent, seed: u64, trials: usize) -> f64 {
+        let mut env = SignBandit::new(seed, 2, 3);
+        let mut ok = 0;
+        for _ in 0..trials {
+            let s = env.reset();
+            if agent.act_greedy(&s) == env.correct_action() {
+                ok += 1;
+            }
+        }
+        ok as f64 / trials as f64
+    }
+
+    #[test]
+    fn reinforce_learns_the_sign_bandit() {
+        let mut agent = PgAgent::new(tiny_net(FoundationKind::Transformer, 21), PgConfig {
+            lr: 5e-3,
+            ..PgConfig::default()
+        });
+        let mut env = SignBandit::new(22, 2, 3);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..120 {
+            let eps = collect_episodes(&agent, &mut env, &mut rng, 16);
+            agent.train_episodes(&eps);
+        }
+        let acc = accuracy(&agent, 99, 100);
+        assert!(acc > 0.85, "PG should solve the bandit, got {acc:.2}");
+    }
+
+    #[test]
+    fn moe_foundation_also_learns() {
+        let mut agent = PgAgent::new(tiny_net(FoundationKind::MoE { experts: 2 }, 31), PgConfig {
+            lr: 5e-3,
+            ..PgConfig::default()
+        });
+        let mut env = SignBandit::new(32, 2, 3);
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..120 {
+            let eps = collect_episodes(&agent, &mut env, &mut rng, 16);
+            agent.train_episodes(&eps);
+        }
+        let acc = accuracy(&agent, 98, 100);
+        assert!(acc > 0.8, "MoE+PG accuracy {acc:.2}");
+    }
+
+    #[test]
+    fn baseline_tracks_mean_return() {
+        let mut agent = PgAgent::new(tiny_net(FoundationKind::Transformer, 41), PgConfig::default());
+        let eps: Vec<EpisodeSample> = (0..8)
+            .map(|i| EpisodeSample {
+                steps: vec![(Matrix::zeros(2, 3), 0)],
+                episode_return: if i % 2 == 0 { 1.0 } else { -1.0 },
+            })
+            .collect();
+        agent.train_episodes(&eps);
+        assert!(agent.baseline().abs() < 1e-6, "mean of ±1 returns is 0");
+        let all_pos: Vec<EpisodeSample> = (0..8)
+            .map(|_| EpisodeSample {
+                steps: vec![(Matrix::zeros(2, 3), 0)],
+                episode_return: 2.0,
+            })
+            .collect();
+        agent.train_episodes(&all_pos);
+        assert!(agent.baseline() > 0.0);
+    }
+
+    #[test]
+    fn sampling_follows_the_policy_distribution() {
+        let agent = PgAgent::new(tiny_net(FoundationKind::Transformer, 51), PgConfig::default());
+        let s = Matrix::zeros(2, 3);
+        let p = agent.net.action_probs(&s);
+        let mut rng = StdRng::seed_from_u64(52);
+        let n = 2000;
+        let ones: usize = (0..n).map(|_| agent.act(&s, &mut rng)).sum();
+        let freq = ones as f32 / n as f32;
+        assert!(
+            (freq - p[1]).abs() < 0.05,
+            "sample frequency {freq:.3} vs probability {:.3}",
+            p[1]
+        );
+    }
+
+    #[test]
+    fn entropy_gradient_is_zero_at_uniform() {
+        let g = entropy_grad(&Matrix::row_vector(vec![0.5, 0.5]));
+        assert!(g.data().iter().all(|v| v.abs() < 1e-6));
+        // And pushes toward uniform when skewed: the larger-probability
+        // logit gets a positive (loss-increasing) component.
+        let g = entropy_grad(&Matrix::row_vector(vec![2.0, 0.0]));
+        assert!(g.get(0, 0) > 0.0);
+        assert!(g.get(0, 1) < 0.0);
+    }
+}

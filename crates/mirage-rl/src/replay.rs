@@ -1,0 +1,144 @@
+//! Experience replay (§4.8 of the paper).
+//!
+//! A bounded ring buffer of `(state, action, reward, next_state, done)`
+//! transitions. Random mini-batch sampling breaks the correlation between
+//! consecutive training samples that otherwise "explodes the variance of
+//! gradient updates and distorts a policy's value estimates".
+
+use mirage_nn::Matrix;
+use rand::Rng;
+
+/// One stored transition. For the paper's episodic provisioning samples the
+/// reward is terminal, so `next_state` is `None` and `done` is `true`.
+#[derive(Debug, Clone)]
+pub struct Experience {
+    /// State the action was taken in.
+    pub state: Matrix,
+    /// Action index.
+    pub action: usize,
+    /// Observed reward.
+    pub reward: f32,
+    /// Successor state (absent for terminal transitions).
+    pub next_state: Option<Matrix>,
+    /// Whether the episode ended with this transition.
+    pub done: bool,
+}
+
+impl Experience {
+    /// Terminal transition (the §4.9.1 offline sample shape:
+    /// state–action–reward).
+    pub fn terminal(state: Matrix, action: usize, reward: f32) -> Self {
+        Self { state, action, reward, next_state: None, done: true }
+    }
+
+    /// Intermediate transition with a successor state.
+    pub fn step(state: Matrix, action: usize, reward: f32, next_state: Matrix) -> Self {
+        Self { state, action, reward, next_state: Some(next_state), done: false }
+    }
+}
+
+/// Bounded ring buffer with uniform random sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    buf: Vec<Experience>,
+    capacity: usize,
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// Buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { buf: Vec::with_capacity(capacity.min(4096)), capacity, write: 0 }
+    }
+
+    /// Appends a transition, evicting the oldest once full.
+    pub fn push(&mut self, e: Experience) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.write] = e;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Stored transition count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Uniformly samples `n` transitions with replacement.
+    pub fn sample<'a>(&'a self, rng: &mut impl Rng, n: usize) -> Vec<&'a Experience> {
+        assert!(!self.buf.is_empty(), "cannot sample an empty buffer");
+        (0..n).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]).collect()
+    }
+
+    /// Iterates over everything stored (oldest first while filling; ring
+    /// order afterwards).
+    pub fn iter(&self) -> impl Iterator<Item = &Experience> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exp(reward: f32) -> Experience {
+        Experience::terminal(Matrix::zeros(1, 2), 0, reward)
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut rb = ReplayBuffer::new(3);
+        for i in 0..5 {
+            rb.push(exp(i as f32));
+        }
+        assert_eq!(rb.len(), 3);
+        let rewards: Vec<f32> = rb.iter().map(|e| e.reward).collect();
+        // Slots: [3, 4, 2] after wrapping twice.
+        assert!(rewards.contains(&2.0));
+        assert!(rewards.contains(&3.0));
+        assert!(rewards.contains(&4.0));
+        assert!(!rewards.contains(&0.0));
+    }
+
+    #[test]
+    fn sampling_draws_from_stored_items() {
+        let mut rb = ReplayBuffer::new(10);
+        for i in 0..10 {
+            rb.push(exp(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = rb.sample(&mut rng, 100);
+        assert_eq!(batch.len(), 100);
+        assert!(batch.iter().all(|e| e.reward >= 0.0 && e.reward < 10.0));
+        // With 100 draws from 10 items we should see some variety.
+        let distinct: std::collections::HashSet<_> =
+            batch.iter().map(|e| e.reward as i64).collect();
+        assert!(distinct.len() > 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn sampling_empty_panics() {
+        let rb = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rb.sample(&mut rng, 1);
+    }
+
+    #[test]
+    fn experience_constructors() {
+        let t = Experience::terminal(Matrix::zeros(1, 1), 1, -2.0);
+        assert!(t.done && t.next_state.is_none());
+        let s = Experience::step(Matrix::zeros(1, 1), 0, 0.0, Matrix::zeros(1, 1));
+        assert!(!s.done && s.next_state.is_some());
+    }
+}

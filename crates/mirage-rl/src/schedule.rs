@@ -1,0 +1,63 @@
+//! Exploration and learning-rate schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// Linearly decaying ε for ε-greedy exploration (§4.9.2: a small ε > 0
+/// also guards against the DQN policy never submitting).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    /// Initial ε.
+    pub start: f32,
+    /// Final ε (kept forever after decay).
+    pub end: f32,
+    /// Steps over which ε decays linearly.
+    pub decay_steps: u64,
+}
+
+impl EpsilonSchedule {
+    /// Constant ε.
+    pub fn constant(eps: f32) -> Self {
+        Self { start: eps, end: eps, decay_steps: 1 }
+    }
+
+    /// Standard linear decay.
+    pub fn linear(start: f32, end: f32, decay_steps: u64) -> Self {
+        Self { start, end, decay_steps: decay_steps.max(1) }
+    }
+
+    /// ε at a given step.
+    pub fn value(&self, step: u64) -> f32 {
+        if step >= self.decay_steps {
+            return self.end;
+        }
+        let frac = step as f32 / self.decay_steps as f32;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+impl Default for EpsilonSchedule {
+    fn default() -> Self {
+        Self::linear(1.0, 0.05, 2_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_decay_endpoints() {
+        let s = EpsilonSchedule::linear(1.0, 0.1, 100);
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(50) - 0.55).abs() < 1e-6);
+        assert_eq!(s.value(100), 0.1);
+        assert_eq!(s.value(10_000), 0.1);
+    }
+
+    #[test]
+    fn constant_stays_constant() {
+        let s = EpsilonSchedule::constant(0.3);
+        assert_eq!(s.value(0), 0.3);
+        assert_eq!(s.value(1_000_000), 0.3);
+    }
+}

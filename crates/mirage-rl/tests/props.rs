@@ -1,0 +1,117 @@
+//! Property-based tests for the RL machinery.
+
+use mirage_nn::foundation::FoundationKind;
+use mirage_nn::tensor::Matrix;
+use mirage_nn::transformer::TransformerConfig;
+use mirage_rl::{
+    ActionEncoding, DualHeadConfig, DualHeadNet, EpisodeSample, Experience, PgAgent, PgConfig,
+    ReplayBuffer,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_net(seed: u64) -> DualHeadNet {
+    DualHeadNet::new(DualHeadConfig {
+        foundation: FoundationKind::Transformer,
+        transformer: TransformerConfig {
+            input_dim: 3,
+            seq_len: 2,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        },
+        action_encoding: ActionEncoding::TwoHead,
+        freeze_foundation: false,
+        seed,
+    })
+}
+
+proptest! {
+    /// The replay buffer never exceeds capacity and always retains the
+    /// most recent item.
+    #[test]
+    fn replay_capacity_invariant(capacity in 1usize..64, pushes in 1usize..200) {
+        let mut rb = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            rb.push(Experience::terminal(Matrix::zeros(1, 1), 0, i as f32));
+        }
+        prop_assert_eq!(rb.len(), pushes.min(capacity));
+        let rewards: Vec<f32> = rb.iter().map(|e| e.reward).collect();
+        prop_assert!(rewards.contains(&((pushes - 1) as f32)), "newest item must survive");
+    }
+
+    /// Sampling returns exactly n items, all from the buffer.
+    #[test]
+    fn replay_sampling_total(pushes in 1usize..50, n in 1usize..100, seed in 0u64..1000) {
+        let mut rb = ReplayBuffer::new(64);
+        for i in 0..pushes {
+            rb.push(Experience::terminal(Matrix::zeros(1, 1), i % 2, i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = rb.sample(&mut rng, n);
+        prop_assert_eq!(batch.len(), n);
+        for e in batch {
+            prop_assert!((e.reward as usize) < pushes);
+        }
+    }
+
+    /// Action probabilities are a valid distribution for any state and any
+    /// parameter seed.
+    #[test]
+    fn action_probs_are_distributions(
+        seed in 0u64..500,
+        state_vals in prop::collection::vec(-5.0f32..5.0, 6),
+    ) {
+        let net = tiny_net(seed);
+        let state = Matrix::from_vec(2, 3, state_vals);
+        let p = net.action_probs(&state);
+        prop_assert!(p[0] >= 0.0 && p[1] >= 0.0);
+        prop_assert!((p[0] + p[1] - 1.0).abs() < 1e-5);
+        // Q values finite for both encodings of the same state.
+        let (q, _) = net.q_forward(&state);
+        prop_assert!(q[0].is_finite() && q[1].is_finite());
+    }
+
+    /// PG action sampling frequency tracks the policy distribution.
+    #[test]
+    fn pg_sampling_matches_probs(seed in 0u64..100) {
+        let agent = PgAgent::new(tiny_net(seed), PgConfig::default());
+        let state = Matrix::zeros(2, 3);
+        let p = agent.net.action_probs(&state);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00);
+        let n = 600;
+        let ones: usize = (0..n).map(|_| agent.act(&state, &mut rng)).sum();
+        let freq = ones as f32 / n as f32;
+        prop_assert!((freq - p[1]).abs() < 0.09, "freq {freq} vs p {}", p[1]);
+    }
+
+    /// A REINFORCE update with positive advantage raises the probability
+    /// of the taken action (the policy-gradient direction).
+    #[test]
+    fn pg_update_moves_probability_toward_rewarded_action(
+        seed in 0u64..200,
+        action in 0usize..2,
+    ) {
+        let mut agent = PgAgent::new(tiny_net(seed), PgConfig {
+            lr: 1e-2,
+            entropy_coef: 0.0,
+            ..PgConfig::default()
+        });
+        let state = Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.1);
+        let p_before = agent.net.action_probs(&state)[action];
+        // Two-episode batch: rewarded action (return 1) vs the other
+        // action (return −1) → positive advantage for `action`.
+        let eps = vec![
+            EpisodeSample { steps: vec![(state.clone(), action)], episode_return: 1.0 },
+            EpisodeSample { steps: vec![(state.clone(), 1 - action)], episode_return: -1.0 },
+        ];
+        agent.train_episodes(&eps);
+        let p_after = agent.net.action_probs(&state)[action];
+        prop_assert!(
+            p_after > p_before - 1e-6,
+            "p({action}) fell from {p_before} to {p_after}"
+        );
+    }
+}

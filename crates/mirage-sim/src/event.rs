@@ -1,0 +1,113 @@
+//! Event queue for the discrete-event simulator.
+//!
+//! Events are ordered by `(time, kind, seq)`: completions before arrivals at
+//! the same instant (nodes freed by a finishing job are visible to a job
+//! arriving at the same second), with a monotone sequence number as the
+//! final deterministic tie-break.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A running job finished; payload is the arena index.
+    Completion,
+    /// A job entered the queue; payload is the arena index.
+    Arrival,
+}
+
+/// A scheduled simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation timestamp at which the event fires.
+    pub time: i64,
+    /// Completion or arrival.
+    pub kind: EventKind,
+    /// Arena index of the affected job.
+    pub job: usize,
+}
+
+/// Min-ordered event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(i64, EventKind, u64, usize)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, ev: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((ev.time, ev.kind, self.seq, ev.job)));
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<i64> {
+        self.heap.peek().map(|Reverse((t, _, _, _))| *t)
+    }
+
+    /// Pops the next event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse((time, kind, _, job))| Event { time, kind, job })
+    }
+
+    /// Number of outstanding events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Event { time: 30, kind: EventKind::Arrival, job: 1 });
+        q.push(Event { time: 10, kind: EventKind::Arrival, job: 2 });
+        q.push(Event { time: 20, kind: EventKind::Arrival, job: 3 });
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.job).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn completions_fire_before_arrivals_at_same_instant() {
+        let mut q = EventQueue::new();
+        q.push(Event { time: 10, kind: EventKind::Arrival, job: 1 });
+        q.push(Event { time: 10, kind: EventKind::Completion, job: 2 });
+        assert_eq!(q.pop().unwrap().kind, EventKind::Completion);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival);
+    }
+
+    #[test]
+    fn same_key_pops_in_push_order() {
+        let mut q = EventQueue::new();
+        for j in 0..5 {
+            q.push(Event { time: 1, kind: EventKind::Arrival, job: j });
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.job).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Event { time: 42, kind: EventKind::Completion, job: 0 });
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.pop().unwrap().time, 42);
+        assert!(q.is_empty());
+    }
+}

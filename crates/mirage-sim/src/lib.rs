@@ -1,0 +1,37 @@
+//! Low-overhead discrete-event Slurm simulator (§5.2 of the paper).
+//!
+//! The simulator implements Slurm's core scheduling logic — multifactor
+//! priority scheduling with EASY backfilling — behind the three-call API
+//! the Mirage agent uses: [`Simulator::sample`], [`Simulator::step`] and
+//! [`Simulator::submit`].
+//!
+//! Two implementations share the same scheduling-plan core
+//! ([`backfill::plan_schedule`]):
+//!
+//! * [`Simulator`] — the fast, event-driven simulator Mirage trains
+//!   against. It runs a scheduling pass exactly when an event (arrival or
+//!   completion) changes the system, so simulated time leaps between
+//!   events. One month of trace replays in well under a minute.
+//! * [`reference::ReferenceSimulator`] — a tick-driven stand-in for the
+//!   "standard Slurm simulator" the paper validates against: the main
+//!   priority pass and the backfill pass run on their own fixed cadences
+//!   (as in production `slurmctld`), so jobs start only on scheduler
+//!   ticks. It is deliberately slower and is used for the §5.2 fidelity
+//!   study ([`fidelity`]).
+
+pub mod backfill;
+pub mod event;
+pub mod fidelity;
+pub mod metrics;
+pub mod priority;
+pub mod reference;
+pub mod simulator;
+pub mod snapshot;
+
+pub use backfill::{plan_schedule, BackfillPolicy, PendingView};
+pub use fidelity::{compare, FidelityReport};
+pub use metrics::SimMetrics;
+pub use priority::PriorityWeights;
+pub use reference::ReferenceSimulator;
+pub use simulator::{JobStatus, SimConfig, Simulator};
+pub use snapshot::{ClusterSnapshot, QueuedJobView, RunningJobView};

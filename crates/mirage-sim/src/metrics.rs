@@ -1,0 +1,101 @@
+//! Aggregate simulation metrics: utilization, makespan, waits, JCT.
+
+use mirage_trace::JobRecord;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Jobs that ran to completion.
+    pub completed_jobs: usize,
+    /// Jobs rejected (could never fit the partition).
+    pub rejected_jobs: usize,
+    /// Completion time of the last job minus the first submit (seconds).
+    pub makespan: i64,
+    /// Mean queue wait over completed jobs (seconds).
+    pub avg_wait: f64,
+    /// Mean job completion time (end − submit) over completed jobs.
+    pub avg_jct: f64,
+    /// Node-seconds of work done divided by node-seconds available over the
+    /// active span.
+    pub utilization: f64,
+}
+
+impl SimMetrics {
+    /// Computes metrics from completed job records.
+    ///
+    /// `busy_node_seconds` and `span` come from the simulator's internal
+    /// accounting (`span` = simulated time from first submit to the final
+    /// event).
+    pub fn from_completed(
+        completed: &[JobRecord],
+        rejected: usize,
+        total_nodes: u32,
+        busy_node_seconds: f64,
+        span: i64,
+    ) -> Self {
+        let n = completed.len();
+        let first_submit = completed.iter().map(|j| j.submit).min().unwrap_or(0);
+        let last_end = completed.iter().filter_map(|j| j.end).max().unwrap_or(first_submit);
+        let makespan = last_end - first_submit;
+        let avg_wait = if n == 0 {
+            0.0
+        } else {
+            completed.iter().filter_map(|j| j.wait()).map(|w| w as f64).sum::<f64>() / n as f64
+        };
+        let avg_jct = if n == 0 {
+            0.0
+        } else {
+            completed
+                .iter()
+                .filter_map(|j| j.end.map(|e| (e - j.submit) as f64))
+                .sum::<f64>()
+                / n as f64
+        };
+        let utilization = if span > 0 && total_nodes > 0 {
+            busy_node_seconds / (f64::from(total_nodes) * span as f64)
+        } else {
+            0.0
+        };
+        Self {
+            completed_jobs: n,
+            rejected_jobs: rejected,
+            makespan,
+            avg_wait,
+            avg_jct,
+            utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done(id: u64, submit: i64, start: i64, runtime: i64) -> JobRecord {
+        let mut j = JobRecord::new(id, format!("j{id}"), 1, submit, 1, 2 * runtime, runtime);
+        j.complete_at(start);
+        j
+    }
+
+    #[test]
+    fn metrics_aggregate_correctly() {
+        let jobs = vec![done(1, 0, 10, 100), done(2, 50, 200, 100)];
+        let m = SimMetrics::from_completed(&jobs, 1, 4, 800.0, 300);
+        assert_eq!(m.completed_jobs, 2);
+        assert_eq!(m.rejected_jobs, 1);
+        assert_eq!(m.makespan, 300); // last end 300, first submit 0
+        assert!((m.avg_wait - 80.0).abs() < 1e-9); // (10 + 150) / 2
+        assert!((m.avg_jct - 180.0).abs() < 1e-9); // (110 + 250) / 2
+        assert!((m.utilization - 800.0 / 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeroes() {
+        let m = SimMetrics::from_completed(&[], 0, 4, 0.0, 0);
+        assert_eq!(m.completed_jobs, 0);
+        assert_eq!(m.makespan, 0);
+        assert_eq!(m.avg_wait, 0.0);
+        assert_eq!(m.utilization, 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Slurm multifactor priority (§5 of the paper; SchedMD's
+//! `priority/multifactor` plugin).
+//!
+//! Priority is a weighted sum of normalized factors:
+//!
+//! * **age** — time spent pending, saturating at `age_max` (Slurm's
+//!   `PriorityMaxAge`); note that, as the paper points out, the age factor
+//!   of a dependent job only starts accruing once its predecessor
+//!   completes — which is exactly why reactive chained submission waits so
+//!   long,
+//! * **job size** — larger allocations get a boost so wide jobs are not
+//!   starved by a stream of single-node work,
+//! * **fair-share** — users with little recent usage are favored; recent
+//!   usage decays exponentially with a configurable half-life.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Weights of the multifactor priority, mirroring Slurm's
+/// `PriorityWeightAge`, `PriorityWeightJobSize` and `PriorityWeightFairshare`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriorityWeights {
+    /// Weight of the (saturating) queue-age factor.
+    pub age: f64,
+    /// Pending time at which the age factor saturates, seconds.
+    pub age_max: i64,
+    /// Weight of the job-size factor (`nodes / total_nodes`).
+    pub size: f64,
+    /// Weight of the fair-share factor.
+    pub fairshare: f64,
+    /// Half-life of historical usage decay, seconds.
+    pub fairshare_halflife: i64,
+}
+
+impl Default for PriorityWeights {
+    /// Defaults shaped like a typical TACC multifactor configuration: age
+    /// dominates (FIFO-ish), fair-share corrects hogs, size gives wide jobs
+    /// a fighting chance.
+    fn default() -> Self {
+        Self {
+            age: 1000.0,
+            age_max: 7 * 24 * 3600,
+            size: 200.0,
+            fairshare: 500.0,
+            fairshare_halflife: 7 * 24 * 3600,
+        }
+    }
+}
+
+/// Tracks decayed per-user usage for the fair-share factor.
+#[derive(Debug, Clone, Default)]
+pub struct FairshareTracker {
+    usage: HashMap<u32, f64>,
+    last_decay: i64,
+}
+
+impl FairshareTracker {
+    /// Creates a tracker with no recorded usage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decays all recorded usage to instant `now` with the given half-life.
+    pub fn decay_to(&mut self, now: i64, halflife: i64) {
+        if now <= self.last_decay || halflife <= 0 {
+            self.last_decay = self.last_decay.max(now);
+            return;
+        }
+        let dt = (now - self.last_decay) as f64;
+        let factor = 0.5f64.powf(dt / halflife as f64);
+        for u in self.usage.values_mut() {
+            *u *= factor;
+        }
+        // Drop negligible entries so long simulations don't accumulate users.
+        self.usage.retain(|_, u| *u > 1e-6);
+        self.last_decay = now;
+    }
+
+    /// Records `node_seconds` of consumption by `user`.
+    pub fn record(&mut self, user: u32, node_seconds: f64) {
+        *self.usage.entry(user).or_insert(0.0) += node_seconds;
+    }
+
+    /// Normalized usage of `user` relative to `capacity_node_seconds` (the
+    /// cluster's node-seconds over one half-life). 0 = idle user.
+    pub fn normalized_usage(&self, user: u32, capacity_node_seconds: f64) -> f64 {
+        if capacity_node_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.usage.get(&user).copied().unwrap_or(0.0) / capacity_node_seconds
+    }
+}
+
+/// Computes the multifactor priority of one pending job.
+///
+/// `age` is seconds pending, `nodes`/`total_nodes` give the size factor and
+/// `usage_norm` is the user's normalized decayed usage (see
+/// [`FairshareTracker::normalized_usage`]).
+pub fn priority(weights: &PriorityWeights, age: i64, nodes: u32, total_nodes: u32, usage_norm: f64) -> f64 {
+    let age_factor = (age as f64 / weights.age_max as f64).clamp(0.0, 1.0);
+    let size_factor = f64::from(nodes) / f64::from(total_nodes.max(1));
+    // Slurm's fair-share curve: 2^(-usage); idle users get 1.0.
+    let fs_factor = 2.0f64.powf(-usage_norm.max(0.0));
+    weights.age * age_factor + weights.size * size_factor + weights.fairshare * fs_factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: PriorityWeights = PriorityWeights {
+        age: 1000.0,
+        age_max: 1000,
+        size: 100.0,
+        fairshare: 500.0,
+        fairshare_halflife: 1000,
+    };
+
+    #[test]
+    fn age_factor_saturates() {
+        let p1 = priority(&W, 500, 1, 10, 0.0);
+        let p2 = priority(&W, 1000, 1, 10, 0.0);
+        let p3 = priority(&W, 5000, 1, 10, 0.0);
+        assert!(p2 > p1);
+        assert!((p3 - p2).abs() < 1e-9, "age saturates at age_max");
+    }
+
+    #[test]
+    fn bigger_jobs_get_size_boost() {
+        let small = priority(&W, 0, 1, 10, 0.0);
+        let big = priority(&W, 0, 8, 10, 0.0);
+        assert!(big > small);
+        assert!((big - small - 100.0 * 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_users_lose_fairshare() {
+        let idle = priority(&W, 0, 1, 10, 0.0);
+        let hog = priority(&W, 0, 1, 10, 2.0);
+        assert!(idle > hog);
+        assert!((idle - hog - 500.0 * (1.0 - 0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_decays_with_halflife() {
+        let mut fs = FairshareTracker::new();
+        fs.record(1, 100.0);
+        fs.decay_to(1000, 1000);
+        assert!((fs.normalized_usage(1, 1.0) - 50.0).abs() < 1e-9);
+        fs.decay_to(2000, 1000);
+        assert!((fs.normalized_usage(1, 1.0) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_is_lazy_and_monotone() {
+        let mut fs = FairshareTracker::new();
+        fs.record(1, 8.0);
+        fs.decay_to(500, 1000);
+        fs.decay_to(500, 1000); // idempotent at same instant
+        let u = fs.normalized_usage(1, 1.0);
+        assert!(u < 8.0 && u > 4.0);
+        // time never goes backwards
+        fs.decay_to(100, 1000);
+        assert!((fs.normalized_usage(1, 1.0) - u).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_user_has_zero_usage() {
+        let fs = FairshareTracker::new();
+        assert_eq!(fs.normalized_usage(42, 100.0), 0.0);
+    }
+
+    #[test]
+    fn negligible_usage_is_dropped() {
+        let mut fs = FairshareTracker::new();
+        fs.record(1, 1e-3);
+        fs.decay_to(100_000, 100); // 1000 half-lives
+        assert_eq!(fs.normalized_usage(1, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Tick-driven reference simulator.
+//!
+//! Stands in for the "standard Slurm simulator" ([3, 44] in the paper) that
+//! the fast simulator is validated against in §5.2. It models the cadence
+//! of a production `slurmctld`:
+//!
+//! * the **main scheduling pass** (strict priority order, no backfill) runs
+//!   every `sched_interval` seconds,
+//! * the **backfill pass** runs every `backfill_interval` seconds,
+//! * job starts therefore happen only on scheduler ticks, even though
+//!   completions free nodes at their exact instants.
+//!
+//! Walking every tick makes it deliberately slower than the event-driven
+//! [`crate::Simulator`] — the overhead gap is part of the §5.2 claim
+//! (3–26× in the paper).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use mirage_trace::JobRecord;
+use serde::{Deserialize, Serialize};
+
+use crate::backfill::{plan_schedule, BackfillPolicy, PendingView};
+use crate::metrics::SimMetrics;
+use crate::priority::{priority, FairshareTracker, PriorityWeights};
+
+/// Reference simulator cadence configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceConfig {
+    /// Nodes in the partition.
+    pub nodes: u32,
+    /// Multifactor priority weights (shared with the fast simulator).
+    pub weights: PriorityWeights,
+    /// Main scheduling pass cadence, seconds (Slurm `sched_interval`).
+    pub sched_interval: i64,
+    /// Backfill pass cadence, seconds (Slurm `bf_interval`).
+    pub backfill_interval: i64,
+    /// Backfill flavor used by the backfill pass.
+    pub backfill: BackfillPolicy,
+    /// Simulation tick, seconds. Starts happen only on ticks.
+    pub tick: i64,
+}
+
+impl ReferenceConfig {
+    /// Production-like defaults: 30 s ticks, 60 s main pass, 120 s backfill.
+    pub fn new(nodes: u32) -> Self {
+        Self {
+            nodes,
+            weights: PriorityWeights::default(),
+            sched_interval: 60,
+            backfill_interval: 120,
+            backfill: BackfillPolicy::default(),
+            tick: 30,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefStatus {
+    Future,
+    Pending,
+    Running { start: i64 },
+    Done,
+    Rejected,
+}
+
+/// Tick-driven Slurm simulator used as the fidelity baseline.
+#[derive(Debug)]
+pub struct ReferenceSimulator {
+    cfg: ReferenceConfig,
+    now: i64,
+    free_nodes: u32,
+    jobs: Vec<JobRecord>,
+    status: Vec<RefStatus>,
+    arrivals: BinaryHeap<Reverse<(i64, usize)>>,
+    completions: BinaryHeap<Reverse<(i64, usize)>>,
+    pending: Vec<usize>,
+    fairshare: FairshareTracker,
+    busy_node_seconds: f64,
+    first_submit: Option<i64>,
+    rejected: usize,
+    last_sched: i64,
+    last_backfill: i64,
+}
+
+impl ReferenceSimulator {
+    /// Creates an idle cluster at time 0.
+    pub fn new(cfg: ReferenceConfig) -> Self {
+        let free = cfg.nodes;
+        Self {
+            cfg,
+            now: 0,
+            free_nodes: free,
+            jobs: Vec::new(),
+            status: Vec::new(),
+            arrivals: BinaryHeap::new(),
+            completions: BinaryHeap::new(),
+            pending: Vec::new(),
+            fairshare: FairshareTracker::new(),
+            busy_node_seconds: 0.0,
+            first_submit: None,
+            rejected: 0,
+            // "Long ago" without risking i64 overflow in cadence checks.
+            last_sched: i64::MIN / 4,
+            last_backfill: i64::MIN / 4,
+        }
+    }
+
+    /// Loads future arrivals.
+    pub fn load_trace(&mut self, jobs: &[JobRecord]) {
+        for j in jobs {
+            let idx = self.jobs.len();
+            let submit = j.submit;
+            self.first_submit = Some(self.first_submit.map_or(submit, |f| f.min(submit)));
+            let mut rec = j.clone();
+            rec.start = None;
+            rec.end = None;
+            self.jobs.push(rec);
+            self.status.push(RefStatus::Future);
+            self.arrivals.push(Reverse((submit, idx)));
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> i64 {
+        self.now
+    }
+
+    /// Runs tick-by-tick until `t_end`.
+    pub fn run_until(&mut self, t_end: i64) {
+        while self.now < t_end {
+            let next = (self.now + self.cfg.tick).min(t_end);
+            self.advance_tick(next);
+        }
+    }
+
+    /// Runs until all loaded jobs are done or rejected.
+    pub fn run_to_completion(&mut self) {
+        while !self.arrivals.is_empty()
+            || !self.completions.is_empty()
+            || !self.pending.is_empty()
+        {
+            let next = self.now + self.cfg.tick;
+            self.advance_tick(next);
+        }
+    }
+
+    fn advance_tick(&mut self, tick_end: i64) {
+        // Free nodes at exact completion instants (accurate utilization and
+        // JCT), but defer any new starts to the tick boundary.
+        while let Some(&Reverse((t, idx))) = self.completions.peek() {
+            if t > tick_end {
+                break;
+            }
+            self.completions.pop();
+            self.clock_to(t);
+            let start = match self.status[idx] {
+                RefStatus::Running { start } => start,
+                _ => unreachable!("completion for non-running job"),
+            };
+            self.status[idx] = RefStatus::Done;
+            self.jobs[idx].start = Some(start);
+            self.jobs[idx].end = Some(t);
+            self.free_nodes += self.jobs[idx].nodes;
+            let consumed = f64::from(self.jobs[idx].nodes) * (t - start) as f64;
+            self.fairshare.record(self.jobs[idx].user, consumed);
+        }
+        while let Some(&Reverse((t, idx))) = self.arrivals.peek() {
+            if t > tick_end {
+                break;
+            }
+            self.arrivals.pop();
+            self.clock_to(t);
+            if self.jobs[idx].nodes > self.cfg.nodes {
+                self.status[idx] = RefStatus::Rejected;
+                self.rejected += 1;
+            } else {
+                self.status[idx] = RefStatus::Pending;
+                self.pending.push(idx);
+            }
+        }
+        self.clock_to(tick_end);
+
+        let run_main = self.now - self.last_sched >= self.cfg.sched_interval;
+        let run_bf = self.now - self.last_backfill >= self.cfg.backfill_interval;
+        if run_main {
+            self.last_sched = self.now;
+            self.schedule(BackfillPolicy::None);
+        }
+        if run_bf {
+            self.last_backfill = self.now;
+            self.schedule(self.cfg.backfill);
+        }
+    }
+
+    fn clock_to(&mut self, t: i64) {
+        if t <= self.now {
+            return;
+        }
+        let dt = (t - self.now) as f64;
+        self.busy_node_seconds += f64::from(self.cfg.nodes - self.free_nodes) * dt;
+        self.now = t;
+    }
+
+    fn schedule(&mut self, policy: BackfillPolicy) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let capacity_ns =
+            f64::from(self.cfg.nodes) * self.cfg.weights.fairshare_halflife as f64;
+        self.fairshare
+            .decay_to(self.now, self.cfg.weights.fairshare_halflife);
+        let w = self.cfg.weights;
+        let mut order = self.pending.clone();
+        let mut prio: HashMap<usize, f64> = HashMap::with_capacity(order.len());
+        for &i in &order {
+            let r = &self.jobs[i];
+            let usage = self.fairshare.normalized_usage(r.user, capacity_ns);
+            prio.insert(
+                i,
+                priority(&w, self.now - r.submit, r.nodes, self.cfg.nodes, usage),
+            );
+        }
+        order.sort_by(|&a, &b| {
+            prio[&b]
+                .partial_cmp(&prio[&a])
+                .unwrap()
+                .then(self.jobs[a].submit.cmp(&self.jobs[b].submit))
+                .then(self.jobs[a].id.cmp(&self.jobs[b].id))
+        });
+        let views: Vec<PendingView> = order
+            .iter()
+            .map(|&i| PendingView { nodes: self.jobs[i].nodes, timelimit: self.jobs[i].timelimit })
+            .collect();
+        let releases: Vec<(i64, u32)> = self
+            .status
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                RefStatus::Running { start } => {
+                    Some((start + self.jobs[i].timelimit, self.jobs[i].nodes))
+                }
+                _ => None,
+            })
+            .collect();
+        let starts = plan_schedule(
+            &views,
+            self.free_nodes,
+            self.cfg.nodes,
+            self.now,
+            &releases,
+            policy,
+        );
+        let started: Vec<usize> = starts.iter().map(|&s| order[s]).collect();
+        for &idx in &started {
+            self.status[idx] = RefStatus::Running { start: self.now };
+            self.free_nodes -= self.jobs[idx].nodes;
+            let run = self.jobs[idx].runtime.min(self.jobs[idx].timelimit);
+            self.completions.push(Reverse((self.now + run, idx)));
+        }
+        self.pending.retain(|i| !started.contains(i));
+    }
+
+    /// Completed jobs (start/end filled), in completion order.
+    pub fn completed(&self) -> Vec<JobRecord> {
+        let mut done: Vec<&JobRecord> = self
+            .jobs
+            .iter()
+            .zip(&self.status)
+            .filter_map(|(j, s)| matches!(s, RefStatus::Done).then_some(j))
+            .collect();
+        done.sort_by_key(|j| (j.end, j.id));
+        done.into_iter().cloned().collect()
+    }
+
+    /// Aggregate metrics of the run so far.
+    pub fn metrics(&self) -> SimMetrics {
+        let completed = self.completed();
+        let span = self.now - self.first_submit.unwrap_or(0);
+        SimMetrics::from_completed(
+            &completed,
+            self.rejected,
+            self.cfg.nodes,
+            self.busy_node_seconds,
+            span.max(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_trace::HOUR;
+
+    fn job(id: u64, submit: i64, nodes: u32, runtime: i64, limit: i64) -> JobRecord {
+        JobRecord::new(id, format!("j{id}"), 1, submit, nodes, limit, runtime)
+    }
+
+    #[test]
+    fn starts_happen_on_ticks_only() {
+        let mut s = ReferenceSimulator::new(ReferenceConfig::new(4));
+        s.load_trace(&[job(1, 45, 1, HOUR, HOUR)]);
+        s.run_to_completion();
+        let done = s.completed();
+        let start = done[0].start.unwrap();
+        // Submitted at t=45; the next main pass tick at/after 45 is 60.
+        assert!(start >= 45);
+        assert_eq!(start % 30, 0, "starts align to scheduler ticks");
+    }
+
+    #[test]
+    fn completes_all_jobs_like_fast_sim() {
+        let trace: Vec<JobRecord> = (0..20)
+            .map(|i| job(i + 1, i as i64 * 600, 1 + (i % 3) as u32, HOUR, 2 * HOUR))
+            .collect();
+        let mut s = ReferenceSimulator::new(ReferenceConfig::new(4));
+        s.load_trace(&trace);
+        s.run_to_completion();
+        assert_eq!(s.completed().len(), 20);
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let mut s = ReferenceSimulator::new(ReferenceConfig::new(2));
+        s.load_trace(&[job(1, 0, 4, HOUR, HOUR)]);
+        s.run_to_completion();
+        assert_eq!(s.metrics().rejected_jobs, 1);
+    }
+
+    #[test]
+    fn backfill_happens_while_head_is_blocked() {
+        // J1 holds 3 of 4 nodes (limit 4h); J2 (4 nodes) blocks the head.
+        // J3 (1 node, short limit) can only start via the backfill pass —
+        // and must start while J1 is still running, on a tick boundary.
+        let mut cfg = ReferenceConfig::new(4);
+        cfg.backfill_interval = 300;
+        let mut s = ReferenceSimulator::new(cfg);
+        s.load_trace(&[
+            job(1, 0, 3, 2 * HOUR, 4 * HOUR),
+            job(2, 10, 4, HOUR, 2 * HOUR),
+            job(3, 20, 1, HOUR / 4, HOUR / 4),
+        ]);
+        s.run_to_completion();
+        let done = s.completed();
+        let j3 = done.iter().find(|j| j.id == 3).unwrap();
+        let start = j3.start.unwrap();
+        assert!((20..2 * HOUR).contains(&start), "backfilled before J1 ends");
+        assert_eq!(start % 30, 0, "starts align to scheduler ticks");
+    }
+}

@@ -1,0 +1,653 @@
+//! The fast, event-driven Slurm simulator.
+//!
+//! Exposes the agent-facing interface the paper describes in §5.1:
+//! [`Simulator::submit`] injects a job, [`Simulator::step`] advances
+//! simulated time, and [`Simulator::sample`] returns the observable
+//! cluster state. Scheduling passes run exactly when an arrival or
+//! completion changes the system, which is what makes replaying a month of
+//! trace take well under a minute.
+
+use std::collections::HashMap;
+
+use mirage_trace::JobRecord;
+use serde::{Deserialize, Serialize};
+
+use crate::backfill::{plan_schedule, BackfillPolicy, PendingView};
+use crate::event::{Event, EventKind, EventQueue};
+use crate::metrics::SimMetrics;
+use crate::priority::{priority, FairshareTracker, PriorityWeights};
+use crate::snapshot::{ClusterSnapshot, QueuedJobView, RunningJobView};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Nodes in the partition.
+    pub nodes: u32,
+    /// Multifactor priority weights.
+    pub weights: PriorityWeights,
+    /// Backfill flavor.
+    pub backfill: BackfillPolicy,
+    /// Reject jobs that request more nodes than the partition has. When
+    /// `false` such jobs pend forever (they can still be cleaned upstream).
+    pub reject_oversized: bool,
+    /// At most this many queued jobs are considered per scheduling pass,
+    /// taken in priority order (Slurm's `bf_max_job_test`). Bounds the cost
+    /// of a pass when the backlog explodes.
+    pub sched_depth: usize,
+}
+
+impl SimConfig {
+    /// Default configuration for a partition of `nodes` nodes.
+    pub fn new(nodes: u32) -> Self {
+        Self {
+            nodes,
+            weights: PriorityWeights::default(),
+            backfill: BackfillPolicy::default(),
+            reject_oversized: true,
+            sched_depth: 512,
+        }
+    }
+}
+
+/// Lifecycle state of a job inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Known but not yet submitted (future trace arrival).
+    Future,
+    /// In the queue.
+    Pending,
+    /// Dispatched; payload is the start time.
+    Running {
+        /// Dispatch instant.
+        start: i64,
+    },
+    /// Finished; payload is `(start, end)`.
+    Completed {
+        /// Dispatch instant.
+        start: i64,
+        /// Completion instant.
+        end: i64,
+    },
+    /// Rejected (cannot ever fit).
+    Rejected,
+}
+
+#[derive(Debug, Clone)]
+struct SimJob {
+    record: JobRecord,
+    status: JobStatus,
+}
+
+/// Event-driven Slurm simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+    now: i64,
+    free_nodes: u32,
+    jobs: Vec<SimJob>,
+    id_map: HashMap<u64, usize>,
+    pending: Vec<usize>,
+    running: Vec<usize>, // arena indices of running jobs (≤ nodes entries)
+    events: EventQueue,
+    fairshare: FairshareTracker,
+    busy_node_seconds: f64,
+    first_submit: Option<i64>,
+    rejected: usize,
+    next_id: u64,
+    /// Rolling log of `(start_time, wait)` for jobs as they dispatch, for
+    /// the `avg` heuristic baseline (§6: submit `T_avg` before the end).
+    recent_starts: std::collections::VecDeque<(i64, i64)>,
+    // Scratch buffers reused across scheduling passes (perf-book: reuse
+    // workhorse collections instead of reallocating in the hot loop).
+    scratch_order: Vec<(f64, i64, u64, usize)>,
+    scratch_views: Vec<PendingView>,
+    scratch_releases: Vec<(i64, u32)>,
+}
+
+impl Simulator {
+    /// Creates an idle cluster at time 0.
+    pub fn new(cfg: SimConfig) -> Self {
+        let free_nodes = cfg.nodes;
+        Self {
+            cfg,
+            now: 0,
+            free_nodes,
+            jobs: Vec::new(),
+            id_map: HashMap::new(),
+            pending: Vec::new(),
+            running: Vec::new(),
+            events: EventQueue::new(),
+            fairshare: FairshareTracker::new(),
+            busy_node_seconds: 0.0,
+            first_submit: None,
+            rejected: 0,
+            next_id: 1,
+            recent_starts: std::collections::VecDeque::new(),
+            scratch_order: Vec::new(),
+            scratch_views: Vec::new(),
+            scratch_releases: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> i64 {
+        self.now
+    }
+
+    /// Idle node count.
+    pub fn free_nodes(&self) -> u32 {
+        self.free_nodes
+    }
+
+    /// Partition size.
+    pub fn total_nodes(&self) -> u32 {
+        self.cfg.nodes
+    }
+
+    /// Simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Loads a trace of future arrivals. Jobs with `submit <= now` arrive
+    /// immediately on the next event processing. Ids are preserved if
+    /// unique, otherwise reassigned.
+    pub fn load_trace(&mut self, jobs: &[JobRecord]) {
+        for j in jobs {
+            self.insert_future(j.clone());
+        }
+    }
+
+    /// Submits a job *now* (the agent-facing call): the job's submit time
+    /// is overridden to the current instant. Returns the id under which the
+    /// simulator tracks it.
+    pub fn submit(&mut self, mut job: JobRecord) -> u64 {
+        job.submit = self.now;
+        self.insert_future(job)
+    }
+
+    fn insert_future(&mut self, mut job: JobRecord) -> u64 {
+        job.start = None;
+        job.end = None;
+        if job.id == 0 || self.id_map.contains_key(&job.id) {
+            while self.id_map.contains_key(&self.next_id) {
+                self.next_id += 1;
+            }
+            job.id = self.next_id;
+            self.next_id += 1;
+        }
+        self.next_id = self.next_id.max(job.id + 1);
+        let id = job.id;
+        let submit = job.submit.max(self.now);
+        let idx = self.jobs.len();
+        self.first_submit = Some(self.first_submit.map_or(submit, |f| f.min(submit)));
+        self.jobs.push(SimJob { record: job, status: JobStatus::Future });
+        self.id_map.insert(id, idx);
+        self.events.push(Event { time: submit, kind: EventKind::Arrival, job: idx });
+        id
+    }
+
+    /// Observable cluster state at the current instant.
+    pub fn sample(&self) -> ClusterSnapshot {
+        let queued = self
+            .pending
+            .iter()
+            .map(|&i| {
+                let r = &self.jobs[i].record;
+                QueuedJobView {
+                    id: r.id,
+                    nodes: r.nodes,
+                    submit: r.submit,
+                    age: self.now - r.submit,
+                    timelimit: r.timelimit,
+                    user: r.user,
+                }
+            })
+            .collect();
+        let running = self
+            .running
+            .iter()
+            .map(|&i| {
+                let j = &self.jobs[i];
+                let start = match j.status {
+                    JobStatus::Running { start } => start,
+                    _ => unreachable!("running list holds only running jobs"),
+                };
+                RunningJobView {
+                    id: j.record.id,
+                    nodes: j.record.nodes,
+                    start,
+                    elapsed: self.now - start,
+                    timelimit: j.record.timelimit,
+                    user: j.record.user,
+                }
+            })
+            .collect();
+        ClusterSnapshot {
+            now: self.now,
+            free_nodes: self.free_nodes,
+            total_nodes: self.cfg.nodes,
+            queued,
+            running,
+        }
+    }
+
+    /// Status of a job by id.
+    pub fn job_status(&self, id: u64) -> Option<JobStatus> {
+        self.id_map.get(&id).map(|&i| self.jobs[i].status)
+    }
+
+    /// Advances simulated time by `dt` seconds, processing every event in
+    /// the window.
+    pub fn step(&mut self, dt: i64) {
+        assert!(dt >= 0, "cannot step backwards");
+        self.run_until(self.now + dt);
+    }
+
+    /// Advances simulated time to `t_end`, processing every event up to and
+    /// including that instant.
+    pub fn run_until(&mut self, t_end: i64) {
+        while let Some(t) = self.events.peek_time() {
+            if t > t_end {
+                break;
+            }
+            self.advance_clock(t);
+            self.process_events_at(t);
+            self.schedule_pass();
+        }
+        self.advance_clock(t_end);
+    }
+
+    /// Runs until no events remain (all loaded jobs completed or rejected).
+    pub fn run_to_completion(&mut self) {
+        while let Some(t) = self.events.peek_time() {
+            self.advance_clock(t);
+            self.process_events_at(t);
+            self.schedule_pass();
+        }
+    }
+
+    /// Whether any work remains (queued, running or future).
+    pub fn is_active(&self) -> bool {
+        !self.events.is_empty() || !self.pending.is_empty() || !self.running.is_empty()
+    }
+
+    /// Completed job records (start/end filled), in completion order.
+    pub fn completed(&self) -> Vec<JobRecord> {
+        let mut done: Vec<&SimJob> = self
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.status, JobStatus::Completed { .. }))
+            .collect();
+        done.sort_by_key(|j| (j.record.end, j.record.id));
+        done.iter().map(|j| j.record.clone()).collect()
+    }
+
+    /// Mean queue wait of jobs that *started* within the trailing `window`
+    /// seconds — the observable statistic behind the paper's `avg`
+    /// heuristic baseline. `None` if nothing started in the window.
+    pub fn avg_recent_wait(&self, window: i64) -> Option<f64> {
+        let cutoff = self.now - window;
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for &(start, wait) in self.recent_starts.iter().rev() {
+            if start < cutoff {
+                break;
+            }
+            sum += wait as f64;
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Aggregate metrics of the run so far.
+    pub fn metrics(&self) -> SimMetrics {
+        let completed = self.completed();
+        let span = self.now - self.first_submit.unwrap_or(0);
+        SimMetrics::from_completed(
+            &completed,
+            self.rejected,
+            self.cfg.nodes,
+            self.busy_node_seconds,
+            span.max(0),
+        )
+    }
+
+    fn advance_clock(&mut self, t: i64) {
+        if t <= self.now {
+            return;
+        }
+        let dt = (t - self.now) as f64;
+        self.busy_node_seconds += f64::from(self.cfg.nodes - self.free_nodes) * dt;
+        self.now = t;
+    }
+
+    /// Fires all events at exactly time `t` (completions first — the event
+    /// queue orders them ahead of arrivals).
+    fn process_events_at(&mut self, t: i64) {
+        while self.events.peek_time() == Some(t) {
+            let ev = self.events.pop().expect("peeked");
+            match ev.kind {
+                EventKind::Completion => self.complete_job(ev.job),
+                EventKind::Arrival => self.arrive_job(ev.job),
+            }
+        }
+    }
+
+    fn arrive_job(&mut self, idx: usize) {
+        let job = &mut self.jobs[idx];
+        debug_assert!(matches!(job.status, JobStatus::Future));
+        if self.cfg.reject_oversized && job.record.nodes > self.cfg.nodes {
+            job.status = JobStatus::Rejected;
+            self.rejected += 1;
+            return;
+        }
+        job.status = JobStatus::Pending;
+        self.pending.push(idx);
+    }
+
+    fn complete_job(&mut self, idx: usize) {
+        let now = self.now;
+        let job = &mut self.jobs[idx];
+        let JobStatus::Running { start } = job.status else {
+            unreachable!("completion event for non-running job");
+        };
+        job.status = JobStatus::Completed { start, end: now };
+        job.record.start = Some(start);
+        job.record.end = Some(now);
+        self.free_nodes += job.record.nodes;
+        let consumed = f64::from(job.record.nodes) * (now - start) as f64;
+        let user = job.record.user;
+        self.fairshare.record(user, consumed);
+        if let Some(pos) = self.running.iter().position(|&i| i == idx) {
+            self.running.swap_remove(pos);
+        }
+    }
+
+    fn start_job(&mut self, idx: usize) {
+        let now = self.now;
+        let job = &mut self.jobs[idx];
+        debug_assert!(matches!(job.status, JobStatus::Pending));
+        self.recent_starts.push_back((now, now - job.record.submit));
+        if self.recent_starts.len() > 4096 {
+            self.recent_starts.pop_front();
+        }
+        job.status = JobStatus::Running { start: now };
+        self.free_nodes -= job.record.nodes;
+        // Jobs are killed at their wall-clock limit.
+        let run = job.record.runtime.min(job.record.timelimit);
+        let end = now + run;
+        self.running.push(idx);
+        self.events.push(Event { time: end, kind: EventKind::Completion, job: idx });
+    }
+
+    /// One scheduling pass: priority ordering + backfill plan + starts.
+    ///
+    /// Only the `sched_depth` highest-priority queued jobs are examined
+    /// (Slurm's `bf_max_job_test`), keeping the pass cheap even with a
+    /// multi-thousand-job backlog.
+    fn schedule_pass(&mut self) {
+        if self.pending.is_empty() || self.free_nodes == 0 {
+            return;
+        }
+        let capacity_ns =
+            f64::from(self.cfg.nodes) * self.cfg.weights.fairshare_halflife as f64;
+        self.fairshare
+            .decay_to(self.now, self.cfg.weights.fairshare_halflife);
+
+        let w = self.cfg.weights;
+        let now = self.now;
+        let total = self.cfg.nodes;
+
+        // (−priority, submit, id, idx): ascending sort gives descending
+        // priority with FIFO tie-breaks, no hashing in the hot loop.
+        let order = &mut self.scratch_order;
+        order.clear();
+        order.reserve(self.pending.len());
+        for &i in &self.pending {
+            let r = &self.jobs[i].record;
+            let usage = self.fairshare.normalized_usage(r.user, capacity_ns);
+            let p = priority(&w, now - r.submit, r.nodes, total, usage);
+            order.push((-p, r.submit, r.id, i));
+        }
+        let depth = self.cfg.sched_depth.max(1);
+        if order.len() > depth {
+            order.select_nth_unstable_by(depth - 1, |a, b| a.partial_cmp(b).unwrap());
+            order.truncate(depth);
+        }
+        order.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+
+        self.scratch_views.clear();
+        self.scratch_views.extend(order.iter().map(|&(_, _, _, i)| PendingView {
+            nodes: self.jobs[i].record.nodes,
+            timelimit: self.jobs[i].record.timelimit,
+        }));
+        self.scratch_releases.clear();
+        self.scratch_releases.extend(self.running.iter().map(|&i| {
+            let j = &self.jobs[i];
+            let JobStatus::Running { start } = j.status else { unreachable!() };
+            // The scheduler only knows the *limit*, not the real runtime.
+            (start + j.record.timelimit, j.record.nodes)
+        }));
+
+        let starts = plan_schedule(
+            &self.scratch_views,
+            self.free_nodes,
+            self.cfg.nodes,
+            self.now,
+            &self.scratch_releases,
+            self.cfg.backfill,
+        );
+        if starts.is_empty() {
+            return;
+        }
+        let started: Vec<usize> = starts.iter().map(|&s| self.scratch_order[s].3).collect();
+        for &idx in &started {
+            self.start_job(idx);
+        }
+        self.pending
+            .retain(|&i| matches!(self.jobs[i].status, JobStatus::Pending));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_trace::HOUR;
+
+    fn job(id: u64, submit: i64, nodes: u32, runtime: i64, limit: i64) -> JobRecord {
+        JobRecord::new(id, format!("j{id}"), 1, submit, nodes, limit, runtime)
+    }
+
+    fn sim(nodes: u32) -> Simulator {
+        Simulator::new(SimConfig::new(nodes))
+    }
+
+    #[test]
+    fn empty_cluster_starts_job_immediately() {
+        let mut s = sim(4);
+        s.load_trace(&[job(1, 100, 2, HOUR, 2 * HOUR)]);
+        s.run_to_completion();
+        let done = s.completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].start, Some(100));
+        assert_eq!(done[0].end, Some(100 + HOUR));
+    }
+
+    #[test]
+    fn jobs_queue_when_cluster_full() {
+        let mut s = sim(4);
+        s.load_trace(&[
+            job(1, 0, 4, HOUR, 2 * HOUR),
+            job(2, 10, 4, HOUR, 2 * HOUR),
+        ]);
+        s.run_to_completion();
+        let done = s.completed();
+        assert_eq!(done[0].start, Some(0));
+        // Second job waits for the first to actually finish (1h), not its
+        // 2h limit.
+        assert_eq!(done[1].start, Some(HOUR));
+        assert_eq!(done[1].wait(), Some(HOUR - 10));
+    }
+
+    #[test]
+    fn backfill_lets_short_job_jump_ahead() {
+        // 4 nodes; J1 takes 3 of them until t=2h (limit 4h → shadow at 4h).
+        // J2 (4 nodes) blocks at its arrival; J3 (1 node, 30 min limit)
+        // fits in the single free node and finishes before J2's shadow, so
+        // EASY backfills it immediately at t=20.
+        let mut s = sim(4);
+        s.load_trace(&[
+            job(1, 0, 3, 2 * HOUR, 4 * HOUR),
+            job(2, 10, 4, HOUR, 2 * HOUR),
+            job(3, 20, 1, HOUR / 2, HOUR / 2),
+        ]);
+        s.run_to_completion();
+        let done = s.completed();
+        let j3 = done.iter().find(|j| j.id == 3).unwrap();
+        assert_eq!(j3.start, Some(20), "J3 backfills instantly");
+        // J2 starts when J1 *actually* completes (2h), not at the 4h limit.
+        let j2 = done.iter().find(|j| j.id == 2).unwrap();
+        assert_eq!(j2.start, Some(2 * HOUR));
+    }
+
+    #[test]
+    fn no_backfill_means_head_of_line_blocking() {
+        let mut cfg = SimConfig::new(4);
+        cfg.backfill = BackfillPolicy::None;
+        let mut s = Simulator::new(cfg);
+        // J1 fills the cluster; J2 (too big to fit beside J1) blocks J3
+        // even though J3 would fit.
+        s.load_trace(&[
+            job(1, 0, 3, 2 * HOUR, 2 * HOUR),
+            job(2, 10, 4, HOUR, HOUR),
+            job(3, 20, 1, HOUR, HOUR),
+        ]);
+        s.run_until(HOUR);
+        let snap = s.sample();
+        assert_eq!(snap.running.len(), 1, "only J1 runs");
+        assert_eq!(snap.queued.len(), 2, "J3 blocked behind J2");
+    }
+
+    #[test]
+    fn oversized_jobs_are_rejected() {
+        let mut s = sim(4);
+        s.load_trace(&[job(1, 0, 8, HOUR, HOUR)]);
+        s.run_to_completion();
+        assert_eq!(s.job_status(1), Some(JobStatus::Rejected));
+        assert_eq!(s.metrics().rejected_jobs, 1);
+        assert!(s.completed().is_empty());
+    }
+
+    #[test]
+    fn submit_overrides_submit_time_to_now() {
+        let mut s = sim(4);
+        s.step(500);
+        let id = s.submit(job(0, 42, 1, HOUR, HOUR));
+        s.run_to_completion();
+        let done = s.completed();
+        assert_eq!(done[0].id, id);
+        assert_eq!(done[0].submit, 500);
+    }
+
+    #[test]
+    fn sample_reports_ages_and_elapsed() {
+        let mut s = sim(2);
+        s.load_trace(&[
+            job(1, 0, 2, 4 * HOUR, 4 * HOUR),
+            job(2, HOUR, 1, HOUR, HOUR),
+        ]);
+        s.run_until(2 * HOUR);
+        let snap = s.sample();
+        assert_eq!(snap.now, 2 * HOUR);
+        assert_eq!(snap.running.len(), 1);
+        assert_eq!(snap.running[0].elapsed, 2 * HOUR);
+        assert_eq!(snap.queued.len(), 1);
+        assert_eq!(snap.queued[0].age, HOUR);
+        assert_eq!(snap.free_nodes, 0);
+    }
+
+    #[test]
+    fn step_is_incremental_run_until() {
+        let mut a = sim(2);
+        let mut b = sim(2);
+        let trace = vec![
+            job(1, 0, 1, HOUR, HOUR),
+            job(2, 30, 2, HOUR, 2 * HOUR),
+            job(3, 60, 1, 2 * HOUR, 2 * HOUR),
+        ];
+        a.load_trace(&trace);
+        b.load_trace(&trace);
+        a.run_until(5 * HOUR);
+        for _ in 0..10 {
+            b.step(HOUR / 2);
+        }
+        assert_eq!(a.sample(), b.sample());
+        assert_eq!(a.completed(), b.completed());
+    }
+
+    #[test]
+    fn utilization_accounting_matches_by_hand() {
+        let mut s = sim(2);
+        // One 1-node job for 1h on a 2-node cluster, observed over 2h.
+        s.load_trace(&[job(1, 0, 1, HOUR, HOUR)]);
+        s.run_until(2 * HOUR);
+        let m = s.metrics();
+        // busy = 1 node × 1h = 3600 node-s; capacity = 2 × 7200.
+        assert!((m.utilization - 3600.0 / 14400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_ids_are_reassigned() {
+        let mut s = sim(4);
+        let a = s.submit(job(7, 0, 1, HOUR, HOUR));
+        let b = s.submit(job(7, 0, 1, HOUR, HOUR));
+        assert_eq!(a, 7);
+        assert_ne!(b, 7);
+        s.run_to_completion();
+        assert_eq!(s.completed().len(), 2);
+    }
+
+    #[test]
+    fn fairshare_pushes_hogs_back() {
+        // User 1 monopolizes the cluster; then user 1 and user 2 submit
+        // simultaneously — user 2 must start first.
+        let mut s = sim(2);
+        let mut hog = job(1, 0, 2, 10 * HOUR, 10 * HOUR);
+        hog.user = 1;
+        s.load_trace(&[hog]);
+        s.run_until(10 * HOUR);
+        let mut j_hog = job(2, 0, 2, HOUR, HOUR);
+        j_hog.user = 1;
+        let mut j_new = job(3, 0, 2, HOUR, HOUR);
+        j_new.user = 2;
+        s.submit(j_hog);
+        s.submit(j_new);
+        s.run_to_completion();
+        let done = s.completed();
+        let start_hog = done.iter().find(|j| j.id == 2).unwrap().start.unwrap();
+        let start_new = done.iter().find(|j| j.id == 3).unwrap().start.unwrap();
+        assert!(start_new < start_hog, "fresh user should preempt hog in queue order");
+    }
+
+    #[test]
+    fn runtime_capped_at_timelimit() {
+        let mut s = sim(1);
+        let mut j = job(1, 0, 1, 10 * HOUR, HOUR);
+        j.runtime = 10 * HOUR; // claims 10h but limit is 1h
+        s.load_trace(&[j]);
+        s.run_to_completion();
+        let done = s.completed();
+        assert_eq!(done[0].end, Some(HOUR), "killed at the wall-clock limit");
+    }
+
+    #[test]
+    fn is_active_tracks_outstanding_work() {
+        let mut s = sim(1);
+        assert!(!s.is_active());
+        s.load_trace(&[job(1, 100, 1, HOUR, HOUR)]);
+        assert!(s.is_active());
+        s.run_to_completion();
+        assert!(!s.is_active());
+    }
+}

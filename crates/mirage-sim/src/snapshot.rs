@@ -1,0 +1,113 @@
+//! Cluster state snapshots — what `sample()` hands to the agent.
+//!
+//! The Mirage state encoder (§4.1) consumes exactly this view: queued-job
+//! sizes/ages/limits, running-job sizes/elapsed/limits, and the free-node
+//! count. Job-internal state is deliberately absent: the paper treats, e.g.,
+//! a training job's epoch progress as private to the user.
+
+use serde::{Deserialize, Serialize};
+
+/// One queued (pending) job as visible to the provisioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueuedJobView {
+    /// Simulator job id.
+    pub id: u64,
+    /// Requested nodes.
+    pub nodes: u32,
+    /// Submission instant.
+    pub submit: i64,
+    /// Seconds spent pending so far.
+    pub age: i64,
+    /// Requested wall-clock limit.
+    pub timelimit: i64,
+    /// Owning user.
+    pub user: u32,
+}
+
+/// One running job as visible to the provisioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunningJobView {
+    /// Simulator job id.
+    pub id: u64,
+    /// Allocated nodes.
+    pub nodes: u32,
+    /// Dispatch instant.
+    pub start: i64,
+    /// Seconds running so far.
+    pub elapsed: i64,
+    /// Requested wall-clock limit.
+    pub timelimit: i64,
+    /// Owning user.
+    pub user: u32,
+}
+
+/// Full observable cluster state at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// Snapshot instant.
+    pub now: i64,
+    /// Idle nodes.
+    pub free_nodes: u32,
+    /// Partition size.
+    pub total_nodes: u32,
+    /// Pending jobs (unordered).
+    pub queued: Vec<QueuedJobView>,
+    /// Running jobs (unordered).
+    pub running: Vec<RunningJobView>,
+}
+
+impl ClusterSnapshot {
+    /// Nodes currently allocated.
+    pub fn busy_nodes(&self) -> u32 {
+        self.total_nodes - self.free_nodes
+    }
+
+    /// Instantaneous utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_nodes == 0 {
+            0.0
+        } else {
+            f64::from(self.busy_nodes()) / f64::from(self.total_nodes)
+        }
+    }
+
+    /// Total nodes requested by the queue (demand backlog).
+    pub fn queued_nodes(&self) -> u32 {
+        self.queued.iter().map(|q| q.nodes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let snap = ClusterSnapshot {
+            now: 100,
+            free_nodes: 2,
+            total_nodes: 8,
+            queued: vec![
+                QueuedJobView { id: 1, nodes: 4, submit: 0, age: 100, timelimit: 10, user: 1 },
+                QueuedJobView { id: 2, nodes: 3, submit: 50, age: 50, timelimit: 10, user: 2 },
+            ],
+            running: vec![],
+        };
+        assert_eq!(snap.busy_nodes(), 6);
+        assert!((snap.utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(snap.queued_nodes(), 7);
+    }
+
+    #[test]
+    fn empty_cluster_is_safe() {
+        let snap = ClusterSnapshot {
+            now: 0,
+            free_nodes: 0,
+            total_nodes: 0,
+            queued: vec![],
+            running: vec![],
+        };
+        assert_eq!(snap.utilization(), 0.0);
+        assert_eq!(snap.queued_nodes(), 0);
+    }
+}

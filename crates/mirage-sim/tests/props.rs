@@ -1,0 +1,131 @@
+//! Property-based tests for the scheduling core and the simulator.
+
+use mirage_sim::{plan_schedule, BackfillPolicy, PendingView, SimConfig, Simulator};
+use mirage_trace::JobRecord;
+use proptest::prelude::*;
+
+/// Arbitrary pending queue (already in priority order by construction).
+fn pending_strategy() -> impl Strategy<Value = Vec<PendingView>> {
+    prop::collection::vec(
+        (1u32..=16, 60i64..100_000).prop_map(|(nodes, timelimit)| PendingView { nodes, timelimit }),
+        0..20,
+    )
+}
+
+/// Arbitrary running set: (release time, nodes).
+fn running_strategy() -> impl Strategy<Value = Vec<(i64, u32)>> {
+    prop::collection::vec((1i64..50_000, 1u32..=8), 0..12)
+}
+
+proptest! {
+    /// Started jobs never exceed the free nodes available.
+    #[test]
+    fn plan_never_overcommits(
+        pending in pending_strategy(),
+        running in running_strategy(),
+        free in 0u32..=16,
+    ) {
+        let total = 16u32;
+        let free = free.min(total);
+        for policy in [BackfillPolicy::None, BackfillPolicy::Easy { reserve_depth: 1 },
+                       BackfillPolicy::Easy { reserve_depth: 4 }] {
+            let starts = plan_schedule(&pending, free, total, 0, &running, policy);
+            let used: u32 = starts.iter().map(|&i| pending[i].nodes).sum();
+            prop_assert!(used <= free, "{policy:?} used {used} of {free}");
+            // No index repeats, all indices valid.
+            let mut seen = std::collections::HashSet::new();
+            for &s in &starts {
+                prop_assert!(s < pending.len());
+                prop_assert!(seen.insert(s), "duplicate start {s}");
+            }
+        }
+    }
+
+    /// Without backfill the plan is a strict priority prefix.
+    #[test]
+    fn no_backfill_is_a_prefix(
+        pending in pending_strategy(),
+        free in 0u32..=16,
+    ) {
+        let starts = plan_schedule(&pending, free, 16, 0, &[], BackfillPolicy::None);
+        for (k, &s) in starts.iter().enumerate() {
+            prop_assert_eq!(s, k, "plan must start jobs in strict priority order");
+        }
+    }
+
+    /// EASY starts a superset of the no-backfill plan (backfill only adds).
+    #[test]
+    fn easy_only_adds_jobs(
+        pending in pending_strategy(),
+        running in running_strategy(),
+        free in 0u32..=16,
+    ) {
+        let plain = plan_schedule(&pending, free, 16, 0, &running, BackfillPolicy::None);
+        let easy = plan_schedule(&pending, free, 16, 0, &running,
+                                 BackfillPolicy::Easy { reserve_depth: 1 });
+        for s in &plain {
+            prop_assert!(easy.contains(s), "EASY dropped priority-started job {s}");
+        }
+        prop_assert!(easy.len() >= plain.len());
+    }
+
+    /// Full simulation conserves jobs and never exceeds capacity.
+    #[test]
+    fn simulation_conserves_jobs(
+        seed_jobs in prop::collection::vec(
+            (0i64..200_000, 1u32..=6, 60i64..20_000), 1..40),
+    ) {
+        let nodes = 8u32;
+        let trace: Vec<JobRecord> = seed_jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, n, runtime))| {
+                JobRecord::new(i as u64 + 1, format!("p{i}"), (i % 4) as u32,
+                               submit, n, runtime * 2, runtime)
+            })
+            .collect();
+        let mut sim = Simulator::new(SimConfig::new(nodes));
+        sim.load_trace(&trace);
+        sim.run_to_completion();
+        let m = sim.metrics();
+        let completed = sim.completed();
+        prop_assert_eq!(completed.len() + m.rejected_jobs, trace.len());
+        prop_assert!(m.utilization <= 1.0 + 1e-9);
+        // Every completed job respects causality and its limit.
+        for j in &completed {
+            let start = j.start.unwrap();
+            let end = j.end.unwrap();
+            prop_assert!(start >= j.submit);
+            prop_assert!(end - start <= j.timelimit);
+            prop_assert!(end - start > 0);
+        }
+    }
+
+    /// At every instant the simulator can be observed, allocation is sane.
+    #[test]
+    fn snapshots_never_over_allocate(
+        seed_jobs in prop::collection::vec(
+            (0i64..50_000, 1u32..=6, 60i64..10_000), 1..30),
+        probes in prop::collection::vec(0i64..80_000, 1..8),
+    ) {
+        let nodes = 8u32;
+        let trace: Vec<JobRecord> = seed_jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, n, runtime))| {
+                JobRecord::new(i as u64 + 1, format!("p{i}"), 0, submit, n, runtime, runtime)
+            })
+            .collect();
+        let mut sim = Simulator::new(SimConfig::new(nodes));
+        sim.load_trace(&trace);
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        for t in sorted {
+            sim.run_until(t);
+            let snap = sim.sample();
+            let running_nodes: u32 = snap.running.iter().map(|r| r.nodes).sum();
+            prop_assert_eq!(running_nodes + snap.free_nodes, nodes);
+            prop_assert!(snap.utilization() <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for trace generation, cleaning and statistics.
+
+use mirage_trace::stats::{node_hour_shares, wait_distribution};
+use mirage_trace::{clean_trace, split_by_time, ClusterProfile, JobRecord, SynthConfig, TraceGenerator};
+use proptest::prelude::*;
+
+fn small_trace(seed: u64, months: u32, scale: f64) -> (ClusterProfile, Vec<JobRecord>) {
+    let profile = ClusterProfile::v100().scaled(scale);
+    let mut cfg = SynthConfig::new(profile.clone(), seed);
+    cfg.months = Some(months);
+    (profile, TraceGenerator::new(cfg).generate())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated job is well-formed for any seed.
+    #[test]
+    fn generated_jobs_are_well_formed(seed in 0u64..10_000, months in 1u32..3) {
+        let (_, jobs) = small_trace(seed, months, 0.25);
+        prop_assert!(!jobs.is_empty());
+        for j in &jobs {
+            prop_assert!(j.runtime > 0);
+            prop_assert!(j.runtime <= j.timelimit, "job {} over limit", j.id);
+            prop_assert!(j.submit >= 0);
+            prop_assert!(j.nodes >= 1);
+            prop_assert!(j.start.is_none() && j.end.is_none());
+        }
+        // Sorted with sequential ids.
+        for w in jobs.windows(2) {
+            prop_assert!(w[0].submit <= w[1].submit);
+            prop_assert_eq!(w[0].id + 1, w[1].id);
+        }
+    }
+
+    /// Cleaning is idempotent: a second pass changes nothing.
+    #[test]
+    fn cleaning_is_idempotent(seed in 0u64..5_000) {
+        let (profile, jobs) = small_trace(seed, 2, 0.25);
+        let (once, r1) = clean_trace(&jobs, profile.nodes);
+        let (twice, r2) = clean_trace(&once, profile.nodes);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(r2.oversized_removed, 0);
+        prop_assert!(r1.filtered <= r1.original);
+    }
+
+    /// Cleaning preserves total consumed node-seconds minus removals.
+    #[test]
+    fn cleaning_conserves_runtime_of_kept_jobs(seed in 0u64..5_000) {
+        let (profile, jobs) = small_trace(seed, 2, 0.25);
+        let kept_ns: f64 = jobs
+            .iter()
+            .filter(|j| j.nodes <= profile.nodes)
+            .map(|j| j.runtime as f64)
+            .sum();
+        let (clean, _) = clean_trace(&jobs, profile.nodes);
+        let clean_ns: f64 = clean.iter().map(|j| j.runtime as f64).sum();
+        // Merging sums runtimes; only over-sized removal may drop time.
+        prop_assert!((clean_ns - kept_ns).abs() < 1e-6 * kept_ns.max(1.0));
+    }
+
+    /// A time split partitions the trace exactly.
+    #[test]
+    fn split_partitions_exactly(seed in 0u64..5_000, frac in 0.1f64..0.9) {
+        let (_, jobs) = small_trace(seed, 2, 0.2);
+        let split = split_by_time(&jobs, frac);
+        prop_assert_eq!(split.train.len() + split.validation.len(), jobs.len());
+        for j in &split.train {
+            prop_assert!(j.submit < split.split_time);
+        }
+        for j in &split.validation {
+            prop_assert!(j.submit >= split.split_time);
+        }
+    }
+
+    /// Distribution helpers always produce normalized outputs.
+    #[test]
+    fn stats_are_normalized(seed in 0u64..5_000) {
+        let (profile, mut jobs) = small_trace(seed, 1, 0.2);
+        // Give every job a synthetic schedule so wait stats apply.
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.complete_at(j.submit + (i as i64 % 7) * 3600);
+        }
+        let shares = node_hour_shares(&jobs);
+        prop_assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let dist = wait_distribution(&jobs, &[3600, 7200]);
+        prop_assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let _ = profile;
+    }
+}

@@ -1,0 +1,84 @@
+//! Long-running inference service: the paper's motivating scenario.
+//!
+//! A scientist deploys a real-time inference service (e.g. transient
+//! celestial-object detection) as a chain of 24-hour single-node sub-jobs
+//! on a busy V100-like cluster. Each hand-off between consecutive sub-jobs
+//! either interrupts the service (gap) or wastes a little overlap. This
+//! example trains Mirage's ensemble baseline on the early trace and
+//! compares cumulative service interruption against the reactive user
+//! over a chain of sub-jobs.
+//!
+//! ```sh
+//! cargo run --release --example inference_service
+//! ```
+
+use mirage::core::chain::provision_chain;
+use mirage::core::episode::EpisodeConfig;
+use mirage::core::train::{collect_offline, sample_training_starts, train_method, MethodKind, TrainConfig};
+use mirage::prelude::*;
+
+fn main() {
+    // A V100-like cluster, scaled for a fast example, with six months of
+    // background work.
+    let profile = ClusterProfile::v100().scaled(0.5);
+    let mut scfg = SynthConfig::new(profile.clone(), 7);
+    scfg.months = Some(6);
+    let raw = TraceGenerator::new(scfg).generate();
+    let (jobs, _) = clean_trace(&raw, profile.nodes);
+    let split = split_by_time(&jobs, 0.8);
+    let train_range = (jobs.first().unwrap().submit, split.split_time);
+
+    // The service: chained 24h single-node sub-jobs, decisions every hour.
+    let tcfg = TrainConfig {
+        episode: EpisodeConfig {
+            pair_nodes: 1,
+            pair_timelimit: 24 * HOUR,
+            pair_runtime: 24 * HOUR,
+            decision_interval: HOUR,
+            history_k: 12,
+            warmup: 4 * DAY,
+            pair_user: 77777,
+        },
+        offline_episodes: 12,
+        ..TrainConfig::default()
+    };
+
+    println!("training the XGBoost wait predictor on the first 80% of the trace ...");
+    let starts = sample_training_starts(
+        &jobs, profile.nodes, train_range.0, train_range.1, &tcfg.episode, tcfg.offline_episodes, 1,
+    );
+    let data = collect_offline(&jobs, profile.nodes, &tcfg, &starts);
+    let mut mirage_policy = train_method(MethodKind::Xgboost, &jobs, profile.nodes, &tcfg, &data, train_range);
+    let mut reactive = train_method(MethodKind::Reactive, &jobs, profile.nodes, &tcfg, &data, train_range);
+
+    // Provision a whole chain of sub-jobs across the validation range:
+    // sub-job i+1 is provisioned while sub-job i runs (§4.1's rolling
+    // predecessor-successor pair), via the chain API.
+    let chain_len = 7;
+    let t0 = split.split_time + tcfg.episode.warmup;
+    println!("\nservice chain of {chain_len} daily sub-jobs starting at day {:.0}:", t0 as f64 / DAY as f64);
+    let r = provision_chain(&jobs, profile.nodes, &tcfg.episode, t0, chain_len, reactive.as_mut());
+    let m = provision_chain(&jobs, profile.nodes, &tcfg.episode, t0, chain_len, mirage_policy.as_mut());
+    println!("{:>8} {:>22} {:>22}", "handoff", "reactive gap/overlap", "mirage gap/overlap");
+    for (i, (hr, hm)) in r.handoffs.iter().zip(&m.handoffs).enumerate() {
+        println!(
+            "{:>8} {:>10.2}h /{:>7.2}h {:>10.2}h /{:>7.2}h",
+            i + 1,
+            hr.outcome.interruption as f64 / HOUR as f64,
+            hr.outcome.overlap as f64 / HOUR as f64,
+            hm.outcome.interruption as f64 / HOUR as f64,
+            hm.outcome.overlap as f64 / HOUR as f64,
+        );
+    }
+    let rs = r.summary();
+    let ms = m.summary();
+    println!(
+        "\ncumulative interruption: reactive {:.1}h vs mirage {:.1}h ({}/{} gap-free handoffs vs {}/{})",
+        r.total_interruption as f64 / HOUR as f64,
+        m.total_interruption as f64 / HOUR as f64,
+        r.zero_interruption_handoffs,
+        rs.handoffs,
+        m.zero_interruption_handoffs,
+        ms.handoffs,
+    );
+}

@@ -1,0 +1,73 @@
+//! Multi-node distributed training: §6.2's scenario.
+//!
+//! An 8-node BERT-style pre-training run is chained as 48-hour sub-jobs.
+//! Wide allocations queue much longer than single nodes, so proactive
+//! provisioning matters more. This example compares the two heuristics and
+//! the random-forest predictor on the same congested episodes.
+//!
+//! ```sh
+//! cargo run --release --example multi_node_training
+//! ```
+
+use mirage::core::episode::EpisodeConfig;
+use mirage::core::eval::{evaluate, EvalConfig, LoadLevel};
+use mirage::core::train::{collect_offline, sample_training_starts, train_method, MethodKind, TrainConfig};
+use mirage::core::ProvisionPolicy;
+use mirage::prelude::*;
+
+fn main() {
+    let profile = ClusterProfile::v100().scaled(0.5);
+    let mut scfg = SynthConfig::new(profile.clone(), 11);
+    scfg.months = Some(6);
+    let raw = TraceGenerator::new(scfg).generate();
+    let (jobs, _) = clean_trace(&raw, profile.nodes);
+    let split = split_by_time(&jobs, 0.8);
+    let train_range = (jobs.first().unwrap().submit, split.split_time);
+    let val_range = (split.split_time, jobs.last().unwrap().submit);
+
+    let tcfg = TrainConfig {
+        episode: EpisodeConfig {
+            pair_nodes: 4, // 8 nodes on the full-size cluster ≙ 4 on the half-size one
+            ..EpisodeConfig::default()
+        },
+        offline_episodes: 12,
+        ..TrainConfig::default()
+    };
+
+    println!("collecting offline episodes and training the forest ...");
+    let starts = sample_training_starts(
+        &jobs, profile.nodes, train_range.0, train_range.1, &tcfg.episode, tcfg.offline_episodes, 3,
+    );
+    let data = collect_offline(&jobs, profile.nodes, &tcfg, &starts);
+    let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
+        train_method(MethodKind::Reactive, &jobs, profile.nodes, &tcfg, &data, train_range),
+        train_method(MethodKind::AvgHeuristic, &jobs, profile.nodes, &tcfg, &data, train_range),
+        train_method(MethodKind::RandomForest, &jobs, profile.nodes, &tcfg, &data, train_range),
+    ];
+
+    println!("evaluating 16 validation episodes of 48h x {}-node pairs ...\n", tcfg.episode.pair_nodes);
+    let report = evaluate(
+        &mut methods,
+        &jobs,
+        profile.nodes,
+        val_range,
+        &EvalConfig { episode: tcfg.episode, n_episodes: 16, seed: 5 },
+    );
+    for load in LoadLevel::all() {
+        let n = report.episodes_at(load);
+        if n == 0 {
+            continue;
+        }
+        println!("{} load ({n} episodes):", load.label());
+        for name in &report.method_names {
+            let s = report.summarize(name, load);
+            println!(
+                "  {:14} interruption {:6.2}h, overlap {:6.2}h, zero-interruption {:3.0}%",
+                s.method,
+                s.avg_interruption_h,
+                s.avg_overlap_h,
+                s.zero_interruption_frac * 100.0
+            );
+        }
+    }
+}

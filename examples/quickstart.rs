@@ -1,0 +1,77 @@
+//! Quickstart: generate a cluster workload, replay it through the Slurm
+//! simulator, and run one proactive-provisioning episode.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mirage::prelude::*;
+use mirage::core::episode::{run_episode, Action, EpisodeConfig};
+use mirage::trace::stats;
+
+fn main() {
+    // 1. A scaled-down A100-like cluster and one month of synthetic work.
+    let profile = ClusterProfile::a100().scaled(0.5);
+    let mut cfg = SynthConfig::new(profile.clone(), 42);
+    cfg.months = Some(1);
+    let raw = TraceGenerator::new(cfg).generate();
+    let (jobs, report) = clean_trace(&raw, profile.nodes);
+    println!(
+        "generated {} raw jobs -> {} after cleaning ({} oversized removed, {} chains merged)",
+        report.original, report.filtered, report.oversized_removed, report.groups_merged
+    );
+
+    // 2. Replay it through the Slurm simulator.
+    let mut sim = Simulator::new(SimConfig::new(profile.nodes));
+    sim.load_trace(&jobs);
+    sim.run_to_completion();
+    let done = sim.completed();
+    let m = sim.metrics();
+    println!(
+        "replayed: {} jobs completed, utilization {:.0}%, avg wait {:.1}h, makespan {:.1} days",
+        m.completed_jobs,
+        m.utilization * 100.0,
+        m.avg_wait / HOUR as f64,
+        m.makespan as f64 / DAY as f64,
+    );
+    let (mn_jobs, mn_hours) = stats::multi_node_shares(&done);
+    println!(
+        "multi-node jobs: {:.0}% of jobs but {:.0}% of node-hours",
+        mn_jobs * 100.0,
+        mn_hours * 100.0
+    );
+
+    // 3. One provisioning episode: a pair of chained 12-hour sub-jobs.
+    //    Compare the reactive user with a simple proactive rule.
+    let ecfg = EpisodeConfig {
+        pair_nodes: 1,
+        pair_timelimit: 12 * HOUR,
+        pair_runtime: 12 * HOUR,
+        decision_interval: HOUR,
+        history_k: 8,
+        warmup: 3 * DAY,
+        pair_user: 9999,
+    };
+    let t0 = 14 * DAY;
+    let reactive = run_episode(&jobs, profile.nodes, &ecfg, t0, |_| Action::Wait);
+    let proactive = run_episode(&jobs, profile.nodes, &ecfg, t0, |ctx| {
+        // Submit the successor two hours before the predecessor's limit.
+        if ctx.pred_started && ctx.pred_remaining <= 2 * HOUR {
+            Action::Submit
+        } else {
+            Action::Wait
+        }
+    });
+    println!("\nprovisioning a pair of chained 12h sub-jobs at t0 = day 14:");
+    println!(
+        "  reactive : interruption {:.2}h, overlap {:.2}h",
+        reactive.outcome.interruption as f64 / HOUR as f64,
+        reactive.outcome.overlap as f64 / HOUR as f64,
+    );
+    println!(
+        "  proactive: interruption {:.2}h, overlap {:.2}h (submitted {})",
+        proactive.outcome.interruption as f64 / HOUR as f64,
+        proactive.outcome.overlap as f64 / HOUR as f64,
+        if proactive.submitted_by_policy { "by policy" } else { "reactively" },
+    );
+}

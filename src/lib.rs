@@ -1,0 +1,58 @@
+//! # Mirage
+//!
+//! A Rust reproduction of *"Mirage: Towards Low-interruption Services on
+//! Batch GPU Clusters with Reinforcement Learning"* (SC 2023).
+//!
+//! Mirage is a proactive resource provisioner for batch GPU clusters: given
+//! a chain of wall-clock-limited sub-jobs (the way long-running deep
+//! learning training and inference services must run under Slurm), it
+//! decides *when* to submit each successor sub-job so that it starts just
+//! as its predecessor ends — minimising service **interruption** without
+//! wasting node-hours on **overlap**.
+//!
+//! This crate is a facade that re-exports the workspace:
+//!
+//! * [`trace`] — job model, synthetic cluster workloads, cleaning, stats
+//! * [`sim`] — discrete-event Slurm simulator (priority + EASY backfill)
+//! * [`nn`] — from-scratch transformer / mixture-of-experts substrate
+//! * [`ensemble`] — random forest and gradient boosting baselines
+//! * [`rl`] — DQN and policy-gradient agents with experience replay
+//! * [`core`] — state encoding, reward shaping, policies, train/eval
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mirage::prelude::*;
+//!
+//! // A small synthetic cluster and trace.
+//! let profile = ClusterProfile::a100().scaled(0.25);
+//! let mut cfg = SynthConfig::new(profile.clone(), 42);
+//! cfg.months = Some(1);
+//! let jobs = TraceGenerator::new(cfg).generate();
+//!
+//! // Replay it through the Slurm simulator.
+//! let mut sim = Simulator::new(SimConfig::new(profile.nodes));
+//! sim.load_trace(&jobs);
+//! sim.run_to_completion();
+//! assert_eq!(sim.completed().len(), jobs.len());
+//! ```
+
+pub use mirage_core as core;
+pub use mirage_ensemble as ensemble;
+pub use mirage_nn as nn;
+pub use mirage_rl as rl;
+pub use mirage_sim as sim;
+pub use mirage_trace as trace;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use mirage_core::prelude::*;
+    pub use mirage_ensemble::{GradientBoosting, RandomForest};
+    pub use mirage_nn::prelude::*;
+    pub use mirage_rl::prelude::*;
+    pub use mirage_sim::{SimConfig, Simulator};
+    pub use mirage_trace::{
+        clean_trace, split_by_time, ClusterProfile, JobRecord, SynthConfig, TraceGenerator, DAY,
+        HOUR, MINUTE, MONTH, WEEK,
+    };
+}

@@ -1,0 +1,83 @@
+//! Reproducibility: everything in the pipeline is a pure function of its
+//! seed — trace generation, simulation, episode outcomes, and training
+//! data collection.
+
+use mirage::core::episode::{run_episode, Action, EpisodeConfig};
+use mirage::core::train::{collect_offline, sample_training_starts, TrainConfig};
+use mirage::prelude::*;
+
+fn jobs(seed: u64) -> (ClusterProfile, Vec<JobRecord>) {
+    let profile = ClusterProfile::rtx().scaled(0.3);
+    let mut cfg = SynthConfig::new(profile.clone(), seed);
+    cfg.months = Some(2);
+    let raw = TraceGenerator::new(cfg).generate();
+    let (clean, _) = clean_trace(&raw, profile.nodes);
+    (profile, clean)
+}
+
+#[test]
+fn trace_generation_is_seed_deterministic() {
+    assert_eq!(jobs(1).1, jobs(1).1);
+    assert_ne!(jobs(1).1, jobs(2).1);
+}
+
+#[test]
+fn simulation_replay_is_deterministic() {
+    let (profile, trace) = jobs(3);
+    let run = |t: &[JobRecord]| {
+        let mut sim = Simulator::new(SimConfig::new(profile.nodes));
+        sim.load_trace(t);
+        sim.run_to_completion();
+        sim.completed()
+    };
+    assert_eq!(run(&trace), run(&trace));
+}
+
+#[test]
+fn episode_outcomes_are_deterministic() {
+    let (profile, trace) = jobs(4);
+    let ecfg = EpisodeConfig {
+        pair_timelimit: 12 * HOUR,
+        pair_runtime: 12 * HOUR,
+        warmup: 2 * DAY,
+        ..EpisodeConfig::default()
+    };
+    let t0 = 20 * DAY;
+    let run = || {
+        run_episode(&trace, profile.nodes, &ecfg, t0, |ctx| {
+            if ctx.pred_started && ctx.pred_remaining <= 3 * HOUR {
+                Action::Submit
+            } else {
+                Action::Wait
+            }
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.succ_start, b.succ_start);
+    assert_eq!(a.decisions.len(), b.decisions.len());
+}
+
+#[test]
+fn offline_collection_is_deterministic() {
+    let (profile, trace) = jobs(5);
+    let mut tcfg = TrainConfig::default();
+    tcfg.episode.pair_timelimit = 12 * HOUR;
+    tcfg.episode.pair_runtime = 12 * HOUR;
+    tcfg.episode.warmup = 2 * DAY;
+    tcfg.offline_episodes = 4;
+    let range = (trace.first().unwrap().submit, trace.last().unwrap().submit);
+    let starts = sample_training_starts(
+        &trace, profile.nodes, range.0, range.1, &tcfg.episode, 4, 9,
+    );
+    let a = collect_offline(&trace, profile.nodes, &tcfg, &starts);
+    let b = collect_offline(&trace, profile.nodes, &tcfg, &starts);
+    assert_eq!(a.reward_samples.len(), b.reward_samples.len());
+    assert_eq!(a.wait_samples, b.wait_samples);
+    for (x, y) in a.reward_samples.iter().zip(&b.reward_samples) {
+        assert_eq!(x.state, y.state);
+        assert_eq!(x.action, y.action);
+        assert_eq!(x.reward, y.reward);
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-crate integration: the full pipeline from synthetic trace to
+//! evaluated provisioning report, at a small but honest scale.
+
+use mirage::core::episode::EpisodeConfig;
+use mirage::core::eval::{evaluate, EvalConfig, LoadLevel};
+use mirage::core::train::{
+    collect_offline, sample_training_starts, train_method, MethodKind, TrainConfig,
+};
+use mirage::core::ProvisionPolicy;
+use mirage::prelude::*;
+
+fn small_setup() -> (ClusterProfile, Vec<JobRecord>, (i64, i64), (i64, i64)) {
+    let profile = ClusterProfile::v100().scaled(0.35);
+    let mut scfg = SynthConfig::new(profile.clone(), 99);
+    scfg.months = Some(4);
+    let raw = TraceGenerator::new(scfg).generate();
+    let (jobs, _) = clean_trace(&raw, profile.nodes);
+    let split = split_by_time(&jobs, 0.8);
+    let train_range = (jobs.first().unwrap().submit, split.split_time);
+    let val_range = (split.split_time, jobs.last().unwrap().submit);
+    (profile, jobs, train_range, val_range)
+}
+
+fn small_train_config() -> TrainConfig {
+    TrainConfig {
+        episode: EpisodeConfig {
+            pair_timelimit: 24 * HOUR,
+            pair_runtime: 24 * HOUR,
+            ..EpisodeConfig::default()
+        },
+        offline_episodes: 8,
+        online_episodes: 6,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn trace_to_eval_pipeline_produces_consistent_report() {
+    let (profile, jobs, train_range, val_range) = small_setup();
+    let tcfg = small_train_config();
+    let starts = sample_training_starts(
+        &jobs,
+        profile.nodes,
+        train_range.0,
+        train_range.1,
+        &tcfg.episode,
+        tcfg.offline_episodes,
+        1,
+    );
+    assert_eq!(starts.len(), tcfg.offline_episodes);
+    let data = collect_offline(&jobs, profile.nodes, &tcfg, &starts);
+    assert!(!data.reward_samples.is_empty());
+    assert!(!data.wait_samples.is_empty());
+    assert!(!data.best_run_decisions.is_empty());
+
+    let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
+        train_method(MethodKind::Reactive, &jobs, profile.nodes, &tcfg, &data, train_range),
+        train_method(MethodKind::AvgHeuristic, &jobs, profile.nodes, &tcfg, &data, train_range),
+        train_method(MethodKind::Xgboost, &jobs, profile.nodes, &tcfg, &data, train_range),
+    ];
+    let report = evaluate(
+        &mut methods,
+        &jobs,
+        profile.nodes,
+        val_range,
+        &EvalConfig { episode: tcfg.episode, n_episodes: 10, seed: 2 },
+    );
+
+    // Structural consistency.
+    assert_eq!(report.episodes.len(), 10);
+    let total: usize = LoadLevel::all().iter().map(|&l| report.episodes_at(l)).sum();
+    assert_eq!(total, 10);
+    for ep in &report.episodes {
+        assert_eq!(ep.methods.len(), 3);
+        // Reactive never overlaps and its interruption equals the
+        // classification statistic.
+        let reactive = &ep.methods[0];
+        assert_eq!(reactive.method, "reactive");
+        assert_eq!(reactive.outcome.overlap, 0);
+        assert_eq!(reactive.outcome.interruption, ep.reactive_wait);
+        // Outcomes are one-sided for every method.
+        for m in &ep.methods {
+            assert!(m.outcome.interruption == 0 || m.outcome.overlap == 0);
+        }
+    }
+}
+
+#[test]
+fn learned_method_beats_reactive_on_congested_episodes() {
+    let (profile, jobs, train_range, val_range) = small_setup();
+    let tcfg = small_train_config();
+    let starts = sample_training_starts(
+        &jobs,
+        profile.nodes,
+        train_range.0,
+        train_range.1,
+        &tcfg.episode,
+        tcfg.offline_episodes,
+        3,
+    );
+    let data = collect_offline(&jobs, profile.nodes, &tcfg, &starts);
+    let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
+        train_method(MethodKind::Reactive, &jobs, profile.nodes, &tcfg, &data, train_range),
+        train_method(MethodKind::RandomForest, &jobs, profile.nodes, &tcfg, &data, train_range),
+    ];
+    let report = evaluate(
+        &mut methods,
+        &jobs,
+        profile.nodes,
+        val_range,
+        &EvalConfig { episode: tcfg.episode, n_episodes: 12, seed: 4 },
+    );
+    // Aggregate over all non-light episodes: the forest must cut the mean
+    // interruption (it can never be worse per-episode thanks to the
+    // reactive fallback, so strictness only needs one win).
+    let mut reactive_sum = 0.0;
+    let mut forest_sum = 0.0;
+    let mut n = 0;
+    for load in [LoadLevel::Heavy, LoadLevel::Medium] {
+        let r = report.summarize("reactive", load);
+        let f = report.summarize("random-forest", load);
+        reactive_sum += r.avg_interruption_h * r.episodes as f64;
+        forest_sum += f.avg_interruption_h * f.episodes as f64;
+        n += r.episodes;
+    }
+    if n > 0 && reactive_sum > 0.5 {
+        assert!(
+            forest_sum < reactive_sum,
+            "forest {forest_sum:.2}h should beat reactive {reactive_sum:.2}h over {n} episodes"
+        );
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The README quickstart must keep compiling: prelude + simulator.
+    let profile = ClusterProfile::a100().scaled(0.25);
+    let mut cfg = SynthConfig::new(profile.clone(), 42);
+    cfg.months = Some(1);
+    let jobs = TraceGenerator::new(cfg).generate();
+    let mut sim = Simulator::new(SimConfig::new(profile.nodes));
+    sim.load_trace(&jobs);
+    sim.run_to_completion();
+    assert_eq!(
+        sim.completed().len() + sim.metrics().rejected_jobs,
+        jobs.len()
+    );
+}

@@ -1,0 +1,58 @@
+//! Integration: the §5.2 fidelity targets hold on a fresh synthetic
+//! window (fast vs reference simulator).
+
+use mirage::sim::fidelity::{compare, run_both};
+use mirage::prelude::*;
+
+fn two_weeks(profile: &ClusterProfile, seed: u64) -> Vec<JobRecord> {
+    let mut cfg = SynthConfig::new(profile.clone(), seed);
+    cfg.months = Some(1);
+    let raw = TraceGenerator::new(cfg).generate();
+    let (jobs, _) = clean_trace(&raw, profile.nodes);
+    jobs.into_iter().filter(|j| j.submit < 2 * WEEK).collect()
+}
+
+#[test]
+fn fidelity_targets_hold_on_v100_window() {
+    let profile = ClusterProfile::v100().scaled(0.5);
+    let jobs = two_weeks(&profile, 5);
+    assert!(jobs.len() > 200, "window too small to be meaningful");
+    let (report, t_fast, t_ref) = run_both(&jobs, profile.nodes);
+    assert_eq!(report.jobs_compared, jobs.len());
+    // Paper targets: < 2.5 % makespan, <= 15 % JCT geo-mean. We allow a
+    // little slack because the window is short and synthetic.
+    assert!(
+        report.makespan_rel_diff < 0.05,
+        "makespan diff {:.3}",
+        report.makespan_rel_diff
+    );
+    assert!(
+        report.jct_geomean_diff < 0.25,
+        "JCT geo-mean diff {:.3}",
+        report.jct_geomean_diff
+    );
+    // The fast simulator must actually be faster.
+    assert!(t_fast < t_ref, "fast {t_fast:?} vs reference {t_ref:?}");
+}
+
+#[test]
+fn both_simulators_complete_every_job() {
+    let profile = ClusterProfile::a100().scaled(0.4);
+    let jobs = two_weeks(&profile, 6);
+    let (report, _, _) = run_both(&jobs, profile.nodes);
+    assert_eq!(report.jobs_compared, jobs.len(), "all jobs matched across sims");
+}
+
+#[test]
+fn identical_outputs_compare_clean() {
+    let profile = ClusterProfile::rtx().scaled(0.3);
+    let jobs = two_weeks(&profile, 7);
+    let mut sim = Simulator::new(SimConfig::new(profile.nodes));
+    sim.load_trace(&jobs);
+    sim.run_to_completion();
+    let done = sim.completed();
+    let r = compare(&done, &done);
+    assert_eq!(r.jobs_compared, done.len());
+    assert!(r.makespan_rel_diff.abs() < 1e-12);
+    assert!(r.jct_geomean_diff.abs() < 1e-9);
+}
