@@ -23,7 +23,10 @@ fn bench_backfill_ablation(c: &mut Criterion) {
     let jobs = one_month(&profile, 42);
     for (name, policy) in [
         ("easy_backfill", BackfillPolicy::Easy { reserve_depth: 1 }),
-        ("deep_reservations", BackfillPolicy::Easy { reserve_depth: 8 }),
+        (
+            "deep_reservations",
+            BackfillPolicy::Easy { reserve_depth: 8 },
+        ),
         ("no_backfill", BackfillPolicy::None),
     ] {
         group.bench_function(name, |b| {
@@ -61,7 +64,10 @@ fn bench_history_length(c: &mut Criterion) {
         queue_time: HOUR,
         elapsed: 10 * HOUR,
     };
-    let succ = SuccessorSpec { nodes: 1, timelimit: 48 * HOUR };
+    let succ = SuccessorSpec {
+        nodes: 1,
+        timelimit: 48 * HOUR,
+    };
     for k in [6usize, 24, 144] {
         group.bench_function(format!("encode_and_stack_k{k}"), |b| {
             b.iter(|| {

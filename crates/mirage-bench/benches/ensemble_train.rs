@@ -22,10 +22,26 @@ fn bench_fit(c: &mut Criterion) {
     group.sample_size(10);
     let data = synthetic_wait_data(500, 40, 1);
     group.bench_function("random_forest_60_trees", |b| {
-        b.iter(|| RandomForest::fit(&data, &ForestConfig { n_trees: 60, ..Default::default() }))
+        b.iter(|| {
+            RandomForest::fit(
+                &data,
+                &ForestConfig {
+                    n_trees: 60,
+                    ..Default::default()
+                },
+            )
+        })
     });
     group.bench_function("gbdt_60_rounds", |b| {
-        b.iter(|| GradientBoosting::fit(&data, &GbdtConfig { n_rounds: 60, ..Default::default() }))
+        b.iter(|| {
+            GradientBoosting::fit(
+                &data,
+                &GbdtConfig {
+                    n_rounds: 60,
+                    ..Default::default()
+                },
+            )
+        })
     });
     group.finish();
 }

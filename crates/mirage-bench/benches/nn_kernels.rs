@@ -23,7 +23,14 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn paper_scale_config() -> TransformerConfig {
     // The paper's full state matrix: k = 144 rows of m = 40 variables.
-    TransformerConfig { input_dim: 40, seq_len: 144, d_model: 32, heads: 4, layers: 2, ff_mult: 2 }
+    TransformerConfig {
+        input_dim: 40,
+        seq_len: 144,
+        d_model: 32,
+        heads: 4,
+        layers: 2,
+        ff_mult: 2,
+    }
 }
 
 fn bench_transformer(c: &mut Criterion) {

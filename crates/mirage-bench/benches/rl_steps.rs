@@ -40,7 +40,11 @@ fn bench_dqn(c: &mut Criterion) {
     let mut replay = ReplayBuffer::new(1024);
     for _ in 0..512 {
         let s = random_state(&mut rng);
-        replay.push(Experience::terminal(s, rng.gen_range(0..2), -rng.gen_range(0.0..40.0f32)));
+        replay.push(Experience::terminal(
+            s,
+            rng.gen_range(0..2),
+            -rng.gen_range(0.0..40.0f32),
+        ));
     }
     let mut agent = DqnAgent::new(experiment_net(1), DqnConfig::default());
     group.bench_function("train_batch_32", |b| {
@@ -61,7 +65,9 @@ fn bench_pg(c: &mut Criterion) {
     let mut agent = PgAgent::new(experiment_net(2), PgConfig::default());
     let episodes: Vec<EpisodeSample> = (0..4)
         .map(|_| EpisodeSample {
-            steps: (0..48).map(|_| (random_state(&mut rng), rng.gen_range(0..2))).collect(),
+            steps: (0..48)
+                .map(|_| (random_state(&mut rng), rng.gen_range(0..2)))
+                .collect(),
             episode_return: -rng.gen_range(0.0..40.0f32),
         })
         .collect();

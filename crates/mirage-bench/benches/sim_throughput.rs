@@ -19,7 +19,11 @@ fn one_month(profile: &ClusterProfile, seed: u64) -> Vec<JobRecord> {
 fn bench_fast_replay(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_one_month_replay");
     group.sample_size(10);
-    for profile in [ClusterProfile::v100(), ClusterProfile::rtx(), ClusterProfile::a100()] {
+    for profile in [
+        ClusterProfile::v100(),
+        ClusterProfile::rtx(),
+        ClusterProfile::a100(),
+    ] {
         let jobs = one_month(&profile, 42);
         group.bench_function(profile.name.clone(), |b| {
             b.iter_batched(
@@ -92,5 +96,10 @@ fn bench_trace_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fast_replay, bench_reference_week, bench_trace_generation);
+criterion_group!(
+    benches,
+    bench_fast_replay,
+    bench_reference_week,
+    bench_trace_generation
+);
 criterion_main!(benches);

@@ -53,9 +53,7 @@ fn backfill_ablation(jobs: &[mirage_trace::JobRecord], nodes: u32) {
 
 /// Collects train/validation reward pools at two history lengths by
 /// re-encoding the same episodes.
-fn offline_pools(
-    pc: &mirage_bench::PreparedCluster,
-) -> (Vec<RewardSample>, Vec<RewardSample>) {
+fn offline_pools(pc: &mirage_bench::PreparedCluster) -> (Vec<RewardSample>, Vec<RewardSample>) {
     let mut tcfg = TrainConfig::default();
     tcfg.episode.pair_user = busiest_user(&pc.jobs);
     tcfg.offline_episodes = 12;
@@ -68,7 +66,8 @@ fn offline_pools(
         tcfg.offline_episodes,
         3,
     );
-    let data = collect_offline(&pc.jobs, pc.profile.nodes, &tcfg, &starts);
+    let pool = SimConfig::builder().nodes(pc.profile.nodes).build_pool();
+    let data = collect_offline(&pool, &pc.jobs, &tcfg, &starts);
     let n = data.reward_samples.len();
     let split = n * 4 / 5;
     let train = data.reward_samples[..split].to_vec();
@@ -110,7 +109,13 @@ fn pretrain_and_score(
     pretrain_foundation(
         &mut net,
         &train_k,
-        &PretrainConfig { epochs: 5, batch_size: 32, lr: 1e-3, seed: 0, grad_clip: 5.0 },
+        &PretrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            lr: 1e-3,
+            seed: 0,
+            grad_clip: 5.0,
+        },
     );
     reward_mse(&net, &valid_k)
 }
@@ -142,7 +147,10 @@ fn reward_ratio_ablation(pc: &mirage_bench::PreparedCluster) {
     // For each ratio, report which §4.9.1 split point won (earlier =
     // more aggressive) averaged over episodes.
     let tcfg = TrainConfig {
-        episode: EpisodeConfig { pair_user: busiest_user(&pc.jobs), ..EpisodeConfig::default() },
+        episode: EpisodeConfig {
+            pair_user: busiest_user(&pc.jobs),
+            ..EpisodeConfig::default()
+        },
         offline_episodes: 10,
         ..TrainConfig::default()
     };
@@ -156,13 +164,26 @@ fn reward_ratio_ablation(pc: &mirage_bench::PreparedCluster) {
         11,
     );
     for (label, shaper) in [
-        ("e_I=10, e_O=1 (perf-sensitive)", RewardShaper { e_interrupt: 10.0, e_overlap: 1.0 }),
+        (
+            "e_I=10, e_O=1 (perf-sensitive)",
+            RewardShaper {
+                e_interrupt: 10.0,
+                e_overlap: 1.0,
+            },
+        ),
         ("e_I=2,  e_O=1 (default)", RewardShaper::default()),
-        ("e_I=1,  e_O=10 (waste-averse)", RewardShaper { e_interrupt: 1.0, e_overlap: 10.0 }),
+        (
+            "e_I=1,  e_O=10 (waste-averse)",
+            RewardShaper {
+                e_interrupt: 1.0,
+                e_overlap: 10.0,
+            },
+        ),
     ] {
         let mut cfg = tcfg.clone();
         cfg.shaper = shaper;
-        let data = collect_offline(&pc.jobs, pc.profile.nodes, &cfg, &starts);
+        let pool = SimConfig::builder().nodes(pc.profile.nodes).build_pool();
+        let data = collect_offline(&pool, &pc.jobs, &cfg, &starts);
         // The best-run pool holds the highest-reward run per start; its
         // submit fraction reveals the preferred aggressiveness.
         let submits: Vec<f64> = {

@@ -14,10 +14,16 @@ use mirage_trace::ClusterProfile;
 
 fn main() {
     let scale = ExperimentScale::default();
-    for (pair_nodes, panel) in [(1u32, "Figure 10(a): one node"), (8u32, "Figure 10(b): eight nodes")] {
+    for (pair_nodes, panel) in [
+        (1u32, "Figure 10(a): one node"),
+        (8u32, "Figure 10(b): eight nodes"),
+    ] {
         let mut reports = Vec::new();
         for profile in ClusterProfile::all() {
-            eprintln!("[fig10] {} with {}-node pairs ...", profile.name, pair_nodes);
+            eprintln!(
+                "[fig10] {} with {}-node pairs ...",
+                profile.name, pair_nodes
+            );
             let pc = prepare_cluster(&profile, None, 42);
             let exp = interruption_experiment(&pc, pair_nodes, 44 + u64::from(pair_nodes), scale);
             reports.push((profile.name.clone(), exp.report));

@@ -31,6 +31,9 @@ fn main() {
         }
         println!();
         let peak = by_month.values().cloned().fold(0.0f64, f64::max);
-        println!("  peak month avg wait: {:.1} h (paper: V100 peaks ≈ 40 h)", hours(peak));
+        println!(
+            "  peak month avg wait: {:.1} h (paper: V100 peaks ≈ 40 h)",
+            hours(peak)
+        );
     }
 }

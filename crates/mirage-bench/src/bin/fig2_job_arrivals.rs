@@ -27,8 +27,6 @@ fn main() {
             print!(" {c:>6}");
         }
         println!();
-        println!(
-            "  measured {mean:.0} ± {std:.0} / month   (paper: {p_mean:.0} ± {p_std:.0})"
-        );
+        println!("  measured {mean:.0} ± {std:.0} / month   (paper: {p_mean:.0} ± {p_std:.0})");
     }
 }

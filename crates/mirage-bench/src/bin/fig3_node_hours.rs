@@ -5,7 +5,9 @@
 //! 23.4 % of jobs are multi-node but take 76.9 % of node-hours.
 
 use mirage_bench::prepare_cluster;
-use mirage_trace::stats::{job_count_shares, multi_node_shares, node_hour_shares, SIZE_CLASS_LABELS};
+use mirage_trace::stats::{
+    job_count_shares, multi_node_shares, node_hour_shares, SIZE_CLASS_LABELS,
+};
 use mirage_trace::ClusterProfile;
 
 fn main() {
@@ -16,7 +18,10 @@ fn main() {
         let jobs = job_count_shares(&pc.jobs);
         let (mn_jobs, mn_hours) = multi_node_shares(&pc.jobs);
         println!("\n{}:", profile.name);
-        println!("  {:12} {:>12} {:>12}", "size class", "% of jobs", "% node-hrs");
+        println!(
+            "  {:12} {:>12} {:>12}",
+            "size class", "% of jobs", "% node-hrs"
+        );
         for ((label, j), h) in SIZE_CLASS_LABELS.iter().zip(jobs).zip(hours) {
             println!("  {:12} {:>11.1}% {:>11.1}%", label, j * 100.0, h * 100.0);
         }

@@ -4,7 +4,10 @@
 //! warm-ups.
 
 use mirage_bench::{busiest_user, prepare_cluster};
-use mirage_core::{evaluate, EvalConfig, EpisodeConfig, LoadLevel, ProvisionPolicy, ReactivePolicy};
+use mirage_core::{
+    evaluate, EpisodeConfig, EvalConfig, LoadLevel, ProvisionPolicy, ReactivePolicy,
+};
+use mirage_sim::SimConfig;
 use mirage_trace::ClusterProfile;
 
 fn main() {
@@ -17,12 +20,17 @@ fn main() {
                 ..EpisodeConfig::default()
             };
             let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
+            let mut backend = SimConfig::builder().nodes(pc.profile.nodes).build();
             let report = evaluate(
                 &mut methods,
+                &mut backend,
                 &pc.jobs,
-                pc.profile.nodes,
                 pc.val_range,
-                &EvalConfig { episode, n_episodes: 40, seed: 42 ^ 0xEE },
+                &EvalConfig {
+                    episode,
+                    n_episodes: 40,
+                    seed: 42 ^ 0xEE,
+                },
             );
             let h = report.episodes_at(LoadLevel::Heavy);
             let m = report.episodes_at(LoadLevel::Medium);

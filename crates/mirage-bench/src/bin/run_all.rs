@@ -51,12 +51,18 @@ fn main() {
     let mut single: Vec<(String, EvalReport)> = Vec::new();
     let mut multi: Vec<(String, EvalReport)> = Vec::new();
     for pc in &prepared {
-        eprintln!("[run_all] training 8 methods on {} (1-node pairs)", pc.profile.name);
+        eprintln!(
+            "[run_all] training 8 methods on {} (1-node pairs)",
+            pc.profile.name
+        );
         let t = Instant::now();
         let exp1 = interruption_experiment(pc, 1, 42, scale);
         eprintln!("[run_all]   1-node done in {:?}", t.elapsed());
         single.push((pc.profile.name.clone(), exp1.report));
-        eprintln!("[run_all] training 8 methods on {} (8-node pairs)", pc.profile.name);
+        eprintln!(
+            "[run_all] training 8 methods on {} (8-node pairs)",
+            pc.profile.name
+        );
         let t = Instant::now();
         let exp8 = interruption_experiment(pc, 8, 43, scale);
         eprintln!("[run_all]   8-node done in {:?}", t.elapsed());

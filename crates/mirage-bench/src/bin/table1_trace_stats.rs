@@ -12,7 +12,11 @@ fn main() {
         "{:8} {:>6} {:>8} {:>12} {:>12} {:>10} {:>12} {:>12}",
         "cluster", "nodes", "months", "orig jobs", "filtered", "ratio", "paper orig", "paper filt"
     );
-    let paper = [(189_899usize, 65_017usize), (375_095, 175_090), (49_997, 24_779)];
+    let paper = [
+        (189_899usize, 65_017usize),
+        (375_095, 175_090),
+        (49_997, 24_779),
+    ];
     for (profile, (p_orig, p_filt)) in ClusterProfile::all().iter().zip(paper) {
         let pc = prepare_cluster(profile, None, 42);
         println!(

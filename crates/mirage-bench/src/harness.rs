@@ -2,11 +2,17 @@
 
 use mirage_core::prelude::*;
 use mirage_core::train::{collect_offline, sample_training_starts, OfflineData};
-use mirage_trace::{clean_trace, split_by_time, CleanReport, ClusterProfile, JobRecord, SynthConfig, TraceGenerator, HOUR};
+use mirage_sim::SimConfig;
+use mirage_trace::{
+    clean_trace, split_by_time, CleanReport, ClusterProfile, JobRecord, SynthConfig,
+    TraceGenerator, HOUR,
+};
 
 /// Whether `MIRAGE_QUICK=1` smoke mode is active.
 pub fn quick_mode() -> bool {
-    std::env::var("MIRAGE_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MIRAGE_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// A generated, cleaned and split cluster trace ready for experiments.
@@ -26,7 +32,11 @@ pub struct PreparedCluster {
 }
 
 /// Generates, cleans and splits one cluster's trace (80:20 as in §6).
-pub fn prepare_cluster(profile: &ClusterProfile, months: Option<u32>, seed: u64) -> PreparedCluster {
+pub fn prepare_cluster(
+    profile: &ClusterProfile,
+    months: Option<u32>,
+    seed: u64,
+) -> PreparedCluster {
     let mut cfg = SynthConfig::new(profile.clone(), seed);
     cfg.months = months;
     if quick_mode() {
@@ -70,9 +80,17 @@ pub struct ExperimentScale {
 impl Default for ExperimentScale {
     fn default() -> Self {
         if quick_mode() {
-            Self { offline_episodes: 8, online_episodes: 12, eval_episodes: 10 }
+            Self {
+                offline_episodes: 8,
+                online_episodes: 12,
+                eval_episodes: 10,
+            }
         } else {
-            Self { offline_episodes: 32, online_episodes: 80, eval_episodes: 60 }
+            Self {
+                offline_episodes: 32,
+                online_episodes: 80,
+                eval_episodes: 60,
+            }
         }
     }
 }
@@ -116,29 +134,40 @@ pub fn interruption_experiment(
         tcfg.offline_episodes,
         seed,
     );
-    let data: OfflineData = collect_offline(&pc.jobs, pc.profile.nodes, &tcfg, &starts);
+    // Offline collection fans out over a pool of seeded backends; online
+    // fine-tuning and evaluation reuse one backend value.
+    let pool = SimConfig::builder()
+        .nodes(pc.profile.nodes)
+        .seed(seed)
+        .build_pool();
+    let data: OfflineData = collect_offline(&pool, &pc.jobs, &tcfg, &starts);
 
-    let mut methods: Vec<Box<dyn ProvisionPolicy>> = MethodKind::all()
-        .into_iter()
-        .map(|kind| {
-            mirage_core::train::train_method(
-                kind,
-                &pc.jobs,
-                pc.profile.nodes,
-                &tcfg,
-                &data,
-                pc.train_range,
-            )
-        })
-        .collect();
+    let mut backend = SimConfig::builder()
+        .nodes(pc.profile.nodes)
+        .seed(seed)
+        .build();
+    let mut methods: Vec<Box<dyn ProvisionPolicy>> = Vec::new();
+    for kind in MethodKind::all() {
+        methods.push(mirage_core::train::train_method(
+            kind,
+            &mut backend,
+            &pc.jobs,
+            &tcfg,
+            &data,
+            pc.train_range,
+        ));
+    }
 
     let ecfg = EvalConfig {
         episode: tcfg.episode,
         n_episodes: scale.eval_episodes,
         seed: seed ^ 0xEE,
     };
-    let report = evaluate(&mut methods, &pc.jobs, pc.profile.nodes, pc.val_range, &ecfg);
-    InterruptionExperiment { report, episode: tcfg.episode }
+    let report = evaluate(&mut methods, &mut backend, &pc.jobs, pc.val_range, &ecfg);
+    InterruptionExperiment {
+        report,
+        episode: tcfg.episode,
+    }
 }
 
 /// Which outcome column a figure shows.
@@ -161,7 +190,10 @@ pub fn print_panel(
     println!("\n=== {title} [{} load] ===", load.label());
     print!("{:18}", "method");
     for (name, report) in cluster_reports {
-        print!(" | {:>21}", format!("{} (n={})", name, report.episodes_at(load)));
+        print!(
+            " | {:>21}",
+            format!("{} (n={})", name, report.episodes_at(load))
+        );
     }
     println!();
     let methods: Vec<String> = cluster_reports
@@ -189,7 +221,10 @@ pub fn print_panel(
 /// Prints interruption reductions vs the reactive baseline (the §6
 /// headline statistic).
 pub fn print_reductions(load: LoadLevel, cluster_reports: &[(String, &EvalReport)]) {
-    println!("\n--- interruption reduction vs reactive [{} load] ---", load.label());
+    println!(
+        "\n--- interruption reduction vs reactive [{} load] ---",
+        load.label()
+    );
     let methods: Vec<String> = cluster_reports
         .first()
         .map(|(_, r)| r.method_names.clone())

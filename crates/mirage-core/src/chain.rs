@@ -7,6 +7,7 @@
 //! loop: one policy provisions an entire chain, each hand-off scored
 //! separately, with cumulative service-interruption accounting.
 
+use mirage_sim::ClusterBackend;
 use mirage_trace::JobRecord;
 use serde::{Deserialize, Serialize};
 
@@ -55,16 +56,16 @@ impl ChainResult {
 }
 
 /// Provisions a chain of `links` sub-jobs starting at `t0`, using `policy`
-/// for every hand-off.
+/// for every hand-off, on any [`ClusterBackend`].
 ///
 /// Each hand-off is simulated as one episode; the next episode starts where
 /// the previous predecessor ended (the successor of hand-off *i* is the
-/// predecessor of hand-off *i+1*, as in the paper). The per-episode
-/// simulator is rebuilt from the trace each time, so hand-offs are
+/// predecessor of hand-off *i+1*, as in the paper). The backend is reset
+/// and reloaded from the trace for each episode, so hand-offs are
 /// independent trials along the chain's real timeline.
-pub fn provision_chain(
+pub fn provision_chain<B: ClusterBackend>(
+    backend: &mut B,
     trace: &[JobRecord],
-    total_nodes: u32,
     cfg: &EpisodeConfig,
     t0: i64,
     links: usize,
@@ -75,7 +76,7 @@ pub fn provision_chain(
     let mut start = t0;
     for _ in 0..links - 1 {
         policy.reset();
-        let result = run_episode(trace, total_nodes, cfg, start, |ctx| policy.decide(ctx));
+        let result = run_episode(backend, trace, cfg, start, |ctx| policy.decide(ctx));
         // The next sub-job's life begins where this predecessor ended.
         start = result.pred_end;
         handoffs.push(result);
@@ -97,8 +98,12 @@ pub fn provision_chain(
 /// Convenience: total time-to-solution of the chain (first submit to last
 /// predecessor end) versus the ideal (uninterrupted) duration.
 pub fn chain_stretch(result: &ChainResult, cfg: &EpisodeConfig) -> f64 {
-    let Some(first) = result.handoffs.first() else { return 1.0 };
-    let Some(last) = result.handoffs.last() else { return 1.0 };
+    let Some(first) = result.handoffs.first() else {
+        return 1.0;
+    };
+    let Some(last) = result.handoffs.last() else {
+        return 1.0;
+    };
     let actual = (last.pred_end - first.pred_submit) as f64;
     let ideal = (result.handoffs.len() as i64 * cfg.pair_runtime) as f64;
     let _ = EpisodeOutcome::from_times(0, 0);
@@ -113,6 +118,7 @@ pub fn chain_stretch(result: &ChainResult, cfg: &EpisodeConfig) -> f64 {
 mod tests {
     use super::*;
     use crate::policy::ReactivePolicy;
+    use mirage_sim::{SimConfig, Simulator};
     use mirage_trace::{DAY, HOUR, MINUTE};
 
     fn cfg() -> EpisodeConfig {
@@ -130,7 +136,8 @@ mod tests {
     #[test]
     fn chain_on_idle_cluster_is_seamless() {
         let mut policy = ReactivePolicy;
-        let result = provision_chain(&[], 4, &cfg(), DAY, 4, &mut policy);
+        let mut sim = Simulator::new(SimConfig::new(4));
+        let result = provision_chain(&mut sim, &[], &cfg(), DAY, 4, &mut policy);
         assert_eq!(result.handoffs.len(), 3);
         assert_eq!(result.total_interruption, 0);
         assert_eq!(result.total_overlap, 0);
@@ -143,7 +150,8 @@ mod tests {
     #[test]
     fn links_chain_consecutively() {
         let mut policy = ReactivePolicy;
-        let result = provision_chain(&[], 4, &cfg(), DAY, 3, &mut policy);
+        let mut sim = Simulator::new(SimConfig::new(4));
+        let result = provision_chain(&mut sim, &[], &cfg(), DAY, 3, &mut policy);
         // Each hand-off starts where the previous predecessor ended.
         assert_eq!(result.handoffs[1].pred_submit, result.handoffs[0].pred_end);
     }
@@ -165,7 +173,8 @@ mod tests {
             })
             .collect();
         let mut policy = ReactivePolicy;
-        let result = provision_chain(&bg, 4, &cfg(), DAY, 3, &mut policy);
+        let mut sim = Simulator::new(SimConfig::new(4));
+        let result = provision_chain(&mut sim, &bg, &cfg(), DAY, 3, &mut policy);
         assert!(
             result.total_interruption > 0,
             "saturated cluster must interrupt a reactive chain"
@@ -177,6 +186,7 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn single_link_is_rejected() {
         let mut policy = ReactivePolicy;
-        let _ = provision_chain(&[], 4, &cfg(), 0, 1, &mut policy);
+        let mut sim = Simulator::new(SimConfig::new(4));
+        let _ = provision_chain(&mut sim, &[], &cfg(), 0, 1, &mut policy);
     }
 }

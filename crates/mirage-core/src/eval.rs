@@ -13,6 +13,7 @@
 //! overlap, and the zero-interruption episode fraction (the paper's
 //! "jobs safeguarded with zero interruption").
 
+use mirage_sim::ClusterBackend;
 use mirage_trace::{JobRecord, HOUR};
 use serde::{Deserialize, Serialize};
 
@@ -120,15 +121,17 @@ pub struct EvalConfig {
     pub seed: u64,
 }
 
-/// Runs every method over the same sampled validation episodes.
+/// Runs every method over the same sampled validation episodes, on any
+/// [`ClusterBackend`] (the backend is reset between runs, so one value
+/// hosts the whole evaluation).
 ///
 /// The first method should be the reactive baseline; its successor wait
 /// classifies each episode's load level. (If it is not, the reactive wait
 /// is computed with an implicit extra run.)
-pub fn evaluate(
+pub fn evaluate<B: ClusterBackend>(
     methods: &mut [Box<dyn ProvisionPolicy>],
+    backend: &mut B,
     trace: &[JobRecord],
-    nodes: u32,
     range: (i64, i64),
     cfg: &EvalConfig,
 ) -> EvalReport {
@@ -142,7 +145,7 @@ pub fn evaluate(
         let mut outcomes: Vec<MethodOutcome> = Vec::with_capacity(methods.len());
         for m in methods.iter_mut() {
             m.reset();
-            let result = run_episode(window, nodes, &cfg.episode, t0, |ctx| m.decide(ctx));
+            let result = run_episode(backend, window, &cfg.episode, t0, |ctx| m.decide(ctx));
             outcomes.push(MethodOutcome {
                 method: m.name(),
                 outcome: result.outcome,
@@ -152,7 +155,7 @@ pub fn evaluate(
         let reactive_wait = match reactive_idx {
             Some(i) => outcomes[i].outcome.interruption,
             None => {
-                let r = run_episode(window, nodes, &cfg.episode, t0, |_| {
+                let r = run_episode(backend, window, &cfg.episode, t0, |_| {
                     crate::episode::Action::Wait
                 });
                 r.outcome.interruption
@@ -165,7 +168,10 @@ pub fn evaluate(
             methods: outcomes,
         });
     }
-    EvalReport { episodes, method_names }
+    EvalReport {
+        episodes,
+        method_names,
+    }
 }
 
 impl EvalReport {
@@ -227,6 +233,7 @@ impl EvalReport {
 mod tests {
     use super::*;
     use crate::policy::{AvgWaitPolicy, ReactivePolicy};
+    use mirage_sim::{SimConfig, Simulator};
     use mirage_trace::{DAY, MINUTE};
 
     fn tiny_episode() -> EpisodeConfig {
@@ -270,12 +277,15 @@ mod tests {
     #[test]
     fn evaluation_runs_all_methods_on_same_episodes() {
         let trace = congested_trace(14);
-        let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
-            Box::new(ReactivePolicy),
-            Box::new(AvgWaitPolicy::default()),
-        ];
-        let cfg = EvalConfig { episode: tiny_episode(), n_episodes: 4, seed: 7 };
-        let report = evaluate(&mut methods, &trace, 4, (0, 14 * DAY), &cfg);
+        let mut methods: Vec<Box<dyn ProvisionPolicy>> =
+            vec![Box::new(ReactivePolicy), Box::new(AvgWaitPolicy::default())];
+        let cfg = EvalConfig {
+            episode: tiny_episode(),
+            n_episodes: 4,
+            seed: 7,
+        };
+        let mut sim = Simulator::new(SimConfig::new(4));
+        let report = evaluate(&mut methods, &mut sim, &trace, (0, 14 * DAY), &cfg);
         assert_eq!(report.episodes.len(), 4);
         for ep in &report.episodes {
             assert_eq!(ep.methods.len(), 2);
@@ -296,8 +306,13 @@ mod tests {
     fn summaries_aggregate_consistently() {
         let trace = congested_trace(10);
         let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
-        let cfg = EvalConfig { episode: tiny_episode(), n_episodes: 3, seed: 9 };
-        let report = evaluate(&mut methods, &trace, 4, (0, 10 * DAY), &cfg);
+        let cfg = EvalConfig {
+            episode: tiny_episode(),
+            n_episodes: 3,
+            seed: 9,
+        };
+        let mut sim = Simulator::new(SimConfig::new(4));
+        let report = evaluate(&mut methods, &mut sim, &trace, (0, 10 * DAY), &cfg);
         for load in LoadLevel::all() {
             let s = report.summarize("reactive", load);
             assert_eq!(s.episodes, report.episodes_at(load));
@@ -310,8 +325,13 @@ mod tests {
     fn reduction_vs_reactive_is_zero_for_itself() {
         let trace = congested_trace(10);
         let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
-        let cfg = EvalConfig { episode: tiny_episode(), n_episodes: 3, seed: 11 };
-        let report = evaluate(&mut methods, &trace, 4, (0, 10 * DAY), &cfg);
+        let cfg = EvalConfig {
+            episode: tiny_episode(),
+            n_episodes: 3,
+            seed: 11,
+        };
+        let mut sim = Simulator::new(SimConfig::new(4));
+        let report = evaluate(&mut methods, &mut sim, &trace, (0, 10 * DAY), &cfg);
         for load in LoadLevel::all() {
             if report.episodes_at(load) > 0 {
                 if let Some(red) = report.reduction_vs_reactive("reactive", load) {

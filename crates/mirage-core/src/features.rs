@@ -52,7 +52,10 @@ mod tests {
             pred_started: true,
             pred_remaining: 2 * HOUR,
             recent_avg_wait: Some(3.0 * HOUR as f64),
-            successor: SuccessorSpec { nodes: 1, timelimit: 48 * HOUR },
+            successor: SuccessorSpec {
+                nodes: 1,
+                timelimit: 48 * HOUR,
+            },
         }
     }
 
@@ -76,7 +79,10 @@ mod tests {
     #[test]
     fn scalar_tail_is_in_hours_and_fractions() {
         let f = extract_features(&ctx(4));
-        assert!((f[FEATURE_DIM - 3] - 2.0).abs() < 1e-6, "pred remaining in hours");
+        assert!(
+            (f[FEATURE_DIM - 3] - 2.0).abs() < 1e-6,
+            "pred remaining in hours"
+        );
         assert!((f[FEATURE_DIM - 2] - 3.0).abs() < 1e-6, "avg wait in hours");
         assert_eq!(f[FEATURE_DIM - 1], 0.0, "empty queue fraction");
     }

@@ -1,22 +1,57 @@
 //! Mirage — the proactive resource provisioner (the paper's primary
-//! contribution).
+//! contribution), generic over any simulation backend.
 //!
 //! Given a chain of wall-clock-limited sub-jobs on a batch GPU cluster,
 //! Mirage decides *when* to submit each successor sub-job so that it
 //! starts right as its predecessor ends, minimizing service interruption
-//! at a controlled overlap cost. This crate assembles the substrates into
-//! the full system:
+//! at a controlled overlap cost.
+//!
+//! Everything that drives a cluster here is generic over
+//! `B: mirage_sim::ClusterBackend`: the same episode driver, evaluation
+//! harness and training pipelines run against the fast event-driven
+//! simulator, the tick-driven reference simulator, or any future backend —
+//! selected by value via `SimConfig::builder()`:
+//!
+//! ```no_run
+//! use mirage_core::episode::{run_episode, Action, EpisodeConfig};
+//! use mirage_sim::{BackendKind, ClusterBackend, SimConfig};
+//!
+//! fn first_decision_count<B: ClusterBackend>(backend: &mut B) -> usize {
+//!     let cfg = EpisodeConfig::default();
+//!     let result = run_episode(backend, &[], &cfg, 86_400, |ctx| {
+//!         if ctx.pred_started && ctx.pred_remaining <= 3_600 {
+//!             Action::Submit
+//!         } else {
+//!             Action::Wait
+//!         }
+//!     });
+//!     result.decisions.len()
+//! }
+//!
+//! // The same provisioning code against either simulator:
+//! let mut fast = SimConfig::builder().nodes(8).build();
+//! let mut tick = SimConfig::builder().nodes(8).backend(BackendKind::Tick).build();
+//! let _ = first_decision_count(&mut fast);
+//! let _ = first_decision_count(&mut tick);
+//! ```
+//!
+//! This crate assembles the substrates into the full system:
 //!
 //! * [`state`] — the §4.1 40-variable state encoding and the `k × m`
 //!   state-matrix history,
 //! * [`reward`] — the §4.5 interruption/overlap reward with the
 //!   user-configurable `e_I`/`e_O` coefficients,
-//! * [`episode`] — the provisioning-episode driver over the Slurm
-//!   simulator (submit / no-submit every decision interval),
+//! * [`episode`] — the provisioning-episode driver over any backend
+//!   (submit / no-submit every decision interval), as a closure loop
+//!   ([`run_episode`]) or an explicit state machine
+//!   ([`episode::EpisodeDriver`]),
+//! * [`gym`] — the same episodes behind `mirage-rl`'s Gym-style
+//!   `Environment` interface,
 //! * [`policy`] — the eight §6 methods behind one trait,
 //! * [`features`] — compact features for the ensemble baselines,
-//! * [`train`] — §4.9 offline collection + foundation pretraining +
-//!   online RL fine-tuning,
+//! * [`train`] — §4.9 offline collection (fanned out over a
+//!   `mirage_sim::BackendPool`) + foundation pretraining + online RL
+//!   fine-tuning,
 //! * [`eval`] — the §6 evaluation harness (load levels, zero-interruption
 //!   fractions, reduction vs reactive),
 //! * [`chain`] — whole-chain provisioning (§4.1's rolling
@@ -28,6 +63,7 @@ pub mod chain;
 pub mod episode;
 pub mod eval;
 pub mod features;
+pub mod gym;
 pub mod policy;
 pub mod reward;
 pub mod state;
@@ -35,8 +71,11 @@ pub mod train;
 pub mod tune;
 
 pub use chain::{chain_stretch, provision_chain, ChainResult, ChainSummary};
-pub use episode::{run_episode, Action, DecisionContext, EpisodeConfig, EpisodeResult};
+pub use episode::{
+    run_episode, Action, DecisionContext, EpisodeConfig, EpisodeDriver, EpisodeResult,
+};
 pub use eval::{evaluate, EvalConfig, EvalReport, LoadLevel, MethodSummary};
+pub use gym::ProvisionEnv;
 pub use policy::{
     AvgWaitPolicy, DqnPolicy, PgPolicy, ProvisionPolicy, ReactivePolicy, WaitModel,
     WaitPredictorPolicy,
@@ -51,8 +90,11 @@ pub use tune::{grid_search, Candidate, TuneGrid, TuneResult};
 
 /// Convenience imports.
 pub mod prelude {
-    pub use crate::episode::{run_episode, Action, DecisionContext, EpisodeConfig, EpisodeResult};
+    pub use crate::episode::{
+        run_episode, Action, DecisionContext, EpisodeConfig, EpisodeDriver, EpisodeResult,
+    };
     pub use crate::eval::{evaluate, EvalConfig, EvalReport, LoadLevel, MethodSummary};
+    pub use crate::gym::ProvisionEnv;
     pub use crate::policy::{
         AvgWaitPolicy, DqnPolicy, PgPolicy, ProvisionPolicy, ReactivePolicy, WaitPredictorPolicy,
     };

@@ -169,7 +169,12 @@ pub struct PgPolicy {
 impl PgPolicy {
     /// Sampling policy with the given seed.
     pub fn new(agent: PgAgent, label: impl Into<String>, seed: u64) -> Self {
-        Self { agent, label: label.into(), rng: StdRng::seed_from_u64(seed), deterministic: false }
+        Self {
+            agent,
+            label: label.into(),
+            rng: StdRng::seed_from_u64(seed),
+            deterministic: false,
+        }
     }
 }
 
@@ -210,7 +215,10 @@ mod tests {
             pred_started,
             pred_remaining,
             recent_avg_wait: avg_wait,
-            successor: SuccessorSpec { nodes: 1, timelimit: 48 * HOUR },
+            successor: SuccessorSpec {
+                nodes: 1,
+                timelimit: 48 * HOUR,
+            },
         }
     }
 
@@ -225,9 +233,15 @@ mod tests {
     fn avg_submits_when_remaining_below_t_avg() {
         let mut p = AvgWaitPolicy::default();
         // 2h remaining, 3h average wait → submit now.
-        assert_eq!(p.decide(&ctx(true, 2 * HOUR, Some(3.0 * HOUR as f64))), Action::Submit);
+        assert_eq!(
+            p.decide(&ctx(true, 2 * HOUR, Some(3.0 * HOUR as f64))),
+            Action::Submit
+        );
         // 5h remaining, 3h average wait → hold.
-        assert_eq!(p.decide(&ctx(true, 5 * HOUR, Some(3.0 * HOUR as f64))), Action::Wait);
+        assert_eq!(
+            p.decide(&ctx(true, 5 * HOUR, Some(3.0 * HOUR as f64))),
+            Action::Wait
+        );
         // Not started yet → always hold.
         assert_eq!(p.decide(&ctx(false, 0, Some(1e9))), Action::Wait);
         // No wait data → nothing suggests congestion; hold until the end.
@@ -238,17 +252,28 @@ mod tests {
     fn avg_multiplier_scales_the_threshold() {
         let mut cautious = AvgWaitPolicy { multiplier: 0.5 };
         // 2h remaining, 3h avg → 1.5h effective threshold → hold.
-        assert_eq!(cautious.decide(&ctx(true, 2 * HOUR, Some(3.0 * HOUR as f64))), Action::Wait);
+        assert_eq!(
+            cautious.decide(&ctx(true, 2 * HOUR, Some(3.0 * HOUR as f64))),
+            Action::Wait
+        );
     }
 
     #[test]
     fn wait_predictor_uses_model_output() {
         use mirage_ensemble::{Dataset, GbdtConfig};
         // Train a trivial GBDT that always predicts ~5 (hours).
-        let rows: Vec<Vec<f32>> = (0..16).map(|_| vec![0.0; crate::features::FEATURE_DIM]).collect();
+        let rows: Vec<Vec<f32>> = (0..16)
+            .map(|_| vec![0.0; crate::features::FEATURE_DIM])
+            .collect();
         let ys = vec![5.0f32; 16];
         let data = Dataset::from_rows(&rows, &ys);
-        let model = GradientBoosting::fit(&data, &GbdtConfig { n_rounds: 2, ..Default::default() });
+        let model = GradientBoosting::fit(
+            &data,
+            &GbdtConfig {
+                n_rounds: 2,
+                ..Default::default()
+            },
+        );
         let mut p = WaitPredictorPolicy::new(WaitModel::Gbdt(model));
         assert_eq!(p.name(), "xgboost");
         // 3h remaining < 5h predicted wait → submit.

@@ -25,7 +25,10 @@ impl Default for RewardShaper {
     /// checkpoints and takes over with no wasted computation), while an
     /// interruption is a hard service gap.
     fn default() -> Self {
-        Self { e_interrupt: 2.0, e_overlap: 1.0 }
+        Self {
+            e_interrupt: 2.0,
+            e_overlap: 1.0,
+        }
     }
 }
 
@@ -89,7 +92,10 @@ mod tests {
 
     #[test]
     fn rewards_are_negative_penalties() {
-        let shaper = RewardShaper { e_interrupt: 2.0, e_overlap: 1.0 };
+        let shaper = RewardShaper {
+            e_interrupt: 2.0,
+            e_overlap: 1.0,
+        };
         let r_gap = shaper.reward(&EpisodeOutcome::from_times(0, 3 * HOUR));
         assert!((r_gap + 6.0).abs() < 1e-5, "3h gap × e_I=2 → −6");
         let r_lap = shaper.reward(&EpisodeOutcome::from_times(3 * HOUR, 0));
@@ -101,10 +107,16 @@ mod tests {
         let outcome_gap = EpisodeOutcome::from_times(0, HOUR);
         let outcome_lap = EpisodeOutcome::from_times(HOUR, 0);
         // Performance-sensitive user: interruption much worse.
-        let perf = RewardShaper { e_interrupt: 10.0, e_overlap: 1.0 };
+        let perf = RewardShaper {
+            e_interrupt: 10.0,
+            e_overlap: 1.0,
+        };
         assert!(perf.reward(&outcome_gap) < perf.reward(&outcome_lap));
         // Waste-averse user: overlap much worse.
-        let frugal = RewardShaper { e_interrupt: 1.0, e_overlap: 10.0 };
+        let frugal = RewardShaper {
+            e_interrupt: 1.0,
+            e_overlap: 10.0,
+        };
         assert!(frugal.reward(&outcome_lap) < frugal.reward(&outcome_gap));
     }
 }

@@ -67,7 +67,11 @@ pub struct StateEncoder {
 impl StateEncoder {
     /// Encoder for a partition of `total_nodes` with a 48 h limit.
     pub fn new(total_nodes: u32, max_time: i64) -> Self {
-        Self { total_nodes, max_time, queue_scale: 1000.0 }
+        Self {
+            total_nodes,
+            max_time,
+            queue_scale: 1000.0,
+        }
     }
 
     #[inline]
@@ -138,7 +142,10 @@ impl StateHistory {
     /// History holding the most recent `k` vectors.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "history must hold at least one row");
-        Self { k, rows: Vec::with_capacity(k) }
+        Self {
+            k,
+            rows: Vec::with_capacity(k),
+        }
     }
 
     /// Appends the newest vector, evicting the oldest beyond `k`.
@@ -244,11 +251,19 @@ mod tests {
     }
 
     fn pred() -> PredecessorState {
-        PredecessorState { nodes: 1, timelimit: 48 * HOUR, queue_time: HOUR, elapsed: 10 * HOUR }
+        PredecessorState {
+            nodes: 1,
+            timelimit: 48 * HOUR,
+            queue_time: HOUR,
+            elapsed: 10 * HOUR,
+        }
     }
 
     fn succ() -> SuccessorSpec {
-        SuccessorSpec { nodes: 1, timelimit: 48 * HOUR }
+        SuccessorSpec {
+            nodes: 1,
+            timelimit: 48 * HOUR,
+        }
     }
 
     #[test]
@@ -283,7 +298,11 @@ mod tests {
         let enc = StateEncoder::new(16, 48 * HOUR);
         let v = enc.encode(&snap(9, 0), &pred(), &succ());
         for w in v[6..11].windows(2) {
-            assert!(w[0] <= w[1], "age percentiles must be sorted: {:?}", &v[6..11]);
+            assert!(
+                w[0] <= w[1],
+                "age percentiles must be sorted: {:?}",
+                &v[6..11]
+            );
         }
     }
 

@@ -13,15 +13,14 @@
 //! * **Ensemble fitting**: the same episodes supply (features → observed
 //!   successor wait) pairs for the Random Forest / XGBoost baselines.
 
-use mirage_ensemble::{
-    Dataset, ForestConfig, GbdtConfig, GradientBoosting, RandomForest,
-};
+use mirage_ensemble::{Dataset, ForestConfig, GbdtConfig, GradientBoosting, RandomForest};
 use mirage_nn::foundation::FoundationKind;
 use mirage_nn::transformer::TransformerConfig;
 use mirage_rl::{
     pretrain_foundation, ActionEncoding, DqnAgent, DqnConfig, DualHeadConfig, DualHeadNet,
     EpisodeSample, Experience, PgAgent, PgConfig, PretrainConfig, ReplayBuffer, RewardSample,
 };
+use mirage_sim::{BackendFactory, BackendPool, ClusterBackend};
 use mirage_trace::{JobRecord, DAY};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -140,12 +139,22 @@ impl Default for TrainConfig {
             shaper: RewardShaper::default(),
             seed: 0,
             moe_experts: 3,
-            pretrain: PretrainConfig { epochs: 4, batch_size: 32, lr: 1e-3, seed: 0, grad_clip: 5.0 },
+            pretrain: PretrainConfig {
+                epochs: 4,
+                batch_size: 32,
+                lr: 1e-3,
+                seed: 0,
+                grad_clip: 5.0,
+            },
             dqn: DqnConfig::default(),
             // Low online lr: REINFORCE fine-tunes the behavior-cloned
             // policy without being able to wipe it out in a few bad
             // episode batches.
-            pg: PgConfig { entropy_coef: 0.02, lr: 3e-4, ..PgConfig::default() },
+            pg: PgConfig {
+                entropy_coef: 0.02,
+                lr: 3e-4,
+                ..PgConfig::default()
+            },
             online_episodes: 60,
             batch_size: 32,
             updates_per_episode: 6,
@@ -245,7 +254,11 @@ pub fn sample_training_starts(
 
 /// Slices the (submit-sorted) trace to the window an episode at `t0`
 /// needs: warm-up before, generous horizon after.
-pub fn episode_window<'a>(trace: &'a [JobRecord], t0: i64, episode: &EpisodeConfig) -> &'a [JobRecord] {
+pub fn episode_window<'a>(
+    trace: &'a [JobRecord],
+    t0: i64,
+    episode: &EpisodeConfig,
+) -> &'a [JobRecord] {
     let from = t0 - episode.warmup;
     let to = t0 + 2 * episode.pair_timelimit + 6 * DAY;
     let lo = trace.partition_point(|j| j.submit < from);
@@ -256,10 +269,14 @@ pub fn episode_window<'a>(trace: &'a [JobRecord], t0: i64, episode: &EpisodeConf
 /// §4.9.1 offline collection: for each start, one reactive run plus
 /// `split_points` runs that submit the successor at evenly split elapsed
 /// fractions of the predecessor's limit. Every decision of a run is
-/// credited with the delayed episode reward. Runs execute in parallel.
-pub fn collect_offline(
+/// credited with the delayed episode reward.
+///
+/// Runs fan out across the [`BackendPool`]'s seeded backends (one thread
+/// per worker); results are in task order and identical to a sequential
+/// run, whatever the worker count.
+pub fn collect_offline<F: BackendFactory>(
+    pool: &BackendPool<F>,
     trace: &[JobRecord],
-    nodes: u32,
     cfg: &TrainConfig,
     starts: &[i64],
 ) -> OfflineData {
@@ -271,19 +288,18 @@ pub fn collect_offline(
             tasks.push((t0, Some(j)));
         }
     }
-    let results: Vec<(i64, EpisodeResult, Option<Vec<f32>>)> = tasks
-        .par_iter()
-        .map(|&(t0, split)| {
+    let results: Vec<(i64, EpisodeResult, Option<Vec<f32>>)> =
+        pool.map(&tasks, |backend, &(t0, split)| {
             let window = episode_window(trace, t0, &cfg.episode);
             let mut submit_features: Option<Vec<f32>> = None;
-            let result = run_episode(window, nodes, &cfg.episode, t0, |ctx| {
+            let result = run_episode(backend, window, &cfg.episode, t0, |ctx| {
                 let act = match split {
                     None => Action::Wait,
                     Some(j) => {
                         // Submit once the predecessor's elapsed fraction
                         // passes (j+1)/(points+1) of its limit.
-                        let threshold = (j as i64 + 1) * cfg.episode.pair_timelimit
-                            / (points as i64 + 1);
+                        let threshold =
+                            (j as i64 + 1) * cfg.episode.pair_timelimit / (points as i64 + 1);
                         let elapsed = cfg.episode.pair_timelimit - ctx.pred_remaining;
                         if ctx.pred_started && elapsed >= threshold {
                             Action::Submit
@@ -298,8 +314,7 @@ pub fn collect_offline(
                 act
             });
             (t0, result, submit_features)
-        })
-        .collect();
+        });
 
     let mut data = OfflineData::default();
     let mut best_per_start: std::collections::HashMap<i64, (f32, usize)> =
@@ -327,8 +342,10 @@ pub fn collect_offline(
             })
             .or_insert((reward, i));
     }
-    let mut best: Vec<(i64, usize)> =
-        best_per_start.into_iter().map(|(t0, (_, idx))| (t0, idx)).collect();
+    let mut best: Vec<(i64, usize)> = best_per_start
+        .into_iter()
+        .map(|(t0, (_, idx))| (t0, idx))
+        .collect();
     best.sort_unstable();
     for (_, idx) in best {
         for (state, action) in &results[idx].1.decisions {
@@ -342,14 +359,28 @@ pub fn collect_offline(
 pub fn train_forest(data: &OfflineData, seed: u64) -> RandomForest {
     let (rows, ys): (Vec<Vec<f32>>, Vec<f32>) = data.wait_samples.iter().cloned().unzip();
     let ds = Dataset::from_rows(&rows, &ys);
-    RandomForest::fit(&ds, &ForestConfig { n_trees: 60, seed, ..ForestConfig::default() })
+    RandomForest::fit(
+        &ds,
+        &ForestConfig {
+            n_trees: 60,
+            seed,
+            ..ForestConfig::default()
+        },
+    )
 }
 
 /// Fits the XGBoost-style wait predictor on offline wait samples.
 pub fn train_gbdt(data: &OfflineData, seed: u64) -> GradientBoosting {
     let (rows, ys): (Vec<Vec<f32>>, Vec<f32>) = data.wait_samples.iter().cloned().unzip();
     let ds = Dataset::from_rows(&rows, &ys);
-    GradientBoosting::fit(&ds, &GbdtConfig { n_rounds: 60, seed, ..GbdtConfig::default() })
+    GradientBoosting::fit(
+        &ds,
+        &GbdtConfig {
+            n_rounds: 60,
+            seed,
+            ..GbdtConfig::default()
+        },
+    )
 }
 
 fn transformer_config(cfg: &TrainConfig) -> TransformerConfig {
@@ -394,13 +425,13 @@ pub fn build_pretrained_net(
     net
 }
 
-/// Online DQN fine-tuning (§4.9.2a): ε-greedy episodes against the
-/// simulator; each episode's decisions enter the replay pool with the
+/// Online DQN fine-tuning (§4.9.2a): ε-greedy episodes against any
+/// backend; each episode's decisions enter the replay pool with the
 /// delayed episode reward, followed by a mini-batch update.
-pub fn train_dqn_online(
+pub fn train_dqn_online<B: ClusterBackend>(
     net: DualHeadNet,
+    backend: &mut B,
     trace: &[JobRecord],
-    nodes: u32,
     cfg: &TrainConfig,
     starts: &[i64],
     warm_start: &OfflineData,
@@ -430,7 +461,7 @@ pub fn train_dqn_online(
         let window = episode_window(trace, t0, &cfg.episode);
         let agent_ref = &mut agent;
         let mut ep_rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64) << 3);
-        let result = run_episode(window, nodes, &cfg.episode, t0, |ctx| {
+        let result = run_episode(backend, window, &cfg.episode, t0, |ctx| {
             Action::from_index(agent_ref.act(&ctx.state_matrix, &mut ep_rng))
         });
         let reward = cfg.shaper.reward(&result.outcome);
@@ -480,8 +511,16 @@ pub fn behavior_clone(
     let n_submit = samples.iter().filter(|(_, a)| *a == 1).count() as f32;
     let n_wait = n - n_submit;
     let class_w = [
-        if n_wait > 0.0 { n / (2.0 * n_wait) } else { 0.0 },
-        if n_submit > 0.0 { n / (2.0 * n_submit) } else { 0.0 },
+        if n_wait > 0.0 {
+            n / (2.0 * n_wait)
+        } else {
+            0.0
+        },
+        if n_submit > 0.0 {
+            n / (2.0 * n_submit)
+        } else {
+            0.0
+        },
     ];
     let mut rng = StdRng::seed_from_u64(seed);
     let mut opt = Adam::new(lr);
@@ -519,10 +558,10 @@ pub fn behavior_clone(
 
 /// Online PG fine-tuning (§4.9.2b): Monte-Carlo rollouts under the current
 /// stochastic policy, REINFORCE update per small batch of episodes.
-pub fn train_pg_online(
+pub fn train_pg_online<B: ClusterBackend>(
     net: DualHeadNet,
+    backend: &mut B,
     trace: &[JobRecord],
-    nodes: u32,
     cfg: &TrainConfig,
     starts: &[i64],
 ) -> PgAgent {
@@ -533,7 +572,7 @@ pub fn train_pg_online(
         let window = episode_window(trace, t0, &cfg.episode);
         let agent_ref = &agent;
         let mut ep_rng = StdRng::seed_from_u64(cfg.seed ^ 0xBEEF ^ ((i as u64) << 4));
-        let result = run_episode(window, nodes, &cfg.episode, t0, |ctx| {
+        let result = run_episode(backend, window, &cfg.episode, t0, |ctx| {
             Action::from_index(agent_ref.act(&ctx.state_matrix, &mut ep_rng))
         });
         let reward = cfg.shaper.reward(&result.outcome);
@@ -555,27 +594,30 @@ pub fn train_pg_online(
 /// Trains one §6 method end to end and returns it as a policy. For the
 /// heuristics this is free; for the ensembles it fits on the offline wait
 /// samples; for the RL methods it pretrains the foundation and fine-tunes
-/// online.
-pub fn train_method(
+/// online against `backend` (any [`ClusterBackend`]).
+pub fn train_method<B: ClusterBackend>(
     kind: MethodKind,
+    backend: &mut B,
     trace: &[JobRecord],
-    nodes: u32,
     cfg: &TrainConfig,
     data: &OfflineData,
     train_range: (i64, i64),
 ) -> Box<dyn ProvisionPolicy> {
+    let nodes = backend.total_nodes();
     match kind {
         MethodKind::Reactive => Box::new(ReactivePolicy),
         MethodKind::AvgHeuristic => Box::new(AvgWaitPolicy::default()),
         MethodKind::RandomForest => Box::new(WaitPredictorPolicy::new(WaitModel::Forest(
             train_forest(data, cfg.seed),
         ))),
-        MethodKind::Xgboost => Box::new(WaitPredictorPolicy::new(WaitModel::Gbdt(
-            train_gbdt(data, cfg.seed),
-        ))),
+        MethodKind::Xgboost => Box::new(WaitPredictorPolicy::new(WaitModel::Gbdt(train_gbdt(
+            data, cfg.seed,
+        )))),
         MethodKind::TransformerDqn | MethodKind::MoeDqn => {
             let foundation = if kind == MethodKind::MoeDqn {
-                FoundationKind::MoE { experts: cfg.moe_experts }
+                FoundationKind::MoE {
+                    experts: cfg.moe_experts,
+                }
             } else {
                 FoundationKind::Transformer
             };
@@ -589,12 +631,17 @@ pub fn train_method(
                 cfg.online_episodes.max(1),
                 cfg.seed ^ 0x51,
             );
-            let agent = train_dqn_online(net, trace, nodes, cfg, &starts, data);
-            Box::new(DqnPolicy { agent, label: kind.label().into() })
+            let agent = train_dqn_online(net, backend, trace, cfg, &starts, data);
+            Box::new(DqnPolicy {
+                agent,
+                label: kind.label().into(),
+            })
         }
         MethodKind::TransformerPg | MethodKind::MoePg => {
             let foundation = if kind == MethodKind::MoePg {
-                FoundationKind::MoE { experts: cfg.moe_experts }
+                FoundationKind::MoE {
+                    experts: cfg.moe_experts,
+                }
             } else {
                 FoundationKind::Transformer
             };
@@ -615,7 +662,7 @@ pub fn train_method(
                 cfg.online_episodes.max(1),
                 cfg.seed ^ 0x52,
             );
-            let agent = train_pg_online(net, trace, nodes, cfg, &starts);
+            let agent = train_pg_online(net, backend, trace, cfg, &starts);
             Box::new(PgPolicy::new(agent, kind.label(), cfg.seed ^ 0x53))
         }
     }
@@ -624,7 +671,19 @@ pub fn train_method(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mirage_sim::{BackendKind, SimConfig, Simulator};
     use mirage_trace::{HOUR, MINUTE};
+
+    fn pool4() -> BackendPool<mirage_sim::SimBuilder> {
+        SimConfig::builder()
+            .nodes(4)
+            .backend(BackendKind::Pooled { workers: 4 })
+            .build_pool()
+    }
+
+    fn sim4() -> Simulator {
+        Simulator::new(SimConfig::new(4))
+    }
 
     fn tiny_cfg() -> TrainConfig {
         TrainConfig {
@@ -690,7 +749,7 @@ mod tests {
         let cfg = tiny_cfg();
         let trace = bg_trace(12);
         let starts = sample_episode_starts(0, 12 * DAY, &cfg.episode, cfg.offline_episodes, 2);
-        let data = collect_offline(&trace, 4, &cfg, &starts);
+        let data = collect_offline(&pool4(), &trace, &cfg, &starts);
         assert!(!data.reward_samples.is_empty(), "reward pool empty");
         assert!(!data.wait_samples.is_empty(), "wait pool empty");
         // Eq 8: every decision of an episode shares the episode reward —
@@ -707,9 +766,17 @@ mod tests {
     fn heuristic_methods_need_no_data() {
         let cfg = tiny_cfg();
         let data = OfflineData::default();
-        let p = train_method(MethodKind::Reactive, &[], 4, &cfg, &data, (0, DAY));
+        let mut sim = sim4();
+        let p = train_method(MethodKind::Reactive, &mut sim, &[], &cfg, &data, (0, DAY));
         assert_eq!(p.name(), "reactive");
-        let p = train_method(MethodKind::AvgHeuristic, &[], 4, &cfg, &data, (0, DAY));
+        let p = train_method(
+            MethodKind::AvgHeuristic,
+            &mut sim,
+            &[],
+            &cfg,
+            &data,
+            (0, DAY),
+        );
         assert_eq!(p.name(), "avg");
     }
 
@@ -718,7 +785,7 @@ mod tests {
         let cfg = tiny_cfg();
         let trace = bg_trace(12);
         let starts = sample_episode_starts(0, 12 * DAY, &cfg.episode, 2, 3);
-        let data = collect_offline(&trace, 4, &cfg, &starts);
+        let data = collect_offline(&pool4(), &trace, &cfg, &starts);
         let forest = train_forest(&data, 0);
         assert!(forest.n_trees() > 0);
         let gbdt = train_gbdt(&data, 0);
@@ -730,17 +797,25 @@ mod tests {
         let cfg = tiny_cfg();
         let trace = bg_trace(14);
         let starts = sample_episode_starts(0, 14 * DAY, &cfg.episode, 2, 4);
-        let data = collect_offline(&trace, 4, &cfg, &starts);
+        let data = collect_offline(&pool4(), &trace, &cfg, &starts);
+        let mut sim = sim4();
         let p = train_method(
             MethodKind::TransformerDqn,
+            &mut sim,
             &trace,
-            4,
             &cfg,
             &data,
             (0, 14 * DAY),
         );
         assert_eq!(p.name(), "transformer+DQN");
-        let p = train_method(MethodKind::TransformerPg, &trace, 4, &cfg, &data, (0, 14 * DAY));
+        let p = train_method(
+            MethodKind::TransformerPg,
+            &mut sim,
+            &trace,
+            &cfg,
+            &data,
+            (0, 14 * DAY),
+        );
         assert_eq!(p.name(), "transformer+PG");
     }
 }

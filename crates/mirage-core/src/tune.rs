@@ -59,7 +59,10 @@ impl Default for TuneGrid {
             d_models: vec![16, 32],
             heads: vec![2, 4],
             layers: vec![1, 2],
-            foundations: vec![FoundationKind::Transformer, FoundationKind::MoE { experts: 3 }],
+            foundations: vec![
+                FoundationKind::Transformer,
+                FoundationKind::MoE { experts: 3 },
+            ],
         }
     }
 }
@@ -75,7 +78,12 @@ impl TuneGrid {
                 }
                 for &layers in &self.layers {
                     for &foundation in &self.foundations {
-                        out.push(Candidate { d_model, heads, layers, foundation });
+                        out.push(Candidate {
+                            d_model,
+                            heads,
+                            layers,
+                            foundation,
+                        });
                     }
                 }
             }
@@ -118,9 +126,19 @@ pub fn grid_search(
             pretrain_foundation(
                 &mut net,
                 train,
-                &PretrainConfig { epochs, batch_size: 32, lr: 1e-3, seed, grad_clip: 5.0 },
+                &PretrainConfig {
+                    epochs,
+                    batch_size: 32,
+                    lr: 1e-3,
+                    seed,
+                    grad_clip: 5.0,
+                },
             );
-            TuneResult { candidate, val_mse: reward_mse(&net, valid), params }
+            TuneResult {
+                candidate,
+                val_mse: reward_mse(&net, valid),
+                params,
+            }
         })
         .collect();
     results.sort_by(|a, b| a.val_mse.partial_cmp(&b.val_mse).unwrap());
@@ -139,10 +157,13 @@ mod tests {
         let mut gen = |n: usize| -> Vec<RewardSample> {
             (0..n)
                 .map(|_| {
-                    let state =
-                        Matrix::from_fn(k, STATE_VARS, |_, _| rng.gen_range(-1.0..1.0f32));
+                    let state = Matrix::from_fn(k, STATE_VARS, |_, _| rng.gen_range(-1.0..1.0f32));
                     let reward = state.mean_rows().sum() / STATE_VARS as f32;
-                    RewardSample { state, action: 0, reward }
+                    RewardSample {
+                        state,
+                        action: 0,
+                        reward,
+                    }
                 })
                 .collect()
         };
@@ -170,11 +191,17 @@ mod tests {
             d_models: vec![8],
             heads: vec![2],
             layers: vec![1],
-            foundations: vec![FoundationKind::Transformer, FoundationKind::MoE { experts: 2 }],
+            foundations: vec![
+                FoundationKind::Transformer,
+                FoundationKind::MoE { experts: 2 },
+            ],
         };
         let results = grid_search(&grid, &train, &valid, 3, 2, 7);
         assert_eq!(results.len(), 2);
-        assert!(results[0].val_mse <= results[1].val_mse, "sorted best-first");
+        assert!(
+            results[0].val_mse <= results[1].val_mse,
+            "sorted best-first"
+        );
         assert!(results.iter().all(|r| r.val_mse.is_finite()));
         assert!(results.iter().all(|r| r.params > 0));
         // MoE has more parameters than the single transformer.

@@ -108,7 +108,8 @@ proptest! {
             pair_user: 999,
         };
         let t0 = 2 * DAY;
-        let result = run_episode(&trace, 4, &cfg, t0, |ctx| {
+        let mut sim = mirage_sim::Simulator::new(mirage_sim::SimConfig::new(4));
+        let result = run_episode(&mut sim, &trace, &cfg, t0, |ctx| {
             if ctx.pred_started && ctx.pred_remaining <= threshold_h * HOUR {
                 Action::Submit
             } else {

@@ -18,7 +18,11 @@ impl Dataset {
             assert_eq!(row.len(), n_features, "ragged feature rows");
             features.extend_from_slice(row);
         }
-        Self { features, n_features, targets: targets.to_vec() }
+        Self {
+            features,
+            n_features,
+            targets: targets.to_vec(),
+        }
     }
 
     /// Number of samples.

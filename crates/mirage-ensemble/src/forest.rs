@@ -59,7 +59,9 @@ impl RandomForest {
             .into_par_iter()
             .map(|t| {
                 // Independent, deterministic stream per tree.
-                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 let idx: Vec<usize> = (0..draw.max(1)).map(|_| rng.gen_range(0..n)).collect();
                 RegressionTree::fit_indices(data, &idx, &tree_cfg, &mut rng)
             })
@@ -132,11 +134,19 @@ mod tests {
         let test = noisy_data(200, 4);
         let single = RandomForest::fit(
             &train,
-            &ForestConfig { n_trees: 1, seed: 7, ..ForestConfig::default() },
+            &ForestConfig {
+                n_trees: 1,
+                seed: 7,
+                ..ForestConfig::default()
+            },
         );
         let many = RandomForest::fit(
             &train,
-            &ForestConfig { n_trees: 60, seed: 7, ..ForestConfig::default() },
+            &ForestConfig {
+                n_trees: 60,
+                seed: 7,
+                ..ForestConfig::default()
+            },
         );
         assert!(mse_on(&many, &test) < mse_on(&single, &test));
     }
@@ -144,7 +154,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = noisy_data(100, 5);
-        let cfg = ForestConfig { n_trees: 8, seed: 42, ..ForestConfig::default() };
+        let cfg = ForestConfig {
+            n_trees: 8,
+            seed: 42,
+            ..ForestConfig::default()
+        };
         let f1 = RandomForest::fit(&data, &cfg);
         let f2 = RandomForest::fit(&data, &cfg);
         assert_eq!(f1, f2, "parallel fit must still be deterministic");
@@ -153,7 +167,13 @@ mod tests {
     #[test]
     fn tree_count_matches_config() {
         let data = noisy_data(50, 6);
-        let f = RandomForest::fit(&data, &ForestConfig { n_trees: 5, ..Default::default() });
+        let f = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(f.n_trees(), 5);
     }
 }

@@ -49,8 +49,15 @@ impl Default for GbdtConfig {
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum BNode {
-    Leaf { weight: f32 },
-    Split { feature: usize, threshold: f32, left: u32, right: u32 },
+    Leaf {
+        weight: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,8 +71,17 @@ impl BoostTree {
         loop {
             match &self.nodes[i as usize] {
                 BNode::Leaf { weight } => return *weight,
-                BNode::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                BNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -94,7 +110,9 @@ impl GradientBoosting {
             let grad: Vec<f32> = (0..n).map(|i| pred[i] - data.target(i)).collect();
             let hess = vec![1.0f32; n];
             let idx: Vec<usize> = if cfg.subsample < 1.0 {
-                (0..n).filter(|_| rng.gen::<f64>() < cfg.subsample).collect()
+                (0..n)
+                    .filter(|_| rng.gen::<f64>() < cfg.subsample)
+                    .collect()
             } else {
                 (0..n).collect()
             };
@@ -110,14 +128,16 @@ impl GradientBoosting {
             }
             trees.push(tree);
         }
-        Self { base, learning_rate: cfg.learning_rate, trees }
+        Self {
+            base,
+            learning_rate: cfg.learning_rate,
+            trees,
+        }
     }
 
     /// Predicts one feature row.
     pub fn predict(&self, row: &[f32]) -> f32 {
-        self.base
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(row)).sum::<f32>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f32>()
     }
 
     /// Number of boosted trees.
@@ -153,7 +173,9 @@ fn grow(
     let h: f32 = idx.iter().map(|&i| hess[i]).sum();
     let leaf_weight = -g / (h + cfg.lambda);
     if depth >= cfg.max_depth || idx.len() < 2 {
-        nodes.push(BNode::Leaf { weight: leaf_weight });
+        nodes.push(BNode::Leaf {
+            weight: leaf_weight,
+        });
         return (nodes.len() - 1) as u32;
     }
     let parent_score = g * g / (h + cfg.lambda);
@@ -191,7 +213,9 @@ fn grow(
         }
     }
     let Some((_, feature, threshold)) = best else {
-        nodes.push(BNode::Leaf { weight: leaf_weight });
+        nodes.push(BNode::Leaf {
+            weight: leaf_weight,
+        });
         return (nodes.len() - 1) as u32;
     };
     let mid = {
@@ -205,15 +229,24 @@ fn grow(
         m
     };
     if mid == 0 || mid == idx.len() {
-        nodes.push(BNode::Leaf { weight: leaf_weight });
+        nodes.push(BNode::Leaf {
+            weight: leaf_weight,
+        });
         return (nodes.len() - 1) as u32;
     }
     let me = nodes.len() as u32;
-    nodes.push(BNode::Leaf { weight: leaf_weight });
+    nodes.push(BNode::Leaf {
+        weight: leaf_weight,
+    });
     let (l_idx, r_idx) = idx.split_at_mut(mid);
     let left = grow(data, grad, hess, l_idx, depth + 1, cfg, nodes);
     let right = grow(data, grad, hess, r_idx, depth + 1, cfg, nodes);
-    nodes[me as usize] = BNode::Split { feature, threshold, left, right };
+    nodes[me as usize] = BNode::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
     me
 }
 
@@ -245,7 +278,11 @@ mod tests {
     #[test]
     fn more_rounds_monotonically_improve_training_fit() {
         let data = sine_data(200);
-        let cfg = GbdtConfig { n_rounds: 40, subsample: 1.0, ..GbdtConfig::default() };
+        let cfg = GbdtConfig {
+            n_rounds: 40,
+            subsample: 1.0,
+            ..GbdtConfig::default()
+        };
         let model = GradientBoosting::fit(&data, &cfg);
         let mse_at = |rounds: usize| -> f32 {
             (0..data.len())
@@ -263,7 +300,10 @@ mod tests {
     #[test]
     fn zero_rounds_predicts_the_mean() {
         let data = sine_data(50);
-        let cfg = GbdtConfig { n_rounds: 0, ..GbdtConfig::default() };
+        let cfg = GbdtConfig {
+            n_rounds: 0,
+            ..GbdtConfig::default()
+        };
         let model = GradientBoosting::fit(&data, &cfg);
         assert_eq!(model.n_trees(), 0);
         assert!((model.predict(&[1.0]) - data.target_mean()).abs() < 1e-6);
@@ -274,11 +314,21 @@ mod tests {
         let data = sine_data(100);
         let loose = GradientBoosting::fit(
             &data,
-            &GbdtConfig { n_rounds: 5, lambda: 0.0001, subsample: 1.0, ..Default::default() },
+            &GbdtConfig {
+                n_rounds: 5,
+                lambda: 0.0001,
+                subsample: 1.0,
+                ..Default::default()
+            },
         );
         let tight = GradientBoosting::fit(
             &data,
-            &GbdtConfig { n_rounds: 5, lambda: 100.0, subsample: 1.0, ..Default::default() },
+            &GbdtConfig {
+                n_rounds: 5,
+                lambda: 100.0,
+                subsample: 1.0,
+                ..Default::default()
+            },
         );
         // With huge λ the model barely moves from the base prediction.
         let spread = |m: &GradientBoosting| -> f32 {
@@ -294,23 +344,38 @@ mod tests {
         let data = sine_data(100);
         let no_gamma = GradientBoosting::fit(
             &data,
-            &GbdtConfig { n_rounds: 3, gamma: 0.0, subsample: 1.0, ..Default::default() },
+            &GbdtConfig {
+                n_rounds: 3,
+                gamma: 0.0,
+                subsample: 1.0,
+                ..Default::default()
+            },
         );
         let big_gamma = GradientBoosting::fit(
             &data,
-            &GbdtConfig { n_rounds: 3, gamma: 1e6, subsample: 1.0, ..Default::default() },
+            &GbdtConfig {
+                n_rounds: 3,
+                gamma: 1e6,
+                subsample: 1.0,
+                ..Default::default()
+            },
         );
-        let count_nodes = |m: &GradientBoosting| -> usize {
-            m.trees.iter().map(|t| t.nodes.len()).sum()
-        };
+        let count_nodes =
+            |m: &GradientBoosting| -> usize { m.trees.iter().map(|t| t.nodes.len()).sum() };
         assert!(count_nodes(&big_gamma) < count_nodes(&no_gamma));
     }
 
     #[test]
     fn deterministic_given_seed() {
         let data = sine_data(120);
-        let cfg = GbdtConfig { seed: 11, ..GbdtConfig::default() };
-        assert_eq!(GradientBoosting::fit(&data, &cfg), GradientBoosting::fit(&data, &cfg));
+        let cfg = GbdtConfig {
+            seed: 11,
+            ..GbdtConfig::default()
+        };
+        assert_eq!(
+            GradientBoosting::fit(&data, &cfg),
+            GradientBoosting::fit(&data, &cfg)
+        );
     }
 
     #[test]
@@ -321,7 +386,13 @@ mod tests {
             .collect();
         let ys: Vec<f32> = rows
             .iter()
-            .map(|r| if (r[0] > 0.5) ^ (r[1] > 0.5) { 1.0 } else { 0.0 })
+            .map(|r| {
+                if (r[0] > 0.5) ^ (r[1] > 0.5) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let data = Dataset::from_rows(&rows, &ys);
         let model = GradientBoosting::fit(&data, &GbdtConfig::default());

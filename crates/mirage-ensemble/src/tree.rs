@@ -82,8 +82,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[i as usize] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -135,7 +144,12 @@ fn build(
     let (l_idx, r_idx) = idx.split_at_mut(mid);
     let left = build(data, l_idx, depth + 1, cfg, rng, nodes);
     let right = build(data, r_idx, depth + 1, cfg, rng, nodes);
-    nodes[me as usize] = Node::Split { feature, threshold, left, right };
+    nodes[me as usize] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
     me
 }
 
@@ -201,7 +215,8 @@ fn best_split(
             }
             let right_sum = total_sum - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            let sse =
+                (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
             if best.map_or(sse < parent_sse - 1e-9, |(b, _, _)| sse < b) {
                 best = Some((sse, f, 0.5 * (xv + xn)));
             }
@@ -219,7 +234,10 @@ mod tests {
     fn step_data(n: usize) -> Dataset {
         // y = 1 if x0 > 0.5 else 0 — one split solves it.
         let rows: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32 / n as f32, 0.0]).collect();
-        let ys: Vec<f32> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let ys: Vec<f32> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         Dataset::from_rows(&rows, &ys)
     }
 
@@ -237,7 +255,10 @@ mod tests {
     fn depth_zero_gives_mean_leaf() {
         let data = step_data(10);
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
         let tree = RegressionTree::fit(&data, &cfg, &mut rng);
         assert_eq!(tree.node_count(), 1);
         let mean = data.target_mean();
@@ -248,7 +269,10 @@ mod tests {
     fn respects_min_samples_leaf() {
         let data = step_data(20);
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = TreeConfig { min_samples_leaf: 10, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            min_samples_leaf: 10,
+            ..TreeConfig::default()
+        };
         let tree = RegressionTree::fit(&data, &cfg, &mut rng);
         // With min leaf = 10 on 20 samples only the midpoint split works.
         assert!(tree.depth() <= 1);
@@ -271,7 +295,10 @@ mod tests {
         let ys: Vec<f32> = rows.iter().map(|r| r[0] * r[0]).collect();
         let data = Dataset::from_rows(&rows, &ys);
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = TreeConfig { max_depth: 6, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 6,
+            ..TreeConfig::default()
+        };
         let tree = RegressionTree::fit(&data, &cfg, &mut rng);
         let mse: f32 = (0..data.len())
             .map(|i| {
@@ -286,7 +313,10 @@ mod tests {
     #[test]
     fn fit_is_deterministic_given_seed() {
         let data = step_data(50);
-        let cfg = TreeConfig { feature_subsample: Some(1), ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            feature_subsample: Some(1),
+            ..TreeConfig::default()
+        };
         let t1 = RegressionTree::fit(&data, &cfg, &mut StdRng::seed_from_u64(9));
         let t2 = RegressionTree::fit(&data, &cfg, &mut StdRng::seed_from_u64(9));
         assert_eq!(t1, t2);

@@ -101,7 +101,12 @@ mod tests {
     #[test]
     fn derivatives_match_finite_differences() {
         let eps = 1e-3f32;
-        for act in [Activation::Relu, Activation::Gelu, Activation::Tanh, Activation::Identity] {
+        for act in [
+            Activation::Relu,
+            Activation::Gelu,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
             for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
                 if act == Activation::Relu && x.abs() < eps {
                     continue; // kink

@@ -50,7 +50,10 @@ impl MultiHeadAttention {
         heads: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(heads > 0 && d_model.is_multiple_of(heads), "heads must divide d_model");
+        assert!(
+            heads > 0 && d_model.is_multiple_of(heads),
+            "heads must divide d_model"
+        );
         Self {
             wq: Linear::new(ps, &format!("{name}.wq"), d_model, d_model, rng),
             wk: Linear::new(ps, &format!("{name}.wk"), d_model, d_model, rng),
@@ -87,7 +90,19 @@ impl MultiHeadAttention {
             attn.push(a);
         }
         let (y, co) = self.wo.forward(ps, &concat);
-        (y, AttentionCache { cq, ck, cv, co, q, k, v, attn })
+        (
+            y,
+            AttentionCache {
+                cq,
+                ck,
+                cv,
+                co,
+                q,
+                k,
+                v,
+                attn,
+            },
+        )
     }
 
     /// Backward pass; accumulates all projection gradients and returns `dx`.

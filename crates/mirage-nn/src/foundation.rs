@@ -129,7 +129,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny() -> TransformerConfig {
-        TransformerConfig { input_dim: 4, seq_len: 3, d_model: 8, heads: 2, layers: 1, ff_mult: 2 }
+        TransformerConfig {
+            input_dim: 4,
+            seq_len: 3,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        }
     }
 
     #[test]
@@ -158,7 +165,13 @@ mod tests {
         let mut ps_t = ParamSet::new();
         let mut ps_m = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let _t = FoundationNet::new(&mut ps_t, "f", FoundationKind::Transformer, tiny(), &mut rng);
+        let _t = FoundationNet::new(
+            &mut ps_t,
+            "f",
+            FoundationKind::Transformer,
+            tiny(),
+            &mut rng,
+        );
         let _m = FoundationNet::new(
             &mut ps_m,
             "f",
@@ -175,7 +188,13 @@ mod tests {
         let mut ps = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(2);
         let t = FoundationNet::new(&mut ps, "t", FoundationKind::Transformer, tiny(), &mut rng);
-        let m = FoundationNet::new(&mut ps, "m", FoundationKind::MoE { experts: 2 }, tiny(), &mut rng);
+        let m = FoundationNet::new(
+            &mut ps,
+            "m",
+            FoundationKind::MoE { experts: 2 },
+            tiny(),
+            &mut rng,
+        );
         let x = Matrix::xavier(3, 4, &mut rng);
         let (_, c_moe) = m.forward(&ps, &x);
         let mut grads = Grads::new(&ps);

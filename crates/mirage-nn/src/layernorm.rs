@@ -29,7 +29,12 @@ impl LayerNorm {
     pub fn new(ps: &mut ParamSet, name: &str, dim: usize) -> Self {
         let gamma = ps.alloc(format!("{name}.gamma"), Matrix::full(1, dim, 1.0));
         let beta = ps.alloc(format!("{name}.beta"), Matrix::zeros(1, dim));
-        Self { gamma, beta, dim, eps: 1e-5 }
+        Self {
+            gamma,
+            beta,
+            dim,
+            eps: 1e-5,
+        }
     }
 
     /// Normalizes each row of `x`.
@@ -81,7 +86,11 @@ impl LayerNorm {
                 *slot = g;
                 sum_dxhat += g;
                 sum_dxhat_xhat += g * cache.x_hat.get(r, c);
-                dgamma.set(0, c, dgamma.get(0, c) + dy.get(r, c) * cache.x_hat.get(r, c));
+                dgamma.set(
+                    0,
+                    c,
+                    dgamma.get(0, c) + dy.get(r, c) * cache.x_hat.get(r, c),
+                );
                 dbeta.set(0, c, dbeta.get(0, c) + dy.get(r, c));
             }
             for (c, &dxh) in dxhat.iter().enumerate() {
@@ -111,7 +120,12 @@ mod tests {
         let (y, _) = ln.forward(&ps, &x);
         for r in 0..2 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
-            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 4.0;
             assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
         }

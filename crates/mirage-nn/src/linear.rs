@@ -35,7 +35,12 @@ impl Linear {
     ) -> Self {
         let w = ps.alloc(format!("{name}.w"), Matrix::xavier(in_dim, out_dim, rng));
         let b = ps.alloc(format!("{name}.b"), Matrix::zeros(1, out_dim));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Forward pass over a batch of row vectors.

@@ -72,7 +72,12 @@ impl MoEFoundation {
             n_experts,
             rng,
         );
-        Self { experts, gate, kind, cfg }
+        Self {
+            experts,
+            gate,
+            kind,
+            cfg,
+        }
     }
 
     /// Expert count.
@@ -112,7 +117,12 @@ impl MoEFoundation {
         }
         (
             out,
-            MoECache { c_gate, gate_probs, expert_out, x_shape: x.shape() },
+            MoECache {
+                c_gate,
+                gate_probs,
+                expert_out,
+                x_shape: x.shape(),
+            },
         )
     }
 
@@ -172,7 +182,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny() -> TransformerConfig {
-        TransformerConfig { input_dim: 3, seq_len: 3, d_model: 4, heads: 2, layers: 1, ff_mult: 2 }
+        TransformerConfig {
+            input_dim: 3,
+            seq_len: 3,
+            d_model: 4,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        }
     }
 
     #[test]

@@ -32,12 +32,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -48,8 +56,8 @@ impl Optimizer for Sgd {
         }
         for (id, g) in grads.iter() {
             if self.momentum > 0.0 {
-                let v = self.velocity[id.0]
-                    .get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+                let v =
+                    self.velocity[id.0].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
                 *v = v.scale(self.momentum);
                 v.add_assign(g);
                 ps.get_mut(id).add_scaled(&v.clone(), -self.lr);
@@ -88,7 +96,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard hyperparameters (β₁ = 0.9, β₂ = 0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Update steps taken so far.

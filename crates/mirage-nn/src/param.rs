@@ -92,7 +92,9 @@ pub struct Grads {
 impl Grads {
     /// Empty accumulator sized for `params`.
     pub fn new(params: &ParamSet) -> Self {
-        Self { grads: vec![None; params.len()] }
+        Self {
+            grads: vec![None; params.len()],
+        }
     }
 
     /// Accumulates `g` into the gradient of `id`.

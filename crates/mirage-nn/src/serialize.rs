@@ -2,27 +2,296 @@
 //!
 //! JSON keeps checkpoints human-inspectable and append-friendly for the
 //! experiment manifests; the models here are small enough (10⁴–10⁶
-//! scalars) that a binary format buys nothing.
+//! scalars) that a binary format buys nothing. The format is written and
+//! parsed by hand (the build environment has no serde_json), as a single
+//! object:
+//!
+//! ```json
+//! {"params": [{"name": "layer.w", "rows": 2, "cols": 2,
+//!              "data": [1.5, -2.0, 0.0, 3.25]}, ...]}
+//! ```
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Error, ErrorKind, Read, Write};
 use std::path::Path;
 
 use crate::param::ParamSet;
+use crate::tensor::Matrix;
 
-/// Saves a parameter set to `path` as JSON.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a parameter set in the checkpoint JSON format.
+///
+/// Fails if any parameter is non-finite: JSON has no `NaN`/`inf`
+/// tokens, so writing them would produce a checkpoint that can never be
+/// loaded back — better to refuse at save time, when the diverged
+/// training run is still debuggable.
+pub fn params_to_json(ps: &ParamSet) -> Result<String, Error> {
+    use std::fmt::Write as _;
+
+    let mut out = String::from("{\"params\": [");
+    for (i, (id, m)) in ps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"name\": ");
+        write_json_string(&mut out, ps.name(id));
+        let _ = write!(
+            out,
+            ", \"rows\": {}, \"cols\": {}, \"data\": [",
+            m.rows(),
+            m.cols()
+        );
+        for (j, v) in m.data().iter().enumerate() {
+            if !v.is_finite() {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!(
+                        "parameter {:?} contains non-finite value {v} at index {j}; \
+                         refusing to write an unloadable checkpoint",
+                        ps.name(id)
+                    ),
+                ));
+            }
+            if j > 0 {
+                out.push(',');
+            }
+            // `{:?}` prints the shortest f32 representation that parses
+            // back to the same bits (for finite values).
+            let _ = write!(out, "{v:?}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+/// Minimal pull parser for the checkpoint subset of JSON.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(
+            ErrorKind::InvalidData,
+            format!("checkpoint parse error at byte {}: {msg}", self.pos),
+        )
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), Error> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full code point.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| self.err("invalid number"))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b & 0xE0 == 0xC0 => 2,
+        b if b & 0xF0 == 0xE0 => 3,
+        _ => 4,
+    }
+}
+
+/// Parses the checkpoint JSON format back into a parameter set.
+pub fn params_from_json(text: &str) -> Result<ParamSet, Error> {
+    let mut p = Parser::new(text);
+    let mut ps = ParamSet::new();
+    p.expect(b'{')?;
+    let key = p.string()?;
+    if key != "params" {
+        return Err(p.err("expected \"params\" key"));
+    }
+    p.expect(b':')?;
+    p.expect(b'[')?;
+    if !p.eat(b']') {
+        loop {
+            p.expect(b'{')?;
+            let mut name: Option<String> = None;
+            let mut rows = 0usize;
+            let mut cols = 0usize;
+            let mut data: Vec<f32> = Vec::new();
+            loop {
+                let field = p.string()?;
+                p.expect(b':')?;
+                match field.as_str() {
+                    "name" => name = Some(p.string()?),
+                    "rows" => rows = p.number()? as usize,
+                    "cols" => cols = p.number()? as usize,
+                    "data" => {
+                        p.expect(b'[')?;
+                        if !p.eat(b']') {
+                            loop {
+                                data.push(p.number()? as f32);
+                                if !p.eat(b',') {
+                                    break;
+                                }
+                            }
+                            p.expect(b']')?;
+                        }
+                    }
+                    _ => return Err(p.err("unknown field")),
+                }
+                if !p.eat(b',') {
+                    break;
+                }
+            }
+            p.expect(b'}')?;
+            let name = name.ok_or_else(|| p.err("missing name"))?;
+            if data.len() != rows * cols {
+                return Err(p.err("data length does not match rows x cols"));
+            }
+            ps.alloc(name, Matrix::from_vec(rows, cols, data));
+            if !p.eat(b',') {
+                break;
+            }
+        }
+        p.expect(b']')?;
+    }
+    p.expect(b'}')?;
+    Ok(ps)
+}
+
+/// Saves a parameter set to `path` as JSON. Fails (without touching the
+/// file) if any parameter is non-finite.
 pub fn save_params(ps: &ParamSet, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let text = params_to_json(ps)?;
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
-    serde_json::to_writer(&mut w, ps)?;
+    w.write_all(text.as_bytes())?;
     w.flush()
 }
 
 /// Loads a parameter set from a JSON file written by [`save_params`].
 pub fn load_params(path: impl AsRef<Path>) -> std::io::Result<ParamSet> {
-    let file = File::open(path)?;
-    let r = BufReader::new(file);
-    Ok(serde_json::from_reader(r)?)
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    params_from_json(&text)
 }
 
 #[cfg(test)]
@@ -33,7 +302,10 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let mut ps = ParamSet::new();
-        let a = ps.alloc("layer.w", Matrix::from_vec(2, 2, vec![1.5, -2.0, 0.0, 3.25]));
+        let a = ps.alloc(
+            "layer.w",
+            Matrix::from_vec(2, 2, vec![1.5, -2.0, 0.0, 3.25]),
+        );
         let b = ps.alloc("layer.b", Matrix::row_vector(vec![0.5]));
         let dir = std::env::temp_dir().join("mirage_nn_ser_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -50,5 +322,52 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(load_params("/nonexistent/mirage/ckpt.json").is_err());
+    }
+
+    #[test]
+    fn in_memory_roundtrip_is_exact_for_awkward_values() {
+        let mut ps = ParamSet::new();
+        let id = ps.alloc(
+            "odd \"name\" with\\slashes",
+            Matrix::from_vec(1, 4, vec![f32::MIN_POSITIVE, 1e-30, -1.2345678e10, 0.1]),
+        );
+        let text = params_to_json(&ps).unwrap();
+        let loaded = params_from_json(&text).unwrap();
+        assert_eq!(loaded.name(id), "odd \"name\" with\\slashes");
+        assert_eq!(loaded.get(id), ps.get(id));
+    }
+
+    #[test]
+    fn empty_param_set_roundtrips() {
+        let ps = ParamSet::new();
+        let loaded = params_from_json(&params_to_json(&ps).unwrap()).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn non_finite_parameters_are_rejected_at_save_time() {
+        let mut ps = ParamSet::new();
+        ps.alloc("w", Matrix::from_vec(1, 2, vec![1.0, f32::NAN]));
+        let err = params_to_json(&ps).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        let dir = std::env::temp_dir().join("mirage_nn_ser_nan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::remove_file(&path).ok();
+        assert!(save_params(&ps, &path).is_err());
+        assert!(!path.exists(), "failed save must not leave a file behind");
+        let mut inf = ParamSet::new();
+        inf.alloc("w", Matrix::from_vec(1, 1, vec![f32::INFINITY]));
+        assert!(params_to_json(&inf).is_err());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(params_from_json("{\"params\": [").is_err());
+        assert!(params_from_json("{\"other\": []}").is_err());
+        assert!(params_from_json(
+            "{\"params\": [{\"name\": \"x\", \"rows\": 2, \"cols\": 2, \"data\": [1.0]}]}"
+        )
+        .is_err());
     }
 }

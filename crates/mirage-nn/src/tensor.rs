@@ -23,12 +23,20 @@ const PAR_THRESHOLD: usize = 64 * 64;
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Self { rows, cols, data: vec![v; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Builds a matrix from a function of `(row, col)`.
@@ -51,7 +59,11 @@ impl Matrix {
     /// A `1 × n` row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Self { rows: 1, cols, data }
+        Self {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Xavier/Glorot uniform initialization for a `rows × cols` weight.
@@ -119,7 +131,8 @@ impl Matrix {
     /// Matrix product `self × rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} × {:?}",
             self.shape(),
             rhs.shape()
@@ -148,7 +161,8 @@ impl Matrix {
     /// `selfᵀ × rhs` without materializing the transpose.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.rows, rhs.rows,
+            self.rows,
+            rhs.rows,
             "t_matmul shape mismatch: {:?}ᵀ × {:?}",
             self.shape(),
             rhs.shape()
@@ -173,14 +187,13 @@ impl Matrix {
     /// `self × rhsᵀ` without materializing the transpose.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.cols,
+            self.cols,
+            rhs.cols,
             "matmul_t shape mismatch: {:?} × {:?}ᵀ",
             self.shape(),
             rhs.shape()
         );
-        Matrix::from_fn(self.rows, rhs.rows, |r, c| {
-            dot(self.row(r), rhs.row(c))
-        })
+        Matrix::from_fn(self.rows, rhs.rows, |r, c| dot(self.row(r), rhs.row(c)))
     }
 
     /// Transposed copy.
@@ -191,8 +204,17 @@ impl Matrix {
     /// Elementwise sum (shapes must match).
     pub fn add(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place elementwise `self += rhs`.
@@ -214,21 +236,43 @@ impl Matrix {
     /// Elementwise difference.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise (Hadamard) product.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scalar multiple.
     pub fn scale(&self, alpha: f32) -> Matrix {
         let data = self.data.iter().map(|a| a * alpha).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Adds a `1 × cols` row vector to every row.
@@ -272,7 +316,11 @@ impl Matrix {
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         let data = self.data.iter().map(|&v| f(v)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Sum of all elements.

@@ -37,7 +37,14 @@ impl TransformerConfig {
     /// Small defaults used by the experiment harness (DESIGN.md §3,
     /// substitution 3): k = 24 rows of m = 40 variables, d_model = 32.
     pub fn small(input_dim: usize, seq_len: usize) -> Self {
-        Self { input_dim, seq_len, d_model: 32, heads: 4, layers: 2, ff_mult: 2 }
+        Self {
+            input_dim,
+            seq_len,
+            d_model: 32,
+            heads: 4,
+            layers: 2,
+            ff_mult: 2,
+        }
     }
 }
 
@@ -87,7 +94,17 @@ impl EncoderLayer {
         let (g, c_act) = self.act.forward(&f1);
         let (f2, c_ff2) = self.ff2.forward(ps, &g);
         let y = h.add(&f2);
-        (y, EncoderLayerCache { c_ln1, c_attn, c_ln2, c_ff1, c_act, c_ff2 })
+        (
+            y,
+            EncoderLayerCache {
+                c_ln1,
+                c_attn,
+                c_ln2,
+                c_ff1,
+                c_act,
+                c_ff2,
+            },
+        )
     }
 
     fn backward(
@@ -133,12 +150,23 @@ pub struct TransformerCache {
 impl TransformerEncoder {
     /// Allocates all encoder parameters in `ps`.
     pub fn new(ps: &mut ParamSet, name: &str, cfg: TransformerConfig, rng: &mut impl Rng) -> Self {
-        let embed = Linear::new(ps, &format!("{name}.embed"), cfg.input_dim, cfg.d_model, rng);
+        let embed = Linear::new(
+            ps,
+            &format!("{name}.embed"),
+            cfg.input_dim,
+            cfg.d_model,
+            rng,
+        );
         let layers = (0..cfg.layers)
             .map(|l| EncoderLayer::new(ps, &format!("{name}.layer{l}"), &cfg, rng))
             .collect();
         let pos = positional_encoding(cfg.seq_len, cfg.d_model);
-        Self { cfg, embed, layers, pos }
+        Self {
+            cfg,
+            embed,
+            layers,
+            pos,
+        }
     }
 
     /// Output feature width.
@@ -156,7 +184,10 @@ impl TransformerEncoder {
     /// feature row.
     pub fn forward(&self, ps: &ParamSet, x: &Matrix) -> (Matrix, TransformerCache) {
         assert_eq!(x.cols(), self.cfg.input_dim, "state row width mismatch");
-        assert!(x.rows() <= self.cfg.seq_len, "sequence longer than configured");
+        assert!(
+            x.rows() <= self.cfg.seq_len,
+            "sequence longer than configured"
+        );
         let (e, c_embed) = self.embed.forward(ps, x);
         let mut h = Matrix::from_fn(e.rows(), e.cols(), |r, c| e.get(r, c) + self.pos.get(r, c));
         let mut c_layers = Vec::with_capacity(self.layers.len());
@@ -166,7 +197,14 @@ impl TransformerEncoder {
             c_layers.push(c);
         }
         let pooled = h.mean_rows();
-        (pooled, TransformerCache { c_embed, c_layers, seq: x.rows() })
+        (
+            pooled,
+            TransformerCache {
+                c_embed,
+                c_layers,
+                seq: x.rows(),
+            },
+        )
     }
 
     /// Backward from the pooled feature gradient (`1 × d_model`).
@@ -211,7 +249,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny() -> TransformerConfig {
-        TransformerConfig { input_dim: 5, seq_len: 4, d_model: 8, heads: 2, layers: 2, ff_mult: 2 }
+        TransformerConfig {
+            input_dim: 5,
+            seq_len: 4,
+            d_model: 8,
+            heads: 2,
+            layers: 2,
+            ff_mult: 2,
+        }
     }
 
     #[test]

@@ -119,7 +119,15 @@ impl DualHeadNet {
         let q_head = Linear::new(&mut ps, "q_head", d, q_out, &mut rng);
         let p_head = Linear::new(&mut ps, "p_head", d, 2, &mut rng);
         let reward_head = Linear::new(&mut ps, "reward_head", d, 1, &mut rng);
-        Self { ps, foundation, q_head, p_head, reward_head, cfg, foundation_param_limit }
+        Self {
+            ps,
+            foundation,
+            q_head,
+            p_head,
+            reward_head,
+            cfg,
+            foundation_param_limit,
+        }
     }
 
     /// Whether `id` belongs to the foundation (vs a head).
@@ -149,7 +157,12 @@ impl DualHeadNet {
             ActionEncoding::TwoHead => {
                 let (feat, f_cache) = self.foundation.forward(&self.ps, state);
                 let (q, l_cache) = self.q_head.forward(&self.ps, &feat);
-                ([q.get(0, 0), q.get(0, 1)], QCache { passes: vec![(f_cache, l_cache)] })
+                (
+                    [q.get(0, 0), q.get(0, 1)],
+                    QCache {
+                        passes: vec![(f_cache, l_cache)],
+                    },
+                )
             }
             ActionEncoding::OrdinalInput => {
                 let mut vals = [0.0f32; 2];
@@ -203,9 +216,12 @@ impl DualHeadNet {
 
     /// Backward through the policy path.
     pub fn p_backward(&self, cache: &HeadCache, d_logits: &Matrix, grads: &mut Grads) {
-        let d_feat = self.p_head.backward(&self.ps, &cache.l_cache, d_logits, grads);
+        let d_feat = self
+            .p_head
+            .backward(&self.ps, &cache.l_cache, d_logits, grads);
         if !self.cfg.freeze_foundation {
-            self.foundation.backward(&self.ps, &cache.f_cache, &d_feat, grads);
+            self.foundation
+                .backward(&self.ps, &cache.f_cache, &d_feat, grads);
         }
     }
 
@@ -228,8 +244,11 @@ impl DualHeadNet {
     /// freeze flag.
     pub fn reward_backward(&self, cache: &HeadCache, d_r: f32, grads: &mut Grads) {
         let dy = Matrix::row_vector(vec![d_r]);
-        let d_feat = self.reward_head.backward(&self.ps, &cache.l_cache, &dy, grads);
-        self.foundation.backward(&self.ps, &cache.f_cache, &d_feat, grads);
+        let d_feat = self
+            .reward_head
+            .backward(&self.ps, &cache.l_cache, &dy, grads);
+        self.foundation
+            .backward(&self.ps, &cache.f_cache, &d_feat, grads);
     }
 
     /// Greedy action under the Q function.
@@ -285,14 +304,20 @@ mod tests {
 
     #[test]
     fn ordinal_encoding_distinguishes_actions() {
-        let net = DualHeadNet::new(tiny_cfg(ActionEncoding::OrdinalInput, FoundationKind::Transformer));
+        let net = DualHeadNet::new(tiny_cfg(
+            ActionEncoding::OrdinalInput,
+            FoundationKind::Transformer,
+        ));
         let (q, _) = net.q_forward(&state(3));
         assert_ne!(q[0], q[1], "different ordinals must give different Q");
     }
 
     #[test]
     fn q_gradcheck_two_head() {
-        let net = DualHeadNet::new(tiny_cfg(ActionEncoding::TwoHead, FoundationKind::Transformer));
+        let net = DualHeadNet::new(tiny_cfg(
+            ActionEncoding::TwoHead,
+            FoundationKind::Transformer,
+        ));
         let s = state(1);
         let target = Matrix::row_vector(vec![0.5, -0.5]);
         let loss_fn = |ps: &ParamSet| {
@@ -312,8 +337,10 @@ mod tests {
 
     #[test]
     fn q_gradcheck_ordinal_input() {
-        let net =
-            DualHeadNet::new(tiny_cfg(ActionEncoding::OrdinalInput, FoundationKind::Transformer));
+        let net = DualHeadNet::new(tiny_cfg(
+            ActionEncoding::OrdinalInput,
+            FoundationKind::Transformer,
+        ));
         let s = state(2);
         // Loss touches only action 1 (the common TD case).
         let loss_fn = |ps: &ParamSet| {
@@ -340,7 +367,10 @@ mod tests {
         let mut grads = Grads::new(&net.ps);
         net.q_backward(&cache, [1.0, 1.0], &mut grads);
         for (id, _) in grads.iter() {
-            assert!(!net.is_foundation_param(id), "foundation param got a gradient");
+            assert!(
+                !net.is_foundation_param(id),
+                "foundation param got a gradient"
+            );
         }
         // Heads still learn.
         assert!(grads.get(net.q_head.w).is_some());
@@ -363,7 +393,10 @@ mod tests {
 
     #[test]
     fn p_head_probs_are_a_distribution() {
-        let net = DualHeadNet::new(tiny_cfg(ActionEncoding::TwoHead, FoundationKind::MoE { experts: 2 }));
+        let net = DualHeadNet::new(tiny_cfg(
+            ActionEncoding::TwoHead,
+            FoundationKind::MoE { experts: 2 },
+        ));
         let p = net.action_probs(&state(6));
         assert!((p[0] + p[1] - 1.0).abs() < 1e-5);
         assert!(p[0] > 0.0 && p[1] > 0.0);
@@ -373,7 +406,10 @@ mod tests {
     fn heads_share_the_foundation() {
         // A gradient step on the P path must change Q outputs too (shared
         // foundation), when not frozen.
-        let net = DualHeadNet::new(tiny_cfg(ActionEncoding::TwoHead, FoundationKind::Transformer));
+        let net = DualHeadNet::new(tiny_cfg(
+            ActionEncoding::TwoHead,
+            FoundationKind::Transformer,
+        ));
         let s = state(7);
         let (q_before, _) = net.q_forward(&s);
         let (logits, cache) = net.p_forward(&s);

@@ -100,9 +100,17 @@ pub(crate) mod test_envs {
         }
 
         fn step(&mut self, action: usize) -> StepResult {
-            let reward = if action == self.correct_action() { 1.0 } else { -1.0 };
+            let reward = if action == self.correct_action() {
+                1.0
+            } else {
+                -1.0
+            };
             let state = self.reset();
-            StepResult { state, reward, done: true }
+            StepResult {
+                state,
+                reward,
+                done: true,
+            }
         }
 
         fn action_count(&self) -> usize {
@@ -144,12 +152,20 @@ pub(crate) mod test_envs {
                 if self.pos >= self.n - 1 {
                     let s = self.encode();
                     self.pos = 0;
-                    return StepResult { state: s, reward: 1.0, done: true };
+                    return StepResult {
+                        state: s,
+                        reward: 1.0,
+                        done: true,
+                    };
                 }
             } else {
                 self.pos = 0;
             }
-            StepResult { state: self.encode(), reward: 0.0, done: false }
+            StepResult {
+                state: self.encode(),
+                reward: 0.0,
+                done: false,
+            }
         }
 
         fn action_count(&self) -> usize {

@@ -46,7 +46,13 @@ pub struct PretrainConfig {
 
 impl Default for PretrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 32, lr: 1e-3, seed: 0, grad_clip: 5.0 }
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            lr: 1e-3,
+            seed: 0,
+            grad_clip: 5.0,
+        }
     }
 }
 
@@ -151,7 +157,11 @@ mod tests {
             .map(|_| {
                 let state = Matrix::from_fn(2, 3, |_, _| rng.gen_range(-1.0..1.0));
                 let reward = state.sum() / 6.0;
-                RewardSample { state, action: rng.gen_range(0..2), reward }
+                RewardSample {
+                    state,
+                    action: rng.gen_range(0..2),
+                    reward,
+                }
             })
             .collect()
     }
@@ -162,13 +172,20 @@ mod tests {
         let train = make_samples(256, 62);
         let valid = make_samples(64, 63);
         let before = reward_mse(&net, &valid);
-        let curve = pretrain_foundation(&mut net, &train, &PretrainConfig {
-            epochs: 15,
-            lr: 3e-3,
-            ..PretrainConfig::default()
-        });
+        let curve = pretrain_foundation(
+            &mut net,
+            &train,
+            &PretrainConfig {
+                epochs: 15,
+                lr: 3e-3,
+                ..PretrainConfig::default()
+            },
+        );
         let after = reward_mse(&net, &valid);
-        assert!(curve.last().unwrap() < curve.first().unwrap(), "train curve must drop");
+        assert!(
+            curve.last().unwrap() < curve.first().unwrap(),
+            "train curve must drop"
+        );
         assert!(after < before * 0.5, "val mse {before:.4} → {after:.4}");
     }
 
@@ -176,11 +193,15 @@ mod tests {
     fn ordinal_input_pretraining_works() {
         let mut net = tiny_net(71, ActionEncoding::OrdinalInput);
         let train = make_samples(128, 72);
-        let curve = pretrain_foundation(&mut net, &train, &PretrainConfig {
-            epochs: 8,
-            lr: 3e-3,
-            ..PretrainConfig::default()
-        });
+        let curve = pretrain_foundation(
+            &mut net,
+            &train,
+            &PretrainConfig {
+                epochs: 8,
+                lr: 3e-3,
+                ..PretrainConfig::default()
+            },
+        );
         assert!(curve.last().unwrap() < curve.first().unwrap());
     }
 
@@ -188,10 +209,14 @@ mod tests {
     fn curve_has_one_entry_per_epoch() {
         let mut net = tiny_net(81, ActionEncoding::TwoHead);
         let train = make_samples(32, 82);
-        let curve = pretrain_foundation(&mut net, &train, &PretrainConfig {
-            epochs: 3,
-            ..PretrainConfig::default()
-        });
+        let curve = pretrain_foundation(
+            &mut net,
+            &train,
+            &PretrainConfig {
+                epochs: 3,
+                ..PretrainConfig::default()
+            },
+        );
         assert_eq!(curve.len(), 3);
     }
 

@@ -31,7 +31,12 @@ pub struct PgConfig {
 
 impl Default for PgConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, baseline_beta: 0.9, entropy_coef: 0.01, grad_clip: 5.0 }
+        Self {
+            lr: 1e-3,
+            baseline_beta: 0.9,
+            entropy_coef: 0.01,
+            grad_clip: 5.0,
+        }
     }
 }
 
@@ -62,7 +67,14 @@ impl PgAgent {
     /// Wraps a network with REINFORCE training machinery.
     pub fn new(net: DualHeadNet, cfg: PgConfig) -> Self {
         let opt = Adam::new(cfg.lr);
-        Self { net, opt, cfg, baseline: 0.0, baseline_initialized: false, episodes: 0 }
+        Self {
+            net,
+            opt,
+            cfg,
+            baseline: 0.0,
+            baseline_initialized: false,
+            episodes: 0,
+        }
     }
 
     /// Current return baseline.
@@ -90,8 +102,8 @@ impl PgAgent {
         let batch_mean: f32 =
             episodes.iter().map(|e| e.episode_return).sum::<f32>() / episodes.len() as f32;
         if self.baseline_initialized {
-            self.baseline =
-                self.cfg.baseline_beta * self.baseline + (1.0 - self.cfg.baseline_beta) * batch_mean;
+            self.baseline = self.cfg.baseline_beta * self.baseline
+                + (1.0 - self.cfg.baseline_beta) * batch_mean;
         } else {
             self.baseline = batch_mean;
             self.baseline_initialized = true;
@@ -144,7 +156,11 @@ impl PgAgent {
 /// `d(−H)/dz_i = p_i (log p_i + H)`.
 fn entropy_grad(logits: &Matrix) -> Matrix {
     let p = logits.softmax_rows();
-    let h: f32 = -p.data().iter().map(|&x| if x > 0.0 { x * x.ln() } else { 0.0 }).sum::<f32>();
+    let h: f32 = -p
+        .data()
+        .iter()
+        .map(|&x| if x > 0.0 { x * x.ln() } else { 0.0 })
+        .sum::<f32>();
     p.map(|pi| if pi > 0.0 { pi * (pi.ln() + h) } else { 0.0 })
 }
 
@@ -187,7 +203,10 @@ mod tests {
                 let state = env.reset();
                 let action = agent.act(&state, rng);
                 let r = env.step(action);
-                EpisodeSample { steps: vec![(state, action)], episode_return: r.reward }
+                EpisodeSample {
+                    steps: vec![(state, action)],
+                    episode_return: r.reward,
+                }
             })
             .collect()
     }
@@ -206,10 +225,13 @@ mod tests {
 
     #[test]
     fn reinforce_learns_the_sign_bandit() {
-        let mut agent = PgAgent::new(tiny_net(FoundationKind::Transformer, 21), PgConfig {
-            lr: 5e-3,
-            ..PgConfig::default()
-        });
+        let mut agent = PgAgent::new(
+            tiny_net(FoundationKind::Transformer, 21),
+            PgConfig {
+                lr: 5e-3,
+                ..PgConfig::default()
+            },
+        );
         let mut env = SignBandit::new(22, 2, 3);
         let mut rng = StdRng::seed_from_u64(23);
         for _ in 0..120 {
@@ -222,10 +244,13 @@ mod tests {
 
     #[test]
     fn moe_foundation_also_learns() {
-        let mut agent = PgAgent::new(tiny_net(FoundationKind::MoE { experts: 2 }, 31), PgConfig {
-            lr: 5e-3,
-            ..PgConfig::default()
-        });
+        let mut agent = PgAgent::new(
+            tiny_net(FoundationKind::MoE { experts: 2 }, 31),
+            PgConfig {
+                lr: 5e-3,
+                ..PgConfig::default()
+            },
+        );
         let mut env = SignBandit::new(32, 2, 3);
         let mut rng = StdRng::seed_from_u64(33);
         for _ in 0..120 {
@@ -238,7 +263,10 @@ mod tests {
 
     #[test]
     fn baseline_tracks_mean_return() {
-        let mut agent = PgAgent::new(tiny_net(FoundationKind::Transformer, 41), PgConfig::default());
+        let mut agent = PgAgent::new(
+            tiny_net(FoundationKind::Transformer, 41),
+            PgConfig::default(),
+        );
         let eps: Vec<EpisodeSample> = (0..8)
             .map(|i| EpisodeSample {
                 steps: vec![(Matrix::zeros(2, 3), 0)],
@@ -259,7 +287,10 @@ mod tests {
 
     #[test]
     fn sampling_follows_the_policy_distribution() {
-        let agent = PgAgent::new(tiny_net(FoundationKind::Transformer, 51), PgConfig::default());
+        let agent = PgAgent::new(
+            tiny_net(FoundationKind::Transformer, 51),
+            PgConfig::default(),
+        );
         let s = Matrix::zeros(2, 3);
         let p = agent.net.action_probs(&s);
         let mut rng = StdRng::seed_from_u64(52);

@@ -28,12 +28,24 @@ impl Experience {
     /// Terminal transition (the §4.9.1 offline sample shape:
     /// state–action–reward).
     pub fn terminal(state: Matrix, action: usize, reward: f32) -> Self {
-        Self { state, action, reward, next_state: None, done: true }
+        Self {
+            state,
+            action,
+            reward,
+            next_state: None,
+            done: true,
+        }
     }
 
     /// Intermediate transition with a successor state.
     pub fn step(state: Matrix, action: usize, reward: f32, next_state: Matrix) -> Self {
-        Self { state, action, reward, next_state: Some(next_state), done: false }
+        Self {
+            state,
+            action,
+            reward,
+            next_state: Some(next_state),
+            done: false,
+        }
     }
 }
 
@@ -49,7 +61,11 @@ impl ReplayBuffer {
     /// Buffer holding at most `capacity` transitions.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { buf: Vec::with_capacity(capacity.min(4096)), capacity, write: 0 }
+        Self {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            write: 0,
+        }
     }
 
     /// Appends a transition, evicting the oldest once full.
@@ -75,7 +91,9 @@ impl ReplayBuffer {
     /// Uniformly samples `n` transitions with replacement.
     pub fn sample<'a>(&'a self, rng: &mut impl Rng, n: usize) -> Vec<&'a Experience> {
         assert!(!self.buf.is_empty(), "cannot sample an empty buffer");
-        (0..n).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]).collect()
+        (0..n)
+            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
+            .collect()
     }
 
     /// Iterates over everything stored (oldest first while filling; ring

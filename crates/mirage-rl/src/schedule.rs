@@ -17,12 +17,20 @@ pub struct EpsilonSchedule {
 impl EpsilonSchedule {
     /// Constant ε.
     pub fn constant(eps: f32) -> Self {
-        Self { start: eps, end: eps, decay_steps: 1 }
+        Self {
+            start: eps,
+            end: eps,
+            decay_steps: 1,
+        }
     }
 
     /// Standard linear decay.
     pub fn linear(start: f32, end: f32, decay_steps: u64) -> Self {
-        Self { start, end, decay_steps: decay_steps.max(1) }
+        Self {
+            start,
+            end,
+            decay_steps: decay_steps.max(1),
+        }
     }
 
     /// ε at a given step.

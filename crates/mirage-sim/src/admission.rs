@@ -1,0 +1,138 @@
+//! Shared simulator internals that must stay in lockstep between the
+//! event-driven and tick-driven backends.
+//!
+//! Both simulators admit jobs identically (clear any recorded outcome,
+//! keep the requested id when unique, otherwise assign the next free
+//! one, clamp the submit instant to the present) and expose the same
+//! recent-wait observable behind the paper's `avg` heuristic. The
+//! backend-equivalence property test depends on these behaviors not
+//! drifting apart, so they live here with one implementation each.
+
+use std::collections::{HashMap, VecDeque};
+
+use mirage_trace::JobRecord;
+
+/// Prepares `job` for admission at simulated time `now`: resets its
+/// outcome fields, resolves its id against `id_map`/`next_id`, tracks
+/// the earliest submission in `first_submit`, and returns
+/// `(id, effective_submit)`.
+pub(crate) fn prepare_admission(
+    job: &mut JobRecord,
+    now: i64,
+    id_map: &HashMap<u64, usize>,
+    next_id: &mut u64,
+    first_submit: &mut Option<i64>,
+) -> (u64, i64) {
+    job.start = None;
+    job.end = None;
+    if job.id == 0 || id_map.contains_key(&job.id) {
+        while id_map.contains_key(next_id) {
+            *next_id += 1;
+        }
+        job.id = *next_id;
+        *next_id += 1;
+    }
+    *next_id = (*next_id).max(job.id + 1);
+    let submit = job.submit.max(now);
+    *first_submit = Some(first_submit.map_or(submit, |f| f.min(submit)));
+    (job.id, submit)
+}
+
+/// Rolling `(start_time, wait)` log of dispatches — the observable
+/// statistic behind the `avg` heuristic baseline (§6: submit `T_avg`
+/// before the predecessor's end).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RecentStarts {
+    log: VecDeque<(i64, i64)>,
+}
+
+impl RecentStarts {
+    /// Bound on retained dispatches; old entries beyond any realistic
+    /// averaging window are dropped.
+    const CAP: usize = 4096;
+
+    /// Records a dispatch at `now` of a job that waited `wait` seconds.
+    pub(crate) fn record(&mut self, now: i64, wait: i64) {
+        self.log.push_back((now, wait));
+        if self.log.len() > Self::CAP {
+            self.log.pop_front();
+        }
+    }
+
+    /// Mean wait of jobs that started within the trailing `window`
+    /// seconds before `now`; `None` if nothing started in the window.
+    pub(crate) fn avg(&self, now: i64, window: i64) -> Option<f64> {
+        let cutoff = now - window;
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for &(start, wait) in self.log.iter().rev() {
+            if start < cutoff {
+                break;
+            }
+            sum += wait as f64;
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recent_starts_window_and_cap() {
+        let mut rs = RecentStarts::default();
+        assert_eq!(rs.avg(100, 50), None);
+        rs.record(10, 100);
+        rs.record(60, 200);
+        rs.record(90, 600);
+        // Window catches the last two only.
+        assert_eq!(rs.avg(100, 50), Some(400.0));
+        // Wider window catches all three.
+        assert_eq!(rs.avg(100, 1000), Some(300.0));
+        // The cap keeps the log bounded and retains the newest entries.
+        for i in 0..(RecentStarts::CAP as i64 + 10) {
+            rs.record(1000 + i, 7);
+        }
+        assert!(rs.log.len() <= RecentStarts::CAP);
+        assert_eq!(rs.avg(1000 + RecentStarts::CAP as i64 + 9, 1), Some(7.0));
+    }
+
+    fn job(id: u64, submit: i64) -> JobRecord {
+        let mut j = JobRecord::new(id, format!("j{id}"), 1, submit, 1, 100, 50);
+        j.complete_at(submit + 1); // stale outcome that admission must clear
+        j
+    }
+
+    #[test]
+    fn unique_ids_survive_and_outcomes_clear() {
+        let id_map = HashMap::new();
+        let mut next_id = 1;
+        let mut first = None;
+        let mut j = job(7, 40);
+        let (id, submit) = prepare_admission(&mut j, 10, &id_map, &mut next_id, &mut first);
+        assert_eq!(id, 7);
+        assert_eq!(submit, 40);
+        assert_eq!(next_id, 8);
+        assert_eq!(first, Some(40));
+        assert!(j.start.is_none() && j.end.is_none());
+    }
+
+    #[test]
+    fn collisions_and_zero_ids_are_reassigned_past_taken_slots() {
+        let mut id_map = HashMap::new();
+        id_map.insert(7u64, 0usize);
+        id_map.insert(8u64, 1usize);
+        let mut next_id = 7;
+        let mut first = Some(5);
+        let mut dup = job(7, 2);
+        let (id, submit) = prepare_admission(&mut dup, 10, &id_map, &mut next_id, &mut first);
+        assert_eq!(id, 9, "skips the taken 7 and 8");
+        assert_eq!(submit, 10, "past submits clamp to now");
+        assert_eq!(first, Some(5), "earlier first submit wins");
+        let mut zero = job(0, 20);
+        let (id2, _) = prepare_admission(&mut zero, 10, &id_map, &mut next_id, &mut first);
+        assert_eq!(id2, 10);
+    }
+}

@@ -1,0 +1,730 @@
+//! The [`ClusterBackend`] abstraction: one trait in front of every
+//! simulator implementation.
+//!
+//! The Mirage agent's contract with the cluster is tiny — inject a job
+//! ([`ClusterBackend::submit`]), observe the queue ([`ClusterBackend::sample`]),
+//! advance time ([`ClusterBackend::step`]) — and nothing in the provisioning
+//! stack should care *which* simulator honors it. This module makes that
+//! official:
+//!
+//! * [`ClusterBackend`] — the trait, implemented by the event-driven
+//!   [`Simulator`], the tick-driven [`ReferenceSimulator`] and the
+//!   enum-dispatched [`AnyBackend`],
+//! * [`SimBuilder`] (via [`SimConfig::builder`]) — value-level backend
+//!   selection: `SimConfig::builder().nodes(64).seed(7)
+//!   .backend(BackendKind::Tick).build()`,
+//! * [`BackendFactory`] — seeded construction of fresh backends, for
+//!   parallel collection,
+//! * [`BackendPool`] — N independently seeded backends fanned out over
+//!   std threads (the vendored `rayon` is sequential, so this is the
+//!   workspace's real parallelism for episode collection).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mirage_trace::JobRecord;
+
+use crate::metrics::SimMetrics;
+use crate::reference::{ReferenceConfig, ReferenceSimulator};
+use crate::simulator::{JobStatus, SimConfig, Simulator};
+use crate::snapshot::ClusterSnapshot;
+use crate::{BackfillPolicy, PriorityWeights};
+
+/// A simulated cluster that the provisioning stack can drive.
+///
+/// Semantics shared by every implementation:
+///
+/// * time is monotone; [`step`](Self::step) ignores non-positive `dt`,
+/// * [`submit`](Self::submit) overrides the job's submit time to *now* and
+///   returns the id under which the backend tracks it (reassigned if the
+///   requested id is 0 or already taken),
+/// * [`reset`](Self::reset) returns to an idle cluster at time 0 with the
+///   same configuration, so one backend value can host many episodes.
+pub trait ClusterBackend {
+    /// Current simulated time, seconds.
+    fn now(&self) -> i64;
+
+    /// Partition size.
+    fn total_nodes(&self) -> u32;
+
+    /// Idle node count.
+    fn free_nodes(&self) -> u32;
+
+    /// Loads a trace of future arrivals (ids preserved when unique).
+    fn load_trace(&mut self, jobs: &[JobRecord]);
+
+    /// Submits a job *now*; returns its tracking id.
+    fn submit(&mut self, job: JobRecord) -> u64;
+
+    /// Observable cluster state at the current instant.
+    fn sample(&self) -> ClusterSnapshot;
+
+    /// Lifecycle status of a job by id.
+    fn status(&self, id: u64) -> Option<JobStatus>;
+
+    /// Advances simulated time by `dt` seconds (non-positive `dt` is a
+    /// no-op rather than an event-order hazard).
+    fn step(&mut self, dt: i64);
+
+    /// Advances simulated time to `t_end`.
+    fn run_until(&mut self, t_end: i64);
+
+    /// Runs until no work remains.
+    fn run_to_completion(&mut self);
+
+    /// Whether queued, running or future work remains.
+    fn is_active(&self) -> bool;
+
+    /// Completed job records, in completion order.
+    fn completed(&self) -> Vec<JobRecord>;
+
+    /// Aggregate metrics of the run so far.
+    fn metrics(&self) -> SimMetrics;
+
+    /// Mean queue wait of jobs started within the trailing `window`
+    /// seconds (`None` if nothing started).
+    fn avg_recent_wait(&self, window: i64) -> Option<f64>;
+
+    /// Returns to an idle cluster at time 0, keeping the configuration.
+    fn reset(&mut self);
+
+    /// Resets and immediately loads `trace` — the "fresh episode from a
+    /// trace" constructor path.
+    fn reset_with(&mut self, trace: &[JobRecord]) {
+        self.reset();
+        self.load_trace(trace);
+    }
+}
+
+impl<T: ClusterBackend + ?Sized> ClusterBackend for &mut T {
+    fn now(&self) -> i64 {
+        (**self).now()
+    }
+    fn total_nodes(&self) -> u32 {
+        (**self).total_nodes()
+    }
+    fn free_nodes(&self) -> u32 {
+        (**self).free_nodes()
+    }
+    fn load_trace(&mut self, jobs: &[JobRecord]) {
+        (**self).load_trace(jobs);
+    }
+    fn submit(&mut self, job: JobRecord) -> u64 {
+        (**self).submit(job)
+    }
+    fn sample(&self) -> ClusterSnapshot {
+        (**self).sample()
+    }
+    fn status(&self, id: u64) -> Option<JobStatus> {
+        (**self).status(id)
+    }
+    fn step(&mut self, dt: i64) {
+        (**self).step(dt);
+    }
+    fn run_until(&mut self, t_end: i64) {
+        (**self).run_until(t_end);
+    }
+    fn run_to_completion(&mut self) {
+        (**self).run_to_completion();
+    }
+    fn is_active(&self) -> bool {
+        (**self).is_active()
+    }
+    fn completed(&self) -> Vec<JobRecord> {
+        (**self).completed()
+    }
+    fn metrics(&self) -> SimMetrics {
+        (**self).metrics()
+    }
+    fn avg_recent_wait(&self, window: i64) -> Option<f64> {
+        (**self).avg_recent_wait(window)
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+impl ClusterBackend for Simulator {
+    fn now(&self) -> i64 {
+        Simulator::now(self)
+    }
+    fn total_nodes(&self) -> u32 {
+        Simulator::total_nodes(self)
+    }
+    fn free_nodes(&self) -> u32 {
+        Simulator::free_nodes(self)
+    }
+    fn load_trace(&mut self, jobs: &[JobRecord]) {
+        Simulator::load_trace(self, jobs);
+    }
+    fn submit(&mut self, job: JobRecord) -> u64 {
+        Simulator::submit(self, job)
+    }
+    fn sample(&self) -> ClusterSnapshot {
+        Simulator::sample(self)
+    }
+    fn status(&self, id: u64) -> Option<JobStatus> {
+        self.job_status(id)
+    }
+    fn step(&mut self, dt: i64) {
+        Simulator::step(self, dt);
+    }
+    fn run_until(&mut self, t_end: i64) {
+        Simulator::run_until(self, t_end);
+    }
+    fn run_to_completion(&mut self) {
+        Simulator::run_to_completion(self);
+    }
+    fn is_active(&self) -> bool {
+        Simulator::is_active(self)
+    }
+    fn completed(&self) -> Vec<JobRecord> {
+        Simulator::completed(self)
+    }
+    fn metrics(&self) -> SimMetrics {
+        Simulator::metrics(self)
+    }
+    fn avg_recent_wait(&self, window: i64) -> Option<f64> {
+        Simulator::avg_recent_wait(self, window)
+    }
+    fn reset(&mut self) {
+        Simulator::reset(self);
+    }
+}
+
+impl ClusterBackend for ReferenceSimulator {
+    fn now(&self) -> i64 {
+        ReferenceSimulator::now(self)
+    }
+    fn total_nodes(&self) -> u32 {
+        ReferenceSimulator::total_nodes(self)
+    }
+    fn free_nodes(&self) -> u32 {
+        ReferenceSimulator::free_nodes(self)
+    }
+    fn load_trace(&mut self, jobs: &[JobRecord]) {
+        ReferenceSimulator::load_trace(self, jobs);
+    }
+    fn submit(&mut self, job: JobRecord) -> u64 {
+        ReferenceSimulator::submit(self, job)
+    }
+    fn sample(&self) -> ClusterSnapshot {
+        ReferenceSimulator::sample(self)
+    }
+    fn status(&self, id: u64) -> Option<JobStatus> {
+        self.job_status(id)
+    }
+    fn step(&mut self, dt: i64) {
+        ReferenceSimulator::step(self, dt);
+    }
+    fn run_until(&mut self, t_end: i64) {
+        ReferenceSimulator::run_until(self, t_end);
+    }
+    fn run_to_completion(&mut self) {
+        ReferenceSimulator::run_to_completion(self);
+    }
+    fn is_active(&self) -> bool {
+        ReferenceSimulator::is_active(self)
+    }
+    fn completed(&self) -> Vec<JobRecord> {
+        ReferenceSimulator::completed(self)
+    }
+    fn metrics(&self) -> SimMetrics {
+        ReferenceSimulator::metrics(self)
+    }
+    fn avg_recent_wait(&self, window: i64) -> Option<f64> {
+        ReferenceSimulator::avg_recent_wait(self, window)
+    }
+    fn reset(&mut self) {
+        ReferenceSimulator::reset(self);
+    }
+}
+
+/// Value-level backend selection for [`SimBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The fast event-driven [`Simulator`] (Mirage trains against this).
+    EventDriven,
+    /// The tick-driven [`ReferenceSimulator`] (§5.2 fidelity baseline).
+    Tick,
+    /// A [`BackendPool`] of `workers` independently seeded event-driven
+    /// backends for parallel collection; [`SimBuilder::build`] yields one
+    /// event-driven backend, [`SimBuilder::build_pool`] yields the pool.
+    Pooled {
+        /// Worker-thread (and backend-instance) count.
+        workers: usize,
+    },
+}
+
+/// Either concrete simulator behind one value (enum dispatch), so binaries
+/// and tests can pick a backend from configuration instead of from types.
+#[derive(Debug)]
+pub enum AnyBackend {
+    /// Fast event-driven simulator.
+    Event(Simulator),
+    /// Tick-driven reference simulator.
+    Tick(ReferenceSimulator),
+}
+
+macro_rules! any_dispatch {
+    ($self:ident, $b:ident => $e:expr) => {
+        match $self {
+            AnyBackend::Event($b) => $e,
+            AnyBackend::Tick($b) => $e,
+        }
+    };
+}
+
+impl ClusterBackend for AnyBackend {
+    fn now(&self) -> i64 {
+        any_dispatch!(self, b => b.now())
+    }
+    fn total_nodes(&self) -> u32 {
+        any_dispatch!(self, b => b.total_nodes())
+    }
+    fn free_nodes(&self) -> u32 {
+        any_dispatch!(self, b => b.free_nodes())
+    }
+    fn load_trace(&mut self, jobs: &[JobRecord]) {
+        any_dispatch!(self, b => b.load_trace(jobs));
+    }
+    fn submit(&mut self, job: JobRecord) -> u64 {
+        any_dispatch!(self, b => b.submit(job))
+    }
+    fn sample(&self) -> ClusterSnapshot {
+        any_dispatch!(self, b => b.sample())
+    }
+    fn status(&self, id: u64) -> Option<JobStatus> {
+        any_dispatch!(self, b => b.job_status(id))
+    }
+    fn step(&mut self, dt: i64) {
+        any_dispatch!(self, b => b.step(dt));
+    }
+    fn run_until(&mut self, t_end: i64) {
+        any_dispatch!(self, b => b.run_until(t_end));
+    }
+    fn run_to_completion(&mut self) {
+        any_dispatch!(self, b => b.run_to_completion());
+    }
+    fn is_active(&self) -> bool {
+        any_dispatch!(self, b => b.is_active())
+    }
+    fn completed(&self) -> Vec<JobRecord> {
+        any_dispatch!(self, b => b.completed())
+    }
+    fn metrics(&self) -> SimMetrics {
+        any_dispatch!(self, b => b.metrics())
+    }
+    fn avg_recent_wait(&self, window: i64) -> Option<f64> {
+        any_dispatch!(self, b => b.avg_recent_wait(window))
+    }
+    fn reset(&mut self) {
+        any_dispatch!(self, b => b.reset());
+    }
+}
+
+/// Seeded construction of fresh backends, used by [`BackendPool`] to give
+/// every worker its own independent instance.
+pub trait BackendFactory: Sync {
+    /// The backend type this factory builds.
+    type Backend: ClusterBackend + Send;
+
+    /// Builds a fresh idle backend for the given seed.
+    fn build(&self, seed: u64) -> Self::Backend;
+}
+
+impl<B, F> BackendFactory for F
+where
+    B: ClusterBackend + Send,
+    F: Fn(u64) -> B + Sync,
+{
+    type Backend = B;
+
+    fn build(&self, seed: u64) -> B {
+        self(seed)
+    }
+}
+
+/// Builder-style simulator configuration with value-level backend
+/// selection; entry point: [`SimConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    nodes: u32,
+    seed: u64,
+    weights: PriorityWeights,
+    backfill: BackfillPolicy,
+    reject_oversized: bool,
+    sched_depth: usize,
+    kind: BackendKind,
+    tick: i64,
+    sched_interval: i64,
+    backfill_interval: i64,
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        let sim = SimConfig::new(1);
+        let reference = ReferenceConfig::new(1);
+        Self {
+            nodes: 1,
+            seed: 0,
+            weights: sim.weights,
+            backfill: sim.backfill,
+            reject_oversized: sim.reject_oversized,
+            sched_depth: sim.sched_depth,
+            kind: BackendKind::EventDriven,
+            tick: reference.tick,
+            sched_interval: reference.sched_interval,
+            backfill_interval: reference.backfill_interval,
+        }
+    }
+}
+
+impl SimBuilder {
+    /// Partition size.
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Base seed for [`build_pool`](Self::build_pool) workers. Both
+    /// bundled simulators are fully deterministic, so this does **not**
+    /// change replay behavior — it only namespaces pool workers and is
+    /// reserved for future stochastic backends (failure injection,
+    /// runtime noise).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Multifactor priority weights.
+    pub fn weights(mut self, weights: PriorityWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Backfill flavor.
+    pub fn backfill(mut self, backfill: BackfillPolicy) -> Self {
+        self.backfill = backfill;
+        self
+    }
+
+    /// Whether oversized jobs are rejected on arrival.
+    pub fn reject_oversized(mut self, reject: bool) -> Self {
+        self.reject_oversized = reject;
+        self
+    }
+
+    /// Scheduling-pass depth (`bf_max_job_test`).
+    pub fn sched_depth(mut self, depth: usize) -> Self {
+        self.sched_depth = depth;
+        self
+    }
+
+    /// Which backend [`build`](Self::build) produces.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Tick length of the tick-driven backend, seconds.
+    pub fn tick(mut self, tick: i64) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Main scheduling cadence of the tick-driven backend, seconds.
+    pub fn sched_interval(mut self, interval: i64) -> Self {
+        self.sched_interval = interval;
+        self
+    }
+
+    /// Backfill cadence of the tick-driven backend, seconds.
+    pub fn backfill_interval(mut self, interval: i64) -> Self {
+        self.backfill_interval = interval;
+        self
+    }
+
+    /// The event-driven configuration this builder describes.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            nodes: self.nodes,
+            weights: self.weights,
+            backfill: self.backfill,
+            reject_oversized: self.reject_oversized,
+            sched_depth: self.sched_depth,
+        }
+    }
+
+    /// The tick-driven configuration this builder describes.
+    pub fn reference_config(&self) -> ReferenceConfig {
+        ReferenceConfig {
+            nodes: self.nodes,
+            weights: self.weights,
+            sched_interval: self.sched_interval,
+            backfill_interval: self.backfill_interval,
+            backfill: self.backfill,
+            tick: self.tick,
+        }
+    }
+
+    /// Builds the selected backend ([`BackendKind::Pooled`] yields one
+    /// event-driven instance; use [`build_pool`](Self::build_pool) for the
+    /// fan-out).
+    pub fn build(&self) -> AnyBackend {
+        match self.kind {
+            BackendKind::Tick => AnyBackend::Tick(ReferenceSimulator::new(self.reference_config())),
+            BackendKind::EventDriven | BackendKind::Pooled { .. } => {
+                AnyBackend::Event(Simulator::new(self.sim_config()))
+            }
+        }
+    }
+
+    /// Builds the selected backend with `trace` pre-loaded.
+    pub fn from_trace(&self, trace: &[JobRecord]) -> AnyBackend {
+        let mut backend = self.build();
+        backend.load_trace(trace);
+        backend
+    }
+
+    /// Builds a pool of independently seeded backends; worker count comes
+    /// from [`BackendKind::Pooled`] or defaults to the available
+    /// parallelism.
+    pub fn build_pool(&self) -> BackendPool<SimBuilder> {
+        let workers = match self.kind {
+            BackendKind::Pooled { workers } => workers,
+            _ => default_workers(),
+        };
+        BackendPool::with_seed(self.clone(), workers, self.seed)
+    }
+}
+
+impl BackendFactory for SimBuilder {
+    type Backend = AnyBackend;
+
+    fn build(&self, seed: u64) -> AnyBackend {
+        // Both bundled simulators are deterministic, so the per-worker
+        // seed cannot alter behavior and is intentionally unused; it is
+        // part of the factory contract for stochastic backends, and each
+        // worker still gets its own instance.
+        let _ = seed;
+        SimBuilder::build(self)
+    }
+}
+
+impl SimConfig {
+    /// Starts a builder with this crate's defaults.
+    pub fn builder() -> SimBuilder {
+        SimBuilder::default()
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .clamp(1, 16)
+}
+
+/// N independently seeded backends fanned out over std threads.
+///
+/// Tasks are claimed from a shared cursor, every worker drives its own
+/// backend built by the factory (seeded `base_seed ^ worker_index`), and
+/// results land at their task's index — so the output is identical to a
+/// sequential run over the same tasks, whatever the thread interleaving.
+pub struct BackendPool<F: BackendFactory> {
+    factory: F,
+    workers: usize,
+    base_seed: u64,
+}
+
+impl<F: BackendFactory> BackendPool<F> {
+    /// Pool of `workers` backends with seed 0.
+    pub fn new(factory: F, workers: usize) -> Self {
+        Self::with_seed(factory, workers, 0)
+    }
+
+    /// Pool of `workers` backends derived from `base_seed`.
+    pub fn with_seed(factory: F, workers: usize, base_seed: u64) -> Self {
+        Self {
+            factory,
+            workers: workers.max(1),
+            base_seed,
+        }
+    }
+
+    /// Worker (= backend instance) count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Builds one backend outside the pool (worker index 0's seed).
+    pub fn build_one(&self) -> F::Backend {
+        self.factory.build(self.base_seed)
+    }
+
+    /// Runs `f` once per task across the pool's backends and returns the
+    /// results in task order. `f` must leave the backend reusable (the
+    /// episode driver resets it), which is what makes results independent
+    /// of the task-to-worker assignment.
+    pub fn map<T, R, G>(&self, tasks: &[T], f: G) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        G: Fn(&mut F::Backend, &T) -> R + Sync,
+    {
+        let workers = self.workers.min(tasks.len()).max(1);
+        if workers == 1 {
+            let mut backend = self.factory.build(self.base_seed);
+            return tasks.iter().map(|t| f(&mut backend, t)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let cursor = &cursor;
+                let slots = &slots;
+                let f = &f;
+                let factory = &self.factory;
+                let seed = self.base_seed ^ (w as u64);
+                scope.spawn(move || {
+                    let mut backend = factory.build(seed);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        let r = f(&mut backend, &tasks[i]);
+                        *slots[i].lock().expect("unpoisoned result slot") = Some(r);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("unpoisoned result slot")
+                    .expect("every task index was claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_trace::HOUR;
+
+    fn job(id: u64, submit: i64, nodes: u32, runtime: i64, limit: i64) -> JobRecord {
+        JobRecord::new(id, format!("j{id}"), 1, submit, nodes, limit, runtime)
+    }
+
+    fn small_trace() -> Vec<JobRecord> {
+        (0..12)
+            .map(|i| job(i + 1, i as i64 * 900, 1 + (i % 3) as u32, HOUR, 2 * HOUR))
+            .collect()
+    }
+
+    fn drive<B: ClusterBackend>(backend: &mut B) -> usize {
+        backend.reset_with(&small_trace());
+        backend.run_to_completion();
+        backend.completed().len()
+    }
+
+    #[test]
+    fn both_backends_complete_the_same_trace_through_the_trait() {
+        let mut fast = Simulator::new(SimConfig::new(4));
+        let mut reference = ReferenceSimulator::new(ReferenceConfig::new(4));
+        assert_eq!(drive(&mut fast), 12);
+        assert_eq!(drive(&mut reference), 12);
+    }
+
+    #[test]
+    fn builder_selects_backends_by_value() {
+        let event = SimConfig::builder().nodes(8).build();
+        assert!(matches!(event, AnyBackend::Event(_)));
+        let tick = SimConfig::builder()
+            .nodes(8)
+            .backend(BackendKind::Tick)
+            .build();
+        assert!(matches!(tick, AnyBackend::Tick(_)));
+        let mut any = SimConfig::builder()
+            .nodes(4)
+            .backend(BackendKind::Tick)
+            .tick(60)
+            .sched_interval(60)
+            .from_trace(&small_trace());
+        assert_eq!(any.total_nodes(), 4);
+        any.run_to_completion();
+        assert_eq!(any.completed().len(), 12);
+    }
+
+    #[test]
+    fn builder_carries_scheduling_options() {
+        let b = SimConfig::builder()
+            .nodes(16)
+            .backfill(BackfillPolicy::None)
+            .sched_depth(7)
+            .reject_oversized(false);
+        assert_eq!(b.sim_config().nodes, 16);
+        assert_eq!(b.sim_config().sched_depth, 7);
+        assert!(!b.sim_config().reject_oversized);
+        assert_eq!(b.sim_config().backfill, BackfillPolicy::None);
+        assert_eq!(b.reference_config().backfill, BackfillPolicy::None);
+    }
+
+    #[test]
+    fn trait_objects_and_reborrows_compose() {
+        // `&mut B` forwards the whole trait, so generic drivers can take
+        // either owned backends or reborrows.
+        let mut sim = Simulator::new(SimConfig::new(4));
+        let reborrow: &mut Simulator = &mut sim;
+        assert_eq!(drive(&mut { reborrow }), 12);
+    }
+
+    #[test]
+    fn pool_map_preserves_task_order_and_matches_sequential() {
+        let builder = SimConfig::builder().nodes(4).seed(9);
+        let tasks: Vec<i64> = (0..23).map(|i| i * HOUR).collect();
+        let run = |backend: &mut AnyBackend, &t: &i64| -> (i64, usize) {
+            backend.reset_with(&small_trace());
+            backend.run_until(t);
+            (
+                t,
+                backend.sample().running.len() + backend.completed().len(),
+            )
+        };
+        let sequential = BackendPool::with_seed(builder.clone(), 1, 9).map(&tasks, run);
+        let pooled = BackendPool::with_seed(builder, 6, 9).map(&tasks, run);
+        assert_eq!(sequential, pooled);
+        // Results are in task order.
+        for (i, (t, _)) in pooled.iter().enumerate() {
+            assert_eq!(*t, tasks[i]);
+        }
+    }
+
+    #[test]
+    fn pool_handles_more_workers_than_tasks() {
+        let pool = SimConfig::builder()
+            .nodes(2)
+            .backend(BackendKind::Pooled { workers: 8 })
+            .build_pool();
+        assert_eq!(pool.workers(), 8);
+        let out = pool.map(&[1u32], |backend, &x| {
+            backend.reset();
+            x + backend.total_nodes()
+        });
+        assert_eq!(out, vec![3]);
+        let empty: Vec<u32> = pool.map(&[], |_, &x: &u32| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn closure_factories_build_custom_backends() {
+        let factory = |_seed: u64| Simulator::new(SimConfig::new(3));
+        let pool = BackendPool::new(factory, 2);
+        let totals = pool.map(&[0u8, 1, 2], |b, _| b.total_nodes());
+        assert_eq!(totals, vec![3, 3, 3]);
+    }
+}

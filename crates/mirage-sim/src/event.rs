@@ -44,7 +44,8 @@ impl EventQueue {
     /// Schedules an event.
     pub fn push(&mut self, ev: Event) {
         self.seq += 1;
-        self.heap.push(Reverse((ev.time, ev.kind, self.seq, ev.job)));
+        self.heap
+            .push(Reverse((ev.time, ev.kind, self.seq, ev.job)));
     }
 
     /// Timestamp of the next event, if any.
@@ -54,7 +55,9 @@ impl EventQueue {
 
     /// Pops the next event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop().map(|Reverse((time, kind, _, job))| Event { time, kind, job })
+        self.heap
+            .pop()
+            .map(|Reverse((time, kind, _, job))| Event { time, kind, job })
     }
 
     /// Number of outstanding events.
@@ -75,9 +78,21 @@ mod tests {
     #[test]
     fn orders_by_time() {
         let mut q = EventQueue::new();
-        q.push(Event { time: 30, kind: EventKind::Arrival, job: 1 });
-        q.push(Event { time: 10, kind: EventKind::Arrival, job: 2 });
-        q.push(Event { time: 20, kind: EventKind::Arrival, job: 3 });
+        q.push(Event {
+            time: 30,
+            kind: EventKind::Arrival,
+            job: 1,
+        });
+        q.push(Event {
+            time: 10,
+            kind: EventKind::Arrival,
+            job: 2,
+        });
+        q.push(Event {
+            time: 20,
+            kind: EventKind::Arrival,
+            job: 3,
+        });
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.job).collect();
         assert_eq!(order, vec![2, 3, 1]);
     }
@@ -85,8 +100,16 @@ mod tests {
     #[test]
     fn completions_fire_before_arrivals_at_same_instant() {
         let mut q = EventQueue::new();
-        q.push(Event { time: 10, kind: EventKind::Arrival, job: 1 });
-        q.push(Event { time: 10, kind: EventKind::Completion, job: 2 });
+        q.push(Event {
+            time: 10,
+            kind: EventKind::Arrival,
+            job: 1,
+        });
+        q.push(Event {
+            time: 10,
+            kind: EventKind::Completion,
+            job: 2,
+        });
         assert_eq!(q.pop().unwrap().kind, EventKind::Completion);
         assert_eq!(q.pop().unwrap().kind, EventKind::Arrival);
     }
@@ -95,7 +118,11 @@ mod tests {
     fn same_key_pops_in_push_order() {
         let mut q = EventQueue::new();
         for j in 0..5 {
-            q.push(Event { time: 1, kind: EventKind::Arrival, job: j });
+            q.push(Event {
+                time: 1,
+                kind: EventKind::Arrival,
+                job: j,
+            });
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.job).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
@@ -105,7 +132,11 @@ mod tests {
     fn peek_matches_pop() {
         let mut q = EventQueue::new();
         assert_eq!(q.peek_time(), None);
-        q.push(Event { time: 42, kind: EventKind::Completion, job: 0 });
+        q.push(Event {
+            time: 42,
+            kind: EventKind::Completion,
+            job: 0,
+        });
         assert_eq!(q.peek_time(), Some(42));
         assert_eq!(q.pop().unwrap().time, 42);
         assert!(q.is_empty());

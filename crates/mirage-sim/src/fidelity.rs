@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 use mirage_trace::JobRecord;
 use serde::{Deserialize, Serialize};
 
-use crate::reference::{ReferenceConfig, ReferenceSimulator};
-use crate::simulator::{SimConfig, Simulator};
+use crate::backend::{BackendKind, ClusterBackend};
+use crate::simulator::SimConfig;
 
 /// Side-by-side fidelity statistics for two runs of one trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,8 +46,12 @@ pub fn compare(fast: &[JobRecord], reference: &[JobRecord]) -> FidelityReport {
     let mut wait_f = 0.0f64;
     let mut wait_r = 0.0f64;
     for f in fast {
-        let Some(r) = ref_by_id.get(&f.id) else { continue };
-        let (Some(fe), Some(re)) = (f.end, r.end) else { continue };
+        let Some(r) = ref_by_id.get(&f.id) else {
+            continue;
+        };
+        let (Some(fe), Some(re)) = (f.end, r.end) else {
+            continue;
+        };
         // JCT floored at one minute so sub-minute jobs don't blow up the
         // ratio statistic (the paper's JCTs are minutes to days).
         let jf = ((fe - f.submit).max(60)) as f64;
@@ -57,7 +61,11 @@ pub fn compare(fast: &[JobRecord], reference: &[JobRecord]) -> FidelityReport {
         wait_r += r.wait().unwrap_or(0) as f64;
         n += 1;
     }
-    let jct_geomean_diff = if n == 0 { 0.0 } else { (log_sum / n as f64).exp() - 1.0 };
+    let jct_geomean_diff = if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp() - 1.0
+    };
 
     let span = |jobs: &[JobRecord]| -> i64 {
         let first = jobs.iter().map(|j| j.submit).min().unwrap_or(0);
@@ -83,25 +91,42 @@ pub fn compare(fast: &[JobRecord], reference: &[JobRecord]) -> FidelityReport {
     }
 }
 
-/// Runs one trace through both simulators, timing each, and returns the
-/// fidelity report plus wall-clock costs `(report, fast_time, ref_time)`.
-pub fn run_both(
+/// Replays `trace` to completion on any backend through the shared
+/// [`ClusterBackend`] trait, returning the completed jobs and the
+/// wall-clock cost of the replay (loading included, reset excluded).
+pub fn run_timed<B: ClusterBackend>(
+    backend: &mut B,
     trace: &[JobRecord],
-    nodes: u32,
+) -> (Vec<JobRecord>, Duration) {
+    backend.reset();
+    let t = Instant::now();
+    backend.load_trace(trace);
+    backend.run_to_completion();
+    let elapsed = t.elapsed();
+    (backend.completed(), elapsed)
+}
+
+/// Runs one trace through both simulators — the event-driven and the
+/// tick-driven backend, both driven through [`ClusterBackend`] — timing
+/// each, and returns the fidelity report plus wall-clock costs
+/// `(report, fast_time, ref_time)`.
+pub fn run_both(trace: &[JobRecord], nodes: u32) -> (FidelityReport, Duration, Duration) {
+    let builder = SimConfig::builder().nodes(nodes);
+    let mut fast = builder.clone().backend(BackendKind::EventDriven).build();
+    let mut reference = builder.backend(BackendKind::Tick).build();
+    run_both_backends(&mut fast, &mut reference, trace)
+}
+
+/// [`run_both`] over caller-supplied backends: any two [`ClusterBackend`]
+/// implementations can be compared for fidelity.
+pub fn run_both_backends<A: ClusterBackend, B: ClusterBackend>(
+    fast: &mut A,
+    reference: &mut B,
+    trace: &[JobRecord],
 ) -> (FidelityReport, Duration, Duration) {
-    let t0 = Instant::now();
-    let mut fast = Simulator::new(SimConfig::new(nodes));
-    fast.load_trace(trace);
-    fast.run_to_completion();
-    let fast_time = t0.elapsed();
-
-    let t1 = Instant::now();
-    let mut reference = ReferenceSimulator::new(ReferenceConfig::new(nodes));
-    reference.load_trace(trace);
-    reference.run_to_completion();
-    let ref_time = t1.elapsed();
-
-    (compare(&fast.completed(), &reference.completed()), fast_time, ref_time)
+    let (fast_done, fast_time) = run_timed(fast, trace);
+    let (ref_done, ref_time) = run_timed(reference, trace);
+    (compare(&fast_done, &ref_done), fast_time, ref_time)
 }
 
 #[cfg(test)]

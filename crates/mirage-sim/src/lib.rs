@@ -1,24 +1,48 @@
-//! Low-overhead discrete-event Slurm simulator (§5.2 of the paper).
+//! Low-overhead discrete-event Slurm simulation (§5.2 of the paper),
+//! unified behind the [`ClusterBackend`] trait.
 //!
-//! The simulator implements Slurm's core scheduling logic — multifactor
-//! priority scheduling with EASY backfilling — behind the three-call API
-//! the Mirage agent uses: [`Simulator::sample`], [`Simulator::step`] and
-//! [`Simulator::submit`].
+//! The Mirage agent drives a cluster through three calls — `submit` a job,
+//! `sample` the observable state, `step` simulated time — and the
+//! provisioning stack upstream (`mirage-core`) is generic over *any*
+//! backend honoring that contract:
 //!
-//! Two implementations share the same scheduling-plan core
-//! ([`backfill::plan_schedule`]):
-//!
-//! * [`Simulator`] — the fast, event-driven simulator Mirage trains
+//! * [`Simulator`] — the fast event-driven simulator Mirage trains
 //!   against. It runs a scheduling pass exactly when an event (arrival or
 //!   completion) changes the system, so simulated time leaps between
 //!   events. One month of trace replays in well under a minute.
-//! * [`reference::ReferenceSimulator`] — a tick-driven stand-in for the
-//!   "standard Slurm simulator" the paper validates against: the main
-//!   priority pass and the backfill pass run on their own fixed cadences
-//!   (as in production `slurmctld`), so jobs start only on scheduler
-//!   ticks. It is deliberately slower and is used for the §5.2 fidelity
-//!   study ([`fidelity`]).
+//! * [`ReferenceSimulator`] — a tick-driven stand-in for the "standard
+//!   Slurm simulator" the paper validates against: the main priority pass
+//!   and the backfill pass run on their own fixed cadences (as in
+//!   production `slurmctld`), so jobs start only on scheduler ticks. It is
+//!   deliberately slower and anchors the §5.2 fidelity study
+//!   ([`fidelity`]).
+//! * [`BackendPool`] — N independently seeded backends fanned out over
+//!   std threads, for parallel episode collection.
+//!
+//! Both simulators share one scheduling-plan core
+//! ([`backfill::plan_schedule`]: multifactor priority + EASY backfill) and
+//! are selected *by value* through the builder:
+//!
+//! ```
+//! use mirage_sim::{BackendKind, ClusterBackend, SimConfig};
+//!
+//! // Event-driven by default; `.backend(BackendKind::Tick)` swaps in the
+//! // tick-driven reference without changing any downstream code.
+//! let mut backend = SimConfig::builder().nodes(8).seed(42).build();
+//! backend.run_until(3_600);
+//! assert_eq!(backend.now(), 3_600);
+//! assert_eq!(backend.free_nodes(), 8);
+//!
+//! let mut tick = SimConfig::builder()
+//!     .nodes(8)
+//!     .backend(BackendKind::Tick)
+//!     .build();
+//! assert_eq!(tick.total_nodes(), 8);
+//! ```
 
+mod admission;
+
+pub mod backend;
 pub mod backfill;
 pub mod event;
 pub mod fidelity;
@@ -28,10 +52,13 @@ pub mod reference;
 pub mod simulator;
 pub mod snapshot;
 
+pub use backend::{
+    AnyBackend, BackendFactory, BackendKind, BackendPool, ClusterBackend, SimBuilder,
+};
 pub use backfill::{plan_schedule, BackfillPolicy, PendingView};
-pub use fidelity::{compare, FidelityReport};
+pub use fidelity::{compare, run_both, run_both_backends, run_timed, FidelityReport};
 pub use metrics::SimMetrics;
 pub use priority::PriorityWeights;
-pub use reference::ReferenceSimulator;
+pub use reference::{ReferenceConfig, ReferenceSimulator};
 pub use simulator::{JobStatus, SimConfig, Simulator};
 pub use snapshot::{ClusterSnapshot, QueuedJobView, RunningJobView};

@@ -36,12 +36,21 @@ impl SimMetrics {
     ) -> Self {
         let n = completed.len();
         let first_submit = completed.iter().map(|j| j.submit).min().unwrap_or(0);
-        let last_end = completed.iter().filter_map(|j| j.end).max().unwrap_or(first_submit);
+        let last_end = completed
+            .iter()
+            .filter_map(|j| j.end)
+            .max()
+            .unwrap_or(first_submit);
         let makespan = last_end - first_submit;
         let avg_wait = if n == 0 {
             0.0
         } else {
-            completed.iter().filter_map(|j| j.wait()).map(|w| w as f64).sum::<f64>() / n as f64
+            completed
+                .iter()
+                .filter_map(|j| j.wait())
+                .map(|w| w as f64)
+                .sum::<f64>()
+                / n as f64
         };
         let avg_jct = if n == 0 {
             0.0

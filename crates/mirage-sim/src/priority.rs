@@ -97,7 +97,13 @@ impl FairshareTracker {
 /// `age` is seconds pending, `nodes`/`total_nodes` give the size factor and
 /// `usage_norm` is the user's normalized decayed usage (see
 /// [`FairshareTracker::normalized_usage`]).
-pub fn priority(weights: &PriorityWeights, age: i64, nodes: u32, total_nodes: u32, usage_norm: f64) -> f64 {
+pub fn priority(
+    weights: &PriorityWeights,
+    age: i64,
+    nodes: u32,
+    total_nodes: u32,
+    usage_norm: f64,
+) -> f64 {
     let age_factor = (age as f64 / weights.age_max as f64).clamp(0.0, 1.0);
     let size_factor = f64::from(nodes) / f64::from(total_nodes.max(1));
     // Slurm's fair-share curve: 2^(-usage); idle users get 1.0.

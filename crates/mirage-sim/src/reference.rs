@@ -20,9 +20,12 @@ use std::collections::{BinaryHeap, HashMap};
 use mirage_trace::JobRecord;
 use serde::{Deserialize, Serialize};
 
+use crate::admission::{prepare_admission, RecentStarts};
 use crate::backfill::{plan_schedule, BackfillPolicy, PendingView};
 use crate::metrics::SimMetrics;
 use crate::priority::{priority, FairshareTracker, PriorityWeights};
+use crate::simulator::JobStatus;
+use crate::snapshot::{ClusterSnapshot, QueuedJobView, RunningJobView};
 
 /// Reference simulator cadence configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -75,12 +78,16 @@ pub struct ReferenceSimulator {
     arrivals: BinaryHeap<Reverse<(i64, usize)>>,
     completions: BinaryHeap<Reverse<(i64, usize)>>,
     pending: Vec<usize>,
+    running: Vec<usize>, // arena indices of running jobs (<= nodes entries)
+    id_map: HashMap<u64, usize>,
+    next_id: u64,
     fairshare: FairshareTracker,
     busy_node_seconds: f64,
     first_submit: Option<i64>,
     rejected: usize,
     last_sched: i64,
     last_backfill: i64,
+    recent_starts: RecentStarts,
 }
 
 impl ReferenceSimulator {
@@ -96,6 +103,9 @@ impl ReferenceSimulator {
             arrivals: BinaryHeap::new(),
             completions: BinaryHeap::new(),
             pending: Vec::new(),
+            running: Vec::new(),
+            id_map: HashMap::new(),
+            next_id: 1,
             fairshare: FairshareTracker::new(),
             busy_node_seconds: 0.0,
             first_submit: None,
@@ -103,27 +113,145 @@ impl ReferenceSimulator {
             // "Long ago" without risking i64 overflow in cadence checks.
             last_sched: i64::MIN / 4,
             last_backfill: i64::MIN / 4,
+            recent_starts: RecentStarts::default(),
         }
     }
 
-    /// Loads future arrivals.
+    /// Returns to an idle cluster at time 0 with the same configuration.
+    pub fn reset(&mut self) {
+        *self = ReferenceSimulator::new(self.cfg.clone());
+    }
+
+    /// Loads future arrivals. Ids are preserved when unique, otherwise
+    /// reassigned (shared admission logic with the fast simulator).
     pub fn load_trace(&mut self, jobs: &[JobRecord]) {
         for j in jobs {
-            let idx = self.jobs.len();
-            let submit = j.submit;
-            self.first_submit = Some(self.first_submit.map_or(submit, |f| f.min(submit)));
-            let mut rec = j.clone();
-            rec.start = None;
-            rec.end = None;
-            self.jobs.push(rec);
-            self.status.push(RefStatus::Future);
-            self.arrivals.push(Reverse((submit, idx)));
+            self.insert_future(j.clone());
         }
+    }
+
+    /// Submits a job *now* (the agent-facing call): the job's submit time
+    /// is overridden to the current instant. Returns the id under which
+    /// the simulator tracks it.
+    pub fn submit(&mut self, mut job: JobRecord) -> u64 {
+        job.submit = self.now;
+        self.insert_future(job)
+    }
+
+    fn insert_future(&mut self, mut job: JobRecord) -> u64 {
+        let (id, submit) = prepare_admission(
+            &mut job,
+            self.now,
+            &self.id_map,
+            &mut self.next_id,
+            &mut self.first_submit,
+        );
+        let idx = self.jobs.len();
+        self.jobs.push(job);
+        self.status.push(RefStatus::Future);
+        self.id_map.insert(id, idx);
+        self.arrivals.push(Reverse((submit, idx)));
+        id
     }
 
     /// Current simulated time.
     pub fn now(&self) -> i64 {
         self.now
+    }
+
+    /// Idle node count.
+    pub fn free_nodes(&self) -> u32 {
+        self.free_nodes
+    }
+
+    /// Partition size.
+    pub fn total_nodes(&self) -> u32 {
+        self.cfg.nodes
+    }
+
+    /// Simulator configuration.
+    pub fn config(&self) -> &ReferenceConfig {
+        &self.cfg
+    }
+
+    /// Lifecycle status of a job by id, in the fast simulator's terms.
+    pub fn job_status(&self, id: u64) -> Option<JobStatus> {
+        let &idx = self.id_map.get(&id)?;
+        Some(match self.status[idx] {
+            RefStatus::Future => JobStatus::Future,
+            RefStatus::Pending => JobStatus::Pending,
+            RefStatus::Running { start } => JobStatus::Running { start },
+            RefStatus::Done => JobStatus::Completed {
+                start: self.jobs[idx].start.expect("done jobs have a start"),
+                end: self.jobs[idx].end.expect("done jobs have an end"),
+            },
+            RefStatus::Rejected => JobStatus::Rejected,
+        })
+    }
+
+    /// Observable cluster state at the current instant.
+    pub fn sample(&self) -> ClusterSnapshot {
+        let queued = self
+            .pending
+            .iter()
+            .map(|&i| {
+                let r = &self.jobs[i];
+                QueuedJobView {
+                    id: r.id,
+                    nodes: r.nodes,
+                    submit: r.submit,
+                    age: self.now - r.submit,
+                    timelimit: r.timelimit,
+                    user: r.user,
+                }
+            })
+            .collect();
+        let running = self
+            .running
+            .iter()
+            .map(|&i| {
+                let RefStatus::Running { start } = self.status[i] else {
+                    unreachable!("running list holds only running jobs");
+                };
+                let r = &self.jobs[i];
+                RunningJobView {
+                    id: r.id,
+                    nodes: r.nodes,
+                    start,
+                    elapsed: self.now - start,
+                    timelimit: r.timelimit,
+                    user: r.user,
+                }
+            })
+            .collect();
+        ClusterSnapshot {
+            now: self.now,
+            free_nodes: self.free_nodes,
+            total_nodes: self.cfg.nodes,
+            queued,
+            running,
+        }
+    }
+
+    /// Advances simulated time by `dt` seconds (non-positive `dt` is a
+    /// no-op).
+    pub fn step(&mut self, dt: i64) {
+        if dt <= 0 {
+            return;
+        }
+        let target = self.now + dt;
+        self.run_until(target);
+    }
+
+    /// Whether any work remains (future, queued or running).
+    pub fn is_active(&self) -> bool {
+        !self.arrivals.is_empty() || !self.completions.is_empty() || !self.pending.is_empty()
+    }
+
+    /// Mean queue wait of jobs that *started* within the trailing `window`
+    /// seconds; `None` if nothing started in the window.
+    pub fn avg_recent_wait(&self, window: i64) -> Option<f64> {
+        self.recent_starts.avg(self.now, window)
     }
 
     /// Runs tick-by-tick until `t_end`.
@@ -136,9 +264,7 @@ impl ReferenceSimulator {
 
     /// Runs until all loaded jobs are done or rejected.
     pub fn run_to_completion(&mut self) {
-        while !self.arrivals.is_empty()
-            || !self.completions.is_empty()
-            || !self.pending.is_empty()
+        while !self.arrivals.is_empty() || !self.completions.is_empty() || !self.pending.is_empty()
         {
             let next = self.now + self.cfg.tick;
             self.advance_tick(next);
@@ -162,6 +288,9 @@ impl ReferenceSimulator {
             self.jobs[idx].start = Some(start);
             self.jobs[idx].end = Some(t);
             self.free_nodes += self.jobs[idx].nodes;
+            if let Some(pos) = self.running.iter().position(|&i| i == idx) {
+                self.running.swap_remove(pos);
+            }
             let consumed = f64::from(self.jobs[idx].nodes) * (t - start) as f64;
             self.fairshare.record(self.jobs[idx].user, consumed);
         }
@@ -206,8 +335,7 @@ impl ReferenceSimulator {
         if self.pending.is_empty() {
             return;
         }
-        let capacity_ns =
-            f64::from(self.cfg.nodes) * self.cfg.weights.fairshare_halflife as f64;
+        let capacity_ns = f64::from(self.cfg.nodes) * self.cfg.weights.fairshare_halflife as f64;
         self.fairshare
             .decay_to(self.now, self.cfg.weights.fairshare_halflife);
         let w = self.cfg.weights;
@@ -230,17 +358,21 @@ impl ReferenceSimulator {
         });
         let views: Vec<PendingView> = order
             .iter()
-            .map(|&i| PendingView { nodes: self.jobs[i].nodes, timelimit: self.jobs[i].timelimit })
+            .map(|&i| PendingView {
+                nodes: self.jobs[i].nodes,
+                timelimit: self.jobs[i].timelimit,
+            })
             .collect();
         let releases: Vec<(i64, u32)> = self
-            .status
+            .running
             .iter()
-            .enumerate()
-            .filter_map(|(i, s)| match s {
-                RefStatus::Running { start } => {
-                    Some((start + self.jobs[i].timelimit, self.jobs[i].nodes))
-                }
-                _ => None,
+            .map(|&i| {
+                let RefStatus::Running { start } = self.status[i] else {
+                    unreachable!("running list holds only running jobs");
+                };
+                // The scheduler only knows the *limit*, not the real
+                // runtime.
+                (start + self.jobs[i].timelimit, self.jobs[i].nodes)
             })
             .collect();
         let starts = plan_schedule(
@@ -254,6 +386,9 @@ impl ReferenceSimulator {
         let started: Vec<usize> = starts.iter().map(|&s| order[s]).collect();
         for &idx in &started {
             self.status[idx] = RefStatus::Running { start: self.now };
+            self.running.push(idx);
+            self.recent_starts
+                .record(self.now, self.now - self.jobs[idx].submit);
             self.free_nodes -= self.jobs[idx].nodes;
             let run = self.jobs[idx].runtime.min(self.jobs[idx].timelimit);
             self.completions.push(Reverse((self.now + run, idx)));
@@ -325,6 +460,53 @@ mod tests {
         s.load_trace(&[job(1, 0, 4, HOUR, HOUR)]);
         s.run_to_completion();
         assert_eq!(s.metrics().rejected_jobs, 1);
+    }
+
+    #[test]
+    fn agent_surface_matches_fast_simulator_semantics() {
+        let mut s = ReferenceSimulator::new(ReferenceConfig::new(4));
+        s.step(500);
+        assert_eq!(s.now(), 500);
+        // Submit overrides the submit time to now and reassigns taken ids.
+        let a = s.submit(job(7, 42, 1, HOUR, HOUR));
+        let b = s.submit(job(7, 42, 1, HOUR, HOUR));
+        assert_eq!(a, 7);
+        assert_ne!(b, 7);
+        assert!(matches!(
+            s.job_status(a),
+            Some(JobStatus::Future | JobStatus::Pending)
+        ));
+        s.run_to_completion();
+        let done = s.completed();
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|j| j.submit == 500));
+        assert!(matches!(s.job_status(a), Some(JobStatus::Completed { .. })));
+        assert!(!s.is_active());
+        assert!(s.avg_recent_wait(100 * HOUR).is_some());
+        // Reset restores the idle cluster.
+        s.reset();
+        assert_eq!(s.now(), 0);
+        assert_eq!(s.free_nodes(), 4);
+        assert!(s.completed().is_empty());
+    }
+
+    #[test]
+    fn sample_reports_queue_and_running_state() {
+        let mut cfg = ReferenceConfig::new(2);
+        cfg.tick = 30;
+        let mut s = ReferenceSimulator::new(cfg);
+        s.load_trace(&[
+            job(1, 0, 2, 4 * HOUR, 4 * HOUR),
+            job(2, HOUR, 1, HOUR, HOUR),
+        ]);
+        s.run_until(2 * HOUR);
+        let snap = s.sample();
+        assert_eq!(snap.now, 2 * HOUR);
+        assert_eq!(snap.total_nodes, 2);
+        assert_eq!(snap.free_nodes, 0);
+        assert_eq!(snap.running.len(), 1);
+        assert_eq!(snap.queued.len(), 1);
+        assert_eq!(snap.queued[0].age, HOUR);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use mirage_trace::JobRecord;
 use serde::{Deserialize, Serialize};
 
+use crate::admission::{prepare_admission, RecentStarts};
 use crate::backfill::{plan_schedule, BackfillPolicy, PendingView};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::metrics::SimMetrics;
@@ -94,9 +95,7 @@ pub struct Simulator {
     first_submit: Option<i64>,
     rejected: usize,
     next_id: u64,
-    /// Rolling log of `(start_time, wait)` for jobs as they dispatch, for
-    /// the `avg` heuristic baseline (§6: submit `T_avg` before the end).
-    recent_starts: std::collections::VecDeque<(i64, i64)>,
+    recent_starts: RecentStarts,
     // Scratch buffers reused across scheduling passes (perf-book: reuse
     // workhorse collections instead of reallocating in the hot loop).
     scratch_order: Vec<(f64, i64, u64, usize)>,
@@ -122,7 +121,7 @@ impl Simulator {
             first_submit: None,
             rejected: 0,
             next_id: 1,
-            recent_starts: std::collections::VecDeque::new(),
+            recent_starts: RecentStarts::default(),
             scratch_order: Vec::new(),
             scratch_views: Vec::new(),
             scratch_releases: Vec::new(),
@@ -167,23 +166,24 @@ impl Simulator {
     }
 
     fn insert_future(&mut self, mut job: JobRecord) -> u64 {
-        job.start = None;
-        job.end = None;
-        if job.id == 0 || self.id_map.contains_key(&job.id) {
-            while self.id_map.contains_key(&self.next_id) {
-                self.next_id += 1;
-            }
-            job.id = self.next_id;
-            self.next_id += 1;
-        }
-        self.next_id = self.next_id.max(job.id + 1);
-        let id = job.id;
-        let submit = job.submit.max(self.now);
+        let (id, submit) = prepare_admission(
+            &mut job,
+            self.now,
+            &self.id_map,
+            &mut self.next_id,
+            &mut self.first_submit,
+        );
         let idx = self.jobs.len();
-        self.first_submit = Some(self.first_submit.map_or(submit, |f| f.min(submit)));
-        self.jobs.push(SimJob { record: job, status: JobStatus::Future });
+        self.jobs.push(SimJob {
+            record: job,
+            status: JobStatus::Future,
+        });
         self.id_map.insert(id, idx);
-        self.events.push(Event { time: submit, kind: EventKind::Arrival, job: idx });
+        self.events.push(Event {
+            time: submit,
+            kind: EventKind::Arrival,
+            job: idx,
+        });
         id
     }
 
@@ -238,10 +238,19 @@ impl Simulator {
     }
 
     /// Advances simulated time by `dt` seconds, processing every event in
-    /// the window.
+    /// the window. Non-positive `dt` is a no-op: stepping backwards (or
+    /// nowhere) must not re-process events or corrupt the event order.
     pub fn step(&mut self, dt: i64) {
-        assert!(dt >= 0, "cannot step backwards");
+        if dt <= 0 {
+            return;
+        }
         self.run_until(self.now + dt);
+    }
+
+    /// Returns to an idle cluster at time 0 with the same configuration,
+    /// dropping all loaded jobs and history.
+    pub fn reset(&mut self) {
+        *self = Simulator::new(self.cfg.clone());
     }
 
     /// Advances simulated time to `t_end`, processing every event up to and
@@ -287,17 +296,7 @@ impl Simulator {
     /// seconds — the observable statistic behind the paper's `avg`
     /// heuristic baseline. `None` if nothing started in the window.
     pub fn avg_recent_wait(&self, window: i64) -> Option<f64> {
-        let cutoff = self.now - window;
-        let mut sum = 0.0f64;
-        let mut n = 0usize;
-        for &(start, wait) in self.recent_starts.iter().rev() {
-            if start < cutoff {
-                break;
-            }
-            sum += wait as f64;
-            n += 1;
-        }
-        (n > 0).then(|| sum / n as f64)
+        self.recent_starts.avg(self.now, window)
     }
 
     /// Aggregate metrics of the run so far.
@@ -368,17 +367,18 @@ impl Simulator {
         let now = self.now;
         let job = &mut self.jobs[idx];
         debug_assert!(matches!(job.status, JobStatus::Pending));
-        self.recent_starts.push_back((now, now - job.record.submit));
-        if self.recent_starts.len() > 4096 {
-            self.recent_starts.pop_front();
-        }
+        self.recent_starts.record(now, now - job.record.submit);
         job.status = JobStatus::Running { start: now };
         self.free_nodes -= job.record.nodes;
         // Jobs are killed at their wall-clock limit.
         let run = job.record.runtime.min(job.record.timelimit);
         let end = now + run;
         self.running.push(idx);
-        self.events.push(Event { time: end, kind: EventKind::Completion, job: idx });
+        self.events.push(Event {
+            time: end,
+            kind: EventKind::Completion,
+            job: idx,
+        });
     }
 
     /// One scheduling pass: priority ordering + backfill plan + starts.
@@ -390,8 +390,7 @@ impl Simulator {
         if self.pending.is_empty() || self.free_nodes == 0 {
             return;
         }
-        let capacity_ns =
-            f64::from(self.cfg.nodes) * self.cfg.weights.fairshare_halflife as f64;
+        let capacity_ns = f64::from(self.cfg.nodes) * self.cfg.weights.fairshare_halflife as f64;
         self.fairshare
             .decay_to(self.now, self.cfg.weights.fairshare_halflife);
 
@@ -418,14 +417,17 @@ impl Simulator {
         order.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
 
         self.scratch_views.clear();
-        self.scratch_views.extend(order.iter().map(|&(_, _, _, i)| PendingView {
-            nodes: self.jobs[i].record.nodes,
-            timelimit: self.jobs[i].record.timelimit,
-        }));
+        self.scratch_views
+            .extend(order.iter().map(|&(_, _, _, i)| PendingView {
+                nodes: self.jobs[i].record.nodes,
+                timelimit: self.jobs[i].record.timelimit,
+            }));
         self.scratch_releases.clear();
         self.scratch_releases.extend(self.running.iter().map(|&i| {
             let j = &self.jobs[i];
-            let JobStatus::Running { start } = j.status else { unreachable!() };
+            let JobStatus::Running { start } = j.status else {
+                unreachable!()
+            };
             // The scheduler only knows the *limit*, not the real runtime.
             (start + j.record.timelimit, j.record.nodes)
         }));
@@ -477,10 +479,7 @@ mod tests {
     #[test]
     fn jobs_queue_when_cluster_full() {
         let mut s = sim(4);
-        s.load_trace(&[
-            job(1, 0, 4, HOUR, 2 * HOUR),
-            job(2, 10, 4, HOUR, 2 * HOUR),
-        ]);
+        s.load_trace(&[job(1, 0, 4, HOUR, 2 * HOUR), job(2, 10, 4, HOUR, 2 * HOUR)]);
         s.run_to_completion();
         let done = s.completed();
         assert_eq!(done[0].start, Some(0));
@@ -627,7 +626,10 @@ mod tests {
         let done = s.completed();
         let start_hog = done.iter().find(|j| j.id == 2).unwrap().start.unwrap();
         let start_new = done.iter().find(|j| j.id == 3).unwrap().start.unwrap();
-        assert!(start_new < start_hog, "fresh user should preempt hog in queue order");
+        assert!(
+            start_new < start_hog,
+            "fresh user should preempt hog in queue order"
+        );
     }
 
     #[test]
@@ -639,6 +641,38 @@ mod tests {
         s.run_to_completion();
         let done = s.completed();
         assert_eq!(done[0].end, Some(HOUR), "killed at the wall-clock limit");
+    }
+
+    #[test]
+    fn non_positive_step_is_a_no_op() {
+        let mut s = sim(2);
+        s.load_trace(&[job(1, 50, 1, HOUR, HOUR)]);
+        s.step(100);
+        let before = s.sample();
+        s.step(0);
+        s.step(-3600);
+        assert_eq!(s.now(), 100, "clock must not move");
+        assert_eq!(s.sample(), before, "state must be untouched");
+        // The event order survives: the run still completes normally.
+        s.run_to_completion();
+        assert_eq!(s.completed().len(), 1);
+    }
+
+    #[test]
+    fn reset_restores_an_idle_cluster() {
+        let mut s = sim(4);
+        s.load_trace(&[job(1, 0, 2, HOUR, HOUR)]);
+        s.run_until(30 * 60);
+        assert!(s.is_active());
+        s.reset();
+        assert_eq!(s.now(), 0);
+        assert_eq!(s.free_nodes(), 4);
+        assert!(!s.is_active());
+        assert!(s.completed().is_empty());
+        // Fully reusable after reset.
+        s.load_trace(&[job(1, 10, 1, HOUR, HOUR)]);
+        s.run_to_completion();
+        assert_eq!(s.completed().len(), 1);
     }
 
     #[test]

@@ -88,8 +88,22 @@ mod tests {
             free_nodes: 2,
             total_nodes: 8,
             queued: vec![
-                QueuedJobView { id: 1, nodes: 4, submit: 0, age: 100, timelimit: 10, user: 1 },
-                QueuedJobView { id: 2, nodes: 3, submit: 50, age: 50, timelimit: 10, user: 2 },
+                QueuedJobView {
+                    id: 1,
+                    nodes: 4,
+                    submit: 0,
+                    age: 100,
+                    timelimit: 10,
+                    user: 1,
+                },
+                QueuedJobView {
+                    id: 2,
+                    nodes: 3,
+                    submit: 50,
+                    age: 50,
+                    timelimit: 10,
+                    user: 2,
+                },
             ],
             running: vec![],
         };

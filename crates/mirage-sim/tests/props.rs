@@ -1,6 +1,9 @@
 //! Property-based tests for the scheduling core and the simulator.
 
-use mirage_sim::{plan_schedule, BackfillPolicy, PendingView, SimConfig, Simulator};
+use mirage_sim::{
+    plan_schedule, BackfillPolicy, ClusterBackend, PendingView, ReferenceConfig,
+    ReferenceSimulator, SimConfig, Simulator,
+};
 use mirage_trace::JobRecord;
 use proptest::prelude::*;
 
@@ -98,6 +101,65 @@ proptest! {
             prop_assert!(start >= j.submit);
             prop_assert!(end - start <= j.timelimit);
             prop_assert!(end - start > 0);
+        }
+    }
+
+    /// Backend equivalence: driven through the shared `ClusterBackend`
+    /// trait on the same synthetic trace, the event-driven and the
+    /// tick-driven simulators complete the same job set, and their
+    /// makespans agree within the reference scheduler's cadence per job
+    /// (tick alignment can delay each start by at most one backfill
+    /// interval, and delays can chain through the queue).
+    #[test]
+    fn fast_and_reference_backends_agree_through_the_trait(
+        seed_jobs in prop::collection::vec(
+            (0i64..150_000, 1u32..=4, 1800i64..20_000), 1..25),
+    ) {
+        let nodes = 6u32;
+        let trace: Vec<JobRecord> = seed_jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, n, runtime))| {
+                JobRecord::new(i as u64 + 1, format!("e{i}"), (i % 3) as u32,
+                               submit, n, runtime * 2, runtime)
+            })
+            .collect();
+
+        fn drive<B: ClusterBackend>(backend: &mut B, trace: &[JobRecord]) -> Vec<JobRecord> {
+            backend.reset_with(trace);
+            backend.run_to_completion();
+            backend.completed()
+        }
+
+        let reference_cfg = ReferenceConfig::new(nodes);
+        let fast_done = drive(&mut Simulator::new(SimConfig::new(nodes)), &trace);
+        let ref_done = drive(&mut ReferenceSimulator::new(reference_cfg.clone()), &trace);
+
+        // Same job set completes on both backends.
+        prop_assert_eq!(fast_done.len(), trace.len());
+        let mut fast_ids: Vec<u64> = fast_done.iter().map(|j| j.id).collect();
+        let mut ref_ids: Vec<u64> = ref_done.iter().map(|j| j.id).collect();
+        fast_ids.sort_unstable();
+        ref_ids.sort_unstable();
+        prop_assert_eq!(fast_ids, ref_ids);
+
+        // Makespans agree within the accumulated tick cadence.
+        let makespan = |jobs: &[JobRecord]| {
+            jobs.iter().filter_map(|j| j.end).max().unwrap_or(0)
+        };
+        let cadence = reference_cfg
+            .backfill_interval
+            .max(reference_cfg.sched_interval)
+            .max(reference_cfg.tick);
+        let budget = cadence * trace.len() as i64;
+        let diff = (makespan(&fast_done) - makespan(&ref_done)).abs();
+        prop_assert!(
+            diff <= budget,
+            "makespan diff {diff}s exceeds tick budget {budget}s"
+        );
+        // Starts never precede submissions on either backend.
+        for j in fast_done.iter().chain(&ref_done) {
+            prop_assert!(j.start.unwrap() >= j.submit);
         }
     }
 

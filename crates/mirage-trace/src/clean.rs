@@ -94,18 +94,17 @@ fn merge_subjobs(jobs: Vec<JobRecord>) -> (Vec<JobRecord>, usize, usize) {
             continue; // a lone "_3" suffix is just a name, not a chain
         }
         let mut parts: Vec<&JobRecord> = members.iter().map(|&i| &jobs[i]).collect();
-        parts.sort_by_key(|j| {
-            (
-                j.subjob_key().map(|(_, k)| k).unwrap_or(u64::MAX),
-                j.submit,
-            )
-        });
+        parts.sort_by_key(|j| (j.subjob_key().map(|(_, k)| k).unwrap_or(u64::MAX), j.submit));
 
         let first = parts[0];
         let mut merged = first.clone();
         merged.name = key.1.clone();
         merged.runtime = parts.iter().map(|p| p.runtime).sum();
-        merged.timelimit = parts.iter().map(|p| p.timelimit).max().unwrap_or(first.timelimit);
+        merged.timelimit = parts
+            .iter()
+            .map(|p| p.timelimit)
+            .max()
+            .unwrap_or(first.timelimit);
         merged.nodes = parts.iter().map(|p| p.nodes).max().unwrap_or(first.nodes);
         // Start of the first sub-job, end of the last (paper wording).
         merged.start = parts.iter().filter_map(|p| p.start).min();
@@ -134,7 +133,15 @@ mod tests {
     use crate::time::HOUR;
 
     fn j(id: u64, name: &str, user: u32, submit: i64, nodes: u32, runtime: i64) -> JobRecord {
-        JobRecord::new(id, name, user, submit, nodes, 2 * runtime.max(HOUR), runtime)
+        JobRecord::new(
+            id,
+            name,
+            user,
+            submit,
+            nodes,
+            2 * runtime.max(HOUR),
+            runtime,
+        )
     }
 
     #[test]

@@ -171,7 +171,10 @@ mod tests {
 
     #[test]
     fn all_lists_three_clusters_in_figure_order() {
-        let names: Vec<_> = ClusterProfile::all().iter().map(|c| c.name.clone()).collect();
+        let names: Vec<_> = ClusterProfile::all()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         assert_eq!(names, vec!["V100", "RTX", "A100"]);
     }
 }

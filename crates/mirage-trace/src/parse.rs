@@ -61,7 +61,10 @@ pub fn parse_sacct(input: &str) -> Result<Vec<JobRecord>, ParseError> {
         if fields[0].contains('.') {
             continue; // job step (1234.batch), not a job
         }
-        let err = |message: String| ParseError { line: lineno + 1, message };
+        let err = |message: String| ParseError {
+            line: lineno + 1,
+            message,
+        };
         let id: u64 = fields[0]
             .split('_')
             .next()

@@ -97,14 +97,14 @@ pub fn wait_distribution(jobs: &[JobRecord], edges: &[i64]) -> Vec<f64> {
 }
 
 /// Per-month wait distributions (Fig 4 series).
-pub fn monthly_wait_distribution(
-    jobs: &[JobRecord],
-    edges: &[i64],
-) -> BTreeMap<i64, Vec<f64>> {
+pub fn monthly_wait_distribution(jobs: &[JobRecord], edges: &[i64]) -> BTreeMap<i64, Vec<f64>> {
     let mut by_month: BTreeMap<i64, Vec<JobRecord>> = BTreeMap::new();
     for j in jobs {
         if j.start.is_some() {
-            by_month.entry(month_of(j.submit)).or_default().push(j.clone());
+            by_month
+                .entry(month_of(j.submit))
+                .or_default()
+                .push(j.clone());
         }
     }
     by_month
@@ -182,7 +182,11 @@ pub fn multi_node_shares(jobs: &[JobRecord]) -> (f64, f64) {
 
 /// Mean queue wait over all scheduled jobs, seconds.
 pub fn avg_wait(jobs: &[JobRecord]) -> f64 {
-    let waits: Vec<f64> = jobs.iter().filter_map(|j| j.wait()).map(|w| w as f64).collect();
+    let waits: Vec<f64> = jobs
+        .iter()
+        .filter_map(|j| j.wait())
+        .map(|w| w as f64)
+        .collect();
     if waits.is_empty() {
         0.0
     } else {
@@ -192,7 +196,11 @@ pub fn avg_wait(jobs: &[JobRecord]) -> f64 {
 
 /// Percentile of queue waits (p ∈ \[0,100\]); 0 when nothing is scheduled.
 pub fn wait_percentile(jobs: &[JobRecord], p: f64) -> f64 {
-    let mut waits: Vec<f64> = jobs.iter().filter_map(|j| j.wait()).map(|w| w as f64).collect();
+    let mut waits: Vec<f64> = jobs
+        .iter()
+        .filter_map(|j| j.wait())
+        .map(|w| w as f64)
+        .collect();
     if waits.is_empty() {
         return 0.0;
     }
@@ -239,10 +247,10 @@ mod tests {
     #[test]
     fn wait_distribution_fractions_sum_to_one() {
         let jobs = vec![
-            scheduled(1, 0, HOUR, 1, HOUR),          // <2h
-            scheduled(2, 0, 5 * HOUR, 1, HOUR),      // 2-12h
-            scheduled(3, 0, 30 * HOUR, 1, HOUR),     // 24-36h
-            scheduled(4, 0, 2 * DAY, 1, HOUR),       // >36h
+            scheduled(1, 0, HOUR, 1, HOUR),      // <2h
+            scheduled(2, 0, 5 * HOUR, 1, HOUR),  // 2-12h
+            scheduled(3, 0, 30 * HOUR, 1, HOUR), // 24-36h
+            scheduled(4, 0, 2 * DAY, 1, HOUR),   // >36h
         ];
         let d = wait_distribution(&jobs, &WAIT_BUCKET_EDGES);
         assert_eq!(d.len(), 5);

@@ -369,7 +369,9 @@ impl TraceGenerator {
         };
 
         // Zipf user activity.
-        let weights: Vec<f64> = (1..=cfg.user_count.max(1)).map(|r| 1.0 / r as f64).collect();
+        let weights: Vec<f64> = (1..=cfg.user_count.max(1))
+            .map(|r| 1.0 / r as f64)
+            .collect();
         let user_cdf = to_cdf(&weights);
 
         // Requested-node mix: weights ∝ size^(−α), α solved so the mean
@@ -599,8 +601,7 @@ mod tests {
         cfg.anomalies = false;
         // Short jobs also draw sizes, so the overall mean tracks the target.
         let jobs = TraceGenerator::new(cfg.clone()).generate();
-        let mean: f64 =
-            jobs.iter().map(|j| j.nodes as f64).sum::<f64>() / jobs.len() as f64;
+        let mean: f64 = jobs.iter().map(|j| j.nodes as f64).sum::<f64>() / jobs.len() as f64;
         assert!(
             (mean - 2.5).abs() < 0.5,
             "mean size {mean:.2} should be near 2.5"

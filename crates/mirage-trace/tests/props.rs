@@ -1,7 +1,9 @@
 //! Property-based tests for trace generation, cleaning and statistics.
 
 use mirage_trace::stats::{node_hour_shares, wait_distribution};
-use mirage_trace::{clean_trace, split_by_time, ClusterProfile, JobRecord, SynthConfig, TraceGenerator};
+use mirage_trace::{
+    clean_trace, split_by_time, ClusterProfile, JobRecord, SynthConfig, TraceGenerator,
+};
 use proptest::prelude::*;
 
 fn small_trace(seed: u64, months: u32, scale: f64) -> (ClusterProfile, Vec<JobRecord>) {

@@ -11,12 +11,14 @@
 //! ```
 
 use mirage::core::episode::EpisodeConfig;
-use mirage::rl::DqnConfig;
 use mirage::core::eval::{evaluate, EvalConfig, LoadLevel};
 use mirage::core::reward::RewardShaper;
-use mirage::core::train::{collect_offline, sample_training_starts, train_method, MethodKind, TrainConfig};
+use mirage::core::train::{
+    collect_offline, sample_training_starts, train_method, MethodKind, TrainConfig,
+};
 use mirage::core::ProvisionPolicy;
 use mirage::prelude::*;
+use mirage::rl::DqnConfig;
 
 fn main() {
     let profile = ClusterProfile::v100().scaled(0.4);
@@ -29,8 +31,20 @@ fn main() {
     let val_range = (split.split_time, jobs.last().unwrap().submit);
 
     let users = [
-        ("performance-sensitive (e_I=4, e_O=1)", RewardShaper { e_interrupt: 4.0, e_overlap: 1.0 }),
-        ("waste-averse         (e_I=1, e_O=4)", RewardShaper { e_interrupt: 1.0, e_overlap: 4.0 }),
+        (
+            "performance-sensitive (e_I=4, e_O=1)",
+            RewardShaper {
+                e_interrupt: 4.0,
+                e_overlap: 1.0,
+            },
+        ),
+        (
+            "waste-averse         (e_I=1, e_O=4)",
+            RewardShaper {
+                e_interrupt: 1.0,
+                e_overlap: 4.0,
+            },
+        ),
     ];
 
     for (label, shaper) in users {
@@ -45,30 +59,47 @@ fn main() {
             online_episodes: 50,
             // Rewards scale with e_I/e_O; keep the TD loss out of its
             // saturated (linear) regime so the preference signal survives.
-            dqn: DqnConfig { huber_delta: 20.0, ..DqnConfig::default() },
+            dqn: DqnConfig {
+                huber_delta: 20.0,
+                ..DqnConfig::default()
+            },
             ..TrainConfig::default()
         };
 
         println!("training a transformer+DQN provisioner for the {label} user ...");
         let starts = sample_training_starts(
-            &jobs, profile.nodes, train_range.0, train_range.1, &tcfg.episode,
-            tcfg.offline_episodes, 13,
-        );
-        let data = collect_offline(&jobs, profile.nodes, &tcfg, &starts);
-        let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![train_method(
-            MethodKind::TransformerDqn,
             &jobs,
             profile.nodes,
+            train_range.0,
+            train_range.1,
+            &tcfg.episode,
+            tcfg.offline_episodes,
+            13,
+        );
+        let pool = SimConfig::builder()
+            .nodes(profile.nodes)
+            .seed(13)
+            .build_pool();
+        let data = collect_offline(&pool, &jobs, &tcfg, &starts);
+        let mut backend = SimConfig::builder().nodes(profile.nodes).build();
+        let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![train_method(
+            MethodKind::TransformerDqn,
+            &mut backend,
+            &jobs,
             &tcfg,
             &data,
             train_range,
         )];
         let report = evaluate(
             &mut methods,
+            &mut backend,
             &jobs,
-            profile.nodes,
             val_range,
-            &EvalConfig { episode: tcfg.episode, n_episodes: 20, seed: 17 },
+            &EvalConfig {
+                episode: tcfg.episode,
+                n_episodes: 20,
+                seed: 17,
+            },
         );
         let mut tot_i = 0.0;
         let mut tot_o = 0.0;

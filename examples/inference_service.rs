@@ -14,7 +14,9 @@
 
 use mirage::core::chain::provision_chain;
 use mirage::core::episode::EpisodeConfig;
-use mirage::core::train::{collect_offline, sample_training_starts, train_method, MethodKind, TrainConfig};
+use mirage::core::train::{
+    collect_offline, sample_training_starts, train_method, MethodKind, TrainConfig,
+};
 use mirage::prelude::*;
 
 fn main() {
@@ -45,21 +47,66 @@ fn main() {
 
     println!("training the XGBoost wait predictor on the first 80% of the trace ...");
     let starts = sample_training_starts(
-        &jobs, profile.nodes, train_range.0, train_range.1, &tcfg.episode, tcfg.offline_episodes, 1,
+        &jobs,
+        profile.nodes,
+        train_range.0,
+        train_range.1,
+        &tcfg.episode,
+        tcfg.offline_episodes,
+        1,
     );
-    let data = collect_offline(&jobs, profile.nodes, &tcfg, &starts);
-    let mut mirage_policy = train_method(MethodKind::Xgboost, &jobs, profile.nodes, &tcfg, &data, train_range);
-    let mut reactive = train_method(MethodKind::Reactive, &jobs, profile.nodes, &tcfg, &data, train_range);
+    let pool = SimConfig::builder()
+        .nodes(profile.nodes)
+        .seed(1)
+        .build_pool();
+    let data = collect_offline(&pool, &jobs, &tcfg, &starts);
+    let mut backend = SimConfig::builder().nodes(profile.nodes).build();
+    let mut mirage_policy = train_method(
+        MethodKind::Xgboost,
+        &mut backend,
+        &jobs,
+        &tcfg,
+        &data,
+        train_range,
+    );
+    let mut reactive = train_method(
+        MethodKind::Reactive,
+        &mut backend,
+        &jobs,
+        &tcfg,
+        &data,
+        train_range,
+    );
 
     // Provision a whole chain of sub-jobs across the validation range:
     // sub-job i+1 is provisioned while sub-job i runs (§4.1's rolling
     // predecessor-successor pair), via the chain API.
     let chain_len = 7;
     let t0 = split.split_time + tcfg.episode.warmup;
-    println!("\nservice chain of {chain_len} daily sub-jobs starting at day {:.0}:", t0 as f64 / DAY as f64);
-    let r = provision_chain(&jobs, profile.nodes, &tcfg.episode, t0, chain_len, reactive.as_mut());
-    let m = provision_chain(&jobs, profile.nodes, &tcfg.episode, t0, chain_len, mirage_policy.as_mut());
-    println!("{:>8} {:>22} {:>22}", "handoff", "reactive gap/overlap", "mirage gap/overlap");
+    println!(
+        "\nservice chain of {chain_len} daily sub-jobs starting at day {:.0}:",
+        t0 as f64 / DAY as f64
+    );
+    let r = provision_chain(
+        &mut backend,
+        &jobs,
+        &tcfg.episode,
+        t0,
+        chain_len,
+        reactive.as_mut(),
+    );
+    let m = provision_chain(
+        &mut backend,
+        &jobs,
+        &tcfg.episode,
+        t0,
+        chain_len,
+        mirage_policy.as_mut(),
+    );
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "handoff", "reactive gap/overlap", "mirage gap/overlap"
+    );
     for (i, (hr, hm)) in r.handoffs.iter().zip(&m.handoffs).enumerate() {
         println!(
             "{:>8} {:>10.2}h /{:>7.2}h {:>10.2}h /{:>7.2}h",

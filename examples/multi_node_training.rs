@@ -11,7 +11,9 @@
 
 use mirage::core::episode::EpisodeConfig;
 use mirage::core::eval::{evaluate, EvalConfig, LoadLevel};
-use mirage::core::train::{collect_offline, sample_training_starts, train_method, MethodKind, TrainConfig};
+use mirage::core::train::{
+    collect_offline, sample_training_starts, train_method, MethodKind, TrainConfig,
+};
 use mirage::core::ProvisionPolicy;
 use mirage::prelude::*;
 
@@ -36,22 +38,61 @@ fn main() {
 
     println!("collecting offline episodes and training the forest ...");
     let starts = sample_training_starts(
-        &jobs, profile.nodes, train_range.0, train_range.1, &tcfg.episode, tcfg.offline_episodes, 3,
-    );
-    let data = collect_offline(&jobs, profile.nodes, &tcfg, &starts);
-    let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
-        train_method(MethodKind::Reactive, &jobs, profile.nodes, &tcfg, &data, train_range),
-        train_method(MethodKind::AvgHeuristic, &jobs, profile.nodes, &tcfg, &data, train_range),
-        train_method(MethodKind::RandomForest, &jobs, profile.nodes, &tcfg, &data, train_range),
-    ];
-
-    println!("evaluating 16 validation episodes of 48h x {}-node pairs ...\n", tcfg.episode.pair_nodes);
-    let report = evaluate(
-        &mut methods,
         &jobs,
         profile.nodes,
+        train_range.0,
+        train_range.1,
+        &tcfg.episode,
+        tcfg.offline_episodes,
+        3,
+    );
+    let pool = SimConfig::builder()
+        .nodes(profile.nodes)
+        .seed(3)
+        .build_pool();
+    let data = collect_offline(&pool, &jobs, &tcfg, &starts);
+    let mut backend = SimConfig::builder().nodes(profile.nodes).build();
+    let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
+        train_method(
+            MethodKind::Reactive,
+            &mut backend,
+            &jobs,
+            &tcfg,
+            &data,
+            train_range,
+        ),
+        train_method(
+            MethodKind::AvgHeuristic,
+            &mut backend,
+            &jobs,
+            &tcfg,
+            &data,
+            train_range,
+        ),
+        train_method(
+            MethodKind::RandomForest,
+            &mut backend,
+            &jobs,
+            &tcfg,
+            &data,
+            train_range,
+        ),
+    ];
+
+    println!(
+        "evaluating 16 validation episodes of 48h x {}-node pairs ...\n",
+        tcfg.episode.pair_nodes
+    );
+    let report = evaluate(
+        &mut methods,
+        &mut backend,
+        &jobs,
         val_range,
-        &EvalConfig { episode: tcfg.episode, n_episodes: 16, seed: 5 },
+        &EvalConfig {
+            episode: tcfg.episode,
+            n_episodes: 16,
+            seed: 5,
+        },
     );
     for load in LoadLevel::all() {
         let n = report.episodes_at(load);

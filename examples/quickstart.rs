@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mirage::prelude::*;
 use mirage::core::episode::{run_episode, Action, EpisodeConfig};
+use mirage::prelude::*;
 use mirage::trace::stats;
 
 fn main() {
@@ -21,12 +21,13 @@ fn main() {
         report.original, report.filtered, report.oversized_removed, report.groups_merged
     );
 
-    // 2. Replay it through the Slurm simulator.
-    let mut sim = Simulator::new(SimConfig::new(profile.nodes));
-    sim.load_trace(&jobs);
-    sim.run_to_completion();
-    let done = sim.completed();
-    let m = sim.metrics();
+    // 2. Replay it through the Slurm simulator (the event-driven backend,
+    //    selected by value through the builder).
+    let mut backend = SimConfig::builder().nodes(profile.nodes).build();
+    backend.load_trace(&jobs);
+    backend.run_to_completion();
+    let done = backend.completed();
+    let m = backend.metrics();
     println!(
         "replayed: {} jobs completed, utilization {:.0}%, avg wait {:.1}h, makespan {:.1} days",
         m.completed_jobs,
@@ -53,8 +54,8 @@ fn main() {
         pair_user: 9999,
     };
     let t0 = 14 * DAY;
-    let reactive = run_episode(&jobs, profile.nodes, &ecfg, t0, |_| Action::Wait);
-    let proactive = run_episode(&jobs, profile.nodes, &ecfg, t0, |ctx| {
+    let reactive = run_episode(&mut backend, &jobs, &ecfg, t0, |_| Action::Wait);
+    let proactive = run_episode(&mut backend, &jobs, &ecfg, t0, |ctx| {
         // Submit the successor two hours before the predecessor's limit.
         if ctx.pred_started && ctx.pred_remaining <= 2 * HOUR {
             Action::Submit
@@ -72,6 +73,10 @@ fn main() {
         "  proactive: interruption {:.2}h, overlap {:.2}h (submitted {})",
         proactive.outcome.interruption as f64 / HOUR as f64,
         proactive.outcome.overlap as f64 / HOUR as f64,
-        if proactive.submitted_by_policy { "by policy" } else { "reactively" },
+        if proactive.submitted_by_policy {
+            "by policy"
+        } else {
+            "reactively"
+        },
     );
 }

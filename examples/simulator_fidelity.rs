@@ -5,8 +5,8 @@
 //! cargo run --release --example simulator_fidelity
 //! ```
 
-use mirage::sim::fidelity::run_both;
 use mirage::prelude::*;
+use mirage::sim::fidelity::run_both;
 
 fn main() {
     let profile = ClusterProfile::v100().scaled(0.5);

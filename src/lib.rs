@@ -13,11 +13,15 @@
 //! This crate is a facade that re-exports the workspace:
 //!
 //! * [`trace`] — job model, synthetic cluster workloads, cleaning, stats
-//! * [`sim`] — discrete-event Slurm simulator (priority + EASY backfill)
+//! * [`sim`] — Slurm simulation behind the `ClusterBackend` trait: the
+//!   fast event-driven simulator, the tick-driven reference simulator,
+//!   and a threaded backend pool, all selected by value via
+//!   `SimConfig::builder()`
 //! * [`nn`] — from-scratch transformer / mixture-of-experts substrate
 //! * [`ensemble`] — random forest and gradient boosting baselines
 //! * [`rl`] — DQN and policy-gradient agents with experience replay
-//! * [`core`] — state encoding, reward shaping, policies, train/eval
+//! * [`core`] — state encoding, reward shaping, policies, train/eval —
+//!   every entry point generic over `B: ClusterBackend`
 //!
 //! ## Quickstart
 //!
@@ -30,11 +34,28 @@
 //! cfg.months = Some(1);
 //! let jobs = TraceGenerator::new(cfg).generate();
 //!
-//! // Replay it through the Slurm simulator.
-//! let mut sim = Simulator::new(SimConfig::new(profile.nodes));
-//! sim.load_trace(&jobs);
-//! sim.run_to_completion();
-//! assert_eq!(sim.completed().len(), jobs.len());
+//! // Replay it through a backend picked by value — the event-driven
+//! // simulator by default, `BackendKind::Tick` for the slurmctld-cadence
+//! // reference; provisioning code upstream is generic over either.
+//! let mut backend = SimConfig::builder().nodes(profile.nodes).build();
+//! backend.load_trace(&jobs);
+//! backend.run_to_completion();
+//! assert_eq!(
+//!     backend.completed().len() + backend.metrics().rejected_jobs,
+//!     jobs.len()
+//! );
+//!
+//! // One provisioning episode over the same backend: submit the successor
+//! // two hours before the predecessor's limit expires.
+//! let ecfg = EpisodeConfig::default();
+//! let result = run_episode(&mut backend, &jobs, &ecfg, 14 * DAY, |ctx| {
+//!     if ctx.pred_started && ctx.pred_remaining <= 2 * HOUR {
+//!         Action::Submit
+//!     } else {
+//!         Action::Wait
+//!     }
+//! });
+//! assert!(result.outcome.interruption == 0 || result.outcome.overlap == 0);
 //! ```
 
 pub use mirage_core as core;
@@ -50,7 +71,10 @@ pub mod prelude {
     pub use mirage_ensemble::{GradientBoosting, RandomForest};
     pub use mirage_nn::prelude::*;
     pub use mirage_rl::prelude::*;
-    pub use mirage_sim::{SimConfig, Simulator};
+    pub use mirage_sim::{
+        AnyBackend, BackendFactory, BackendKind, BackendPool, ClusterBackend, FidelityReport,
+        ReferenceConfig, ReferenceSimulator, SimBuilder, SimConfig, Simulator,
+    };
     pub use mirage_trace::{
         clean_trace, split_by_time, ClusterProfile, JobRecord, SynthConfig, TraceGenerator, DAY,
         HOUR, MINUTE, MONTH, WEEK,

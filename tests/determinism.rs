@@ -25,10 +25,10 @@ fn trace_generation_is_seed_deterministic() {
 fn simulation_replay_is_deterministic() {
     let (profile, trace) = jobs(3);
     let run = |t: &[JobRecord]| {
-        let mut sim = Simulator::new(SimConfig::new(profile.nodes));
-        sim.load_trace(t);
-        sim.run_to_completion();
-        sim.completed()
+        let mut backend = SimConfig::builder().nodes(profile.nodes).build();
+        backend.load_trace(t);
+        backend.run_to_completion();
+        backend.completed()
     };
     assert_eq!(run(&trace), run(&trace));
 }
@@ -44,7 +44,8 @@ fn episode_outcomes_are_deterministic() {
     };
     let t0 = 20 * DAY;
     let run = || {
-        run_episode(&trace, profile.nodes, &ecfg, t0, |ctx| {
+        let mut backend = SimConfig::builder().nodes(profile.nodes).build();
+        run_episode(&mut backend, &trace, &ecfg, t0, |ctx| {
             if ctx.pred_started && ctx.pred_remaining <= 3 * HOUR {
                 Action::Submit
             } else {
@@ -68,16 +69,77 @@ fn offline_collection_is_deterministic() {
     tcfg.episode.warmup = 2 * DAY;
     tcfg.offline_episodes = 4;
     let range = (trace.first().unwrap().submit, trace.last().unwrap().submit);
-    let starts = sample_training_starts(
-        &trace, profile.nodes, range.0, range.1, &tcfg.episode, 4, 9,
-    );
-    let a = collect_offline(&trace, profile.nodes, &tcfg, &starts);
-    let b = collect_offline(&trace, profile.nodes, &tcfg, &starts);
+    let starts =
+        sample_training_starts(&trace, profile.nodes, range.0, range.1, &tcfg.episode, 4, 9);
+    let pool = SimConfig::builder()
+        .nodes(profile.nodes)
+        .backend(BackendKind::Pooled { workers: 4 })
+        .build_pool();
+    let a = collect_offline(&pool, &trace, &tcfg, &starts);
+    let b = collect_offline(&pool, &trace, &tcfg, &starts);
     assert_eq!(a.reward_samples.len(), b.reward_samples.len());
     assert_eq!(a.wait_samples, b.wait_samples);
     for (x, y) in a.reward_samples.iter().zip(&b.reward_samples) {
         assert_eq!(x.state, y.state);
         assert_eq!(x.action, y.action);
         assert_eq!(x.reward, y.reward);
+    }
+}
+
+#[test]
+fn pooled_collection_matches_sequential_collection() {
+    // The acceptance bar for `BackendPool`: >= 4 seeded backends in
+    // parallel produce byte-identical pools to a single-worker run.
+    let (profile, trace) = jobs(6);
+    let mut tcfg = TrainConfig::default();
+    tcfg.episode.pair_timelimit = 12 * HOUR;
+    tcfg.episode.pair_runtime = 12 * HOUR;
+    tcfg.episode.warmup = 2 * DAY;
+    tcfg.offline_episodes = 4;
+    let range = (trace.first().unwrap().submit, trace.last().unwrap().submit);
+    let starts = sample_training_starts(
+        &trace,
+        profile.nodes,
+        range.0,
+        range.1,
+        &tcfg.episode,
+        4,
+        11,
+    );
+    let builder = SimConfig::builder().nodes(profile.nodes);
+    let sequential = collect_offline(
+        &builder
+            .clone()
+            .backend(BackendKind::Pooled { workers: 1 })
+            .build_pool(),
+        &trace,
+        &tcfg,
+        &starts,
+    );
+    let pooled = collect_offline(
+        &builder
+            .backend(BackendKind::Pooled { workers: 4 })
+            .build_pool(),
+        &trace,
+        &tcfg,
+        &starts,
+    );
+    assert_eq!(sequential.wait_samples, pooled.wait_samples);
+    assert_eq!(sequential.reward_samples.len(), pooled.reward_samples.len());
+    for (x, y) in sequential.reward_samples.iter().zip(&pooled.reward_samples) {
+        assert_eq!(x.state, y.state);
+        assert_eq!(x.action, y.action);
+        assert_eq!(x.reward, y.reward);
+    }
+    assert_eq!(
+        sequential.best_run_decisions.len(),
+        pooled.best_run_decisions.len()
+    );
+    for (x, y) in sequential
+        .best_run_decisions
+        .iter()
+        .zip(&pooled.best_run_decisions)
+    {
+        assert_eq!(x, y);
     }
 }

@@ -9,6 +9,13 @@ use mirage::core::train::{
 use mirage::core::ProvisionPolicy;
 use mirage::prelude::*;
 
+fn pool_for(nodes: u32) -> BackendPool<SimBuilder> {
+    SimConfig::builder()
+        .nodes(nodes)
+        .backend(BackendKind::Pooled { workers: 4 })
+        .build_pool()
+}
+
 fn small_setup() -> (ClusterProfile, Vec<JobRecord>, (i64, i64), (i64, i64)) {
     let profile = ClusterProfile::v100().scaled(0.35);
     let mut scfg = SynthConfig::new(profile.clone(), 99);
@@ -48,27 +55,56 @@ fn trace_to_eval_pipeline_produces_consistent_report() {
         1,
     );
     assert_eq!(starts.len(), tcfg.offline_episodes);
-    let data = collect_offline(&jobs, profile.nodes, &tcfg, &starts);
+    let data = collect_offline(&pool_for(profile.nodes), &jobs, &tcfg, &starts);
     assert!(!data.reward_samples.is_empty());
     assert!(!data.wait_samples.is_empty());
     assert!(!data.best_run_decisions.is_empty());
 
+    let mut backend = SimConfig::builder().nodes(profile.nodes).build();
     let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
-        train_method(MethodKind::Reactive, &jobs, profile.nodes, &tcfg, &data, train_range),
-        train_method(MethodKind::AvgHeuristic, &jobs, profile.nodes, &tcfg, &data, train_range),
-        train_method(MethodKind::Xgboost, &jobs, profile.nodes, &tcfg, &data, train_range),
+        train_method(
+            MethodKind::Reactive,
+            &mut backend,
+            &jobs,
+            &tcfg,
+            &data,
+            train_range,
+        ),
+        train_method(
+            MethodKind::AvgHeuristic,
+            &mut backend,
+            &jobs,
+            &tcfg,
+            &data,
+            train_range,
+        ),
+        train_method(
+            MethodKind::Xgboost,
+            &mut backend,
+            &jobs,
+            &tcfg,
+            &data,
+            train_range,
+        ),
     ];
     let report = evaluate(
         &mut methods,
+        &mut backend,
         &jobs,
-        profile.nodes,
         val_range,
-        &EvalConfig { episode: tcfg.episode, n_episodes: 10, seed: 2 },
+        &EvalConfig {
+            episode: tcfg.episode,
+            n_episodes: 10,
+            seed: 2,
+        },
     );
 
     // Structural consistency.
     assert_eq!(report.episodes.len(), 10);
-    let total: usize = LoadLevel::all().iter().map(|&l| report.episodes_at(l)).sum();
+    let total: usize = LoadLevel::all()
+        .iter()
+        .map(|&l| report.episodes_at(l))
+        .sum();
     assert_eq!(total, 10);
     for ep in &report.episodes {
         assert_eq!(ep.methods.len(), 3);
@@ -98,17 +134,36 @@ fn learned_method_beats_reactive_on_congested_episodes() {
         tcfg.offline_episodes,
         3,
     );
-    let data = collect_offline(&jobs, profile.nodes, &tcfg, &starts);
+    let data = collect_offline(&pool_for(profile.nodes), &jobs, &tcfg, &starts);
+    let mut backend = SimConfig::builder().nodes(profile.nodes).build();
     let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
-        train_method(MethodKind::Reactive, &jobs, profile.nodes, &tcfg, &data, train_range),
-        train_method(MethodKind::RandomForest, &jobs, profile.nodes, &tcfg, &data, train_range),
+        train_method(
+            MethodKind::Reactive,
+            &mut backend,
+            &jobs,
+            &tcfg,
+            &data,
+            train_range,
+        ),
+        train_method(
+            MethodKind::RandomForest,
+            &mut backend,
+            &jobs,
+            &tcfg,
+            &data,
+            train_range,
+        ),
     ];
     let report = evaluate(
         &mut methods,
+        &mut backend,
         &jobs,
-        profile.nodes,
         val_range,
-        &EvalConfig { episode: tcfg.episode, n_episodes: 12, seed: 4 },
+        &EvalConfig {
+            episode: tcfg.episode,
+            n_episodes: 12,
+            seed: 4,
+        },
     );
     // Aggregate over all non-light episodes: the forest must cut the mean
     // interruption (it can never be worse per-episode thanks to the
@@ -133,16 +188,20 @@ fn learned_method_beats_reactive_on_congested_episodes() {
 
 #[test]
 fn facade_reexports_compose() {
-    // The README quickstart must keep compiling: prelude + simulator.
+    // The README quickstart must keep compiling: prelude + builder-selected
+    // backend (and the concrete Simulator type stays available).
     let profile = ClusterProfile::a100().scaled(0.25);
     let mut cfg = SynthConfig::new(profile.clone(), 42);
     cfg.months = Some(1);
     let jobs = TraceGenerator::new(cfg).generate();
-    let mut sim = Simulator::new(SimConfig::new(profile.nodes));
-    sim.load_trace(&jobs);
-    sim.run_to_completion();
+    let mut backend = SimConfig::builder().nodes(profile.nodes).build();
+    backend.load_trace(&jobs);
+    backend.run_to_completion();
     assert_eq!(
-        sim.completed().len() + sim.metrics().rejected_jobs,
+        backend.completed().len() + backend.metrics().rejected_jobs,
         jobs.len()
     );
+    let _concrete: Simulator = Simulator::new(SimConfig::new(profile.nodes));
+    let _reference: ReferenceSimulator = ReferenceSimulator::new(ReferenceConfig::new(4));
+    let _report: Option<FidelityReport> = None;
 }

@@ -1,8 +1,8 @@
 //! Integration: the §5.2 fidelity targets hold on a fresh synthetic
 //! window (fast vs reference simulator).
 
-use mirage::sim::fidelity::{compare, run_both};
 use mirage::prelude::*;
+use mirage::sim::fidelity::{compare, run_both};
 
 fn two_weeks(profile: &ClusterProfile, seed: u64) -> Vec<JobRecord> {
     let mut cfg = SynthConfig::new(profile.clone(), seed);
@@ -40,7 +40,11 @@ fn both_simulators_complete_every_job() {
     let profile = ClusterProfile::a100().scaled(0.4);
     let jobs = two_weeks(&profile, 6);
     let (report, _, _) = run_both(&jobs, profile.nodes);
-    assert_eq!(report.jobs_compared, jobs.len(), "all jobs matched across sims");
+    assert_eq!(
+        report.jobs_compared,
+        jobs.len(),
+        "all jobs matched across sims"
+    );
 }
 
 #[test]

@@ -1,0 +1,342 @@
+//! Vendored, dependency-free mini `proptest`.
+//!
+//! The build environment has no crates registry, so this crate implements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for numeric ranges, tuples
+//!   of strategies, [`Just`] and [`prop::collection::vec`],
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`ProptestConfig::with_cases`].
+//!
+//! There is no shrinking: a failing case reports its values via the
+//! assertion message and panics. Case generation is deterministic per test
+//! (seeded from the test's name), so failures reproduce exactly.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// A generator of arbitrary values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one arbitrary value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuple! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+}
+
+/// Namespaced strategy constructors (mirrors `proptest::prelude::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy producing `Vec`s whose elements come from `element`
+        /// and whose length is drawn from `size` (a `usize` or a range).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Length specification for [`prop::collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy returned by [`prop::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic per-test seed (FNV-1a over the test's name).
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fresh case generator for one test run.
+pub fn test_rng(name: &str) -> StdRng {
+    StdRng::seed_from_u64(seed_from_name(name))
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __proptest_config: $crate::ProptestConfig = $cfg;
+                let mut __proptest_rng = $crate::test_rng(stringify!($name));
+                for __proptest_case in 0..__proptest_config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)*
+                    let __proptest_result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = __proptest_result {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}",
+                            __proptest_case + 1,
+                            __proptest_config.cases,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, but reports the failing case instead of panicking
+/// mid-closure (usable only inside [`proptest!`] bodies).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?}) at {}:{}",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?}; {}) at {}:{}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+),
+                file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = (u32, i64)> {
+        (1u32..=8, -50i64..50)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0i64..100, f in -1.0f32..1.0) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0u32..10, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            for x in v {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn mapped_tuples_compose(p in pair_strategy().prop_map(|(a, b)| (b, a))) {
+            let (b, a) = p;
+            prop_assert!((1..=8).contains(&a), "a = {a}");
+            prop_assert!((-50..50).contains(&b));
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Config override applies (smoke: the block itself must expand).
+        #[test]
+        fn fixed_sizes_and_just(v in prop::collection::vec(Just(7u8), 4)) {
+            prop_assert_eq!(v, vec![7u8; 4]);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(super::seed_from_name("a"), super::seed_from_name("b"));
+        assert_eq!(super::seed_from_name("a"), super::seed_from_name("a"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Vendored, dependency-free stand-in for the `rand_distr` crate.
+//!
+//! Implements the distributions this workspace samples — [`Normal`],
+//! [`LogNormal`], [`Exp`] and [`StandardNormal`] — over `f32`/`f64`,
+//! against the vendored `rand` crate's [`Distribution`] trait.
+
+use rand::Rng;
+
+pub use rand::distributions::Distribution;
+
+/// Floating-point scalars the distributions are generic over.
+pub trait Float: Copy + PartialOrd {
+    /// Converts from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Converts to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f64 {
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Float for f32 {
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// Invalid-parameter errors, shared by all constructors here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// A scale/rate parameter was zero, negative, or non-finite.
+    BadParam,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// One standard-normal draw via Box–Muller (no state between calls).
+#[inline]
+fn standard_normal_f64<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // ln(0) guard
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl<F: Float> Distribution<F> for StandardNormal {
+    #[inline]
+    fn sample<R: Rng>(&self, rng: &mut R) -> F {
+        F::from_f64(standard_normal_f64(rng))
+    }
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates `N(mean, std_dev²)`; `std_dev` must be finite and `>= 0`.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, ParamError> {
+        let sd = std_dev.to_f64();
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(ParamError::BadParam);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    #[inline]
+    fn sample<R: Rng>(&self, rng: &mut R) -> F {
+        let z = standard_normal_f64(rng);
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal<F: Float> {
+    norm: Normal<F>,
+}
+
+impl<F: Float> LogNormal<F> {
+    /// Creates `exp(N(mu, sigma²))`; `sigma` must be finite and `>= 0`.
+    pub fn new(mu: F, sigma: F) -> Result<Self, ParamError> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    #[inline]
+    fn sample<R: Rng>(&self, rng: &mut R) -> F {
+        F::from_f64(self.norm.sample::<R>(rng).to_f64().exp())
+    }
+}
+
+/// The exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp<F: Float> {
+    lambda: F,
+}
+
+impl<F: Float> Exp<F> {
+    /// Creates `Exp(lambda)`; `lambda` must be finite and `> 0`.
+    pub fn new(lambda: F) -> Result<Self, ParamError> {
+        let l = lambda.to_f64();
+        if !l.is_finite() || l <= 0.0 {
+            return Err(ParamError::BadParam);
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl<F: Float> Distribution<F> for Exp<F> {
+    #[inline]
+    fn sample<R: Rng>(&self, rng: &mut R) -> F {
+        let u: f64 = rng.gen();
+        // Inverse CDF; 1 - u in (0, 1] avoids ln(0).
+        F::from_f64(-(1.0 - u).ln() / self.lambda.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(3.0f64, 2.0).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Exp::new(0.25f64).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = moments(&xs);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = LogNormal::new(1.0f64, 0.5).unwrap();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1f64.exp()).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        assert!(Exp::new(0.0f64).is_err());
+        assert!(Exp::new(-1.0f32).is_err());
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+    }
+
+    #[test]
+    fn f32_sampling_compiles_and_is_finite() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let d = Normal::new(0.0f32, 0.3).unwrap();
+        for _ in 0..100 {
+            let x: f32 = d.sample(&mut rng);
+            assert!(x.is_finite());
+        }
+        let e: f64 = StandardNormal.sample(&mut rng);
+        assert!(e.is_finite());
+    }
+}

@@ -1,0 +1,118 @@
+//! Vendored, dependency-free stand-in for `rayon`.
+//!
+//! The build environment has no crates registry, so this crate maps the
+//! parallel-iterator entry points the workspace uses (`par_iter`,
+//! `into_par_iter`, `par_chunks`, `par_chunks_mut`) onto plain sequential
+//! `std` iterators. Downstream code keeps compiling unchanged and stays
+//! deterministic; genuine multi-threaded fan-out in this workspace is
+//! provided by `mirage-sim`'s `BackendPool` (std::thread based) instead.
+
+/// Rayon-style conversion into a (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    /// Iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Converts `self` into the iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    #[inline]
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Rayon-style `par_iter` over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: 'a;
+    /// Iterates over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    #[inline]
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    #[inline]
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Rayon-style chunked iteration over shared slices.
+pub trait ParallelSlice<T> {
+    /// Chunks of at most `chunk_size` elements.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Rayon-style chunked iteration over mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Mutable chunks of at most `chunk_size` elements.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Everything a `use rayon::prelude::*;` consumer expects.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn chunked_views_cover_the_slice() {
+        let mut buf = [0u8; 10];
+        for (i, chunk) in buf.par_chunks_mut(3).enumerate() {
+            for b in chunk {
+                *b = i as u8;
+            }
+        }
+        assert_eq!(buf, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+        let counts: Vec<usize> = buf.par_chunks(4).map(<[u8]>::len).collect();
+        assert_eq!(counts, vec![4, 4, 2]);
+    }
+}

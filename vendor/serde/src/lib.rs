@@ -1,0 +1,25 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The workspace annotates many types with `#[derive(Serialize,
+//! Deserialize)]` but performs no generic serde-based serialization (the
+//! one JSON checkpoint path in `mirage-nn` writes its format by hand). So
+//! this crate provides the two trait names as blanket-implemented markers
+//! and re-exports no-op derive macros: every `T: Serialize` bound holds,
+//! every derive compiles, and nothing is generated.
+
+/// Marker for serializable types; blanket-implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types; blanket-implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros for the vendored `serde` stand-in.
+//!
+//! The vendored `serde` crate blanket-implements its `Serialize` and
+//! `Deserialize` marker traits for every type, so these derives only need
+//! to *accept* the derive syntax (including `#[serde(...)]` helper
+//! attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; the trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; the trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
