@@ -1,0 +1,104 @@
+//! Decision-loop benchmark: the steady-state serving path (simulator step
+//! → snapshot → state matrix → NN inference → action), comparing the
+//! zero-allocation scratch path against the allocating training path.
+//!
+//! The `episode_throughput` *binary* is the machine-readable harness that
+//! writes `BENCH_episode_throughput.json`; this criterion target gives the
+//! same loop a `cargo bench` home next to the other kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_core::state::{
+    EncoderScratch, PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS,
+};
+use mirage_nn::foundation::FoundationKind;
+use mirage_nn::transformer::TransformerConfig;
+use mirage_nn::{Matrix, Scratch};
+use mirage_rl::{ActionEncoding, DualHeadConfig, DualHeadNet};
+use mirage_sim::{ClusterSnapshot, SimConfig, Simulator};
+use mirage_trace::{JobRecord, DAY, HOUR};
+
+const K: usize = 12;
+
+fn background(n: usize) -> Vec<JobRecord> {
+    (0..n)
+        .map(|i| {
+            JobRecord::new(
+                i as u64 + 1,
+                format!("bg{i}"),
+                (i % 7) as u32,
+                i as i64 * 900,
+                1 + (i % 4) as u32,
+                8 * HOUR,
+                4 * HOUR,
+            )
+        })
+        .collect()
+}
+
+fn net() -> DualHeadNet {
+    DualHeadNet::new(DualHeadConfig {
+        foundation: FoundationKind::Transformer,
+        transformer: TransformerConfig {
+            input_dim: STATE_VARS,
+            seq_len: K,
+            d_model: 16,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        },
+        action_encoding: ActionEncoding::TwoHead,
+        freeze_foundation: false,
+        seed: 7,
+    })
+}
+
+fn bench_decision_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_loop");
+    group.sample_size(20);
+    let jobs = background(600);
+    let net = net();
+
+    let mut sim = Simulator::new(SimConfig::new(16));
+    sim.load_trace(&jobs);
+    sim.run_until(DAY);
+    let encoder = StateEncoder::new(16, 48 * HOUR);
+    let mut history = StateHistory::new(K);
+    let pred = PredecessorState {
+        nodes: 1,
+        timelimit: 48 * HOUR,
+        queue_time: 0,
+        elapsed: 12 * HOUR,
+    };
+    let succ = SuccessorSpec {
+        nodes: 1,
+        timelimit: 48 * HOUR,
+    };
+    let mut snap = ClusterSnapshot::default();
+    let mut enc_scratch = EncoderScratch::default();
+    let mut matrix = Matrix::zeros(0, 0);
+    let mut scratch = Scratch::new();
+    history.push(encoder.encode_into(&snap, &pred, &succ, &mut enc_scratch));
+
+    group.bench_function("scratch_path", |b| {
+        b.iter(|| {
+            sim.step(600);
+            sim.sample_into(&mut snap);
+            history.push(encoder.encode_into(&snap, &pred, &succ, &mut enc_scratch));
+            history.write_matrix(&mut matrix);
+            net.q_values(&matrix, &mut scratch)
+        })
+    });
+    group.bench_function("alloc_path", |b| {
+        b.iter(|| {
+            sim.step(600);
+            let fresh = sim.sample();
+            history.push(encoder.encode(&fresh, &pred, &succ));
+            let m = history.matrix();
+            net.q_forward(&m).0
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_loop);
+criterion_main!(benches);

@@ -1,0 +1,260 @@
+//! Decision-loop throughput benchmark with a machine-readable output.
+//!
+//! Measures the steady-state provisioning decision loop — simulator step →
+//! snapshot → state matrix → NN inference → action — two ways on the same
+//! workload:
+//!
+//! * **before**: the allocating, cache-returning path the training code
+//!   uses (`sample()` + `encode()` + `matrix()` + `q_forward()`),
+//! * **after**: the zero-allocation serving path (`sample_into` +
+//!   `encode_into` + `write_matrix` + `q_values` over a warm `Scratch`).
+//!
+//! Both paths run identical arithmetic (enforced by bit-identity tests),
+//! so the in-binary ratio isolates the cost of per-decision allocation
+//! and copying; the kernel-level speedups (matmul microkernel, fast
+//! tanh, scheduler pass-skip) benefit *both* paths and only show against
+//! an older checkout. Results land in `BENCH_episode_throughput.json` so
+//! the perf trajectory of this loop is recorded across PRs; the committed
+//! copy additionally carries a `seed_baseline` block measured by running
+//! this same driver against the pre-PR tree in a git worktree.
+//! `MIRAGE_QUICK=1` shrinks the iteration counts for CI smoke runs.
+
+use std::time::Instant;
+
+use mirage_bench::quick_mode;
+use mirage_core::state::{
+    EncoderScratch, PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS,
+};
+use mirage_nn::foundation::FoundationKind;
+use mirage_nn::transformer::TransformerConfig;
+use mirage_nn::{Matrix, Scratch};
+use mirage_rl::{ActionEncoding, DualHeadConfig, DualHeadNet};
+use mirage_sim::{ClusterSnapshot, SimConfig, Simulator};
+use mirage_trace::{
+    clean_trace, ClusterProfile, JobRecord, SynthConfig, TraceGenerator, DAY, HOUR,
+};
+
+/// History length of the decision state matrix (experiment scale).
+const HISTORY_K: usize = 12;
+/// Seconds of simulated time between decisions (10-minute cadence).
+const DECISION_INTERVAL: i64 = 600;
+
+fn month_trace(profile: &ClusterProfile, seed: u64) -> Vec<JobRecord> {
+    let mut cfg = SynthConfig::new(profile.clone(), seed);
+    cfg.months = Some(1);
+    let raw = TraceGenerator::new(cfg).generate();
+    clean_trace(&raw, profile.nodes).0
+}
+
+fn experiment_net() -> DualHeadNet {
+    // The offline-collection / online-training model shape
+    // (`TrainConfig::default()`): d_model 16, 2 heads, 1 layer, k = 12.
+    DualHeadNet::new(DualHeadConfig {
+        foundation: FoundationKind::Transformer,
+        transformer: TransformerConfig {
+            input_dim: STATE_VARS,
+            seq_len: HISTORY_K,
+            d_model: 16,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        },
+        action_encoding: ActionEncoding::TwoHead,
+        freeze_foundation: false,
+        seed: 7,
+    })
+}
+
+struct LoopStats {
+    decisions_per_sec: f64,
+    ns_per_decision: f64,
+    /// Defeats dead-code elimination and sanity-checks path agreement.
+    submit_count: u64,
+}
+
+/// Runs `n` decision steps against a warm simulator. `fast` selects the
+/// zero-allocation path; both paths compute identical decisions.
+fn decision_loop(
+    jobs: &[JobRecord],
+    nodes: u32,
+    net: &DualHeadNet,
+    n: u64,
+    fast: bool,
+) -> LoopStats {
+    let mut sim = Simulator::new(SimConfig::new(nodes));
+    sim.load_trace(jobs);
+    sim.run_until(3 * DAY); // warm queue/running state
+
+    let encoder = StateEncoder::new(nodes, 48 * HOUR);
+    let mut history = StateHistory::new(HISTORY_K);
+    let pred = PredecessorState {
+        nodes: 1,
+        timelimit: 48 * HOUR,
+        queue_time: 0,
+        elapsed: 12 * HOUR,
+    };
+    let succ = SuccessorSpec {
+        nodes: 1,
+        timelimit: 48 * HOUR,
+    };
+
+    let mut snap = ClusterSnapshot::default();
+    let mut enc_scratch = EncoderScratch::default();
+    let mut matrix = Matrix::zeros(0, 0);
+    let mut scratch = Scratch::new();
+    // Warm-up pass (buffers, caches, branch predictors) outside the timer.
+    for _ in 0..(n / 10).max(8) {
+        sim.step(DECISION_INTERVAL);
+        sim.sample_into(&mut snap);
+        history.push(encoder.encode_into(&snap, &pred, &succ, &mut enc_scratch));
+        history.write_matrix(&mut matrix);
+        let _ = net.q_values(&matrix, &mut scratch);
+    }
+
+    let mut submit_count = 0u64;
+    let t = Instant::now();
+    for _ in 0..n {
+        sim.step(DECISION_INTERVAL);
+        let q = if fast {
+            sim.sample_into(&mut snap);
+            history.push(encoder.encode_into(&snap, &pred, &succ, &mut enc_scratch));
+            history.write_matrix(&mut matrix);
+            net.q_values(&matrix, &mut scratch)
+        } else {
+            let fresh = sim.sample();
+            history.push(encoder.encode(&fresh, &pred, &succ));
+            let m = history.matrix();
+            net.q_forward(&m).0
+        };
+        submit_count += u64::from(q[1] > q[0]);
+    }
+    let elapsed = t.elapsed();
+    LoopStats {
+        decisions_per_sec: n as f64 / elapsed.as_secs_f64(),
+        ns_per_decision: elapsed.as_nanos() as f64 / n as f64,
+        submit_count,
+    }
+}
+
+/// Forward-pass microbenchmark: ns per inference, allocating vs scratch.
+fn forward_ns(net: &DualHeadNet, reps: u64) -> (f64, f64) {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let state = Matrix::xavier(HISTORY_K, STATE_VARS, &mut rng);
+    let mut scratch = Scratch::new();
+    let _ = net.q_values(&state, &mut scratch); // warm the arena
+
+    let t = Instant::now();
+    let mut acc = 0.0f32;
+    for _ in 0..reps {
+        acc += net.q_forward(&state).0[0];
+    }
+    let before = t.elapsed().as_nanos() as f64 / reps as f64;
+    let t = Instant::now();
+    for _ in 0..reps {
+        acc += net.q_values(&state, &mut scratch)[0];
+    }
+    let after = t.elapsed().as_nanos() as f64 / reps as f64;
+    assert!(acc.is_finite());
+    (before, after)
+}
+
+/// Full-trace replay: simulator events (arrivals + completions) per second.
+fn sim_events_per_sec(jobs: &[JobRecord], nodes: u32) -> f64 {
+    let mut sim = Simulator::new(SimConfig::new(nodes));
+    sim.load_trace(jobs);
+    let t = Instant::now();
+    sim.run_to_completion();
+    let elapsed = t.elapsed().as_secs_f64();
+    let events = jobs.len() + sim.metrics().completed_jobs;
+    events as f64 / elapsed
+}
+
+/// Extracts the curated `"seed_baseline"` object (verbatim JSON text) and
+/// its `decisions_per_sec` from a previous output file, so reruns never
+/// destroy the externally measured baseline this binary cannot reproduce.
+fn preserved_baseline(old: &str) -> Option<(String, f64)> {
+    let key = old.find("\"seed_baseline\"")?;
+    let open = key + old[key..].find('{')?;
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, c) in old[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(open + i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let block = &old[open..=close?];
+    let dps_key = block.find("\"decisions_per_sec\"")?;
+    let after_colon = &block[dps_key..][block[dps_key..].find(':')? + 1..];
+    let dps = after_colon
+        .trim_start()
+        .split(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .next()?
+        .parse::<f64>()
+        .ok()?;
+    Some((block.to_string(), dps))
+}
+
+fn main() {
+    let quick = quick_mode();
+    let decisions: u64 = if quick { 500 } else { 3000 };
+    let forward_reps: u64 = if quick { 1000 } else { 10_000 };
+
+    let profile = ClusterProfile::v100();
+    let jobs = month_trace(&profile, 42);
+    let net = experiment_net();
+
+    let before = decision_loop(&jobs, profile.nodes, &net, decisions, false);
+    let after = decision_loop(&jobs, profile.nodes, &net, decisions, true);
+    assert_eq!(
+        before.submit_count, after.submit_count,
+        "both paths must take identical decisions"
+    );
+    let (fwd_before, fwd_after) = forward_ns(&net, forward_reps);
+    let events_per_sec = sim_events_per_sec(&jobs, profile.nodes);
+    let speedup = after.decisions_per_sec / before.decisions_per_sec;
+
+    const OUT_PATH: &str = "BENCH_episode_throughput.json";
+    let baseline = std::fs::read_to_string(OUT_PATH)
+        .ok()
+        .as_deref()
+        .and_then(preserved_baseline);
+    let baseline_tail = match &baseline {
+        Some((block, seed_dps)) => format!(
+            ",\n  \"speedup_vs_seed\": {:.2},\n  \"seed_baseline\": {}",
+            after.decisions_per_sec / seed_dps,
+            block
+        ),
+        None => String::new(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic trace, {} decisions at {}s cadence, k={}\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"speedup\": {:.2},\n  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
+        quick,
+        profile.name,
+        decisions,
+        DECISION_INTERVAL,
+        HISTORY_K,
+        before.decisions_per_sec,
+        after.decisions_per_sec,
+        speedup,
+        before.ns_per_decision,
+        after.ns_per_decision,
+        fwd_before,
+        fwd_after,
+        events_per_sec,
+        baseline_tail,
+    );
+    std::fs::write(OUT_PATH, &json).expect("write bench output");
+    print!("{json}");
+    eprintln!(
+        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
+        before.decisions_per_sec, after.decisions_per_sec, fwd_before, fwd_after, events_per_sec
+    );
+}

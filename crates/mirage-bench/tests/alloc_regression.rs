@@ -1,0 +1,175 @@
+//! Allocation-regression test: the steady-state decision loop — simulator
+//! step → `sample_into` → `encode_into` → `write_matrix` → `q_values` —
+//! must perform **zero heap allocations** after warm-up.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! drives 1 000 decision steps (with live completions and job starts
+//! inside the window) and asserts the allocation counter did not move.
+//! The warm-up phase is what the `Scratch`/`*_into` reuse contract calls
+//! out: first passes size every buffer, steady state then recycles them.
+//!
+//! This file intentionally contains a single test: the counter is global,
+//! and a concurrently running test would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mirage_core::state::{
+    EncoderScratch, PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS,
+};
+use mirage_nn::foundation::FoundationKind;
+use mirage_nn::transformer::TransformerConfig;
+use mirage_nn::{Matrix, Scratch};
+use mirage_rl::{ActionEncoding, DualHeadConfig, DualHeadNet};
+use mirage_sim::{ClusterSnapshot, SimConfig, Simulator};
+use mirage_trace::{JobRecord, HOUR};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_decision_loop_is_allocation_free() {
+    const NODES: u32 = 16;
+    const K: usize = 12;
+    const STEP: i64 = 600;
+
+    // A heavily oversubscribed single-user backlog, fully submitted up
+    // front: completions keep freeing nodes and queued jobs keep starting
+    // throughout the measured window, so the zero-allocation claim covers
+    // live event processing and scheduling passes, not an idle clock.
+    let trace: Vec<JobRecord> = (0..2000)
+        .map(|i| {
+            JobRecord::new(
+                i as u64 + 1,
+                format!("bg{i}"),
+                0,
+                (i as i64 * 43) % (24 * HOUR),
+                1 + (i % 3) as u32,
+                8 * HOUR,
+                4 * HOUR + (i as i64 % 7) * 1800,
+            )
+        })
+        .collect();
+
+    let mut sim = Simulator::new(SimConfig::new(NODES));
+    sim.load_trace(&trace);
+
+    let net = DualHeadNet::new(DualHeadConfig {
+        foundation: FoundationKind::Transformer,
+        transformer: TransformerConfig {
+            input_dim: STATE_VARS,
+            seq_len: K,
+            d_model: 16,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        },
+        action_encoding: ActionEncoding::TwoHead,
+        freeze_foundation: false,
+        seed: 11,
+    });
+
+    let encoder = StateEncoder::new(NODES, 48 * HOUR);
+    let mut history = StateHistory::new(K);
+    let pred = PredecessorState {
+        nodes: 1,
+        timelimit: 48 * HOUR,
+        queue_time: 0,
+        elapsed: 12 * HOUR,
+    };
+    let succ = SuccessorSpec {
+        nodes: 1,
+        timelimit: 48 * HOUR,
+    };
+    let mut snap = ClusterSnapshot::default();
+    let mut enc_scratch = EncoderScratch::default();
+    let mut matrix = Matrix::zeros(0, 0);
+    let mut scratch = Scratch::new();
+
+    let decision_step = |sim: &mut Simulator,
+                         history: &mut StateHistory,
+                         snap: &mut ClusterSnapshot,
+                         enc_scratch: &mut EncoderScratch,
+                         matrix: &mut Matrix,
+                         scratch: &mut Scratch| {
+        sim.step(STEP);
+        sim.sample_into(snap);
+        history.push(encoder.encode_into(snap, &pred, &succ, enc_scratch));
+        history.write_matrix(matrix);
+        let q = net.q_values(matrix, scratch);
+        let m = sim.metrics(); // O(1), also exercised in the loop
+        u64::from(q[1] > q[0]) + m.completed_jobs as u64
+    };
+
+    // Warm-up: all arrivals enter the queue, buffers reach their peak
+    // shapes, the single user records its first completion, and the
+    // scratch arena settles into its steady take/give cycle.
+    let mut checksum = 0u64;
+    for _ in 0..300 {
+        checksum += decision_step(
+            &mut sim,
+            &mut history,
+            &mut snap,
+            &mut enc_scratch,
+            &mut matrix,
+            &mut scratch,
+        );
+    }
+    assert!(
+        sim.metrics().completed_jobs > 0,
+        "warm-up must include completions so the measured window is live"
+    );
+    assert!(
+        !snap.queued.is_empty(),
+        "measured window must run against a live backlog"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        checksum += decision_step(
+            &mut sim,
+            &mut history,
+            &mut snap,
+            &mut enc_scratch,
+            &mut matrix,
+            &mut scratch,
+        );
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    // Completions and starts really happened inside the measured window.
+    assert!(
+        sim.metrics().completed_jobs > 50,
+        "window was not live: only {} completions",
+        sim.metrics().completed_jobs
+    );
+    assert_eq!(
+        delta, 0,
+        "steady-state decision loop allocated {delta} times across 1000 steps (checksum {checksum})"
+    );
+}

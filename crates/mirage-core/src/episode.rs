@@ -25,7 +25,7 @@ use mirage_trace::{JobRecord, DAY, HOUR};
 use serde::{Deserialize, Serialize};
 
 use crate::reward::EpisodeOutcome;
-use crate::state::{PredecessorState, StateEncoder, StateHistory, SuccessorSpec};
+use crate::state::{EncoderScratch, PredecessorState, StateEncoder, StateHistory, SuccessorSpec};
 
 /// The provisioner's two actions (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,14 +57,18 @@ impl Action {
 
 /// Everything a policy may look at when deciding (§4.1: no job-internal
 /// state beyond the pair's own public attributes).
-#[derive(Debug, Clone)]
-pub struct DecisionContext {
+///
+/// The matrix and snapshot are **borrowed from the driver's reusable
+/// buffers** — valid until the next `advance()` — so the steady-state
+/// decision loop hands policies a view without copying or allocating.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionContext<'a> {
     /// Simulated time of the decision.
     pub now: i64,
     /// The `k × m` state matrix (history of encoded snapshots).
-    pub state_matrix: Matrix,
+    pub state_matrix: &'a Matrix,
     /// Raw snapshot at the decision instant.
-    pub snapshot: ClusterSnapshot,
+    pub snapshot: &'a ClusterSnapshot,
     /// Whether the predecessor has started running.
     pub pred_started: bool,
     /// Estimated seconds until the predecessor ends: limit-based while
@@ -175,7 +179,14 @@ pub struct EpisodeDriver<B: ClusterBackend> {
     submitted_by_policy: bool,
     decisions: Vec<(Matrix, usize)>,
     now: i64,
-    last_matrix: Option<Matrix>,
+    // Reusable per-decision buffers: the snapshot's vectors, the state
+    // matrix and the encoder's percentile scratch are written in place
+    // every `advance()`, so the steady-state loop allocates nothing.
+    snapshot: ClusterSnapshot,
+    matrix: Matrix,
+    enc_scratch: EncoderScratch,
+    pending_decision: bool,
+    record: bool,
 }
 
 impl<B: ClusterBackend> EpisodeDriver<B> {
@@ -194,7 +205,10 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
 
         // Replay up to the start of the recorded history window, then
         // record state vectors at the decision cadence while approaching
-        // t0.
+        // t0. The snapshot and encoder buffers allocated here are the ones
+        // the decision loop keeps reusing.
+        let mut snapshot = ClusterSnapshot::default();
+        let mut enc_scratch = EncoderScratch::default();
         let record_start = t0 - (cfg.history_k as i64) * cfg.decision_interval;
         backend.run_until(record_start.min(t0));
         let mut t = record_start;
@@ -208,7 +222,8 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
                 queue_time: 0,
                 elapsed: 0,
             };
-            history.push(encoder.encode(&backend.sample(), &pred, &succ_spec));
+            backend.sample_into(&mut snapshot);
+            history.push(encoder.encode_into(&snapshot, &pred, &succ_spec, &mut enc_scratch));
             t += cfg.decision_interval;
         }
         backend.run_until(t0);
@@ -238,8 +253,20 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
             submitted_by_policy: false,
             decisions: Vec::new(),
             now: t0,
-            last_matrix: None,
+            snapshot,
+            matrix: Matrix::zeros(0, 0),
+            enc_scratch,
+            pending_decision: false,
+            record: true,
         }
+    }
+
+    /// Controls whether `apply()` records `(state matrix, action)` pairs
+    /// into the episode result. Recording clones the `k × m` matrix per
+    /// decision; pure serving/benchmark loops turn it off to keep the
+    /// steady state allocation-free.
+    pub fn set_record_decisions(&mut self, record: bool) {
+        self.record = record;
     }
 
     fn successor_job(&self) -> JobRecord {
@@ -258,7 +285,11 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
     /// policy must decide on, or `None` when the successor is already in
     /// (the reactive fallback fired, or [`apply`](Self::apply) submitted)
     /// — the decision loop is over and further calls stay `None`.
-    pub fn advance(&mut self) -> Option<DecisionContext> {
+    ///
+    /// The context borrows the driver's reusable snapshot/matrix buffers,
+    /// so the steady-state loop allocates nothing; read what you need,
+    /// then call [`apply`](Self::apply).
+    pub fn advance(&mut self) -> Option<DecisionContext<'_>> {
         if self.succ_id.is_some() {
             // Calling past the end must not submit a second successor.
             return None;
@@ -309,9 +340,13 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
             JobStatus::Rejected => unreachable!("pair jobs always fit"),
         };
 
-        let snapshot = self.backend.sample();
-        self.history
-            .push(self.encoder.encode(&snapshot, &pred_state, &self.succ_spec));
+        self.backend.sample_into(&mut self.snapshot);
+        self.history.push(self.encoder.encode_into(
+            &self.snapshot,
+            &pred_state,
+            &self.succ_spec,
+            &mut self.enc_scratch,
+        ));
 
         // Reactive fallback: the predecessor is done — a real user submits
         // the successor right now no matter what the policy thinks.
@@ -321,12 +356,12 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
             return None;
         }
 
-        let state_matrix = self.history.matrix();
-        self.last_matrix = Some(state_matrix.clone());
+        self.history.write_matrix(&mut self.matrix);
+        self.pending_decision = true;
         Some(DecisionContext {
             now,
-            state_matrix,
-            snapshot,
+            state_matrix: &self.matrix,
+            snapshot: &self.snapshot,
             pred_started,
             pred_remaining,
             recent_avg_wait: self.backend.avg_recent_wait(24 * HOUR),
@@ -338,11 +373,11 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
     /// [`advance`](Self::advance). Returns `true` once the successor is
     /// submitted (the decision loop is over).
     pub fn apply(&mut self, action: Action) -> bool {
-        let matrix = self
-            .last_matrix
-            .take()
-            .expect("apply() must follow advance()");
-        self.decisions.push((matrix, action.index()));
+        assert!(self.pending_decision, "apply() must follow advance()");
+        self.pending_decision = false;
+        if self.record {
+            self.decisions.push((self.matrix.clone(), action.index()));
+        }
         if action == Action::Submit {
             self.succ_id = Some(self.backend.submit(self.successor_job()));
             self.succ_submit = self.backend.now();
@@ -419,8 +454,11 @@ pub fn run_episode<B: ClusterBackend>(
     mut decide: impl FnMut(&DecisionContext) -> Action,
 ) -> EpisodeResult {
     let mut driver = EpisodeDriver::new(backend, trace, cfg, t0);
+    // The context borrows the driver's buffers, so the decision is taken
+    // before `apply` re-borrows the driver mutably.
     while let Some(ctx) = driver.advance() {
-        if driver.apply(decide(&ctx)) {
+        let action = decide(&ctx);
+        if driver.apply(action) {
             break;
         }
     }
@@ -597,7 +635,8 @@ mod tests {
         let mut sim = sim4();
         let mut driver = EpisodeDriver::new(&mut sim, &[], &cfg, DAY);
         while let Some(ctx) = driver.advance() {
-            if driver.apply(policy(&ctx)) {
+            let action = policy(&ctx);
+            if driver.apply(action) {
                 break;
             }
         }

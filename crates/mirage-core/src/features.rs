@@ -16,18 +16,26 @@ pub const FEATURE_DIM: usize = 3 * STATE_VARS + 3;
 /// Layout: newest state row ‖ row k/2 ‖ row 0 (oldest) ‖
 /// `[pred_remaining_h, recent_avg_wait_h, queued_nodes_fraction]`.
 pub fn extract_features(ctx: &DecisionContext) -> Vec<f32> {
-    let m = &ctx.state_matrix;
-    let k = m.rows();
     let mut f = Vec::with_capacity(FEATURE_DIM);
-    f.extend_from_slice(m.row(k - 1));
-    f.extend_from_slice(m.row(k / 2));
-    f.extend_from_slice(m.row(0));
-    f.push(ctx.pred_remaining as f32 / 3600.0);
-    f.push(ctx.recent_avg_wait.unwrap_or(0.0) as f32 / 3600.0);
-    let total = ctx.snapshot.total_nodes.max(1);
-    f.push(ctx.snapshot.queued_nodes() as f32 / total as f32);
-    debug_assert_eq!(f.len(), FEATURE_DIM);
+    extract_features_into(ctx, &mut f);
     f
+}
+
+/// [`extract_features`] writing into a reusable buffer: `out` is cleared
+/// and refilled, so per-decision feature extraction allocates nothing
+/// once the buffer's capacity reaches [`FEATURE_DIM`].
+pub fn extract_features_into(ctx: &DecisionContext, out: &mut Vec<f32>) {
+    let m = ctx.state_matrix;
+    let k = m.rows();
+    out.clear();
+    out.extend_from_slice(m.row(k - 1));
+    out.extend_from_slice(m.row(k / 2));
+    out.extend_from_slice(m.row(0));
+    out.push(ctx.pred_remaining as f32 / 3600.0);
+    out.push(ctx.recent_avg_wait.unwrap_or(0.0) as f32 / 3600.0);
+    let total = ctx.snapshot.total_nodes.max(1);
+    out.push(ctx.snapshot.queued_nodes() as f32 / total as f32);
+    debug_assert_eq!(out.len(), FEATURE_DIM);
 }
 
 #[cfg(test)]
@@ -38,17 +46,29 @@ mod tests {
     use mirage_sim::ClusterSnapshot;
     use mirage_trace::HOUR;
 
-    fn ctx(k: usize) -> DecisionContext {
-        DecisionContext {
-            now: 0,
-            state_matrix: Matrix::from_fn(k, STATE_VARS, |r, c| (r * STATE_VARS + c) as f32),
-            snapshot: ClusterSnapshot {
+    struct CtxData {
+        m: Matrix,
+        snap: ClusterSnapshot,
+    }
+
+    fn data(k: usize) -> CtxData {
+        CtxData {
+            m: Matrix::from_fn(k, STATE_VARS, |r, c| (r * STATE_VARS + c) as f32),
+            snap: ClusterSnapshot {
                 now: 0,
                 free_nodes: 2,
                 total_nodes: 8,
                 queued: vec![],
                 running: vec![],
             },
+        }
+    }
+
+    fn ctx(d: &CtxData) -> DecisionContext<'_> {
+        DecisionContext {
+            now: 0,
+            state_matrix: &d.m,
+            snapshot: &d.snap,
             pred_started: true,
             pred_remaining: 2 * HOUR,
             recent_avg_wait: Some(3.0 * HOUR as f64),
@@ -61,13 +81,15 @@ mod tests {
 
     #[test]
     fn feature_vector_has_documented_width() {
-        let f = extract_features(&ctx(8));
+        let d = data(8);
+        let f = extract_features(&ctx(&d));
         assert_eq!(f.len(), FEATURE_DIM);
     }
 
     #[test]
     fn rows_are_sampled_newest_middle_oldest() {
-        let f = extract_features(&ctx(8));
+        let d = data(8);
+        let f = extract_features(&ctx(&d));
         // Newest row starts at element 7·40.
         assert_eq!(f[0], (7 * STATE_VARS) as f32);
         // Middle row (k/2 = 4).
@@ -78,7 +100,8 @@ mod tests {
 
     #[test]
     fn scalar_tail_is_in_hours_and_fractions() {
-        let f = extract_features(&ctx(4));
+        let d = data(4);
+        let f = extract_features(&ctx(&d));
         assert!(
             (f[FEATURE_DIM - 3] - 2.0).abs() < 1e-6,
             "pred remaining in hours"
@@ -89,9 +112,21 @@ mod tests {
 
     #[test]
     fn missing_avg_wait_encodes_zero() {
-        let mut c = ctx(4);
+        let d = data(4);
+        let mut c = ctx(&d);
         c.recent_avg_wait = None;
         let f = extract_features(&c);
         assert_eq!(f[FEATURE_DIM - 2], 0.0);
+    }
+
+    #[test]
+    fn into_variant_reuses_buffer_and_matches() {
+        let d = data(8);
+        let c = ctx(&d);
+        let expected = extract_features(&c);
+        // A dirty, differently-sized buffer must come out identical.
+        let mut buf = vec![99.0f32; 7];
+        extract_features_into(&c, &mut buf);
+        assert_eq!(buf, expected);
     }
 }

@@ -95,11 +95,14 @@ impl<B: ClusterBackend> Environment for ProvisionEnv<B> {
             self.next_start = (self.next_start + 1) % self.starts.len();
             let window = episode_window(&self.trace, t0, &self.cfg);
             let mut driver = EpisodeDriver::new(backend, window, &self.cfg, t0);
-            match driver.advance() {
-                Some(ctx) => {
-                    self.last_state = ctx.state_matrix.clone();
+            // The context borrows the driver's buffers: copy the state out
+            // before the driver itself is moved into `self`.
+            let first_state = driver.advance().map(|ctx| ctx.state_matrix.clone());
+            match first_state {
+                Some(state) => {
+                    self.last_state = state.clone();
                     self.driver = Some(driver);
-                    return ctx.state_matrix;
+                    return state;
                 }
                 None => {
                     // Fallback fired before any decision: record and move
@@ -127,9 +130,10 @@ impl<B: ClusterBackend> Environment for ProvisionEnv<B> {
                 done: true,
             };
         }
-        match driver.advance() {
-            Some(ctx) => {
-                self.last_state = ctx.state_matrix.clone();
+        let next_state = driver.advance().map(|ctx| ctx.state_matrix.clone());
+        match next_state {
+            Some(state) => {
+                self.last_state = state;
                 self.driver = Some(driver);
                 StepResult {
                     state: self.last_state.clone(),

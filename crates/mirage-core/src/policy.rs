@@ -149,7 +149,7 @@ impl ProvisionPolicy for DqnPolicy {
     }
 
     fn decide(&mut self, ctx: &DecisionContext) -> Action {
-        Action::from_index(self.agent.act_greedy(&ctx.state_matrix))
+        Action::from_index(self.agent.act_greedy(ctx.state_matrix))
     }
 }
 
@@ -185,9 +185,9 @@ impl ProvisionPolicy for PgPolicy {
 
     fn decide(&mut self, ctx: &DecisionContext) -> Action {
         let idx = if self.deterministic {
-            self.agent.act_greedy(&ctx.state_matrix)
+            self.agent.act_greedy(ctx.state_matrix)
         } else {
-            self.agent.act(&ctx.state_matrix, &mut self.rng)
+            self.agent.act(ctx.state_matrix, &mut self.rng)
         };
         Action::from_index(idx)
     }
@@ -201,17 +201,34 @@ mod tests {
     use mirage_sim::ClusterSnapshot;
     use mirage_trace::HOUR;
 
-    fn ctx(pred_started: bool, pred_remaining: i64, avg_wait: Option<f64>) -> DecisionContext {
-        DecisionContext {
-            now: 0,
-            state_matrix: Matrix::zeros(4, STATE_VARS),
-            snapshot: ClusterSnapshot {
+    struct CtxData {
+        m: Matrix,
+        snap: ClusterSnapshot,
+    }
+
+    fn data() -> CtxData {
+        CtxData {
+            m: Matrix::zeros(4, STATE_VARS),
+            snap: ClusterSnapshot {
                 now: 0,
                 free_nodes: 4,
                 total_nodes: 8,
                 queued: vec![],
                 running: vec![],
             },
+        }
+    }
+
+    fn ctx(
+        d: &CtxData,
+        pred_started: bool,
+        pred_remaining: i64,
+        avg_wait: Option<f64>,
+    ) -> DecisionContext<'_> {
+        DecisionContext {
+            now: 0,
+            state_matrix: &d.m,
+            snapshot: &d.snap,
             pred_started,
             pred_remaining,
             recent_avg_wait: avg_wait,
@@ -224,42 +241,46 @@ mod tests {
 
     #[test]
     fn reactive_always_waits() {
+        let d = data();
         let mut p = ReactivePolicy;
-        assert_eq!(p.decide(&ctx(true, 0, Some(1e9))), Action::Wait);
+        assert_eq!(p.decide(&ctx(&d, true, 0, Some(1e9))), Action::Wait);
         assert_eq!(p.name(), "reactive");
     }
 
     #[test]
     fn avg_submits_when_remaining_below_t_avg() {
+        let d = data();
         let mut p = AvgWaitPolicy::default();
         // 2h remaining, 3h average wait → submit now.
         assert_eq!(
-            p.decide(&ctx(true, 2 * HOUR, Some(3.0 * HOUR as f64))),
+            p.decide(&ctx(&d, true, 2 * HOUR, Some(3.0 * HOUR as f64))),
             Action::Submit
         );
         // 5h remaining, 3h average wait → hold.
         assert_eq!(
-            p.decide(&ctx(true, 5 * HOUR, Some(3.0 * HOUR as f64))),
+            p.decide(&ctx(&d, true, 5 * HOUR, Some(3.0 * HOUR as f64))),
             Action::Wait
         );
         // Not started yet → always hold.
-        assert_eq!(p.decide(&ctx(false, 0, Some(1e9))), Action::Wait);
+        assert_eq!(p.decide(&ctx(&d, false, 0, Some(1e9))), Action::Wait);
         // No wait data → nothing suggests congestion; hold until the end.
-        assert_eq!(p.decide(&ctx(true, HOUR, None)), Action::Wait);
+        assert_eq!(p.decide(&ctx(&d, true, HOUR, None)), Action::Wait);
     }
 
     #[test]
     fn avg_multiplier_scales_the_threshold() {
+        let d = data();
         let mut cautious = AvgWaitPolicy { multiplier: 0.5 };
         // 2h remaining, 3h avg → 1.5h effective threshold → hold.
         assert_eq!(
-            cautious.decide(&ctx(true, 2 * HOUR, Some(3.0 * HOUR as f64))),
+            cautious.decide(&ctx(&d, true, 2 * HOUR, Some(3.0 * HOUR as f64))),
             Action::Wait
         );
     }
 
     #[test]
     fn wait_predictor_uses_model_output() {
+        let d = data();
         use mirage_ensemble::{Dataset, GbdtConfig};
         // Train a trivial GBDT that always predicts ~5 (hours).
         let rows: Vec<Vec<f32>> = (0..16)
@@ -277,8 +298,8 @@ mod tests {
         let mut p = WaitPredictorPolicy::new(WaitModel::Gbdt(model));
         assert_eq!(p.name(), "xgboost");
         // 3h remaining < 5h predicted wait → submit.
-        assert_eq!(p.decide(&ctx(true, 3 * HOUR, None)), Action::Submit);
+        assert_eq!(p.decide(&ctx(&d, true, 3 * HOUR, None)), Action::Submit);
         // 10h remaining > 5h predicted wait → hold.
-        assert_eq!(p.decide(&ctx(true, 10 * HOUR, None)), Action::Wait);
+        assert_eq!(p.decide(&ctx(&d, true, 10 * HOUR, None)), Action::Wait);
     }
 }

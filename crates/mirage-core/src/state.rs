@@ -64,6 +64,14 @@ pub struct StateEncoder {
     pub queue_scale: f32,
 }
 
+/// Reusable working memory for [`StateEncoder::encode_into`]: one value
+/// buffer shared by the six percentile statistics, so per-decision
+/// encoding allocates nothing once its capacity covers the backlog.
+#[derive(Debug, Clone, Default)]
+pub struct EncoderScratch {
+    vals: Vec<f32>,
+}
+
 impl StateEncoder {
     /// Encoder for a partition of `total_nodes` with a 48 h limit.
     pub fn new(total_nodes: u32, max_time: i64) -> Self {
@@ -89,34 +97,51 @@ impl StateEncoder {
         (1.0 + c).ln() / (1.0 + self.queue_scale).ln()
     }
 
-    /// Encodes one instant into the 40-variable vector.
+    /// Encodes one instant into the 40-variable vector (allocating
+    /// convenience wrapper around [`StateEncoder::encode_into`]).
     pub fn encode(
         &self,
         snap: &ClusterSnapshot,
         pred: &PredecessorState,
         succ: &SuccessorSpec,
     ) -> [f32; STATE_VARS] {
+        self.encode_into(snap, pred, succ, &mut EncoderScratch::default())
+    }
+
+    /// Encodes one instant into the 40-variable vector, computing every
+    /// percentile through the reusable `scratch` buffer: no allocation
+    /// once its capacity covers the deepest queue/running set seen. The
+    /// output is identical to [`StateEncoder::encode`].
+    pub fn encode_into(
+        &self,
+        snap: &ClusterSnapshot,
+        pred: &PredecessorState,
+        succ: &SuccessorSpec,
+        scratch: &mut EncoderScratch,
+    ) -> [f32; STATE_VARS] {
         let mut v = [0.0f32; STATE_VARS];
+        let vals = &mut scratch.vals;
 
         // (a) queue state.
         v[0] = self.norm_count(snap.queued.len() as f32);
-        let q_sizes: Vec<f32> = snap.queued.iter().map(|q| q.nodes as f32).collect();
-        let q_ages: Vec<f32> = snap.queued.iter().map(|q| q.age as f32).collect();
-        let q_limits: Vec<f32> = snap.queued.iter().map(|q| q.timelimit as f32).collect();
-        write_percentiles(&mut v[1..6], &q_sizes, |x| self.norm_nodes(x));
-        write_percentiles(&mut v[6..11], &q_ages, |x| self.norm_time(x));
-        write_percentiles(&mut v[11..16], &q_limits, |x| self.norm_time(x));
+        fill(vals, snap.queued.iter().map(|q| q.nodes as f32));
+        percentiles_in_place(&mut v[1..6], vals, |x| self.norm_nodes(x));
+        fill(vals, snap.queued.iter().map(|q| q.age as f32));
+        percentiles_in_place(&mut v[6..11], vals, |x| self.norm_time(x));
+        fill(vals, snap.queued.iter().map(|q| q.timelimit as f32));
+        percentiles_in_place(&mut v[11..16], vals, |x| self.norm_time(x));
 
-        // (b) server state.
+        // (b) server state. Mean/std are computed *before* the percentile
+        // sort, in snapshot order, matching the historical arithmetic.
         v[16] = self.norm_count(snap.running.len() as f32);
-        let r_sizes: Vec<f32> = snap.running.iter().map(|r| r.nodes as f32).collect();
-        let r_elapsed: Vec<f32> = snap.running.iter().map(|r| r.elapsed as f32).collect();
-        let r_limits: Vec<f32> = snap.running.iter().map(|r| r.timelimit as f32).collect();
-        write_percentiles(&mut v[17..22], &r_sizes, |x| self.norm_nodes(x));
-        v[22] = self.norm_nodes(mean(&r_sizes));
-        v[23] = self.norm_nodes(std_dev(&r_sizes));
-        write_percentiles(&mut v[24..29], &r_elapsed, |x| self.norm_time(x));
-        write_percentiles(&mut v[29..34], &r_limits, |x| self.norm_time(x));
+        fill(vals, snap.running.iter().map(|r| r.nodes as f32));
+        v[22] = self.norm_nodes(mean(vals));
+        v[23] = self.norm_nodes(std_dev(vals));
+        percentiles_in_place(&mut v[17..22], vals, |x| self.norm_nodes(x));
+        fill(vals, snap.running.iter().map(|r| r.elapsed as f32));
+        percentiles_in_place(&mut v[24..29], vals, |x| self.norm_time(x));
+        fill(vals, snap.running.iter().map(|r| r.timelimit as f32));
+        percentiles_in_place(&mut v[29..34], vals, |x| self.norm_time(x));
 
         // (c) predecessor job state.
         v[34] = self.norm_nodes(pred.nodes as f32);
@@ -129,6 +154,12 @@ impl StateEncoder {
         v[39] = self.norm_time(succ.timelimit as f32);
         v
     }
+}
+
+/// Refills `buf` from an iterator without shrinking its capacity.
+fn fill(buf: &mut Vec<f32>, it: impl Iterator<Item = f32>) {
+    buf.clear();
+    buf.extend(it);
 }
 
 /// Fixed-length history of state vectors forming the `k × m` state matrix.
@@ -171,12 +202,22 @@ impl StateHistory {
     /// matrix always has `k` rows (the foundation model expects a fixed
     /// sequence length).
     pub fn matrix(&self) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.write_matrix(&mut out);
+        out
+    }
+
+    /// Writes the state matrix into a caller-provided buffer (reshaped in
+    /// place; no allocation once warm). Identical contents to
+    /// [`StateHistory::matrix`].
+    pub fn write_matrix(&self, out: &mut Matrix) {
         assert!(!self.rows.is_empty(), "no state recorded yet");
-        Matrix::from_fn(self.k, STATE_VARS, |r, c| {
-            let pad = self.k - self.rows.len();
-            let idx = r.saturating_sub(pad);
-            self.rows[idx.min(self.rows.len() - 1)][c]
-        })
+        out.reset(self.k, STATE_VARS);
+        let pad = self.k - self.rows.len();
+        for r in 0..self.k {
+            let idx = r.saturating_sub(pad).min(self.rows.len() - 1);
+            out.row_mut(r).copy_from_slice(&self.rows[idx]);
+        }
     }
 
     /// Most recent vector.
@@ -185,19 +226,50 @@ impl StateHistory {
     }
 }
 
-/// Writes `[p0, p25, p50, p75, p100]` of `xs` (after `f`) into `out`.
-fn write_percentiles(out: &mut [f32], xs: &[f32], f: impl Fn(f32) -> f32) {
+/// Writes `[p0, p25, p50, p75, p100]` of `xs` (after `f`) into `out`,
+/// using in-place selection (no copy, no allocation, O(n) instead of a
+/// full sort — this runs six times per decision). The selected values are
+/// exactly the order statistics a full sort would produce.
+fn percentiles_in_place(out: &mut [f32], xs: &mut [f32], f: impl Fn(f32) -> f32) {
     debug_assert_eq!(out.len(), 5);
     if xs.is_empty() {
         out.fill(0.0);
         return;
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    for (i, p) in [0.0f32, 0.25, 0.5, 0.75, 1.0].iter().enumerate() {
-        let idx = ((sorted.len() - 1) as f32 * p).round() as usize;
-        out[i] = f(sorted[idx]);
+    let n = xs.len();
+    let idx = |p: f32| ((n - 1) as f32 * p).round() as usize;
+    let (i25, i50, i75) = (idx(0.25), idx(0.5), idx(0.75));
+    // total_cmp: branchless, and these features never produce NaN.
+    let cmp = |a: &f32, b: &f32| a.total_cmp(b);
+    if n <= 128 {
+        // Small inputs: one unstable sort beats repeated selection.
+        xs.sort_unstable_by(cmp);
+    } else {
+        // Deep backlogs: O(n) selection instead of an O(n log n) sort.
+        // After the three nested selects (each within the suffix the
+        // previous one partitioned), min/max are confined to the outer
+        // partitions.
+        xs.select_nth_unstable_by(i25, cmp);
+        if i50 > i25 {
+            xs[i25..].select_nth_unstable_by(i50 - i25, cmp);
+        }
+        if i75 > i50 {
+            xs[i50..].select_nth_unstable_by(i75 - i50, cmp);
+        }
+        let min = xs[..=i25].iter().copied().fold(f32::INFINITY, f32::min);
+        let max = xs[i75..].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        out[0] = f(min);
+        out[1] = f(xs[i25]);
+        out[2] = f(xs[i50]);
+        out[3] = f(xs[i75]);
+        out[4] = f(max);
+        return;
     }
+    out[0] = f(xs[0]);
+    out[1] = f(xs[i25]);
+    out[2] = f(xs[i50]);
+    out[3] = f(xs[i75]);
+    out[4] = f(xs[n - 1]);
 }
 
 fn mean(xs: &[f32]) -> f32 {

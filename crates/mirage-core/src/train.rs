@@ -462,7 +462,7 @@ pub fn train_dqn_online<B: ClusterBackend>(
         let agent_ref = &mut agent;
         let mut ep_rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64) << 3);
         let result = run_episode(backend, window, &cfg.episode, t0, |ctx| {
-            Action::from_index(agent_ref.act(&ctx.state_matrix, &mut ep_rng))
+            Action::from_index(agent_ref.act(ctx.state_matrix, &mut ep_rng))
         });
         let reward = cfg.shaper.reward(&result.outcome);
         for (state, action) in &result.decisions {
@@ -570,10 +570,10 @@ pub fn train_pg_online<B: ClusterBackend>(
     let mut pending: Vec<EpisodeSample> = Vec::with_capacity(batch);
     for (i, &t0) in starts.iter().cycle().take(cfg.online_episodes).enumerate() {
         let window = episode_window(trace, t0, &cfg.episode);
-        let agent_ref = &agent;
+        let agent_ref = &mut agent;
         let mut ep_rng = StdRng::seed_from_u64(cfg.seed ^ 0xBEEF ^ ((i as u64) << 4));
         let result = run_episode(backend, window, &cfg.episode, t0, |ctx| {
-            Action::from_index(agent_ref.act(&ctx.state_matrix, &mut ep_rng))
+            Action::from_index(agent_ref.act(ctx.state_matrix, &mut ep_rng))
         });
         let reward = cfg.shaper.reward(&result.outcome);
         pending.push(EpisodeSample {

@@ -8,6 +8,7 @@ use rand::Rng;
 
 use crate::linear::{Linear, LinearCache};
 use crate::param::{Grads, ParamSet};
+use crate::scratch::Scratch;
 use crate::tensor::Matrix;
 
 /// Multi-head self-attention over a `seq × d_model` input.
@@ -105,6 +106,63 @@ impl MultiHeadAttention {
         )
     }
 
+    /// Inference-only forward into a caller-provided buffer, with every
+    /// temporary drawn from `scratch`: no cache, no allocation once the
+    /// arena is warm. Bit-identical to [`MultiHeadAttention::forward`]
+    /// (same projection, score, softmax and mixing arithmetic in the same
+    /// order) — but the per-head Q/K/V column slices are read *in place*
+    /// from the projected matrices instead of being copied out, and the
+    /// head outputs accumulate straight into the concat buffer.
+    pub fn forward_into(&self, ps: &ParamSet, x: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+        let seq = x.rows();
+        let dh = self.d_head();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut q = scratch.take(seq, self.d_model);
+        let mut k = scratch.take(seq, self.d_model);
+        let mut v = scratch.take(seq, self.d_model);
+        self.wq.forward_into(ps, x, &mut q);
+        self.wk.forward_into(ps, x, &mut k);
+        self.wv.forward_into(ps, x, &mut v);
+
+        let mut concat = scratch.take(seq, self.d_model);
+        let mut scores = scratch.take(seq, seq);
+        for h in 0..self.heads {
+            let cols = h * dh..(h + 1) * dh;
+            // scores[r][c] = ⟨q_h[r], k_h[c]⟩ · scale — head columns are
+            // contiguous within each row, so no slice copies are needed,
+            // and the scale folds into the same elementwise multiply the
+            // cached path applies in its `scale` pass.
+            for r in 0..seq {
+                let qrow = &q.row(r)[cols.clone()];
+                let srow = scores.row_mut(r);
+                for (c, s) in srow.iter_mut().enumerate() {
+                    *s = crate::tensor::dot(qrow, &k.row(c)[cols.clone()]) * scale;
+                }
+            }
+            scores.softmax_rows_in_place();
+            // concat_h[r] = Σ_c a[r][c] · v_h[c], accumulated in ascending
+            // `c` exactly like the cached path's `a.matmul(&vh)`.
+            for r in 0..seq {
+                let arow = scores.row(r);
+                let orow = &mut concat.row_mut(r)[cols.clone()];
+                orow.fill(0.0);
+                for (c, &a) in arow.iter().enumerate() {
+                    let vrow = &v.row(c)[cols.clone()];
+                    for (o, &vv) in orow.iter_mut().zip(vrow) {
+                        *o += a * vv;
+                    }
+                }
+            }
+        }
+        self.wo.forward_into(ps, &concat, out);
+        scratch.give(scores);
+        scratch.give(concat);
+        scratch.give(v);
+        scratch.give(k);
+        scratch.give(q);
+    }
+
     /// Backward pass; accumulates all projection gradients and returns `dx`.
     pub fn backward(
         &self,
@@ -152,10 +210,9 @@ fn col_slice(m: &Matrix, start: usize, width: usize) -> Matrix {
 
 /// Writes `src` into columns `[start, ...)` of `dst`.
 fn col_slice_write(dst: &mut Matrix, src: &Matrix, start: usize) {
+    let width = src.cols();
     for r in 0..src.rows() {
-        for c in 0..src.cols() {
-            dst.set(r, start + c, src.get(r, c));
-        }
+        dst.row_mut(r)[start..start + width].copy_from_slice(src.row(r));
     }
 }
 

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::moe::{GatingKind, MoECache, MoEFoundation};
 use crate::param::{Grads, ParamSet};
+use crate::scratch::Scratch;
 use crate::tensor::Matrix;
 use crate::transformer::{TransformerCache, TransformerConfig, TransformerEncoder};
 
@@ -101,6 +102,16 @@ impl FoundationNet {
                 let (y, c) = m.forward(ps, x);
                 (y, FoundationCache::MoE(c))
             }
+        }
+    }
+
+    /// Inference-only encode into a caller-provided `1 × d_model` buffer,
+    /// temporaries from `scratch`: no cache, no allocation once the arena
+    /// is warm. Bit-identical to [`FoundationNet::forward`].
+    pub fn forward_into(&self, ps: &ParamSet, x: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+        match self {
+            FoundationNet::Transformer(t) => t.forward_into(ps, x, out, scratch),
+            FoundationNet::MoE(m) => m.forward_into(ps, x, out, scratch),
         }
     }
 

@@ -61,6 +61,28 @@ impl LayerNorm {
         (y, LayerNormCache { x_hat, inv_std })
     }
 
+    /// Inference-only forward into a caller-provided buffer: no cache, no
+    /// allocation once `out` is warm. Same per-row arithmetic as
+    /// [`LayerNorm::forward`], so results are bit-identical.
+    pub fn forward_into(&self, ps: &ParamSet, x: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(x.cols(), self.dim);
+        let n = self.dim as f32;
+        let gamma = ps.get(self.gamma).row(0);
+        let beta = ps.get(self.beta).row(0);
+        out.reset(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            let orow = out.row_mut(r);
+            for c in 0..row.len() {
+                let xh = (row[c] - mean) * istd;
+                orow[c] = xh * gamma[c] + beta[c];
+            }
+        }
+    }
+
     /// Backward pass. Accumulates `dgamma`, `dbeta`; returns `dx`.
     pub fn backward(
         &self,

@@ -26,6 +26,7 @@ pub mod loss;
 pub mod moe;
 pub mod optim;
 pub mod param;
+pub mod scratch;
 pub mod serialize;
 pub mod tensor;
 pub mod transformer;
@@ -38,6 +39,7 @@ pub use linear::Linear;
 pub use moe::{GatingKind, MoEFoundation};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{Grads, ParamId, ParamSet};
+pub use scratch::Scratch;
 pub use tensor::Matrix;
 pub use transformer::{TransformerConfig, TransformerEncoder};
 
@@ -48,6 +50,7 @@ pub mod prelude {
     pub use crate::linear::Linear;
     pub use crate::optim::{Adam, Optimizer, Sgd};
     pub use crate::param::{Grads, ParamId, ParamSet};
+    pub use crate::scratch::Scratch;
     pub use crate::tensor::Matrix;
     pub use crate::transformer::{TransformerConfig, TransformerEncoder};
 }

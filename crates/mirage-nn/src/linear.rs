@@ -45,9 +45,18 @@ impl Linear {
 
     /// Forward pass over a batch of row vectors.
     pub fn forward(&self, ps: &ParamSet, x: &Matrix) -> (Matrix, LinearCache) {
-        debug_assert_eq!(x.cols(), self.in_dim, "linear input width mismatch");
-        let y = x.matmul(ps.get(self.w)).add_row_broadcast(ps.get(self.b));
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(ps, x, &mut y);
         (y, LinearCache { x: x.clone() })
+    }
+
+    /// Inference-only forward into a caller-provided buffer: no cache, no
+    /// allocation once `out` is warm. Bit-identical to
+    /// [`Linear::forward`].
+    pub fn forward_into(&self, ps: &ParamSet, x: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(x.cols(), self.in_dim, "linear input width mismatch");
+        x.matmul_into(ps.get(self.w), out);
+        out.add_row_in_place(ps.get(self.b));
     }
 
     /// Backward pass: accumulates `dW = xᵀ dy`, `db = Σ_rows dy` and

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::attention::softmax_rows_backward;
 use crate::linear::{Linear, LinearCache};
 use crate::param::{Grads, ParamSet};
+use crate::scratch::Scratch;
 use crate::tensor::Matrix;
 use crate::transformer::{TransformerCache, TransformerConfig, TransformerEncoder};
 
@@ -126,6 +127,36 @@ impl MoEFoundation {
         )
     }
 
+    /// Inference-only forward into a caller-provided `1 × d_model`
+    /// buffer, temporaries from `scratch`: no cache, no allocation once
+    /// the arena is warm. Bit-identical to [`MoEFoundation::forward`].
+    pub fn forward_into(&self, ps: &ParamSet, x: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+        let mut flat = scratch.take(1, self.cfg.seq_len * self.cfg.input_dim);
+        flatten_padded_into(x, self.cfg.input_dim, &mut flat);
+        let mut gate_probs = scratch.take(1, self.experts.len());
+        self.gate.forward_into(ps, &flat, &mut gate_probs);
+        gate_probs.softmax_rows_in_place();
+
+        out.reset(1, self.out_dim());
+        let mut feat = scratch.take(1, self.out_dim());
+        match self.kind {
+            GatingKind::Dense => {
+                for (e, expert) in self.experts.iter().enumerate() {
+                    expert.forward_into(ps, x, &mut feat, scratch);
+                    out.add_scaled(&feat, gate_probs.get(0, e));
+                }
+            }
+            GatingKind::TopOne => {
+                let best = gate_probs.argmax();
+                self.experts[best].forward_into(ps, x, &mut feat, scratch);
+                out.add_scaled(&feat, gate_probs.get(0, best));
+            }
+        }
+        scratch.give(feat);
+        scratch.give(gate_probs);
+        scratch.give(flat);
+    }
+
     /// Backward pass; accumulates gate and (active) expert gradients and
     /// returns `dx`.
     pub fn backward(
@@ -166,12 +197,18 @@ impl MoEFoundation {
 /// missing rows.
 fn flatten_padded(x: &Matrix, seq_len: usize, width: usize) -> Matrix {
     let mut flat = Matrix::zeros(1, seq_len * width);
+    flatten_padded_into(x, width, &mut flat);
+    flat
+}
+
+/// Flattening kernel shared with the inference path: writes into a
+/// pre-shaped `1 × (seq_len·width)` buffer (already zeroed).
+fn flatten_padded_into(x: &Matrix, width: usize, flat: &mut Matrix) {
     for r in 0..x.rows() {
         for c in 0..x.cols() {
             flat.set(0, r * width + c, x.get(r, c));
         }
     }
-    flat
 }
 
 #[cfg(test)]

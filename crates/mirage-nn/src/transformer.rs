@@ -14,6 +14,7 @@ use crate::attention::{AttentionCache, MultiHeadAttention};
 use crate::layernorm::{LayerNorm, LayerNormCache};
 use crate::linear::{Linear, LinearCache};
 use crate::param::{Grads, ParamSet};
+use crate::scratch::Scratch;
 use crate::tensor::Matrix;
 
 /// Transformer encoder hyperparameters.
@@ -105,6 +106,38 @@ impl EncoderLayer {
                 c_ff2,
             },
         )
+    }
+
+    /// Inference-only layer forward into `out`, temporaries from
+    /// `scratch`. Bit-identical to [`EncoderLayer::forward`].
+    fn forward_into(&self, ps: &ParamSet, x: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+        let (seq, d) = x.shape();
+        let mut n1 = scratch.take(seq, d);
+        self.ln1.forward_into(ps, x, &mut n1);
+        let mut a = scratch.take(seq, d);
+        self.attn.forward_into(ps, &n1, &mut a, scratch);
+        // h = x + a
+        let mut h = scratch.take(seq, d);
+        h.copy_from(x);
+        h.add_assign(&a);
+        let mut n2 = scratch.take(seq, d);
+        self.ln2.forward_into(ps, &h, &mut n2);
+        let mut f1 = scratch.take(seq, self.ff1.out_dim);
+        self.ff1.forward_into(ps, &n2, &mut f1);
+        self.act.apply_in_place(&mut f1);
+        // y = h + FFN(…): ff2 lands in `out`, then the residual is added
+        // via a borrowed buffer so the operand order matches `h.add(&f2)`.
+        self.ff2.forward_into(ps, &f1, out);
+        let mut y = scratch.take(0, 0);
+        y.copy_from(&h);
+        y.add_assign(out);
+        std::mem::swap(&mut y, out);
+        scratch.give(y);
+        scratch.give(f1);
+        scratch.give(n2);
+        scratch.give(h);
+        scratch.give(a);
+        scratch.give(n1);
     }
 
     fn backward(
@@ -205,6 +238,34 @@ impl TransformerEncoder {
                 seq: x.rows(),
             },
         )
+    }
+
+    /// Inference-only encode into a caller-provided `1 × d_model` buffer,
+    /// with every temporary drawn from `scratch`: no cache, no allocation
+    /// once the arena is warm. Bit-identical to
+    /// [`TransformerEncoder::forward`].
+    pub fn forward_into(&self, ps: &ParamSet, x: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+        assert_eq!(x.cols(), self.cfg.input_dim, "state row width mismatch");
+        assert!(
+            x.rows() <= self.cfg.seq_len,
+            "sequence longer than configured"
+        );
+        let mut h = scratch.take(x.rows(), self.cfg.d_model);
+        self.embed.forward_into(ps, x, &mut h);
+        // e + positional encoding, in the same element order as `forward`.
+        for r in 0..h.rows() {
+            for (hv, &pv) in h.row_mut(r).iter_mut().zip(self.pos.row(r)) {
+                *hv += pv;
+            }
+        }
+        let mut next = scratch.take(x.rows(), self.cfg.d_model);
+        for layer in &self.layers {
+            layer.forward_into(ps, &h, &mut next, scratch);
+            std::mem::swap(&mut h, &mut next);
+        }
+        h.mean_rows_into(out);
+        scratch.give(next);
+        scratch.give(h);
     }
 
     /// Backward from the pooled feature gradient (`1 × d_model`).

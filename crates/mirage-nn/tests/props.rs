@@ -1,7 +1,9 @@
 //! Property-based tests for the tensor and layer algebra.
 
+use mirage_nn::foundation::{FoundationKind, FoundationNet};
 use mirage_nn::tensor::Matrix;
-use mirage_nn::{Activation, Grads, LayerNorm, Linear, ParamSet};
+use mirage_nn::transformer::TransformerConfig;
+use mirage_nn::{Activation, Grads, LayerNorm, Linear, ParamSet, Scratch};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -88,6 +90,70 @@ proptest! {
         for act in [Activation::Relu, Activation::Tanh, Activation::Identity] {
             prop_assert!(act.apply(lo) <= act.apply(hi) + 1e-6);
         }
+    }
+
+    /// `forward_into` + a reused [`Scratch`] matches the allocating,
+    /// cache-returning `forward` **bit for bit** across random shapes and
+    /// parameter seeds — the inference fast path must never drift from the
+    /// training path.
+    #[test]
+    fn forward_into_matches_forward_bitwise(
+        seed in 0u64..1_000,
+        seq in 1usize..6,
+        d_sel in 0usize..2,
+        layers in 1usize..3,
+        experts in 1usize..4,
+    ) {
+        let d_model = [4usize, 8][d_sel];
+        let cfg = TransformerConfig {
+            input_dim: 5,
+            seq_len: 6,
+            d_model,
+            heads: 2,
+            layers,
+            ff_mult: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        // One scratch reused across kinds AND iterations: stale contents
+        // from previous takes must never leak into results.
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        for kind in [
+            FoundationKind::Transformer,
+            FoundationKind::MoE { experts },
+            FoundationKind::MoETopOne { experts },
+        ] {
+            let mut ps = ParamSet::new();
+            let net = FoundationNet::new(&mut ps, "f", kind, cfg, &mut rng);
+            let x = Matrix::xavier(seq, 5, &mut rng);
+            let (reference, _cache) = net.forward(&ps, &x);
+            net.forward_into(&ps, &x, &mut out, &mut scratch);
+            prop_assert_eq!(&out, &reference, "kind {:?}", kind);
+            // Second pass on the warm scratch must be identical too.
+            net.forward_into(&ps, &x, &mut out, &mut scratch);
+            prop_assert_eq!(&out, &reference, "warm rerun, kind {:?}", kind);
+        }
+    }
+
+    /// The blocked `matmul_into` equals the definitionally-simple triple
+    /// loop bit for bit (the accumulation order contract).
+    #[test]
+    fn blocked_matmul_matches_naive_accumulation(
+        m in 1usize..7, k in 1usize..260, n in 1usize..140, seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::xavier(m, k, &mut rng);
+        let b = Matrix::xavier(k, n, &mut rng);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        let naive = Matrix::from_fn(m, n, |r, c| {
+            let mut acc = 0.0f32;
+            for i in 0..k {
+                acc += a.get(r, i) * b.get(i, c);
+            }
+            acc
+        });
+        prop_assert_eq!(out, naive);
     }
 
     /// Gradient accumulation is commutative: merge(a, b) == merge(b, a).

@@ -9,12 +9,13 @@
 use mirage_nn::loss::huber;
 use mirage_nn::optim::{Adam, Optimizer};
 use mirage_nn::param::Grads;
+use mirage_nn::scratch::Scratch;
 use mirage_nn::tensor::Matrix;
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::dualhead::DualHeadNet;
+use crate::dualhead::{ActionEncoding, DualHeadNet};
 use crate::replay::Experience;
 use crate::schedule::EpsilonSchedule;
 
@@ -61,6 +62,9 @@ pub struct DqnAgent {
     /// Environment steps taken (drives ε decay).
     pub steps: u64,
     train_steps: u64,
+    /// Reusable inference buffers: serving-time decisions allocate
+    /// nothing once this arena is warm.
+    scratch: Scratch,
 }
 
 impl DqnAgent {
@@ -75,6 +79,7 @@ impl DqnAgent {
             cfg,
             steps: 0,
             train_steps: 0,
+            scratch: Scratch::new(),
         }
     }
 
@@ -89,21 +94,88 @@ impl DqnAgent {
         if rng.gen::<f32>() < self.epsilon() {
             rng.gen_range(0..2)
         } else {
-            self.net.greedy_action(state)
+            self.act_greedy(state)
         }
     }
 
     /// Greedy action (serving-time policy, §4.4: submit only when
-    /// Q(submit) exceeds Q(no-submit)).
-    pub fn act_greedy(&self, state: &Matrix) -> usize {
-        self.net.greedy_action(state)
+    /// Q(submit) exceeds Q(no-submit)). Runs the allocation-free
+    /// `q_values` fast path against the agent's own scratch arena.
+    pub fn act_greedy(&mut self, state: &Matrix) -> usize {
+        let q = self.net.q_values(state, &mut self.scratch);
+        usize::from(q[1] > q[0])
+    }
+
+    /// Bootstrap targets for a mini-batch: foundation features of every
+    /// non-terminal next-state are stacked into one matrix so the Q-head
+    /// runs as a **single matmul** over the whole batch instead of
+    /// row-at-a-time calls. Numerically identical to per-sample
+    /// `q_forward` (each stacked row accumulates in the same order).
+    fn batch_targets(&mut self, batch: &[&Experience]) -> Vec<f32> {
+        let bootstrap = self.target.as_ref().unwrap_or(&self.net);
+        let scratch = &mut self.scratch;
+        let gamma = self.cfg.gamma;
+        let d = bootstrap.foundation.out_dim();
+        let rows_per = match bootstrap.cfg.action_encoding {
+            ActionEncoding::TwoHead => 1,
+            ActionEncoding::OrdinalInput => 2,
+        };
+
+        let mut targets: Vec<f32> = batch.iter().map(|e| e.reward).collect();
+        let with_next: Vec<usize> = (0..batch.len())
+            .filter(|&i| batch[i].next_state.is_some() && !batch[i].done)
+            .collect();
+        if with_next.is_empty() {
+            return targets;
+        }
+
+        let mut feats = scratch.take(with_next.len() * rows_per, d);
+        let mut feat = scratch.take(1, d);
+        let mut aug = scratch.take(0, 0);
+        for (j, &i) in with_next.iter().enumerate() {
+            let next = batch[i].next_state.as_ref().expect("filtered above");
+            match bootstrap.cfg.action_encoding {
+                ActionEncoding::TwoHead => {
+                    bootstrap
+                        .foundation
+                        .forward_into(&bootstrap.ps, next, &mut feat, scratch);
+                    feats.row_mut(j).copy_from_slice(feat.row(0));
+                }
+                ActionEncoding::OrdinalInput => {
+                    for (a, ordinal) in [-1.0f32, 1.0].iter().enumerate() {
+                        bootstrap.augment_into(next, *ordinal, &mut aug);
+                        bootstrap
+                            .foundation
+                            .forward_into(&bootstrap.ps, &aug, &mut feat, scratch);
+                        feats.row_mut(j * 2 + a).copy_from_slice(feat.row(0));
+                    }
+                }
+            }
+        }
+        let mut qs = scratch.take(feats.rows(), bootstrap.q_head.out_dim);
+        bootstrap
+            .q_head
+            .forward_into(&bootstrap.ps, &feats, &mut qs);
+        for (j, &i) in with_next.iter().enumerate() {
+            let (q0, q1) = match bootstrap.cfg.action_encoding {
+                ActionEncoding::TwoHead => (qs.get(j, 0), qs.get(j, 1)),
+                ActionEncoding::OrdinalInput => (qs.get(j * 2, 0), qs.get(j * 2 + 1, 0)),
+            };
+            targets[i] += gamma * q0.max(q1);
+        }
+        scratch.give(qs);
+        scratch.give(aug);
+        scratch.give(feat);
+        scratch.give(feats);
+        targets
     }
 
     /// One mini-batch update; returns the mean TD loss.
     pub fn train_batch(&mut self, batch: &[&Experience]) -> f32 {
         assert!(!batch.is_empty(), "empty training batch");
-        let bootstrap_net = self.target.as_ref().unwrap_or(&self.net);
-        let gamma = self.cfg.gamma;
+        // Bootstrap targets first (batched, inference-only), then the
+        // per-sample gradient passes against the online network.
+        let targets = self.batch_targets(batch);
         let delta = self.cfg.huber_delta;
         let net = &self.net;
 
@@ -112,17 +184,11 @@ impl DqnAgent {
         // merge order — and therefore training — is deterministic.
         let per_sample: Vec<(f32, Grads)> = batch
             .par_iter()
-            .map(|e| {
+            .enumerate()
+            .map(|(i, e)| {
                 let (q, cache) = net.q_forward(&e.state);
-                let target = match (&e.next_state, e.done) {
-                    (Some(next), false) => {
-                        let (qn, _) = bootstrap_net.q_forward(next);
-                        e.reward + gamma * qn[0].max(qn[1])
-                    }
-                    _ => e.reward,
-                };
                 let pred = Matrix::row_vector(vec![q[e.action]]);
-                let tgt = Matrix::row_vector(vec![target]);
+                let tgt = Matrix::row_vector(vec![targets[i]]);
                 let (loss, dl) = huber(&pred, &tgt, delta);
                 let mut dq = [0.0f32; 2];
                 dq[e.action] = dl.get(0, 0);
@@ -197,7 +263,7 @@ mod tests {
         rb
     }
 
-    fn bandit_accuracy(agent: &DqnAgent, seed: u64, trials: usize) -> f64 {
+    fn bandit_accuracy(agent: &mut DqnAgent, seed: u64, trials: usize) -> f64 {
         let mut env = SignBandit::new(seed, 2, 3);
         let mut correct = 0;
         let mut state = env.reset();
@@ -221,12 +287,12 @@ mod tests {
         );
         let rb = bandit_buffer(1, 512);
         let mut rng = StdRng::seed_from_u64(2);
-        let before = bandit_accuracy(&agent, 99, 100);
+        let before = bandit_accuracy(&mut agent, 99, 100);
         for _ in 0..150 {
             let batch = rb.sample(&mut rng, 16);
             agent.train_batch(&batch);
         }
-        let after = bandit_accuracy(&agent, 99, 100);
+        let after = bandit_accuracy(&mut agent, 99, 100);
         assert!(
             after > 0.85,
             "DQN should solve the bandit: before {before:.2}, after {after:.2}"
@@ -248,7 +314,7 @@ mod tests {
             let batch = rb.sample(&mut rng, 16);
             agent.train_batch(&batch);
         }
-        let acc = bandit_accuracy(&agent, 11, 100);
+        let acc = bandit_accuracy(&mut agent, 11, 100);
         assert!(acc > 0.8, "ordinal-input DQN accuracy {acc:.2}");
     }
 

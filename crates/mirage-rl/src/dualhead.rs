@@ -21,6 +21,7 @@
 use mirage_nn::foundation::{FoundationCache, FoundationKind, FoundationNet};
 use mirage_nn::linear::{Linear, LinearCache};
 use mirage_nn::param::{Grads, ParamSet};
+use mirage_nn::scratch::Scratch;
 use mirage_nn::tensor::Matrix;
 use mirage_nn::transformer::TransformerConfig;
 use rand::rngs::StdRng;
@@ -140,14 +141,24 @@ impl DualHeadNet {
         match self.cfg.action_encoding {
             ActionEncoding::TwoHead => state.clone(),
             ActionEncoding::OrdinalInput => {
-                Matrix::from_fn(state.rows(), state.cols() + 1, |r, c| {
-                    if c < state.cols() {
-                        state.get(r, c)
-                    } else {
-                        ordinal
-                    }
-                })
+                let mut out = Matrix::zeros(0, 0);
+                self.augment_into(state, ordinal, &mut out);
+                out
             }
+        }
+    }
+
+    /// Writes `state` with the ordinal action column appended into `out`
+    /// (no allocation once warm). Only meaningful under
+    /// [`ActionEncoding::OrdinalInput`]; the two-head encoding feeds the
+    /// state to the foundation unmodified.
+    pub fn augment_into(&self, state: &Matrix, ordinal: f32, out: &mut Matrix) {
+        out.reset(state.rows(), state.cols() + 1);
+        for r in 0..state.rows() {
+            for c in 0..state.cols() {
+                out.set(r, c, state.get(r, c));
+            }
+            out.set(r, state.cols(), ordinal);
         }
     }
 
@@ -251,7 +262,73 @@ impl DualHeadNet {
             .backward(&self.ps, &cache.f_cache, &d_feat, grads);
     }
 
-    /// Greedy action under the Q function.
+    /// Inference-only Q-values: no caches, every temporary drawn from
+    /// `scratch`, zero allocations once the arena is warm. Bit-identical
+    /// to [`DualHeadNet::q_forward`].
+    pub fn q_values(&self, state: &Matrix, scratch: &mut Scratch) -> [f32; 2] {
+        let d = self.foundation.out_dim();
+        match self.cfg.action_encoding {
+            ActionEncoding::TwoHead => {
+                let mut feat = scratch.take(1, d);
+                self.foundation
+                    .forward_into(&self.ps, state, &mut feat, scratch);
+                let mut q = scratch.take(1, 2);
+                self.q_head.forward_into(&self.ps, &feat, &mut q);
+                let vals = [q.get(0, 0), q.get(0, 1)];
+                scratch.give(q);
+                scratch.give(feat);
+                vals
+            }
+            ActionEncoding::OrdinalInput => {
+                let mut vals = [0.0f32; 2];
+                let mut aug = scratch.take(state.rows(), state.cols() + 1);
+                let mut feat = scratch.take(1, d);
+                let mut q = scratch.take(1, 1);
+                for (i, ordinal) in [-1.0f32, 1.0].iter().enumerate() {
+                    self.augment_into(state, *ordinal, &mut aug);
+                    self.foundation
+                        .forward_into(&self.ps, &aug, &mut feat, scratch);
+                    self.q_head.forward_into(&self.ps, &feat, &mut q);
+                    vals[i] = q.get(0, 0);
+                }
+                scratch.give(q);
+                scratch.give(feat);
+                scratch.give(aug);
+                vals
+            }
+        }
+    }
+
+    /// Inference-only action probabilities (softmaxed P-head output):
+    /// zero allocations once `scratch` is warm, bit-identical to
+    /// [`DualHeadNet::action_probs`].
+    pub fn p_probs(&self, state: &Matrix, scratch: &mut Scratch) -> [f32; 2] {
+        let d = self.foundation.out_dim();
+        let mut feat = scratch.take(1, d);
+        match self.cfg.action_encoding {
+            ActionEncoding::TwoHead => {
+                self.foundation
+                    .forward_into(&self.ps, state, &mut feat, scratch);
+            }
+            ActionEncoding::OrdinalInput => {
+                let mut aug = scratch.take(state.rows(), state.cols() + 1);
+                self.augment_into(state, 0.0, &mut aug);
+                self.foundation
+                    .forward_into(&self.ps, &aug, &mut feat, scratch);
+                scratch.give(aug);
+            }
+        }
+        let mut logits = scratch.take(1, 2);
+        self.p_head.forward_into(&self.ps, &feat, &mut logits);
+        logits.softmax_rows_in_place();
+        let probs = [logits.get(0, 0), logits.get(0, 1)];
+        scratch.give(logits);
+        scratch.give(feat);
+        probs
+    }
+
+    /// Greedy action under the Q function (allocating compatibility
+    /// wrapper; the agents use [`DualHeadNet::q_values`] with a scratch).
     pub fn greedy_action(&self, state: &Matrix) -> usize {
         let (q, _) = self.q_forward(state);
         usize::from(q[1] > q[0])
@@ -355,6 +432,29 @@ mod tests {
         let ids: Vec<_> = grads.iter().map(|(id, _)| id).collect();
         let mut ps = net.ps.clone();
         check_gradients(&mut ps, &ids, loss_fn, &grads, 1e-2, 5e-2).unwrap();
+    }
+
+    #[test]
+    fn scratch_inference_matches_cached_forward_bitwise() {
+        // The serving-time fast path (q_values/p_probs + Scratch) must
+        // never drift from the training path, across encodings,
+        // foundations and warm-scratch reuse.
+        let mut scratch = mirage_nn::Scratch::new();
+        for enc in [ActionEncoding::TwoHead, ActionEncoding::OrdinalInput] {
+            for kind in [
+                FoundationKind::Transformer,
+                FoundationKind::MoE { experts: 2 },
+            ] {
+                let net = DualHeadNet::new(tiny_cfg(enc, kind));
+                for seed in 0..4 {
+                    let s = state(seed);
+                    let (q_ref, _) = net.q_forward(&s);
+                    assert_eq!(net.q_values(&s, &mut scratch), q_ref, "{enc:?}/{kind:?}");
+                    let p_ref = net.action_probs(&s);
+                    assert_eq!(net.p_probs(&s, &mut scratch), p_ref, "{enc:?}/{kind:?}");
+                }
+            }
+        }
     }
 
     #[test]

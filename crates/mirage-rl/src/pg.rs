@@ -9,6 +9,7 @@
 use mirage_nn::loss::policy_gradient_loss;
 use mirage_nn::optim::{Adam, Optimizer};
 use mirage_nn::param::Grads;
+use mirage_nn::scratch::Scratch;
 use mirage_nn::tensor::Matrix;
 use rand::Rng;
 use rayon::prelude::*;
@@ -61,6 +62,9 @@ pub struct PgAgent {
     baseline_initialized: bool,
     /// Episodes consumed so far.
     pub episodes: u64,
+    /// Reusable inference buffers: serving-time decisions allocate
+    /// nothing once this arena is warm.
+    scratch: Scratch,
 }
 
 impl PgAgent {
@@ -74,6 +78,7 @@ impl PgAgent {
             baseline: 0.0,
             baseline_initialized: false,
             episodes: 0,
+            scratch: Scratch::new(),
         }
     }
 
@@ -82,15 +87,16 @@ impl PgAgent {
         self.baseline
     }
 
-    /// Samples an action from the policy distribution.
-    pub fn act(&self, state: &Matrix, rng: &mut impl Rng) -> usize {
-        let p = self.net.action_probs(state);
+    /// Samples an action from the policy distribution (allocation-free
+    /// `p_probs` fast path against the agent's scratch arena).
+    pub fn act(&mut self, state: &Matrix, rng: &mut impl Rng) -> usize {
+        let p = self.net.p_probs(state, &mut self.scratch);
         usize::from(rng.gen::<f32>() >= p[0])
     }
 
     /// Most-probable action (used for deterministic evaluation).
-    pub fn act_greedy(&self, state: &Matrix) -> usize {
-        let p = self.net.action_probs(state);
+    pub fn act_greedy(&mut self, state: &Matrix) -> usize {
+        let p = self.net.p_probs(state, &mut self.scratch);
         usize::from(p[1] > p[0])
     }
 
@@ -193,7 +199,7 @@ mod tests {
     }
 
     fn collect_episodes(
-        agent: &PgAgent,
+        agent: &mut PgAgent,
         env: &mut SignBandit,
         rng: &mut StdRng,
         n: usize,
@@ -211,7 +217,7 @@ mod tests {
             .collect()
     }
 
-    fn accuracy(agent: &PgAgent, seed: u64, trials: usize) -> f64 {
+    fn accuracy(agent: &mut PgAgent, seed: u64, trials: usize) -> f64 {
         let mut env = SignBandit::new(seed, 2, 3);
         let mut ok = 0;
         for _ in 0..trials {
@@ -235,10 +241,10 @@ mod tests {
         let mut env = SignBandit::new(22, 2, 3);
         let mut rng = StdRng::seed_from_u64(23);
         for _ in 0..120 {
-            let eps = collect_episodes(&agent, &mut env, &mut rng, 16);
+            let eps = collect_episodes(&mut agent, &mut env, &mut rng, 16);
             agent.train_episodes(&eps);
         }
-        let acc = accuracy(&agent, 99, 100);
+        let acc = accuracy(&mut agent, 99, 100);
         assert!(acc > 0.85, "PG should solve the bandit, got {acc:.2}");
     }
 
@@ -254,10 +260,10 @@ mod tests {
         let mut env = SignBandit::new(32, 2, 3);
         let mut rng = StdRng::seed_from_u64(33);
         for _ in 0..120 {
-            let eps = collect_episodes(&agent, &mut env, &mut rng, 16);
+            let eps = collect_episodes(&mut agent, &mut env, &mut rng, 16);
             agent.train_episodes(&eps);
         }
-        let acc = accuracy(&agent, 98, 100);
+        let acc = accuracy(&mut agent, 98, 100);
         assert!(acc > 0.8, "MoE+PG accuracy {acc:.2}");
     }
 
@@ -287,7 +293,7 @@ mod tests {
 
     #[test]
     fn sampling_follows_the_policy_distribution() {
-        let agent = PgAgent::new(
+        let mut agent = PgAgent::new(
             tiny_net(FoundationKind::Transformer, 51),
             PgConfig::default(),
         );

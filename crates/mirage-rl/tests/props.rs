@@ -77,7 +77,7 @@ proptest! {
     /// PG action sampling frequency tracks the policy distribution.
     #[test]
     fn pg_sampling_matches_probs(seed in 0u64..100) {
-        let agent = PgAgent::new(tiny_net(seed), PgConfig::default());
+        let mut agent = PgAgent::new(tiny_net(seed), PgConfig::default());
         let state = Matrix::zeros(2, 3);
         let p = agent.net.action_probs(&state);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xF00);

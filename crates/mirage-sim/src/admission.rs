@@ -52,7 +52,14 @@ impl RecentStarts {
     const CAP: usize = 4096;
 
     /// Records a dispatch at `now` of a job that waited `wait` seconds.
+    ///
+    /// The backing ring is reserved to its cap on first use so the hot
+    /// loop never grows it — start recording is on the simulator's
+    /// steady-state (allocation-free) path.
     pub(crate) fn record(&mut self, now: i64, wait: i64) {
+        if self.log.capacity() <= Self::CAP {
+            self.log.reserve(Self::CAP + 1 - self.log.len());
+        }
         self.log.push_back((now, wait));
         if self.log.len() > Self::CAP {
             self.log.pop_front();

@@ -59,6 +59,16 @@ pub trait ClusterBackend {
     /// Observable cluster state at the current instant.
     fn sample(&self) -> ClusterSnapshot;
 
+    /// Observable cluster state written into a caller-provided snapshot,
+    /// reusing its `queued`/`running` vectors so the steady-state decision
+    /// loop samples without allocating. The result must equal a fresh
+    /// [`sample`](Self::sample) — stale contents of `out` are overwritten.
+    /// The default just delegates; concrete backends override with a
+    /// buffer-reusing implementation.
+    fn sample_into(&self, out: &mut ClusterSnapshot) {
+        *out = self.sample();
+    }
+
     /// Lifecycle status of a job by id.
     fn status(&self, id: u64) -> Option<JobStatus>;
 
@@ -115,6 +125,9 @@ impl<T: ClusterBackend + ?Sized> ClusterBackend for &mut T {
     fn sample(&self) -> ClusterSnapshot {
         (**self).sample()
     }
+    fn sample_into(&self, out: &mut ClusterSnapshot) {
+        (**self).sample_into(out);
+    }
     fn status(&self, id: u64) -> Option<JobStatus> {
         (**self).status(id)
     }
@@ -163,6 +176,9 @@ impl ClusterBackend for Simulator {
     fn sample(&self) -> ClusterSnapshot {
         Simulator::sample(self)
     }
+    fn sample_into(&self, out: &mut ClusterSnapshot) {
+        Simulator::sample_into(self, out);
+    }
     fn status(&self, id: u64) -> Option<JobStatus> {
         self.job_status(id)
     }
@@ -210,6 +226,9 @@ impl ClusterBackend for ReferenceSimulator {
     }
     fn sample(&self) -> ClusterSnapshot {
         ReferenceSimulator::sample(self)
+    }
+    fn sample_into(&self, out: &mut ClusterSnapshot) {
+        ReferenceSimulator::sample_into(self, out);
     }
     fn status(&self, id: u64) -> Option<JobStatus> {
         self.job_status(id)
@@ -293,6 +312,9 @@ impl ClusterBackend for AnyBackend {
     }
     fn sample(&self) -> ClusterSnapshot {
         any_dispatch!(self, b => b.sample())
+    }
+    fn sample_into(&self, out: &mut ClusterSnapshot) {
+        any_dispatch!(self, b => b.sample_into(out))
     }
     fn status(&self, id: u64) -> Option<JobStatus> {
         any_dispatch!(self, b => b.job_status(id))

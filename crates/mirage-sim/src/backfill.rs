@@ -59,7 +59,16 @@ struct Reservation {
     extra: u32,
 }
 
-/// Decides which pending jobs start now.
+/// Reusable working memory for [`plan_schedule_into`], so the per-event
+/// scheduling pass allocates nothing once warm.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    releases: Vec<(i64, u32)>,
+    reservations: Vec<Reservation>,
+}
+
+/// Decides which pending jobs start now (allocating convenience wrapper
+/// around [`plan_schedule_into`]).
 ///
 /// * `pending` must be sorted by descending priority.
 /// * `running` holds `(estimated_release_time, nodes)` of running jobs;
@@ -74,9 +83,40 @@ pub fn plan_schedule(
     running: &[(i64, u32)],
     policy: BackfillPolicy,
 ) -> Vec<usize> {
-    let mut free = free_nodes;
     let mut starts = Vec::new();
-    let mut releases: Vec<(i64, u32)> = running.to_vec();
+    let mut scratch = PlanScratch::default();
+    plan_schedule_into(
+        pending,
+        free_nodes,
+        total_nodes,
+        now,
+        running,
+        policy,
+        &mut scratch,
+        &mut starts,
+    );
+    starts
+}
+
+/// [`plan_schedule`] writing into caller-provided buffers: `starts` is
+/// cleared and filled with the pending indices to start, `scratch` holds
+/// the plan's working vectors for reuse across passes.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_schedule_into(
+    pending: &[PendingView],
+    free_nodes: u32,
+    total_nodes: u32,
+    now: i64,
+    running: &[(i64, u32)],
+    policy: BackfillPolicy,
+    scratch: &mut PlanScratch,
+    starts: &mut Vec<usize>,
+) {
+    let mut free = free_nodes;
+    starts.clear();
+    let releases = &mut scratch.releases;
+    releases.clear();
+    releases.extend_from_slice(running);
 
     // Phase 1: strict priority order until the first blocked job.
     let mut head = None;
@@ -92,20 +132,21 @@ pub fn plan_schedule(
     }
 
     let Some(head) = head else {
-        return starts; // everything fit
+        return; // everything fit
     };
     let BackfillPolicy::Easy { reserve_depth } = policy else {
-        return starts; // no backfill: stop at the blocked head
+        return; // no backfill: stop at the blocked head
     };
 
     releases.sort_unstable();
 
-    // Phase 2: reservations for the top `reserve_depth` blocked jobs.
-    // Later reservations pessimistically assume earlier reserved jobs hold
-    // their nodes forever (documented simplification; exact for depth 1).
-    let mut reservations: Vec<Reservation> = Vec::new();
-    let blocked: Vec<usize> = (head..pending.len()).collect();
-    for &bi in blocked.iter().take(reserve_depth.max(1)) {
+    // Phase 2: reservations for the top `reserve_depth` blocked jobs
+    // (`head..pending.len()` is the blocked range). Later reservations
+    // pessimistically assume earlier reserved jobs hold their nodes
+    // forever (documented simplification; exact for depth 1).
+    let reservations = &mut scratch.reservations;
+    reservations.clear();
+    for bi in (head..pending.len()).take(reserve_depth.max(1)) {
         let need = pending[bi].nodes;
         if need > total_nodes {
             // Can never run; don't let it wedge the reservation chain.
@@ -114,17 +155,16 @@ pub fn plan_schedule(
         let mut avail = free;
         // Deduct nodes promised to earlier reservations from all future
         // availability (pessimistic for depth > 1, exact for depth 1).
-        let promised: u32 = blocked
-            .iter()
+        let promised: u32 = (head..pending.len())
             .take(reservations.len())
-            .map(|&j| pending[j].nodes)
+            .map(|j| pending[j].nodes)
             .sum();
         let mut shadow = now;
         let mut found = false;
         if avail.saturating_sub(promised) >= need {
             found = true;
         } else {
-            for &(t, n) in &releases {
+            for &(t, n) in releases.iter() {
                 avail += n;
                 if avail.saturating_sub(promised) >= need {
                     shadow = t;
@@ -143,8 +183,9 @@ pub fn plan_schedule(
     }
 
     // Phase 3: try to backfill every blocked job that has no reservation.
-    let reserved_count = reservations.len().min(blocked.len());
-    for &bi in blocked.iter().skip(reserved_count) {
+    let blocked_len = pending.len() - head;
+    let reserved_count = reservations.len().min(blocked_len);
+    for bi in (head..pending.len()).skip(reserved_count) {
         let p = pending[bi];
         if p.nodes > free {
             continue;
@@ -165,7 +206,6 @@ pub fn plan_schedule(
             starts.push(bi);
         }
     }
-    starts
 }
 
 #[cfg(test)]

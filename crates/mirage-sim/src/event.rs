@@ -48,6 +48,14 @@ impl EventQueue {
             .push(Reverse((ev.time, ev.kind, self.seq, ev.job)));
     }
 
+    /// Ensures capacity for at least `cap` outstanding events, so pushes
+    /// on the steady-state path never grow the heap.
+    pub fn reserve_total(&mut self, cap: usize) {
+        if self.heap.capacity() < cap {
+            self.heap.reserve(cap - self.heap.len());
+        }
+    }
+
     /// Timestamp of the next event, if any.
     pub fn peek_time(&self) -> Option<i64> {
         self.heap.peek().map(|Reverse((t, _, _, _))| *t)

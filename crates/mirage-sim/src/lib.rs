@@ -55,7 +55,7 @@ pub mod snapshot;
 pub use backend::{
     AnyBackend, BackendFactory, BackendKind, BackendPool, ClusterBackend, SimBuilder,
 };
-pub use backfill::{plan_schedule, BackfillPolicy, PendingView};
+pub use backfill::{plan_schedule, plan_schedule_into, BackfillPolicy, PendingView, PlanScratch};
 pub use fidelity::{compare, run_both, run_both_backends, run_timed, FidelityReport};
 pub use metrics::SimMetrics;
 pub use priority::PriorityWeights;

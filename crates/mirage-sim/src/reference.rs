@@ -75,6 +75,9 @@ pub struct ReferenceSimulator {
     free_nodes: u32,
     jobs: Vec<JobRecord>,
     status: Vec<RefStatus>,
+    /// Per-job index into `running` while the job runs (kept current by
+    /// swap-remove fixups, mirroring the fast simulator's stored slot).
+    run_slot: Vec<usize>,
     arrivals: BinaryHeap<Reverse<(i64, usize)>>,
     completions: BinaryHeap<Reverse<(i64, usize)>>,
     pending: Vec<usize>,
@@ -88,6 +91,8 @@ pub struct ReferenceSimulator {
     last_sched: i64,
     last_backfill: i64,
     recent_starts: RecentStarts,
+    /// Arena indices of done jobs, kept `(end, id)`-sorted incrementally.
+    completed_order: Vec<usize>,
 }
 
 impl ReferenceSimulator {
@@ -100,6 +105,7 @@ impl ReferenceSimulator {
             free_nodes: free,
             jobs: Vec::new(),
             status: Vec::new(),
+            run_slot: Vec::new(),
             arrivals: BinaryHeap::new(),
             completions: BinaryHeap::new(),
             pending: Vec::new(),
@@ -114,6 +120,7 @@ impl ReferenceSimulator {
             last_sched: i64::MIN / 4,
             last_backfill: i64::MIN / 4,
             recent_starts: RecentStarts::default(),
+            completed_order: Vec::new(),
         }
     }
 
@@ -149,6 +156,7 @@ impl ReferenceSimulator {
         let idx = self.jobs.len();
         self.jobs.push(job);
         self.status.push(RefStatus::Future);
+        self.run_slot.push(usize::MAX);
         self.id_map.insert(id, idx);
         self.arrivals.push(Reverse((submit, idx)));
         id
@@ -191,46 +199,45 @@ impl ReferenceSimulator {
 
     /// Observable cluster state at the current instant.
     pub fn sample(&self) -> ClusterSnapshot {
-        let queued = self
-            .pending
-            .iter()
-            .map(|&i| {
-                let r = &self.jobs[i];
-                QueuedJobView {
-                    id: r.id,
-                    nodes: r.nodes,
-                    submit: r.submit,
-                    age: self.now - r.submit,
-                    timelimit: r.timelimit,
-                    user: r.user,
-                }
-            })
-            .collect();
-        let running = self
-            .running
-            .iter()
-            .map(|&i| {
-                let RefStatus::Running { start } = self.status[i] else {
-                    unreachable!("running list holds only running jobs");
-                };
-                let r = &self.jobs[i];
-                RunningJobView {
-                    id: r.id,
-                    nodes: r.nodes,
-                    start,
-                    elapsed: self.now - start,
-                    timelimit: r.timelimit,
-                    user: r.user,
-                }
-            })
-            .collect();
-        ClusterSnapshot {
-            now: self.now,
-            free_nodes: self.free_nodes,
-            total_nodes: self.cfg.nodes,
-            queued,
-            running,
-        }
+        let mut snap = ClusterSnapshot::default();
+        self.sample_into(&mut snap);
+        snap
+    }
+
+    /// Observable cluster state written into a caller-provided snapshot,
+    /// reusing its `queued`/`running` vectors (same contract as
+    /// [`crate::Simulator::sample_into`]).
+    pub fn sample_into(&self, out: &mut ClusterSnapshot) {
+        out.now = self.now;
+        out.free_nodes = self.free_nodes;
+        out.total_nodes = self.cfg.nodes;
+        out.queued.clear();
+        out.queued.extend(self.pending.iter().map(|&i| {
+            let r = &self.jobs[i];
+            QueuedJobView {
+                id: r.id,
+                nodes: r.nodes,
+                submit: r.submit,
+                age: self.now - r.submit,
+                timelimit: r.timelimit,
+                user: r.user,
+            }
+        }));
+        out.running.clear();
+        out.running.extend(self.running.iter().map(|&i| {
+            let RefStatus::Running { start } = self.status[i] else {
+                unreachable!("running list holds only running jobs");
+            };
+            let r = &self.jobs[i];
+            RunningJobView {
+                id: r.id,
+                nodes: r.nodes,
+                start,
+                elapsed: self.now - start,
+                timelimit: r.timelimit,
+                user: r.user,
+            }
+        }));
     }
 
     /// Advances simulated time by `dt` seconds (non-positive `dt` is a
@@ -288,8 +295,26 @@ impl ReferenceSimulator {
             self.jobs[idx].start = Some(start);
             self.jobs[idx].end = Some(t);
             self.free_nodes += self.jobs[idx].nodes;
-            if let Some(pos) = self.running.iter().position(|&i| i == idx) {
-                self.running.swap_remove(pos);
+            // O(1) removal via the stored running slot (mirrors the fast
+            // simulator).
+            let slot = self.run_slot[idx];
+            debug_assert_eq!(self.running[slot], idx, "stale running slot");
+            self.running.swap_remove(slot);
+            if let Some(&moved) = self.running.get(slot) {
+                self.run_slot[moved] = slot;
+            }
+            // Keep the completion list `(end, id)`-sorted incrementally.
+            let id = self.jobs[idx].id;
+            self.completed_order.push(idx);
+            let mut i = self.completed_order.len() - 1;
+            while i > 0 {
+                let prev = self.completed_order[i - 1];
+                if self.jobs[prev].end == Some(t) && self.jobs[prev].id > id {
+                    self.completed_order.swap(i - 1, i);
+                    i -= 1;
+                } else {
+                    break;
+                }
             }
             let consumed = f64::from(self.jobs[idx].nodes) * (t - start) as f64;
             self.fairshare.record(self.jobs[idx].user, consumed);
@@ -386,6 +411,7 @@ impl ReferenceSimulator {
         let started: Vec<usize> = starts.iter().map(|&s| order[s]).collect();
         for &idx in &started {
             self.status[idx] = RefStatus::Running { start: self.now };
+            self.run_slot[idx] = self.running.len();
             self.running.push(idx);
             self.recent_starts
                 .record(self.now, self.now - self.jobs[idx].submit);
@@ -396,16 +422,13 @@ impl ReferenceSimulator {
         self.pending.retain(|i| !started.contains(i));
     }
 
-    /// Completed jobs (start/end filled), in completion order.
+    /// Completed jobs (start/end filled), ordered by `(end, id)` — a
+    /// single pass over the incrementally maintained completion list.
     pub fn completed(&self) -> Vec<JobRecord> {
-        let mut done: Vec<&JobRecord> = self
-            .jobs
+        self.completed_order
             .iter()
-            .zip(&self.status)
-            .filter_map(|(j, s)| matches!(s, RefStatus::Done).then_some(j))
-            .collect();
-        done.sort_by_key(|j| (j.end, j.id));
-        done.into_iter().cloned().collect()
+            .map(|&i| self.jobs[i].clone())
+            .collect()
     }
 
     /// Aggregate metrics of the run so far.

@@ -13,7 +13,7 @@ use mirage_trace::JobRecord;
 use serde::{Deserialize, Serialize};
 
 use crate::admission::{prepare_admission, RecentStarts};
-use crate::backfill::{plan_schedule, BackfillPolicy, PendingView};
+use crate::backfill::{plan_schedule_into, BackfillPolicy, PendingView, PlanScratch};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::metrics::SimMetrics;
 use crate::priority::{priority, FairshareTracker, PriorityWeights};
@@ -77,6 +77,9 @@ pub enum JobStatus {
 struct SimJob {
     record: JobRecord,
     status: JobStatus,
+    /// Index of this job inside `running` while it runs (kept current by
+    /// swap-remove fixups), so completion never scans the running list.
+    run_slot: usize,
 }
 
 /// Event-driven Slurm simulator.
@@ -96,11 +99,32 @@ pub struct Simulator {
     rejected: usize,
     next_id: u64,
     recent_starts: RecentStarts,
+    /// Lower bound on the smallest node request among pending jobs.
+    /// `plan_schedule` can only ever start a job whose request fits in
+    /// `free_nodes` (both the priority and the backfill phase check it),
+    /// so a pass with `free_nodes < min_pending_nodes` is provably a
+    /// no-op and is skipped wholesale — on a congested cluster that is
+    /// most passes. Kept as a *lower* bound (arrivals tighten it, starts
+    /// trigger an exact recompute), so staleness only costs a redundant
+    /// pass, never skips a productive one.
+    min_pending_nodes: u32,
+    // Completion bookkeeping, maintained incrementally at completion time
+    // so `completed()`/`metrics()` never re-filter or sort the job arena:
+    // `completed_order` holds arena indices sorted by `(end, id)` (ends
+    // arrive non-decreasing; same-end ties are fixed up with local swaps),
+    // and the aggregate sums make `metrics()` O(1).
+    completed_order: Vec<usize>,
+    wait_sum: f64,
+    jct_sum: f64,
+    last_end: i64,
+    first_completed_submit: Option<i64>,
     // Scratch buffers reused across scheduling passes (perf-book: reuse
     // workhorse collections instead of reallocating in the hot loop).
     scratch_order: Vec<(f64, i64, u64, usize)>,
     scratch_views: Vec<PendingView>,
     scratch_releases: Vec<(i64, u32)>,
+    scratch_starts: Vec<usize>,
+    scratch_plan: PlanScratch,
 }
 
 impl Simulator {
@@ -122,9 +146,17 @@ impl Simulator {
             rejected: 0,
             next_id: 1,
             recent_starts: RecentStarts::default(),
+            min_pending_nodes: u32::MAX,
+            completed_order: Vec::new(),
+            wait_sum: 0.0,
+            jct_sum: 0.0,
+            last_end: 0,
+            first_completed_submit: None,
             scratch_order: Vec::new(),
             scratch_views: Vec::new(),
             scratch_releases: Vec::new(),
+            scratch_starts: Vec::new(),
+            scratch_plan: PlanScratch::default(),
         }
     }
 
@@ -177,8 +209,22 @@ impl Simulator {
         self.jobs.push(SimJob {
             record: job,
             status: JobStatus::Future,
+            run_slot: usize::MAX,
         });
         self.id_map.insert(id, idx);
+        // Steady-state allocation hygiene: every job contributes at most
+        // one live event, one pending slot and one completion slot, so
+        // paying that capacity here (amortized, at admission time) keeps
+        // arrivals/starts/completions in the hot loop off the allocator.
+        let cap = self.jobs.len() + 1;
+        self.events.reserve_total(cap);
+        if self.pending.capacity() < cap {
+            self.pending.reserve(cap - self.pending.len());
+        }
+        if self.completed_order.capacity() < cap {
+            self.completed_order
+                .reserve(cap - self.completed_order.len());
+        }
         self.events.push(Event {
             time: submit,
             kind: EventKind::Arrival,
@@ -189,47 +235,48 @@ impl Simulator {
 
     /// Observable cluster state at the current instant.
     pub fn sample(&self) -> ClusterSnapshot {
-        let queued = self
-            .pending
-            .iter()
-            .map(|&i| {
-                let r = &self.jobs[i].record;
-                QueuedJobView {
-                    id: r.id,
-                    nodes: r.nodes,
-                    submit: r.submit,
-                    age: self.now - r.submit,
-                    timelimit: r.timelimit,
-                    user: r.user,
-                }
-            })
-            .collect();
-        let running = self
-            .running
-            .iter()
-            .map(|&i| {
-                let j = &self.jobs[i];
-                let start = match j.status {
-                    JobStatus::Running { start } => start,
-                    _ => unreachable!("running list holds only running jobs"),
-                };
-                RunningJobView {
-                    id: j.record.id,
-                    nodes: j.record.nodes,
-                    start,
-                    elapsed: self.now - start,
-                    timelimit: j.record.timelimit,
-                    user: j.record.user,
-                }
-            })
-            .collect();
-        ClusterSnapshot {
-            now: self.now,
-            free_nodes: self.free_nodes,
-            total_nodes: self.cfg.nodes,
-            queued,
-            running,
-        }
+        let mut snap = ClusterSnapshot::default();
+        self.sample_into(&mut snap);
+        snap
+    }
+
+    /// Observable cluster state written into a caller-provided snapshot,
+    /// **reusing** its `queued`/`running` vectors: once their capacity
+    /// covers the backlog, repeated sampling never allocates. The result
+    /// is identical to a fresh [`Simulator::sample`] — stale contents of
+    /// `out` are fully overwritten.
+    pub fn sample_into(&self, out: &mut ClusterSnapshot) {
+        out.now = self.now;
+        out.free_nodes = self.free_nodes;
+        out.total_nodes = self.cfg.nodes;
+        out.queued.clear();
+        out.queued.extend(self.pending.iter().map(|&i| {
+            let r = &self.jobs[i].record;
+            QueuedJobView {
+                id: r.id,
+                nodes: r.nodes,
+                submit: r.submit,
+                age: self.now - r.submit,
+                timelimit: r.timelimit,
+                user: r.user,
+            }
+        }));
+        out.running.clear();
+        out.running.extend(self.running.iter().map(|&i| {
+            let j = &self.jobs[i];
+            let start = match j.status {
+                JobStatus::Running { start } => start,
+                _ => unreachable!("running list holds only running jobs"),
+            };
+            RunningJobView {
+                id: j.record.id,
+                nodes: j.record.nodes,
+                start,
+                elapsed: self.now - start,
+                timelimit: j.record.timelimit,
+                user: j.record.user,
+            }
+        }));
     }
 
     /// Status of a job by id.
@@ -281,15 +328,16 @@ impl Simulator {
         !self.events.is_empty() || !self.pending.is_empty() || !self.running.is_empty()
     }
 
-    /// Completed job records (start/end filled), in completion order.
+    /// Completed job records (start/end filled), ordered by `(end, id)`.
+    ///
+    /// `completed_order` is maintained incrementally at completion time,
+    /// so this is a single pass over the completed set — no arena filter,
+    /// no sort — and `metrics()` during an episode stays cheap.
     pub fn completed(&self) -> Vec<JobRecord> {
-        let mut done: Vec<&SimJob> = self
-            .jobs
+        self.completed_order
             .iter()
-            .filter(|j| matches!(j.status, JobStatus::Completed { .. }))
-            .collect();
-        done.sort_by_key(|j| (j.record.end, j.record.id));
-        done.iter().map(|j| j.record.clone()).collect()
+            .map(|&i| self.jobs[i].record.clone())
+            .collect()
     }
 
     /// Mean queue wait of jobs that *started* within the trailing `window`
@@ -299,17 +347,33 @@ impl Simulator {
         self.recent_starts.avg(self.now, window)
     }
 
-    /// Aggregate metrics of the run so far.
+    /// Aggregate metrics of the run so far — O(1), computed from sums
+    /// maintained at completion time (identical numbers to
+    /// [`SimMetrics::from_completed`] over [`Simulator::completed`]: the
+    /// summed quantities are exact integers in f64, so completion order
+    /// cannot change the result).
     pub fn metrics(&self) -> SimMetrics {
-        let completed = self.completed();
-        let span = self.now - self.first_submit.unwrap_or(0);
-        SimMetrics::from_completed(
-            &completed,
-            self.rejected,
-            self.cfg.nodes,
-            self.busy_node_seconds,
-            span.max(0),
-        )
+        let span = (self.now - self.first_submit.unwrap_or(0)).max(0);
+        let n = self.completed_order.len();
+        let first_submit = self.first_completed_submit.unwrap_or(0);
+        let last_end = if n == 0 { first_submit } else { self.last_end };
+        let utilization = if span > 0 && self.cfg.nodes > 0 {
+            self.busy_node_seconds / (f64::from(self.cfg.nodes) * span as f64)
+        } else {
+            0.0
+        };
+        SimMetrics {
+            completed_jobs: n,
+            rejected_jobs: self.rejected,
+            makespan: last_end - first_submit,
+            avg_wait: if n == 0 {
+                0.0
+            } else {
+                self.wait_sum / n as f64
+            },
+            avg_jct: if n == 0 { 0.0 } else { self.jct_sum / n as f64 },
+            utilization,
+        }
     }
 
     fn advance_clock(&mut self, t: i64) {
@@ -342,6 +406,7 @@ impl Simulator {
             return;
         }
         job.status = JobStatus::Pending;
+        self.min_pending_nodes = self.min_pending_nodes.min(job.record.nodes);
         self.pending.push(idx);
     }
 
@@ -357,10 +422,40 @@ impl Simulator {
         self.free_nodes += job.record.nodes;
         let consumed = f64::from(job.record.nodes) * (now - start) as f64;
         let user = job.record.user;
+        let submit = job.record.submit;
+        let id = job.record.id;
         self.fairshare.record(user, consumed);
-        if let Some(pos) = self.running.iter().position(|&i| i == idx) {
-            self.running.swap_remove(pos);
+
+        // O(1) removal from the running list via the stored slot index.
+        let slot = job.run_slot;
+        debug_assert_eq!(self.running[slot], idx, "stale running slot");
+        self.running.swap_remove(slot);
+        if let Some(&moved) = self.running.get(slot) {
+            self.jobs[moved].run_slot = slot;
         }
+
+        // Incremental completion bookkeeping: ends arrive non-decreasing,
+        // so `completed_order` stays `(end, id)`-sorted with at most a few
+        // swaps inside the same-end tie run.
+        self.completed_order.push(idx);
+        let mut i = self.completed_order.len() - 1;
+        while i > 0 {
+            let prev = self.completed_order[i - 1];
+            let prev_rec = &self.jobs[prev].record;
+            if prev_rec.end == Some(now) && prev_rec.id > id {
+                self.completed_order.swap(i - 1, i);
+                i -= 1;
+            } else {
+                break;
+            }
+        }
+        self.wait_sum += (start - submit) as f64;
+        self.jct_sum += (now - submit) as f64;
+        self.last_end = self.last_end.max(now);
+        self.first_completed_submit = Some(
+            self.first_completed_submit
+                .map_or(submit, |f| f.min(submit)),
+        );
     }
 
     fn start_job(&mut self, idx: usize) {
@@ -373,6 +468,7 @@ impl Simulator {
         // Jobs are killed at their wall-clock limit.
         let run = job.record.runtime.min(job.record.timelimit);
         let end = now + run;
+        job.run_slot = self.running.len();
         self.running.push(idx);
         self.events.push(Event {
             time: end,
@@ -387,7 +483,9 @@ impl Simulator {
     /// (Slurm's `bf_max_job_test`), keeping the pass cheap even with a
     /// multi-thousand-job backlog.
     fn schedule_pass(&mut self) {
-        if self.pending.is_empty() || self.free_nodes == 0 {
+        // Provably-futile passes (nothing pending, or no pending job fits
+        // in the free nodes) are skipped outright; see `min_pending_nodes`.
+        if self.pending.is_empty() || self.free_nodes < self.min_pending_nodes {
             return;
         }
         let capacity_ns = f64::from(self.cfg.nodes) * self.cfg.weights.fairshare_halflife as f64;
@@ -409,12 +507,19 @@ impl Simulator {
             let p = priority(&w, now - r.submit, r.nodes, total, usage);
             order.push((-p, r.submit, r.id, i));
         }
+        // total_cmp on the leading (finite, non-NaN) priority key:
+        // branchless float compares make this per-event sort noticeably
+        // cheaper than partial_cmp + unwrap.
+        let key_cmp = |a: &(f64, i64, u64, usize), b: &(f64, i64, u64, usize)| {
+            a.0.total_cmp(&b.0)
+                .then_with(|| (a.1, a.2, a.3).cmp(&(b.1, b.2, b.3)))
+        };
         let depth = self.cfg.sched_depth.max(1);
         if order.len() > depth {
-            order.select_nth_unstable_by(depth - 1, |a, b| a.partial_cmp(b).unwrap());
+            order.select_nth_unstable_by(depth - 1, key_cmp);
             order.truncate(depth);
         }
-        order.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        order.sort_unstable_by(key_cmp);
 
         self.scratch_views.clear();
         self.scratch_views
@@ -432,23 +537,36 @@ impl Simulator {
             (start + j.record.timelimit, j.record.nodes)
         }));
 
-        let starts = plan_schedule(
+        let mut starts = std::mem::take(&mut self.scratch_starts);
+        plan_schedule_into(
             &self.scratch_views,
             self.free_nodes,
             self.cfg.nodes,
             self.now,
             &self.scratch_releases,
             self.cfg.backfill,
+            &mut self.scratch_plan,
+            &mut starts,
         );
         if starts.is_empty() {
+            self.scratch_starts = starts;
             return;
         }
-        let started: Vec<usize> = starts.iter().map(|&s| self.scratch_order[s].3).collect();
-        for &idx in &started {
+        for &s in &starts {
+            let idx = self.scratch_order[s].3;
             self.start_job(idx);
         }
+        self.scratch_starts = starts;
         self.pending
             .retain(|&i| matches!(self.jobs[i].status, JobStatus::Pending));
+        // Starts removed pending jobs: recompute the exact bound (cheap
+        // relative to the pass that just ran).
+        self.min_pending_nodes = self
+            .pending
+            .iter()
+            .map(|&i| self.jobs[i].record.nodes)
+            .min()
+            .unwrap_or(u32::MAX);
     }
 }
 

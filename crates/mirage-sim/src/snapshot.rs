@@ -42,7 +42,10 @@ pub struct RunningJobView {
 }
 
 /// Full observable cluster state at one instant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Default` gives an empty snapshot suitable as the reusable buffer for
+/// [`crate::ClusterBackend::sample_into`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSnapshot {
     /// Snapshot instant.
     pub now: i64,

@@ -1,8 +1,8 @@
 //! Property-based tests for the scheduling core and the simulator.
 
 use mirage_sim::{
-    plan_schedule, BackfillPolicy, ClusterBackend, PendingView, ReferenceConfig,
-    ReferenceSimulator, SimConfig, Simulator,
+    plan_schedule, plan_schedule_into, BackfillPolicy, ClusterBackend, ClusterSnapshot,
+    PendingView, PlanScratch, ReferenceConfig, ReferenceSimulator, SimConfig, Simulator,
 };
 use mirage_trace::JobRecord;
 use proptest::prelude::*;
@@ -160,6 +160,62 @@ proptest! {
         // Starts never precede submissions on either backend.
         for j in fast_done.iter().chain(&ref_done) {
             prop_assert!(j.start.unwrap() >= j.submit);
+        }
+    }
+
+    /// `sample_into` on a reused (dirty) buffer equals a fresh `sample()`
+    /// at every probed instant mid-episode, on both backends.
+    #[test]
+    fn sample_into_buffer_reuse_matches_fresh_sample(
+        seed_jobs in prop::collection::vec(
+            (0i64..60_000, 1u32..=6, 60i64..12_000), 1..30),
+        probes in prop::collection::vec(0i64..90_000, 1..8),
+    ) {
+        let nodes = 8u32;
+        let trace: Vec<JobRecord> = seed_jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, n, runtime))| {
+                JobRecord::new(i as u64 + 1, format!("s{i}"), (i % 3) as u32,
+                               submit, n, runtime * 2, runtime)
+            })
+            .collect();
+        let mut fast = Simulator::new(SimConfig::new(nodes));
+        fast.load_trace(&trace);
+        let mut tick = ReferenceSimulator::new(ReferenceConfig::new(nodes));
+        tick.load_trace(&trace);
+        // One dirty buffer reused across every probe and both backends.
+        let mut buf = ClusterSnapshot::default();
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        for t in sorted {
+            fast.run_until(t);
+            fast.sample_into(&mut buf);
+            prop_assert_eq!(&buf, &fast.sample(), "fast backend at t={}", t);
+            tick.run_until(t);
+            tick.sample_into(&mut buf);
+            prop_assert_eq!(&buf, &tick.sample(), "tick backend at t={}", t);
+        }
+    }
+
+    /// The scratch-based plan equals the allocating plan across reuse.
+    #[test]
+    fn plan_schedule_into_matches_allocating_plan(
+        plans in prop::collection::vec(
+            (pending_strategy(), running_strategy(), 0u32..=16), 1..6),
+    ) {
+        // One scratch + starts buffer reused across differently-shaped
+        // plans: stale working state must never leak between calls.
+        let mut scratch = PlanScratch::default();
+        let mut starts = Vec::new();
+        for (pending, running, free) in &plans {
+            for policy in [BackfillPolicy::None, BackfillPolicy::Easy { reserve_depth: 1 },
+                           BackfillPolicy::Easy { reserve_depth: 3 }] {
+                let expected = plan_schedule(pending, *free, 16, 0, running, policy);
+                plan_schedule_into(pending, *free, 16, 0, running, policy,
+                                   &mut scratch, &mut starts);
+                prop_assert_eq!(&starts, &expected, "{:?}", policy);
+            }
         }
     }
 
