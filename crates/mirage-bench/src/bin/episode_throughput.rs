@@ -1,23 +1,31 @@
 //! Decision-loop throughput benchmark with a machine-readable output.
 //!
 //! Measures the steady-state provisioning decision loop — simulator step →
-//! snapshot → state matrix → NN inference → action — two ways on the same
-//! workload:
+//! snapshot → state matrix → NN inference → action — three ways on the
+//! same workload:
 //!
 //! * **before**: the allocating, cache-returning path the training code
 //!   uses (`sample()` + `encode()` + `matrix()` + `q_forward()`),
 //! * **after**: the zero-allocation serving path (`sample_into` +
-//!   `encode_into` + `write_matrix` + `q_values` over a warm `Scratch`).
+//!   `encode_into` + `write_matrix` + `q_values` over a warm `Scratch`),
+//! * **batched**: `--batch N` independent episode lanes stepped in
+//!   lockstep, their state matrices row-stacked into **one**
+//!   `q_values_batch` forward per tick (with per-lane embed-row caches) —
+//!   the batched episode engine's serving shape.
 //!
-//! Both paths run identical arithmetic (enforced by bit-identity tests),
-//! so the in-binary ratio isolates the cost of per-decision allocation
-//! and copying; the kernel-level speedups (matmul microkernel, fast
-//! tanh, scheduler pass-skip) benefit *both* paths and only show against
-//! an older checkout. Results land in `BENCH_episode_throughput.json` so
-//! the perf trajectory of this loop is recorded across PRs; the committed
-//! copy additionally carries a `seed_baseline` block measured by running
-//! this same driver against the pre-PR tree in a git worktree.
-//! `MIRAGE_QUICK=1` shrinks the iteration counts for CI smoke runs.
+//! All paths run identical arithmetic (enforced by bit-identity tests,
+//! and re-asserted per lane inside this binary), so the in-binary ratios
+//! isolate allocation/copy overhead and batching amortization; the
+//! kernel-level speedups (matmul microkernel, fast tanh, scheduler
+//! pass-skip) benefit *every* path and only show against an older
+//! checkout. Results land in `BENCH_episode_throughput.json` (schema:
+//! `crates/mirage-bench/README.md`) so the perf trajectory of this loop
+//! is recorded across PRs; the committed copy additionally carries a
+//! `seed_baseline` block measured by running this same driver against
+//! the pre-PR tree in a git worktree. `MIRAGE_QUICK=1` shrinks the
+//! iteration counts for CI smoke runs; `--workers W` replicates the
+//! batched loop across W std threads (each with its own lanes and
+//! network clone) and reports the aggregate.
 
 use std::time::Instant;
 
@@ -28,7 +36,7 @@ use mirage_core::state::{
 use mirage_nn::foundation::FoundationKind;
 use mirage_nn::transformer::TransformerConfig;
 use mirage_nn::{Matrix, Scratch};
-use mirage_rl::{ActionEncoding, DualHeadConfig, DualHeadNet};
+use mirage_rl::{ActionEncoding, BatchInferCache, DualHeadConfig, DualHeadNet};
 use mirage_sim::{ClusterSnapshot, SimConfig, Simulator};
 use mirage_trace::{
     clean_trace, ClusterProfile, JobRecord, SynthConfig, TraceGenerator, DAY, HOUR,
@@ -38,6 +46,10 @@ use mirage_trace::{
 const HISTORY_K: usize = 12;
 /// Seconds of simulated time between decisions (10-minute cadence).
 const DECISION_INTERVAL: i64 = 600;
+/// Default lockstep lane count for the batched loop: 8 lanes measured
+/// fastest end to end (wider batches grow the working set past L1/L2 and
+/// give the amortization back to cache misses).
+const DEFAULT_BATCH: usize = 8;
 
 fn month_trace(profile: &ClusterProfile, seed: u64) -> Vec<JobRecord> {
     let mut cfg = SynthConfig::new(profile.clone(), seed);
@@ -136,6 +148,167 @@ fn decision_loop(
     }
 }
 
+/// One lockstep episode lane: its own simulator, history window and
+/// encoder scratch.
+struct Lane {
+    sim: Simulator,
+    history: StateHistory,
+    snap: ClusterSnapshot,
+    enc: EncoderScratch,
+}
+
+/// Builds `batch` warmed lanes. Every lane independently replays the
+/// *same* `base_seed` month trace — the exact single-episode workload
+/// the committed baselines measure — so per-lane decision cost is
+/// directly comparable to `decisions_per_sec_after` and the batched
+/// number isolates batching, not a workload change. (Each lane still
+/// steps its own full simulator; nothing is shared or deduplicated.)
+fn make_lanes(profile: &ClusterProfile, batch: usize, base_seed: u64) -> Vec<Lane> {
+    let jobs = month_trace(profile, base_seed);
+    (0..batch)
+        .map(|_| {
+            let mut sim = Simulator::new(SimConfig::new(profile.nodes));
+            sim.load_trace(&jobs);
+            sim.run_until(3 * DAY);
+            Lane {
+                sim,
+                history: StateHistory::new(HISTORY_K),
+                snap: ClusterSnapshot::default(),
+                enc: EncoderScratch::default(),
+            }
+        })
+        .collect()
+}
+
+/// Runs `n_ticks` lockstep decision ticks over `batch` lanes. `batched`
+/// selects one `q_values_batch` forward per tick (with per-lane
+/// embed-row caches) vs one `q_values` forward per lane; both produce
+/// identical decisions (asserted by the caller via the per-lane submit
+/// counts). Lanes are rebuilt deterministically from `base_seed`, so two
+/// calls see identical workloads.
+fn lanes_loop(
+    profile: &ClusterProfile,
+    net: &DualHeadNet,
+    n_ticks: u64,
+    batch: usize,
+    base_seed: u64,
+    batched: bool,
+) -> (LoopStats, Vec<u64>) {
+    let mut lanes = make_lanes(profile, batch, base_seed);
+    let encoder = StateEncoder::new(profile.nodes, 48 * HOUR);
+    let pred = PredecessorState {
+        nodes: 1,
+        timelimit: 48 * HOUR,
+        queue_time: 0,
+        elapsed: 12 * HOUR,
+    };
+    let succ = SuccessorSpec {
+        nodes: 1,
+        timelimit: 48 * HOUR,
+    };
+    let mut lane_m = Matrix::zeros(0, 0);
+    let mut stacked = Matrix::zeros(0, 0);
+    let mut scratch = Scratch::new();
+    let mut cache = BatchInferCache::new();
+    let mut vals: Vec<[f32; 2]> = Vec::new();
+    let mut per_lane = vec![0u64; batch];
+
+    let mut elapsed = std::time::Duration::ZERO;
+    for measure in [false, true] {
+        let ticks = if measure {
+            n_ticks
+        } else {
+            (n_ticks / 10).max(8)
+        };
+        let t = Instant::now();
+        for _ in 0..ticks {
+            for lane in lanes.iter_mut() {
+                lane.sim.step(DECISION_INTERVAL);
+                lane.sim.sample_into(&mut lane.snap);
+                lane.history
+                    .push(encoder.encode_into(&lane.snap, &pred, &succ, &mut lane.enc));
+            }
+            if batched {
+                // Rows are fully overwritten below, so reshape only when
+                // the (fixed) batch geometry first materializes.
+                if stacked.shape() != (batch * HISTORY_K, STATE_VARS) {
+                    stacked.reset(batch * HISTORY_K, STATE_VARS);
+                }
+                for (l, lane) in lanes.iter().enumerate() {
+                    lane.history.write_matrix_rows(&mut stacked, l * HISTORY_K);
+                }
+                net.q_values_batch(&stacked, batch, &mut vals, &mut scratch, &mut cache);
+                if measure {
+                    for (l, &q) in vals.iter().enumerate() {
+                        per_lane[l] += u64::from(q[1] > q[0]);
+                    }
+                }
+            } else {
+                for (l, lane) in lanes.iter().enumerate() {
+                    lane.history.write_matrix(&mut lane_m);
+                    let q = net.q_values(&lane_m, &mut scratch);
+                    if measure {
+                        per_lane[l] += u64::from(q[1] > q[0]);
+                    }
+                }
+            }
+        }
+        if measure {
+            elapsed = t.elapsed();
+        }
+    }
+    let decisions = n_ticks * batch as u64;
+    (
+        LoopStats {
+            decisions_per_sec: decisions as f64 / elapsed.as_secs_f64(),
+            ns_per_decision: elapsed.as_nanos() as f64 / decisions as f64,
+            submit_count: per_lane.iter().sum(),
+        },
+        per_lane,
+    )
+}
+
+/// Replicates the batched lane loop across `workers` std threads (each
+/// with its own lanes, seeds and network clone) and returns the
+/// aggregate decisions/s over the scope's wall time.
+fn lanes_loop_workers(
+    profile: &ClusterProfile,
+    net: &DualHeadNet,
+    n_ticks: u64,
+    batch: usize,
+    workers: usize,
+) -> LoopStats {
+    let stats: Vec<LoopStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let net = net.clone();
+                let profile = profile.clone();
+                scope.spawn(move || {
+                    lanes_loop(&profile, &net, n_ticks, batch, 42 + (w as u64) * 1000, true).0
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench worker panicked"))
+            .collect()
+    });
+    // Workers run their measured windows concurrently; the aggregate rate
+    // is total decisions over the slowest worker's measured time (lane
+    // construction and warm-up stay outside, as in the 1-worker path).
+    let per_worker = n_ticks * batch as u64;
+    let slowest = stats
+        .iter()
+        .map(|s| per_worker as f64 * s.ns_per_decision / 1e9)
+        .fold(0.0f64, f64::max);
+    let decisions = per_worker * workers as u64;
+    LoopStats {
+        decisions_per_sec: decisions as f64 / slowest,
+        ns_per_decision: slowest * 1e9 / decisions as f64,
+        submit_count: stats.iter().map(|s| s.submit_count).sum(),
+    }
+}
+
 /// Forward-pass microbenchmark: ns per inference, allocating vs scratch.
 fn forward_ns(net: &DualHeadNet, reps: u64) -> (f64, f64) {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
@@ -202,9 +375,32 @@ fn preserved_baseline(old: &str) -> Option<(String, f64)> {
     Some((block.to_string(), dps))
 }
 
+/// Parses `--name value` from the CLI (panics on malformed input so CI
+/// catches typos instead of silently benchmarking the wrong shape).
+fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    let value = args
+        .iter()
+        .position(|a| a == name)
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<usize>()
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        })
+        .unwrap_or(default);
+    assert!(value >= 1, "{name} must be at least 1, got {value}");
+    value
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let quick = quick_mode();
+    let batch = parse_flag(&args, "--batch", DEFAULT_BATCH);
+    let workers = parse_flag(&args, "--workers", 1);
+    // Lockstep ticks match the single-lane decision count, so the batched
+    // loop replays the identical simulated window per lane.
     let decisions: u64 = if quick { 500 } else { 3000 };
+    let ticks: u64 = decisions;
     let forward_reps: u64 = if quick { 1000 } else { 10_000 };
 
     let profile = ClusterProfile::v100();
@@ -217,9 +413,28 @@ fn main() {
         before.submit_count, after.submit_count,
         "both paths must take identical decisions"
     );
+
+    // Lockstep lanes: per-lane forwards vs one batched forward per tick,
+    // on bitwise-identical workloads (same seeds ⇒ same lanes).
+    let (unbatched, per_lane_u) = lanes_loop(&profile, &net, ticks, batch, 42, false);
+    let (batched_1w, per_lane_b) = lanes_loop(&profile, &net, ticks, batch, 42, true);
+    assert_eq!(
+        per_lane_u, per_lane_b,
+        "batched and per-lane forwards must take identical decisions"
+    );
+    let batched = if workers > 1 {
+        lanes_loop_workers(&profile, &net, ticks, batch, workers)
+    } else {
+        batched_1w
+    };
+
     let (fwd_before, fwd_after) = forward_ns(&net, forward_reps);
     let events_per_sec = sim_events_per_sec(&jobs, profile.nodes);
     let speedup = after.decisions_per_sec / before.decisions_per_sec;
+    // The honest control for the batched forward is the *same* lane loop
+    // with per-lane forwards — not the single-episode loop, whose
+    // difference also includes lockstep-lane locality effects.
+    let speedup_batched = batched.decisions_per_sec / unbatched.decisions_per_sec;
 
     const OUT_PATH: &str = "BENCH_episode_throughput.json";
     let baseline = std::fs::read_to_string(OUT_PATH)
@@ -228,24 +443,33 @@ fn main() {
         .and_then(preserved_baseline);
     let baseline_tail = match &baseline {
         Some((block, seed_dps)) => format!(
-            ",\n  \"speedup_vs_seed\": {:.2},\n  \"seed_baseline\": {}",
+            ",\n  \"speedup_vs_seed\": {:.2},\n  \"speedup_batched_vs_seed\": {:.2},\n  \"seed_baseline\": {}",
             after.decisions_per_sec / seed_dps,
+            batched.decisions_per_sec / seed_dps,
             block
         ),
         None => String::new(),
     };
     let json = format!(
-        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic trace, {} decisions at {}s cadence, k={}\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"speedup\": {:.2},\n  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
+        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic traces, {} decisions at {}s cadence, k={}; batched: {} lanes x {} lockstep ticks\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"decisions_per_sec_lanes_unbatched\": {:.1},\n  \"decisions_per_sec_batched\": {:.1},\n  \"batch_width\": {},\n  \"workers\": {},\n  \"speedup\": {:.2},\n  \"speedup_batched\": {:.2},\n  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_decision_batched\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
         quick,
         profile.name,
         decisions,
         DECISION_INTERVAL,
         HISTORY_K,
+        batch,
+        ticks,
         before.decisions_per_sec,
         after.decisions_per_sec,
+        unbatched.decisions_per_sec,
+        batched.decisions_per_sec,
+        batch,
+        workers,
         speedup,
+        speedup_batched,
         before.ns_per_decision,
         after.ns_per_decision,
+        batched.ns_per_decision,
         fwd_before,
         fwd_after,
         events_per_sec,
@@ -254,7 +478,12 @@ fn main() {
     std::fs::write(OUT_PATH, &json).expect("write bench output");
     print!("{json}");
     eprintln!(
-        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
-        before.decisions_per_sec, after.decisions_per_sec, fwd_before, fwd_after, events_per_sec
+        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); batched x{batch}: {:.0}/s ({speedup_batched:.2}x over single); forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
+        before.decisions_per_sec,
+        after.decisions_per_sec,
+        batched.decisions_per_sec,
+        fwd_before,
+        fwd_after,
+        events_per_sec
     );
 }

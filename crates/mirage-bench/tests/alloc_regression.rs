@@ -1,12 +1,15 @@
 //! Allocation-regression test: the steady-state decision loop — simulator
 //! step → `sample_into` → `encode_into` → `write_matrix` → `q_values` —
-//! must perform **zero heap allocations** after warm-up.
+//! must perform **zero heap allocations** after warm-up, and so must the
+//! *batched* lockstep loop (N simulators → one row-stacked batch →
+//! `q_values_batch` with per-episode embed-row caches).
 //!
 //! A counting `#[global_allocator]` wraps the system allocator; the test
 //! drives 1 000 decision steps (with live completions and job starts
-//! inside the window) and asserts the allocation counter did not move.
-//! The warm-up phase is what the `Scratch`/`*_into` reuse contract calls
-//! out: first passes size every buffer, steady state then recycles them.
+//! inside the window) and asserts the allocation counter did not move,
+//! then repeats the claim for the batched engine. The warm-up phases are
+//! what the `Scratch`/`*_into` reuse contract calls out: first passes
+//! size every buffer, steady state then recycles them.
 //!
 //! This file intentionally contains a single test: the counter is global,
 //! and a concurrently running test would pollute it.
@@ -20,7 +23,7 @@ use mirage_core::state::{
 use mirage_nn::foundation::FoundationKind;
 use mirage_nn::transformer::TransformerConfig;
 use mirage_nn::{Matrix, Scratch};
-use mirage_rl::{ActionEncoding, DualHeadConfig, DualHeadNet};
+use mirage_rl::{ActionEncoding, BatchInferCache, DualHeadConfig, DualHeadNet};
 use mirage_sim::{ClusterSnapshot, SimConfig, Simulator};
 use mirage_trace::{JobRecord, HOUR};
 
@@ -171,5 +174,79 @@ fn steady_state_decision_loop_is_allocation_free() {
     assert_eq!(
         delta, 0,
         "steady-state decision loop allocated {delta} times across 1000 steps (checksum {checksum})"
+    );
+
+    // Phase 2: the batched lockstep loop. Four independent simulators
+    // replay the same backlog on the timeline phase 1 proved
+    // allocation-free (a staggered start would shift each lane's
+    // internal Vec capacity doublings into the measured window and
+    // charge simulator growth to the batched NN path under test), their
+    // state matrices are row-stacked into one batch, and a single
+    // `q_values_batch` (with per-episode embed-row caches) answers every
+    // tick. After its own warm-up the whole thing must also be
+    // allocation-free.
+    const BATCH: usize = 4;
+    let mut lanes: Vec<(Simulator, StateHistory, ClusterSnapshot, EncoderScratch)> = (0..BATCH)
+        .map(|_| {
+            let mut sim = Simulator::new(SimConfig::new(NODES));
+            sim.load_trace(&trace);
+            (
+                sim,
+                StateHistory::new(K),
+                ClusterSnapshot::default(),
+                EncoderScratch::default(),
+            )
+        })
+        .collect();
+    let mut stacked = Matrix::zeros(BATCH * K, STATE_VARS);
+    let mut cache = BatchInferCache::new();
+    let mut vals: Vec<[f32; 2]> = Vec::new();
+
+    let batched_step =
+        |lanes: &mut Vec<(Simulator, StateHistory, ClusterSnapshot, EncoderScratch)>,
+         stacked: &mut Matrix,
+         cache: &mut BatchInferCache,
+         vals: &mut Vec<[f32; 2]>,
+         scratch: &mut Scratch| {
+            for (l, (sim, history, snap, enc)) in lanes.iter_mut().enumerate() {
+                sim.step(STEP);
+                sim.sample_into(snap);
+                history.push(encoder.encode_into(snap, &pred, &succ, enc));
+                history.write_matrix_rows(stacked, l * K);
+            }
+            net.q_values_batch(stacked, BATCH, vals, scratch, cache);
+            vals.iter().map(|&q| u64::from(q[1] > q[0])).sum::<u64>()
+        };
+
+    for _ in 0..300 {
+        checksum += batched_step(
+            &mut lanes,
+            &mut stacked,
+            &mut cache,
+            &mut vals,
+            &mut scratch,
+        );
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        checksum += batched_step(
+            &mut lanes,
+            &mut stacked,
+            &mut cache,
+            &mut vals,
+            &mut scratch,
+        );
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(
+        lanes
+            .iter()
+            .any(|(sim, ..)| sim.metrics().completed_jobs > 50),
+        "batched window was not live"
+    );
+    assert_eq!(
+        delta, 0,
+        "steady-state batched loop allocated {delta} times across 1000 ticks (checksum {checksum})"
     );
 }

@@ -1,0 +1,407 @@
+//! Batched episode engine: N provisioning episodes stepped in lockstep
+//! with **one batched NN forward per decision tick**.
+//!
+//! Training and evaluation throughput in the paper's regime is dominated
+//! by running many episodes, and each episode's per-decision forward pass
+//! is a chain of tiny matmuls that cannot saturate a core on its own. The
+//! [`BatchedEpisodeDriver`] amortizes them: it drives one
+//! [`EpisodeDriver`] per episode (each against its own backend — built,
+//! e.g., by `mirage_sim::BackendPool::build_all`), gathers the episodes'
+//! `k × m` state matrices into one row-stacked `(width·k) × m` batch, and
+//! hands the whole batch to a [`BatchPolicy`] — the RL agents answer it
+//! with a single `q_values_batch`/`p_probs_batch` forward instead of one
+//! forward per episode.
+//!
+//! Episodes finish at different ticks (a policy submits, or the reactive
+//! fallback fires); the batch narrows as they do, and the per-episode
+//! results are **bit-identical** to sequential execution — the batched NN
+//! paths are pinned to their sequential counterparts by property tests,
+//! and each episode's simulator evolves exactly as it would alone.
+
+use mirage_nn::Matrix;
+use mirage_rl::{DqnAgent, PgAgent};
+use mirage_sim::ClusterBackend;
+use mirage_trace::JobRecord;
+
+use crate::episode::{Action, EpisodeConfig, EpisodeDriver, EpisodeResult};
+use crate::state::STATE_VARS;
+
+/// A policy that answers one decision tick for a whole batch of episodes:
+/// `states` row-stacks `width` state matrices (`width · k` rows), and the
+/// implementation pushes exactly `width` action indices (0 = wait,
+/// 1 = submit) into `actions`, one per block in order.
+///
+/// Implemented by the greedy RL agents (one batched forward per call) and
+/// by plain closures for heuristics and tests.
+pub trait BatchPolicy {
+    /// Decides all `width` episodes of one lockstep tick.
+    fn decide_batch(&mut self, states: &Matrix, width: usize, actions: &mut Vec<usize>);
+}
+
+impl BatchPolicy for DqnAgent {
+    fn decide_batch(&mut self, states: &Matrix, width: usize, actions: &mut Vec<usize>) {
+        self.act_greedy_batch(states, width, actions);
+    }
+}
+
+impl BatchPolicy for PgAgent {
+    fn decide_batch(&mut self, states: &Matrix, width: usize, actions: &mut Vec<usize>) {
+        self.act_greedy_batch(states, width, actions);
+    }
+}
+
+impl<F: FnMut(&Matrix, usize, &mut Vec<usize>)> BatchPolicy for F {
+    fn decide_batch(&mut self, states: &Matrix, width: usize, actions: &mut Vec<usize>) {
+        self(states, width, actions)
+    }
+}
+
+/// N lockstep episodes behind one batched decision loop.
+///
+/// Usage mirrors [`EpisodeDriver`], lifted to a batch:
+///
+/// 1. [`BatchedEpisodeDriver::new`] starts one episode per
+///    `(backend, t0)` pair (warm-up replay and predecessor submission
+///    happen per episode, exactly as sequentially),
+/// 2. [`advance_tick`](Self::advance_tick) moves every still-deciding
+///    episode one decision interval and assembles the row-stacked batch
+///    of state matrices; episodes whose reactive fallback fired drop out,
+/// 3. [`apply`](Self::apply) records one action per pending episode,
+/// 4. [`finish`](Self::finish) resolves every episode's outcome.
+///
+/// [`run`](Self::run) wires 2–3 to a [`BatchPolicy`] until no episode is
+/// deciding. The assembled batch and the pending bookkeeping reuse their
+/// buffers, so a steady-state tick allocates nothing.
+pub struct BatchedEpisodeDriver<B: ClusterBackend> {
+    drivers: Vec<EpisodeDriver<B>>,
+    /// Per episode: still inside the decision loop.
+    deciding: Vec<bool>,
+    /// Episode indices awaiting an action for the current tick, in batch
+    /// row order.
+    pending: Vec<usize>,
+    /// Row-stacked state matrices of the pending episodes
+    /// (`pending.len() · k × m`).
+    batch: Matrix,
+    k: usize,
+}
+
+impl<B: ClusterBackend> BatchedEpisodeDriver<B> {
+    /// Starts one episode per backend: `backends[i]` hosts an episode
+    /// whose predecessor is submitted at `t0s[i]`, all sharing `trace`
+    /// and `cfg`.
+    pub fn new(
+        backends: impl IntoIterator<Item = B>,
+        trace: &[JobRecord],
+        cfg: &EpisodeConfig,
+        t0s: &[i64],
+    ) -> Self {
+        let backends: Vec<B> = backends.into_iter().collect();
+        assert_eq!(
+            backends.len(),
+            t0s.len(),
+            "need exactly one backend per episode start (got {} backends for {} starts)",
+            backends.len(),
+            t0s.len()
+        );
+        let drivers: Vec<EpisodeDriver<B>> = backends
+            .into_iter()
+            .zip(t0s)
+            .map(|(backend, &t0)| EpisodeDriver::new(backend, trace, cfg, t0))
+            .collect();
+        assert!(!drivers.is_empty(), "batch needs at least one episode");
+        let n = drivers.len();
+        Self {
+            drivers,
+            deciding: vec![true; n],
+            pending: Vec::with_capacity(n),
+            batch: Matrix::zeros(0, 0),
+            k: cfg.history_k.max(1),
+        }
+    }
+
+    /// Episode count (fixed; the *pending* width shrinks as episodes
+    /// leave the decision loop).
+    pub fn width(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Whether any episode still awaits decisions.
+    pub fn is_deciding(&self) -> bool {
+        self.deciding.iter().any(|&d| d)
+    }
+
+    /// Forwards [`EpisodeDriver::set_record_decisions`] to every episode.
+    pub fn set_record_decisions(&mut self, record: bool) {
+        for d in &mut self.drivers {
+            d.set_record_decisions(record);
+        }
+    }
+
+    /// Advances every still-deciding episode one decision interval and
+    /// assembles the batch. Returns the pending width: how many episodes
+    /// produced a decision context this tick (0 when the remaining
+    /// episodes all hit their reactive fallback — check
+    /// [`is_deciding`](Self::is_deciding) to tell that apart from being
+    /// done).
+    pub fn advance_tick(&mut self) -> usize {
+        self.pending.clear();
+        for i in 0..self.drivers.len() {
+            if !self.deciding[i] {
+                continue;
+            }
+            match self.drivers[i].advance() {
+                Some(_) => self.pending.push(i),
+                None => self.deciding[i] = false,
+            }
+        }
+        let width = self.pending.len();
+        if width > 0 {
+            self.batch.reset(width * self.k, STATE_VARS);
+            for (slot, &i) in self.pending.iter().enumerate() {
+                let m = self.drivers[i].state_matrix();
+                debug_assert_eq!(m.shape(), (self.k, STATE_VARS));
+                for r in 0..self.k {
+                    self.batch
+                        .row_mut(slot * self.k + r)
+                        .copy_from_slice(m.row(r));
+                }
+            }
+        }
+        width
+    }
+
+    /// The row-stacked states of the episodes pending after the last
+    /// [`advance_tick`](Self::advance_tick).
+    pub fn batch_states(&self) -> &Matrix {
+        &self.batch
+    }
+
+    /// Episode indices the current batch rows belong to, in row order.
+    pub fn pending(&self) -> &[usize] {
+        &self.pending
+    }
+
+    /// Applies one action per pending episode (batch row order).
+    pub fn apply(&mut self, actions: &[Action]) {
+        assert_eq!(
+            actions.len(),
+            self.pending.len(),
+            "one action per pending episode"
+        );
+        for (slot, &i) in self.pending.iter().enumerate() {
+            if self.drivers[i].apply(actions[slot]) {
+                self.deciding[i] = false;
+            }
+        }
+        self.pending.clear();
+    }
+
+    /// [`apply`](Self::apply) from action indices (the agents' output).
+    fn apply_indices(&mut self, actions: &[usize]) {
+        assert_eq!(
+            actions.len(),
+            self.pending.len(),
+            "one action per pending episode"
+        );
+        for (slot, &i) in self.pending.iter().enumerate() {
+            if self.drivers[i].apply(Action::from_index(actions[slot])) {
+                self.deciding[i] = false;
+            }
+        }
+        self.pending.clear();
+    }
+
+    /// Drives the decision loops to completion: one `decide_batch` (= one
+    /// batched NN forward for the RL agents) per lockstep tick.
+    pub fn run<P: BatchPolicy + ?Sized>(&mut self, policy: &mut P) {
+        let mut actions = Vec::with_capacity(self.width());
+        while self.is_deciding() {
+            let width = self.advance_tick();
+            if width == 0 {
+                continue;
+            }
+            actions.clear();
+            policy.decide_batch(&self.batch, width, &mut actions);
+            assert_eq!(
+                actions.len(),
+                width,
+                "policy must answer every pending episode"
+            );
+            self.apply_indices(&actions);
+        }
+    }
+
+    /// Resolves every episode (running each backend until its pair
+    /// completes) and returns the per-episode results alongside the
+    /// backends, both in construction order.
+    pub fn finish(self) -> (Vec<EpisodeResult>, Vec<B>) {
+        assert!(
+            !self.is_deciding(),
+            "finish() before every decision loop ended"
+        );
+        let mut results = Vec::with_capacity(self.drivers.len());
+        let mut backends = Vec::with_capacity(self.drivers.len());
+        for driver in self.drivers {
+            let (result, backend) = driver.finish();
+            results.push(result);
+            backends.push(backend);
+        }
+        (results, backends)
+    }
+}
+
+/// Convenience wrapper: batches `t0s.len()` episodes across `backends`,
+/// runs `policy` in lockstep and returns the per-episode results —
+/// bit-identical to calling [`crate::episode::run_episode`] once per
+/// `(backend, t0)` with the sequential form of the same policy.
+pub fn run_episodes_batched<B: ClusterBackend, P: BatchPolicy + ?Sized>(
+    backends: impl IntoIterator<Item = B>,
+    trace: &[JobRecord],
+    cfg: &EpisodeConfig,
+    t0s: &[i64],
+    policy: &mut P,
+) -> Vec<EpisodeResult> {
+    let mut driver = BatchedEpisodeDriver::new(backends, trace, cfg, t0s);
+    driver.run(policy);
+    driver.finish().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::episode::run_episode;
+    use mirage_rl::{ActionEncoding, DqnConfig, DualHeadConfig, DualHeadNet};
+    use mirage_sim::{BackendPool, SimConfig, Simulator};
+    use mirage_trace::{DAY, HOUR, MINUTE};
+
+    fn small_cfg() -> EpisodeConfig {
+        EpisodeConfig {
+            pair_nodes: 1,
+            pair_timelimit: 4 * HOUR,
+            pair_runtime: 4 * HOUR,
+            decision_interval: 30 * MINUTE,
+            history_k: 4,
+            warmup: DAY,
+            pair_user: 999,
+        }
+    }
+
+    fn bg_trace() -> Vec<JobRecord> {
+        (0..40)
+            .map(|i| {
+                JobRecord::new(
+                    i + 1,
+                    format!("bg{i}"),
+                    5,
+                    DAY + i as i64 * 1800,
+                    1 + (i % 3) as u32,
+                    6 * HOUR,
+                    3 * HOUR,
+                )
+            })
+            .collect()
+    }
+
+    fn dqn_agent() -> DqnAgent {
+        DqnAgent::new(
+            DualHeadNet::new(DualHeadConfig {
+                foundation: mirage_nn::FoundationKind::Transformer,
+                transformer: mirage_nn::TransformerConfig {
+                    input_dim: STATE_VARS,
+                    seq_len: 4,
+                    d_model: 8,
+                    heads: 2,
+                    layers: 1,
+                    ff_mult: 2,
+                },
+                action_encoding: ActionEncoding::TwoHead,
+                freeze_foundation: false,
+                seed: 5,
+            }),
+            DqnConfig::default(),
+        )
+    }
+
+    #[test]
+    fn lockstep_batch_matches_sequential_episodes() {
+        // The headline bit-identity claim at the episode level: N
+        // episodes through one batched agent forward per tick produce
+        // exactly the per-episode decisions and outcomes of sequential
+        // execution — including episodes that end at different ticks.
+        let cfg = small_cfg();
+        let trace = bg_trace();
+        let t0s = [DAY, DAY + 2 * HOUR, DAY + 5 * HOUR, DAY + HOUR / 2];
+
+        let mut seq_agent = dqn_agent();
+        let sequential: Vec<EpisodeResult> = t0s
+            .iter()
+            .map(|&t0| {
+                let mut sim = Simulator::new(SimConfig::new(4));
+                run_episode(&mut sim, &trace, &cfg, t0, |ctx| {
+                    Action::from_index(seq_agent.act_greedy(ctx.state_matrix))
+                })
+            })
+            .collect();
+
+        let mut batch_agent = dqn_agent();
+        let backends = (0..t0s.len()).map(|_| Simulator::new(SimConfig::new(4)));
+        let batched = run_episodes_batched(backends, &trace, &cfg, &t0s, &mut batch_agent);
+
+        assert_eq!(batched.len(), sequential.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.outcome, s.outcome);
+            assert_eq!(b.succ_submit, s.succ_submit);
+            assert_eq!(b.succ_start, s.succ_start);
+            assert_eq!(b.submitted_by_policy, s.submitted_by_policy);
+            assert_eq!(b.decisions.len(), s.decisions.len());
+            for ((bm, ba), (sm, sa)) in b.decisions.iter().zip(&s.decisions) {
+                assert_eq!(ba, sa);
+                assert_eq!(bm, sm);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_policies_and_pool_built_backends_compose() {
+        // A heuristic closure over the raw batch, against BackendPool-
+        // constructed backends; every episode must resolve.
+        let cfg = small_cfg();
+        let t0s = [DAY, DAY + HOUR];
+        let pool = BackendPool::new(|_seed: u64| Simulator::new(SimConfig::new(4)), t0s.len());
+        let mut submit_after = |_: &Matrix, width: usize, actions: &mut Vec<usize>| {
+            actions.extend(std::iter::repeat_n(1usize, width));
+        };
+        let results = run_episodes_batched(pool.build_all(), &[], &cfg, &t0s, &mut submit_after);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.submitted_by_policy);
+            assert_eq!(r.decisions.len(), 1);
+        }
+    }
+
+    #[test]
+    fn width_narrows_as_episodes_finish() {
+        let cfg = small_cfg();
+        // Episode 0 submits on its first decision; episode 1 never does.
+        let t0s = [DAY, DAY];
+        let backends = (0..2).map(|_| Simulator::new(SimConfig::new(4)));
+        let mut driver = BatchedEpisodeDriver::new(backends, &[], &cfg, &t0s);
+        let w = driver.advance_tick();
+        assert_eq!(w, 2);
+        assert_eq!(driver.batch_states().shape(), (2 * 4, STATE_VARS));
+        driver.apply(&[Action::Submit, Action::Wait]);
+        let w = driver.advance_tick();
+        assert_eq!(w, 1, "submitted episode left the batch");
+        assert_eq!(driver.pending(), &[1]);
+        assert_eq!(driver.batch_states().shape(), (4, STATE_VARS));
+        driver.apply(&[Action::Wait]);
+        while driver.is_deciding() {
+            let w = driver.advance_tick();
+            let waits = vec![Action::Wait; w];
+            driver.apply(&waits);
+        }
+        let (results, _) = driver.finish();
+        assert!(results[0].submitted_by_policy);
+        assert!(!results[1].submitted_by_policy);
+    }
+}

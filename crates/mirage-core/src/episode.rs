@@ -369,6 +369,16 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
         })
     }
 
+    /// The driver's current `k × m` state matrix — the same buffer the
+    /// last [`advance`](Self::advance)'s [`DecisionContext`] borrowed,
+    /// re-exposed so lockstep batch drivers can gather many episodes'
+    /// matrices after their `advance` borrows have ended. Only
+    /// meaningful between an `advance` that returned `Some` and the
+    /// matching [`apply`](Self::apply).
+    pub fn state_matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
     /// Records the policy's decision for the context returned by the last
     /// [`advance`](Self::advance). Returns `true` once the successor is
     /// submitted (the decision loop is over).

@@ -45,6 +45,9 @@
 //!   (submit / no-submit every decision interval), as a closure loop
 //!   ([`run_episode`]) or an explicit state machine
 //!   ([`episode::EpisodeDriver`]),
+//! * [`batch`] — the batched episode engine: N episodes stepped in
+//!   lockstep with one batched NN forward per decision tick
+//!   ([`batch::BatchedEpisodeDriver`]),
 //! * [`gym`] — the same episodes behind `mirage-rl`'s Gym-style
 //!   `Environment` interface,
 //! * [`policy`] — the eight §6 methods behind one trait,
@@ -59,6 +62,7 @@
 //! * [`tune`] — deterministic hyperparameter grid search (the RayTune
 //!   substitution).
 
+pub mod batch;
 pub mod chain;
 pub mod episode;
 pub mod eval;
@@ -70,6 +74,7 @@ pub mod state;
 pub mod train;
 pub mod tune;
 
+pub use batch::{run_episodes_batched, BatchPolicy, BatchedEpisodeDriver};
 pub use chain::{chain_stretch, provision_chain, ChainResult, ChainSummary};
 pub use episode::{
     run_episode, Action, DecisionContext, EpisodeConfig, EpisodeDriver, EpisodeResult,

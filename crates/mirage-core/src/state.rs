@@ -211,12 +211,21 @@ impl StateHistory {
     /// place; no allocation once warm). Identical contents to
     /// [`StateHistory::matrix`].
     pub fn write_matrix(&self, out: &mut Matrix) {
-        assert!(!self.rows.is_empty(), "no state recorded yet");
         out.reset(self.k, STATE_VARS);
+        self.write_matrix_rows(out, 0);
+    }
+
+    /// Writes the `k` state-matrix rows into rows `row0 .. row0 + k` of a
+    /// larger (already shaped) matrix — the row-stacked-batch assembly
+    /// primitive: lockstep engines write each episode's block straight
+    /// into the shared batch matrix instead of staging a `k × m` copy.
+    /// Row contents are identical to [`StateHistory::matrix`].
+    pub fn write_matrix_rows(&self, out: &mut Matrix, row0: usize) {
+        assert!(!self.rows.is_empty(), "no state recorded yet");
         let pad = self.k - self.rows.len();
         for r in 0..self.k {
             let idx = r.saturating_sub(pad).min(self.rows.len() - 1);
-            out.row_mut(r).copy_from_slice(&self.rows[idx]);
+            out.row_mut(row0 + r).copy_from_slice(&self.rows[idx]);
         }
     }
 

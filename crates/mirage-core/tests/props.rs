@@ -1,8 +1,10 @@
 //! Property-based tests for Mirage's reward, state and episode invariants.
 
+use mirage_core::batch::run_episodes_batched;
 use mirage_core::episode::{run_episode, Action, EpisodeConfig};
 use mirage_core::reward::{EpisodeOutcome, RewardShaper};
 use mirage_core::state::{PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS};
+use mirage_rl::{ActionEncoding, DqnAgent, DqnConfig, DualHeadConfig, DualHeadNet};
 use mirage_sim::{ClusterSnapshot, QueuedJobView, RunningJobView};
 use mirage_trace::{JobRecord, DAY, HOUR};
 use proptest::prelude::*;
@@ -132,6 +134,79 @@ proptest! {
             prop_assert_eq!(result.decisions.last().map(|(_, a)| *a), Some(1));
         } else {
             prop_assert!(result.decisions.iter().all(|(_, a)| *a == 0));
+        }
+    }
+
+    /// The batched episode engine is execution-equivalent to sequential
+    /// per-episode runs: for arbitrary background load, batch widths and
+    /// (possibly coincident) start instants, every decision matrix,
+    /// action and outcome matches bit for bit — one batched NN forward
+    /// per tick included, via the greedy DQN agent on both sides.
+    #[test]
+    fn batched_episodes_match_sequential_bitwise(
+        seed_jobs in prop::collection::vec((0i64..4 * DAY, 1u32..=4, 1800i64..20_000), 0..20),
+        t0_offsets in prop::collection::vec(0i64..12, 1..5),
+        net_seed in 0u64..1000,
+    ) {
+        let trace: Vec<JobRecord> = seed_jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, nodes, runtime))| {
+                JobRecord::new(i as u64 + 1, format!("bg{i}"), (i % 3) as u32,
+                               submit, nodes, runtime * 2, runtime)
+            })
+            .collect();
+        let cfg = EpisodeConfig {
+            pair_nodes: 1,
+            pair_timelimit: 6 * HOUR,
+            pair_runtime: 6 * HOUR,
+            decision_interval: HOUR,
+            history_k: 4,
+            warmup: DAY,
+            pair_user: 999,
+        };
+        let t0s: Vec<i64> = t0_offsets.iter().map(|&h| 2 * DAY + h * HOUR).collect();
+        let net = || DualHeadNet::new(DualHeadConfig {
+            foundation: mirage_nn::FoundationKind::Transformer,
+            transformer: mirage_nn::TransformerConfig {
+                input_dim: STATE_VARS,
+                seq_len: 4,
+                d_model: 8,
+                heads: 2,
+                layers: 1,
+                ff_mult: 2,
+            },
+            action_encoding: ActionEncoding::TwoHead,
+            freeze_foundation: false,
+            seed: net_seed,
+        });
+
+        let mut seq_agent = DqnAgent::new(net(), DqnConfig::default());
+        let sequential: Vec<_> = t0s
+            .iter()
+            .map(|&t0| {
+                let mut sim = mirage_sim::Simulator::new(mirage_sim::SimConfig::new(4));
+                run_episode(&mut sim, &trace, &cfg, t0, |ctx| {
+                    Action::from_index(seq_agent.act_greedy(ctx.state_matrix))
+                })
+            })
+            .collect();
+
+        let mut batch_agent = DqnAgent::new(net(), DqnConfig::default());
+        let backends =
+            (0..t0s.len()).map(|_| mirage_sim::Simulator::new(mirage_sim::SimConfig::new(4)));
+        let batched = run_episodes_batched(backends, &trace, &cfg, &t0s, &mut batch_agent);
+
+        for (b, s) in batched.iter().zip(&sequential) {
+            prop_assert_eq!(&b.outcome, &s.outcome);
+            prop_assert_eq!(b.succ_submit, s.succ_submit);
+            prop_assert_eq!(b.succ_start, s.succ_start);
+            prop_assert_eq!(b.submitted_by_policy, s.submitted_by_policy);
+            prop_assert_eq!(b.decisions.len(), s.decisions.len());
+            for ((bm, ba), (sm, sa)) in b.decisions.iter().zip(&s.decisions) {
+                prop_assert_eq!(ba, sa);
+                prop_assert_eq!(bm, sm);
+            }
         }
     }
 }

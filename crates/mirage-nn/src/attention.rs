@@ -110,52 +110,119 @@ impl MultiHeadAttention {
     /// temporary drawn from `scratch`: no cache, no allocation once the
     /// arena is warm. Bit-identical to [`MultiHeadAttention::forward`]
     /// (same projection, score, softmax and mixing arithmetic in the same
-    /// order) — but the per-head Q/K/V column slices are read *in place*
-    /// from the projected matrices instead of being copied out, and the
-    /// head outputs accumulate straight into the concat buffer.
+    /// order). Single-sequence special case of
+    /// [`MultiHeadAttention::forward_batch_into`].
     pub fn forward_into(&self, ps: &ParamSet, x: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
-        let seq = x.rows();
+        self.forward_batch_into(ps, x, 1, out, scratch);
+    }
+
+    /// Batched inference forward: `x` row-stacks `batch` independent
+    /// `seq × d_model` sequences (`x.rows() = batch · seq`), and `out`
+    /// receives the row-stacked attention outputs. The Q/K/V and output
+    /// projections run as **one matmul each over the whole batch** (the
+    /// amortization this path exists for), while the score/softmax/mix
+    /// stage is confined to each block — sequences never attend across
+    /// episode boundaries. Per block the arithmetic is bit-identical to
+    /// [`MultiHeadAttention::forward_into`] on that block alone:
+    ///
+    /// * projections are row-local, so row-stacking cannot change them,
+    /// * the per-head Q/K/V column slices are read *in place* from the
+    ///   projected matrices (head columns are contiguous within each
+    ///   row), with the scale folded into the score multiply exactly as
+    ///   the cached path's `scale` pass applies it,
+    /// * head outputs accumulate straight into the concat buffer in
+    ///   ascending key order, like the cached path's `a.matmul(&vh)`.
+    pub fn forward_batch_into(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        let rows = x.rows();
+        assert!(
+            batch >= 1 && rows.is_multiple_of(batch),
+            "batch {batch} must evenly divide {rows} stacked rows"
+        );
+        let seq = rows / batch;
         let dh = self.d_head();
         let scale = 1.0 / (dh as f32).sqrt();
 
-        let mut q = scratch.take(seq, self.d_model);
-        let mut k = scratch.take(seq, self.d_model);
-        let mut v = scratch.take(seq, self.d_model);
+        let mut q = scratch.take(rows, self.d_model);
+        let mut k = scratch.take(rows, self.d_model);
+        let mut v = scratch.take(rows, self.d_model);
         self.wq.forward_into(ps, x, &mut q);
         self.wk.forward_into(ps, x, &mut k);
         self.wv.forward_into(ps, x, &mut v);
 
-        let mut concat = scratch.take(seq, self.d_model);
+        let mut concat = scratch.take(rows, self.d_model);
         let mut scores = scratch.take(seq, seq);
-        for h in 0..self.heads {
-            let cols = h * dh..(h + 1) * dh;
-            // scores[r][c] = ⟨q_h[r], k_h[c]⟩ · scale — head columns are
-            // contiguous within each row, so no slice copies are needed,
-            // and the scale folds into the same elementwise multiply the
-            // cached path applies in its `scale` pass.
-            for r in 0..seq {
-                let qrow = &q.row(r)[cols.clone()];
-                let srow = scores.row_mut(r);
-                for (c, s) in srow.iter_mut().enumerate() {
-                    *s = crate::tensor::dot(qrow, &k.row(c)[cols.clone()]) * scale;
+        // Transposed-key buffer, only materialized for the narrow-head
+        // fast path below (zero-sized otherwise).
+        let use_kt = dh <= 8;
+        let mut kt = scratch.take(if use_kt { dh } else { 0 }, if use_kt { seq } else { 0 });
+        for blk in 0..batch {
+            let row0 = blk * seq;
+            for h in 0..self.heads {
+                let cols = h * dh..(h + 1) * dh;
+                // scores[r][c] = ⟨q_h[row0+r], k_h[row0+c]⟩ · scale.
+                //
+                // For d_head ≤ 8 the keys are transposed per head/block
+                // and the dot accumulates key-outer: the inner loop runs
+                // across *keys* (vector-width parallel, no horizontal
+                // sums), while each score still sums its products in
+                // ascending head-dim order — `tensor::dot`'s exact order
+                // below one full lane chunk, so the cached path's
+                // `qh.matmul_t(&kh)` is reproduced bit for bit. Wider
+                // heads fall back to `dot`, whose lane-chunked order is
+                // what the cached path computes there.
+                if use_kt {
+                    for (t, c0) in cols.clone().enumerate() {
+                        let ktrow = kt.row_mut(t);
+                        for (c, kv) in ktrow.iter_mut().enumerate() {
+                            *kv = k.get(row0 + c, c0);
+                        }
+                    }
+                    for r in 0..seq {
+                        let qrow = &q.row(row0 + r)[cols.clone()];
+                        let srow = scores.row_mut(r);
+                        srow.fill(0.0);
+                        for (t, &qv) in qrow.iter().enumerate() {
+                            for (s, &kv) in srow.iter_mut().zip(kt.row(t)) {
+                                *s += qv * kv;
+                            }
+                        }
+                        for s in srow.iter_mut() {
+                            *s *= scale;
+                        }
+                    }
+                } else {
+                    for r in 0..seq {
+                        let qrow = &q.row(row0 + r)[cols.clone()];
+                        let srow = scores.row_mut(r);
+                        for (c, s) in srow.iter_mut().enumerate() {
+                            *s = crate::tensor::dot(qrow, &k.row(row0 + c)[cols.clone()]) * scale;
+                        }
+                    }
                 }
-            }
-            scores.softmax_rows_in_place();
-            // concat_h[r] = Σ_c a[r][c] · v_h[c], accumulated in ascending
-            // `c` exactly like the cached path's `a.matmul(&vh)`.
-            for r in 0..seq {
-                let arow = scores.row(r);
-                let orow = &mut concat.row_mut(r)[cols.clone()];
-                orow.fill(0.0);
-                for (c, &a) in arow.iter().enumerate() {
-                    let vrow = &v.row(c)[cols.clone()];
-                    for (o, &vv) in orow.iter_mut().zip(vrow) {
-                        *o += a * vv;
+                scores.softmax_rows_in_place();
+                // concat_h[row0+r] = Σ_c a[r][c] · v_h[row0+c].
+                for r in 0..seq {
+                    let arow = scores.row(r);
+                    let orow = &mut concat.row_mut(row0 + r)[cols.clone()];
+                    orow.fill(0.0);
+                    for (c, &a) in arow.iter().enumerate() {
+                        let vrow = &v.row(row0 + c)[cols.clone()];
+                        for (o, &vv) in orow.iter_mut().zip(vrow) {
+                            *o += a * vv;
+                        }
                     }
                 }
             }
         }
         self.wo.forward_into(ps, &concat, out);
+        scratch.give(kt);
         scratch.give(scores);
         scratch.give(concat);
         scratch.give(v);

@@ -12,7 +12,7 @@ use crate::moe::{GatingKind, MoECache, MoEFoundation};
 use crate::param::{Grads, ParamSet};
 use crate::scratch::Scratch;
 use crate::tensor::Matrix;
-use crate::transformer::{TransformerCache, TransformerConfig, TransformerEncoder};
+use crate::transformer::{EmbedRowCache, TransformerCache, TransformerConfig, TransformerEncoder};
 
 /// Which foundation architecture to build (§6 compares both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,6 +112,48 @@ impl FoundationNet {
         match self {
             FoundationNet::Transformer(t) => t.forward_into(ps, x, out, scratch),
             FoundationNet::MoE(m) => m.forward_into(ps, x, out, scratch),
+        }
+    }
+
+    /// Batched inference encode: `xs` row-stacks `batch` state matrices
+    /// (uniform sequence length), and row `b` of the `batch × d_model`
+    /// output receives episode `b`'s feature. Each output row is
+    /// bit-identical to a sequential [`FoundationNet::forward_into`] of
+    /// that block; the batching only amortizes the row-local matmuls.
+    pub fn forward_batch_into(
+        &self,
+        ps: &ParamSet,
+        xs: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        match self {
+            FoundationNet::Transformer(t) => t.forward_batch_into(ps, xs, batch, out, scratch),
+            FoundationNet::MoE(m) => m.forward_batch_into(ps, xs, batch, out, scratch),
+        }
+    }
+
+    /// [`FoundationNet::forward_batch_into`] with per-episode
+    /// [`EmbedRowCache`]s (`caches.len() == batch`). Transformer
+    /// foundations reuse unchanged embed rows across decision ticks; MoE
+    /// foundations have no single shared embedding to key on and simply
+    /// recompute (the caches are left untouched). Results are
+    /// bit-identical to the uncached batch path either way.
+    pub fn forward_batch_cached_into(
+        &self,
+        ps: &ParamSet,
+        xs: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        scratch: &mut Scratch,
+        caches: &mut [EmbedRowCache],
+    ) {
+        match self {
+            FoundationNet::Transformer(t) => {
+                t.forward_batch_cached_into(ps, xs, batch, out, scratch, caches)
+            }
+            FoundationNet::MoE(m) => m.forward_batch_into(ps, xs, batch, out, scratch),
         }
     }
 

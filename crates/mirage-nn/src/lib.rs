@@ -41,7 +41,7 @@ pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{Grads, ParamId, ParamSet};
 pub use scratch::Scratch;
 pub use tensor::Matrix;
-pub use transformer::{TransformerConfig, TransformerEncoder};
+pub use transformer::{EmbedRowCache, TransformerConfig, TransformerEncoder};
 
 /// Convenience imports.
 pub mod prelude {

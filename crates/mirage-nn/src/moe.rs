@@ -157,6 +157,89 @@ impl MoEFoundation {
         scratch.give(flat);
     }
 
+    /// Batched inference forward: `xs` row-stacks `batch` independent
+    /// `seq × input_dim` state matrices; row `b` of the `batch × d_model`
+    /// output receives episode `b`'s mixture. The gate runs as one matmul
+    /// over the per-block flattened states, and under dense gating every
+    /// expert encoder runs one batched pass over the whole stack. Each
+    /// output row is bit-identical to a sequential
+    /// [`MoEFoundation::forward_into`] of that block: flattening, gate
+    /// logits and softmax are row-local, and the dense mixture
+    /// accumulates experts in the same ascending order. Top-1 gating
+    /// picks a (possibly different) expert per episode, so its expert
+    /// passes degenerate to per-block `forward_into` calls — only the
+    /// gate amortizes.
+    pub fn forward_batch_into(
+        &self,
+        ps: &ParamSet,
+        xs: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        assert!(
+            batch >= 1 && xs.rows().is_multiple_of(batch),
+            "batch {batch} must evenly divide {} stacked rows",
+            xs.rows()
+        );
+        let seq = xs.rows() / batch;
+        let width = self.cfg.input_dim;
+        let mut flat = scratch.take(batch, self.cfg.seq_len * width);
+        for blk in 0..batch {
+            for r in 0..seq {
+                let frow = &mut flat.row_mut(blk)[r * width..r * width + width];
+                frow.copy_from_slice(&xs.row(blk * seq + r)[..width]);
+            }
+        }
+        let mut gate_probs = scratch.take(batch, self.experts.len());
+        self.gate.forward_into(ps, &flat, &mut gate_probs);
+        gate_probs.softmax_rows_in_place();
+
+        out.reset(batch, self.out_dim());
+        match self.kind {
+            GatingKind::Dense => {
+                let mut feat = scratch.take(batch, self.out_dim());
+                for (e, expert) in self.experts.iter().enumerate() {
+                    expert.forward_batch_into(ps, xs, batch, &mut feat, scratch);
+                    for blk in 0..batch {
+                        let g = gate_probs.get(blk, e);
+                        for (o, &f) in out.row_mut(blk).iter_mut().zip(feat.row(blk)) {
+                            *o += g * f;
+                        }
+                    }
+                }
+                scratch.give(feat);
+            }
+            GatingKind::TopOne => {
+                let mut xblk = scratch.take(seq, width);
+                let mut feat = scratch.take(1, self.out_dim());
+                for blk in 0..batch {
+                    // Same argmax semantics as `Matrix::argmax` (last of
+                    // equal maxima) over this episode's gate row.
+                    let best = gate_probs
+                        .row(blk)
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    for r in 0..seq {
+                        xblk.row_mut(r).copy_from_slice(xs.row(blk * seq + r));
+                    }
+                    self.experts[best].forward_into(ps, &xblk, &mut feat, scratch);
+                    let g = gate_probs.get(blk, best);
+                    for (o, &f) in out.row_mut(blk).iter_mut().zip(feat.row(0)) {
+                        *o += g * f;
+                    }
+                }
+                scratch.give(feat);
+                scratch.give(xblk);
+            }
+        }
+        scratch.give(gate_probs);
+        scratch.give(flat);
+    }
+
     /// Backward pass; accumulates gate and (active) expert gradients and
     /// returns `dx`.
     pub fn backward(

@@ -20,10 +20,85 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
-/// Register-tile width of the matmul microkernel: the accumulator tile
-/// (`MM_TILE_J` f32 = two 8-lane vectors) lives in registers across the
-/// whole shared-dimension walk, so each output element is touched once.
-const MM_TILE_J: usize = 16;
+/// SIMD lane width the matmul microkernel is blocked around: 8 × f32 is
+/// one 256-bit vector (AVX2 `ymm` / two NEON `q` registers), the widest
+/// unit the targets we build for retire as a single FMA. Accumulators are
+/// declared as `[f32; MM_LANES]` blocks so the vectorizer maps each block
+/// onto exactly one register instead of guessing a profitable width.
+const MM_LANES: usize = 8;
+/// Lane vectors per column tile: the accumulator tile spans
+/// `MM_LANE_VECS` explicit 8-lane vectors (16 columns).
+const MM_LANE_VECS: usize = 2;
+/// Register-tile width of the matmul microkernel in columns.
+const MM_TILE_J: usize = MM_LANES * MM_LANE_VECS;
+/// Rows per register block: three output rows share every streamed `rhs`
+/// row, so the kernel performs `MM_TILE_I × MM_LANE_VECS` = 6 FMAs per
+/// two vector loads. `3 × 2` lane vectors = 6 accumulator registers —
+/// measured fastest on the layer shapes here against 2×2, 4×2 and 2×4
+/// tilings (wider tiles start spilling broadcasts out of a 16-register
+/// file).
+const MM_TILE_I: usize = 3;
+
+/// Computes output rows `r0 .. r0 + R` of `out = lhs × rhs`, where `lhs`
+/// is `(≥ r0+R) × kdim` and `rhs` is `kdim × n`, both row-major.
+///
+/// The accumulator tile — `R` rows × [`MM_LANE_VECS`] explicit
+/// [`MM_LANES`]-wide vectors — lives in registers across the whole
+/// shared-dimension walk, so each output element is stored exactly once.
+/// Per output element the accumulation runs in ascending-`k` order with a
+/// single accumulator, so results are bit-identical to the naive triple
+/// loop (and therefore independent of `R`: the 4/2/1-row instantiations
+/// that tile the output agree bitwise).
+///
+/// `out` must be pre-zeroed over the computed rows (the column tail
+/// accumulates in place).
+#[inline(always)]
+fn mm_row_block<const R: usize>(
+    lhs: &[f32],
+    kdim: usize,
+    rhs: &[f32],
+    n: usize,
+    out: &mut [f32],
+    r0: usize,
+) {
+    let arows: [&[f32]; R] = std::array::from_fn(|r| &lhs[(r0 + r) * kdim..(r0 + r + 1) * kdim]);
+    let tiles = n / MM_TILE_J;
+    for tile in 0..tiles {
+        let jj = tile * MM_TILE_J;
+        // Flat `MM_TILE_J`-wide accumulators: each is exactly
+        // `MM_LANE_VECS` lane vectors, and the flat layout lets the
+        // vectorizer keep them in registers without shuffles.
+        let mut acc = [[0.0f32; MM_TILE_J]; R];
+        for k in 0..kdim {
+            let brow = &rhs[k * n + jj..k * n + jj + MM_TILE_J];
+            for r in 0..R {
+                let av = arows[r][k];
+                for t in 0..MM_TILE_J {
+                    acc[r][t] += av * brow[t];
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let o = (r0 + r) * n + jj;
+            out[o..o + MM_TILE_J].copy_from_slice(accr);
+        }
+    }
+    // Column tail (n % MM_TILE_J): stream each rhs row once, accumulating
+    // into the (pre-zeroed) output — still ascending k per element.
+    let jj = tiles * MM_TILE_J;
+    if jj < n {
+        for k in 0..kdim {
+            let brow = &rhs[k * n + jj..(k + 1) * n];
+            for r in 0..R {
+                let av = arows[r][k];
+                let orow = &mut out[(r0 + r) * n + jj..(r0 + r + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
 
 impl Matrix {
     /// Zero matrix of the given shape.
@@ -164,12 +239,13 @@ impl Matrix {
     /// Matrix product `self × rhs` written into `out` (reshaped in place;
     /// no allocation once `out`'s buffer is large enough).
     ///
-    /// The kernel is register-tiled: a [`MM_TILE_J`]-wide accumulator tile
-    /// stays in vector registers across the whole shared-dimension walk
-    /// (one output store per element, branch-free inner loop the
-    /// vectorizer turns into FMAs). Per output element the accumulation
-    /// runs in ascending-`k` order, so results are bit-identical to the
-    /// naive triple loop.
+    /// The kernel is explicitly SIMD-width-blocked (see [`mm_row_block`]):
+    /// [`MM_TILE_I`]-row blocks over a column tile of [`MM_LANE_VECS`]
+    /// [`MM_LANES`]-wide accumulator vectors, so every streamed `rhs` row
+    /// feeds `MM_TILE_I × MM_LANE_VECS` FMAs and each output element is
+    /// stored once. Per output element the accumulation runs in
+    /// ascending-`k` order, so results are bit-identical to the naive
+    /// triple loop (pinned by property test) regardless of the tiling.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
@@ -180,66 +256,17 @@ impl Matrix {
         );
         let (m, kdim, n) = (self.rows, self.cols, rhs.cols);
         out.reset(m, n);
-        let tiles = n / MM_TILE_J;
-        // Row pairs share each streamed rhs row (halves the loads per FMA).
         let mut r = 0;
-        while r + 2 <= m {
-            let (a0, a1) = (
-                &self.data[r * kdim..(r + 1) * kdim],
-                &self.data[(r + 1) * kdim..(r + 2) * kdim],
-            );
-            for tile in 0..tiles {
-                let jj = tile * MM_TILE_J;
-                let mut acc0 = [0.0f32; MM_TILE_J];
-                let mut acc1 = [0.0f32; MM_TILE_J];
-                for k in 0..kdim {
-                    let (av0, av1) = (a0[k], a1[k]);
-                    let brow = &rhs.data[k * n + jj..k * n + jj + MM_TILE_J];
-                    for t in 0..MM_TILE_J {
-                        acc0[t] += av0 * brow[t];
-                        acc1[t] += av1 * brow[t];
-                    }
-                }
-                out.data[r * n + jj..r * n + jj + MM_TILE_J].copy_from_slice(&acc0);
-                out.data[(r + 1) * n + jj..(r + 1) * n + jj + MM_TILE_J].copy_from_slice(&acc1);
-            }
-            let jj = tiles * MM_TILE_J;
-            if jj < n {
-                for k in 0..kdim {
-                    let (av0, av1) = (a0[k], a1[k]);
-                    let brow = &rhs.data[k * n + jj..(k + 1) * n];
-                    for (t, &bv) in brow.iter().enumerate() {
-                        out.data[r * n + jj + t] += av0 * bv;
-                        out.data[(r + 1) * n + jj + t] += av1 * bv;
-                    }
-                }
-            }
+        while r + MM_TILE_I <= m {
+            mm_row_block::<MM_TILE_I>(&self.data, kdim, &rhs.data, n, &mut out.data, r);
+            r += MM_TILE_I;
+        }
+        if r + 2 <= m {
+            mm_row_block::<2>(&self.data, kdim, &rhs.data, n, &mut out.data, r);
             r += 2;
         }
-        // Odd trailing row: single-row microkernel.
         if r < m {
-            let arow = &self.data[r * kdim..(r + 1) * kdim];
-            let orow = &mut out.data[r * n..(r + 1) * n];
-            for tile in 0..tiles {
-                let jj = tile * MM_TILE_J;
-                let mut acc = [0.0f32; MM_TILE_J];
-                for (k, &a) in arow.iter().enumerate() {
-                    let brow = &rhs.data[k * n + jj..k * n + jj + MM_TILE_J];
-                    for (t, &bv) in acc.iter_mut().zip(brow) {
-                        *t += a * bv;
-                    }
-                }
-                orow[jj..jj + MM_TILE_J].copy_from_slice(&acc);
-            }
-            let jj = tiles * MM_TILE_J;
-            if jj < n {
-                for (k, &a) in arow.iter().enumerate() {
-                    let brow = &rhs.data[k * n + jj..(k + 1) * n];
-                    for (o, &bv) in orow[jj..].iter_mut().zip(brow) {
-                        *o += a * bv;
-                    }
-                }
-            }
+            mm_row_block::<1>(&self.data, kdim, &rhs.data, n, &mut out.data, r);
         }
     }
 
@@ -449,9 +476,32 @@ impl Matrix {
 
     /// In-place row-wise softmax (the kernel behind
     /// [`Matrix::softmax_rows`]).
+    ///
+    /// Same per-element arithmetic as [`softmax_in_place`] on every row —
+    /// shift by the row max, [`crate::activation::fast_exp`], divide by
+    /// the ascending-order row sum — but staged so the exponential pass
+    /// runs over the whole matrix as one flat loop: attention's `seq ×
+    /// seq` score rows are too short to amortize per-row vector ramp-up,
+    /// a single `rows·cols` pass is not.
     pub fn softmax_rows_in_place(&mut self) {
         for r in 0..self.rows {
-            softmax_in_place(self.row_mut(r));
+            let row = self.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            for x in row.iter_mut() {
+                *x -= max;
+            }
+        }
+        for x in self.data.iter_mut() {
+            *x = crate::activation::fast_exp(*x);
+        }
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            let sum: f32 = row.iter().sum();
+            if sum > 0.0 {
+                for x in row.iter_mut() {
+                    *x /= sum;
+                }
+            }
         }
     }
 
@@ -513,13 +563,21 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Numerically-stable in-place softmax of one slice.
+///
+/// Exponentials run through [`crate::activation::fast_exp`] — every
+/// softmax in the crate (training *and* inference, sequential *and*
+/// batched) flows through this one kernel, so the approximation can
+/// never introduce drift between paths.
 pub fn softmax_in_place(xs: &mut [f32]) {
     let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
+    // Exponentiation and summation as separate passes: the map pass has
+    // no cross-element dependency, so it vectorizes across the row; the
+    // sum still adds in ascending index order (same result as a fused
+    // loop, without serializing the exponentials behind it).
     for x in xs.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
+        *x = crate::activation::fast_exp(*x - max);
     }
+    let sum: f32 = xs.iter().sum();
     if sum > 0.0 {
         for x in xs.iter_mut() {
             *x /= sum;

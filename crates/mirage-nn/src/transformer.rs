@@ -108,21 +108,32 @@ impl EncoderLayer {
         )
     }
 
-    /// Inference-only layer forward into `out`, temporaries from
-    /// `scratch`. Bit-identical to [`EncoderLayer::forward`].
-    fn forward_into(&self, ps: &ParamSet, x: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
-        let (seq, d) = x.shape();
-        let mut n1 = scratch.take(seq, d);
+    /// Batched inference layer forward: `x` row-stacks `batch` sequences.
+    /// LayerNorm, the feed-forward pair and both residual adds are
+    /// row-local, so they run over the whole stacked matrix unchanged;
+    /// self-attention is confined to each block. Per block, bit-identical
+    /// to [`EncoderLayer::forward`] on that block alone.
+    fn forward_batch_into(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        let (rows, d) = x.shape();
+        let mut n1 = scratch.take(rows, d);
         self.ln1.forward_into(ps, x, &mut n1);
-        let mut a = scratch.take(seq, d);
-        self.attn.forward_into(ps, &n1, &mut a, scratch);
+        let mut a = scratch.take(rows, d);
+        self.attn
+            .forward_batch_into(ps, &n1, batch, &mut a, scratch);
         // h = x + a
-        let mut h = scratch.take(seq, d);
+        let mut h = scratch.take(rows, d);
         h.copy_from(x);
         h.add_assign(&a);
-        let mut n2 = scratch.take(seq, d);
+        let mut n2 = scratch.take(rows, d);
         self.ln2.forward_into(ps, &h, &mut n2);
-        let mut f1 = scratch.take(seq, self.ff1.out_dim);
+        let mut f1 = scratch.take(rows, self.ff1.out_dim);
         self.ff1.forward_into(ps, &n2, &mut f1);
         self.act.apply_in_place(&mut f1);
         // y = h + FFN(…): ff2 lands in `out`, then the residual is added
@@ -178,6 +189,57 @@ pub struct TransformerCache {
     c_embed: LinearCache,
     c_layers: Vec<EncoderLayerCache>,
     seq: usize,
+}
+
+/// Incremental embed-row cache for the inference path (one per episode):
+/// the last input window and its pre-positional embedding rows. The
+/// decision loop shifts its history window by one row per tick, so
+/// [`TransformerEncoder::forward_cached_into`] reuses `seq − 1` embed
+/// rows and recomputes exactly the new one.
+///
+/// Reuse is keyed on **bitwise** input-row equality, and recomputation is
+/// bit-identical to the full embed matmul — cached results can never
+/// drift from uncached ones. What the cache *cannot* see is a parameter
+/// update: call [`EmbedRowCache::clear`] after any training step on the
+/// owning network.
+#[derive(Debug, Clone)]
+pub struct EmbedRowCache {
+    /// Last input window (`seq × input_dim`).
+    x: Matrix,
+    /// Pre-positional embed rows of `x` (`seq × d_model`).
+    e: Matrix,
+    /// Whether `x`/`e` hold a previous pass.
+    warm: bool,
+}
+
+impl Default for EmbedRowCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmbedRowCache {
+    /// Empty (cold) cache.
+    pub fn new() -> Self {
+        Self {
+            x: Matrix::zeros(0, 0),
+            e: Matrix::zeros(0, 0),
+            warm: false,
+        }
+    }
+
+    /// Drops the cached rows; the next pass recomputes everything. Must
+    /// be called after any update to the encoder's parameters.
+    pub fn clear(&mut self) {
+        self.warm = false;
+    }
+}
+
+/// Bitwise slice equality — the cache-reuse predicate. `f32::to_bits`
+/// comparison (not `==`) so `-0.0` vs `0.0` or NaN payloads can never
+/// alias two inputs whose embeddings could differ in bits.
+fn rows_bit_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 impl TransformerEncoder {
@@ -252,20 +314,208 @@ impl TransformerEncoder {
         );
         let mut h = scratch.take(x.rows(), self.cfg.d_model);
         self.embed.forward_into(ps, x, &mut h);
-        // e + positional encoding, in the same element order as `forward`.
-        for r in 0..h.rows() {
-            for (hv, &pv) in h.row_mut(r).iter_mut().zip(self.pos.row(r)) {
-                *hv += pv;
+        self.encode_embedded(ps, &mut h, x.rows(), 1, out, scratch);
+        scratch.give(h);
+    }
+
+    /// [`TransformerEncoder::forward_into`] with incremental embed-row
+    /// caching: in a decision loop only one history row changes per tick
+    /// (the window shifts by one and a new row arrives), so the embedding
+    /// rows of unchanged inputs are reused from `cache` and only dirty
+    /// rows are recomputed. Reuse requires *bitwise* row equality and the
+    /// single-row recompute accumulates in the same ascending-`k` order
+    /// as the matmul microkernel, so the result is bit-identical to
+    /// [`TransformerEncoder::forward_into`] whatever the cache state.
+    ///
+    /// The cache keys on input content only — it cannot see parameter
+    /// updates. Holding a `&self` borrow across the cache's lifetime (as
+    /// the batched episode driver does) rules mutation out statically;
+    /// anything that trains the encoder between calls must call
+    /// [`EmbedRowCache::clear`] first.
+    pub fn forward_cached_into(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        out: &mut Matrix,
+        scratch: &mut Scratch,
+        cache: &mut EmbedRowCache,
+    ) {
+        assert_eq!(x.cols(), self.cfg.input_dim, "state row width mismatch");
+        assert!(
+            x.rows() <= self.cfg.seq_len,
+            "sequence longer than configured"
+        );
+        self.embed_cached_rows(ps, x, 0, x.rows(), cache);
+        let mut h = scratch.take(0, 0);
+        h.copy_from(&cache.e);
+        self.encode_embedded(ps, &mut h, x.rows(), 1, out, scratch);
+        scratch.give(h);
+    }
+
+    /// Batched inference encode: `xs` row-stacks `batch` independent
+    /// `seq × input_dim` state matrices (uniform `seq = xs.rows() /
+    /// batch`), and row `b` of the `batch × d_model` output receives
+    /// episode `b`'s pooled feature. The row embedding runs as **one
+    /// matmul over the whole batch**, the layer stack shares its
+    /// row-local projections the same way, and attention/pooling are
+    /// confined to each block — so each output row is bit-identical to a
+    /// sequential [`TransformerEncoder::forward_into`] of that block.
+    pub fn forward_batch_into(
+        &self,
+        ps: &ParamSet,
+        xs: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        let seq = self.batch_seq(xs, batch);
+        let mut h = scratch.take(xs.rows(), self.cfg.d_model);
+        self.embed.forward_into(ps, xs, &mut h);
+        self.encode_embedded(ps, &mut h, seq, batch, out, scratch);
+        scratch.give(h);
+    }
+
+    /// [`TransformerEncoder::forward_batch_into`] with one
+    /// [`EmbedRowCache`] per episode (`caches.len() == batch`): dirty
+    /// embed rows are recomputed per episode, everything else is reused.
+    /// Bit-identical to the uncached batch path (and therefore to the
+    /// sequential per-episode path).
+    pub fn forward_batch_cached_into(
+        &self,
+        ps: &ParamSet,
+        xs: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        scratch: &mut Scratch,
+        caches: &mut [EmbedRowCache],
+    ) {
+        let seq = self.batch_seq(xs, batch);
+        assert_eq!(caches.len(), batch, "one embed cache per episode");
+        let mut h = scratch.take(xs.rows(), self.cfg.d_model);
+        for (blk, cache) in caches.iter_mut().enumerate() {
+            self.embed_cached_rows(ps, xs, blk * seq, seq, cache);
+            for r in 0..seq {
+                h.row_mut(blk * seq + r).copy_from_slice(cache.e.row(r));
             }
         }
-        let mut next = scratch.take(x.rows(), self.cfg.d_model);
-        for layer in &self.layers {
-            layer.forward_into(ps, &h, &mut next, scratch);
-            std::mem::swap(&mut h, &mut next);
-        }
-        h.mean_rows_into(out);
-        scratch.give(next);
+        self.encode_embedded(ps, &mut h, seq, batch, out, scratch);
         scratch.give(h);
+    }
+
+    /// Validates a row-stacked batch and returns the per-block sequence
+    /// length.
+    fn batch_seq(&self, xs: &Matrix, batch: usize) -> usize {
+        assert_eq!(xs.cols(), self.cfg.input_dim, "state row width mismatch");
+        assert!(
+            batch >= 1 && xs.rows().is_multiple_of(batch),
+            "batch {batch} must evenly divide {} stacked rows",
+            xs.rows()
+        );
+        let seq = xs.rows() / batch;
+        assert!(seq <= self.cfg.seq_len, "sequence longer than configured");
+        seq
+    }
+
+    /// Shared inference body behind every `forward*_into` entry point:
+    /// `h` holds `batch` row-stacked blocks of pre-positional embed rows
+    /// (`batch·seq × d_model`). Adds the positional encodings per block,
+    /// runs the layer stack (attention confined to each block), and
+    /// mean-pools each block into row `b` of `out` with the exact
+    /// [`Matrix::mean_rows_into`] arithmetic.
+    fn encode_embedded(
+        &self,
+        ps: &ParamSet,
+        h: &mut Matrix,
+        seq: usize,
+        batch: usize,
+        out: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        // e + positional encoding, in the same element order as `forward`
+        // (pos row index restarts at every block boundary).
+        for blk in 0..batch {
+            for r in 0..seq {
+                for (hv, &pv) in h.row_mut(blk * seq + r).iter_mut().zip(self.pos.row(r)) {
+                    *hv += pv;
+                }
+            }
+        }
+        let mut next = scratch.take(h.rows(), self.cfg.d_model);
+        for layer in &self.layers {
+            layer.forward_batch_into(ps, h, batch, &mut next, scratch);
+            std::mem::swap(h, &mut next);
+        }
+        out.reset(batch, self.cfg.d_model);
+        for blk in 0..batch {
+            let orow = out.row_mut(blk);
+            for r in 0..seq {
+                for (o, &v) in orow.iter_mut().zip(h.row(blk * seq + r)) {
+                    *o += v;
+                }
+            }
+            let inv = 1.0 / seq.max(1) as f32;
+            for o in orow.iter_mut() {
+                *o *= inv;
+            }
+        }
+        scratch.give(next);
+    }
+
+    /// Embeds rows `row0 .. row0 + seq` of `xs` into `cache.e`
+    /// (pre-positional), recomputing only rows whose input changed since
+    /// the cached pass. Three per-row cases, checked in order:
+    ///
+    /// 1. bitwise-equal to the cached row at the same index → keep,
+    /// 2. bitwise-equal to the cached row one below (the history window
+    ///    shifted) → move that embed row up in place (ascending `r` reads
+    ///    source rows before they are overwritten),
+    /// 3. otherwise → recompute `e[r] = x[r]·W + b` with a single
+    ///    ascending-`k` accumulator per element, matching the matmul
+    ///    microkernel bit for bit.
+    fn embed_cached_rows(
+        &self,
+        ps: &ParamSet,
+        xs: &Matrix,
+        row0: usize,
+        seq: usize,
+        cache: &mut EmbedRowCache,
+    ) {
+        let m = self.cfg.input_dim;
+        if !cache.warm || cache.x.shape() != (seq, m) {
+            cache.x.reset(seq, m);
+            for r in 0..seq {
+                cache.x.row_mut(r).copy_from_slice(xs.row(row0 + r));
+            }
+            self.embed.forward_into(ps, &cache.x, &mut cache.e);
+            cache.warm = true;
+            return;
+        }
+        let w = ps.get(self.embed.w);
+        let bias = ps.get(self.embed.b).row(0);
+        for r in 0..seq {
+            let xr = xs.row(row0 + r);
+            if rows_bit_eq(xr, cache.x.row(r)) {
+                continue;
+            }
+            if r + 1 < seq && rows_bit_eq(xr, cache.x.row(r + 1)) {
+                let d = cache.e.cols();
+                cache
+                    .e
+                    .data_mut()
+                    .copy_within((r + 1) * d..(r + 2) * d, r * d);
+            } else {
+                for (j, e) in cache.e.row_mut(r).iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (k, &xv) in xr.iter().enumerate() {
+                        acc += xv * w.get(k, j);
+                    }
+                    *e = acc + bias[j];
+                }
+            }
+        }
+        for r in 0..seq {
+            cache.x.row_mut(r).copy_from_slice(xs.row(row0 + r));
+        }
     }
 
     /// Backward from the pooled feature gradient (`1 × d_model`).

@@ -15,7 +15,8 @@ use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::dualhead::{ActionEncoding, DualHeadNet};
+use crate::dualhead::{ActionEncoding, BatchInferCache, DualHeadNet};
+use crate::greedy_pair;
 use crate::replay::Experience;
 use crate::schedule::EpsilonSchedule;
 
@@ -65,6 +66,11 @@ pub struct DqnAgent {
     /// Reusable inference buffers: serving-time decisions allocate
     /// nothing once this arena is warm.
     scratch: Scratch,
+    /// Per-episode embed-row caches for the batched greedy path
+    /// (invalidated after every training step).
+    batch_cache: BatchInferCache,
+    /// Reusable Q-pair buffer for the batched greedy path.
+    batch_vals: Vec<[f32; 2]>,
 }
 
 impl DqnAgent {
@@ -80,6 +86,8 @@ impl DqnAgent {
             steps: 0,
             train_steps: 0,
             scratch: Scratch::new(),
+            batch_cache: BatchInferCache::new(),
+            batch_vals: Vec::new(),
         }
     }
 
@@ -103,7 +111,24 @@ impl DqnAgent {
     /// `q_values` fast path against the agent's own scratch arena.
     pub fn act_greedy(&mut self, state: &Matrix) -> usize {
         let q = self.net.q_values(state, &mut self.scratch);
-        usize::from(q[1] > q[0])
+        greedy_pair(q)
+    }
+
+    /// Greedy actions for `batch` row-stacked states in **one** batched
+    /// forward (`q_values_batch` + the agent's embed-row caches):
+    /// `actions[b]` is bit-identical to `act_greedy` on episode `b`'s
+    /// state alone. Does not advance the exploration clock — this is the
+    /// serving/evaluation path.
+    pub fn act_greedy_batch(&mut self, states: &Matrix, batch: usize, actions: &mut Vec<usize>) {
+        self.net.q_values_batch(
+            states,
+            batch,
+            &mut self.batch_vals,
+            &mut self.scratch,
+            &mut self.batch_cache,
+        );
+        actions.clear();
+        actions.extend(self.batch_vals.iter().map(|&q| greedy_pair(q)));
     }
 
     /// Bootstrap targets for a mini-batch: foundation features of every
@@ -211,6 +236,8 @@ impl DqnAgent {
             grads.clip_global_norm(self.cfg.grad_clip);
         }
         self.opt.step(&mut self.net.ps, &grads);
+        // The parameters moved: cached embed rows are stale.
+        self.batch_cache.clear();
         self.train_steps += 1;
         if self.cfg.target_sync > 0 && self.train_steps.is_multiple_of(self.cfg.target_sync) {
             self.target = Some(self.net.clone());

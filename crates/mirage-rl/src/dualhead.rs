@@ -23,7 +23,7 @@ use mirage_nn::linear::{Linear, LinearCache};
 use mirage_nn::param::{Grads, ParamSet};
 use mirage_nn::scratch::Scratch;
 use mirage_nn::tensor::Matrix;
-use mirage_nn::transformer::TransformerConfig;
+use mirage_nn::transformer::{EmbedRowCache, TransformerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -99,6 +99,55 @@ pub struct QCache {
 pub struct HeadCache {
     f_cache: FoundationCache,
     l_cache: LinearCache,
+}
+
+/// Per-episode inference caches for the batched Q/P fast paths: one
+/// [`EmbedRowCache`] per (foundation pass, episode). [`TwoHead`]
+/// encodings run one foundation pass; [`OrdinalInput`] runs one per
+/// queried ordinal, and the augmented inputs differ per ordinal, so each
+/// pass caches its embed rows separately.
+///
+/// The caches key on input content only — after **any** update to the
+/// network's parameters, call [`BatchInferCache::clear`] (the agents do
+/// this at the end of every training step). Use separate caches for the
+/// Q and P paths under [`OrdinalInput`]: their pass-0 inputs carry
+/// different ordinals, and sharing would defeat (not corrupt) the reuse.
+///
+/// [`TwoHead`]: ActionEncoding::TwoHead
+/// [`OrdinalInput`]: ActionEncoding::OrdinalInput
+#[derive(Debug, Clone, Default)]
+pub struct BatchInferCache {
+    passes: Vec<Vec<EmbedRowCache>>,
+}
+
+impl BatchInferCache {
+    /// Empty cache set; per-episode slots grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Invalidates every cached embed row. Must follow any parameter
+    /// update on the network the cache serves.
+    pub fn clear(&mut self) {
+        for pass in &mut self.passes {
+            for c in pass {
+                c.clear();
+            }
+        }
+    }
+
+    /// The per-episode cache slice for foundation pass `idx`, grown to
+    /// `batch` slots.
+    fn pass(&mut self, idx: usize, batch: usize) -> &mut [EmbedRowCache] {
+        while self.passes.len() <= idx {
+            self.passes.push(Vec::new());
+        }
+        let pass = &mut self.passes[idx];
+        while pass.len() < batch {
+            pass.push(EmbedRowCache::new());
+        }
+        &mut pass[..batch]
+    }
 }
 
 impl DualHeadNet {
@@ -327,11 +376,120 @@ impl DualHeadNet {
         probs
     }
 
+    /// Batched inference Q-values: `states` row-stacks `batch` state
+    /// matrices (uniform row count per episode), and `out[b]` receives
+    /// `[Q(s_b, no-submit), Q(s_b, submit)]`. One foundation pass (per
+    /// ordinal) and one Q-head matmul cover the whole batch; `cache`
+    /// holds the per-episode embed rows reused across decision ticks.
+    /// Each episode's pair is bit-identical to a sequential
+    /// [`DualHeadNet::q_values`] call on its state.
+    pub fn q_values_batch(
+        &self,
+        states: &Matrix,
+        batch: usize,
+        out: &mut Vec<[f32; 2]>,
+        scratch: &mut Scratch,
+        cache: &mut BatchInferCache,
+    ) {
+        let d = self.foundation.out_dim();
+        out.clear();
+        match self.cfg.action_encoding {
+            ActionEncoding::TwoHead => {
+                let mut feats = scratch.take(batch, d);
+                self.foundation.forward_batch_cached_into(
+                    &self.ps,
+                    states,
+                    batch,
+                    &mut feats,
+                    scratch,
+                    cache.pass(0, batch),
+                );
+                let mut q = scratch.take(batch, 2);
+                self.q_head.forward_into(&self.ps, &feats, &mut q);
+                out.extend((0..batch).map(|b| [q.get(b, 0), q.get(b, 1)]));
+                scratch.give(q);
+                scratch.give(feats);
+            }
+            ActionEncoding::OrdinalInput => {
+                out.resize(batch, [0.0; 2]);
+                let mut aug = scratch.take(states.rows(), states.cols() + 1);
+                let mut feats = scratch.take(batch, d);
+                let mut q = scratch.take(batch, 1);
+                for (i, ordinal) in [-1.0f32, 1.0].iter().enumerate() {
+                    self.augment_into(states, *ordinal, &mut aug);
+                    self.foundation.forward_batch_cached_into(
+                        &self.ps,
+                        &aug,
+                        batch,
+                        &mut feats,
+                        scratch,
+                        cache.pass(i, batch),
+                    );
+                    self.q_head.forward_into(&self.ps, &feats, &mut q);
+                    for (b, vals) in out.iter_mut().enumerate() {
+                        vals[i] = q.get(b, 0);
+                    }
+                }
+                scratch.give(q);
+                scratch.give(feats);
+                scratch.give(aug);
+            }
+        }
+    }
+
+    /// Batched inference action probabilities: the P-path analogue of
+    /// [`DualHeadNet::q_values_batch`]. `out[b]` is episode `b`'s
+    /// softmaxed `[p(no-submit), p(submit)]`, bit-identical to a
+    /// sequential [`DualHeadNet::p_probs`] call.
+    pub fn p_probs_batch(
+        &self,
+        states: &Matrix,
+        batch: usize,
+        out: &mut Vec<[f32; 2]>,
+        scratch: &mut Scratch,
+        cache: &mut BatchInferCache,
+    ) {
+        let d = self.foundation.out_dim();
+        let mut feats = scratch.take(batch, d);
+        match self.cfg.action_encoding {
+            ActionEncoding::TwoHead => {
+                self.foundation.forward_batch_cached_into(
+                    &self.ps,
+                    states,
+                    batch,
+                    &mut feats,
+                    scratch,
+                    cache.pass(0, batch),
+                );
+            }
+            ActionEncoding::OrdinalInput => {
+                let mut aug = scratch.take(states.rows(), states.cols() + 1);
+                self.augment_into(states, 0.0, &mut aug);
+                self.foundation.forward_batch_cached_into(
+                    &self.ps,
+                    &aug,
+                    batch,
+                    &mut feats,
+                    scratch,
+                    cache.pass(0, batch),
+                );
+                scratch.give(aug);
+            }
+        }
+        let mut logits = scratch.take(batch, 2);
+        self.p_head.forward_into(&self.ps, &feats, &mut logits);
+        logits.softmax_rows_in_place();
+        out.clear();
+        out.extend((0..batch).map(|b| [logits.get(b, 0), logits.get(b, 1)]));
+        scratch.give(logits);
+        scratch.give(feats);
+    }
+
     /// Greedy action under the Q function (allocating compatibility
     /// wrapper; the agents use [`DualHeadNet::q_values`] with a scratch).
     pub fn greedy_action(&self, state: &Matrix) -> usize {
         let (q, _) = self.q_forward(state);
-        usize::from(q[1] > q[0])
+        crate::greedy_pair(q)
     }
 
     /// Action probabilities under the policy head.
@@ -452,6 +610,52 @@ mod tests {
                     assert_eq!(net.q_values(&s, &mut scratch), q_ref, "{enc:?}/{kind:?}");
                     let p_ref = net.action_probs(&s);
                     assert_eq!(net.p_probs(&s, &mut scratch), p_ref, "{enc:?}/{kind:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_inference_matches_sequential_bitwise() {
+        // One batched forward over row-stacked episode states must equal
+        // per-episode q_values / p_probs bit for bit, across encodings,
+        // foundations, cache warm-up and batch-width changes.
+        let mut scratch = mirage_nn::Scratch::new();
+        let mut q_cache = BatchInferCache::new();
+        let mut p_cache = BatchInferCache::new();
+        let mut q_out = Vec::new();
+        let mut p_out = Vec::new();
+        for enc in [ActionEncoding::TwoHead, ActionEncoding::OrdinalInput] {
+            for kind in [
+                FoundationKind::Transformer,
+                FoundationKind::MoE { experts: 2 },
+            ] {
+                let net = DualHeadNet::new(tiny_cfg(enc, kind));
+                for batch in [1usize, 3, 2] {
+                    let states: Vec<Matrix> = (0..batch).map(|b| state(b as u64)).collect();
+                    let mut stacked = Matrix::zeros(batch * 3, 4);
+                    for (b, s) in states.iter().enumerate() {
+                        for r in 0..3 {
+                            stacked.row_mut(b * 3 + r).copy_from_slice(s.row(r));
+                        }
+                    }
+                    // Twice per width: cold caches, then full reuse.
+                    for _ in 0..2 {
+                        net.q_values_batch(&stacked, batch, &mut q_out, &mut scratch, &mut q_cache);
+                        net.p_probs_batch(&stacked, batch, &mut p_out, &mut scratch, &mut p_cache);
+                        for (b, s) in states.iter().enumerate() {
+                            assert_eq!(
+                                q_out[b],
+                                net.q_values(s, &mut scratch),
+                                "q {enc:?}/{kind:?} batch {batch} episode {b}"
+                            );
+                            assert_eq!(
+                                p_out[b],
+                                net.p_probs(s, &mut scratch),
+                                "p {enc:?}/{kind:?} batch {batch} episode {b}"
+                            );
+                        }
+                    }
                 }
             }
         }

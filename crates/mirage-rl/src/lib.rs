@@ -22,12 +22,23 @@ pub mod replay;
 pub mod schedule;
 
 pub use dqn::{DqnAgent, DqnConfig};
-pub use dualhead::{ActionEncoding, DualHeadConfig, DualHeadNet};
+pub use dualhead::{ActionEncoding, BatchInferCache, DualHeadConfig, DualHeadNet};
 pub use env::{rollout, Environment, StepResult};
 pub use offline::{pretrain_foundation, reward_mse, PretrainConfig, RewardSample};
 pub use pg::{EpisodeSample, PgAgent, PgConfig};
 pub use replay::{Experience, ReplayBuffer};
 pub use schedule::EpsilonSchedule;
+
+/// Greedy action over a `[Q(no-submit), Q(submit)]` (or probability)
+/// pair: act (1) only on a strict improvement, so ties keep the
+/// conservative no-submit action. This is the one shared tie-breaking
+/// rule behind `DqnAgent::act_greedy`, `PgAgent::act_greedy`,
+/// `DualHeadNet::greedy_action` and every batched variant — they can
+/// never diverge on the boundary case.
+#[inline]
+pub fn greedy_pair(v: [f32; 2]) -> usize {
+    usize::from(v[1] > v[0])
+}
 
 /// Convenience imports.
 pub mod prelude {

@@ -15,7 +15,8 @@ use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::dualhead::DualHeadNet;
+use crate::dualhead::{BatchInferCache, DualHeadNet};
+use crate::greedy_pair;
 
 /// REINFORCE hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,6 +66,11 @@ pub struct PgAgent {
     /// Reusable inference buffers: serving-time decisions allocate
     /// nothing once this arena is warm.
     scratch: Scratch,
+    /// Per-episode embed-row caches for the batched greedy path
+    /// (invalidated after every training step).
+    batch_cache: BatchInferCache,
+    /// Reusable probability-pair buffer for the batched greedy path.
+    batch_vals: Vec<[f32; 2]>,
 }
 
 impl PgAgent {
@@ -79,6 +85,8 @@ impl PgAgent {
             baseline_initialized: false,
             episodes: 0,
             scratch: Scratch::new(),
+            batch_cache: BatchInferCache::new(),
+            batch_vals: Vec::new(),
         }
     }
 
@@ -97,7 +105,23 @@ impl PgAgent {
     /// Most-probable action (used for deterministic evaluation).
     pub fn act_greedy(&mut self, state: &Matrix) -> usize {
         let p = self.net.p_probs(state, &mut self.scratch);
-        usize::from(p[1] > p[0])
+        greedy_pair(p)
+    }
+
+    /// Most-probable actions for `batch` row-stacked states in **one**
+    /// batched forward (`p_probs_batch` + the agent's embed-row caches):
+    /// `actions[b]` is bit-identical to `act_greedy` on episode `b`'s
+    /// state alone.
+    pub fn act_greedy_batch(&mut self, states: &Matrix, batch: usize, actions: &mut Vec<usize>) {
+        self.net.p_probs_batch(
+            states,
+            batch,
+            &mut self.batch_vals,
+            &mut self.scratch,
+            &mut self.batch_cache,
+        );
+        actions.clear();
+        actions.extend(self.batch_vals.iter().map(|&p| greedy_pair(p)));
     }
 
     /// One REINFORCE update from a batch of complete episodes; returns the
@@ -152,6 +176,8 @@ impl PgAgent {
             grads.clip_global_norm(self.cfg.grad_clip);
         }
         self.opt.step(&mut self.net.ps, &grads);
+        // The parameters moved: cached embed rows are stale.
+        self.batch_cache.clear();
         self.episodes += episodes.len() as u64;
         total_loss / step_count.max(1) as f32
     }

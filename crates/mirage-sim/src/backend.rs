@@ -584,6 +584,16 @@ impl<F: BackendFactory> BackendPool<F> {
         self.factory.build(self.base_seed)
     }
 
+    /// Builds every worker's backend (seeded `base_seed ^ index`, exactly
+    /// as [`BackendPool::map`] seeds its threads) as one vector — the
+    /// construction path for lockstep drivers that step all instances in
+    /// a single thread instead of fanning tasks out.
+    pub fn build_all(&self) -> Vec<F::Backend> {
+        (0..self.workers)
+            .map(|w| self.factory.build(self.base_seed ^ (w as u64)))
+            .collect()
+    }
+
     /// Runs `f` once per task across the pool's backends and returns the
     /// results in task order. `f` must leave the backend reusable (the
     /// episode driver resets it), which is what makes results independent
