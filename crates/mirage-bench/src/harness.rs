@@ -134,8 +134,9 @@ pub fn interruption_experiment(
         tcfg.offline_episodes,
         seed,
     );
-    // Offline collection fans out over a pool of seeded backends; online
-    // fine-tuning and evaluation reuse one backend value.
+    // Offline collection and online fine-tuning both run in lockstep
+    // windows over the pool's seeded backends; evaluation reuses one
+    // backend value.
     let pool = SimConfig::builder()
         .nodes(pc.profile.nodes)
         .seed(seed)
@@ -150,7 +151,7 @@ pub fn interruption_experiment(
     for kind in MethodKind::all() {
         methods.push(mirage_core::train::train_method(
             kind,
-            &mut backend,
+            &pool,
             &pc.jobs,
             &tcfg,
             &data,

@@ -17,13 +17,23 @@
 //! results are **bit-identical** to sequential execution — the batched NN
 //! paths are pinned to their sequential counterparts by property tests,
 //! and each episode's simulator evolves exactly as it would alone.
+//!
+//! The engine serves **both evaluation and training collection**: greedy
+//! serving goes through [`BatchPolicy`]/[`BatchedEpisodeDriver::run`],
+//! while the §4.9 training loops (`mirage_core::train`) drive windows of
+//! ε-greedy/stochastic episodes through
+//! [`LanePolicy`]/[`BatchedEpisodeDriver::run_lanes`] — same lockstep
+//! ticks and batched forwards, plus per-lane RNG/ε streams and
+//! per-episode [`DecisionContext`] access
+//! ([`BatchedEpisodeDriver::pending_context`]) for heuristic collection
+//! and feature extraction.
 
 use mirage_nn::Matrix;
 use mirage_rl::{DqnAgent, PgAgent};
 use mirage_sim::ClusterBackend;
 use mirage_trace::JobRecord;
 
-use crate::episode::{Action, EpisodeConfig, EpisodeDriver, EpisodeResult};
+use crate::episode::{Action, DecisionContext, EpisodeConfig, EpisodeDriver, EpisodeResult};
 use crate::state::STATE_VARS;
 
 /// A policy that answers one decision tick for a whole batch of episodes:
@@ -54,6 +64,30 @@ impl<F: FnMut(&Matrix, usize, &mut Vec<usize>)> BatchPolicy for F {
     fn decide_batch(&mut self, states: &Matrix, width: usize, actions: &mut Vec<usize>) {
         self(states, width, actions)
     }
+}
+
+/// A policy deciding one lockstep tick of a training/collection *window*.
+///
+/// Unlike [`BatchPolicy`] — which sees only the row-stacked states — a
+/// lane policy is handed the whole driver, so it can map batch rows to
+/// window lanes ([`BatchedEpisodeDriver::pending`]) for per-lane RNG and
+/// ε streams that survive the batch narrowing, and inspect each pending
+/// episode's [`DecisionContext`]
+/// ([`BatchedEpisodeDriver::pending_context`]) for heuristic policies
+/// and feature extraction. Implemented by the training window adapters
+/// in `mirage_core::train`.
+pub trait LanePolicy<B: ClusterBackend> {
+    /// Called once before a window's first tick with the window's global
+    /// episode-ordinal range: episodes `first..first + width`, in lane
+    /// order. Stateless policies keep the no-op default.
+    fn begin_window(&mut self, first: usize, width: usize) {
+        let _ = (first, width);
+    }
+
+    /// Decides one lockstep tick: pushes exactly one action index per
+    /// pending batch row, in row order ([`BatchedEpisodeDriver::pending`]
+    /// maps rows to lanes).
+    fn decide_lanes(&mut self, driver: &BatchedEpisodeDriver<B>, actions: &mut Vec<usize>);
 }
 
 /// N lockstep episodes behind one batched decision loop.
@@ -95,7 +129,24 @@ impl<B: ClusterBackend> BatchedEpisodeDriver<B> {
         cfg: &EpisodeConfig,
         t0s: &[i64],
     ) -> Self {
+        Self::with_windows(backends, t0s.iter().map(|_| trace), cfg, t0s)
+    }
+
+    /// [`new`](Self::new) with a **per-episode background trace**:
+    /// episode `i` replays `windows[i]`. Training windows mix episode
+    /// starts, and each start replays only its own
+    /// `mirage_core::train::episode_window` slice of the full trace —
+    /// sharing one slice across different `t0`s would change every
+    /// episode's warm-up state (and break bit-identity with sequential
+    /// training).
+    pub fn with_windows<'w>(
+        backends: impl IntoIterator<Item = B>,
+        windows: impl IntoIterator<Item = &'w [JobRecord]>,
+        cfg: &EpisodeConfig,
+        t0s: &[i64],
+    ) -> Self {
         let backends: Vec<B> = backends.into_iter().collect();
+        let windows: Vec<&[JobRecord]> = windows.into_iter().collect();
         assert_eq!(
             backends.len(),
             t0s.len(),
@@ -103,10 +154,18 @@ impl<B: ClusterBackend> BatchedEpisodeDriver<B> {
             backends.len(),
             t0s.len()
         );
+        assert_eq!(
+            windows.len(),
+            t0s.len(),
+            "need exactly one trace window per episode start (got {} windows for {} starts)",
+            windows.len(),
+            t0s.len()
+        );
         let drivers: Vec<EpisodeDriver<B>> = backends
             .into_iter()
+            .zip(windows)
             .zip(t0s)
-            .map(|(backend, &t0)| EpisodeDriver::new(backend, trace, cfg, t0))
+            .map(|((backend, window), &t0)| EpisodeDriver::new(backend, window, cfg, t0))
             .collect();
         assert!(!drivers.is_empty(), "batch needs at least one episode");
         let n = drivers.len();
@@ -181,6 +240,17 @@ impl<B: ClusterBackend> BatchedEpisodeDriver<B> {
         &self.pending
     }
 
+    /// The [`DecisionContext`] of pending batch row `row` (index into
+    /// [`pending`](Self::pending)), rebuilt from its episode driver's
+    /// buffers — valid between the last
+    /// [`advance_tick`](Self::advance_tick) and the matching
+    /// [`apply`](Self::apply). Heuristic collection policies and feature
+    /// extraction read it; the NN policies only need
+    /// [`batch_states`](Self::batch_states).
+    pub fn pending_context(&self, row: usize) -> DecisionContext<'_> {
+        self.drivers[self.pending[row]].decision_context()
+    }
+
     /// Applies one action per pending episode (batch row order).
     pub fn apply(&mut self, actions: &[Action]) {
         assert_eq!(
@@ -222,6 +292,29 @@ impl<B: ClusterBackend> BatchedEpisodeDriver<B> {
             }
             actions.clear();
             policy.decide_batch(&self.batch, width, &mut actions);
+            assert_eq!(
+                actions.len(),
+                width,
+                "policy must answer every pending episode"
+            );
+            self.apply_indices(&actions);
+        }
+    }
+
+    /// [`run`](Self::run) for training/collection windows: one
+    /// [`LanePolicy::decide_lanes`] per lockstep tick, with the driver
+    /// itself exposed so the policy can follow its lanes through the
+    /// narrowing batch. (`begin_window` is the *collector's* call — it
+    /// knows the window's episode ordinals; this loop only ticks.)
+    pub fn run_lanes<P: LanePolicy<B> + ?Sized>(&mut self, policy: &mut P) {
+        let mut actions = Vec::with_capacity(self.width());
+        while self.is_deciding() {
+            let width = self.advance_tick();
+            if width == 0 {
+                continue;
+            }
+            actions.clear();
+            policy.decide_lanes(self, &mut actions);
             assert_eq!(
                 actions.len(),
                 width,

@@ -151,6 +151,14 @@ impl EpisodeResult {
     pub fn succ_wait(&self) -> i64 {
         self.succ_start - self.succ_submit
     }
+
+    /// Moves the recorded decision trajectory out, leaving `decisions`
+    /// empty. Converting decisions into training samples (replay
+    /// experiences, REINFORCE steps) owns the `k × m` matrices outright —
+    /// taking them avoids a per-decision matrix clone.
+    pub fn take_decisions(&mut self) -> Vec<(Matrix, usize)> {
+        std::mem::take(&mut self.decisions)
+    }
 }
 
 /// One episode as an explicit state machine over any backend.
@@ -187,6 +195,12 @@ pub struct EpisodeDriver<B: ClusterBackend> {
     enc_scratch: EncoderScratch,
     pending_decision: bool,
     record: bool,
+    // Scalar context of the last `advance()` that yielded a decision, so
+    // `decision_context()` can re-expose the full `DecisionContext` after
+    // the `advance` borrow ended (the lockstep batch drivers' hook).
+    last_pred_started: bool,
+    last_pred_remaining: i64,
+    last_avg_wait: Option<f64>,
 }
 
 impl<B: ClusterBackend> EpisodeDriver<B> {
@@ -258,6 +272,9 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
             enc_scratch,
             pending_decision: false,
             record: true,
+            last_pred_started: false,
+            last_pred_remaining: 0,
+            last_avg_wait: None,
         }
     }
 
@@ -358,15 +375,29 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
 
         self.history.write_matrix(&mut self.matrix);
         self.pending_decision = true;
-        Some(DecisionContext {
-            now,
+        self.last_pred_started = pred_started;
+        self.last_pred_remaining = pred_remaining;
+        self.last_avg_wait = self.backend.avg_recent_wait(24 * HOUR);
+        Some(self.decision_context())
+    }
+
+    /// The [`DecisionContext`] of the last [`advance`](Self::advance)
+    /// that returned `Some`, rebuilt from the driver's reusable buffers.
+    /// Lockstep batch drivers use this to re-expose every pending
+    /// episode's context after their `advance` borrows ended (heuristic
+    /// collection policies and feature extraction read it). Only
+    /// meaningful between such an `advance` and the matching
+    /// [`apply`](Self::apply).
+    pub fn decision_context(&self) -> DecisionContext<'_> {
+        DecisionContext {
+            now: self.now,
             state_matrix: &self.matrix,
             snapshot: &self.snapshot,
-            pred_started,
-            pred_remaining,
-            recent_avg_wait: self.backend.avg_recent_wait(24 * HOUR),
+            pred_started: self.last_pred_started,
+            pred_remaining: self.last_pred_remaining,
+            recent_avg_wait: self.last_avg_wait,
             successor: self.succ_spec,
-        })
+        }
     }
 
     /// The driver's current `k × m` state matrix — the same buffer the

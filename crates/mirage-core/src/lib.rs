@@ -52,9 +52,12 @@
 //!   `Environment` interface,
 //! * [`policy`] — the eight §6 methods behind one trait,
 //! * [`features`] — compact features for the ensemble baselines,
-//! * [`train`] — §4.9 offline collection (fanned out over a
-//!   `mirage_sim::BackendPool`) + foundation pretraining + online RL
-//!   fine-tuning,
+//! * [`train`] — §4.9 offline collection + foundation pretraining +
+//!   online RL fine-tuning,
+//! * [`trainloop`] — the lockstep training data-path: offline collection
+//!   and both online loops step `TrainConfig::collect_lanes` episodes per
+//!   window through the batched engine
+//!   ([`trainloop::BatchedCollector`]),
 //! * [`eval`] — the §6 evaluation harness (load levels, zero-interruption
 //!   fractions, reduction vs reactive),
 //! * [`chain`] — whole-chain provisioning (§4.1's rolling
@@ -72,9 +75,10 @@ pub mod policy;
 pub mod reward;
 pub mod state;
 pub mod train;
+pub mod trainloop;
 pub mod tune;
 
-pub use batch::{run_episodes_batched, BatchPolicy, BatchedEpisodeDriver};
+pub use batch::{run_episodes_batched, BatchPolicy, BatchedEpisodeDriver, LanePolicy};
 pub use chain::{chain_stretch, provision_chain, ChainResult, ChainSummary};
 pub use episode::{
     run_episode, Action, DecisionContext, EpisodeConfig, EpisodeDriver, EpisodeResult,
@@ -91,6 +95,7 @@ pub use train::{
     collect_offline, sample_episode_starts, sample_training_starts, train_method, MethodKind,
     OfflineData, TrainConfig,
 };
+pub use trainloop::{BatchedCollector, DqnActWindow, PgActWindow, SplitCollectPolicy};
 pub use tune::{grid_search, Candidate, TuneGrid, TuneResult};
 
 /// Convenience imports.

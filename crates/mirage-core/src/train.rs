@@ -12,13 +12,20 @@
 //!   episode rollouts.
 //! * **Ensemble fitting**: the same episodes supply (features → observed
 //!   successor wait) pairs for the Random Forest / XGBoost baselines.
+//!
+//! All episode execution — offline collection and both online loops —
+//! runs through the lockstep [`BatchedCollector`]
+//! (`TrainConfig::collect_lanes` episodes per window, one batched NN
+//! forward per decision tick); see [`crate::trainloop`] for the engine
+//! and its bit-identity contract with the sequential loops it replaced.
 
 use mirage_ensemble::{Dataset, ForestConfig, GbdtConfig, GradientBoosting, RandomForest};
 use mirage_nn::foundation::FoundationKind;
 use mirage_nn::transformer::TransformerConfig;
 use mirage_rl::{
-    pretrain_foundation, ActionEncoding, DqnAgent, DqnConfig, DualHeadConfig, DualHeadNet,
-    EpisodeSample, Experience, PgAgent, PgConfig, PretrainConfig, ReplayBuffer, RewardSample,
+    pretrain_foundation, ActionEncoding, BalancedReplay, DqnAgent, DqnConfig, DualHeadConfig,
+    DualHeadNet, EpisodeSample, Experience, ExploreLane, PgAgent, PgConfig, PretrainConfig,
+    RewardSample,
 };
 use mirage_sim::{BackendFactory, BackendPool, ClusterBackend};
 use mirage_trace::{JobRecord, DAY};
@@ -27,14 +34,14 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::episode::{run_episode, Action, EpisodeConfig, EpisodeResult};
-use crate::features::extract_features;
+use crate::episode::{EpisodeConfig, EpisodeResult};
 use crate::policy::{
     AvgWaitPolicy, DqnPolicy, PgPolicy, ProvisionPolicy, ReactivePolicy, WaitModel,
     WaitPredictorPolicy,
 };
 use crate::reward::RewardShaper;
 use crate::state::STATE_VARS;
+use crate::trainloop::{BatchedCollector, DqnActWindow, PgActWindow, SplitCollectPolicy};
 
 /// The eight §6 methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -119,6 +126,13 @@ pub struct TrainConfig {
     pub batch_size: usize,
     /// Replay mini-batch updates after each online episode.
     pub updates_per_episode: usize,
+    /// Lockstep episode lanes per online-collection window (and per
+    /// offline-collection window, capped by the pool width). Each
+    /// window's acting shares the window-start weights; `1` recovers the
+    /// fully sequential collect-update cadence bit for bit, and every
+    /// lane is bit-identical to a sequential run under its own
+    /// `(seed, ε-base)` whatever the width (see `crate::trainloop`).
+    pub collect_lanes: usize,
     /// Cap on reward samples used for foundation pretraining (subsampled
     /// deterministically when the pool is larger).
     pub max_pretrain_samples: usize,
@@ -158,6 +172,12 @@ impl Default for TrainConfig {
             online_episodes: 60,
             batch_size: 32,
             updates_per_episode: 6,
+            // 4 lanes: matches the PG REINFORCE batch, so PG training is
+            // *globally* bit-identical to the old sequential loop (acting
+            // in episodes 4k..4k+4 always used the weights from update k,
+            // sequentially or in lockstep), while DQN accepts at most
+            // three episodes of update staleness per window.
+            collect_lanes: 4,
             max_pretrain_samples: 2500,
             d_model: 16,
             heads: 2,
@@ -271,9 +291,13 @@ pub fn episode_window<'a>(
 /// fractions of the predecessor's limit. Every decision of a run is
 /// credited with the delayed episode reward.
 ///
-/// Runs fan out across the [`BackendPool`]'s seeded backends (one thread
-/// per worker); results are in task order and identical to a sequential
-/// run, whatever the worker count.
+/// Runs step through the batched episode engine in lockstep windows
+/// (each lane against its own pool-seeded backend), with whole windows
+/// fanned out across the [`BackendPool`]'s worker threads; results are
+/// in task order and identical to a sequential run, whatever the worker
+/// count. Decision matrices move straight into the reward pool — only
+/// each start's best run is copied (out of that pool) for the
+/// behavior-cloning warm start.
 pub fn collect_offline<F: BackendFactory>(
     pool: &BackendPool<F>,
     trace: &[JobRecord],
@@ -281,59 +305,58 @@ pub fn collect_offline<F: BackendFactory>(
     starts: &[i64],
 ) -> OfflineData {
     let points = cfg.split_points.max(1);
-    let mut tasks: Vec<(i64, Option<usize>)> = Vec::new();
+    let mut t0s: Vec<i64> = Vec::new();
+    let mut splits: Vec<Option<usize>> = Vec::new();
     for &t0 in starts {
-        tasks.push((t0, None)); // reactive run (never submit proactively)
+        t0s.push(t0);
+        splits.push(None); // reactive run (never submit proactively)
         for j in 0..points {
-            tasks.push((t0, Some(j)));
+            t0s.push(t0);
+            splits.push(Some(j));
         }
     }
-    let results: Vec<(i64, EpisodeResult, Option<Vec<f32>>)> =
-        pool.map(&tasks, |backend, &(t0, split)| {
-            let window = episode_window(trace, t0, &cfg.episode);
-            let mut submit_features: Option<Vec<f32>> = None;
-            let result = run_episode(backend, window, &cfg.episode, t0, |ctx| {
-                let act = match split {
-                    None => Action::Wait,
-                    Some(j) => {
-                        // Submit once the predecessor's elapsed fraction
-                        // passes (j+1)/(points+1) of its limit.
-                        let threshold =
-                            (j as i64 + 1) * cfg.episode.pair_timelimit / (points as i64 + 1);
-                        let elapsed = cfg.episode.pair_timelimit - ctx.pred_remaining;
-                        if ctx.pred_started && elapsed >= threshold {
-                            Action::Submit
-                        } else {
-                            Action::Wait
-                        }
-                    }
-                };
-                if act == Action::Submit && submit_features.is_none() {
-                    submit_features = Some(extract_features(ctx));
-                }
-                act
-            });
-            (t0, result, submit_features)
-        });
+    // Heuristic collection has no NN to amortize, so lockstep width
+    // matters less than thread fan-out: small windows (capped by the
+    // pool width), one window per pool thread at a time.
+    let lanes = cfg.collect_lanes.min(pool.workers()).max(1);
+    let collector = BatchedCollector::new(pool, trace, &cfg.episode, lanes);
+    let (results, policies) = collector.run_threaded(&t0s, pool.workers(), || {
+        SplitCollectPolicy::new(&cfg.episode, points, &splits)
+    });
+    // Each task ran on exactly one thread; merge its features from
+    // whichever per-thread policy saw it.
+    let mut submit_features: Vec<Option<Vec<f32>>> = vec![None; t0s.len()];
+    for mut policy in policies {
+        for (i, f) in policy.submit_features.iter_mut().enumerate() {
+            if f.is_some() {
+                submit_features[i] = f.take();
+            }
+        }
+    }
 
     let mut data = OfflineData::default();
     let mut best_per_start: std::collections::HashMap<i64, (f32, usize)> =
         std::collections::HashMap::new();
-    for (i, (t0, result, submit_features)) in results.iter().enumerate() {
+    // Reward-pool span of each task's decisions, so best runs can be
+    // copied back out without keeping a second full set of matrices.
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(results.len());
+    for (i, mut result) in results.into_iter().enumerate() {
         let reward = cfg.shaper.reward(&result.outcome);
-        for (state, action) in &result.decisions {
+        let offset = data.reward_samples.len();
+        for (state, action) in result.take_decisions() {
             data.reward_samples.push(RewardSample {
-                state: state.clone(),
-                action: *action,
+                state,
+                action,
                 reward,
             });
         }
-        if let Some(features) = submit_features {
+        spans.push((offset, data.reward_samples.len()));
+        if let Some(features) = submit_features[i].take() {
             data.wait_samples
-                .push((features.clone(), result.succ_wait() as f32 / 3600.0));
+                .push((features, result.succ_wait() as f32 / 3600.0));
         }
         best_per_start
-            .entry(*t0)
+            .entry(t0s[i])
             .and_modify(|(best, idx)| {
                 if reward > *best {
                     *best = reward;
@@ -348,8 +371,9 @@ pub fn collect_offline<F: BackendFactory>(
         .collect();
     best.sort_unstable();
     for (_, idx) in best {
-        for (state, action) in &results[idx].1.decisions {
-            data.best_run_decisions.push((state.clone(), *action));
+        let (lo, hi) = spans[idx];
+        for s in &data.reward_samples[lo..hi] {
+            data.best_run_decisions.push((s.state.clone(), s.action));
         }
     }
     data
@@ -425,65 +449,99 @@ pub fn build_pretrained_net(
     net
 }
 
-/// Online DQN fine-tuning (§4.9.2a): ε-greedy episodes against any
-/// backend; each episode's decisions enter the replay pool with the
-/// delayed episode reward, followed by a mini-batch update.
-pub fn train_dqn_online<B: ClusterBackend>(
+/// The per-lane RNG seed of online-DQN training episode `i` (the seed
+/// the pre-refactor sequential loop gave episode `i`'s RNG, kept so the
+/// lockstep refactor is comparable run for run).
+pub fn dqn_episode_seed(cfg_seed: u64, i: usize) -> u64 {
+    cfg_seed ^ ((i as u64) << 3)
+}
+
+/// The per-lane RNG seed of online-PG training episode `i`.
+pub fn pg_episode_seed(cfg_seed: u64, i: usize) -> u64 {
+    cfg_seed ^ 0xBEEF ^ ((i as u64) << 4)
+}
+
+/// Online DQN fine-tuning (§4.9.2a): ε-greedy episodes collected in
+/// lockstep windows of `cfg.collect_lanes` (one batched forward per
+/// decision tick); each episode's decisions enter the class-balanced
+/// replay pool with the delayed episode reward, followed by that
+/// episode's mini-batch updates — the sequential loop's exact cadence,
+/// with acting inside a window pinned to the window-start weights.
+pub fn train_dqn_online<F: BackendFactory>(
     net: DualHeadNet,
-    backend: &mut B,
+    pool: &BackendPool<F>,
     trace: &[JobRecord],
     cfg: &TrainConfig,
     starts: &[i64],
     warm_start: &OfflineData,
 ) -> DqnAgent {
+    train_dqn_online_traced(net, pool, trace, cfg, starts, warm_start).0
+}
+
+/// [`train_dqn_online`] additionally returning the replay pool and the
+/// per-episode records (decision trajectories already moved into the
+/// replay, so their `decisions` are empty) — the inspection surface the
+/// lockstep identity property tests pin this refactor with.
+pub fn train_dqn_online_traced<F: BackendFactory>(
+    net: DualHeadNet,
+    pool: &BackendPool<F>,
+    trace: &[JobRecord],
+    cfg: &TrainConfig,
+    starts: &[i64],
+    warm_start: &OfflineData,
+) -> (DqnAgent, BalancedReplay, Vec<EpisodeResult>) {
     let mut agent = DqnAgent::new(net, cfg.dqn);
-    // Submit decisions are ~1-in-50 of the pool; keep them in their own
-    // buffer and draw half of every mini-batch from it so the Q(submit)
-    // column actually trains (class-balanced replay).
-    let mut replay_wait = ReplayBuffer::new(8192);
-    let mut replay_submit = ReplayBuffer::new(4096);
-    let push = |e: Experience, w: &mut ReplayBuffer, s: &mut ReplayBuffer| {
-        if e.action == 1 {
-            s.push(e);
-        } else {
-            w.push(e);
-        }
-    };
+    let mut replay = BalancedReplay::new(8192, 4096);
     for s in &warm_start.reward_samples {
-        push(
-            Experience::terminal(s.state.clone(), s.action, s.reward),
-            &mut replay_wait,
-            &mut replay_submit,
-        );
+        replay.push(Experience::terminal(s.state.clone(), s.action, s.reward));
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD9);
-    for (i, &t0) in starts.iter().cycle().take(cfg.online_episodes).enumerate() {
-        let window = episode_window(trace, t0, &cfg.episode);
-        let agent_ref = &mut agent;
-        let mut ep_rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64) << 3);
-        let result = run_episode(backend, window, &cfg.episode, t0, |ctx| {
-            Action::from_index(agent_ref.act(ctx.state_matrix, &mut ep_rng))
+    let t0s: Vec<i64> = starts
+        .iter()
+        .cycle()
+        .take(cfg.online_episodes)
+        .copied()
+        .collect();
+    let collector = BatchedCollector::new(pool, trace, &cfg.episode, cfg.collect_lanes);
+    let mut episodes: Vec<EpisodeResult> = Vec::with_capacity(t0s.len());
+    let mut lanes: Vec<ExploreLane> = Vec::with_capacity(collector.lanes());
+    for chunk in t0s.chunks(collector.lanes()) {
+        // Lane i resumes the agent's global ε clock and owns the RNG
+        // stream its episode ordinal has always had.
+        lanes.clear();
+        lanes.extend(
+            (episodes.len()..episodes.len() + chunk.len())
+                .map(|i| ExploreLane::seeded(dqn_episode_seed(cfg.seed, i), agent.steps)),
+        );
+        let mut driver = collector.window(chunk);
+        driver.run_lanes(&mut DqnActWindow {
+            agent: &mut agent,
+            lanes: &mut lanes,
         });
-        let reward = cfg.shaper.reward(&result.outcome);
-        for (state, action) in &result.decisions {
-            push(
-                Experience::terminal(state.clone(), *action, reward),
-                &mut replay_wait,
-                &mut replay_submit,
-            );
-        }
-        if replay_wait.len() + replay_submit.len() >= cfg.batch_size {
-            for _ in 0..cfg.updates_per_episode.max(1) {
-                let half = cfg.batch_size / 2;
-                let mut batch = replay_wait.sample(&mut rng, cfg.batch_size - half);
-                if !replay_submit.is_empty() {
-                    batch.extend(replay_submit.sample(&mut rng, half));
-                }
-                agent.train_batch(&batch);
+        let (results, _) = driver.finish();
+        // Replay pushes and updates keep the sequential per-episode
+        // cadence: results arrive in episode order.
+        for mut result in results {
+            let reward = cfg.shaper.reward(&result.outcome);
+            agent.steps += result.decisions.len() as u64;
+            for (state, action) in result.take_decisions() {
+                replay.push(Experience::terminal(state, action, reward));
             }
+            if replay.len() >= cfg.batch_size {
+                // One mini-batch buffer per episode, refilled in place
+                // across its updates (`sample_into` clears first) — the
+                // borrow on `replay` must end before the next episode's
+                // pushes, so the buffer cannot live any longer.
+                let mut batch: Vec<&Experience> = Vec::with_capacity(cfg.batch_size);
+                for _ in 0..cfg.updates_per_episode.max(1) {
+                    replay.sample_into(&mut rng, cfg.batch_size, &mut batch);
+                    agent.train_batch(&batch);
+                }
+            }
+            episodes.push(result);
         }
     }
-    agent
+    (agent, replay, episodes)
 }
 
 /// Warm-starts the P-head (and shared foundation) by behavior-cloning the
@@ -556,54 +614,93 @@ pub fn behavior_clone(
     }
 }
 
-/// Online PG fine-tuning (§4.9.2b): Monte-Carlo rollouts under the current
-/// stochastic policy, REINFORCE update per small batch of episodes.
-pub fn train_pg_online<B: ClusterBackend>(
+/// Online PG fine-tuning (§4.9.2b): Monte-Carlo rollouts under the
+/// current stochastic policy, collected in lockstep windows of
+/// `cfg.collect_lanes` (one batched `p_probs_batch` forward per decision
+/// tick), REINFORCE update per small batch of episodes. With the default
+/// `collect_lanes` equal to the REINFORCE batch (4), this is *globally*
+/// bit-identical to the sequential loop it replaced: the sequential loop
+/// also acted every group of four episodes on the same post-update
+/// weights.
+pub fn train_pg_online<F: BackendFactory>(
     net: DualHeadNet,
-    backend: &mut B,
+    pool: &BackendPool<F>,
     trace: &[JobRecord],
     cfg: &TrainConfig,
     starts: &[i64],
 ) -> PgAgent {
+    train_pg_online_traced(net, pool, trace, cfg, starts).0
+}
+
+/// [`train_pg_online`] additionally returning the per-episode records
+/// (decision trajectories moved into the REINFORCE samples, so their
+/// `decisions` are empty) — the lockstep identity tests' surface.
+pub fn train_pg_online_traced<F: BackendFactory>(
+    net: DualHeadNet,
+    pool: &BackendPool<F>,
+    trace: &[JobRecord],
+    cfg: &TrainConfig,
+    starts: &[i64],
+) -> (PgAgent, Vec<EpisodeResult>) {
     let mut agent = PgAgent::new(net, cfg.pg);
-    let batch = 4usize;
-    let mut pending: Vec<EpisodeSample> = Vec::with_capacity(batch);
-    for (i, &t0) in starts.iter().cycle().take(cfg.online_episodes).enumerate() {
-        let window = episode_window(trace, t0, &cfg.episode);
-        let agent_ref = &mut agent;
-        let mut ep_rng = StdRng::seed_from_u64(cfg.seed ^ 0xBEEF ^ ((i as u64) << 4));
-        let result = run_episode(backend, window, &cfg.episode, t0, |ctx| {
-            Action::from_index(agent_ref.act(ctx.state_matrix, &mut ep_rng))
+    let update_batch = 4usize;
+    let mut pending: Vec<EpisodeSample> = Vec::with_capacity(update_batch);
+    let t0s: Vec<i64> = starts
+        .iter()
+        .cycle()
+        .take(cfg.online_episodes)
+        .copied()
+        .collect();
+    let collector = BatchedCollector::new(pool, trace, &cfg.episode, cfg.collect_lanes);
+    let mut episodes: Vec<EpisodeResult> = Vec::with_capacity(t0s.len());
+    let mut lanes: Vec<ExploreLane> = Vec::with_capacity(collector.lanes());
+    for chunk in t0s.chunks(collector.lanes()) {
+        lanes.clear();
+        lanes.extend(
+            (episodes.len()..episodes.len() + chunk.len())
+                .map(|i| ExploreLane::seeded(pg_episode_seed(cfg.seed, i), 0)),
+        );
+        let mut driver = collector.window(chunk);
+        driver.run_lanes(&mut PgActWindow {
+            agent: &mut agent,
+            lanes: &mut lanes,
         });
-        let reward = cfg.shaper.reward(&result.outcome);
-        pending.push(EpisodeSample {
-            steps: result.decisions.clone(),
-            episode_return: reward,
-        });
-        if pending.len() >= batch {
-            agent.train_episodes(&pending);
-            pending.clear();
+        let (results, _) = driver.finish();
+        for mut result in results {
+            let reward = cfg.shaper.reward(&result.outcome);
+            pending.push(EpisodeSample {
+                steps: result.take_decisions(),
+                episode_return: reward,
+            });
+            if pending.len() >= update_batch {
+                agent.train_episodes(&pending);
+                pending.clear();
+            }
+            episodes.push(result);
         }
     }
     if !pending.is_empty() {
         agent.train_episodes(&pending);
     }
-    agent
+    (agent, episodes)
 }
 
 /// Trains one §6 method end to end and returns it as a policy. For the
 /// heuristics this is free; for the ensembles it fits on the offline wait
 /// samples; for the RL methods it pretrains the foundation and fine-tunes
-/// online against `backend` (any [`ClusterBackend`]).
-pub fn train_method<B: ClusterBackend>(
+/// online in lockstep windows against `pool`-built backends (any
+/// [`BackendFactory`] — the same pool offline collection fans over).
+pub fn train_method<F: BackendFactory>(
     kind: MethodKind,
-    backend: &mut B,
+    pool: &BackendPool<F>,
     trace: &[JobRecord],
     cfg: &TrainConfig,
     data: &OfflineData,
     train_range: (i64, i64),
 ) -> Box<dyn ProvisionPolicy> {
-    let nodes = backend.total_nodes();
+    // Partition size for congestion-biased start sampling; only the RL
+    // methods need it, and probing it costs one throwaway backend.
+    let nodes = || pool.build_one().total_nodes();
     match kind {
         MethodKind::Reactive => Box::new(ReactivePolicy),
         MethodKind::AvgHeuristic => Box::new(AvgWaitPolicy::default()),
@@ -624,14 +721,14 @@ pub fn train_method<B: ClusterBackend>(
             let net = build_pretrained_net(foundation, cfg, data);
             let starts = sample_training_starts(
                 trace,
-                nodes,
+                nodes(),
                 train_range.0,
                 train_range.1,
                 &cfg.episode,
                 cfg.online_episodes.max(1),
                 cfg.seed ^ 0x51,
             );
-            let agent = train_dqn_online(net, backend, trace, cfg, &starts, data);
+            let agent = train_dqn_online(net, pool, trace, cfg, &starts, data);
             Box::new(DqnPolicy {
                 agent,
                 label: kind.label().into(),
@@ -655,14 +752,14 @@ pub fn train_method<B: ClusterBackend>(
             );
             let starts = sample_training_starts(
                 trace,
-                nodes,
+                nodes(),
                 train_range.0,
                 train_range.1,
                 &cfg.episode,
                 cfg.online_episodes.max(1),
                 cfg.seed ^ 0x52,
             );
-            let agent = train_pg_online(net, backend, trace, cfg, &starts);
+            let agent = train_pg_online(net, pool, trace, cfg, &starts);
             Box::new(PgPolicy::new(agent, kind.label(), cfg.seed ^ 0x53))
         }
     }
@@ -671,7 +768,7 @@ pub fn train_method<B: ClusterBackend>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mirage_sim::{BackendKind, SimConfig, Simulator};
+    use mirage_sim::{BackendKind, SimConfig};
     use mirage_trace::{HOUR, MINUTE};
 
     fn pool4() -> BackendPool<mirage_sim::SimBuilder> {
@@ -679,10 +776,6 @@ mod tests {
             .nodes(4)
             .backend(BackendKind::Pooled { workers: 4 })
             .build_pool()
-    }
-
-    fn sim4() -> Simulator {
-        Simulator::new(SimConfig::new(4))
     }
 
     fn tiny_cfg() -> TrainConfig {
@@ -766,17 +859,10 @@ mod tests {
     fn heuristic_methods_need_no_data() {
         let cfg = tiny_cfg();
         let data = OfflineData::default();
-        let mut sim = sim4();
-        let p = train_method(MethodKind::Reactive, &mut sim, &[], &cfg, &data, (0, DAY));
+        let pool = pool4();
+        let p = train_method(MethodKind::Reactive, &pool, &[], &cfg, &data, (0, DAY));
         assert_eq!(p.name(), "reactive");
-        let p = train_method(
-            MethodKind::AvgHeuristic,
-            &mut sim,
-            &[],
-            &cfg,
-            &data,
-            (0, DAY),
-        );
+        let p = train_method(MethodKind::AvgHeuristic, &pool, &[], &cfg, &data, (0, DAY));
         assert_eq!(p.name(), "avg");
     }
 
@@ -797,11 +883,11 @@ mod tests {
         let cfg = tiny_cfg();
         let trace = bg_trace(14);
         let starts = sample_episode_starts(0, 14 * DAY, &cfg.episode, 2, 4);
-        let data = collect_offline(&pool4(), &trace, &cfg, &starts);
-        let mut sim = sim4();
+        let pool = pool4();
+        let data = collect_offline(&pool, &trace, &cfg, &starts);
         let p = train_method(
             MethodKind::TransformerDqn,
-            &mut sim,
+            &pool,
             &trace,
             &cfg,
             &data,
@@ -810,7 +896,7 @@ mod tests {
         assert_eq!(p.name(), "transformer+DQN");
         let p = train_method(
             MethodKind::TransformerPg,
-            &mut sim,
+            &pool,
             &trace,
             &cfg,
             &data,

@@ -492,9 +492,38 @@ impl TransformerEncoder {
         }
         let w = ps.get(self.embed.w);
         let bias = ps.get(self.embed.b).row(0);
+        // Whole-window shift fast path: the decision loop's canonical
+        // pattern is "every row moved up one, a new row arrived". Detect
+        // it with a single pass (each new row vs the cached row one
+        // below), then do one memmove over the embed block and recompute
+        // only the newest row — skipping the per-row same-index compares
+        // that would each scan a long common prefix before failing.
+        if seq > 1 && (0..seq - 1).all(|r| rows_bit_eq(xs.row(row0 + r), cache.x.row(r + 1))) {
+            let d = cache.e.cols();
+            cache.e.data_mut().copy_within(d..seq * d, 0);
+            cache.x.data_mut().copy_within(m..seq * m, 0);
+            let last = seq - 1;
+            let xr = xs.row(row0 + last);
+            if !rows_bit_eq(xr, cache.x.row(last)) {
+                let row = cache.e.row_mut(last);
+                row.fill(0.0);
+                for (k, &xv) in xr.iter().enumerate() {
+                    for (e, &wv) in row.iter_mut().zip(w.row(k)) {
+                        *e += xv * wv;
+                    }
+                }
+                for (e, &bv) in row.iter_mut().zip(bias) {
+                    *e += bv;
+                }
+                cache.x.row_mut(last).copy_from_slice(xr);
+            }
+            return;
+        }
         for r in 0..seq {
             let xr = xs.row(row0 + r);
             if rows_bit_eq(xr, cache.x.row(r)) {
+                // Unchanged input row: cached embed and cached input both
+                // stay valid — no writeback needed.
                 continue;
             }
             if r + 1 < seq && rows_bit_eq(xr, cache.x.row(r + 1)) {
@@ -504,17 +533,24 @@ impl TransformerEncoder {
                     .data_mut()
                     .copy_within((r + 1) * d..(r + 2) * d, r * d);
             } else {
-                for (j, e) in cache.e.row_mut(r).iter_mut().enumerate() {
-                    let mut acc = 0.0f32;
-                    for (k, &xv) in xr.iter().enumerate() {
-                        acc += xv * w.get(k, j);
+                // Axpy-form single-row recompute: walk `w` row-major (one
+                // contiguous, vectorizable pass per input element) instead
+                // of gathering a strided column per output. Every output
+                // element still accumulates its `k` terms in ascending
+                // order with the bias added last, so the row is bit-equal
+                // to the full embed matmul's.
+                let row = cache.e.row_mut(r);
+                row.fill(0.0);
+                for (k, &xv) in xr.iter().enumerate() {
+                    for (e, &wv) in row.iter_mut().zip(w.row(k)) {
+                        *e += xv * wv;
                     }
-                    *e = acc + bias[j];
+                }
+                for (e, &bv) in row.iter_mut().zip(bias) {
+                    *e += bv;
                 }
             }
-        }
-        for r in 0..seq {
-            cache.x.row_mut(r).copy_from_slice(xs.row(row0 + r));
+            cache.x.row_mut(r).copy_from_slice(xr);
         }
     }
 

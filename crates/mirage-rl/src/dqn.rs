@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use crate::dualhead::{ActionEncoding, BatchInferCache, DualHeadNet};
 use crate::greedy_pair;
 use crate::replay::Experience;
-use crate::schedule::EpsilonSchedule;
+use crate::schedule::{EpsilonSchedule, ExploreLane};
 
 /// DQN hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -47,6 +47,20 @@ impl Default for DqnConfig {
             grad_clip: 5.0,
             target_sync: 200,
         }
+    }
+}
+
+/// One ε-greedy draw: a uniform sample against `eps`, then either a
+/// random action (second draw) or the lazily computed greedy action —
+/// exploration never evaluates Q. The single copy of the draw order that
+/// the batched/sequential bit-identity contract depends on, shared by
+/// [`DqnAgent::act`], [`DqnAgent::act_lane`] and [`DqnAgent::act_batch`].
+#[inline]
+fn epsilon_draw(rng: &mut impl Rng, eps: f32, greedy: impl FnOnce() -> usize) -> usize {
+    if rng.gen::<f32>() < eps {
+        rng.gen_range(0..2)
+    } else {
+        greedy()
     }
 }
 
@@ -96,13 +110,57 @@ impl DqnAgent {
         self.cfg.epsilon.value(self.steps)
     }
 
-    /// ε-greedy action; advances the exploration clock.
+    /// ε-greedy action; advances the agent's global exploration clock.
     pub fn act(&mut self, state: &Matrix, rng: &mut impl Rng) -> usize {
         self.steps += 1;
-        if rng.gen::<f32>() < self.epsilon() {
-            rng.gen_range(0..2)
-        } else {
-            self.act_greedy(state)
+        let eps = self.epsilon();
+        epsilon_draw(rng, eps, || self.act_greedy(state))
+    }
+
+    /// ε-greedy action against a lane's private RNG stream and ε clock
+    /// (advanced here), leaving the agent's global clock untouched. This
+    /// is the sequential specification of one [`act_batch`] row: batched
+    /// lane `i` is bit-identical to `act_lane` on lane `i`'s state and a
+    /// matching [`ExploreLane`].
+    ///
+    /// [`act_batch`]: Self::act_batch
+    pub fn act_lane(&mut self, state: &Matrix, lane: &mut ExploreLane) -> usize {
+        lane.steps += 1;
+        let eps = self.cfg.epsilon.value(lane.steps);
+        epsilon_draw(&mut lane.rng, eps, || self.act_greedy(state))
+    }
+
+    /// ε-greedy actions for a lockstep batch in **one** batched forward:
+    /// `states` row-stacks `rows.len()` state matrices, and batch row `r`
+    /// draws from `lanes[rows[r]]`'s RNG stream and lane-local ε clock
+    /// (the indirection lets a narrowing lockstep batch keep each
+    /// episode pinned to its lane as other episodes finish). The Q batch
+    /// is computed for every row — that is the amortization — and rows
+    /// that explore simply ignore their pair, exactly as the sequential
+    /// path never evaluates Q when exploring; per row the action is
+    /// bit-identical to [`act_lane`](Self::act_lane).
+    pub fn act_batch(
+        &mut self,
+        states: &Matrix,
+        lanes: &mut [ExploreLane],
+        rows: &[usize],
+        actions: &mut Vec<usize>,
+    ) {
+        self.net.q_values_batch(
+            states,
+            rows.len(),
+            &mut self.batch_vals,
+            &mut self.scratch,
+            &mut self.batch_cache,
+        );
+        actions.clear();
+        for (r, &l) in rows.iter().enumerate() {
+            let lane = &mut lanes[l];
+            lane.steps += 1;
+            let eps = self.cfg.epsilon.value(lane.steps);
+            actions.push(epsilon_draw(&mut lane.rng, eps, || {
+                greedy_pair(self.batch_vals[r])
+            }));
         }
     }
 
@@ -405,6 +463,106 @@ mod tests {
             }
         }
         assert!(total > 0.9, "greedy policy should reach the chain end");
+    }
+
+    #[test]
+    fn act_batch_rows_match_act_lane_bitwise() {
+        // The batched ε-greedy path must equal per-lane sequential acting
+        // bit for bit: same greedy pairs (one batched forward), same RNG
+        // draws, same lane-local ε clocks — including across a train step
+        // (stale-cache invalidation) and a narrowed batch with permuted
+        // lane mapping.
+        for enc in [ActionEncoding::TwoHead, ActionEncoding::OrdinalInput] {
+            let mut batch_agent = DqnAgent::new(
+                tiny_net(enc, 17),
+                DqnConfig {
+                    epsilon: EpsilonSchedule::linear(0.8, 0.0, 12),
+                    ..DqnConfig::default()
+                },
+            );
+            let mut seq_agent = batch_agent.clone();
+            let mut batch_lanes: Vec<ExploreLane> =
+                (0..3).map(|l| ExploreLane::seeded(100 + l, l)).collect();
+            let mut seq_lanes = batch_lanes.clone();
+            let mut rng = StdRng::seed_from_u64(55);
+            let states: Vec<Matrix> = (0..3).map(|_| Matrix::xavier(2, 3, &mut rng)).collect();
+            let rb = bandit_buffer(18, 64);
+
+            let mut actions = Vec::new();
+            for tick in 0..6 {
+                // Narrow the batch over time and permute the lane map.
+                let rows: Vec<usize> = match tick {
+                    0 | 1 => vec![0, 1, 2],
+                    2 => vec![2, 0],
+                    _ => vec![1],
+                };
+                let mut stacked = Matrix::zeros(rows.len() * 2, 3);
+                for (r, &l) in rows.iter().enumerate() {
+                    for i in 0..2 {
+                        stacked.row_mut(r * 2 + i).copy_from_slice(states[l].row(i));
+                    }
+                }
+                batch_agent.act_batch(&stacked, &mut batch_lanes, &rows, &mut actions);
+                assert_eq!(actions.len(), rows.len());
+                for (r, &l) in rows.iter().enumerate() {
+                    let expect = seq_agent.act_lane(&states[l], &mut seq_lanes[l]);
+                    assert_eq!(
+                        actions[r], expect,
+                        "{enc:?} tick {tick} row {r} lane {l} diverged"
+                    );
+                    assert_eq!(batch_lanes[l].steps, seq_lanes[l].steps);
+                }
+                if tick == 3 {
+                    // Move the weights mid-stream: both sides update
+                    // identically and the batch caches invalidate.
+                    let mut r1 = StdRng::seed_from_u64(9);
+                    let mut r2 = StdRng::seed_from_u64(9);
+                    batch_agent.train_batch(&rb.sample(&mut r1, 8));
+                    seq_agent.train_batch(&rb.sample(&mut r2, 8));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_clocks_decay_epsilon_locally() {
+        // Satellite property: with lane-local clocks, a lane's ε after n
+        // of *its own* decisions equals a sequential agent's ε after n
+        // global decisions — batch width never accelerates decay. The
+        // global-clock alternative would hit ε = end after
+        // decay_steps / width ticks per lane.
+        let schedule = EpsilonSchedule::linear(1.0, 0.0, 8);
+        let mut agent = DqnAgent::new(
+            tiny_net(ActionEncoding::TwoHead, 19),
+            DqnConfig {
+                epsilon: schedule,
+                ..DqnConfig::default()
+            },
+        );
+        let width = 4usize;
+        let mut lanes: Vec<ExploreLane> = (0..width)
+            .map(|l| ExploreLane::seeded(l as u64, 0))
+            .collect();
+        let mut stacked = Matrix::zeros(width * 2, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for r in 0..stacked.rows() {
+            for c in 0..stacked.cols() {
+                stacked.set(r, c, rng.gen::<f32>());
+            }
+        }
+        let rows: Vec<usize> = (0..width).collect();
+        let mut actions = Vec::new();
+        for tick in 1..=8u64 {
+            agent.act_batch(&stacked, &mut lanes, &rows, &mut actions);
+            for lane in &lanes {
+                assert_eq!(lane.steps, tick, "one clock advance per own decision");
+                assert_eq!(schedule.value(lane.steps), schedule.value(tick));
+            }
+        }
+        // 8 ticks × 4 lanes = 32 global decisions, but every lane sits at
+        // exactly the end of its own 8-step decay, not 4× past it.
+        assert_eq!(schedule.value(lanes[0].steps), 0.0);
+        assert!(schedule.value(lanes[0].steps / width as u64) > 0.0);
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub struct HeadCache {
 /// queried ordinal, and the augmented inputs differ per ordinal, so each
 /// pass caches its embed rows separately.
 ///
+/// These caches serve both greedy evaluation and lockstep *training
+/// collection* (`act_batch` / `act_sample_batch`): between train steps
+/// the weights are frozen, so cached embed rows stay valid across
+/// decision ticks, and every train step ends by clearing them.
+///
 /// The caches key on input content only — after **any** update to the
 /// network's parameters, call [`BatchInferCache::clear`] (the agents do
 /// this at the end of every training step). Use separate caches for the

@@ -26,8 +26,8 @@ pub use dualhead::{ActionEncoding, BatchInferCache, DualHeadConfig, DualHeadNet}
 pub use env::{rollout, Environment, StepResult};
 pub use offline::{pretrain_foundation, reward_mse, PretrainConfig, RewardSample};
 pub use pg::{EpisodeSample, PgAgent, PgConfig};
-pub use replay::{Experience, ReplayBuffer};
-pub use schedule::EpsilonSchedule;
+pub use replay::{BalancedReplay, Experience, ReplayBuffer};
+pub use schedule::{EpsilonSchedule, ExploreLane};
 
 /// Greedy action over a `[Q(no-submit), Q(submit)]` (or probability)
 /// pair: act (1) only on a strict improvement, so ties keep the
@@ -47,6 +47,6 @@ pub mod prelude {
     pub use crate::env::{Environment, StepResult};
     pub use crate::offline::{pretrain_foundation, PretrainConfig, RewardSample};
     pub use crate::pg::{EpisodeSample, PgAgent, PgConfig};
-    pub use crate::replay::{Experience, ReplayBuffer};
-    pub use crate::schedule::EpsilonSchedule;
+    pub use crate::replay::{BalancedReplay, Experience, ReplayBuffer};
+    pub use crate::schedule::{EpsilonSchedule, ExploreLane};
 }

@@ -17,6 +17,16 @@ use serde::{Deserialize, Serialize};
 
 use crate::dualhead::{BatchInferCache, DualHeadNet};
 use crate::greedy_pair;
+use crate::schedule::ExploreLane;
+
+/// Categorical draw over a `[p(no-submit), p(submit)]` pair from one
+/// uniform sample — the single sampler behind [`PgAgent::act`] and
+/// [`PgAgent::act_sample_batch`], so the batched stochastic path can
+/// never diverge from sequential sampling on the same draw.
+#[inline]
+fn sample_pair(p: [f32; 2], u: f32) -> usize {
+    usize::from(u >= p[0])
+}
 
 /// REINFORCE hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -99,7 +109,35 @@ impl PgAgent {
     /// `p_probs` fast path against the agent's scratch arena).
     pub fn act(&mut self, state: &Matrix, rng: &mut impl Rng) -> usize {
         let p = self.net.p_probs(state, &mut self.scratch);
-        usize::from(rng.gen::<f32>() >= p[0])
+        sample_pair(p, rng.gen::<f32>())
+    }
+
+    /// Stochastic actions for a lockstep batch in **one** batched
+    /// forward: `states` row-stacks `rows.len()` state matrices, and
+    /// batch row `r` samples the softmax categorically with one uniform
+    /// draw from `lanes[rows[r]]`'s RNG stream (the lane indirection
+    /// keeps each episode pinned to its stream as a narrowing batch
+    /// drops finished episodes). Per row the action is bit-identical to
+    /// [`act`](Self::act) on that state with that RNG; lane ε clocks are
+    /// not touched (the policy head has no exploration schedule).
+    pub fn act_sample_batch(
+        &mut self,
+        states: &Matrix,
+        lanes: &mut [ExploreLane],
+        rows: &[usize],
+        actions: &mut Vec<usize>,
+    ) {
+        self.net.p_probs_batch(
+            states,
+            rows.len(),
+            &mut self.batch_vals,
+            &mut self.scratch,
+            &mut self.batch_cache,
+        );
+        actions.clear();
+        for (r, &l) in rows.iter().enumerate() {
+            actions.push(sample_pair(self.batch_vals[r], lanes[l].rng.gen::<f32>()));
+        }
     }
 
     /// Most-probable action (used for deterministic evaluation).
@@ -315,6 +353,55 @@ mod tests {
             .collect();
         agent.train_episodes(&all_pos);
         assert!(agent.baseline() > 0.0);
+    }
+
+    #[test]
+    fn act_sample_batch_rows_match_sequential_sampling_bitwise() {
+        // Batched stochastic acting == sequential `act` per row: one
+        // p_probs_batch forward, one uniform draw per lane, including
+        // across a train step and a narrowed, permuted batch.
+        for kind in [
+            FoundationKind::Transformer,
+            FoundationKind::MoE { experts: 2 },
+        ] {
+            let mut batch_agent = PgAgent::new(tiny_net(kind, 61), PgConfig::default());
+            let mut seq_agent = batch_agent.clone();
+            let mut batch_lanes: Vec<ExploreLane> =
+                (0..3).map(|l| ExploreLane::seeded(200 + l, 0)).collect();
+            let mut seq_lanes = batch_lanes.clone();
+            let mut rng = StdRng::seed_from_u64(62);
+            let states: Vec<Matrix> = (0..3).map(|_| Matrix::xavier(2, 3, &mut rng)).collect();
+
+            let mut actions = Vec::new();
+            for tick in 0..5 {
+                let rows: Vec<usize> = match tick {
+                    0 | 1 => vec![0, 1, 2],
+                    2 => vec![2, 1],
+                    _ => vec![0],
+                };
+                let mut stacked = Matrix::zeros(rows.len() * 2, 3);
+                for (r, &l) in rows.iter().enumerate() {
+                    for i in 0..2 {
+                        stacked.row_mut(r * 2 + i).copy_from_slice(states[l].row(i));
+                    }
+                }
+                batch_agent.act_sample_batch(&stacked, &mut batch_lanes, &rows, &mut actions);
+                for (r, &l) in rows.iter().enumerate() {
+                    let expect = seq_agent.act(&states[l], &mut seq_lanes[l].rng);
+                    assert_eq!(actions[r], expect, "{kind:?} tick {tick} row {r} lane {l}");
+                }
+                if tick == 2 {
+                    let eps: Vec<EpisodeSample> = (0..4)
+                        .map(|i| EpisodeSample {
+                            steps: vec![(states[i % 3].clone(), i % 2)],
+                            episode_return: -(i as f32),
+                        })
+                        .collect();
+                    batch_agent.train_episodes(&eps);
+                    seq_agent.train_episodes(&eps);
+                }
+            }
+        }
     }
 
     #[test]

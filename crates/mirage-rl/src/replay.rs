@@ -90,16 +90,97 @@ impl ReplayBuffer {
 
     /// Uniformly samples `n` transitions with replacement.
     pub fn sample<'a>(&'a self, rng: &mut impl Rng, n: usize) -> Vec<&'a Experience> {
+        let mut out = Vec::with_capacity(n);
+        self.sample_into(rng, n, &mut out);
+        out
+    }
+
+    /// [`sample`](Self::sample) appending into a caller-owned buffer, so
+    /// per-update mini-batch sampling reuses one allocation across a
+    /// whole training run instead of building a fresh `Vec` every call.
+    /// Draw order (and therefore the RNG stream) matches `sample`.
+    pub fn sample_into<'a>(&'a self, rng: &mut impl Rng, n: usize, out: &mut Vec<&'a Experience>) {
         assert!(!self.buf.is_empty(), "cannot sample an empty buffer");
-        (0..n)
-            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
-            .collect()
+        out.extend((0..n).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]));
     }
 
     /// Iterates over everything stored (oldest first while filling; ring
     /// order afterwards).
     pub fn iter(&self) -> impl Iterator<Item = &Experience> {
         self.buf.iter()
+    }
+}
+
+/// Class-balanced wait/submit replay (§4.9.2a).
+///
+/// Submit decisions are roughly 1-in-50 of the provisioning pool — at
+/// most one per episode — so uniform sampling would starve the Q(submit)
+/// column. Transitions are routed by action into two ring buffers, and
+/// every mini-batch draws half its rows from the submit buffer (when it
+/// has any), the same class balancing the online DQN loop has always
+/// used, now shared instead of hand-rolled at each call site.
+#[derive(Debug, Clone)]
+pub struct BalancedReplay {
+    wait: ReplayBuffer,
+    submit: ReplayBuffer,
+}
+
+impl BalancedReplay {
+    /// Two-buffer pool with the given per-class capacities.
+    pub fn new(wait_capacity: usize, submit_capacity: usize) -> Self {
+        Self {
+            wait: ReplayBuffer::new(wait_capacity),
+            submit: ReplayBuffer::new(submit_capacity),
+        }
+    }
+
+    /// Routes a transition to its class buffer (action 1 = submit).
+    pub fn push(&mut self, e: Experience) {
+        if e.action == 1 {
+            self.submit.push(e);
+        } else {
+            self.wait.push(e);
+        }
+    }
+
+    /// Total stored transitions across both classes.
+    pub fn len(&self) -> usize {
+        self.wait.len() + self.submit.len()
+    }
+
+    /// Whether both class buffers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.wait.is_empty() && self.submit.is_empty()
+    }
+
+    /// The wait-class (action 0) buffer.
+    pub fn wait(&self) -> &ReplayBuffer {
+        &self.wait
+    }
+
+    /// The submit-class (action 1) buffer.
+    pub fn submit(&self) -> &ReplayBuffer {
+        &self.submit
+    }
+
+    /// Samples an `n`-transition class-balanced mini-batch into `out`
+    /// (cleared first): `n - n/2` wait rows, then `n/2` submit rows when
+    /// the submit buffer has any. A one-class pool (either class empty)
+    /// fills the whole batch from the other class; sampling an entirely
+    /// empty pool panics. Allocation-free once `out` is warm.
+    pub fn sample_into<'a>(&'a self, rng: &mut impl Rng, n: usize, out: &mut Vec<&'a Experience>) {
+        out.clear();
+        if self.wait.is_empty() {
+            // Early all-submit training diets (e.g. an eager untrained
+            // policy with no warm start) must not abort the run.
+            self.submit.sample_into(rng, n, out);
+            return;
+        }
+        let half = n / 2;
+        self.wait.sample_into(rng, n - half, out);
+        if !self.submit.is_empty() {
+            self.submit.sample_into(rng, half, out);
+        }
     }
 }
 
@@ -150,6 +231,68 @@ mod tests {
         let rb = ReplayBuffer::new(4);
         let mut rng = StdRng::seed_from_u64(0);
         let _ = rb.sample(&mut rng, 1);
+    }
+
+    #[test]
+    fn sample_into_matches_sample() {
+        let mut rb = ReplayBuffer::new(16);
+        for i in 0..16 {
+            rb.push(exp(i as f32));
+        }
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let by_vec: Vec<f32> = rb.sample(&mut a, 32).iter().map(|e| e.reward).collect();
+        let mut buf = Vec::new();
+        rb.sample_into(&mut b, 32, &mut buf);
+        let by_buf: Vec<f32> = buf.iter().map(|e| e.reward).collect();
+        assert_eq!(by_vec, by_buf, "identical RNG stream, identical draws");
+    }
+
+    #[test]
+    fn balanced_replay_routes_and_balances() {
+        let mut rb = BalancedReplay::new(64, 64);
+        for i in 0..50 {
+            rb.push(Experience::terminal(Matrix::zeros(1, 2), 0, i as f32));
+        }
+        rb.push(Experience::terminal(Matrix::zeros(1, 2), 1, -1.0));
+        assert_eq!(rb.len(), 51);
+        assert_eq!(rb.wait().len(), 50);
+        assert_eq!(rb.submit().len(), 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut batch = Vec::new();
+        rb.sample_into(&mut rng, 8, &mut batch);
+        assert_eq!(batch.len(), 8);
+        // Half of every batch comes from the (tiny) submit class.
+        assert_eq!(batch.iter().filter(|e| e.action == 1).count(), 4);
+        // Wait rows lead, submit rows trail (the sequential loop's order).
+        assert!(batch[..4].iter().all(|e| e.action == 0));
+    }
+
+    #[test]
+    fn balanced_replay_without_waits_fills_from_submit() {
+        let mut rb = BalancedReplay::new(16, 16);
+        for i in 0..6 {
+            rb.push(Experience::terminal(Matrix::zeros(1, 2), 1, i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut batch = Vec::new();
+        rb.sample_into(&mut rng, 8, &mut batch);
+        assert_eq!(batch.len(), 8);
+        assert!(batch.iter().all(|e| e.action == 1));
+    }
+
+    #[test]
+    fn balanced_replay_without_submits_fills_from_wait() {
+        let mut rb = BalancedReplay::new(16, 16);
+        for i in 0..10 {
+            rb.push(Experience::terminal(Matrix::zeros(1, 2), 0, i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut batch = Vec::new();
+        rb.sample_into(&mut rng, 9, &mut batch);
+        // n - n/2 wait rows; the submit half is skipped while empty.
+        assert_eq!(batch.len(), 5);
+        assert!(batch.iter().all(|e| e.action == 0));
     }
 
     #[test]

@@ -589,7 +589,16 @@ impl<F: BackendFactory> BackendPool<F> {
     /// construction path for lockstep drivers that step all instances in
     /// a single thread instead of fanning tasks out.
     pub fn build_all(&self) -> Vec<F::Backend> {
-        (0..self.workers)
+        self.build_n(self.workers)
+    }
+
+    /// Builds the first `n` workers' backends (seeded exactly as
+    /// [`BackendPool::build_all`]) — the construction path for lockstep
+    /// training windows, whose final window is usually narrower than the
+    /// pool. `n` may exceed the worker count; lockstep instances are
+    /// stepped by one thread, so the pool's width only namespaces seeds.
+    pub fn build_n(&self, n: usize) -> Vec<F::Backend> {
+        (0..n)
             .map(|w| self.factory.build(self.base_seed ^ (w as u64)))
             .collect()
     }

@@ -84,7 +84,7 @@ fn main() {
         let mut backend = SimConfig::builder().nodes(profile.nodes).build();
         let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![train_method(
             MethodKind::TransformerDqn,
-            &mut backend,
+            &pool,
             &jobs,
             &tcfg,
             &data,

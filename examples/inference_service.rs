@@ -61,17 +61,11 @@ fn main() {
         .build_pool();
     let data = collect_offline(&pool, &jobs, &tcfg, &starts);
     let mut backend = SimConfig::builder().nodes(profile.nodes).build();
-    let mut mirage_policy = train_method(
-        MethodKind::Xgboost,
-        &mut backend,
-        &jobs,
-        &tcfg,
-        &data,
-        train_range,
-    );
+    let mut mirage_policy =
+        train_method(MethodKind::Xgboost, &pool, &jobs, &tcfg, &data, train_range);
     let mut reactive = train_method(
         MethodKind::Reactive,
-        &mut backend,
+        &pool,
         &jobs,
         &tcfg,
         &data,

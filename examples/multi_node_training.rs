@@ -55,7 +55,7 @@ fn main() {
     let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
         train_method(
             MethodKind::Reactive,
-            &mut backend,
+            &pool,
             &jobs,
             &tcfg,
             &data,
@@ -63,7 +63,7 @@ fn main() {
         ),
         train_method(
             MethodKind::AvgHeuristic,
-            &mut backend,
+            &pool,
             &jobs,
             &tcfg,
             &data,
@@ -71,7 +71,7 @@ fn main() {
         ),
         train_method(
             MethodKind::RandomForest,
-            &mut backend,
+            &pool,
             &jobs,
             &tcfg,
             &data,

@@ -55,7 +55,8 @@ fn trace_to_eval_pipeline_produces_consistent_report() {
         1,
     );
     assert_eq!(starts.len(), tcfg.offline_episodes);
-    let data = collect_offline(&pool_for(profile.nodes), &jobs, &tcfg, &starts);
+    let pool = pool_for(profile.nodes);
+    let data = collect_offline(&pool, &jobs, &tcfg, &starts);
     assert!(!data.reward_samples.is_empty());
     assert!(!data.wait_samples.is_empty());
     assert!(!data.best_run_decisions.is_empty());
@@ -64,7 +65,7 @@ fn trace_to_eval_pipeline_produces_consistent_report() {
     let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
         train_method(
             MethodKind::Reactive,
-            &mut backend,
+            &pool,
             &jobs,
             &tcfg,
             &data,
@@ -72,20 +73,13 @@ fn trace_to_eval_pipeline_produces_consistent_report() {
         ),
         train_method(
             MethodKind::AvgHeuristic,
-            &mut backend,
+            &pool,
             &jobs,
             &tcfg,
             &data,
             train_range,
         ),
-        train_method(
-            MethodKind::Xgboost,
-            &mut backend,
-            &jobs,
-            &tcfg,
-            &data,
-            train_range,
-        ),
+        train_method(MethodKind::Xgboost, &pool, &jobs, &tcfg, &data, train_range),
     ];
     let report = evaluate(
         &mut methods,
@@ -134,12 +128,13 @@ fn learned_method_beats_reactive_on_congested_episodes() {
         tcfg.offline_episodes,
         3,
     );
-    let data = collect_offline(&pool_for(profile.nodes), &jobs, &tcfg, &starts);
+    let pool = pool_for(profile.nodes);
+    let data = collect_offline(&pool, &jobs, &tcfg, &starts);
     let mut backend = SimConfig::builder().nodes(profile.nodes).build();
     let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
         train_method(
             MethodKind::Reactive,
-            &mut backend,
+            &pool,
             &jobs,
             &tcfg,
             &data,
@@ -147,7 +142,7 @@ fn learned_method_beats_reactive_on_congested_episodes() {
         ),
         train_method(
             MethodKind::RandomForest,
-            &mut backend,
+            &pool,
             &jobs,
             &tcfg,
             &data,
