@@ -35,11 +35,25 @@
 //! lockstep batched collection that replaced it (`collect_lanes =
 //! --batch`, one `q_values_batch` forward + embed-row caches per tick).
 //! Reported as trained decisions per second for each.
+//!
+//! The **multi-service** lane runs the shared-cluster provisioning
+//! harness (`evaluate_multiservice`) on the canonical diurnal and bursty
+//! scenarios: N services with heterogeneous SLOs drive traffic-sized
+//! predecessor/successor pairs through one cluster, and an
+//! experiment-scale DQN is scored against the uniform-share,
+//! greedy-per-service and shortest-queue baselines on identical seeded
+//! clusters. The per-method mean rewards land in the
+//! `multiservice_*` JSON fields.
 
 use std::time::Instant;
 
 use mirage_bench::quick_mode;
 use mirage_core::episode::{run_episode, Action, EpisodeConfig};
+use mirage_core::multiservice::{
+    bursty_scenario, diurnal_scenario, evaluate_multiservice, GreedyPerServicePolicy,
+    MultiMethodSummary, MultiServiceConfig, MultiServicePolicy, MultiServiceReport,
+    RlServicePolicy, ShortestQueuePolicy, UniformSharePolicy,
+};
 use mirage_core::state::{
     EncoderScratch, PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS,
 };
@@ -51,8 +65,8 @@ use mirage_nn::foundation::FoundationKind;
 use mirage_nn::transformer::TransformerConfig;
 use mirage_nn::{Matrix, Scratch};
 use mirage_rl::{
-    ActionEncoding, BalancedReplay, BatchInferCache, DqnAgent, DualHeadConfig, DualHeadNet,
-    Experience, ExploreLane,
+    ActionEncoding, BalancedReplay, BatchInferCache, DqnAgent, DqnConfig, DualHeadConfig,
+    DualHeadNet, Experience, ExploreLane,
 };
 use mirage_sim::{BackendKind, ClusterSnapshot, SimConfig, Simulator};
 use mirage_trace::{
@@ -365,7 +379,7 @@ fn training_workload(
         .collect();
     let mut cfg = TrainConfig {
         online_episodes: episodes,
-        collect_lanes: lanes,
+        collect_lanes: Some(lanes),
         updates_per_episode: 1,
         ..TrainConfig::default()
     };
@@ -495,6 +509,89 @@ fn sim_events_per_sec(jobs: &[JobRecord], nodes: u32) -> f64 {
     let elapsed = t.elapsed().as_secs_f64();
     let events = jobs.len() + sim.metrics().completed_jobs;
     events as f64 / elapsed
+}
+
+/// Cluster size of the multi-service lane (shared by all services).
+const MS_NODES: u32 = 16;
+
+/// Multi-service provisioning lane: RL serving vs the three heuristic
+/// baselines on the canonical diurnal and bursty scenarios, through the
+/// shared `evaluate_multiservice` harness (every method drives lockstep
+/// `MultiServiceBatch` episodes over fresh identically-seeded clusters,
+/// so methods see identical demand and background load). The RL method
+/// serves a fixed-seed experiment-scale DQN greedily — the lane
+/// benchmarks the multi-service serving harness and records the
+/// RL-vs-heuristic reward gap, not a training run. Returns the diurnal
+/// report, the bursty report, episode count and the aggregate
+/// decisions/s across both scenarios.
+fn multiservice_lane(
+    quick: bool,
+    services: usize,
+) -> (MultiServiceReport, MultiServiceReport, usize, f64) {
+    let episodes = if quick { 2 } else { 4 };
+    let t0s: Vec<i64> = (0..episodes as i64)
+        .map(|i| 2 * DAY + i * 6 * HOUR)
+        .collect();
+    // Thin hourly background load spanning warm-up through every
+    // episode's finish window (pred 24h + succ start, last t0 at +18h).
+    let trace: Vec<JobRecord> = (0..8 * 24)
+        .map(|i| {
+            JobRecord::new(
+                i as u64 + 1,
+                format!("bg{i}"),
+                (i % 5) as u32,
+                i * HOUR,
+                1 + (i % 3) as u32,
+                6 * HOUR,
+                3 * HOUR,
+            )
+        })
+        .collect();
+
+    let run = |cfg: &MultiServiceConfig, name: &str| -> MultiServiceReport {
+        let agent = DqnAgent::new(
+            DualHeadNet::new(DualHeadConfig::small(
+                FoundationKind::Transformer,
+                STATE_VARS,
+                cfg.history_k,
+                5,
+            )),
+            DqnConfig::default(),
+        );
+        let mut methods: Vec<Box<dyn MultiServicePolicy>> = vec![
+            Box::new(RlServicePolicy::new(agent, "dqn")),
+            Box::new(UniformSharePolicy),
+            Box::new(GreedyPerServicePolicy::default()),
+            Box::new(ShortestQueuePolicy::default()),
+        ];
+        evaluate_multiservice(
+            &mut methods,
+            |n| {
+                (0..n)
+                    .map(|_| Simulator::new(SimConfig::new(MS_NODES)))
+                    .collect::<Vec<_>>()
+            },
+            &trace,
+            &t0s,
+            cfg,
+            name,
+        )
+    };
+
+    let t = Instant::now();
+    let diurnal = run(&diurnal_scenario(services, MS_NODES, 11), "diurnal");
+    let bursty = run(&bursty_scenario(services, MS_NODES, 11), "bursty");
+    let elapsed = t.elapsed().as_secs_f64();
+    let dps = (diurnal.decisions + bursty.decisions) as f64 / elapsed;
+    (diurnal, bursty, episodes, dps)
+}
+
+/// Looks up `method` in a multi-service report (panics on a missing
+/// method so CI catches harness drift loudly).
+fn ms_method<'a>(report: &'a MultiServiceReport, method: &str) -> &'a MultiMethodSummary {
+    report
+        .method(method)
+        .unwrap_or_else(|| panic!("method {method} missing from {} report", report.scenario))
 }
 
 /// Extracts the curated `"seed_baseline"` object (verbatim JSON text) and
@@ -628,6 +725,11 @@ fn main() {
     );
     let speedup_training = train_batched / train_seq;
 
+    // Multi-service lane: RL vs heuristic baselines on the canonical
+    // diurnal and bursty shared-cluster scenarios.
+    let ms_services = if quick { 2 } else { 3 };
+    let (ms_diurnal, ms_bursty, ms_episodes, ms_dps) = multiservice_lane(quick, ms_services);
+
     let (fwd_before, fwd_after) = forward_ns(&net, forward_reps);
     let events_per_sec = sim_events_per_sec(&jobs, profile.nodes);
     let speedup = after.decisions_per_sec / before.decisions_per_sec;
@@ -651,7 +753,7 @@ fn main() {
         None => String::new(),
     };
     let json = format!(
-        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic traces, {} decisions at {}s cadence, k={}; batched: {} lanes x {} lockstep ticks; training: {} online DQN episodes (48h pairs, light synthetic load), pre-refactor sequential loop vs {} lockstep lanes\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"decisions_per_sec_lanes_unbatched\": {:.1},\n  \"decisions_per_sec_batched\": {:.1},\n  \"batch_width\": {},\n  \"workers\": {},\n  \"speedup\": {:.2},\n  \"speedup_batched\": {:.2},\n  \"training_decisions_per_sec_sequential\": {:.1},\n  \"training_decisions_per_sec_batched\": {:.1},\n  \"training_batch_width\": {},\n  \"speedup_training\": {:.2},\n  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_decision_batched\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
+        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic traces, {} decisions at {}s cadence, k={}; batched: {} lanes x {} lockstep ticks; training: {} online DQN episodes (48h pairs, light synthetic load), pre-refactor sequential loop vs {} lockstep lanes; multiservice: {} services x {} episodes on a shared {}-node cluster, diurnal+bursty, DQN vs 3 heuristics\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"decisions_per_sec_lanes_unbatched\": {:.1},\n  \"decisions_per_sec_batched\": {:.1},\n  \"batch_width\": {},\n  \"workers\": {},\n  \"speedup\": {:.2},\n  \"speedup_batched\": {:.2},\n  \"training_decisions_per_sec_sequential\": {:.1},\n  \"training_decisions_per_sec_batched\": {:.1},\n  \"training_batch_width\": {},\n  \"speedup_training\": {:.2},\n  \"multiservice_services\": {},\n  \"multiservice_episodes\": {},\n  \"multiservice_decisions_per_sec\": {:.1},\n  \"multiservice_diurnal_rl_reward\": {:.3},\n  \"multiservice_diurnal_rl_interruption_h\": {:.3},\n  \"multiservice_diurnal_uniform_share_reward\": {:.3},\n  \"multiservice_diurnal_greedy_per_service_reward\": {:.3},\n  \"multiservice_diurnal_shortest_queue_reward\": {:.3},\n  \"multiservice_bursty_rl_reward\": {:.3},\n  \"multiservice_bursty_rl_interruption_h\": {:.3},\n  \"multiservice_bursty_uniform_share_reward\": {:.3},\n  \"multiservice_bursty_greedy_per_service_reward\": {:.3},\n  \"multiservice_bursty_shortest_queue_reward\": {:.3},\n  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_decision_batched\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
         quick,
         profile.name,
         decisions,
@@ -661,6 +763,9 @@ fn main() {
         ticks,
         train_episodes,
         train_batch,
+        ms_services,
+        ms_episodes,
+        MS_NODES,
         before.decisions_per_sec,
         after.decisions_per_sec,
         unbatched.decisions_per_sec,
@@ -673,6 +778,19 @@ fn main() {
         train_batched,
         train_batch,
         speedup_training,
+        ms_services,
+        ms_episodes,
+        ms_dps,
+        ms_method(&ms_diurnal, "dqn").mean_reward,
+        ms_method(&ms_diurnal, "dqn").mean_interruption_h,
+        ms_method(&ms_diurnal, "uniform-share").mean_reward,
+        ms_method(&ms_diurnal, "greedy-per-service").mean_reward,
+        ms_method(&ms_diurnal, "shortest-queue").mean_reward,
+        ms_method(&ms_bursty, "dqn").mean_reward,
+        ms_method(&ms_bursty, "dqn").mean_interruption_h,
+        ms_method(&ms_bursty, "uniform-share").mean_reward,
+        ms_method(&ms_bursty, "greedy-per-service").mean_reward,
+        ms_method(&ms_bursty, "shortest-queue").mean_reward,
         before.ns_per_decision,
         after.ns_per_decision,
         batched.ns_per_decision,
@@ -684,12 +802,15 @@ fn main() {
     std::fs::write(OUT_PATH, &json).expect("write bench output");
     print!("{json}");
     eprintln!(
-        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); batched x{batch}: {:.0}/s ({speedup_batched:.2}x over single); training: {:.0}/s -> {:.0}/s ({speedup_training:.2}x, x{train_batch} lanes); forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
+        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); batched x{batch}: {:.0}/s ({speedup_batched:.2}x over single); training: {:.0}/s -> {:.0}/s ({speedup_training:.2}x, x{train_batch} lanes); multiservice x{ms_services}: {:.0} dec/s, diurnal dqn {:.2} vs greedy {:.2}; forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
         before.decisions_per_sec,
         after.decisions_per_sec,
         batched.decisions_per_sec,
         train_seq,
         train_batched,
+        ms_dps,
+        ms_method(&ms_diurnal, "dqn").mean_reward,
+        ms_method(&ms_diurnal, "greedy-per-service").mean_reward,
         fwd_before,
         fwd_after,
         events_per_sec

@@ -48,6 +48,10 @@
 //! * [`batch`] — the batched episode engine: N episodes stepped in
 //!   lockstep with one batched NN forward per decision tick
 //!   ([`batch::BatchedEpisodeDriver`]),
+//! * [`multiservice`] — N concurrent services with heterogeneous SLOs
+//!   sharing one cluster: traffic-driven demand, a shared-cluster
+//!   stampede-aware reward, lockstep services × episodes batching and
+//!   the multi-service baselines ([`multiservice::MultiServiceEnv`]),
 //! * [`gym`] — the same episodes behind `mirage-rl`'s Gym-style
 //!   `Environment` interface,
 //! * [`policy`] — the eight §6 methods behind one trait,
@@ -71,6 +75,7 @@ pub mod episode;
 pub mod eval;
 pub mod features;
 pub mod gym;
+pub mod multiservice;
 pub mod policy;
 pub mod reward;
 pub mod state;
@@ -85,6 +90,12 @@ pub use episode::{
 };
 pub use eval::{evaluate, EvalConfig, EvalReport, LoadLevel, MethodSummary};
 pub use gym::ProvisionEnv;
+pub use multiservice::{
+    bursty_scenario, diurnal_scenario, evaluate_multiservice, ExploringRlPolicy,
+    GreedyPerServicePolicy, MultiMethodSummary, MultiServiceBatch, MultiServiceConfig,
+    MultiServiceEnv, MultiServicePolicy, MultiServiceReport, MultiServiceResult, RlServicePolicy,
+    ServiceEpisode, ServiceSlo, ServiceSpec, ShortestQueuePolicy, SlotContext, UniformSharePolicy,
+};
 pub use policy::{
     AvgWaitPolicy, DqnPolicy, PgPolicy, ProvisionPolicy, ReactivePolicy, WaitModel,
     WaitPredictorPolicy,
@@ -105,6 +116,11 @@ pub mod prelude {
     };
     pub use crate::eval::{evaluate, EvalConfig, EvalReport, LoadLevel, MethodSummary};
     pub use crate::gym::ProvisionEnv;
+    pub use crate::multiservice::{
+        bursty_scenario, diurnal_scenario, evaluate_multiservice, MultiServiceBatch,
+        MultiServiceConfig, MultiServiceEnv, MultiServicePolicy, MultiServiceReport, ServiceSlo,
+        ServiceSpec,
+    };
     pub use crate::policy::{
         AvgWaitPolicy, DqnPolicy, PgPolicy, ProvisionPolicy, ReactivePolicy, WaitPredictorPolicy,
     };

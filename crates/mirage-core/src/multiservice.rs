@@ -1,0 +1,1535 @@
+//! Multi-service provisioning: N concurrent services with heterogeneous
+//! SLOs sharing one cluster.
+//!
+//! The paper provisions a single interactive service per episode; at
+//! production scale a batch cluster hosts *many* services whose
+//! provisioning decisions contend for the same queue. This module opens
+//! that workload on top of the existing machinery:
+//!
+//! * a **scenario layer** — [`ServiceSpec`] (latency target /
+//!   interruption budget mapped to per-service reward weights, demand
+//!   drawn from a [`TrafficModel`]'s requests/s → required-node curve)
+//!   and [`MultiServiceConfig`] (N services + shared episode cadence),
+//!   with canonical [`diurnal_scenario`] / [`bursty_scenario`] builders;
+//! * a **shared-cluster episode engine** — [`MultiServiceEnv`] steps all
+//!   services of one episode per decision tick against a single
+//!   [`ClusterBackend`], mirroring the backend-call sequence of
+//!   [`EpisodeDriver`](crate::episode::EpisodeDriver) *exactly*: with one
+//!   service the episode is bit-identical to the single-service driver
+//!   (pinned by property tests);
+//! * a **lockstep batch** — [`MultiServiceBatch`] stacks every pending
+//!   `(episode, service)` state matrix of a tick into one batch, so the
+//!   RL agents answer episodes × services with a single batched forward,
+//!   exactly as `crate::batch` does for episodes alone;
+//! * a **shared-cluster reward** — per-service Eq. 8 penalties from the
+//!   service's own SLO weights, minus a *stampede* penalty charged when
+//!   several services provision in the same tick (simultaneous successor
+//!   submissions pile onto the queue and interrupt each other);
+//! * **classic baselines** — [`UniformSharePolicy`],
+//!   [`GreedyPerServicePolicy`] and [`ShortestQueuePolicy`] beside the
+//!   RL agents, wired into [`evaluate_multiservice`] so RL-vs-heuristic
+//!   numbers come out of one harness.
+
+use mirage_nn::Matrix;
+use mirage_rl::{DqnAgent, ServiceLanes};
+use mirage_sim::{ClusterBackend, ClusterSnapshot, JobStatus, ServiceUsage};
+use mirage_trace::{JobRecord, TrafficModel, DAY, HOUR};
+use serde::{Deserialize, Serialize};
+
+use crate::episode::{Action, EpisodeConfig};
+use crate::reward::{EpisodeOutcome, RewardShaper};
+use crate::state::{
+    EncoderScratch, PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS,
+};
+
+/// A service's level objectives, in episode terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSlo {
+    /// Target ceiling on the hand-off gap, seconds (tight for
+    /// latency-critical services).
+    pub latency_target: i64,
+    /// Interruption budget per episode, seconds: the gap the service
+    /// tolerates before the episode counts as an SLO miss.
+    pub interruption_budget: i64,
+}
+
+impl ServiceSlo {
+    /// A balanced SLO: both knobs at `target`.
+    pub fn with_target(target: i64) -> Self {
+        Self {
+            latency_target: target.max(1),
+            interruption_budget: target.max(1),
+        }
+    }
+
+    /// Maps the SLO onto Eq. 8 weights: a service with a tight latency
+    /// target weighs interruption hours more heavily (scaled against the
+    /// 4-hour reference target, clamped to [1, 8]× the default), while
+    /// the overlap weight stays at the default — overlap wastes nodes
+    /// equally for everyone.
+    pub fn weights(&self) -> RewardShaper {
+        let base = RewardShaper::default();
+        let scale = (4.0 * HOUR as f32 / self.latency_target.max(1) as f32).clamp(0.5, 4.0);
+        RewardShaper {
+            e_interrupt: base.e_interrupt * scale,
+            e_overlap: base.e_overlap,
+        }
+    }
+}
+
+impl Default for ServiceSlo {
+    fn default() -> Self {
+        Self::with_target(4 * HOUR)
+    }
+}
+
+/// One service in a multi-service scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Display name (`"svc0"`, `"search"`, …).
+    pub name: String,
+    /// User id tagging this service's pair jobs in the shared queue
+    /// (distinct per service, distinct from background users) — the key
+    /// the per-service [`ServiceUsage`] ledger is read under.
+    pub user: u32,
+    /// Wall-clock limit of the service's sub-jobs.
+    pub timelimit: i64,
+    /// Actual runtime of the sub-jobs (services run to the limit).
+    pub runtime: i64,
+    /// The service's objectives (reporting: SLO hit/miss per episode).
+    pub slo: ServiceSlo,
+    /// Eq. 8 weights used for this service's reward (scenario builders
+    /// derive them from the SLO via [`ServiceSlo::weights`]).
+    pub shaper: RewardShaper,
+    /// Demand model: requests/s over time → required nodes.
+    pub traffic: TrafficModel,
+}
+
+impl ServiceSpec {
+    /// Nodes the service must provision at `t` (its traffic model's
+    /// requests/s → required-node curve).
+    pub fn nodes_at(&self, t: i64) -> u32 {
+        self.traffic.required_nodes(t)
+    }
+}
+
+/// N services plus the shared episode parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiServiceConfig {
+    /// The concurrent services, in decision order.
+    pub services: Vec<ServiceSpec>,
+    /// Seconds between decisions (shared cadence — one lockstep tick
+    /// decides every service).
+    pub decision_interval: i64,
+    /// History rows per service state matrix (`k`).
+    pub history_k: usize,
+    /// Background-trace replay before the episode start.
+    pub warmup: i64,
+    /// Stampede penalty: charged per *peer* service submitting its
+    /// successor in the same decision tick (0 disables the coupling).
+    pub stampede_coef: f32,
+}
+
+impl MultiServiceConfig {
+    /// The degenerate one-service configuration equivalent to a
+    /// single-service [`EpisodeConfig`] + [`RewardShaper`]: constant
+    /// traffic pinned to `pair_nodes`, the pair's user id, and no
+    /// stampede coupling. Under this config a [`MultiServiceEnv`]
+    /// episode is bit-identical to the
+    /// [`EpisodeDriver`](crate::episode::EpisodeDriver) episode — the
+    /// property test `tests/multiservice.rs` pins it.
+    pub fn single(cfg: &EpisodeConfig, shaper: RewardShaper) -> Self {
+        Self {
+            services: vec![ServiceSpec {
+                name: "service".into(),
+                user: cfg.pair_user,
+                timelimit: cfg.pair_timelimit,
+                runtime: cfg.pair_runtime,
+                slo: ServiceSlo::default(),
+                shaper,
+                traffic: TrafficModel::constant(cfg.pair_nodes),
+            }],
+            decision_interval: cfg.decision_interval,
+            history_k: cfg.history_k,
+            warmup: cfg.warmup,
+            stampede_coef: 0.0,
+        }
+    }
+
+    /// Service count.
+    pub fn n_services(&self) -> usize {
+        self.services.len()
+    }
+}
+
+/// First user id the scenario builders assign to services (clear of the
+/// single-service `pair_user` default and every background user).
+pub const SERVICE_USER_BASE: u32 = 2_000_000;
+
+/// Canonical diurnal scenario: `services` day-night services with
+/// staggered peak hours, heterogeneous latency targets and smooth
+/// (burst-free) demand, sized so their combined peak wants roughly half
+/// of `cluster_nodes`.
+pub fn diurnal_scenario(services: usize, cluster_nodes: u32, seed: u64) -> MultiServiceConfig {
+    scenario(services, cluster_nodes, seed, false)
+}
+
+/// Canonical bursty scenario: the diurnal base with a mean-one Gamma
+/// burst overlay per service (independent seed-split streams), so demand
+/// spikes hit services at uncorrelated instants.
+pub fn bursty_scenario(services: usize, cluster_nodes: u32, seed: u64) -> MultiServiceConfig {
+    scenario(services, cluster_nodes, seed, true)
+}
+
+fn scenario(services: usize, cluster_nodes: u32, seed: u64, bursty: bool) -> MultiServiceConfig {
+    use mirage_trace::{split_seed, GammaBurst};
+    let services = services.max(1);
+    let targets = [30 * 60, HOUR, 2 * HOUR, 4 * HOUR];
+    // Combined mean demand ≈ cluster_nodes / 2, split evenly.
+    let mean_nodes = (f64::from(cluster_nodes) * 0.5 / services as f64).max(1.0);
+    let specs = (0..services)
+        .map(|i| {
+            let slo = ServiceSlo::with_target(targets[i % targets.len()]);
+            let mut traffic =
+                TrafficModel::diurnal(mean_nodes * 20.0, 20.0, 0.35, (8 + 4 * (i % 4)) as f64);
+            if bursty {
+                traffic = traffic.with_burst(
+                    GammaBurst::mean_one(1.5, 2 * HOUR),
+                    split_seed(seed, i as u64),
+                );
+            }
+            ServiceSpec {
+                name: format!("svc{i}"),
+                user: SERVICE_USER_BASE + i as u32,
+                timelimit: 24 * HOUR,
+                runtime: 24 * HOUR,
+                slo,
+                shaper: slo.weights(),
+                traffic,
+            }
+        })
+        .collect();
+    MultiServiceConfig {
+        services: specs,
+        decision_interval: HOUR,
+        history_k: 12,
+        warmup: 12 * DAY,
+        stampede_coef: 0.5,
+    }
+}
+
+/// Everything a heuristic needs to decide one pending `(episode,
+/// service)` slot — the multi-service analogue of
+/// [`crate::episode::DecisionContext`], as owned scalars so batched
+/// policies can look at every slot of a tick at once.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotContext {
+    /// Episode (batch instance) index.
+    pub instance: usize,
+    /// Service index within the episode.
+    pub service: usize,
+    /// Services sharing the episode's cluster.
+    pub n_services: usize,
+    /// Simulated time of the decision.
+    pub now: i64,
+    /// Whether this service's predecessor has started running.
+    pub pred_started: bool,
+    /// Estimated seconds until the predecessor ends (limit-based).
+    pub pred_remaining: i64,
+    /// Mean queue wait of jobs started in the last 24 h, seconds.
+    pub recent_avg_wait: Option<f64>,
+    /// The successor the service would submit now (nodes follow the
+    /// traffic curve).
+    pub successor: SuccessorSpec,
+    /// Partition size of the shared cluster.
+    pub total_nodes: u32,
+    /// Idle nodes at the decision instant.
+    pub free_nodes: u32,
+    /// Nodes requested by the queued jobs at the decision instant.
+    pub queued_nodes: u64,
+    /// Peer services of this episode that already provisioned their
+    /// successor.
+    pub peers_provisioned: usize,
+}
+
+/// A policy deciding every pending `(episode, service)` slot of one
+/// lockstep tick: `batch` row-stacks `slots.len()` state matrices
+/// (`slots.len() · k` rows), and the implementation pushes exactly one
+/// [`Action`] per slot, in order. RL policies answer with one batched
+/// forward; heuristics read the per-slot contexts.
+pub trait MultiServicePolicy: Send {
+    /// Display name used in reports.
+    fn name(&self) -> String;
+    /// Per-episode-batch reset.
+    fn reset(&mut self) {}
+    /// Decides all slots of one tick.
+    fn decide(&mut self, batch: &Matrix, slots: &[SlotContext], actions: &mut Vec<Action>);
+}
+
+/// Greedy RL agent over the slot batch: one `q_values_batch` forward per
+/// tick for all episodes × services (the serving path).
+pub struct RlServicePolicy {
+    /// The trained agent.
+    pub agent: DqnAgent,
+    /// Display label.
+    pub label: String,
+    indices: Vec<usize>,
+}
+
+impl RlServicePolicy {
+    /// Wraps a (trained) agent.
+    pub fn new(agent: DqnAgent, label: impl Into<String>) -> Self {
+        Self {
+            agent,
+            label: label.into(),
+            indices: Vec::new(),
+        }
+    }
+}
+
+impl MultiServicePolicy for RlServicePolicy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn decide(&mut self, batch: &Matrix, slots: &[SlotContext], actions: &mut Vec<Action>) {
+        self.agent
+            .act_greedy_batch(batch, slots.len(), &mut self.indices);
+        actions.extend(self.indices.iter().map(|&i| Action::from_index(i)));
+    }
+}
+
+/// ε-greedy RL agent with per-`(episode, service)` exploration lanes —
+/// the collection path. Each slot draws from its own
+/// [`mirage_rl::ExploreLane`] stream in the [`ServiceLanes`] grid, so a
+/// service's exploration is independent of how many services and
+/// episodes share the lockstep batch.
+pub struct ExploringRlPolicy {
+    /// The learning agent.
+    pub agent: DqnAgent,
+    /// Per-`(episode, service)` exploration streams.
+    pub lanes: ServiceLanes,
+    /// Display label.
+    pub label: String,
+    rows: Vec<usize>,
+    indices: Vec<usize>,
+}
+
+impl ExploringRlPolicy {
+    /// Wraps an agent with a lane grid sized `instances × services`.
+    pub fn new(agent: DqnAgent, lanes: ServiceLanes, label: impl Into<String>) -> Self {
+        Self {
+            agent,
+            lanes,
+            label: label.into(),
+            rows: Vec::new(),
+            indices: Vec::new(),
+        }
+    }
+}
+
+impl MultiServicePolicy for ExploringRlPolicy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn decide(&mut self, batch: &Matrix, slots: &[SlotContext], actions: &mut Vec<Action>) {
+        self.rows.clear();
+        self.rows
+            .extend(slots.iter().map(|s| self.lanes.flat(s.instance, s.service)));
+        self.agent.act_batch(
+            batch,
+            self.lanes.as_mut_slice(),
+            &self.rows,
+            &mut self.indices,
+        );
+        actions.extend(self.indices.iter().map(|&i| Action::from_index(i)));
+    }
+}
+
+/// Uniform-share baseline: every service provisions as if it owned
+/// `1/N` of the cluster. The lead time scales the observed average wait
+/// by how much of the service's fair share the successor needs — a
+/// service asking for more than its share provisions earlier, one well
+/// under it provisions later.
+#[derive(Debug, Clone, Default)]
+pub struct UniformSharePolicy;
+
+impl MultiServicePolicy for UniformSharePolicy {
+    fn name(&self) -> String {
+        "uniform-share".into()
+    }
+
+    fn decide(&mut self, _batch: &Matrix, slots: &[SlotContext], actions: &mut Vec<Action>) {
+        for s in slots {
+            if !s.pred_started {
+                actions.push(Action::Wait);
+                continue;
+            }
+            let share = (f64::from(s.total_nodes) / s.n_services as f64).max(1.0);
+            let pressure = f64::from(s.successor.nodes) / share;
+            let lead = s.recent_avg_wait.unwrap_or(0.0) * pressure;
+            actions.push(if (s.pred_remaining as f64) <= lead {
+                Action::Submit
+            } else {
+                Action::Wait
+            });
+        }
+    }
+}
+
+/// Greedy-per-service baseline: every service independently runs the
+/// single-service `avg` heuristic (submit `T_avg` before its own
+/// predecessor ends), ignoring the other services entirely — the
+/// stampede-prone common practice this subsystem's shared reward is
+/// built to expose.
+#[derive(Debug, Clone)]
+pub struct GreedyPerServicePolicy {
+    /// Safety multiplier on `T_avg` (1.0 = the paper's heuristic).
+    pub multiplier: f64,
+}
+
+impl Default for GreedyPerServicePolicy {
+    fn default() -> Self {
+        Self { multiplier: 1.0 }
+    }
+}
+
+impl MultiServicePolicy for GreedyPerServicePolicy {
+    fn name(&self) -> String {
+        "greedy-per-service".into()
+    }
+
+    fn decide(&mut self, _batch: &Matrix, slots: &[SlotContext], actions: &mut Vec<Action>) {
+        for s in slots {
+            let t_avg = s.recent_avg_wait.unwrap_or(0.0) * self.multiplier;
+            actions.push(if s.pred_started && (s.pred_remaining as f64) <= t_avg {
+                Action::Submit
+            } else {
+                Action::Wait
+            });
+        }
+    }
+}
+
+/// Shortest-queue baseline: within a lead window before the predecessor
+/// ends, grab capacity during queue *dips* (submit while the queued
+/// demand fits the idle nodes — the successor would start almost
+/// immediately); if no dip shows up, fall back to the greedy `T_avg`
+/// threshold so the service still provisions before the hand-off.
+#[derive(Debug, Clone)]
+pub struct ShortestQueuePolicy {
+    /// Lead window as a multiple of the observed average wait.
+    pub window_mult: f64,
+}
+
+impl Default for ShortestQueuePolicy {
+    fn default() -> Self {
+        Self { window_mult: 3.0 }
+    }
+}
+
+impl MultiServicePolicy for ShortestQueuePolicy {
+    fn name(&self) -> String {
+        "shortest-queue".into()
+    }
+
+    fn decide(&mut self, _batch: &Matrix, slots: &[SlotContext], actions: &mut Vec<Action>) {
+        for s in slots {
+            if !s.pred_started {
+                actions.push(Action::Wait);
+                continue;
+            }
+            let t_avg = s.recent_avg_wait.unwrap_or(0.0);
+            let window = (t_avg * self.window_mult).max(HOUR as f64);
+            let remaining = s.pred_remaining as f64;
+            let dip = s.queued_nodes <= u64::from(s.free_nodes);
+            actions.push(if (remaining <= window && dip) || remaining <= t_avg {
+                Action::Submit
+            } else {
+                Action::Wait
+            });
+        }
+    }
+}
+
+/// Record of one service's episode inside a multi-service run.
+#[derive(Debug, Clone)]
+pub struct ServiceEpisode {
+    /// Service name.
+    pub name: String,
+    /// Service user id.
+    pub user: u32,
+    /// Interruption/overlap outcome of the hand-off.
+    pub outcome: EpisodeOutcome,
+    /// When the predecessor was submitted / started / ended.
+    pub pred_submit: i64,
+    /// Predecessor dispatch instant.
+    pub pred_start: i64,
+    /// Predecessor completion instant.
+    pub pred_end: i64,
+    /// When the successor was submitted / started.
+    pub succ_submit: i64,
+    /// Successor dispatch instant.
+    pub succ_start: i64,
+    /// Whether the policy submitted (vs the reactive fallback).
+    pub submitted_by_policy: bool,
+    /// Peer services whose successor landed in the same decision tick.
+    pub co_submitters: usize,
+    /// Whether the episode met the service's interruption budget.
+    pub slo_met: bool,
+    /// The shared-cluster reward: the service's own Eq. 8 penalty minus
+    /// the stampede penalty for co-submitting peers.
+    pub reward: f32,
+    /// `(state matrix, action)` at every decision the policy made.
+    pub decisions: Vec<(Matrix, usize)>,
+    /// The service's ledger on the shared cluster at episode end.
+    pub usage: ServiceUsage,
+}
+
+/// Result of one multi-service episode.
+#[derive(Debug, Clone)]
+pub struct MultiServiceResult {
+    /// Per-service records, in service order.
+    pub services: Vec<ServiceEpisode>,
+    /// Decision ticks in which two or more services submitted.
+    pub stampede_ticks: usize,
+}
+
+impl MultiServiceResult {
+    /// Summed shared-cluster reward over the services.
+    pub fn total_reward(&self) -> f32 {
+        self.services.iter().map(|s| s.reward).sum()
+    }
+}
+
+/// Per-service decision state inside a [`MultiServiceEnv`].
+struct ServiceState {
+    encoder: StateEncoder,
+    history: StateHistory,
+    succ_spec: SuccessorSpec,
+    /// The predecessor's actual size, pinned at submission (the
+    /// successor's size keeps following the traffic curve; the
+    /// predecessor's cannot change once queued).
+    pred_nodes: u32,
+    pred_id: u64,
+    succ_id: Option<u64>,
+    succ_submit: i64,
+    submitted_by_policy: bool,
+    submit_tick: u64,
+    matrix: Matrix,
+    decisions: Vec<(Matrix, usize)>,
+    last_pred_started: bool,
+    last_pred_remaining: i64,
+}
+
+/// One multi-service episode as an explicit state machine: N services
+/// sharing one backend, stepped per decision tick.
+///
+/// The loop mirrors [`EpisodeDriver`](crate::episode::EpisodeDriver)
+/// lifted to N services — same warm-up replay, same per-tick
+/// `run_until`/`status`/`sample` sequence,
+/// same reactive fallback, same resolution loop — with one shared
+/// snapshot per tick (the cluster state is the same for every service at
+/// a given instant) and per-service encoders/histories/pair jobs. With
+/// one service the backend sees the *identical* call sequence, which is
+/// what makes the N=1 degeneration bit-exact.
+pub struct MultiServiceEnv<B: ClusterBackend> {
+    backend: B,
+    cfg: MultiServiceConfig,
+    t0: i64,
+    services: Vec<ServiceState>,
+    now: i64,
+    tick: u64,
+    snapshot: ClusterSnapshot,
+    enc_scratch: EncoderScratch,
+    pending: Vec<usize>,
+    batch: Matrix,
+    last_avg_wait: Option<f64>,
+    record: bool,
+    /// Successor submissions per decision tick (stampede accounting).
+    submits_by_tick: Vec<u32>,
+}
+
+impl<B: ClusterBackend> MultiServiceEnv<B> {
+    /// Resets `backend`, replays `trace` up to `t0` (recording each
+    /// service's history window at the decision cadence) and submits
+    /// every service's predecessor at `t0`, in service order.
+    pub fn new(mut backend: B, trace: &[JobRecord], cfg: &MultiServiceConfig, t0: i64) -> Self {
+        assert!(!cfg.services.is_empty(), "need at least one service");
+        backend.reset_with(trace);
+        let total_nodes = backend.total_nodes();
+        let k = cfg.history_k.max(1);
+
+        let mut services: Vec<ServiceState> = cfg
+            .services
+            .iter()
+            .map(|svc| ServiceState {
+                encoder: StateEncoder::new(total_nodes, svc.timelimit.max(48 * HOUR)),
+                history: StateHistory::new(k),
+                succ_spec: SuccessorSpec {
+                    nodes: svc.nodes_at(t0),
+                    timelimit: svc.timelimit,
+                },
+                pred_nodes: svc.nodes_at(t0),
+                pred_id: 0,
+                succ_id: None,
+                succ_submit: 0,
+                submitted_by_policy: false,
+                submit_tick: 0,
+                matrix: Matrix::zeros(0, 0),
+                decisions: Vec::new(),
+                last_pred_started: false,
+                last_pred_remaining: 0,
+            })
+            .collect();
+
+        // Warm-up replay with history recording, exactly as the
+        // single-service driver: one shared snapshot per recorded tick,
+        // one encoded row per service.
+        let mut snapshot = ClusterSnapshot::default();
+        let mut enc_scratch = EncoderScratch::default();
+        let record_start = t0 - (k as i64) * cfg.decision_interval;
+        backend.run_until(record_start.min(t0));
+        let mut t = record_start;
+        while t < t0 {
+            if t > record_start {
+                backend.run_until(t);
+            }
+            backend.sample_into(&mut snapshot);
+            for (svc, st) in cfg.services.iter().zip(&mut services) {
+                let pred = PredecessorState {
+                    nodes: st.pred_nodes,
+                    timelimit: svc.timelimit,
+                    queue_time: 0,
+                    elapsed: 0,
+                };
+                st.history.push(st.encoder.encode_into(
+                    &snapshot,
+                    &pred,
+                    &st.succ_spec,
+                    &mut enc_scratch,
+                ));
+            }
+            t += cfg.decision_interval;
+        }
+        backend.run_until(t0);
+
+        // Submit every predecessor at t0, in service order (they queue
+        // behind each other exactly as N users hitting submit together).
+        for (svc, st) in cfg.services.iter().zip(&mut services) {
+            let pred = JobRecord::new(
+                0,
+                "mirage_pred",
+                svc.user,
+                t0,
+                st.pred_nodes,
+                svc.timelimit,
+                svc.runtime,
+            );
+            st.pred_id = backend.submit(pred);
+        }
+
+        Self {
+            backend,
+            cfg: cfg.clone(),
+            t0,
+            services,
+            now: t0,
+            tick: 0,
+            snapshot,
+            enc_scratch,
+            pending: Vec::new(),
+            batch: Matrix::zeros(0, 0),
+            last_avg_wait: None,
+            record: true,
+            submits_by_tick: Vec::new(),
+        }
+    }
+
+    /// Service count.
+    pub fn n_services(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether any service still awaits decisions.
+    pub fn is_deciding(&self) -> bool {
+        self.services.iter().any(|s| s.succ_id.is_none())
+    }
+
+    /// Controls whether `apply()` records `(state matrix, action)` pairs
+    /// per service (cloning the matrix per decision; benchmark loops
+    /// turn it off).
+    pub fn set_record_decisions(&mut self, record: bool) {
+        self.record = record;
+    }
+
+    fn successor_job(svc: &ServiceSpec, spec: SuccessorSpec) -> JobRecord {
+        JobRecord::new(
+            0,
+            "mirage_succ",
+            svc.user,
+            0, // overridden by submit()
+            spec.nodes,
+            svc.timelimit,
+            svc.runtime,
+        )
+    }
+
+    fn note_submit(&mut self, tick: u64) {
+        let i = tick as usize;
+        if self.submits_by_tick.len() <= i {
+            self.submits_by_tick.resize(i + 1, 0);
+        }
+        self.submits_by_tick[i] += 1;
+    }
+
+    /// Advances one decision interval: runs the shared backend to the
+    /// next tick, samples it once, updates every still-deciding
+    /// service's history (successor sizes following the traffic curve)
+    /// and fires reactive fallbacks. Returns the pending width — how
+    /// many services await an action this tick (0 with
+    /// [`is_deciding`](Self::is_deciding) false means the episode's
+    /// decision loop is over).
+    pub fn advance_tick(&mut self) -> usize {
+        self.pending.clear();
+        if !self.is_deciding() {
+            return 0;
+        }
+        self.now += self.cfg.decision_interval;
+        self.backend.run_until(self.now);
+        self.tick += 1;
+        let now = self.now;
+        self.backend.sample_into(&mut self.snapshot);
+
+        for i in 0..self.services.len() {
+            if self.services[i].succ_id.is_some() {
+                continue;
+            }
+            let svc = &self.cfg.services[i];
+            let st = &mut self.services[i];
+            let pred_status = self.backend.status(st.pred_id).expect("predecessor exists");
+            let pred_nodes = st.pred_nodes;
+            // Demand follows the traffic curve: the successor the service
+            // would submit *now* is sized for current load.
+            st.succ_spec = SuccessorSpec {
+                nodes: svc.nodes_at(now),
+                timelimit: svc.timelimit,
+            };
+            let (pred_state, pred_started, pred_remaining, pred_done) = match pred_status {
+                JobStatus::Pending | JobStatus::Future => (
+                    PredecessorState {
+                        nodes: pred_nodes,
+                        timelimit: svc.timelimit,
+                        queue_time: now - self.t0,
+                        elapsed: 0,
+                    },
+                    false,
+                    svc.timelimit,
+                    false,
+                ),
+                JobStatus::Running { start } => (
+                    PredecessorState {
+                        nodes: pred_nodes,
+                        timelimit: svc.timelimit,
+                        queue_time: start - self.t0,
+                        elapsed: now - start,
+                    },
+                    true,
+                    (start + svc.timelimit - now).max(0),
+                    false,
+                ),
+                JobStatus::Completed { start, end } => (
+                    PredecessorState {
+                        nodes: pred_nodes,
+                        timelimit: svc.timelimit,
+                        queue_time: start - self.t0,
+                        elapsed: end - start,
+                    },
+                    true,
+                    0,
+                    true,
+                ),
+                JobStatus::Rejected => unreachable!("pair jobs always fit"),
+            };
+
+            st.history.push(st.encoder.encode_into(
+                &self.snapshot,
+                &pred_state,
+                &st.succ_spec,
+                &mut self.enc_scratch,
+            ));
+
+            if pred_done {
+                // Reactive fallback: a real operator submits the
+                // successor the moment the predecessor is done.
+                let job = Self::successor_job(svc, st.succ_spec);
+                let id = self.backend.submit(job);
+                let st = &mut self.services[i];
+                st.succ_id = Some(id);
+                st.succ_submit = self.backend.now();
+                st.submit_tick = self.tick;
+                self.note_submit(self.tick);
+                continue;
+            }
+
+            let st = &mut self.services[i];
+            st.history.write_matrix(&mut st.matrix);
+            st.last_pred_started = pred_started;
+            st.last_pred_remaining = pred_remaining;
+            self.pending.push(i);
+        }
+
+        let width = self.pending.len();
+        if width > 0 {
+            self.last_avg_wait = self.backend.avg_recent_wait(24 * HOUR);
+            let k = self.cfg.history_k.max(1);
+            self.batch.reset(width * k, STATE_VARS);
+            for (slot, &i) in self.pending.iter().enumerate() {
+                let m = &self.services[i].matrix;
+                debug_assert_eq!(m.shape(), (k, STATE_VARS));
+                for r in 0..k {
+                    self.batch.row_mut(slot * k + r).copy_from_slice(m.row(r));
+                }
+            }
+        }
+        width
+    }
+
+    /// The row-stacked states of the services pending after the last
+    /// [`advance_tick`](Self::advance_tick) (`pending · k` rows).
+    pub fn batch_states(&self) -> &Matrix {
+        &self.batch
+    }
+
+    /// Service indices the current batch rows belong to, in row order.
+    pub fn pending(&self) -> &[usize] {
+        &self.pending
+    }
+
+    /// The [`SlotContext`] of pending batch row `row` (instance 0; the
+    /// lockstep batch driver overwrites the instance).
+    pub fn slot_context(&self, row: usize) -> SlotContext {
+        let i = self.pending[row];
+        let st = &self.services[i];
+        SlotContext {
+            instance: 0,
+            service: i,
+            n_services: self.services.len(),
+            now: self.now,
+            pred_started: st.last_pred_started,
+            pred_remaining: st.last_pred_remaining,
+            recent_avg_wait: self.last_avg_wait,
+            successor: st.succ_spec,
+            total_nodes: self.snapshot.total_nodes,
+            free_nodes: self.snapshot.free_nodes,
+            queued_nodes: u64::from(self.snapshot.queued_nodes()),
+            peers_provisioned: self.services.iter().filter(|s| s.succ_id.is_some()).count(),
+        }
+    }
+
+    /// Applies one action per pending service (batch row order).
+    pub fn apply(&mut self, actions: &[Action]) {
+        assert_eq!(
+            actions.len(),
+            self.pending.len(),
+            "one action per pending service"
+        );
+        let mut pending = std::mem::take(&mut self.pending);
+        for (slot, &i) in pending.iter().enumerate() {
+            if self.record {
+                let m = self.services[i].matrix.clone();
+                self.services[i].decisions.push((m, actions[slot].index()));
+            }
+            if actions[slot] == Action::Submit {
+                let svc = &self.cfg.services[i];
+                let job = Self::successor_job(svc, self.services[i].succ_spec);
+                let id = self.backend.submit(job);
+                let st = &mut self.services[i];
+                st.succ_id = Some(id);
+                st.succ_submit = self.backend.now();
+                st.submitted_by_policy = true;
+                st.submit_tick = self.tick;
+                self.note_submit(self.tick);
+            }
+        }
+        // Hand the emptied buffer back so the next tick reuses it.
+        pending.clear();
+        self.pending = pending;
+    }
+
+    /// Drives the decision loop to completion with `policy` (single
+    /// episode; instance index 0).
+    pub fn run<P: MultiServicePolicy + ?Sized>(&mut self, policy: &mut P) {
+        let mut slots = Vec::with_capacity(self.n_services());
+        let mut actions = Vec::with_capacity(self.n_services());
+        while self.is_deciding() {
+            let width = self.advance_tick();
+            if width == 0 {
+                continue;
+            }
+            slots.clear();
+            for row in 0..width {
+                slots.push(self.slot_context(row));
+            }
+            actions.clear();
+            policy.decide(&self.batch, &slots, &mut actions);
+            assert_eq!(actions.len(), width, "policy must answer every slot");
+            self.apply(&actions);
+        }
+    }
+
+    /// Runs the backend until every pair resolves and returns the
+    /// episode record plus the backend.
+    pub fn finish(mut self) -> (MultiServiceResult, B) {
+        assert!(
+            !self.is_deciding(),
+            "finish() before the decision loop ended"
+        );
+        loop {
+            let all_resolved = self.services.iter().all(|st| {
+                let pred_done = matches!(
+                    self.backend.status(st.pred_id),
+                    Some(JobStatus::Completed { .. })
+                );
+                let succ_started = matches!(
+                    self.backend
+                        .status(st.succ_id.expect("successor submitted")),
+                    Some(JobStatus::Running { .. } | JobStatus::Completed { .. })
+                );
+                pred_done && succ_started
+            });
+            if all_resolved {
+                break;
+            }
+            assert!(
+                self.backend.is_active(),
+                "simulation drained before every pair resolved"
+            );
+            self.backend.step(HOUR);
+        }
+
+        let services = self
+            .cfg
+            .services
+            .iter()
+            .zip(&mut self.services)
+            .map(|(svc, st)| {
+                let Some(JobStatus::Completed {
+                    start: pred_start,
+                    end: pred_end,
+                }) = self.backend.status(st.pred_id)
+                else {
+                    unreachable!("predecessor resolved")
+                };
+                let succ_start = match self.backend.status(st.succ_id.expect("submitted")) {
+                    Some(JobStatus::Running { start }) => start,
+                    Some(JobStatus::Completed { start, .. }) => start,
+                    _ => unreachable!("successor started"),
+                };
+                let outcome = EpisodeOutcome::from_times(pred_end, succ_start);
+                let co_submitters = (self.submits_by_tick[st.submit_tick as usize] - 1) as usize;
+                let reward =
+                    svc.shaper.reward(&outcome) - self.cfg.stampede_coef * co_submitters as f32;
+                ServiceEpisode {
+                    name: svc.name.clone(),
+                    user: svc.user,
+                    outcome,
+                    pred_submit: self.t0,
+                    pred_start,
+                    pred_end,
+                    succ_submit: st.succ_submit,
+                    succ_start,
+                    submitted_by_policy: st.submitted_by_policy,
+                    co_submitters,
+                    slo_met: outcome.interruption <= svc.slo.interruption_budget,
+                    reward,
+                    decisions: std::mem::take(&mut st.decisions),
+                    usage: self.backend.user_usage(svc.user),
+                }
+            })
+            .collect();
+
+        let stampede_ticks = self.submits_by_tick.iter().filter(|&&c| c >= 2).count();
+        (
+            MultiServiceResult {
+                services,
+                stampede_ticks,
+            },
+            self.backend,
+        )
+    }
+}
+
+/// M multi-service episodes in lockstep: one row-stacked batch across
+/// every pending `(episode, service)` slot per tick — services ×
+/// episodes behind a single policy call (one batched NN forward for the
+/// RL policies), narrowing as services and episodes finish.
+pub struct MultiServiceBatch<B: ClusterBackend> {
+    envs: Vec<MultiServiceEnv<B>>,
+    k: usize,
+    batch: Matrix,
+    slots: Vec<SlotContext>,
+    /// Pending width per env for the current tick.
+    widths: Vec<usize>,
+    /// Decisions answered so far (bench throughput accounting).
+    decisions: u64,
+}
+
+impl<B: ClusterBackend> MultiServiceBatch<B> {
+    /// Starts one multi-service episode per backend: `backends[i]`
+    /// hosts the episode starting at `t0s[i]`, all sharing `trace` and
+    /// `cfg`.
+    pub fn new(
+        backends: impl IntoIterator<Item = B>,
+        trace: &[JobRecord],
+        cfg: &MultiServiceConfig,
+        t0s: &[i64],
+    ) -> Self {
+        let envs: Vec<MultiServiceEnv<B>> = backends
+            .into_iter()
+            .zip(t0s)
+            .map(|(b, &t0)| MultiServiceEnv::new(b, trace, cfg, t0))
+            .collect();
+        assert_eq!(envs.len(), t0s.len(), "one backend per episode start");
+        assert!(!envs.is_empty(), "batch needs at least one episode");
+        Self {
+            envs,
+            k: cfg.history_k.max(1),
+            batch: Matrix::zeros(0, 0),
+            slots: Vec::new(),
+            widths: vec![0; t0s.len()],
+            decisions: 0,
+        }
+    }
+
+    /// Episode count.
+    pub fn width(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Whether any episode still awaits decisions.
+    pub fn is_deciding(&self) -> bool {
+        self.envs.iter().any(|e| e.is_deciding())
+    }
+
+    /// Total `(episode, service)` decisions answered so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Forwards [`MultiServiceEnv::set_record_decisions`] to every
+    /// episode.
+    pub fn set_record_decisions(&mut self, record: bool) {
+        for e in &mut self.envs {
+            e.set_record_decisions(record);
+        }
+    }
+
+    /// Advances every still-deciding episode one tick and assembles the
+    /// combined slot batch. Returns the pending slot count.
+    pub fn advance_tick(&mut self) -> usize {
+        self.slots.clear();
+        for (i, env) in self.envs.iter_mut().enumerate() {
+            self.widths[i] = if env.is_deciding() {
+                env.advance_tick()
+            } else {
+                0
+            };
+        }
+        let total: usize = self.widths.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        self.batch.reset(total * self.k, STATE_VARS);
+        let mut slot = 0;
+        for (i, env) in self.envs.iter().enumerate() {
+            for row in 0..self.widths[i] {
+                let mut ctx = env.slot_context(row);
+                ctx.instance = i;
+                self.slots.push(ctx);
+                let m = env.batch_states();
+                for r in 0..self.k {
+                    self.batch
+                        .row_mut(slot * self.k + r)
+                        .copy_from_slice(m.row(row * self.k + r));
+                }
+                slot += 1;
+            }
+        }
+        total
+    }
+
+    /// The combined row-stacked states of the pending slots.
+    pub fn batch_states(&self) -> &Matrix {
+        &self.batch
+    }
+
+    /// The pending slots' contexts, in batch row order.
+    pub fn slots(&self) -> &[SlotContext] {
+        &self.slots
+    }
+
+    /// Applies one action per pending slot (batch row order).
+    pub fn apply(&mut self, actions: &[Action]) {
+        assert_eq!(actions.len(), self.slots.len(), "one action per slot");
+        self.decisions += actions.len() as u64;
+        let mut offset = 0;
+        for (i, env) in self.envs.iter_mut().enumerate() {
+            let w = self.widths[i];
+            if w > 0 {
+                env.apply(&actions[offset..offset + w]);
+                offset += w;
+            }
+        }
+        self.slots.clear();
+    }
+
+    /// Drives every episode to the end of its decision loop: one
+    /// [`MultiServicePolicy::decide`] per lockstep tick.
+    pub fn run<P: MultiServicePolicy + ?Sized>(&mut self, policy: &mut P) {
+        let mut actions = Vec::new();
+        while self.is_deciding() {
+            let width = self.advance_tick();
+            if width == 0 {
+                continue;
+            }
+            actions.clear();
+            policy.decide(&self.batch, &self.slots, &mut actions);
+            assert_eq!(actions.len(), width, "policy must answer every slot");
+            self.apply(&actions);
+        }
+    }
+
+    /// Resolves every episode and returns the results in construction
+    /// order, alongside the backends.
+    pub fn finish(self) -> (Vec<MultiServiceResult>, Vec<B>) {
+        assert!(!self.is_deciding(), "finish() before decisions ended");
+        let mut results = Vec::with_capacity(self.envs.len());
+        let mut backends = Vec::with_capacity(self.envs.len());
+        for env in self.envs {
+            let (r, b) = env.finish();
+            results.push(r);
+            backends.push(b);
+        }
+        (results, backends)
+    }
+}
+
+/// Aggregate of one method over a batch of multi-service episodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiMethodSummary {
+    /// Method display name.
+    pub method: String,
+    /// Episodes evaluated.
+    pub episodes: usize,
+    /// Mean shared-cluster reward per service-episode.
+    pub mean_reward: f64,
+    /// Mean interruption per service-episode, hours.
+    pub mean_interruption_h: f64,
+    /// Mean overlap per service-episode, hours.
+    pub mean_overlap_h: f64,
+    /// Fraction of service-episodes meeting their interruption budget.
+    pub slo_hit_rate: f64,
+    /// Decision ticks with ≥ 2 simultaneous submissions, summed over
+    /// episodes.
+    pub stampede_ticks: usize,
+    /// Fraction of service-episodes provisioned by the policy (vs the
+    /// reactive fallback).
+    pub proactive_rate: f64,
+}
+
+/// Report of one multi-service evaluation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiServiceReport {
+    /// Scenario label (`"diurnal"`, `"bursty"`, …).
+    pub scenario: String,
+    /// Services per episode.
+    pub services: usize,
+    /// Per-method aggregates, in method order.
+    pub methods: Vec<MultiMethodSummary>,
+    /// Total `(episode, service)` decisions answered across methods.
+    pub decisions: u64,
+}
+
+impl MultiServiceReport {
+    /// The summary for `method`, if present.
+    pub fn method(&self, method: &str) -> Option<&MultiMethodSummary> {
+        self.methods.iter().find(|m| m.method == method)
+    }
+}
+
+/// Evaluates every method over the same multi-service episodes: each
+/// method drives a lockstep [`MultiServiceBatch`] across `t0s` (fresh
+/// identically-seeded backends per method, so methods see identical
+/// clusters), aggregating per-service rewards, SLO hits and stampede
+/// counts into a [`MultiServiceReport`].
+pub fn evaluate_multiservice<B, F>(
+    methods: &mut [Box<dyn MultiServicePolicy>],
+    mut make_backends: F,
+    trace: &[JobRecord],
+    t0s: &[i64],
+    cfg: &MultiServiceConfig,
+    scenario: &str,
+) -> MultiServiceReport
+where
+    B: ClusterBackend,
+    F: FnMut(usize) -> Vec<B>,
+{
+    assert!(!t0s.is_empty(), "evaluation needs at least one episode");
+    let mut summaries = Vec::with_capacity(methods.len());
+    let mut decisions = 0u64;
+    for m in methods.iter_mut() {
+        m.reset();
+        let backends = make_backends(t0s.len());
+        let mut batch = MultiServiceBatch::new(backends, trace, cfg, t0s);
+        batch.set_record_decisions(false);
+        batch.run(m.as_mut());
+        decisions += batch.decisions();
+        let (results, _) = batch.finish();
+
+        let n = results.len();
+        let per_service = (n * cfg.n_services()) as f64;
+        let mut reward = 0.0f64;
+        let mut interruption = 0.0f64;
+        let mut overlap = 0.0f64;
+        let mut slo_hits = 0usize;
+        let mut proactive = 0usize;
+        let mut stampede = 0usize;
+        for r in &results {
+            stampede += r.stampede_ticks;
+            for s in &r.services {
+                reward += f64::from(s.reward);
+                interruption += s.outcome.interruption as f64 / 3600.0;
+                overlap += s.outcome.overlap as f64 / 3600.0;
+                slo_hits += usize::from(s.slo_met);
+                proactive += usize::from(s.submitted_by_policy);
+            }
+        }
+        summaries.push(MultiMethodSummary {
+            method: m.name(),
+            episodes: n,
+            mean_reward: reward / per_service,
+            mean_interruption_h: interruption / per_service,
+            mean_overlap_h: overlap / per_service,
+            slo_hit_rate: slo_hits as f64 / per_service,
+            stampede_ticks: stampede,
+            proactive_rate: proactive as f64 / per_service,
+        });
+    }
+    MultiServiceReport {
+        scenario: scenario.into(),
+        services: cfg.n_services(),
+        methods: summaries,
+        decisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::episode::run_episode;
+    use mirage_sim::{SimConfig, Simulator};
+    use mirage_trace::MINUTE;
+
+    fn sim(nodes: u32) -> Simulator {
+        Simulator::new(SimConfig::new(nodes))
+    }
+
+    fn episode_cfg() -> EpisodeConfig {
+        EpisodeConfig {
+            pair_nodes: 1,
+            pair_timelimit: 4 * HOUR,
+            pair_runtime: 4 * HOUR,
+            decision_interval: 30 * MINUTE,
+            history_k: 4,
+            warmup: DAY,
+            pair_user: 999,
+        }
+    }
+
+    fn two_service_cfg() -> MultiServiceConfig {
+        let mut cfg = MultiServiceConfig::single(&episode_cfg(), RewardShaper::default());
+        let mut second = cfg.services[0].clone();
+        second.name = "svc1".into();
+        second.user = 1001;
+        second.slo = ServiceSlo::with_target(HOUR);
+        second.shaper = second.slo.weights();
+        cfg.services.push(second);
+        cfg.stampede_coef = 0.5;
+        cfg
+    }
+
+    fn bg_trace() -> Vec<JobRecord> {
+        (0..30)
+            .map(|i| {
+                JobRecord::new(
+                    i + 1,
+                    format!("bg{i}"),
+                    5,
+                    DAY / 2 + i as i64 * 1200,
+                    1 + (i % 2) as u32,
+                    5 * HOUR,
+                    2 * HOUR,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_service_matches_episode_driver_exactly() {
+        // The in-module smoke of the N=1 degeneration claim (the full
+        // property test lives in tests/multiservice.rs): same decisions,
+        // same outcome, same timestamps.
+        let cfg = episode_cfg();
+        let ms = MultiServiceConfig::single(&cfg, RewardShaper::default());
+        let trace = bg_trace();
+        let threshold = |started: bool, remaining: i64| {
+            if started && remaining <= HOUR {
+                Action::Submit
+            } else {
+                Action::Wait
+            }
+        };
+
+        let expect = run_episode(&mut sim(4), &trace, &cfg, DAY, |ctx| {
+            threshold(ctx.pred_started, ctx.pred_remaining)
+        });
+
+        let mut env = MultiServiceEnv::new(sim(4), &trace, &ms, DAY);
+        let mut policy_calls = 0;
+        while env.is_deciding() {
+            let w = env.advance_tick();
+            if w == 0 {
+                continue;
+            }
+            let ctx = env.slot_context(0);
+            policy_calls += 1;
+            env.apply(&[threshold(ctx.pred_started, ctx.pred_remaining)]);
+        }
+        let (result, _) = env.finish();
+        let s = &result.services[0];
+        assert_eq!(s.outcome, expect.outcome);
+        assert_eq!(s.succ_submit, expect.succ_submit);
+        assert_eq!(s.succ_start, expect.succ_start);
+        assert_eq!(s.pred_start, expect.pred_start);
+        assert_eq!(s.submitted_by_policy, expect.submitted_by_policy);
+        assert_eq!(s.decisions.len(), expect.decisions.len());
+        assert_eq!(policy_calls, expect.decisions.len());
+        for ((am, aa), (bm, ba)) in s.decisions.iter().zip(&expect.decisions) {
+            assert_eq!(aa, ba);
+            assert_eq!(am, bm);
+        }
+        assert_eq!(s.co_submitters, 0);
+        assert_eq!(result.stampede_ticks, 0);
+        assert_eq!(s.reward, RewardShaper::default().reward(&expect.outcome));
+    }
+
+    #[test]
+    fn services_share_the_cluster_and_tag_their_jobs() {
+        let cfg = two_service_cfg();
+        let mut env = MultiServiceEnv::new(sim(4), &[], &cfg, DAY);
+        // Submit both successors immediately: on an idle 4-node cluster
+        // both pairs overlap, and the ledger sees each service's jobs.
+        while env.is_deciding() {
+            let w = env.advance_tick();
+            if w == 0 {
+                continue;
+            }
+            env.apply(&vec![Action::Submit; w]);
+        }
+        let (result, backend) = env.finish();
+        assert_eq!(result.services.len(), 2);
+        for s in &result.services {
+            assert!(s.submitted_by_policy);
+            assert!(s.outcome.overlap > 0, "{:?}", s.outcome);
+            assert!(!s.usage.is_idle());
+            assert_eq!(s.usage.user, s.user);
+        }
+        // Both submitted at the same tick → one stampede tick, each
+        // charged one co-submitter.
+        assert_eq!(result.stampede_ticks, 1);
+        assert_eq!(result.services[0].co_submitters, 1);
+        // Stampede penalty shows up in the reward.
+        let s0 = &result.services[0];
+        let base = cfg.services[0].shaper.reward(&s0.outcome);
+        assert!((s0.reward - (base - 0.5)).abs() < 1e-6);
+        // The shared backend accounted both users separately.
+        assert_eq!(backend.user_usage(999).completed, 2);
+        assert_eq!(backend.user_usage(1001).completed, 2);
+    }
+
+    #[test]
+    fn lockstep_batch_matches_sequential_envs() {
+        // Two episodes × two services through one batched closure must
+        // equal running each episode's env alone.
+        let cfg = two_service_cfg();
+        let trace = bg_trace();
+        let t0s = [DAY, DAY + 2 * HOUR];
+        let decide = |s: &SlotContext| {
+            if s.pred_started && s.pred_remaining <= s.service as i64 * HOUR + HOUR {
+                Action::Submit
+            } else {
+                Action::Wait
+            }
+        };
+
+        let sequential: Vec<MultiServiceResult> = t0s
+            .iter()
+            .map(|&t0| {
+                let mut env = MultiServiceEnv::new(sim(4), &trace, &cfg, t0);
+                while env.is_deciding() {
+                    let w = env.advance_tick();
+                    if w == 0 {
+                        continue;
+                    }
+                    let acts: Vec<Action> = (0..w).map(|r| decide(&env.slot_context(r))).collect();
+                    env.apply(&acts);
+                }
+                env.finish().0
+            })
+            .collect();
+
+        struct Closure<F>(F);
+        impl<F: FnMut(&SlotContext) -> Action + Send> MultiServicePolicy for Closure<F> {
+            fn name(&self) -> String {
+                "closure".into()
+            }
+            fn decide(
+                &mut self,
+                _batch: &Matrix,
+                slots: &[SlotContext],
+                actions: &mut Vec<Action>,
+            ) {
+                actions.extend(slots.iter().map(&mut self.0));
+            }
+        }
+        let backends = (0..t0s.len()).map(|_| sim(4));
+        let mut batch = MultiServiceBatch::new(backends, &trace, &cfg, &t0s);
+        batch.run(&mut Closure(decide));
+        let (batched, _) = batch.finish();
+
+        assert_eq!(batched.len(), sequential.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.stampede_ticks, s.stampede_ticks);
+            for (bs, ss) in b.services.iter().zip(&s.services) {
+                assert_eq!(bs.outcome, ss.outcome);
+                assert_eq!(bs.succ_submit, ss.succ_submit);
+                assert_eq!(bs.submitted_by_policy, ss.submitted_by_policy);
+                assert_eq!(bs.reward, ss.reward);
+                assert_eq!(bs.decisions.len(), ss.decisions.len());
+                for ((bm, ba), (sm, sa)) in bs.decisions.iter().zip(&ss.decisions) {
+                    assert_eq!(ba, sa);
+                    assert_eq!(bm, sm);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_sizes_the_pair_jobs() {
+        // A diurnal service's successor request follows the demand curve:
+        // provision at a different hour, get a different node count.
+        let mut cfg = MultiServiceConfig::single(&episode_cfg(), RewardShaper::default());
+        cfg.services[0].traffic = TrafficModel::diurnal(60.0, 10.0, 0.5, 14.0);
+        let peak_t0 = 10 * DAY + 10 * HOUR; // decisions land around 14:00
+        let mut env = MultiServiceEnv::new(sim(32), &[], &cfg, peak_t0);
+        let w = env.advance_tick();
+        assert_eq!(w, 1);
+        let near_peak = env.slot_context(0).successor.nodes;
+        env.apply(&[Action::Wait]);
+        assert!(
+            near_peak > 6,
+            "peak demand should exceed the mean: {near_peak}"
+        );
+    }
+
+    #[test]
+    fn baselines_answer_every_slot_and_differ() {
+        let cfg = two_service_cfg();
+        let trace = bg_trace();
+        let run_with = |policy: &mut dyn MultiServicePolicy| {
+            let mut env = MultiServiceEnv::new(sim(2), &trace, &cfg, DAY);
+            env.run(policy);
+            let (r, _) = env.finish();
+            r
+        };
+        let uniform = run_with(&mut UniformSharePolicy);
+        let greedy = run_with(&mut GreedyPerServicePolicy::default());
+        let shortest = run_with(&mut ShortestQueuePolicy::default());
+        for r in [&uniform, &greedy, &shortest] {
+            assert_eq!(r.services.len(), 2);
+        }
+        // Shortest-queue provisions during dips, so on this congested
+        // 2-node cluster it must act earlier than pure greedy for at
+        // least one service (sanity that the heuristics are distinct).
+        let earliest =
+            |r: &MultiServiceResult| r.services.iter().map(|s| s.succ_submit).min().unwrap();
+        assert!(earliest(&shortest) <= earliest(&greedy));
+    }
+
+    #[test]
+    fn scenario_builders_produce_heterogeneous_services() {
+        let d = diurnal_scenario(4, 64, 7);
+        assert_eq!(d.n_services(), 4);
+        let users: Vec<u32> = d.services.iter().map(|s| s.user).collect();
+        let mut unique = users.clone();
+        unique.dedup();
+        assert_eq!(users, unique, "distinct users per service");
+        assert!(d.services.iter().all(|s| s.traffic.burst.is_none()));
+        // SLO targets differ across services.
+        assert_ne!(
+            d.services[0].slo.latency_target,
+            d.services[1].slo.latency_target
+        );
+        // Tighter SLO → heavier interruption weight.
+        assert!(d.services[0].shaper.e_interrupt > d.services[3].shaper.e_interrupt);
+        let b = bursty_scenario(3, 64, 7);
+        assert!(b.services.iter().all(|s| s.traffic.burst.is_some()));
+        // Burst streams are seed-split per service.
+        assert_ne!(b.services[0].traffic.seed, b.services[1].traffic.seed);
+    }
+
+    #[test]
+    fn evaluate_reports_rl_and_baselines_on_one_harness() {
+        use mirage_rl::{DqnConfig, DualHeadConfig, DualHeadNet};
+        let cfg = two_service_cfg();
+        let trace = bg_trace();
+        let agent = DqnAgent::new(
+            DualHeadNet::new(DualHeadConfig::small(
+                mirage_nn::FoundationKind::Transformer,
+                STATE_VARS,
+                cfg.history_k,
+                5,
+            )),
+            DqnConfig::default(),
+        );
+        let mut methods: Vec<Box<dyn MultiServicePolicy>> = vec![
+            Box::new(RlServicePolicy::new(agent, "dqn")),
+            Box::new(UniformSharePolicy),
+            Box::new(GreedyPerServicePolicy::default()),
+            Box::new(ShortestQueuePolicy::default()),
+        ];
+        let t0s = [DAY, DAY + 3 * HOUR];
+        let report = evaluate_multiservice(
+            &mut methods,
+            |n| (0..n).map(|_| sim(4)).collect::<Vec<_>>(),
+            &trace,
+            &t0s,
+            &cfg,
+            "unit",
+        );
+        assert_eq!(report.scenario, "unit");
+        assert_eq!(report.services, 2);
+        assert_eq!(report.methods.len(), 4);
+        assert!(report.decisions > 0);
+        for m in &report.methods {
+            assert_eq!(m.episodes, 2);
+            assert!(m.mean_reward <= 0.0, "{}: {}", m.method, m.mean_reward);
+            assert!((0.0..=1.0).contains(&m.slo_hit_rate));
+            assert!((0.0..=1.0).contains(&m.proactive_rate));
+        }
+        assert!(report.method("dqn").is_some());
+        assert!(report.method("uniform-share").is_some());
+    }
+}

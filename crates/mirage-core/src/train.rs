@@ -128,11 +128,13 @@ pub struct TrainConfig {
     pub updates_per_episode: usize,
     /// Lockstep episode lanes per online-collection window (and per
     /// offline-collection window, capped by the pool width). Each
-    /// window's acting shares the window-start weights; `1` recovers the
-    /// fully sequential collect-update cadence bit for bit, and every
-    /// lane is bit-identical to a sequential run under its own
+    /// window's acting shares the window-start weights; `Some(1)`
+    /// recovers the fully sequential collect-update cadence bit for bit,
+    /// and every lane is bit-identical to a sequential run under its own
     /// `(seed, ε-base)` whatever the width (see `crate::trainloop`).
-    pub collect_lanes: usize,
+    /// `None` (the default) auto-sizes to the machine via
+    /// [`TrainConfig::collect_lanes_for`]: `min(pool workers, 8)`.
+    pub collect_lanes: Option<usize>,
     /// Cap on reward samples used for foundation pretraining (subsampled
     /// deterministically when the pool is larger).
     pub max_pretrain_samples: usize,
@@ -172,17 +174,31 @@ impl Default for TrainConfig {
             online_episodes: 60,
             batch_size: 32,
             updates_per_episode: 6,
-            // 4 lanes: matches the PG REINFORCE batch, so PG training is
-            // *globally* bit-identical to the old sequential loop (acting
-            // in episodes 4k..4k+4 always used the weights from update k,
-            // sequentially or in lockstep), while DQN accepts at most
-            // three episodes of update staleness per window.
-            collect_lanes: 4,
+            // Auto-size to the pool: lockstep windows only pay off up to
+            // the thread fan-out, and past ~8 lanes the per-window update
+            // staleness outweighs the batching gain. `Some(4)` recovers
+            // the old fixed default (and makes PG *globally*
+            // bit-identical to the pre-lockstep sequential loop, whose
+            // REINFORCE batch is 4).
+            collect_lanes: None,
             max_pretrain_samples: 2500,
             d_model: 16,
             heads: 2,
             layers: 1,
         }
+    }
+}
+
+impl TrainConfig {
+    /// Resolves [`collect_lanes`](Self::collect_lanes) against the
+    /// backend pool driving collection: an explicit override wins
+    /// (clamped to at least one lane); `None` auto-sizes to
+    /// `min(pool_workers, 8)` — one lane per collection thread, capped
+    /// where wider windows stop paying for their update staleness.
+    pub fn collect_lanes_for(&self, pool_workers: usize) -> usize {
+        self.collect_lanes
+            .unwrap_or_else(|| pool_workers.min(8))
+            .max(1)
     }
 }
 
@@ -318,7 +334,10 @@ pub fn collect_offline<F: BackendFactory>(
     // Heuristic collection has no NN to amortize, so lockstep width
     // matters less than thread fan-out: small windows (capped by the
     // pool width), one window per pool thread at a time.
-    let lanes = cfg.collect_lanes.min(pool.workers()).max(1);
+    let lanes = cfg
+        .collect_lanes_for(pool.workers())
+        .min(pool.workers())
+        .max(1);
     let collector = BatchedCollector::new(pool, trace, &cfg.episode, lanes);
     let (results, policies) = collector.run_threaded(&t0s, pool.workers(), || {
         SplitCollectPolicy::new(&cfg.episode, points, &splits)
@@ -502,7 +521,12 @@ pub fn train_dqn_online_traced<F: BackendFactory>(
         .take(cfg.online_episodes)
         .copied()
         .collect();
-    let collector = BatchedCollector::new(pool, trace, &cfg.episode, cfg.collect_lanes);
+    let collector = BatchedCollector::new(
+        pool,
+        trace,
+        &cfg.episode,
+        cfg.collect_lanes_for(pool.workers()),
+    );
     let mut episodes: Vec<EpisodeResult> = Vec::with_capacity(t0s.len());
     let mut lanes: Vec<ExploreLane> = Vec::with_capacity(collector.lanes());
     for chunk in t0s.chunks(collector.lanes()) {
@@ -617,8 +641,8 @@ pub fn behavior_clone(
 /// Online PG fine-tuning (§4.9.2b): Monte-Carlo rollouts under the
 /// current stochastic policy, collected in lockstep windows of
 /// `cfg.collect_lanes` (one batched `p_probs_batch` forward per decision
-/// tick), REINFORCE update per small batch of episodes. With the default
-/// `collect_lanes` equal to the REINFORCE batch (4), this is *globally*
+/// tick), REINFORCE update per small batch of episodes. With
+/// `collect_lanes = Some(4)` — the REINFORCE batch — this is *globally*
 /// bit-identical to the sequential loop it replaced: the sequential loop
 /// also acted every group of four episodes on the same post-update
 /// weights.
@@ -651,7 +675,12 @@ pub fn train_pg_online_traced<F: BackendFactory>(
         .take(cfg.online_episodes)
         .copied()
         .collect();
-    let collector = BatchedCollector::new(pool, trace, &cfg.episode, cfg.collect_lanes);
+    let collector = BatchedCollector::new(
+        pool,
+        trace,
+        &cfg.episode,
+        cfg.collect_lanes_for(pool.workers()),
+    );
     let mut episodes: Vec<EpisodeResult> = Vec::with_capacity(t0s.len());
     let mut lanes: Vec<ExploreLane> = Vec::with_capacity(collector.lanes());
     for chunk in t0s.chunks(collector.lanes()) {
@@ -903,5 +932,29 @@ mod tests {
             (0, 14 * DAY),
         );
         assert_eq!(p.name(), "transformer+PG");
+    }
+
+    #[test]
+    fn collect_lanes_auto_sizes_to_the_pool() {
+        let auto = TrainConfig::default();
+        assert_eq!(auto.collect_lanes, None);
+        // None tracks the pool width up to the cap of 8.
+        assert_eq!(auto.collect_lanes_for(1), 1);
+        assert_eq!(auto.collect_lanes_for(6), 6);
+        assert_eq!(auto.collect_lanes_for(32), 8);
+        // A degenerate zero-width pool still yields one lane.
+        assert_eq!(auto.collect_lanes_for(0), 1);
+        // Explicit overrides win, whatever the pool looks like.
+        let pinned = TrainConfig {
+            collect_lanes: Some(3),
+            ..TrainConfig::default()
+        };
+        assert_eq!(pinned.collect_lanes_for(1), 3);
+        assert_eq!(pinned.collect_lanes_for(32), 3);
+        let zero = TrainConfig {
+            collect_lanes: Some(0),
+            ..TrainConfig::default()
+        };
+        assert_eq!(zero.collect_lanes_for(4), 1);
     }
 }

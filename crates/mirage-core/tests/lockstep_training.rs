@@ -54,7 +54,7 @@ fn tiny_cfg(lanes: usize) -> TrainConfig {
         d_model: 8,
         heads: 2,
         layers: 1,
-        collect_lanes: lanes,
+        collect_lanes: Some(lanes),
         seed: 11,
         ..TrainConfig::default()
     }
@@ -386,7 +386,7 @@ fn windowed_sequential_dqn(
         .collect();
     let mut backend = SimConfig::builder().nodes(4).build();
     let mut episodes: Vec<EpisodeResult> = Vec::new();
-    for chunk in t0s.chunks(cfg.collect_lanes.max(1)) {
+    for chunk in t0s.chunks(cfg.collect_lanes.expect("test configs pin lanes").max(1)) {
         let step_base = agent.steps;
         let mut results = Vec::with_capacity(chunk.len());
         for (l, &t0) in chunk.iter().enumerate() {

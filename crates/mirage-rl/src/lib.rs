@@ -27,7 +27,7 @@ pub use env::{rollout, Environment, StepResult};
 pub use offline::{pretrain_foundation, reward_mse, PretrainConfig, RewardSample};
 pub use pg::{EpisodeSample, PgAgent, PgConfig};
 pub use replay::{BalancedReplay, Experience, ReplayBuffer};
-pub use schedule::{EpsilonSchedule, ExploreLane};
+pub use schedule::{EpsilonSchedule, ExploreLane, ServiceLanes};
 
 /// Greedy action over a `[Q(no-submit), Q(submit)]` (or probability)
 /// pair: act (1) only on a strict improvement, so ties keep the
@@ -48,5 +48,5 @@ pub mod prelude {
     pub use crate::offline::{pretrain_foundation, PretrainConfig, RewardSample};
     pub use crate::pg::{EpisodeSample, PgAgent, PgConfig};
     pub use crate::replay::{BalancedReplay, Experience, ReplayBuffer};
-    pub use crate::schedule::{EpsilonSchedule, ExploreLane};
+    pub use crate::schedule::{EpsilonSchedule, ExploreLane, ServiceLanes};
 }

@@ -57,7 +57,7 @@ pub use backend::{
 };
 pub use backfill::{plan_schedule, plan_schedule_into, BackfillPolicy, PendingView, PlanScratch};
 pub use fidelity::{compare, run_both, run_both_backends, run_timed, FidelityReport};
-pub use metrics::SimMetrics;
+pub use metrics::{ServiceUsage, SimMetrics};
 pub use priority::PriorityWeights;
 pub use reference::{ReferenceConfig, ReferenceSimulator};
 pub use simulator::{JobStatus, SimConfig, Simulator};

@@ -21,6 +21,53 @@ pub struct SimMetrics {
     pub utilization: f64,
 }
 
+/// Per-service (= per-user) accounting of one simulation run: how much
+/// of the shared cluster a single submitting user is holding and has
+/// consumed. Multi-service provisioning tags each service's pair jobs
+/// with the service's user id, so this is the ledger a shared-cluster
+/// reward and the scenario harness read per service.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceUsage {
+    /// The user id the accounting is for.
+    pub user: u32,
+    /// Jobs currently waiting in the queue.
+    pub queued: usize,
+    /// Nodes requested by those queued jobs.
+    pub queued_nodes: u64,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Nodes held by those running jobs.
+    pub running_nodes: u64,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Node-seconds consumed by the completed jobs.
+    pub node_seconds: f64,
+    /// Summed queue wait (start − submit) of the completed jobs, seconds.
+    pub wait_sum: i64,
+}
+
+impl ServiceUsage {
+    /// An empty ledger for `user`.
+    pub fn empty(user: u32) -> Self {
+        Self {
+            user,
+            ..Self::default()
+        }
+    }
+
+    /// Mean queue wait over this user's completed jobs (`None` when
+    /// nothing completed).
+    pub fn avg_wait(&self) -> Option<f64> {
+        (self.completed > 0).then(|| self.wait_sum as f64 / self.completed as f64)
+    }
+
+    /// Whether the user has any footprint at all (queued, running or
+    /// completed work).
+    pub fn is_idle(&self) -> bool {
+        self.queued == 0 && self.running == 0 && self.completed == 0
+    }
+}
+
 impl SimMetrics {
     /// Computes metrics from completed job records.
     ///

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::admission::{prepare_admission, RecentStarts};
 use crate::backfill::{plan_schedule, BackfillPolicy, PendingView};
-use crate::metrics::SimMetrics;
+use crate::metrics::{ServiceUsage, SimMetrics};
 use crate::priority::{priority, FairshareTracker, PriorityWeights};
 use crate::simulator::JobStatus;
 use crate::snapshot::{ClusterSnapshot, QueuedJobView, RunningJobView};
@@ -442,6 +442,39 @@ impl ReferenceSimulator {
             self.busy_node_seconds,
             span.max(0),
         )
+    }
+
+    /// Per-user accounting ledger — the tick-driven twin of
+    /// `Simulator::user_usage`, over this backend's own pending/running
+    /// index lists and completion order.
+    pub fn user_usage(&self, user: u32) -> ServiceUsage {
+        let mut usage = ServiceUsage::empty(user);
+        for &i in &self.pending {
+            let r = &self.jobs[i];
+            if r.user == user {
+                usage.queued += 1;
+                usage.queued_nodes += u64::from(r.nodes);
+            }
+        }
+        for &i in &self.running {
+            let r = &self.jobs[i];
+            if r.user == user {
+                usage.running += 1;
+                usage.running_nodes += u64::from(r.nodes);
+            }
+        }
+        for &i in &self.completed_order {
+            let r = &self.jobs[i];
+            if r.user != user {
+                continue;
+            }
+            let start = r.start.expect("done jobs have a start");
+            let end = r.end.expect("done jobs have an end");
+            usage.completed += 1;
+            usage.node_seconds += f64::from(r.nodes) * (end - start) as f64;
+            usage.wait_sum += start - r.submit;
+        }
+        usage
     }
 }
 

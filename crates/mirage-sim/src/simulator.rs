@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::admission::{prepare_admission, RecentStarts};
 use crate::backfill::{plan_schedule_into, BackfillPolicy, PendingView, PlanScratch};
 use crate::event::{Event, EventKind, EventQueue};
-use crate::metrics::SimMetrics;
+use crate::metrics::{ServiceUsage, SimMetrics};
 use crate::priority::{priority, FairshareTracker, PriorityWeights};
 use crate::snapshot::{ClusterSnapshot, QueuedJobView, RunningJobView};
 
@@ -374,6 +374,40 @@ impl Simulator {
             avg_jct: if n == 0 { 0.0 } else { self.jct_sum / n as f64 },
             utilization,
         }
+    }
+
+    /// Per-user accounting ledger: `user`'s current queued/running
+    /// footprint plus completed consumption. One allocation-free pass
+    /// over the pending/running lists and the completed set (all three
+    /// are index lists into the job arena).
+    pub fn user_usage(&self, user: u32) -> ServiceUsage {
+        let mut usage = ServiceUsage::empty(user);
+        for &i in &self.pending {
+            let r = &self.jobs[i].record;
+            if r.user == user {
+                usage.queued += 1;
+                usage.queued_nodes += u64::from(r.nodes);
+            }
+        }
+        for &i in &self.running {
+            let r = &self.jobs[i].record;
+            if r.user == user {
+                usage.running += 1;
+                usage.running_nodes += u64::from(r.nodes);
+            }
+        }
+        for &i in &self.completed_order {
+            let r = &self.jobs[i].record;
+            if r.user != user {
+                continue;
+            }
+            let start = r.start.expect("completed jobs have a start");
+            let end = r.end.expect("completed jobs have an end");
+            usage.completed += 1;
+            usage.node_seconds += f64::from(r.nodes) * (end - start) as f64;
+            usage.wait_sum += start - r.submit;
+        }
+        usage
     }
 
     fn advance_clock(&mut self, t: i64) {

@@ -21,16 +21,20 @@ pub mod clean;
 pub mod cluster;
 pub mod job;
 pub mod parse;
+pub mod seed;
 pub mod split;
 pub mod stats;
 pub mod synth;
 pub mod time;
+pub mod traffic;
 
 pub use clean::{clean_trace, CleanReport};
 pub use cluster::ClusterProfile;
 pub use job::JobRecord;
 pub use parse::{parse_sacct, to_sacct, ParseError};
+pub use seed::{split_seed, SeedSplitter};
 pub use split::{split_by_count, split_by_time, TraceSplit};
 pub use stats::TraceSummary;
-pub use synth::{SynthConfig, TraceGenerator};
+pub use synth::{service_generators, SynthConfig, TraceGenerator};
 pub use time::{DAY, HOUR, MINUTE, MONTH, WEEK};
+pub use traffic::{GammaBurst, TrafficModel};
