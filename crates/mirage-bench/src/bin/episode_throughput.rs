@@ -44,16 +44,27 @@
 //! greedy-per-service and shortest-queue baselines on identical seeded
 //! clusters. The per-method mean rewards land in the
 //! `multiservice_*` JSON fields.
+//!
+//! The **chaos** lane sweeps the fault-injection severities
+//! (none / moderate / severe) through `evaluate_chaos`: the RL method and
+//! the reactive heuristic run the same episodes on identically seeded
+//! crash tapes, and the per-severity mean rewards, interruption hours and
+//! fault totals (evictions, retries, retry successes) land in the
+//! `chaos_*` JSON fields. The severe lane must actually inject — ≥ 1
+//! eviction and ≥ 1 successful backoff retry are asserted, so a silently
+//! disarmed fault model fails the bench instead of logging zeros.
 
 use std::time::Instant;
 
 use mirage_bench::quick_mode;
+use mirage_core::chaos::{evaluate_chaos, ChaosConfig, ChaosReport, ChaosSeverity};
 use mirage_core::episode::{run_episode, Action, EpisodeConfig};
 use mirage_core::multiservice::{
     bursty_scenario, diurnal_scenario, evaluate_multiservice, GreedyPerServicePolicy,
     MultiMethodSummary, MultiServiceConfig, MultiServicePolicy, MultiServiceReport,
     RlServicePolicy, ShortestQueuePolicy, UniformSharePolicy,
 };
+use mirage_core::policy::{DqnPolicy, ProvisionPolicy, ReactivePolicy};
 use mirage_core::state::{
     EncoderScratch, PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS,
 };
@@ -68,7 +79,7 @@ use mirage_rl::{
     ActionEncoding, BalancedReplay, BatchInferCache, DqnAgent, DqnConfig, DualHeadConfig,
     DualHeadNet, Experience, ExploreLane,
 };
-use mirage_sim::{BackendKind, ClusterSnapshot, SimConfig, Simulator};
+use mirage_sim::{BackendKind, ClusterSnapshot, FaultStats, SimConfig, Simulator};
 use mirage_trace::{
     clean_trace, ClusterProfile, JobRecord, SynthConfig, TraceGenerator, DAY, HOUR,
 };
@@ -84,8 +95,10 @@ const DEFAULT_BATCH: usize = 8;
 /// Net seed of the training-throughput lane: chosen (and asserted below)
 /// so the untrained greedy action on this workload is *wait*, putting
 /// the lane in the fine-tuning regime where episodes run their decision
-/// horizon instead of submitting on the first tick.
-const TRAIN_NET_SEED: u64 = 4;
+/// horizon instead of submitting on the first tick. Re-picked for the
+/// 42-variable state width (fault features appended; the wider input
+/// reshuffles the seeded init).
+const TRAIN_NET_SEED: u64 = 6;
 /// Default lockstep lane count for the training lane (`--train-batch`):
 /// the training working set carries live simulators, the replay pool and
 /// the agent on top of the lanes, so its cache sweet spot sits narrower
@@ -399,6 +412,7 @@ fn training_workload(
         history_k: HISTORY_K,
         warmup: 2 * DAY,
         pair_user: 999,
+        fault_features: false,
     };
     let starts = sample_episode_starts(0, 21 * DAY, &cfg.episode, 8, 7);
     let net = DualHeadNet::new(DualHeadConfig {
@@ -586,6 +600,99 @@ fn multiservice_lane(
     (diurnal, bursty, episodes, dps)
 }
 
+/// Chaos lane: the RL method vs the reactive heuristic under the
+/// none / moderate / severe fault sweep, on identically seeded crash
+/// tapes (`evaluate_chaos` builds one fault-configured simulator per
+/// severity; the per-episode reset replays the same tape for both
+/// methods). Fault features are on, so the RL state observes cluster
+/// health. Returns the report and the lane's decisions/s proxy (episodes
+/// per second are meaningless across severities; the total wall time is
+/// what the bench trajectory tracks).
+fn chaos_lane(quick: bool) -> (ChaosReport, f64) {
+    let episodes = if quick { 2 } else { 4 };
+    // Busy half-hourly background load on a small cluster: enough queue
+    // pressure that node crashes evict real work.
+    let trace: Vec<JobRecord> = (0..10 * 24 * 2)
+        .map(|i| {
+            JobRecord::new(
+                i as u64 + 1,
+                format!("bg{i}"),
+                (i % 5) as u32,
+                i * HOUR / 2,
+                2,
+                8 * HOUR,
+                4 * HOUR,
+            )
+        })
+        .collect();
+    let agent = DqnAgent::new(
+        DualHeadNet::new(DualHeadConfig::small(
+            FoundationKind::Transformer,
+            STATE_VARS,
+            4,
+            5,
+        )),
+        DqnConfig::default(),
+    );
+    let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![
+        Box::new(ReactivePolicy),
+        Box::new(DqnPolicy {
+            agent,
+            label: "dqn".into(),
+        }),
+    ];
+    let cfg = ChaosConfig {
+        episode: EpisodeConfig {
+            pair_nodes: 1,
+            pair_timelimit: 6 * HOUR,
+            pair_runtime: 6 * HOUR,
+            decision_interval: 30 * 60,
+            history_k: 4,
+            warmup: DAY,
+            pair_user: 999,
+            fault_features: true,
+        },
+        n_episodes: episodes,
+        seed: 17,
+        fault_seed: 4242,
+        ..ChaosConfig::default()
+    };
+    let builder = SimConfig::builder().nodes(4);
+    let t = Instant::now();
+    let report = evaluate_chaos(&mut methods, &builder, &trace, (0, 10 * DAY), &cfg);
+    (report, t.elapsed().as_secs_f64())
+}
+
+/// Renders one severity lane into `chaos_*` JSON fields (trailing-comma
+/// style: each field ends `,\n` so the block splices before a fixed key).
+fn chaos_json_fields(report: &ChaosReport) -> String {
+    let mut out = String::new();
+    for lane in &report.lanes {
+        let sev = lane.severity.label();
+        let rl = lane
+            .methods
+            .iter()
+            .find(|m| m.method == "dqn")
+            .expect("dqn evaluated in every chaos lane");
+        let reactive = lane
+            .methods
+            .iter()
+            .find(|m| m.method == "reactive")
+            .expect("reactive evaluated in every chaos lane");
+        out.push_str(&format!(
+            "  \"chaos_{sev}_rl_reward\": {:.3},\n  \"chaos_{sev}_reactive_reward\": {:.3},\n  \"chaos_{sev}_rl_interruption_h\": {:.3},\n  \"chaos_{sev}_rl_fault_interruption_h\": {:.3},\n  \"chaos_{sev}_evictions\": {},\n  \"chaos_{sev}_retries\": {},\n  \"chaos_{sev}_retry_successes\": {},\n",
+            rl.mean_reward,
+            reactive.mean_reward,
+            rl.avg_interruption_h,
+            rl.avg_fault_interruption_h,
+            lane.faults.evictions,
+            lane.faults.retries,
+            lane.faults.retry_successes,
+        ));
+    }
+    out
+}
+
 /// Looks up `method` in a multi-service report (panics on a missing
 /// method so CI catches harness drift loudly).
 fn ms_method<'a>(report: &'a MultiServiceReport, method: &str) -> &'a MultiMethodSummary {
@@ -730,6 +837,22 @@ fn main() {
     let ms_services = if quick { 2 } else { 3 };
     let (ms_diurnal, ms_bursty, ms_episodes, ms_dps) = multiservice_lane(quick, ms_services);
 
+    // Chaos lane: fault-severity sweep on identically seeded crash tapes.
+    let (chaos_report, chaos_secs) = chaos_lane(quick);
+    let chaos_episodes = chaos_report.lanes[0].methods[0].episodes;
+    let chaos_severe = chaos_report.lane(ChaosSeverity::Severe);
+    assert!(
+        chaos_severe.faults.evictions >= 1 && chaos_severe.faults.retry_successes >= 1,
+        "severe chaos lane failed to inject (evictions/retry successes): {:?}",
+        chaos_severe.faults
+    );
+    assert_eq!(
+        chaos_report.lane(ChaosSeverity::None).faults,
+        FaultStats::default(),
+        "control lane must stay fault-free"
+    );
+    let chaos_fields = chaos_json_fields(&chaos_report);
+
     let (fwd_before, fwd_after) = forward_ns(&net, forward_reps);
     let events_per_sec = sim_events_per_sec(&jobs, profile.nodes);
     let speedup = after.decisions_per_sec / before.decisions_per_sec;
@@ -753,7 +876,7 @@ fn main() {
         None => String::new(),
     };
     let json = format!(
-        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic traces, {} decisions at {}s cadence, k={}; batched: {} lanes x {} lockstep ticks; training: {} online DQN episodes (48h pairs, light synthetic load), pre-refactor sequential loop vs {} lockstep lanes; multiservice: {} services x {} episodes on a shared {}-node cluster, diurnal+bursty, DQN vs 3 heuristics\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"decisions_per_sec_lanes_unbatched\": {:.1},\n  \"decisions_per_sec_batched\": {:.1},\n  \"batch_width\": {},\n  \"workers\": {},\n  \"speedup\": {:.2},\n  \"speedup_batched\": {:.2},\n  \"training_decisions_per_sec_sequential\": {:.1},\n  \"training_decisions_per_sec_batched\": {:.1},\n  \"training_batch_width\": {},\n  \"speedup_training\": {:.2},\n  \"multiservice_services\": {},\n  \"multiservice_episodes\": {},\n  \"multiservice_decisions_per_sec\": {:.1},\n  \"multiservice_diurnal_rl_reward\": {:.3},\n  \"multiservice_diurnal_rl_interruption_h\": {:.3},\n  \"multiservice_diurnal_uniform_share_reward\": {:.3},\n  \"multiservice_diurnal_greedy_per_service_reward\": {:.3},\n  \"multiservice_diurnal_shortest_queue_reward\": {:.3},\n  \"multiservice_bursty_rl_reward\": {:.3},\n  \"multiservice_bursty_rl_interruption_h\": {:.3},\n  \"multiservice_bursty_uniform_share_reward\": {:.3},\n  \"multiservice_bursty_greedy_per_service_reward\": {:.3},\n  \"multiservice_bursty_shortest_queue_reward\": {:.3},\n  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_decision_batched\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
+        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic traces, {} decisions at {}s cadence, k={}; batched: {} lanes x {} lockstep ticks; training: {} online DQN episodes (48h pairs, light synthetic load), pre-refactor sequential loop vs {} lockstep lanes; multiservice: {} services x {} episodes on a shared {}-node cluster, diurnal+bursty, DQN vs 3 heuristics; chaos: RL vs reactive, {} episodes/severity (none|moderate|severe) on identically seeded fault tapes\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"decisions_per_sec_lanes_unbatched\": {:.1},\n  \"decisions_per_sec_batched\": {:.1},\n  \"batch_width\": {},\n  \"workers\": {},\n  \"speedup\": {:.2},\n  \"speedup_batched\": {:.2},\n  \"training_decisions_per_sec_sequential\": {:.1},\n  \"training_decisions_per_sec_batched\": {:.1},\n  \"training_batch_width\": {},\n  \"speedup_training\": {:.2},\n  \"multiservice_services\": {},\n  \"multiservice_episodes\": {},\n  \"multiservice_decisions_per_sec\": {:.1},\n  \"multiservice_diurnal_rl_reward\": {:.3},\n  \"multiservice_diurnal_rl_interruption_h\": {:.3},\n  \"multiservice_diurnal_uniform_share_reward\": {:.3},\n  \"multiservice_diurnal_greedy_per_service_reward\": {:.3},\n  \"multiservice_diurnal_shortest_queue_reward\": {:.3},\n  \"multiservice_bursty_rl_reward\": {:.3},\n  \"multiservice_bursty_rl_interruption_h\": {:.3},\n  \"multiservice_bursty_uniform_share_reward\": {:.3},\n  \"multiservice_bursty_greedy_per_service_reward\": {:.3},\n  \"multiservice_bursty_shortest_queue_reward\": {:.3},\n  \"chaos_episodes\": {},\n  \"chaos_eval_secs\": {:.2},\n{}  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_decision_batched\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
         quick,
         profile.name,
         decisions,
@@ -766,6 +889,7 @@ fn main() {
         ms_services,
         ms_episodes,
         MS_NODES,
+        chaos_episodes,
         before.decisions_per_sec,
         after.decisions_per_sec,
         unbatched.decisions_per_sec,
@@ -791,6 +915,9 @@ fn main() {
         ms_method(&ms_bursty, "uniform-share").mean_reward,
         ms_method(&ms_bursty, "greedy-per-service").mean_reward,
         ms_method(&ms_bursty, "shortest-queue").mean_reward,
+        chaos_episodes,
+        chaos_secs,
+        chaos_fields,
         before.ns_per_decision,
         after.ns_per_decision,
         batched.ns_per_decision,
@@ -802,7 +929,7 @@ fn main() {
     std::fs::write(OUT_PATH, &json).expect("write bench output");
     print!("{json}");
     eprintln!(
-        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); batched x{batch}: {:.0}/s ({speedup_batched:.2}x over single); training: {:.0}/s -> {:.0}/s ({speedup_training:.2}x, x{train_batch} lanes); multiservice x{ms_services}: {:.0} dec/s, diurnal dqn {:.2} vs greedy {:.2}; forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
+        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); batched x{batch}: {:.0}/s ({speedup_batched:.2}x over single); training: {:.0}/s -> {:.0}/s ({speedup_training:.2}x, x{train_batch} lanes); multiservice x{ms_services}: {:.0} dec/s, diurnal dqn {:.2} vs greedy {:.2}; chaos severe: {} evictions, {} retried-to-completion; forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
         before.decisions_per_sec,
         after.decisions_per_sec,
         batched.decisions_per_sec,
@@ -811,6 +938,8 @@ fn main() {
         ms_dps,
         ms_method(&ms_diurnal, "dqn").mean_reward,
         ms_method(&ms_diurnal, "greedy-per-service").mean_reward,
+        chaos_severe.faults.evictions,
+        chaos_severe.faults.retry_successes,
         fwd_before,
         fwd_after,
         events_per_sec

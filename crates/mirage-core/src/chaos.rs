@@ -1,0 +1,329 @@
+//! Chaos evaluation lane: degradation under fault injection.
+//!
+//! Every provisioning method is evaluated on **identically seeded fault
+//! schedules** at increasing severity — none / moderate / severe — so the
+//! lane answers "how gracefully does each method degrade when nodes crash
+//! and jobs die mid-run?" rather than "who got lucky with the crashes?".
+//! The fault tape is a pure function of `(fault_seed, severity)` carried
+//! inside the simulator config, so the per-episode `reset()` replays the
+//! exact same crashes for every method and every episode start.
+//!
+//! Reported per severity × method: mean shaped reward, mean total
+//! interruption (hand-off gap + fault downtime), mean fault-caused
+//! downtime, and the zero-interruption fraction; plus per-severity fault
+//! totals (crashes, evictions, retries, retry successes, terminal
+//! failures) summed over every episode run.
+
+use mirage_sim::{ClusterBackend, FaultModel, FaultStats, RetryPolicy, SimBuilder};
+use mirage_trace::JobRecord;
+use serde::{Deserialize, Serialize};
+
+use crate::episode::{run_episode, EpisodeConfig};
+use crate::policy::ProvisionPolicy;
+use crate::reward::RewardShaper;
+use crate::train::{episode_window, sample_episode_starts};
+
+/// Fault-injection severity of one chaos lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChaosSeverity {
+    /// Perfectly reliable hardware — the control lane; results must match
+    /// a fault-free evaluation bit for bit.
+    None,
+    /// [`FaultModel::moderate`]: ~4-day MTBF, ~2 h repairs, 2 % transient
+    /// job failures.
+    Moderate,
+    /// [`FaultModel::severe`]: ~18 h MTBF, ~4 h repairs, 8 % transient job
+    /// failures.
+    Severe,
+}
+
+impl ChaosSeverity {
+    /// Every severity, mildest first (the sweep order).
+    pub const ALL: [ChaosSeverity; 3] = [
+        ChaosSeverity::None,
+        ChaosSeverity::Moderate,
+        ChaosSeverity::Severe,
+    ];
+
+    /// Display / JSON-field name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosSeverity::None => "none",
+            ChaosSeverity::Moderate => "moderate",
+            ChaosSeverity::Severe => "severe",
+        }
+    }
+
+    /// The fault model this severity injects, on `seed`'s crash tape.
+    pub fn fault_model(&self, seed: u64) -> FaultModel {
+        match self {
+            ChaosSeverity::None => FaultModel::none(),
+            ChaosSeverity::Moderate => FaultModel::moderate(seed),
+            ChaosSeverity::Severe => FaultModel::severe(seed),
+        }
+    }
+}
+
+/// Chaos-lane settings.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Episode shape (set `fault_features` to let agents observe cluster
+    /// health).
+    pub episode: EpisodeConfig,
+    /// Validation episodes per severity.
+    pub n_episodes: usize,
+    /// Episode-start sampling seed (same starts at every severity).
+    pub seed: u64,
+    /// Crash-tape seed (same tape for every method at one severity).
+    pub fault_seed: u64,
+    /// Retry policy for evicted jobs.
+    pub retry: RetryPolicy,
+    /// Reward coefficients for the mean-reward statistic.
+    pub shaper: RewardShaper,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            episode: EpisodeConfig::default(),
+            n_episodes: 8,
+            seed: 17,
+            fault_seed: 4242,
+            retry: RetryPolicy::default(),
+            shaper: RewardShaper::default(),
+        }
+    }
+}
+
+/// One method's aggregate at one severity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosMethodSummary {
+    /// Method label.
+    pub method: String,
+    /// Episodes aggregated.
+    pub episodes: usize,
+    /// Mean shaped reward (0 is optimal; more negative = worse).
+    pub mean_reward: f64,
+    /// Mean total interruption — hand-off gap plus fault downtime, hours.
+    pub avg_interruption_h: f64,
+    /// Mean fault-caused downtime alone, hours.
+    pub avg_fault_interruption_h: f64,
+    /// Fraction of episodes with zero interruption of either kind.
+    pub zero_interruption_frac: f64,
+}
+
+/// One severity's lane: per-method summaries plus the fault totals the
+/// tape actually inflicted (summed over every episode run).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosLane {
+    /// Severity of this lane.
+    pub severity: ChaosSeverity,
+    /// Per-method aggregates (evaluation order).
+    pub methods: Vec<ChaosMethodSummary>,
+    /// Fault counters summed across all methods × episodes.
+    pub faults: FaultStats,
+}
+
+/// Full chaos sweep output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// One lane per severity, [`ChaosSeverity::ALL`] order.
+    pub lanes: Vec<ChaosLane>,
+}
+
+impl ChaosReport {
+    /// The lane at `severity`.
+    pub fn lane(&self, severity: ChaosSeverity) -> &ChaosLane {
+        self.lanes
+            .iter()
+            .find(|l| l.severity == severity)
+            .expect("every severity has a lane")
+    }
+
+    /// One method's summary at one severity.
+    pub fn summary(&self, severity: ChaosSeverity, method: &str) -> &ChaosMethodSummary {
+        self.lane(severity)
+            .methods
+            .iter()
+            .find(|m| m.method == method)
+            .expect("method evaluated in every lane")
+    }
+}
+
+/// Accumulates one method's running sums across a lane's episodes.
+#[derive(Default)]
+struct MethodAccum {
+    reward: f64,
+    interruption_h: f64,
+    fault_h: f64,
+    zero: usize,
+    episodes: usize,
+}
+
+fn add_stats(total: &mut FaultStats, run: &FaultStats) {
+    total.node_crashes += run.node_crashes;
+    total.node_recoveries += run.node_recoveries;
+    total.evictions += run.evictions;
+    total.job_failures += run.job_failures;
+    total.retries += run.retries;
+    total.retry_successes += run.retry_successes;
+    total.failed_jobs += run.failed_jobs;
+}
+
+/// Sweeps every method through the none → moderate → severe fault
+/// severities on identically seeded crash tapes.
+///
+/// `builder` supplies the cluster shape; this function overrides only its
+/// fault model and retry policy per lane, builds one backend per severity,
+/// and runs every method over the same sampled episode starts. Because
+/// [`run_episode`] resets the backend up front and the fault tape lives in
+/// the config, every run at one severity sees the identical crash
+/// schedule — the comparison isolates the provisioning policy.
+pub fn evaluate_chaos(
+    methods: &mut [Box<dyn ProvisionPolicy>],
+    builder: &SimBuilder,
+    trace: &[JobRecord],
+    range: (i64, i64),
+    cfg: &ChaosConfig,
+) -> ChaosReport {
+    let starts = sample_episode_starts(range.0, range.1, &cfg.episode, cfg.n_episodes, cfg.seed);
+    let mut lanes = Vec::with_capacity(ChaosSeverity::ALL.len());
+    for severity in ChaosSeverity::ALL {
+        let mut backend = builder
+            .clone()
+            .faults(severity.fault_model(cfg.fault_seed))
+            .retry(cfg.retry)
+            .build();
+        let mut accums: Vec<MethodAccum> = methods.iter().map(|_| MethodAccum::default()).collect();
+        let mut faults = FaultStats::default();
+        for &t0 in &starts {
+            let window = episode_window(trace, t0, &cfg.episode);
+            for (m, acc) in methods.iter_mut().zip(accums.iter_mut()) {
+                m.reset();
+                let result =
+                    run_episode(&mut backend, window, &cfg.episode, t0, |ctx| m.decide(ctx));
+                // `run_episode` resets the backend on entry, so the
+                // counters reflect exactly this run.
+                add_stats(&mut faults, &backend.fault_stats());
+                let o = &result.outcome;
+                acc.reward += f64::from(cfg.shaper.reward(o));
+                acc.interruption_h += (o.interruption + o.fault_interruption) as f64 / 3600.0;
+                acc.fault_h += o.fault_interruption as f64 / 3600.0;
+                if o.zero_interruption() {
+                    acc.zero += 1;
+                }
+                acc.episodes += 1;
+            }
+        }
+        let summaries = methods
+            .iter()
+            .zip(accums.iter())
+            .map(|(m, acc)| {
+                let n = acc.episodes.max(1) as f64;
+                ChaosMethodSummary {
+                    method: m.name(),
+                    episodes: acc.episodes,
+                    mean_reward: acc.reward / n,
+                    avg_interruption_h: acc.interruption_h / n,
+                    avg_fault_interruption_h: acc.fault_h / n,
+                    zero_interruption_frac: acc.zero as f64 / n,
+                }
+            })
+            .collect();
+        lanes.push(ChaosLane {
+            severity,
+            methods: summaries,
+            faults,
+        });
+    }
+    ChaosReport { lanes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ReactivePolicy;
+    use mirage_sim::SimConfig;
+    use mirage_trace::{DAY, HOUR, MINUTE};
+
+    fn tiny_episode() -> EpisodeConfig {
+        EpisodeConfig {
+            pair_nodes: 1,
+            pair_timelimit: 4 * HOUR,
+            pair_runtime: 4 * HOUR,
+            decision_interval: 30 * MINUTE,
+            history_k: 4,
+            warmup: DAY,
+            pair_user: 999,
+            fault_features: true,
+        }
+    }
+
+    fn busy_trace(days: i64) -> Vec<JobRecord> {
+        (0..days * 24)
+            .map(|i| {
+                JobRecord::new(
+                    i as u64 + 1,
+                    format!("bg{i}"),
+                    (i % 3) as u32,
+                    i * HOUR,
+                    2,
+                    6 * HOUR,
+                    3 * HOUR,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn severity_tiers_and_labels() {
+        assert_eq!(ChaosSeverity::ALL.len(), 3);
+        assert_eq!(ChaosSeverity::None.label(), "none");
+        assert!(ChaosSeverity::None.fault_model(5).is_none());
+        let mo = ChaosSeverity::Moderate.fault_model(5);
+        let se = ChaosSeverity::Severe.fault_model(5);
+        assert!(se.mtbf < mo.mtbf && se.job_fail_prob > mo.job_fail_prob);
+    }
+
+    #[test]
+    fn sweep_reports_every_severity_and_method() {
+        let trace = busy_trace(8);
+        let mut methods: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
+        let cfg = ChaosConfig {
+            episode: tiny_episode(),
+            n_episodes: 2,
+            ..ChaosConfig::default()
+        };
+        let builder = SimConfig::builder().nodes(4);
+        let report = evaluate_chaos(&mut methods, &builder, &trace, (0, 8 * DAY), &cfg);
+        assert_eq!(report.lanes.len(), 3);
+        for (lane, sev) in report.lanes.iter().zip(ChaosSeverity::ALL) {
+            assert_eq!(lane.severity, sev);
+            assert_eq!(lane.methods.len(), 1);
+            assert_eq!(lane.methods[0].episodes, 2);
+        }
+        // The control lane cannot count faults.
+        let none = report.lane(ChaosSeverity::None);
+        assert_eq!(none.faults, FaultStats::default());
+        assert_eq!(none.methods[0].avg_fault_interruption_h, 0.0);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_chaos() {
+        let trace = busy_trace(8);
+        let cfg = ChaosConfig {
+            episode: tiny_episode(),
+            n_episodes: 2,
+            ..ChaosConfig::default()
+        };
+        let builder = SimConfig::builder().nodes(4);
+        let mut m1: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
+        let mut m2: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
+        let a = evaluate_chaos(&mut m1, &builder, &trace, (0, 8 * DAY), &cfg);
+        let b = evaluate_chaos(&mut m2, &builder, &trace, (0, 8 * DAY), &cfg);
+        for (la, lb) in a.lanes.iter().zip(&b.lanes) {
+            assert_eq!(la.faults, lb.faults);
+            assert_eq!(la.methods, lb.methods);
+        }
+    }
+}

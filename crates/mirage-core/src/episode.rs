@@ -104,6 +104,12 @@ pub struct EpisodeConfig {
     pub warmup: i64,
     /// User id for the pair (distinct from background users).
     pub pair_user: u32,
+    /// Expose the backend's fault surface (available-node fraction,
+    /// recent eviction rate) as extra state features. Off by default:
+    /// with the flag off the encoded vectors are byte-identical to the
+    /// pre-fault encoder, which is what the bit-identity pins rely on.
+    #[serde(default)]
+    pub fault_features: bool,
 }
 
 impl Default for EpisodeConfig {
@@ -119,6 +125,7 @@ impl Default for EpisodeConfig {
             // congestion on clusters whose queues deepen over a week.
             warmup: 12 * DAY,
             pair_user: 1_000_000,
+            fault_features: false,
         }
     }
 }
@@ -210,7 +217,8 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
         backend.reset_with(trace);
         let total_nodes = backend.total_nodes();
 
-        let encoder = StateEncoder::new(total_nodes, cfg.pair_timelimit.max(48 * HOUR));
+        let mut encoder = StateEncoder::new(total_nodes, cfg.pair_timelimit.max(48 * HOUR));
+        encoder.fault_features = cfg.fault_features;
         let mut history = StateHistory::new(cfg.history_k.max(1));
         let succ_spec = SuccessorSpec {
             nodes: cfg.pair_nodes,
@@ -343,7 +351,10 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
                 (start + cfg.pair_timelimit - now).max(0),
                 false,
             ),
-            JobStatus::Completed { start, end } => (
+            // A terminally failed predecessor (fault injection, retries
+            // exhausted) ends the service instance exactly like a
+            // completion: the reactive user restarts via the successor.
+            JobStatus::Completed { start, end } | JobStatus::Failed { start, end } => (
                 PredecessorState {
                     nodes: cfg.pair_nodes,
                     timelimit: cfg.pair_timelimit,
@@ -436,21 +447,26 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
         let (pred_start, pred_end, succ_start) = loop {
             let pred_done = matches!(
                 self.backend.status(self.pred_id),
-                Some(JobStatus::Completed { .. })
+                Some(JobStatus::Completed { .. } | JobStatus::Failed { .. })
             );
             let succ_started = matches!(
                 self.backend.status(succ_id),
-                Some(JobStatus::Running { .. } | JobStatus::Completed { .. })
+                Some(
+                    JobStatus::Running { .. }
+                        | JobStatus::Completed { .. }
+                        | JobStatus::Failed { .. }
+                )
             );
             if pred_done && succ_started {
-                let Some(JobStatus::Completed { start: ps, end: pe }) =
-                    self.backend.status(self.pred_id)
-                else {
-                    unreachable!()
+                let (ps, pe) = match self.backend.status(self.pred_id) {
+                    Some(JobStatus::Completed { start, end })
+                    | Some(JobStatus::Failed { start, end }) => (start, end),
+                    _ => unreachable!(),
                 };
                 let ss = match self.backend.status(succ_id) {
                     Some(JobStatus::Running { start }) => start,
                     Some(JobStatus::Completed { start, .. }) => start,
+                    Some(JobStatus::Failed { start, .. }) => start,
                     _ => unreachable!(),
                 };
                 break (ps, pe, ss);
@@ -462,8 +478,15 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
             self.backend.step(HOUR);
         };
 
+        // Downtime the pair suffered from fault evictions (eviction →
+        // restart gaps) is interruption the user experienced, charged by
+        // the reward identically to the submit-too-late kind.
+        let mut outcome = EpisodeOutcome::from_times(pred_end, succ_start);
+        outcome.fault_interruption = self.backend.job_faults(self.pred_id).downtime
+            + self.backend.job_faults(succ_id).downtime;
+
         let result = EpisodeResult {
-            outcome: EpisodeOutcome::from_times(pred_end, succ_start),
+            outcome,
             pred_submit: self.t0,
             pred_start,
             pred_end,
@@ -533,6 +556,7 @@ mod tests {
             history_k: 4,
             warmup: DAY,
             pair_user: 999,
+            fault_features: false,
         }
     }
 

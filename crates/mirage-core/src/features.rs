@@ -58,6 +58,8 @@ mod tests {
                 now: 0,
                 free_nodes: 2,
                 total_nodes: 8,
+                down_nodes: 0,
+                recent_evictions: 0,
                 queued: vec![],
                 running: vec![],
             },

@@ -174,6 +174,7 @@ mod tests {
             history_k: 4,
             warmup: DAY,
             pair_user: 999,
+            fault_features: false,
         }
     }
 

@@ -64,6 +64,8 @@
 //!   ([`trainloop::BatchedCollector`]),
 //! * [`eval`] — the §6 evaluation harness (load levels, zero-interruption
 //!   fractions, reduction vs reactive),
+//! * [`chaos`] — degradation under fault injection: RL vs heuristics on
+//!   identically seeded crash tapes across a none/moderate/severe sweep,
 //! * [`chain`] — whole-chain provisioning (§4.1's rolling
 //!   predecessor–successor pairs),
 //! * [`tune`] — deterministic hyperparameter grid search (the RayTune
@@ -71,6 +73,7 @@
 
 pub mod batch;
 pub mod chain;
+pub mod chaos;
 pub mod episode;
 pub mod eval;
 pub mod features;
@@ -85,6 +88,9 @@ pub mod tune;
 
 pub use batch::{run_episodes_batched, BatchPolicy, BatchedEpisodeDriver, LanePolicy};
 pub use chain::{chain_stretch, provision_chain, ChainResult, ChainSummary};
+pub use chaos::{
+    evaluate_chaos, ChaosConfig, ChaosLane, ChaosMethodSummary, ChaosReport, ChaosSeverity,
+};
 pub use episode::{
     run_episode, Action, DecisionContext, EpisodeConfig, EpisodeDriver, EpisodeResult,
 };
@@ -111,6 +117,7 @@ pub use tune::{grid_search, Candidate, TuneGrid, TuneResult};
 
 /// Convenience imports.
 pub mod prelude {
+    pub use crate::chaos::{evaluate_chaos, ChaosConfig, ChaosReport, ChaosSeverity};
     pub use crate::episode::{
         run_episode, Action, DecisionContext, EpisodeConfig, EpisodeDriver, EpisodeResult,
     };

@@ -739,7 +739,10 @@ impl<B: ClusterBackend> MultiServiceEnv<B> {
                     (start + svc.timelimit - now).max(0),
                     false,
                 ),
-                JobStatus::Completed { start, end } => (
+                // A terminally failed predecessor (fault injection,
+                // retries exhausted) ends the instance like a completion:
+                // the operator restarts via the successor.
+                JobStatus::Completed { start, end } | JobStatus::Failed { start, end } => (
                     PredecessorState {
                         nodes: pred_nodes,
                         timelimit: svc.timelimit,
@@ -890,12 +893,16 @@ impl<B: ClusterBackend> MultiServiceEnv<B> {
             let all_resolved = self.services.iter().all(|st| {
                 let pred_done = matches!(
                     self.backend.status(st.pred_id),
-                    Some(JobStatus::Completed { .. })
+                    Some(JobStatus::Completed { .. } | JobStatus::Failed { .. })
                 );
                 let succ_started = matches!(
                     self.backend
                         .status(st.succ_id.expect("successor submitted")),
-                    Some(JobStatus::Running { .. } | JobStatus::Completed { .. })
+                    Some(
+                        JobStatus::Running { .. }
+                            | JobStatus::Completed { .. }
+                            | JobStatus::Failed { .. }
+                    )
                 );
                 pred_done && succ_started
             });
@@ -915,19 +922,23 @@ impl<B: ClusterBackend> MultiServiceEnv<B> {
             .iter()
             .zip(&mut self.services)
             .map(|(svc, st)| {
-                let Some(JobStatus::Completed {
-                    start: pred_start,
-                    end: pred_end,
-                }) = self.backend.status(st.pred_id)
-                else {
-                    unreachable!("predecessor resolved")
+                let (pred_start, pred_end) = match self.backend.status(st.pred_id) {
+                    Some(JobStatus::Completed { start, end })
+                    | Some(JobStatus::Failed { start, end }) => (start, end),
+                    _ => unreachable!("predecessor resolved"),
                 };
-                let succ_start = match self.backend.status(st.succ_id.expect("submitted")) {
+                let succ_id = st.succ_id.expect("submitted");
+                let succ_start = match self.backend.status(succ_id) {
                     Some(JobStatus::Running { start }) => start,
                     Some(JobStatus::Completed { start, .. }) => start,
+                    Some(JobStatus::Failed { start, .. }) => start,
                     _ => unreachable!("successor started"),
                 };
-                let outcome = EpisodeOutcome::from_times(pred_end, succ_start);
+                let mut outcome = EpisodeOutcome::from_times(pred_end, succ_start);
+                // Eviction → restart gaps the pair suffered under fault
+                // injection are interruption the service's users saw.
+                outcome.fault_interruption = self.backend.job_faults(st.pred_id).downtime
+                    + self.backend.job_faults(succ_id).downtime;
                 let co_submitters = (self.submits_by_tick[st.submit_tick as usize] - 1) as usize;
                 let reward =
                     svc.shaper.reward(&outcome) - self.cfg.stampede_coef * co_submitters as f32;
@@ -1245,6 +1256,7 @@ mod tests {
             history_k: 4,
             warmup: DAY,
             pair_user: 999,
+            fault_features: false,
         }
     }
 

@@ -213,6 +213,8 @@ mod tests {
                 now: 0,
                 free_nodes: 4,
                 total_nodes: 8,
+                down_nodes: 0,
+                recent_evictions: 0,
                 queued: vec![],
                 running: vec![],
             },

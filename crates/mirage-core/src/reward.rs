@@ -39,6 +39,11 @@ pub struct EpisodeOutcome {
     pub interruption: i64,
     /// Seconds both jobs held nodes (`max(0, pred_end − succ_start)`).
     pub overlap: i64,
+    /// Seconds of service downtime caused by fault evictions of either
+    /// sub-job (node crashes, transient failures). Zero when the backend
+    /// runs without a fault model.
+    #[serde(default)]
+    pub fault_interruption: i64,
 }
 
 impl EpisodeOutcome {
@@ -47,19 +52,22 @@ impl EpisodeOutcome {
         Self {
             interruption: (succ_start - pred_end).max(0),
             overlap: (pred_end - succ_start).max(0),
+            fault_interruption: 0,
         }
     }
 
     /// Whether the hand-off was gap-free.
     pub fn zero_interruption(&self) -> bool {
-        self.interruption == 0
+        self.interruption == 0 && self.fault_interruption == 0
     }
 }
 
 impl RewardShaper {
     /// Eq. 8: negative weighted penalty in hours; 0 is the optimum.
+    /// Fault-caused downtime is a service gap like any other, so it is
+    /// charged at the same `e_interrupt` rate as hand-off gaps.
     pub fn reward(&self, outcome: &EpisodeOutcome) -> f32 {
-        let hours_i = outcome.interruption as f32 / 3600.0;
+        let hours_i = (outcome.interruption + outcome.fault_interruption) as f32 / 3600.0;
         let hours_o = outcome.overlap as f32 / 3600.0;
         -(self.e_interrupt * hours_i + self.e_overlap * hours_o)
     }
@@ -100,6 +108,19 @@ mod tests {
         assert!((r_gap + 6.0).abs() < 1e-5, "3h gap × e_I=2 → −6");
         let r_lap = shaper.reward(&EpisodeOutcome::from_times(3 * HOUR, 0));
         assert!((r_lap + 3.0).abs() < 1e-5, "3h overlap × e_O=1 → −3");
+    }
+
+    #[test]
+    fn fault_downtime_is_charged_like_interruption() {
+        let shaper = RewardShaper::default();
+        let mut o = EpisodeOutcome::from_times(100, 100);
+        assert_eq!(shaper.reward(&o), 0.0);
+        o.fault_interruption = 3 * HOUR;
+        assert!(
+            (shaper.reward(&o) + 6.0).abs() < 1e-5,
+            "3h downtime × e_I=2 → −6"
+        );
+        assert!(!o.zero_interruption());
     }
 
     #[test]

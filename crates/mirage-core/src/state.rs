@@ -1,6 +1,6 @@
 //! State encoding (§4.1–4.2 of the paper).
 //!
-//! Each instant is summarized by an `m = 40`-dimensional vector:
+//! Each instant is summarized by an `m = 42`-dimensional vector:
 //!
 //! | vars   | content                                                        |
 //! |--------|----------------------------------------------------------------|
@@ -14,6 +14,12 @@
 //! | 30–34  | running limits: percentiles                                    |
 //! | 35–38  | predecessor size, limit, queue time, elapsed                   |
 //! | 39–40  | successor size, limit                                          |
+//! | 41–42  | fault state: available-node fraction, recent eviction rate     |
+//!
+//! The fault pair is written only when
+//! [`StateEncoder::fault_features`] is set (off by default): with the
+//! flag off both variables are the constant `0.0`, keeping every
+//! pre-fault encoding byte-identical.
 //!
 //! `k` consecutive vectors, recorded every `interval` seconds, stack into
 //! the `k × m` state matrix the foundation model consumes (the paper's
@@ -27,8 +33,9 @@ use mirage_nn::Matrix;
 use mirage_sim::ClusterSnapshot;
 use serde::{Deserialize, Serialize};
 
-/// Width of the per-instant state vector (fixed by the paper).
-pub const STATE_VARS: usize = 40;
+/// Width of the per-instant state vector: the paper's 40 variables plus
+/// the two fault-state variables (zero unless fault features are on).
+pub const STATE_VARS: usize = 42;
 
 /// Predecessor-job status at encoding time (§4.1(c)).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,6 +69,11 @@ pub struct StateEncoder {
     pub max_time: i64,
     /// Nominal queue length for count normalization.
     pub queue_scale: f32,
+    /// Whether to write the fault-state variables (vars 41–42). Off by
+    /// default so fault-free encodings stay byte-identical to the
+    /// pre-fault layout.
+    #[serde(default)]
+    pub fault_features: bool,
 }
 
 /// Reusable working memory for [`StateEncoder::encode_into`]: one value
@@ -79,6 +91,7 @@ impl StateEncoder {
             total_nodes,
             max_time,
             queue_scale: 1000.0,
+            fault_features: false,
         }
     }
 
@@ -97,7 +110,7 @@ impl StateEncoder {
         (1.0 + c).ln() / (1.0 + self.queue_scale).ln()
     }
 
-    /// Encodes one instant into the 40-variable vector (allocating
+    /// Encodes one instant into the 42-variable vector (allocating
     /// convenience wrapper around [`StateEncoder::encode_into`]).
     pub fn encode(
         &self,
@@ -108,7 +121,7 @@ impl StateEncoder {
         self.encode_into(snap, pred, succ, &mut EncoderScratch::default())
     }
 
-    /// Encodes one instant into the 40-variable vector, computing every
+    /// Encodes one instant into the 42-variable vector, computing every
     /// percentile through the reusable `scratch` buffer: no allocation
     /// once its capacity covers the deepest queue/running set seen. The
     /// output is identical to [`StateEncoder::encode`].
@@ -152,6 +165,13 @@ impl StateEncoder {
         // (d) successor job information.
         v[38] = self.norm_nodes(succ.nodes as f32);
         v[39] = self.norm_time(succ.timelimit as f32);
+
+        // (e) fault state, gated so fault-free encodings stay
+        // byte-identical: healthy-node fraction and recent eviction rate.
+        if self.fault_features {
+            v[40] = self.norm_nodes(snap.available_nodes() as f32);
+            v[41] = self.norm_count(snap.recent_evictions as f32);
+        }
         v
     }
 }
@@ -308,6 +328,8 @@ mod tests {
             now: 1000,
             free_nodes: 4,
             total_nodes: 16,
+            down_nodes: 0,
+            recent_evictions: 0,
             queued: (0..queued)
                 .map(|i| QueuedJobView {
                     id: i as u64,
@@ -348,11 +370,34 @@ mod tests {
     }
 
     #[test]
-    fn vector_is_forty_wide_and_finite() {
+    fn vector_is_forty_two_wide_and_finite() {
         let enc = StateEncoder::new(16, 48 * HOUR);
         let v = enc.encode(&snap(5, 3), &pred(), &succ());
-        assert_eq!(v.len(), 40);
+        assert_eq!(v.len(), 42);
         assert!(v.iter().all(|x| x.is_finite()));
+        assert_eq!(
+            &v[40..],
+            &[0.0, 0.0],
+            "fault vars stay zero with the flag off"
+        );
+    }
+
+    #[test]
+    fn fault_features_encode_health_and_eviction_rate() {
+        let mut enc = StateEncoder::new(16, 48 * HOUR);
+        enc.fault_features = true;
+        let mut s = snap(2, 1);
+        s.down_nodes = 4;
+        s.recent_evictions = 3;
+        let v = enc.encode(&s, &pred(), &succ());
+        assert!((v[40] - 12.0 / 16.0).abs() < 1e-6, "12 of 16 nodes healthy");
+        assert!(v[41] > 0.0, "eviction rate surfaces");
+        // The first 40 variables are untouched by the flag.
+        let mut off = enc;
+        off.fault_features = false;
+        let v_off = off.encode(&s, &pred(), &succ());
+        assert_eq!(&v[..40], &v_off[..40]);
+        assert_eq!(&v_off[40..], &[0.0, 0.0]);
     }
 
     #[test]

@@ -817,6 +817,7 @@ mod tests {
                 history_k: 4,
                 warmup: DAY,
                 pair_user: 999,
+                fault_features: false,
             },
             offline_episodes: 3,
             split_points: 3,

@@ -1,0 +1,105 @@
+//! Chaos-lane smoke test: severe fault injection on a fixed seed must
+//! actually inject — at least one node eviction and at least one
+//! successful backoff retry — and the sweep must report every severity
+//! for every method. CI runs `chaos_smoke_episode` by name.
+
+use mirage_core::chaos::{evaluate_chaos, ChaosConfig, ChaosSeverity};
+use mirage_core::episode::EpisodeConfig;
+use mirage_core::policy::{AvgWaitPolicy, ProvisionPolicy, ReactivePolicy};
+use mirage_sim::{FaultStats, SimConfig};
+use mirage_trace::{JobRecord, DAY, HOUR, MINUTE};
+
+fn busy_trace(days: i64) -> Vec<JobRecord> {
+    (0..days * 24 * 2)
+        .map(|i| {
+            JobRecord::new(
+                i as u64 + 1,
+                format!("bg{i}"),
+                (i % 5) as u32,
+                i * HOUR / 2,
+                2,
+                8 * HOUR,
+                4 * HOUR,
+            )
+        })
+        .collect()
+}
+
+fn episode_cfg() -> EpisodeConfig {
+    EpisodeConfig {
+        pair_nodes: 1,
+        pair_timelimit: 6 * HOUR,
+        pair_runtime: 6 * HOUR,
+        decision_interval: 30 * MINUTE,
+        history_k: 4,
+        warmup: DAY,
+        pair_user: 999,
+        fault_features: true,
+    }
+}
+
+#[test]
+fn chaos_smoke_episode() {
+    let trace = busy_trace(10);
+    let mut methods: Vec<Box<dyn ProvisionPolicy>> =
+        vec![Box::new(ReactivePolicy), Box::new(AvgWaitPolicy::default())];
+    let cfg = ChaosConfig {
+        episode: episode_cfg(),
+        n_episodes: 3,
+        seed: 17,
+        fault_seed: 4242,
+        ..ChaosConfig::default()
+    };
+    let builder = SimConfig::builder().nodes(4);
+    let report = evaluate_chaos(&mut methods, &builder, &trace, (0, 10 * DAY), &cfg);
+
+    assert_eq!(report.lanes.len(), 3, "none / moderate / severe");
+    for lane in &report.lanes {
+        assert_eq!(lane.methods.len(), 2, "every method in every lane");
+        for m in &lane.methods {
+            assert_eq!(m.episodes, 3);
+            assert!(m.mean_reward <= 0.0, "rewards are negative penalties");
+        }
+    }
+
+    // The control lane is fault-free by construction.
+    let none = report.lane(ChaosSeverity::None);
+    assert_eq!(none.faults, FaultStats::default());
+
+    // Severe chaos on this fixed seed must evict at least one running job
+    // and see at least one evicted job retry and complete.
+    let severe = report.lane(ChaosSeverity::Severe);
+    assert!(severe.faults.node_crashes >= 1, "crash tape fired");
+    assert!(severe.faults.evictions >= 1, "at least one eviction");
+    assert!(severe.faults.retries >= 1, "at least one backoff retry");
+    assert!(
+        severe.faults.retry_successes >= 1,
+        "at least one retried job completed"
+    );
+    assert!(
+        severe.faults.evictions >= severe.faults.retries,
+        "retries never exceed evictions"
+    );
+}
+
+#[test]
+fn chaos_sweep_is_deterministic_for_a_fixed_seed() {
+    let trace = busy_trace(8);
+    let cfg = ChaosConfig {
+        episode: episode_cfg(),
+        n_episodes: 2,
+        ..ChaosConfig::default()
+    };
+    let builder = SimConfig::builder().nodes(4);
+    let run = |policies: &mut Vec<Box<dyn ProvisionPolicy>>| {
+        evaluate_chaos(policies, &builder, &trace, (0, 8 * DAY), &cfg)
+    };
+    let mut m1: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
+    let mut m2: Vec<Box<dyn ProvisionPolicy>> = vec![Box::new(ReactivePolicy)];
+    let (a, b) = (run(&mut m1), run(&mut m2));
+    for (la, lb) in a.lanes.iter().zip(&b.lanes) {
+        assert_eq!(la.severity, lb.severity);
+        assert_eq!(la.faults, lb.faults);
+        assert_eq!(la.methods, lb.methods);
+    }
+}

@@ -45,6 +45,7 @@ fn tiny_cfg(lanes: usize) -> TrainConfig {
             history_k: 4,
             warmup: DAY,
             pair_user: 999,
+            fault_features: false,
         },
         offline_episodes: 2,
         split_points: 3,

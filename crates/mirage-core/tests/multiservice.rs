@@ -56,6 +56,7 @@ fn episode_cfg(interval: i64, k: usize, runtime_h: i64) -> EpisodeConfig {
         history_k: k,
         warmup: DAY,
         pair_user: 999,
+        fault_features: false,
     }
 }
 

@@ -38,6 +38,8 @@ proptest! {
             now,
             free_nodes: free,
             total_nodes: 88,
+            down_nodes: 0,
+            recent_evictions: 0,
             queued: queued
                 .iter()
                 .enumerate()
@@ -108,6 +110,7 @@ proptest! {
             history_k: 4,
             warmup: DAY,
             pair_user: 999,
+            fault_features: false,
         };
         let t0 = 2 * DAY;
         let mut sim = mirage_sim::Simulator::new(mirage_sim::SimConfig::new(4));
@@ -164,6 +167,7 @@ proptest! {
             history_k: 4,
             warmup: DAY,
             pair_user: 999,
+            fault_features: false,
         };
         let t0s: Vec<i64> = t0_offsets.iter().map(|&h| 2 * DAY + h * HOUR).collect();
         let net = || DualHeadNet::new(DualHeadConfig {

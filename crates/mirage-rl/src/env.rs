@@ -2,6 +2,13 @@
 //!
 //! States are matrices (the `k × m` state matrix of §4.2); actions are
 //! small discrete indices (Mirage has two: no-submit = 0, submit = 1).
+//!
+//! The trait is deliberately shape-agnostic: `m` is whatever the
+//! environment's encoder produces. Mirage's encoder is the paper's 40
+//! variables plus two fault-state variables (healthy-node fraction,
+//! recent eviction rate) that stay zero unless fault features are
+//! enabled — agents trained fault-blind keep working, agents evaluated
+//! under chaos can observe cluster health through the same interface.
 
 use mirage_nn::Matrix;
 

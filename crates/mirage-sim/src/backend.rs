@@ -22,8 +22,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use mirage_trace::JobRecord;
+use mirage_trace::{split_seed, JobRecord};
 
+use crate::fault::{FaultModel, FaultStats, JobFaults, RetryPolicy};
 use crate::metrics::{ServiceUsage, SimMetrics};
 use crate::reference::{ReferenceConfig, ReferenceSimulator};
 use crate::simulator::{JobStatus, SimConfig, Simulator};
@@ -49,6 +50,33 @@ pub trait ClusterBackend {
 
     /// Idle node count.
     fn free_nodes(&self) -> u32;
+
+    /// Nodes physically available right now (total minus crashed). The
+    /// default assumes perfectly reliable hardware; fault-injecting
+    /// backends override it.
+    fn available_nodes(&self) -> u32 {
+        self.total_nodes()
+    }
+
+    /// Fault evictions within the trailing `window` seconds (0 without
+    /// fault injection).
+    fn recent_evictions(&self, window: i64) -> u32 {
+        let _ = window;
+        0
+    }
+
+    /// Aggregate fault counters of the run so far (all zero without fault
+    /// injection).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// Per-job fault ledger by id (zero for unknown ids, untouched jobs,
+    /// and backends without fault injection).
+    fn job_faults(&self, id: u64) -> JobFaults {
+        let _ = id;
+        JobFaults::default()
+    }
 
     /// Loads a trace of future arrivals (ids preserved when unique).
     fn load_trace(&mut self, jobs: &[JobRecord]);
@@ -152,6 +180,20 @@ impl<T: ClusterBackend + ?Sized> ClusterBackend for &mut T {
     fn free_nodes(&self) -> u32 {
         (**self).free_nodes()
     }
+    // Defaults do not forward: a reborrow must reach the underlying
+    // backend's fault surface, not the reliable-hardware fallback.
+    fn available_nodes(&self) -> u32 {
+        (**self).available_nodes()
+    }
+    fn recent_evictions(&self, window: i64) -> u32 {
+        (**self).recent_evictions(window)
+    }
+    fn fault_stats(&self) -> FaultStats {
+        (**self).fault_stats()
+    }
+    fn job_faults(&self, id: u64) -> JobFaults {
+        (**self).job_faults(id)
+    }
     fn load_trace(&mut self, jobs: &[JobRecord]) {
         (**self).load_trace(jobs);
     }
@@ -206,6 +248,18 @@ impl ClusterBackend for Simulator {
     fn free_nodes(&self) -> u32 {
         Simulator::free_nodes(self)
     }
+    fn available_nodes(&self) -> u32 {
+        Simulator::available_nodes(self)
+    }
+    fn recent_evictions(&self, window: i64) -> u32 {
+        Simulator::recent_evictions(self, window)
+    }
+    fn fault_stats(&self) -> FaultStats {
+        Simulator::fault_stats(self)
+    }
+    fn job_faults(&self, id: u64) -> JobFaults {
+        Simulator::job_faults(self, id)
+    }
     fn load_trace(&mut self, jobs: &[JobRecord]) {
         Simulator::load_trace(self, jobs);
     }
@@ -259,6 +313,18 @@ impl ClusterBackend for ReferenceSimulator {
     }
     fn free_nodes(&self) -> u32 {
         ReferenceSimulator::free_nodes(self)
+    }
+    fn available_nodes(&self) -> u32 {
+        ReferenceSimulator::available_nodes(self)
+    }
+    fn recent_evictions(&self, window: i64) -> u32 {
+        ReferenceSimulator::recent_evictions(self, window)
+    }
+    fn fault_stats(&self) -> FaultStats {
+        ReferenceSimulator::fault_stats(self)
+    }
+    fn job_faults(&self, id: u64) -> JobFaults {
+        ReferenceSimulator::job_faults(self, id)
     }
     fn load_trace(&mut self, jobs: &[JobRecord]) {
         ReferenceSimulator::load_trace(self, jobs);
@@ -349,6 +415,18 @@ impl ClusterBackend for AnyBackend {
     fn free_nodes(&self) -> u32 {
         any_dispatch!(self, b => b.free_nodes())
     }
+    fn available_nodes(&self) -> u32 {
+        any_dispatch!(self, b => b.available_nodes())
+    }
+    fn recent_evictions(&self, window: i64) -> u32 {
+        any_dispatch!(self, b => b.recent_evictions(window))
+    }
+    fn fault_stats(&self) -> FaultStats {
+        any_dispatch!(self, b => b.fault_stats())
+    }
+    fn job_faults(&self, id: u64) -> JobFaults {
+        any_dispatch!(self, b => b.job_faults(id))
+    }
     fn load_trace(&mut self, jobs: &[JobRecord]) {
         any_dispatch!(self, b => b.load_trace(jobs));
     }
@@ -429,6 +507,8 @@ pub struct SimBuilder {
     tick: i64,
     sched_interval: i64,
     backfill_interval: i64,
+    faults: FaultModel,
+    retry: RetryPolicy,
 }
 
 impl Default for SimBuilder {
@@ -446,6 +526,8 @@ impl Default for SimBuilder {
             tick: reference.tick,
             sched_interval: reference.sched_interval,
             backfill_interval: reference.backfill_interval,
+            faults: FaultModel::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -457,13 +539,26 @@ impl SimBuilder {
         self
     }
 
-    /// Base seed for [`build_pool`](Self::build_pool) workers. Both
-    /// bundled simulators are fully deterministic, so this does **not**
-    /// change replay behavior — it only namespaces pool workers and is
-    /// reserved for future stochastic backends (failure injection,
-    /// runtime noise).
+    /// Base seed for [`build_pool`](Self::build_pool) workers. Replay is
+    /// deterministic for any fixed seed; with fault injection enabled
+    /// ([`SimBuilder::faults`]) each pool worker derives its own fault
+    /// stream from this seed, so workers see independent (but replayable)
+    /// crash tapes.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Fault injection model shared by whichever backend is built.
+    /// [`FaultModel::none`] (the default) injects nothing.
+    pub fn faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Retry policy for evicted / failed jobs.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -523,6 +618,8 @@ impl SimBuilder {
             backfill: self.backfill,
             reject_oversized: self.reject_oversized,
             sched_depth: self.sched_depth,
+            faults: self.faults,
+            retry: self.retry,
         }
     }
 
@@ -535,6 +632,8 @@ impl SimBuilder {
             backfill_interval: self.backfill_interval,
             backfill: self.backfill,
             tick: self.tick,
+            faults: self.faults,
+            retry: self.retry,
         }
     }
 
@@ -573,12 +672,17 @@ impl BackendFactory for SimBuilder {
     type Backend = AnyBackend;
 
     fn build(&self, seed: u64) -> AnyBackend {
-        // Both bundled simulators are deterministic, so the per-worker
-        // seed cannot alter behavior and is intentionally unused; it is
-        // part of the factory contract for stochastic backends, and each
-        // worker still gets its own instance.
-        let _ = seed;
-        SimBuilder::build(self)
+        // Replay is deterministic for any fixed seed. With fault injection
+        // enabled, each pool worker derives its own crash/failure stream
+        // from the builder's fault seed and the worker's seed, so workers
+        // explore independent fault schedules while any single worker
+        // stays exactly replayable.
+        if self.faults.is_none() {
+            return SimBuilder::build(self);
+        }
+        let mut with_worker_faults = self.clone();
+        with_worker_faults.faults.seed = split_seed(self.faults.seed, seed);
+        SimBuilder::build(&with_worker_faults)
     }
 }
 
@@ -889,6 +993,51 @@ mod tests {
                 assert_eq!(b.user_usage(user), default_of(&b, user), "{kind:?} final");
             }
         }
+    }
+
+    #[test]
+    fn builder_carries_fault_and_retry_options_to_both_backends() {
+        let retry = RetryPolicy {
+            max_attempts: 5,
+            backoff_base: 30,
+            backoff_cap: 600,
+        };
+        let b = SimConfig::builder()
+            .nodes(8)
+            .faults(FaultModel::moderate(3))
+            .retry(retry);
+        assert_eq!(b.sim_config().faults, FaultModel::moderate(3));
+        assert_eq!(b.sim_config().retry, retry);
+        assert_eq!(b.reference_config().faults, FaultModel::moderate(3));
+        assert_eq!(b.reference_config().retry, retry);
+        // Default builder injects nothing.
+        assert!(SimConfig::builder().sim_config().faults.is_none());
+    }
+
+    #[test]
+    fn pool_workers_get_split_fault_seeds() {
+        let builder = SimConfig::builder()
+            .nodes(4)
+            .seed(5)
+            .faults(FaultModel::severe(42));
+        let fault_seed_of = |b: &AnyBackend| match b {
+            AnyBackend::Event(sim) => sim.config().faults.seed,
+            AnyBackend::Tick(sim) => sim.config().faults.seed,
+        };
+        let w0 = BackendFactory::build(&builder, 5);
+        let w1 = BackendFactory::build(&builder, 5 ^ 1);
+        assert_ne!(
+            fault_seed_of(&w0),
+            fault_seed_of(&w1),
+            "workers explore independent fault streams"
+        );
+        // Same worker seed → same derived stream (replayable).
+        let w0_again = BackendFactory::build(&builder, 5);
+        assert_eq!(fault_seed_of(&w0), fault_seed_of(&w0_again));
+        // Without faults, the factory leaves the config untouched.
+        let plain = SimConfig::builder().nodes(4);
+        let p = BackendFactory::build(&plain, 99);
+        assert!(fault_seed_of(&p) == 0 && plain.sim_config().faults.is_none());
     }
 
     #[test]

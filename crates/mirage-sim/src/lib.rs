@@ -45,6 +45,7 @@ mod admission;
 pub mod backend;
 pub mod backfill;
 pub mod event;
+pub mod fault;
 pub mod fidelity;
 pub mod metrics;
 pub mod priority;
@@ -56,6 +57,7 @@ pub use backend::{
     AnyBackend, BackendFactory, BackendKind, BackendPool, ClusterBackend, SimBuilder,
 };
 pub use backfill::{plan_schedule, plan_schedule_into, BackfillPolicy, PendingView, PlanScratch};
+pub use fault::{EvictionLog, FaultModel, FaultStats, JobFaults, RetryPolicy};
 pub use fidelity::{compare, run_both, run_both_backends, run_timed, FidelityReport};
 pub use metrics::{ServiceUsage, SimMetrics};
 pub use priority::PriorityWeights;

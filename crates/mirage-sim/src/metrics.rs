@@ -19,6 +19,10 @@ pub struct SimMetrics {
     /// Node-seconds of work done divided by node-seconds available over the
     /// active span.
     pub utilization: f64,
+    /// Jobs that exhausted their retry attempts under fault injection and
+    /// failed terminally. Always 0 without faults.
+    #[serde(default)]
+    pub failed_jobs: usize,
 }
 
 /// Per-service (= per-user) accounting of one simulation run: how much
@@ -120,6 +124,7 @@ impl SimMetrics {
             avg_wait,
             avg_jct,
             utilization,
+            failed_jobs: 0,
         }
     }
 }

@@ -17,11 +17,13 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use mirage_trace::JobRecord;
+use mirage_trace::faults::NodeFaultEvent;
+use mirage_trace::{JobRecord, DAY};
 use serde::{Deserialize, Serialize};
 
 use crate::admission::{prepare_admission, RecentStarts};
 use crate::backfill::{plan_schedule, BackfillPolicy, PendingView};
+use crate::fault::{EvictionLog, FaultModel, FaultStats, JobFaults, RetryPolicy};
 use crate::metrics::{ServiceUsage, SimMetrics};
 use crate::priority::{priority, FairshareTracker, PriorityWeights};
 use crate::simulator::JobStatus;
@@ -42,6 +44,13 @@ pub struct ReferenceConfig {
     pub backfill: BackfillPolicy,
     /// Simulation tick, seconds. Starts happen only on ticks.
     pub tick: i64,
+    /// Fault injection (same model — and for the same seed, the same
+    /// crash tape — as the fast simulator's `SimConfig::faults`).
+    #[serde(default)]
+    pub faults: FaultModel,
+    /// How evicted / failed jobs re-enter the queue.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl ReferenceConfig {
@@ -54,6 +63,8 @@ impl ReferenceConfig {
             backfill_interval: 120,
             backfill: BackfillPolicy::default(),
             tick: 30,
+            faults: FaultModel::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -65,6 +76,7 @@ enum RefStatus {
     Running { start: i64 },
     Done,
     Rejected,
+    Failed { start: i64, end: i64 },
 }
 
 /// Tick-driven Slurm simulator used as the fidelity baseline.
@@ -79,7 +91,20 @@ pub struct ReferenceSimulator {
     /// swap-remove fixups, mirroring the fast simulator's stored slot).
     run_slot: Vec<usize>,
     arrivals: BinaryHeap<Reverse<(i64, usize)>>,
-    completions: BinaryHeap<Reverse<(i64, usize)>>,
+    /// `(end, idx, epoch, is_failure)`: the epoch (attempt number at push)
+    /// drops stale entries for evicted attempts; `is_failure` marks a
+    /// transient mid-run death instead of a clean completion.
+    completions: BinaryHeap<Reverse<(i64, usize, u32, bool)>>,
+    /// Time-sorted crash/recovery tape plus a cursor into it.
+    node_events: Vec<NodeFaultEvent>,
+    next_node_event: usize,
+    down_nodes: u32,
+    fault_stats: FaultStats,
+    evictions_log: EvictionLog,
+    /// Per-job parallel ledgers (arena-indexed like `status`).
+    attempt: Vec<u32>,
+    evicted_at: Vec<i64>,
+    job_faults_v: Vec<JobFaults>,
     pending: Vec<usize>,
     running: Vec<usize>, // arena indices of running jobs (<= nodes entries)
     id_map: HashMap<u64, usize>,
@@ -96,9 +121,12 @@ pub struct ReferenceSimulator {
 }
 
 impl ReferenceSimulator {
-    /// Creates an idle cluster at time 0.
+    /// Creates an idle cluster at time 0. A non-`none` fault model lays
+    /// out its full crash/recovery tape up front (identical to the tape
+    /// the fast simulator derives from the same model and seed).
     pub fn new(cfg: ReferenceConfig) -> Self {
         let free = cfg.nodes;
+        let node_events = cfg.faults.node_schedule(cfg.nodes);
         Self {
             cfg,
             now: 0,
@@ -108,6 +136,14 @@ impl ReferenceSimulator {
             run_slot: Vec::new(),
             arrivals: BinaryHeap::new(),
             completions: BinaryHeap::new(),
+            node_events,
+            next_node_event: 0,
+            down_nodes: 0,
+            fault_stats: FaultStats::default(),
+            evictions_log: EvictionLog::default(),
+            attempt: Vec::new(),
+            evicted_at: Vec::new(),
+            job_faults_v: Vec::new(),
             pending: Vec::new(),
             running: Vec::new(),
             id_map: HashMap::new(),
@@ -157,6 +193,9 @@ impl ReferenceSimulator {
         self.jobs.push(job);
         self.status.push(RefStatus::Future);
         self.run_slot.push(usize::MAX);
+        self.attempt.push(0);
+        self.evicted_at.push(0);
+        self.job_faults_v.push(JobFaults::default());
         self.id_map.insert(id, idx);
         self.arrivals.push(Reverse((submit, idx)));
         id
@@ -177,6 +216,33 @@ impl ReferenceSimulator {
         self.cfg.nodes
     }
 
+    /// Nodes physically available right now (total minus crashed).
+    pub fn available_nodes(&self) -> u32 {
+        self.cfg.nodes - self.down_nodes
+    }
+
+    /// Nodes currently crashed.
+    pub fn down_nodes(&self) -> u32 {
+        self.down_nodes
+    }
+
+    /// Fault evictions within the trailing `window` seconds.
+    pub fn recent_evictions(&self, window: i64) -> u32 {
+        self.evictions_log.count(self.now, window)
+    }
+
+    /// Aggregate fault counters of the run so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Per-job fault ledger by id (zero for unknown ids and untouched jobs).
+    pub fn job_faults(&self, id: u64) -> JobFaults {
+        self.id_map
+            .get(&id)
+            .map_or_else(JobFaults::default, |&i| self.job_faults_v[i])
+    }
+
     /// Simulator configuration.
     pub fn config(&self) -> &ReferenceConfig {
         &self.cfg
@@ -194,6 +260,7 @@ impl ReferenceSimulator {
                 end: self.jobs[idx].end.expect("done jobs have an end"),
             },
             RefStatus::Rejected => JobStatus::Rejected,
+            RefStatus::Failed { start, end } => JobStatus::Failed { start, end },
         })
     }
 
@@ -211,6 +278,8 @@ impl ReferenceSimulator {
         out.now = self.now;
         out.free_nodes = self.free_nodes;
         out.total_nodes = self.cfg.nodes;
+        out.down_nodes = self.down_nodes;
+        out.recent_evictions = self.evictions_log.count(self.now, DAY);
         out.queued.clear();
         out.queued.extend(self.pending.iter().map(|&i| {
             let r = &self.jobs[i];
@@ -281,28 +350,36 @@ impl ReferenceSimulator {
     fn advance_tick(&mut self, tick_end: i64) {
         // Free nodes at exact completion instants (accurate utilization and
         // JCT), but defer any new starts to the tick boundary.
-        while let Some(&Reverse((t, idx))) = self.completions.peek() {
+        while let Some(&Reverse((t, idx, epoch, failed))) = self.completions.peek() {
             if t > tick_end {
                 break;
             }
             self.completions.pop();
-            self.clock_to(t);
-            let start = match self.status[idx] {
-                RefStatus::Running { start } => start,
-                _ => unreachable!("completion for non-running job"),
+            // Evictions strand the old attempt's heap entry; the epoch
+            // stamp identifies and drops it.
+            let RefStatus::Running { start } = self.status[idx] else {
+                continue;
             };
+            if self.attempt[idx] != epoch {
+                continue;
+            }
+            self.clock_to(t);
+            if failed {
+                // Transient mid-run death: evict and maybe retry.
+                self.fault_stats.job_failures += 1;
+                self.evict_running(idx, t);
+                continue;
+            }
+            if self.attempt[idx] > 1 {
+                self.fault_stats.retry_successes += 1;
+            }
             self.status[idx] = RefStatus::Done;
             self.jobs[idx].start = Some(start);
             self.jobs[idx].end = Some(t);
             self.free_nodes += self.jobs[idx].nodes;
             // O(1) removal via the stored running slot (mirrors the fast
             // simulator).
-            let slot = self.run_slot[idx];
-            debug_assert_eq!(self.running[slot], idx, "stale running slot");
-            self.running.swap_remove(slot);
-            if let Some(&moved) = self.running.get(slot) {
-                self.run_slot[moved] = slot;
-            }
+            self.unlink_running(idx);
             // Keep the completion list `(end, id)`-sorted incrementally.
             let id = self.jobs[idx].id;
             self.completed_order.push(idx);
@@ -318,6 +395,43 @@ impl ReferenceSimulator {
             }
             let consumed = f64::from(self.jobs[idx].nodes) * (t - start) as f64;
             self.fairshare.record(self.jobs[idx].user, consumed);
+        }
+        // Crash/recovery tape entries inside this tick. Running them after
+        // the tick's completions is a deliberate coarsening (ticks are the
+        // reference's resolution anyway): a job completing inside the same
+        // tick as a crash escapes eviction.
+        while self.next_node_event < self.node_events.len()
+            && self.node_events[self.next_node_event].time <= tick_end
+        {
+            let ev = self.node_events[self.next_node_event];
+            self.next_node_event += 1;
+            self.clock_to(ev.time);
+            if ev.up {
+                self.fault_stats.node_recoveries += 1;
+                debug_assert!(self.down_nodes > 0, "recovery without a crash");
+                self.down_nodes -= 1;
+                self.free_nodes += 1;
+            } else {
+                self.fault_stats.node_crashes += 1;
+                self.down_nodes += 1;
+                if self.free_nodes > 0 {
+                    self.free_nodes -= 1;
+                } else {
+                    // Same LIFO victim rule as the fast simulator: evict
+                    // the most recently started running job.
+                    let victim = self
+                        .running
+                        .iter()
+                        .copied()
+                        .max_by_key(|&i| match self.status[i] {
+                            RefStatus::Running { start } => (start, self.jobs[i].id),
+                            _ => unreachable!("running list holds only running jobs"),
+                        })
+                        .expect("no free nodes and nothing running on a crash");
+                    self.evict_running(victim, ev.time);
+                    self.free_nodes -= 1;
+                }
+            }
         }
         while let Some(&Reverse((t, idx))) = self.arrivals.peek() {
             if t > tick_end {
@@ -352,8 +466,49 @@ impl ReferenceSimulator {
             return;
         }
         let dt = (t - self.now) as f64;
-        self.busy_node_seconds += f64::from(self.cfg.nodes - self.free_nodes) * dt;
+        self.busy_node_seconds +=
+            f64::from(self.cfg.nodes - self.free_nodes - self.down_nodes) * dt;
         self.now = t;
+    }
+
+    /// O(1) removal from the running list via the stored slot index.
+    fn unlink_running(&mut self, idx: usize) {
+        let slot = self.run_slot[idx];
+        debug_assert_eq!(self.running[slot], idx, "stale running slot");
+        self.running.swap_remove(slot);
+        if let Some(&moved) = self.running.get(slot) {
+            self.run_slot[moved] = slot;
+        }
+    }
+
+    /// Tears a running job down at `t`: frees its nodes, charges the
+    /// partial run to fairshare, then re-queues it under the retry policy
+    /// or fails it terminally — the tick-driven twin of the fast
+    /// simulator's eviction path.
+    fn evict_running(&mut self, idx: usize, t: i64) {
+        let RefStatus::Running { start } = self.status[idx] else {
+            unreachable!("evicting a non-running job");
+        };
+        self.free_nodes += self.jobs[idx].nodes;
+        let consumed = f64::from(self.jobs[idx].nodes) * (t - start) as f64;
+        self.fairshare.record(self.jobs[idx].user, consumed);
+        self.unlink_running(idx);
+        self.job_faults_v[idx].evictions += 1;
+        self.evicted_at[idx] = t;
+        self.fault_stats.evictions += 1;
+        self.evictions_log.record(t);
+        let attempt = self.attempt[idx];
+        if self.cfg.retry.allows(attempt) {
+            self.fault_stats.retries += 1;
+            self.status[idx] = RefStatus::Future;
+            let delay = self.cfg.retry.delay(attempt);
+            self.arrivals.push(Reverse((t + delay, idx)));
+        } else {
+            self.fault_stats.failed_jobs += 1;
+            self.status[idx] = RefStatus::Failed { start, end: t };
+            self.jobs[idx].start = Some(start);
+            self.jobs[idx].end = Some(t);
+        }
     }
 
     fn schedule(&mut self, policy: BackfillPolicy) {
@@ -400,10 +555,12 @@ impl ReferenceSimulator {
                 (start + self.jobs[i].timelimit, self.jobs[i].nodes)
             })
             .collect();
+        // Crashed nodes are invisible to the planner until they recover
+        // (same rule as the fast simulator).
         let starts = plan_schedule(
             &views,
             self.free_nodes,
-            self.cfg.nodes,
+            self.cfg.nodes - self.down_nodes,
             self.now,
             &releases,
             policy,
@@ -416,8 +573,27 @@ impl ReferenceSimulator {
             self.recent_starts
                 .record(self.now, self.now - self.jobs[idx].submit);
             self.free_nodes -= self.jobs[idx].nodes;
+            self.attempt[idx] += 1;
+            if self.attempt[idx] > 1 {
+                // Downtime the eviction inflicted: eviction → restart.
+                self.job_faults_v[idx].downtime += self.now - self.evicted_at[idx];
+            }
             let run = self.jobs[idx].runtime.min(self.jobs[idx].timelimit);
-            self.completions.push(Reverse((self.now + run, idx)));
+            let epoch = self.attempt[idx];
+            // The transient-failure draw is a pure hash of (id, attempt),
+            // so both simulators reach the same verdict for the same
+            // attempt even though their start instants differ.
+            match self.cfg.faults.job_fails(self.jobs[idx].id, epoch) {
+                Some(frac) if run > 0 => {
+                    let at = ((run as f64 * frac).ceil() as i64).clamp(1, run);
+                    self.completions
+                        .push(Reverse((self.now + at, idx, epoch, true)));
+                }
+                _ => {
+                    self.completions
+                        .push(Reverse((self.now + run, idx, epoch, false)));
+                }
+            }
         }
         self.pending.retain(|i| !started.contains(i));
     }
@@ -435,13 +611,15 @@ impl ReferenceSimulator {
     pub fn metrics(&self) -> SimMetrics {
         let completed = self.completed();
         let span = self.now - self.first_submit.unwrap_or(0);
-        SimMetrics::from_completed(
+        let mut m = SimMetrics::from_completed(
             &completed,
             self.rejected,
             self.cfg.nodes,
             self.busy_node_seconds,
             span.max(0),
-        )
+        );
+        m.failed_jobs = self.fault_stats.failed_jobs as usize;
+        m
     }
 
     /// Per-user accounting ledger — the tick-driven twin of
@@ -584,5 +762,69 @@ mod tests {
         let start = j3.start.unwrap();
         assert!((20..2 * HOUR).contains(&start), "backfilled before J1 ends");
         assert_eq!(start % 30, 0, "starts align to scheduler ticks");
+    }
+
+    #[test]
+    fn transient_failure_retries_on_tick_cadence() {
+        let fm = FaultModel {
+            job_fail_prob: 0.5,
+            seed: 7,
+            ..FaultModel::none()
+        };
+        let id = (1..500u64)
+            .find(|&id| fm.job_fails(id, 1).is_some() && fm.job_fails(id, 2).is_none())
+            .expect("some id fails once then succeeds");
+        let mut cfg = ReferenceConfig::new(1);
+        cfg.faults = fm;
+        let mut s = ReferenceSimulator::new(cfg);
+        s.load_trace(&[job(id, 0, 1, HOUR, 2 * HOUR)]);
+        s.run_to_completion();
+        let done = s.completed();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].end.unwrap() > HOUR, "failed attempt delays the end");
+        let stats = s.fault_stats();
+        assert_eq!(stats.job_failures, 1);
+        assert_eq!(stats.retry_successes, 1);
+        assert_eq!(s.job_faults(id).evictions, 1);
+        assert!(s.job_faults(id).downtime > 0);
+        assert_eq!(s.metrics().failed_jobs, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_terminally_on_ticks_too() {
+        let mut cfg = ReferenceConfig::new(1);
+        cfg.faults = FaultModel {
+            job_fail_prob: 1.0,
+            seed: 3,
+            ..FaultModel::none()
+        };
+        cfg.retry.max_attempts = 2;
+        let mut s = ReferenceSimulator::new(cfg);
+        s.load_trace(&[job(1, 0, 1, HOUR, 2 * HOUR)]);
+        s.run_to_completion();
+        assert!(s.completed().is_empty());
+        assert!(matches!(s.job_status(1), Some(JobStatus::Failed { .. })));
+        assert_eq!(s.fault_stats().failed_jobs, 1);
+        assert_eq!(s.metrics().failed_jobs, 1);
+    }
+
+    #[test]
+    fn node_crashes_evict_and_replay_identically_after_reset() {
+        let mut cfg = ReferenceConfig::new(4);
+        cfg.faults = FaultModel::severe(11);
+        let mut s = ReferenceSimulator::new(cfg);
+        let trace: Vec<_> = (0..40u32)
+            .map(|i| job(u64::from(i) + 1, i64::from(i) * 600, 2, 3 * HOUR, 4 * HOUR))
+            .collect();
+        s.load_trace(&trace);
+        s.run_to_completion();
+        let first = (s.completed(), s.fault_stats(), s.metrics());
+        assert!(first.1.node_crashes > 0, "severe model must actually crash");
+        s.reset();
+        s.load_trace(&trace);
+        s.run_to_completion();
+        assert_eq!(s.completed(), first.0, "reset replays the same crashes");
+        assert_eq!(s.fault_stats(), first.1);
+        assert_eq!(s.metrics(), first.2);
     }
 }

@@ -9,12 +9,13 @@
 
 use std::collections::HashMap;
 
-use mirage_trace::JobRecord;
+use mirage_trace::{JobRecord, DAY};
 use serde::{Deserialize, Serialize};
 
 use crate::admission::{prepare_admission, RecentStarts};
 use crate::backfill::{plan_schedule_into, BackfillPolicy, PendingView, PlanScratch};
 use crate::event::{Event, EventKind, EventQueue};
+use crate::fault::{EvictionLog, FaultModel, FaultStats, JobFaults, RetryPolicy};
 use crate::metrics::{ServiceUsage, SimMetrics};
 use crate::priority::{priority, FairshareTracker, PriorityWeights};
 use crate::snapshot::{ClusterSnapshot, QueuedJobView, RunningJobView};
@@ -35,6 +36,13 @@ pub struct SimConfig {
     /// taken in priority order (Slurm's `bf_max_job_test`). Bounds the cost
     /// of a pass when the backlog explodes.
     pub sched_depth: usize,
+    /// Fault injection: node crash/recovery processes and transient job
+    /// failures. [`FaultModel::none`] (the default) injects nothing.
+    #[serde(default)]
+    pub faults: FaultModel,
+    /// How evicted / failed jobs re-enter the queue.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl SimConfig {
@@ -46,6 +54,8 @@ impl SimConfig {
             backfill: BackfillPolicy::default(),
             reject_oversized: true,
             sched_depth: 512,
+            faults: FaultModel::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -71,6 +81,14 @@ pub enum JobStatus {
     },
     /// Rejected (cannot ever fit).
     Rejected,
+    /// Evicted or failed mid-run and out of retry attempts; payload is
+    /// the last attempt's `(start, end)`.
+    Failed {
+        /// Last attempt's dispatch instant.
+        start: i64,
+        /// Instant the last attempt died.
+        end: i64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -80,6 +98,13 @@ struct SimJob {
     /// Index of this job inside `running` while it runs (kept current by
     /// swap-remove fixups), so completion never scans the running list.
     run_slot: usize,
+    /// How many times this job has started (1-based once running; also
+    /// the epoch stamped on its in-flight completion event).
+    attempt: u32,
+    /// Instant of the last eviction (meaningful while awaiting a retry).
+    evicted_at: i64,
+    /// Per-job fault ledger: evictions suffered and service downtime.
+    faults: JobFaults,
 }
 
 /// Event-driven Slurm simulator.
@@ -88,6 +113,10 @@ pub struct Simulator {
     cfg: SimConfig,
     now: i64,
     free_nodes: u32,
+    /// Crashed nodes (capacity the scheduler cannot see until recovery).
+    down_nodes: u32,
+    fault_stats: FaultStats,
+    evictions_log: EvictionLog,
     jobs: Vec<SimJob>,
     id_map: HashMap<u64, usize>,
     pending: Vec<usize>,
@@ -128,13 +157,18 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Creates an idle cluster at time 0.
+    /// Creates an idle cluster at time 0. A non-`none` fault model loads
+    /// its full crash/recovery tape into the event queue up front, so the
+    /// same config (and seed) always replays the same faults.
     pub fn new(cfg: SimConfig) -> Self {
         let free_nodes = cfg.nodes;
-        Self {
+        let mut sim = Self {
             cfg,
             now: 0,
             free_nodes,
+            down_nodes: 0,
+            fault_stats: FaultStats::default(),
+            evictions_log: EvictionLog::default(),
             jobs: Vec::new(),
             id_map: HashMap::new(),
             pending: Vec::new(),
@@ -157,7 +191,16 @@ impl Simulator {
             scratch_releases: Vec::new(),
             scratch_starts: Vec::new(),
             scratch_plan: PlanScratch::default(),
+        };
+        for ev in sim.cfg.faults.node_schedule(sim.cfg.nodes) {
+            let kind = if ev.up {
+                EventKind::NodeUp
+            } else {
+                EventKind::NodeDown
+            };
+            sim.events.push(Event::new(ev.time, kind, ev.node as usize));
         }
+        sim
     }
 
     /// Current simulated time.
@@ -173,6 +216,33 @@ impl Simulator {
     /// Partition size.
     pub fn total_nodes(&self) -> u32 {
         self.cfg.nodes
+    }
+
+    /// Nodes physically available right now (total minus crashed).
+    pub fn available_nodes(&self) -> u32 {
+        self.cfg.nodes - self.down_nodes
+    }
+
+    /// Nodes currently crashed.
+    pub fn down_nodes(&self) -> u32 {
+        self.down_nodes
+    }
+
+    /// Fault evictions within the trailing `window` seconds.
+    pub fn recent_evictions(&self, window: i64) -> u32 {
+        self.evictions_log.count(self.now, window)
+    }
+
+    /// Aggregate fault counters of the run so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Per-job fault ledger by id (zero for unknown ids and untouched jobs).
+    pub fn job_faults(&self, id: u64) -> JobFaults {
+        self.id_map
+            .get(&id)
+            .map_or_else(JobFaults::default, |&i| self.jobs[i].faults)
     }
 
     /// Simulator configuration.
@@ -210,6 +280,9 @@ impl Simulator {
             record: job,
             status: JobStatus::Future,
             run_slot: usize::MAX,
+            attempt: 0,
+            evicted_at: 0,
+            faults: JobFaults::default(),
         });
         self.id_map.insert(id, idx);
         // Steady-state allocation hygiene: every job contributes at most
@@ -225,11 +298,8 @@ impl Simulator {
             self.completed_order
                 .reserve(cap - self.completed_order.len());
         }
-        self.events.push(Event {
-            time: submit,
-            kind: EventKind::Arrival,
-            job: idx,
-        });
+        self.events
+            .push(Event::new(submit, EventKind::Arrival, idx));
         id
     }
 
@@ -249,6 +319,8 @@ impl Simulator {
         out.now = self.now;
         out.free_nodes = self.free_nodes;
         out.total_nodes = self.cfg.nodes;
+        out.down_nodes = self.down_nodes;
+        out.recent_evictions = self.evictions_log.count(self.now, DAY);
         out.queued.clear();
         out.queued.extend(self.pending.iter().map(|&i| {
             let r = &self.jobs[i].record;
@@ -373,6 +445,7 @@ impl Simulator {
             },
             avg_jct: if n == 0 { 0.0 } else { self.jct_sum / n as f64 },
             utilization,
+            failed_jobs: self.fault_stats.failed_jobs as usize,
         }
     }
 
@@ -415,7 +488,8 @@ impl Simulator {
             return;
         }
         let dt = (t - self.now) as f64;
-        self.busy_node_seconds += f64::from(self.cfg.nodes - self.free_nodes) * dt;
+        self.busy_node_seconds +=
+            f64::from(self.cfg.nodes - self.free_nodes - self.down_nodes) * dt;
         self.now = t;
     }
 
@@ -425,7 +499,10 @@ impl Simulator {
         while self.events.peek_time() == Some(t) {
             let ev = self.events.pop().expect("peeked");
             match ev.kind {
-                EventKind::Completion => self.complete_job(ev.job),
+                EventKind::NodeUp => self.node_up(),
+                EventKind::Completion => self.complete_job(ev.job, ev.epoch),
+                EventKind::JobFail => self.fail_job_attempt(ev.job, ev.epoch),
+                EventKind::NodeDown => self.node_down(),
                 EventKind::Arrival => self.arrive_job(ev.job),
             }
         }
@@ -444,12 +521,21 @@ impl Simulator {
         self.pending.push(idx);
     }
 
-    fn complete_job(&mut self, idx: usize) {
+    fn complete_job(&mut self, idx: usize, epoch: u32) {
         let now = self.now;
         let job = &mut self.jobs[idx];
+        // An eviction strands the old attempt's in-flight completion event;
+        // the epoch stamp identifies it so a re-queued attempt is not
+        // completed early by its predecessor's ghost.
         let JobStatus::Running { start } = job.status else {
-            unreachable!("completion event for non-running job");
+            return;
         };
+        if job.attempt != epoch {
+            return;
+        }
+        if job.attempt > 1 {
+            self.fault_stats.retry_successes += 1;
+        }
         job.status = JobStatus::Completed { start, end: now };
         job.record.start = Some(start);
         job.record.end = Some(now);
@@ -498,17 +584,121 @@ impl Simulator {
         debug_assert!(matches!(job.status, JobStatus::Pending));
         self.recent_starts.record(now, now - job.record.submit);
         job.status = JobStatus::Running { start: now };
+        job.attempt += 1;
+        if job.attempt > 1 {
+            // Downtime the eviction inflicted: eviction instant → restart.
+            job.faults.downtime += now - job.evicted_at;
+        }
         self.free_nodes -= job.record.nodes;
         // Jobs are killed at their wall-clock limit.
         let run = job.record.runtime.min(job.record.timelimit);
-        let end = now + run;
+        let ev = match self.cfg.faults.job_fails(job.record.id, job.attempt) {
+            Some(frac) if run > 0 => {
+                // Transient mid-run death at a deterministic fraction of
+                // the runtime — strictly before the clean completion.
+                let at = ((run as f64 * frac).ceil() as i64).clamp(1, run);
+                Event {
+                    time: now + at,
+                    kind: EventKind::JobFail,
+                    job: idx,
+                    epoch: job.attempt,
+                }
+            }
+            _ => Event {
+                time: now + run,
+                kind: EventKind::Completion,
+                job: idx,
+                epoch: job.attempt,
+            },
+        };
         job.run_slot = self.running.len();
         self.running.push(idx);
-        self.events.push(Event {
-            time: end,
-            kind: EventKind::Completion,
-            job: idx,
-        });
+        self.events.push(ev);
+    }
+
+    /// A crashed node recovered.
+    fn node_up(&mut self) {
+        self.fault_stats.node_recoveries += 1;
+        debug_assert!(self.down_nodes > 0, "recovery without a crash");
+        self.down_nodes -= 1;
+        self.free_nodes += 1;
+    }
+
+    /// A node crashed. An idle node absorbs the crash silently; otherwise
+    /// the most recently started running job (LIFO victim rule — the
+    /// least sunk work) is evicted and one of its freed nodes marked down.
+    fn node_down(&mut self) {
+        self.fault_stats.node_crashes += 1;
+        self.down_nodes += 1;
+        if self.free_nodes > 0 {
+            self.free_nodes -= 1;
+            return;
+        }
+        let victim = self
+            .running
+            .iter()
+            .copied()
+            .max_by_key(|&i| match self.jobs[i].status {
+                JobStatus::Running { start } => (start, self.jobs[i].record.id),
+                _ => unreachable!("running list holds only running jobs"),
+            });
+        let Some(victim) = victim else {
+            unreachable!("no free nodes and nothing running on a crash");
+        };
+        self.evict_job(victim);
+        self.free_nodes -= 1;
+    }
+
+    /// A running attempt died mid-run (transient failure). Stale events
+    /// from already-evicted attempts are dropped via the epoch stamp.
+    fn fail_job_attempt(&mut self, idx: usize, epoch: u32) {
+        let job = &self.jobs[idx];
+        if !matches!(job.status, JobStatus::Running { .. }) || job.attempt != epoch {
+            return;
+        }
+        self.fault_stats.job_failures += 1;
+        self.evict_job(idx);
+    }
+
+    /// Tears a running job down mid-run: frees its nodes, charges the
+    /// partial run to fairshare, then either re-queues it under the retry
+    /// policy's backoff or fails it terminally.
+    fn evict_job(&mut self, idx: usize) {
+        let now = self.now;
+        let job = &mut self.jobs[idx];
+        let JobStatus::Running { start } = job.status else {
+            unreachable!("evicting a non-running job");
+        };
+        self.free_nodes += job.record.nodes;
+        let consumed = f64::from(job.record.nodes) * (now - start) as f64;
+        self.fairshare.record(job.record.user, consumed);
+        job.faults.evictions += 1;
+        job.evicted_at = now;
+        let attempt = job.attempt;
+
+        let slot = job.run_slot;
+        debug_assert_eq!(self.running[slot], idx, "stale running slot");
+        self.running.swap_remove(slot);
+        if let Some(&moved) = self.running.get(slot) {
+            self.jobs[moved].run_slot = slot;
+        }
+
+        self.fault_stats.evictions += 1;
+        self.evictions_log.record(now);
+
+        let job = &mut self.jobs[idx];
+        if self.cfg.retry.allows(attempt) {
+            self.fault_stats.retries += 1;
+            job.status = JobStatus::Future;
+            let delay = self.cfg.retry.delay(attempt);
+            self.events
+                .push(Event::new(now + delay, EventKind::Arrival, idx));
+        } else {
+            self.fault_stats.failed_jobs += 1;
+            job.status = JobStatus::Failed { start, end: now };
+            job.record.start = Some(start);
+            job.record.end = Some(now);
+        }
     }
 
     /// One scheduling pass: priority ordering + backfill plan + starts.
@@ -572,10 +762,14 @@ impl Simulator {
         }));
 
         let mut starts = std::mem::take(&mut self.scratch_starts);
+        // The planner sees only physically available capacity: crashed
+        // nodes cannot host a reservation until they recover. Priority and
+        // fairshare above keep the nominal partition size, matching how
+        // Slurm's multifactor weights stay fixed across drained nodes.
         plan_schedule_into(
             &self.scratch_views,
             self.free_nodes,
-            self.cfg.nodes,
+            self.cfg.nodes - self.down_nodes,
             self.now,
             &self.scratch_releases,
             self.cfg.backfill,
@@ -835,5 +1029,147 @@ mod tests {
         assert!(s.is_active());
         s.run_to_completion();
         assert!(!s.is_active());
+    }
+
+    #[test]
+    fn node_crash_and_recovery_track_capacity() {
+        let mut s = sim(2);
+        s.events.push(Event::new(10, EventKind::NodeDown, 0));
+        s.events.push(Event::new(20, EventKind::NodeUp, 0));
+        s.run_until(15);
+        assert_eq!(s.down_nodes(), 1);
+        assert_eq!(s.free_nodes(), 1);
+        assert_eq!(s.available_nodes(), 1);
+        let snap = s.sample();
+        assert_eq!(snap.down_nodes, 1);
+        assert_eq!(snap.busy_nodes(), 0, "idle node absorbed the crash");
+        s.run_until(25);
+        assert_eq!(s.down_nodes(), 0);
+        assert_eq!(s.free_nodes(), 2);
+        let stats = s.fault_stats();
+        assert_eq!((stats.node_crashes, stats.node_recoveries), (1, 1));
+        assert_eq!(stats.evictions, 0, "nothing was running");
+    }
+
+    #[test]
+    fn crash_evicts_running_job_which_retries_after_recovery() {
+        let mut s = sim(1);
+        s.load_trace(&[job(1, 0, 1, HOUR, 2 * HOUR)]);
+        s.events.push(Event::new(100, EventKind::NodeDown, 0));
+        s.events.push(Event::new(200, EventKind::NodeUp, 0));
+        s.run_to_completion();
+        // Evicted at 100, re-queued at 100 + 60 s backoff, but no capacity
+        // until the node recovers at 200 — so the retry starts at 200 and
+        // runs its full hour.
+        let done = s.completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].start, Some(200));
+        assert_eq!(done[0].end, Some(200 + HOUR));
+        assert_eq!(done[0].submit, 0, "retry keeps the original submit");
+        let stats = s.fault_stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.retry_successes, 1);
+        assert_eq!(stats.failed_jobs, 0);
+        let jf = s.job_faults(1);
+        assert_eq!(jf.evictions, 1);
+        assert_eq!(jf.downtime, 100, "evicted at 100, restarted at 200");
+        assert_eq!(s.recent_evictions(DAY), 1);
+    }
+
+    #[test]
+    fn transient_failure_retries_and_completes() {
+        // Pick a job id whose first attempt dies but whose second survives,
+        // so the retry path ends in a completion.
+        let fm = FaultModel {
+            job_fail_prob: 0.5,
+            seed: 7,
+            ..FaultModel::none()
+        };
+        let id = (1..500u64)
+            .find(|&id| fm.job_fails(id, 1).is_some() && fm.job_fails(id, 2).is_none())
+            .expect("some id fails once then succeeds");
+        let mut cfg = SimConfig::new(1);
+        cfg.faults = fm;
+        let mut s = Simulator::new(cfg);
+        s.load_trace(&[job(id, 0, 1, HOUR, 2 * HOUR)]);
+        s.run_to_completion();
+        let done = s.completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        let end = done[0].end.unwrap();
+        assert!(end > HOUR, "a failed first attempt must delay completion");
+        let stats = s.fault_stats();
+        assert_eq!(stats.job_failures, 1);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.retry_successes, 1);
+        assert_eq!(s.metrics().failed_jobs, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_terminally() {
+        let mut cfg = SimConfig::new(1);
+        cfg.faults = FaultModel {
+            job_fail_prob: 1.0, // every attempt dies mid-run
+            seed: 3,
+            ..FaultModel::none()
+        };
+        cfg.retry.max_attempts = 2;
+        let mut s = Simulator::new(cfg);
+        s.load_trace(&[job(1, 0, 1, HOUR, 2 * HOUR)]);
+        s.run_to_completion();
+        assert!(s.completed().is_empty());
+        assert!(matches!(s.job_status(1), Some(JobStatus::Failed { .. })));
+        let stats = s.fault_stats();
+        assert_eq!(stats.evictions, 2, "both attempts died");
+        assert_eq!(stats.retries, 1, "only the first eviction may retry");
+        assert_eq!(stats.failed_jobs, 1);
+        assert_eq!(s.metrics().failed_jobs, 1);
+        assert_eq!(s.job_faults(1).evictions, 2);
+    }
+
+    #[test]
+    fn crash_victim_is_the_most_recently_started_job() {
+        // Two 1-node jobs; the second starts later. A crash at t=100 must
+        // evict the late starter (least sunk work), not the early one.
+        let mut s = sim(2);
+        s.load_trace(&[job(1, 0, 1, HOUR, 2 * HOUR), job(2, 50, 1, HOUR, 2 * HOUR)]);
+        s.events.push(Event::new(100, EventKind::NodeDown, 0));
+        s.events.push(Event::new(150, EventKind::NodeUp, 0));
+        s.run_to_completion();
+        assert_eq!(s.job_faults(1).evictions, 0);
+        assert_eq!(s.job_faults(2).evictions, 1);
+        let done = s.completed();
+        let j1 = done.iter().find(|j| j.id == 1).unwrap();
+        assert_eq!(j1.end, Some(HOUR), "survivor is undisturbed");
+    }
+
+    #[test]
+    fn faultless_config_leaves_event_queue_empty() {
+        let s = sim(8);
+        assert!(s.events.is_empty(), "FaultModel::none() loads no tape");
+        assert_eq!(s.fault_stats(), FaultStats::default());
+        assert_eq!(s.available_nodes(), 8);
+        assert_eq!(s.recent_evictions(DAY), 0);
+    }
+
+    #[test]
+    fn fault_schedule_survives_reset() {
+        let mut cfg = SimConfig::new(4);
+        cfg.faults = FaultModel::severe(11);
+        let mut a = Simulator::new(cfg.clone());
+        let trace: Vec<_> = (0..40u32)
+            .map(|i| job(u64::from(i) + 1, i64::from(i) * 600, 2, 3 * HOUR, 4 * HOUR))
+            .collect();
+        a.load_trace(&trace);
+        a.run_to_completion();
+        let first = (a.completed(), a.fault_stats(), a.metrics());
+        a.reset();
+        a.load_trace(&trace);
+        a.run_to_completion();
+        assert_eq!(a.completed(), first.0, "reset replays the same crashes");
+        assert_eq!(a.fault_stats(), first.1);
+        assert_eq!(a.metrics(), first.2);
+        assert!(first.1.node_crashes > 0, "severe model must actually crash");
     }
 }

@@ -53,6 +53,14 @@ pub struct ClusterSnapshot {
     pub free_nodes: u32,
     /// Partition size.
     pub total_nodes: u32,
+    /// Nodes currently crashed (invisible to the scheduler until they
+    /// recover). 0 without fault injection.
+    #[serde(default)]
+    pub down_nodes: u32,
+    /// Fault evictions recorded in the trailing 24 h. 0 without fault
+    /// injection.
+    #[serde(default)]
+    pub recent_evictions: u32,
     /// Pending jobs (unordered).
     pub queued: Vec<QueuedJobView>,
     /// Running jobs (unordered).
@@ -60,9 +68,14 @@ pub struct ClusterSnapshot {
 }
 
 impl ClusterSnapshot {
-    /// Nodes currently allocated.
+    /// Nodes currently allocated (crashed nodes hold no allocations).
     pub fn busy_nodes(&self) -> u32 {
-        self.total_nodes - self.free_nodes
+        self.total_nodes - self.free_nodes - self.down_nodes
+    }
+
+    /// Nodes physically available right now (total minus crashed).
+    pub fn available_nodes(&self) -> u32 {
+        self.total_nodes - self.down_nodes
     }
 
     /// Instantaneous utilization in `[0, 1]`.
@@ -90,6 +103,8 @@ mod tests {
             now: 100,
             free_nodes: 2,
             total_nodes: 8,
+            down_nodes: 0,
+            recent_evictions: 0,
             queued: vec![
                 QueuedJobView {
                     id: 1,
@@ -121,10 +136,27 @@ mod tests {
             now: 0,
             free_nodes: 0,
             total_nodes: 0,
+            down_nodes: 0,
+            recent_evictions: 0,
             queued: vec![],
             running: vec![],
         };
         assert_eq!(snap.utilization(), 0.0);
         assert_eq!(snap.queued_nodes(), 0);
+    }
+
+    #[test]
+    fn down_nodes_shrink_busy_and_available_counts() {
+        let snap = ClusterSnapshot {
+            now: 0,
+            free_nodes: 2,
+            total_nodes: 8,
+            down_nodes: 3,
+            recent_evictions: 1,
+            queued: vec![],
+            running: vec![],
+        };
+        assert_eq!(snap.available_nodes(), 5);
+        assert_eq!(snap.busy_nodes(), 3, "8 total − 2 idle − 3 crashed");
     }
 }

@@ -19,6 +19,7 @@
 
 pub mod clean;
 pub mod cluster;
+pub mod faults;
 pub mod job;
 pub mod parse;
 pub mod seed;
@@ -30,9 +31,10 @@ pub mod traffic;
 
 pub use clean::{clean_trace, CleanReport};
 pub use cluster::ClusterProfile;
+pub use faults::{fault_schedule, NodeFaultEvent};
 pub use job::JobRecord;
 pub use parse::{parse_sacct, to_sacct, ParseError};
-pub use seed::{split_seed, SeedSplitter};
+pub use seed::{split_seed, splitmix64, SeedSplitter};
 pub use split::{split_by_count, split_by_time, TraceSplit};
 pub use stats::TraceSummary;
 pub use synth::{service_generators, SynthConfig, TraceGenerator};

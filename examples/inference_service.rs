@@ -40,6 +40,7 @@ fn main() {
             history_k: 12,
             warmup: 4 * DAY,
             pair_user: 77777,
+            fault_features: false,
         },
         offline_episodes: 12,
         ..TrainConfig::default()

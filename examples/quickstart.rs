@@ -52,6 +52,7 @@ fn main() {
         history_k: 8,
         warmup: 3 * DAY,
         pair_user: 9999,
+        fault_features: false,
     };
     let t0 = 14 * DAY;
     let reactive = run_episode(&mut backend, &jobs, &ecfg, t0, |_| Action::Wait);
