@@ -53,11 +53,22 @@
 //! `chaos_*` JSON fields. The severe lane must actually inject — ≥ 1
 //! eviction and ≥ 1 successful backoff retry are asserted, so a silently
 //! disarmed fault model fails the bench instead of logging zeros.
+//!
+//! The **resilience** lane drills the crash-safe runtime end to end: a
+//! checkpointed online-DQN run halts at a chunk boundary, the checkpoint
+//! is round-tripped (size + save/load cost recorded), and the run is
+//! resumed to completion; a NaN-poisoned net behind `GuardedPolicy` must
+//! degrade every decision to the fallback (counted); and a seeded
+//! `PanicPlan` crashes pool tasks that supervision must retry to a
+//! result-identical finish. The counters land in the `resilience_*` JSON
+//! fields, and a lane that fails to inject (zero fallbacks or zero
+//! recovered panics) fails the bench.
 
 use std::time::Instant;
 
 use mirage_bench::quick_mode;
 use mirage_core::chaos::{evaluate_chaos, ChaosConfig, ChaosReport, ChaosSeverity};
+use mirage_core::checkpoint::{CheckpointConfig, DqnTrainCheckpoint};
 use mirage_core::episode::{run_episode, Action, EpisodeConfig};
 use mirage_core::multiservice::{
     bursty_scenario, diurnal_scenario, evaluate_multiservice, GreedyPerServicePolicy,
@@ -69,17 +80,20 @@ use mirage_core::state::{
     EncoderScratch, PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS,
 };
 use mirage_core::train::{
-    dqn_episode_seed, episode_window, sample_episode_starts, train_dqn_online_traced, OfflineData,
-    TrainConfig,
+    dqn_episode_seed, episode_window, sample_episode_starts, train_dqn_online_checkpointed,
+    train_dqn_online_traced, OfflineData, TrainConfig,
 };
 use mirage_nn::foundation::FoundationKind;
 use mirage_nn::transformer::TransformerConfig;
 use mirage_nn::{Matrix, Scratch};
 use mirage_rl::{
     ActionEncoding, BalancedReplay, BatchInferCache, DqnAgent, DqnConfig, DualHeadConfig,
-    DualHeadNet, Experience, ExploreLane,
+    DualHeadNet, Experience, ExploreLane, GuardedPolicy,
 };
-use mirage_sim::{BackendKind, ClusterSnapshot, FaultStats, SimConfig, Simulator};
+use mirage_sim::{
+    AnyBackend, BackendKind, BackendPool, ClusterBackend, ClusterSnapshot, FaultStats, PanicPlan,
+    SimConfig, Simulator,
+};
 use mirage_trace::{
     clean_trace, ClusterProfile, JobRecord, SynthConfig, TraceGenerator, DAY, HOUR,
 };
@@ -663,6 +677,143 @@ fn chaos_lane(quick: bool) -> (ChaosReport, f64) {
     (report, t.elapsed().as_secs_f64())
 }
 
+/// Counters and costs of the resilience drill (`resilience_*` fields).
+struct ResilienceStats {
+    checkpoint_bytes: u64,
+    checkpoint_save_ms: f64,
+    checkpoint_load_ms: f64,
+    guard_fallbacks: u64,
+    pool_recovered_panics: u64,
+    pool_retries: u64,
+}
+
+/// Resilience lane: (1) a checkpointed online-DQN run halts at a chunk
+/// boundary, the checkpoint file is round-tripped with save/load timed,
+/// and the run resumes to completion; (2) a NaN-poisoned net behind
+/// `GuardedPolicy` must degrade every decision to the fallback action;
+/// (3) a seeded `PanicPlan` crashes supervised pool tasks that must be
+/// retried to a result-identical finish.
+fn resilience_lane(quick: bool) -> ResilienceStats {
+    let episodes = if quick { 4 } else { 8 };
+    // Thin hourly background load over 10 days (shared by the training
+    // run and the pool drill).
+    let trace: Vec<JobRecord> = (0..10 * 24)
+        .map(|i| {
+            JobRecord::new(
+                i as u64 + 1,
+                format!("bg{i}"),
+                (i % 5) as u32,
+                i * HOUR,
+                1 + (i % 3) as u32,
+                6 * HOUR,
+                3 * HOUR,
+            )
+        })
+        .collect();
+    let cfg = TrainConfig {
+        online_episodes: episodes,
+        collect_lanes: Some(2),
+        updates_per_episode: 1,
+        episode: EpisodeConfig {
+            pair_nodes: 1,
+            pair_timelimit: 6 * HOUR,
+            pair_runtime: 6 * HOUR,
+            decision_interval: 30 * 60,
+            history_k: 4,
+            warmup: DAY,
+            pair_user: 999,
+            fault_features: false,
+        },
+        ..TrainConfig::default()
+    };
+    let starts = sample_episode_starts(0, 10 * DAY, &cfg.episode, 4, 7);
+    let net = || {
+        DualHeadNet::new(DualHeadConfig::small(
+            FoundationKind::Transformer,
+            STATE_VARS,
+            4,
+            5,
+        ))
+    };
+    let pool = SimConfig::builder()
+        .nodes(4)
+        .backend(BackendKind::Pooled { workers: 2 })
+        .build_pool();
+    let warm = OfflineData::default();
+    let path = std::env::temp_dir().join(format!(
+        "mirage_bench_resilience_{}.ckpt",
+        std::process::id()
+    ));
+    let mut ck = CheckpointConfig::every(&path, 2);
+    ck.halt_after = Some(2);
+    let halted =
+        train_dqn_online_checkpointed(net(), &pool, &trace, &cfg, &starts, &warm, &ck, None)
+            .expect("checkpointed bench run");
+    assert!(halted.halted, "halt_after must stop at the boundary");
+    let checkpoint_bytes = std::fs::metadata(&path).expect("checkpoint written").len();
+    let t = Instant::now();
+    let loaded = DqnTrainCheckpoint::load(&path).expect("load checkpoint");
+    let checkpoint_load_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    loaded.save(&path).expect("re-save checkpoint");
+    let checkpoint_save_ms = t.elapsed().as_secs_f64() * 1e3;
+    let resumed = train_dqn_online_checkpointed(
+        net(),
+        &pool,
+        &trace,
+        &cfg,
+        &starts,
+        &warm,
+        &CheckpointConfig::every(&path, 2),
+        Some(&path),
+    )
+    .expect("resumed bench run");
+    assert_eq!(resumed.episodes.len(), episodes, "resume completes the run");
+    let _ = std::fs::remove_file(&path);
+
+    // Guarded inference: a NaN-poisoned net (a corrupted checkpoint or
+    // diverged update, as inference sees it) must never leak a garbage
+    // action — every decision degrades to wait and is counted.
+    let mut poisoned = net();
+    let ids: Vec<_> = poisoned.ps.iter().map(|(id, _)| id).collect();
+    for id in ids {
+        for v in poisoned.ps.get_mut(id).data_mut() {
+            *v = f32::NAN;
+        }
+    }
+    let mut guard = GuardedPolicy::new(DqnAgent::new(poisoned, DqnConfig::default()));
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+    let state = Matrix::xavier(4, STATE_VARS, &mut rng);
+    for _ in 0..16 {
+        assert_eq!(guard.act_greedy(&state), 0, "poisoned net must fall back");
+    }
+    let guard_fallbacks = guard.stats().fallbacks;
+
+    // Supervised pool: seeded panics mid-map must be recovered (backend
+    // rebuilt, task retried) without perturbing the results.
+    let builder = SimConfig::builder().nodes(4).seed(9);
+    let tasks: Vec<i64> = (0..12).map(|i| (i + 1) * HOUR).collect();
+    let run = |backend: &mut AnyBackend, &t: &i64| {
+        backend.reset_with(&trace);
+        backend.run_until(t);
+        backend.completed().len()
+    };
+    let clean = BackendPool::with_seed(builder.clone(), 4, 9).map(&tasks, run);
+    let mut supervised_pool = BackendPool::with_seed(builder, 4, 9);
+    supervised_pool.inject_panics(PanicPlan::seeded(77, tasks.len(), 3));
+    let supervised = supervised_pool.map(&tasks, run);
+    assert_eq!(clean, supervised, "supervision must not perturb results");
+    let health = supervised_pool.health();
+    ResilienceStats {
+        checkpoint_bytes,
+        checkpoint_save_ms,
+        checkpoint_load_ms,
+        guard_fallbacks,
+        pool_recovered_panics: health.panics,
+        pool_retries: health.retries,
+    }
+}
+
 /// Renders one severity lane into `chaos_*` JSON fields (trailing-comma
 /// style: each field ends `,\n` so the block splices before a fixed key).
 fn chaos_json_fields(report: &ChaosReport) -> String {
@@ -853,6 +1004,20 @@ fn main() {
     );
     let chaos_fields = chaos_json_fields(&chaos_report);
 
+    // Resilience lane: checkpoint round-trip + guarded fallback + pool
+    // supervision, each asserted to have actually fired.
+    let res = resilience_lane(quick);
+    assert!(
+        res.checkpoint_bytes > 0 && res.guard_fallbacks >= 1,
+        "resilience lane failed to exercise checkpoint/guard paths"
+    );
+    assert!(
+        res.pool_recovered_panics >= 1 && res.pool_recovered_panics == res.pool_retries,
+        "every injected first-attempt panic must be recovered via a retry: {}/{}",
+        res.pool_recovered_panics,
+        res.pool_retries
+    );
+
     let (fwd_before, fwd_after) = forward_ns(&net, forward_reps);
     let events_per_sec = sim_events_per_sec(&jobs, profile.nodes);
     let speedup = after.decisions_per_sec / before.decisions_per_sec;
@@ -876,7 +1041,7 @@ fn main() {
         None => String::new(),
     };
     let json = format!(
-        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic traces, {} decisions at {}s cadence, k={}; batched: {} lanes x {} lockstep ticks; training: {} online DQN episodes (48h pairs, light synthetic load), pre-refactor sequential loop vs {} lockstep lanes; multiservice: {} services x {} episodes on a shared {}-node cluster, diurnal+bursty, DQN vs 3 heuristics; chaos: RL vs reactive, {} episodes/severity (none|moderate|severe) on identically seeded fault tapes\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"decisions_per_sec_lanes_unbatched\": {:.1},\n  \"decisions_per_sec_batched\": {:.1},\n  \"batch_width\": {},\n  \"workers\": {},\n  \"speedup\": {:.2},\n  \"speedup_batched\": {:.2},\n  \"training_decisions_per_sec_sequential\": {:.1},\n  \"training_decisions_per_sec_batched\": {:.1},\n  \"training_batch_width\": {},\n  \"speedup_training\": {:.2},\n  \"multiservice_services\": {},\n  \"multiservice_episodes\": {},\n  \"multiservice_decisions_per_sec\": {:.1},\n  \"multiservice_diurnal_rl_reward\": {:.3},\n  \"multiservice_diurnal_rl_interruption_h\": {:.3},\n  \"multiservice_diurnal_uniform_share_reward\": {:.3},\n  \"multiservice_diurnal_greedy_per_service_reward\": {:.3},\n  \"multiservice_diurnal_shortest_queue_reward\": {:.3},\n  \"multiservice_bursty_rl_reward\": {:.3},\n  \"multiservice_bursty_rl_interruption_h\": {:.3},\n  \"multiservice_bursty_uniform_share_reward\": {:.3},\n  \"multiservice_bursty_greedy_per_service_reward\": {:.3},\n  \"multiservice_bursty_shortest_queue_reward\": {:.3},\n  \"chaos_episodes\": {},\n  \"chaos_eval_secs\": {:.2},\n{}  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_decision_batched\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
+        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic traces, {} decisions at {}s cadence, k={}; batched: {} lanes x {} lockstep ticks; training: {} online DQN episodes (48h pairs, light synthetic load), pre-refactor sequential loop vs {} lockstep lanes; multiservice: {} services x {} episodes on a shared {}-node cluster, diurnal+bursty, DQN vs 3 heuristics; chaos: RL vs reactive, {} episodes/severity (none|moderate|severe) on identically seeded fault tapes\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"decisions_per_sec_lanes_unbatched\": {:.1},\n  \"decisions_per_sec_batched\": {:.1},\n  \"batch_width\": {},\n  \"workers\": {},\n  \"speedup\": {:.2},\n  \"speedup_batched\": {:.2},\n  \"training_decisions_per_sec_sequential\": {:.1},\n  \"training_decisions_per_sec_batched\": {:.1},\n  \"training_batch_width\": {},\n  \"speedup_training\": {:.2},\n  \"multiservice_services\": {},\n  \"multiservice_episodes\": {},\n  \"multiservice_decisions_per_sec\": {:.1},\n  \"multiservice_diurnal_rl_reward\": {:.3},\n  \"multiservice_diurnal_rl_interruption_h\": {:.3},\n  \"multiservice_diurnal_uniform_share_reward\": {:.3},\n  \"multiservice_diurnal_greedy_per_service_reward\": {:.3},\n  \"multiservice_diurnal_shortest_queue_reward\": {:.3},\n  \"multiservice_bursty_rl_reward\": {:.3},\n  \"multiservice_bursty_rl_interruption_h\": {:.3},\n  \"multiservice_bursty_uniform_share_reward\": {:.3},\n  \"multiservice_bursty_greedy_per_service_reward\": {:.3},\n  \"multiservice_bursty_shortest_queue_reward\": {:.3},\n  \"chaos_episodes\": {},\n  \"chaos_eval_secs\": {:.2},\n{}  \"resilience_checkpoint_bytes\": {},\n  \"resilience_checkpoint_save_ms\": {:.2},\n  \"resilience_checkpoint_load_ms\": {:.2},\n  \"resilience_guard_fallbacks\": {},\n  \"resilience_pool_recovered_panics\": {},\n  \"resilience_pool_retries\": {},\n  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_decision_batched\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
         quick,
         profile.name,
         decisions,
@@ -918,6 +1083,12 @@ fn main() {
         chaos_episodes,
         chaos_secs,
         chaos_fields,
+        res.checkpoint_bytes,
+        res.checkpoint_save_ms,
+        res.checkpoint_load_ms,
+        res.guard_fallbacks,
+        res.pool_recovered_panics,
+        res.pool_retries,
         before.ns_per_decision,
         after.ns_per_decision,
         batched.ns_per_decision,
@@ -929,7 +1100,7 @@ fn main() {
     std::fs::write(OUT_PATH, &json).expect("write bench output");
     print!("{json}");
     eprintln!(
-        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); batched x{batch}: {:.0}/s ({speedup_batched:.2}x over single); training: {:.0}/s -> {:.0}/s ({speedup_training:.2}x, x{train_batch} lanes); multiservice x{ms_services}: {:.0} dec/s, diurnal dqn {:.2} vs greedy {:.2}; chaos severe: {} evictions, {} retried-to-completion; forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
+        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); batched x{batch}: {:.0}/s ({speedup_batched:.2}x over single); training: {:.0}/s -> {:.0}/s ({speedup_training:.2}x, x{train_batch} lanes); multiservice x{ms_services}: {:.0} dec/s, diurnal dqn {:.2} vs greedy {:.2}; chaos severe: {} evictions, {} retried-to-completion; resilience: ckpt {}B save {:.1}ms load {:.1}ms, {} guard fallbacks, {} recovered pool panics; forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
         before.decisions_per_sec,
         after.decisions_per_sec,
         batched.decisions_per_sec,
@@ -940,6 +1111,11 @@ fn main() {
         ms_method(&ms_diurnal, "greedy-per-service").mean_reward,
         chaos_severe.faults.evictions,
         chaos_severe.faults.retry_successes,
+        res.checkpoint_bytes,
+        res.checkpoint_save_ms,
+        res.checkpoint_load_ms,
+        res.guard_fallbacks,
+        res.pool_recovered_panics,
         fwd_before,
         fwd_after,
         events_per_sec

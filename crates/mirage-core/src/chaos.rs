@@ -110,6 +110,12 @@ pub struct ChaosMethodSummary {
     pub avg_fault_interruption_h: f64,
     /// Fraction of episodes with zero interruption of either kind.
     pub zero_interruption_frac: f64,
+    /// Total guard fallbacks across the lane's episodes: decisions
+    /// where a guarded policy's network emitted a non-finite or
+    /// degenerate output and degraded to the heuristic. Non-zero means
+    /// the method survived this lane on its fallback, not its network.
+    #[serde(default)]
+    pub guard_fallbacks: u64,
 }
 
 /// One severity's lane: per-method summaries plus the fault totals the
@@ -158,6 +164,7 @@ struct MethodAccum {
     fault_h: f64,
     zero: usize,
     episodes: usize,
+    guard_fallbacks: u64,
 }
 
 fn add_stats(total: &mut FaultStats, run: &FaultStats) {
@@ -200,11 +207,14 @@ pub fn evaluate_chaos(
             let window = episode_window(trace, t0, &cfg.episode);
             for (m, acc) in methods.iter_mut().zip(accums.iter_mut()) {
                 m.reset();
-                let result =
+                let fallbacks_before = m.guard_fallbacks();
+                let mut result =
                     run_episode(&mut backend, window, &cfg.episode, t0, |ctx| m.decide(ctx));
                 // `run_episode` resets the backend on entry, so the
                 // counters reflect exactly this run.
                 add_stats(&mut faults, &backend.fault_stats());
+                result.outcome.guard_fallbacks = m.guard_fallbacks() - fallbacks_before;
+                acc.guard_fallbacks += result.outcome.guard_fallbacks;
                 let o = &result.outcome;
                 acc.reward += f64::from(cfg.shaper.reward(o));
                 acc.interruption_h += (o.interruption + o.fault_interruption) as f64 / 3600.0;
@@ -227,6 +237,7 @@ pub fn evaluate_chaos(
                     avg_interruption_h: acc.interruption_h / n,
                     avg_fault_interruption_h: acc.fault_h / n,
                     zero_interruption_frac: acc.zero as f64 / n,
+                    guard_fallbacks: acc.guard_fallbacks,
                 }
             })
             .collect();

@@ -1,0 +1,818 @@
+//! Crash-safe training checkpoints: full online-training state snapshots
+//! on a configurable cadence, resumable bit for bit.
+//!
+//! A checkpoint captures **everything** the online loops thread through
+//! an episode chunk — network parameters, Adam moments, the replay rings
+//! (DQN) or pending REINFORCE batch (PG), the replay-sampling RNG
+//! stream, the global ε clock (`agent.steps`) and the episode counter —
+//! so `resume_from` continues the exact run the crash interrupted:
+//! resume-at-episode-*k* is bit-identical to the uninterrupted run
+//! (weights, replay contents and episode outcomes), pinned by
+//! `tests/crash_resume.rs` in the same style as the lockstep pins.
+//!
+//! # What is *not* stored, and why that is sound
+//!
+//! Checkpoints are written only at **chunk boundaries** of the lockstep
+//! [`BatchedCollector`](crate::trainloop::BatchedCollector). At a
+//! boundary every per-lane exploration stream is dead: lanes are rebuilt
+//! fresh at the top of each chunk from
+//! `ExploreLane::seeded(dqn_episode_seed(cfg.seed, i), agent.steps)`
+//! (and the PG analogue), i.e. they are a pure function of the config
+//! seed, the episode ordinal and the saved ε clock. Persisting the
+//! episode counter and `agent.steps` therefore persists the per-lane RNG
+//! streams *by construction* — no mid-episode lane state exists to lose.
+//!
+//! # Format
+//!
+//! The payload is a little-endian binary encoding (this module), sealed
+//! in the versioned, CRC-checked `MIRAGECKPT` envelope of
+//! [`mirage_nn::serialize`] and written atomically (temp file + fsync +
+//! rename), so a crash mid-write leaves the previous checkpoint intact
+//! and a torn or corrupted file is a typed [`CheckpointError`], never a
+//! silently-wrong resume.
+
+use std::path::{Path, PathBuf};
+
+use mirage_nn::serialize::{seal, unseal, write_atomic};
+use mirage_nn::{CheckpointError, Matrix};
+use mirage_rl::{DqnAgentState, EpisodeSample, Experience, PgAgentState, ReplayBuffer};
+
+use crate::episode::EpisodeResult;
+use crate::reward::EpisodeOutcome;
+
+/// Envelope kind tag of a DQN training-state checkpoint.
+pub const KIND_DQN_TRAIN: &str = "DQNS";
+/// Envelope kind tag of a PG training-state checkpoint.
+pub const KIND_PG_TRAIN: &str = "PGST";
+
+/// When and where the online loops snapshot their state.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint file (atomically replaced on every save).
+    pub path: PathBuf,
+    /// Save once at least this many episodes completed since the last
+    /// save, rounded up to the next lockstep chunk boundary (saves only
+    /// happen between chunks). `0` disables periodic saves.
+    pub every_episodes: usize,
+    /// Deterministic stop hook for crash drills: return early right
+    /// after the first checkpoint written at `episodes ≥ halt_after`
+    /// (forcing a save at that boundary if the cadence missed it). The
+    /// CI `crash_resume_smoke` uses this to "crash" a run at a known
+    /// boundary without process gymnastics.
+    pub halt_after: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// Snapshot to `path` every `every_episodes` episodes, no halt hook.
+    pub fn every(path: impl Into<PathBuf>, every_episodes: usize) -> Self {
+        Self {
+            path: path.into(),
+            every_episodes,
+            halt_after: None,
+        }
+    }
+}
+
+/// Why a resume was refused.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The checkpoint file is unreadable, corrupt, truncated or of the
+    /// wrong kind/version (the serializer layer's typed error).
+    Checkpoint(CheckpointError),
+    /// The checkpoint is internally valid but was written by a run with
+    /// a different configuration; resuming it would silently diverge.
+    ConfigMismatch {
+        /// Which run parameter disagrees.
+        field: &'static str,
+        /// The value the checkpointed run used.
+        saved: String,
+        /// The value the resuming run is configured with.
+        current: String,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Checkpoint(e) => write!(f, "cannot resume: {e}"),
+            ResumeError::ConfigMismatch {
+                field,
+                saved,
+                current,
+            } => write!(
+                f,
+                "cannot resume: checkpoint was written with {field} = {saved}, \
+                 this run has {field} = {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Checkpoint(e) => Some(e),
+            ResumeError::ConfigMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for ResumeError {
+    fn from(e: CheckpointError) -> Self {
+        ResumeError::Checkpoint(e)
+    }
+}
+
+/// Full state of an interrupted [`train_dqn_online`]
+/// (`crate::train::train_dqn_online`) run at a chunk boundary.
+#[derive(Debug, Clone)]
+pub struct DqnTrainCheckpoint {
+    /// `TrainConfig::seed` of the run (validated on resume).
+    pub cfg_seed: u64,
+    /// Lockstep lane count of the run (validated on resume: chunk
+    /// boundaries move with it).
+    pub lanes: u64,
+    /// Agent snapshot: weights, target, Adam moments, ε/train clocks.
+    pub agent: DqnAgentState,
+    /// Wait-class replay ring (capacity, write cursor, slots).
+    pub replay_wait: (u64, u64, Vec<Experience>),
+    /// Submit-class replay ring.
+    pub replay_submit: (u64, u64, Vec<Experience>),
+    /// The replay-sampling RNG stream (xoshiro256++ state words).
+    pub rng: [u64; 4],
+    /// Episode records completed so far (decision trajectories already
+    /// drained into the replay, as in the live loop).
+    pub episodes: Vec<EpisodeResult>,
+}
+
+/// Full state of an interrupted `train_pg_online` run at a chunk
+/// boundary.
+#[derive(Debug, Clone)]
+pub struct PgTrainCheckpoint {
+    /// `TrainConfig::seed` of the run (validated on resume).
+    pub cfg_seed: u64,
+    /// Lockstep lane count of the run (validated on resume).
+    pub lanes: u64,
+    /// Agent snapshot: weights, Adam moments, baseline, episode clock.
+    pub agent: PgAgentState,
+    /// Collected episodes not yet folded into a REINFORCE update (the
+    /// chunk boundary can fall mid-batch).
+    pub pending: Vec<EpisodeSample>,
+    /// Episode records completed so far.
+    pub episodes: Vec<EpisodeResult>,
+}
+
+// ---------------------------------------------------------------------
+// Little-endian binary codec.
+
+struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn matrix(&mut self, m: &Matrix) {
+        self.u64(m.rows() as u64);
+        self.u64(m.cols() as u64);
+        for &v in m.data() {
+            self.f32(v);
+        }
+    }
+
+    fn opt_matrix(&mut self, m: Option<&Matrix>) {
+        match m {
+            Some(m) => {
+                self.bool(true);
+                self.matrix(m);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    fn matrices(&mut self, ms: &[Matrix]) {
+        self.u64(ms.len() as u64);
+        for m in ms {
+            self.matrix(m);
+        }
+    }
+
+    fn opt_matrices(&mut self, ms: &[Option<Matrix>]) {
+        self.u64(ms.len() as u64);
+        for m in ms {
+            self.opt_matrix(m.as_ref());
+        }
+    }
+
+    fn experience(&mut self, e: &Experience) {
+        self.matrix(&e.state);
+        self.u64(e.action as u64);
+        self.f32(e.reward);
+        self.opt_matrix(e.next_state.as_ref());
+        self.bool(e.done);
+    }
+
+    fn ring(&mut self, ring: &(u64, u64, Vec<Experience>)) {
+        self.u64(ring.0);
+        self.u64(ring.1);
+        self.u64(ring.2.len() as u64);
+        for e in &ring.2 {
+            self.experience(e);
+        }
+    }
+
+    fn decisions(&mut self, ds: &[(Matrix, usize)]) {
+        self.u64(ds.len() as u64);
+        for (m, a) in ds {
+            self.matrix(m);
+            self.u64(*a as u64);
+        }
+    }
+
+    fn episode_result(&mut self, r: &EpisodeResult) {
+        self.i64(r.outcome.interruption);
+        self.i64(r.outcome.overlap);
+        self.i64(r.outcome.fault_interruption);
+        self.u64(r.outcome.guard_fallbacks);
+        self.i64(r.pred_submit);
+        self.i64(r.pred_start);
+        self.i64(r.pred_end);
+        self.i64(r.succ_submit);
+        self.i64(r.succ_start);
+        self.decisions(&r.decisions);
+        self.bool(r.submitted_by_policy);
+    }
+
+    fn episode_results(&mut self, rs: &[EpisodeResult]) {
+        self.u64(rs.len() as u64);
+        for r in rs {
+            self.episode_result(r);
+        }
+    }
+}
+
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CheckpointError {
+        CheckpointError::Parse {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(self.err("unexpected end of payload"));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(self.err(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, CheckpointError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// An element count, sanity-bounded so a crafted length field errors
+    /// out instead of attempting a huge allocation: `n` elements of at
+    /// least `min_size` bytes each must fit in the remaining payload.
+    fn len(&mut self, min_size: usize) -> Result<usize, CheckpointError> {
+        let n = self.u64()?;
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if n.saturating_mul(min_size.max(1) as u64) > remaining {
+            return Err(self.err(format!("length {n} exceeds remaining payload")));
+        }
+        Ok(n as usize)
+    }
+
+    fn matrix(&mut self) -> Result<Matrix, CheckpointError> {
+        let rows = self.u64()? as usize;
+        let cols = self.u64()? as usize;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| self.err("matrix shape overflows"))?;
+        if n.saturating_mul(4) > self.bytes.len() - self.pos {
+            return Err(self.err(format!("matrix of {n} elements exceeds remaining payload")));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.f32()?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    fn opt_matrix(&mut self) -> Result<Option<Matrix>, CheckpointError> {
+        Ok(if self.bool()? {
+            Some(self.matrix()?)
+        } else {
+            None
+        })
+    }
+
+    fn matrices(&mut self) -> Result<Vec<Matrix>, CheckpointError> {
+        let n = self.len(17)?; // rows + cols + ≥1 element
+        (0..n).map(|_| self.matrix()).collect()
+    }
+
+    fn opt_matrices(&mut self) -> Result<Vec<Option<Matrix>>, CheckpointError> {
+        let n = self.len(1)?;
+        (0..n).map(|_| self.opt_matrix()).collect()
+    }
+
+    fn experience(&mut self) -> Result<Experience, CheckpointError> {
+        Ok(Experience {
+            state: self.matrix()?,
+            action: self.u64()? as usize,
+            reward: self.f32()?,
+            next_state: self.opt_matrix()?,
+            done: self.bool()?,
+        })
+    }
+
+    fn ring(&mut self) -> Result<(u64, u64, Vec<Experience>), CheckpointError> {
+        let capacity = self.u64()?;
+        let write = self.u64()?;
+        let n = self.len(22)?;
+        let buf: Vec<Experience> = (0..n)
+            .map(|_| self.experience())
+            .collect::<Result<_, _>>()?;
+        if capacity == 0 || buf.len() as u64 > capacity || write >= capacity {
+            return Err(self.err(format!(
+                "inconsistent replay ring: capacity {capacity}, write {write}, len {}",
+                buf.len()
+            )));
+        }
+        Ok((capacity, write, buf))
+    }
+
+    fn decisions(&mut self) -> Result<Vec<(Matrix, usize)>, CheckpointError> {
+        let n = self.len(24)?;
+        (0..n)
+            .map(|_| Ok((self.matrix()?, self.u64()? as usize)))
+            .collect()
+    }
+
+    fn episode_result(&mut self) -> Result<EpisodeResult, CheckpointError> {
+        let outcome = EpisodeOutcome {
+            interruption: self.i64()?,
+            overlap: self.i64()?,
+            fault_interruption: self.i64()?,
+            guard_fallbacks: self.u64()?,
+        };
+        Ok(EpisodeResult {
+            outcome,
+            pred_submit: self.i64()?,
+            pred_start: self.i64()?,
+            pred_end: self.i64()?,
+            succ_submit: self.i64()?,
+            succ_start: self.i64()?,
+            decisions: self.decisions()?,
+            submitted_by_policy: self.bool()?,
+        })
+    }
+
+    fn episode_results(&mut self) -> Result<Vec<EpisodeResult>, CheckpointError> {
+        let n = self.len(65)?;
+        (0..n).map(|_| self.episode_result()).collect()
+    }
+
+    fn finish(self) -> Result<(), CheckpointError> {
+        if self.pos != self.bytes.len() {
+            return Err(self.err(format!(
+                "{} trailing bytes after checkpoint payload",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// DQN checkpoint encode/decode.
+
+impl DqnTrainCheckpoint {
+    /// Serializes into the sealed `MIRAGECKPT`/[`KIND_DQN_TRAIN`]
+    /// envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.cfg_seed);
+        w.u64(self.lanes);
+        w.u64(self.agent.steps);
+        w.u64(self.agent.train_steps);
+        w.u64(self.agent.opt_t);
+        w.matrices(&self.agent.net_params);
+        match &self.agent.target_params {
+            Some(t) => {
+                w.bool(true);
+                w.matrices(t);
+            }
+            None => w.bool(false),
+        }
+        w.opt_matrices(&self.agent.opt_m);
+        w.opt_matrices(&self.agent.opt_v);
+        w.ring(&self.replay_wait);
+        w.ring(&self.replay_submit);
+        for s in self.rng {
+            w.u64(s);
+        }
+        w.episode_results(&self.episodes);
+        seal(KIND_DQN_TRAIN, &w.buf)
+    }
+
+    /// Parses a sealed [`KIND_DQN_TRAIN`] envelope. Corruption anywhere
+    /// — header, CRC, or payload structure — is a typed error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let payload = unseal(KIND_DQN_TRAIN, bytes)?;
+        let mut r = ByteReader::new(payload);
+        let cfg_seed = r.u64()?;
+        let lanes = r.u64()?;
+        let steps = r.u64()?;
+        let train_steps = r.u64()?;
+        let opt_t = r.u64()?;
+        let net_params = r.matrices()?;
+        let target_params = if r.bool()? { Some(r.matrices()?) } else { None };
+        let agent = DqnAgentState {
+            net_params,
+            target_params,
+            opt_t,
+            opt_m: r.opt_matrices()?,
+            opt_v: r.opt_matrices()?,
+            steps,
+            train_steps,
+        };
+        let replay_wait = r.ring()?;
+        let replay_submit = r.ring()?;
+        let rng = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let episodes = r.episode_results()?;
+        r.finish()?;
+        Ok(Self {
+            cfg_seed,
+            lanes,
+            agent,
+            replay_wait,
+            replay_submit,
+            rng,
+            episodes,
+        })
+    }
+
+    /// Atomically writes the sealed checkpoint to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        write_atomic(path, &self.to_bytes())
+    }
+
+    /// Loads and validates a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Rebuilds the two replay rings (consumes their snapshots).
+    pub fn take_replay(&mut self) -> (ReplayBuffer, ReplayBuffer) {
+        let wait = ReplayBuffer::from_raw_parts(
+            self.replay_wait.0 as usize,
+            self.replay_wait.1 as usize,
+            std::mem::take(&mut self.replay_wait.2),
+        );
+        let submit = ReplayBuffer::from_raw_parts(
+            self.replay_submit.0 as usize,
+            self.replay_submit.1 as usize,
+            std::mem::take(&mut self.replay_submit.2),
+        );
+        (wait, submit)
+    }
+}
+
+// ---------------------------------------------------------------------
+// PG checkpoint encode/decode.
+
+impl PgTrainCheckpoint {
+    /// Serializes into the sealed `MIRAGECKPT`/[`KIND_PG_TRAIN`]
+    /// envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.cfg_seed);
+        w.u64(self.lanes);
+        w.u64(self.agent.episodes);
+        w.u64(self.agent.opt_t);
+        w.matrices(&self.agent.net_params);
+        w.opt_matrices(&self.agent.opt_m);
+        w.opt_matrices(&self.agent.opt_v);
+        w.f32(self.agent.baseline);
+        w.bool(self.agent.baseline_initialized);
+        w.u64(self.pending.len() as u64);
+        for s in &self.pending {
+            w.decisions(&s.steps);
+            w.f32(s.episode_return);
+        }
+        w.episode_results(&self.episodes);
+        seal(KIND_PG_TRAIN, &w.buf)
+    }
+
+    /// Parses a sealed [`KIND_PG_TRAIN`] envelope.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let payload = unseal(KIND_PG_TRAIN, bytes)?;
+        let mut r = ByteReader::new(payload);
+        let cfg_seed = r.u64()?;
+        let lanes = r.u64()?;
+        let episodes_clock = r.u64()?;
+        let opt_t = r.u64()?;
+        let net_params = r.matrices()?;
+        let opt_m = r.opt_matrices()?;
+        let opt_v = r.opt_matrices()?;
+        let baseline = r.f32()?;
+        let baseline_initialized = r.bool()?;
+        let n_pending = r.len(12)?;
+        let pending: Vec<EpisodeSample> = (0..n_pending)
+            .map(|_| {
+                Ok(EpisodeSample {
+                    steps: r.decisions()?,
+                    episode_return: r.f32()?,
+                })
+            })
+            .collect::<Result<_, CheckpointError>>()?;
+        let episodes = r.episode_results()?;
+        r.finish()?;
+        Ok(Self {
+            cfg_seed,
+            lanes,
+            agent: PgAgentState {
+                net_params,
+                opt_t,
+                opt_m,
+                opt_v,
+                baseline,
+                baseline_initialized,
+                episodes: episodes_clock,
+            },
+            pending,
+            episodes,
+        })
+    }
+
+    /// Atomically writes the sealed checkpoint to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        write_atomic(path, &self.to_bytes())
+    }
+
+    /// Loads and validates a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// Validates a saved run parameter against the resuming run's value.
+pub(crate) fn check_match<T: PartialEq + std::fmt::Display>(
+    field: &'static str,
+    saved: T,
+    current: T,
+) -> Result<(), ResumeError> {
+    if saved == current {
+        Ok(())
+    } else {
+        Err(ResumeError::ConfigMismatch {
+            field,
+            saved: saved.to_string(),
+            current: current.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mat(seed: u64, rows: usize, cols: usize) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::xavier(rows, cols, &mut rng)
+    }
+
+    fn mats_eq(a: &[Matrix], b: &[Matrix]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.rows() == y.rows()
+                    && x.cols() == y.cols()
+                    && x.data()
+                        .iter()
+                        .zip(y.data())
+                        .all(|(p, q)| p.to_bits() == q.to_bits())
+            })
+    }
+
+    fn sample_dqn() -> DqnTrainCheckpoint {
+        let exp = |s| Experience {
+            state: mat(s, 2, 3),
+            action: (s % 2) as usize,
+            reward: -0.5 * s as f32,
+            next_state: if s % 3 == 0 {
+                Some(mat(s + 50, 2, 3))
+            } else {
+                None
+            },
+            done: s % 3 != 0,
+        };
+        DqnTrainCheckpoint {
+            cfg_seed: 11,
+            lanes: 2,
+            agent: DqnAgentState {
+                net_params: vec![mat(1, 4, 4), mat(2, 1, 4)],
+                target_params: Some(vec![mat(3, 4, 4), mat(4, 1, 4)]),
+                opt_t: 7,
+                opt_m: vec![Some(mat(5, 4, 4)), None],
+                opt_v: vec![None, Some(mat(6, 1, 4))],
+                steps: 123,
+                train_steps: 45,
+            },
+            replay_wait: (64, 3, (0..5).map(exp).collect()),
+            replay_submit: (32, 0, (10..12).map(exp).collect()),
+            rng: [1, 2, 3, 4],
+            episodes: vec![EpisodeResult {
+                outcome: EpisodeOutcome {
+                    interruption: 300,
+                    overlap: 0,
+                    fault_interruption: 60,
+                    guard_fallbacks: 2,
+                },
+                pred_submit: 0,
+                pred_start: 10,
+                pred_end: 110,
+                succ_submit: 90,
+                succ_start: 410,
+                decisions: Vec::new(),
+                submitted_by_policy: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn dqn_checkpoint_roundtrips_bitwise() {
+        let ck = sample_dqn();
+        let bytes = ck.to_bytes();
+        let back = DqnTrainCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.cfg_seed, ck.cfg_seed);
+        assert_eq!(back.lanes, ck.lanes);
+        assert_eq!(back.agent.steps, ck.agent.steps);
+        assert_eq!(back.agent.train_steps, ck.agent.train_steps);
+        assert_eq!(back.agent.opt_t, ck.agent.opt_t);
+        assert!(mats_eq(&back.agent.net_params, &ck.agent.net_params));
+        assert!(mats_eq(
+            back.agent.target_params.as_ref().unwrap(),
+            ck.agent.target_params.as_ref().unwrap()
+        ));
+        assert_eq!(back.rng, ck.rng);
+        assert_eq!(back.replay_wait.0, 64);
+        assert_eq!(back.replay_wait.1, 3);
+        assert_eq!(back.replay_wait.2.len(), 5);
+        assert_eq!(back.replay_submit.2.len(), 2);
+        assert_eq!(back.episodes.len(), 1);
+        assert_eq!(back.episodes[0].outcome, ck.episodes[0].outcome);
+        assert_eq!(back.episodes[0].succ_start, 410);
+        assert!(back.episodes[0].submitted_by_policy);
+    }
+
+    #[test]
+    fn pg_checkpoint_roundtrips_bitwise() {
+        let ck = PgTrainCheckpoint {
+            cfg_seed: 5,
+            lanes: 4,
+            agent: PgAgentState {
+                net_params: vec![mat(7, 3, 3)],
+                opt_t: 2,
+                opt_m: vec![Some(mat(8, 3, 3))],
+                opt_v: vec![Some(mat(9, 3, 3))],
+                baseline: -1.25,
+                baseline_initialized: true,
+                episodes: 6,
+            },
+            pending: vec![EpisodeSample {
+                steps: vec![(mat(10, 2, 3), 0), (mat(11, 2, 3), 1)],
+                episode_return: -3.5,
+            }],
+            episodes: Vec::new(),
+        };
+        let back = PgTrainCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back.cfg_seed, 5);
+        assert_eq!(back.agent.episodes, 6);
+        assert_eq!(back.agent.baseline, -1.25);
+        assert!(back.agent.baseline_initialized);
+        assert!(mats_eq(&back.agent.net_params, &ck.agent.net_params));
+        assert_eq!(back.pending.len(), 1);
+        assert_eq!(back.pending[0].steps.len(), 2);
+        assert_eq!(back.pending[0].steps[1].1, 1);
+        assert_eq!(back.pending[0].episode_return, -3.5);
+    }
+
+    #[test]
+    fn kind_tags_are_not_interchangeable() {
+        let ck = sample_dqn();
+        let err = PgTrainCheckpoint::from_bytes(&ck.to_bytes()).unwrap_err();
+        assert!(matches!(err, CheckpointError::WrongKind { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_typed_error() {
+        let bytes = ck_bytes();
+        // Flip one payload bit: the CRC must catch it.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            DqnTrainCheckpoint::from_bytes(&flipped),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        // Truncation is caught before any payload parsing.
+        assert!(DqnTrainCheckpoint::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    fn ck_bytes() -> Vec<u8> {
+        sample_dqn().to_bytes()
+    }
+
+    #[test]
+    fn trailing_garbage_inside_a_valid_envelope_is_rejected() {
+        // Seal a payload with extra bytes appended *before* sealing, so
+        // the CRC is valid but the structure over-runs: the reader's
+        // finish() must flag it.
+        let ck = sample_dqn();
+        let sealed = ck.to_bytes();
+        let payload = unseal(KIND_DQN_TRAIN, &sealed).unwrap();
+        let mut longer = payload.to_vec();
+        longer.extend_from_slice(&[0xAB; 7]);
+        let resealed = seal(KIND_DQN_TRAIN, &longer);
+        let err = DqnTrainCheckpoint::from_bytes(&resealed).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Parse { .. }),
+            "expected Parse, got {err}"
+        );
+    }
+
+    #[test]
+    fn take_replay_rebuilds_rings() {
+        let mut ck = sample_dqn();
+        let (wait, submit) = ck.take_replay();
+        assert_eq!(wait.raw_parts().0, 64);
+        assert_eq!(wait.raw_parts().1, 3);
+        assert_eq!(wait.len(), 5);
+        assert_eq!(submit.len(), 2);
+    }
+
+    #[test]
+    fn config_mismatch_is_descriptive() {
+        let err = check_match("seed", 11u64, 12u64).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains("11") && msg.contains("12"), "{msg}");
+        assert!(check_match("lanes", 4u64, 4u64).is_ok());
+    }
+}

@@ -145,7 +145,11 @@ pub fn evaluate<B: ClusterBackend>(
         let mut outcomes: Vec<MethodOutcome> = Vec::with_capacity(methods.len());
         for m in methods.iter_mut() {
             m.reset();
-            let result = run_episode(backend, window, &cfg.episode, t0, |ctx| m.decide(ctx));
+            let fallbacks_before = m.guard_fallbacks();
+            let mut result = run_episode(backend, window, &cfg.episode, t0, |ctx| m.decide(ctx));
+            // Per-episode guard-fallback delta: non-zero only when a
+            // guarded policy's network emitted garbage this episode.
+            result.outcome.guard_fallbacks = m.guard_fallbacks() - fallbacks_before;
             outcomes.push(MethodOutcome {
                 method: m.name(),
                 outcome: result.outcome,

@@ -66,6 +66,10 @@
 //!   fractions, reduction vs reactive),
 //! * [`chaos`] — degradation under fault injection: RL vs heuristics on
 //!   identically seeded crash tapes across a none/moderate/severe sweep,
+//! * [`checkpoint`] — crash-safe training checkpoints: full online
+//!   training state (weights, optimizer moments, replay, RNG streams,
+//!   ε clock, episode counter) snapshotted atomically and resumable bit
+//!   for bit,
 //! * [`chain`] — whole-chain provisioning (§4.1's rolling
 //!   predecessor–successor pairs),
 //! * [`tune`] — deterministic hyperparameter grid search (the RayTune
@@ -74,6 +78,7 @@
 pub mod batch;
 pub mod chain;
 pub mod chaos;
+pub mod checkpoint;
 pub mod episode;
 pub mod eval;
 pub mod features;
@@ -91,6 +96,10 @@ pub use chain::{chain_stretch, provision_chain, ChainResult, ChainSummary};
 pub use chaos::{
     evaluate_chaos, ChaosConfig, ChaosLane, ChaosMethodSummary, ChaosReport, ChaosSeverity,
 };
+pub use checkpoint::{
+    CheckpointConfig, DqnTrainCheckpoint, PgTrainCheckpoint, ResumeError, KIND_DQN_TRAIN,
+    KIND_PG_TRAIN,
+};
 pub use episode::{
     run_episode, Action, DecisionContext, EpisodeConfig, EpisodeDriver, EpisodeResult,
 };
@@ -103,14 +112,15 @@ pub use multiservice::{
     ServiceEpisode, ServiceSlo, ServiceSpec, ShortestQueuePolicy, SlotContext, UniformSharePolicy,
 };
 pub use policy::{
-    AvgWaitPolicy, DqnPolicy, PgPolicy, ProvisionPolicy, ReactivePolicy, WaitModel,
-    WaitPredictorPolicy,
+    AvgWaitPolicy, DqnPolicy, GuardedDqnPolicy, GuardedPgPolicy, PgPolicy, ProvisionPolicy,
+    ReactivePolicy, WaitModel, WaitPredictorPolicy,
 };
 pub use reward::{EpisodeOutcome, RewardShaper};
 pub use state::{PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS};
 pub use train::{
-    collect_offline, sample_episode_starts, sample_training_starts, train_method, MethodKind,
-    OfflineData, TrainConfig,
+    collect_offline, sample_episode_starts, sample_training_starts, train_dqn_online_checkpointed,
+    train_method, train_pg_online_checkpointed, DqnTrainRun, MethodKind, OfflineData, PgTrainRun,
+    TrainConfig,
 };
 pub use trainloop::{BatchedCollector, DqnActWindow, PgActWindow, SplitCollectPolicy};
 pub use tune::{grid_search, Candidate, TuneGrid, TuneResult};

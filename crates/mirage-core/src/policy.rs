@@ -6,9 +6,13 @@
 //!   or XGBoost-style wait predictor.
 //! * RL: [`DqnPolicy`] and [`PgPolicy`] over a transformer or MoE
 //!   foundation — the four {transformer, MoE} × {DQN, PG} combinations.
+//! * Guarded RL: [`GuardedDqnPolicy`] / [`GuardedPgPolicy`] wrap the
+//!   same agents behind `mirage-rl`'s output guard — a non-finite or
+//!   degenerate network output degrades to the reactive heuristic and
+//!   is counted, so silent NN corruption shows up in episode outcomes.
 
 use mirage_ensemble::{GradientBoosting, RandomForest};
-use mirage_rl::{DqnAgent, PgAgent};
+use mirage_rl::{DqnAgent, GuardedPolicy, PgAgent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,6 +27,13 @@ pub trait ProvisionPolicy: Send {
     fn reset(&mut self) {}
     /// The §4.3 decision: submit the successor now or wait.
     fn decide(&mut self, ctx: &DecisionContext) -> Action;
+    /// Cumulative count of decisions where a guard rejected the policy's
+    /// network output and degraded to the heuristic. `0` for unguarded
+    /// policies; the evaluation harnesses diff this around each episode
+    /// to stamp [`EpisodeOutcome::guard_fallbacks`](crate::reward::EpisodeOutcome::guard_fallbacks).
+    fn guard_fallbacks(&self) -> u64 {
+        0
+    }
 }
 
 /// The reactive baseline: never submits proactively; the episode driver's
@@ -193,6 +204,87 @@ impl ProvisionPolicy for PgPolicy {
     }
 }
 
+/// [`DqnPolicy`] behind the output guard: every Q pair is validated
+/// before the argmax, and a non-finite pair degrades to `Wait` (the
+/// reactive move) instead of acting on garbage. Fallbacks are counted
+/// and surfaced through [`ProvisionPolicy::guard_fallbacks`].
+pub struct GuardedDqnPolicy {
+    /// The guarded agent (exposes the wrapped agent and its counters).
+    pub guard: GuardedPolicy<DqnAgent>,
+    /// Display label (e.g. `"transformer+DQN"`).
+    pub label: String,
+}
+
+impl GuardedDqnPolicy {
+    /// Wraps a trained agent with a zeroed fallback counter.
+    pub fn new(agent: DqnAgent, label: impl Into<String>) -> Self {
+        Self {
+            guard: GuardedPolicy::new(agent),
+            label: label.into(),
+        }
+    }
+}
+
+impl ProvisionPolicy for GuardedDqnPolicy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext) -> Action {
+        Action::from_index(self.guard.act_greedy(ctx.state_matrix))
+    }
+
+    fn guard_fallbacks(&self) -> u64 {
+        self.guard.stats().fallbacks
+    }
+}
+
+/// [`PgPolicy`] behind the output guard: the probability pair must be
+/// finite, non-negative and normalized before it is sampled (or
+/// argmax-ed); anything else degrades to `Wait` and is counted. A
+/// healthy net draws the identical RNG stream as the unguarded policy.
+pub struct GuardedPgPolicy {
+    /// The guarded agent (exposes the wrapped agent and its counters).
+    pub guard: GuardedPolicy<PgAgent>,
+    /// Display label (e.g. `"transformer+PG"`).
+    pub label: String,
+    /// Sampling seed (per-policy stream keeps evaluation reproducible).
+    pub rng: StdRng,
+    /// `true` = argmax instead of sampling (deterministic evaluation).
+    pub deterministic: bool,
+}
+
+impl GuardedPgPolicy {
+    /// Sampling policy with the given seed and a zeroed fallback counter.
+    pub fn new(agent: PgAgent, label: impl Into<String>, seed: u64) -> Self {
+        Self {
+            guard: GuardedPolicy::new(agent),
+            label: label.into(),
+            rng: StdRng::seed_from_u64(seed),
+            deterministic: false,
+        }
+    }
+}
+
+impl ProvisionPolicy for GuardedPgPolicy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext) -> Action {
+        let idx = if self.deterministic {
+            self.guard.act_greedy(ctx.state_matrix)
+        } else {
+            self.guard.act(ctx.state_matrix, &mut self.rng)
+        };
+        Action::from_index(idx)
+    }
+
+    fn guard_fallbacks(&self) -> u64 {
+        self.guard.stats().fallbacks
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +370,49 @@ mod tests {
             cautious.decide(&ctx(&d, true, 2 * HOUR, Some(3.0 * HOUR as f64))),
             Action::Wait
         );
+    }
+
+    #[test]
+    fn guarded_policy_degrades_to_wait_and_counts() {
+        use mirage_nn::foundation::FoundationKind;
+        use mirage_nn::transformer::TransformerConfig;
+        use mirage_rl::{ActionEncoding, DqnConfig, DualHeadConfig, DualHeadNet};
+
+        let mut net = DualHeadNet::new(DualHeadConfig {
+            foundation: FoundationKind::Transformer,
+            transformer: TransformerConfig {
+                input_dim: STATE_VARS,
+                seq_len: 4,
+                d_model: 8,
+                heads: 2,
+                layers: 1,
+                ff_mult: 2,
+            },
+            action_encoding: ActionEncoding::TwoHead,
+            freeze_foundation: false,
+            seed: 3,
+        });
+        // NaN every weight: a silently corrupted checkpoint or diverged
+        // update, as seen from inference.
+        let ids: Vec<_> = net.ps.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            for v in net.ps.get_mut(id).data_mut() {
+                *v = f32::NAN;
+            }
+        }
+        let d = data();
+        let mut p = GuardedDqnPolicy::new(DqnAgent::new(net, DqnConfig::default()), "guarded");
+        assert_eq!(p.guard_fallbacks(), 0);
+        for _ in 0..3 {
+            assert_eq!(p.decide(&ctx(&d, true, 0, None)), Action::Wait);
+        }
+        assert_eq!(p.guard_fallbacks(), 3, "every poisoned decision counted");
+    }
+
+    #[test]
+    fn unguarded_policies_report_zero_fallbacks() {
+        assert_eq!(ReactivePolicy.guard_fallbacks(), 0);
+        assert_eq!(AvgWaitPolicy::default().guard_fallbacks(), 0);
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct EpisodeOutcome {
     /// runs without a fault model.
     #[serde(default)]
     pub fault_interruption: i64,
+    /// Decisions in this episode where the policy's network emitted a
+    /// non-finite or degenerate output and a guarded wrapper degraded to
+    /// the reactive heuristic. Zero for healthy (or unguarded) policies;
+    /// a non-zero count is the visible trace of silent NN corruption.
+    #[serde(default)]
+    pub guard_fallbacks: u64,
 }
 
 impl EpisodeOutcome {
@@ -53,6 +59,7 @@ impl EpisodeOutcome {
             interruption: (succ_start - pred_end).max(0),
             overlap: (pred_end - succ_start).max(0),
             fault_interruption: 0,
+            guard_fallbacks: 0,
         }
     }
 

@@ -34,6 +34,9 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{
+    check_match, CheckpointConfig, DqnTrainCheckpoint, PgTrainCheckpoint, ResumeError,
+};
 use crate::episode::{EpisodeConfig, EpisodeResult};
 use crate::policy::{
     AvgWaitPolicy, DqnPolicy, PgPolicy, ProvisionPolicy, ReactivePolicy, WaitModel,
@@ -509,6 +512,67 @@ pub fn train_dqn_online_traced<F: BackendFactory>(
     starts: &[i64],
     warm_start: &OfflineData,
 ) -> (DqnAgent, BalancedReplay, Vec<EpisodeResult>) {
+    let run = dqn_online_loop(net, pool, trace, cfg, starts, warm_start, None, None)
+        .expect("un-checkpointed training cannot fail");
+    (run.agent, run.replay, run.episodes)
+}
+
+/// A (possibly halted) checkpointed DQN training run.
+#[derive(Debug)]
+pub struct DqnTrainRun {
+    /// The trained (or mid-training, if halted) agent.
+    pub agent: DqnAgent,
+    /// The replay pool as of the last episode run.
+    pub replay: BalancedReplay,
+    /// Per-episode records (decisions drained into the replay).
+    pub episodes: Vec<EpisodeResult>,
+    /// Whether [`CheckpointConfig::halt_after`] stopped the run early
+    /// (right after writing a checkpoint at a chunk boundary).
+    pub halted: bool,
+}
+
+/// [`train_dqn_online`] with crash-safe checkpointing: full training
+/// state — weights, target net, Adam moments, both replay rings, the
+/// replay-sampling RNG, the global ε clock and the episode counter — is
+/// snapshotted to `ckpt.path` at chunk boundaries on the
+/// `ckpt.every_episodes` cadence. Pass `resume_from` to continue an
+/// interrupted run: the resumed run is **bit-identical** to the
+/// uninterrupted one (weights, replay contents, episode outcomes), as
+/// pinned by `tests/crash_resume.rs`.
+#[allow(clippy::too_many_arguments)]
+pub fn train_dqn_online_checkpointed<F: BackendFactory>(
+    net: DualHeadNet,
+    pool: &BackendPool<F>,
+    trace: &[JobRecord],
+    cfg: &TrainConfig,
+    starts: &[i64],
+    warm_start: &OfflineData,
+    ckpt: &CheckpointConfig,
+    resume_from: Option<&std::path::Path>,
+) -> Result<DqnTrainRun, ResumeError> {
+    dqn_online_loop(
+        net,
+        pool,
+        trace,
+        cfg,
+        starts,
+        warm_start,
+        Some(ckpt),
+        resume_from,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dqn_online_loop<F: BackendFactory>(
+    net: DualHeadNet,
+    pool: &BackendPool<F>,
+    trace: &[JobRecord],
+    cfg: &TrainConfig,
+    starts: &[i64],
+    warm_start: &OfflineData,
+    ckpt: Option<&CheckpointConfig>,
+    resume_from: Option<&std::path::Path>,
+) -> Result<DqnTrainRun, ResumeError> {
     let mut agent = DqnAgent::new(net, cfg.dqn);
     let mut replay = BalancedReplay::new(8192, 4096);
     for s in &warm_start.reward_samples {
@@ -527,11 +591,42 @@ pub fn train_dqn_online_traced<F: BackendFactory>(
         &cfg.episode,
         cfg.collect_lanes_for(pool.workers()),
     );
+    let width = collector.lanes();
     let mut episodes: Vec<EpisodeResult> = Vec::with_capacity(t0s.len());
-    let mut lanes: Vec<ExploreLane> = Vec::with_capacity(collector.lanes());
-    for chunk in t0s.chunks(collector.lanes()) {
+
+    if let Some(path) = resume_from {
+        let mut saved = DqnTrainCheckpoint::load(path)?;
+        check_match("seed", saved.cfg_seed, cfg.seed)?;
+        check_match("collect lanes", saved.lanes, width as u64)?;
+        let done = saved.episodes.len();
+        if done % width != 0 && done < t0s.len() {
+            return Err(ResumeError::ConfigMismatch {
+                field: "episode counter (must sit on a chunk boundary)",
+                saved: done.to_string(),
+                current: format!("multiple of {width}"),
+            });
+        }
+        let (wait, submit) = saved.take_replay();
+        replay = BalancedReplay::from_buffers(wait, submit);
+        rng = StdRng::from_state(saved.rng);
+        agent.import_state(saved.agent);
+        episodes = saved.episodes;
+    }
+
+    let done = episodes.len();
+    let mut last_saved = done;
+    let mut lanes: Vec<ExploreLane> = Vec::with_capacity(width);
+    for chunk_start in (0..t0s.len()).step_by(width) {
+        let chunk = &t0s[chunk_start..(chunk_start + width).min(t0s.len())];
+        if chunk_start + chunk.len() <= done {
+            // Replayed from the checkpoint: the restored agent, replay,
+            // RNG and episode records already contain this chunk.
+            continue;
+        }
         // Lane i resumes the agent's global ε clock and owns the RNG
-        // stream its episode ordinal has always had.
+        // stream its episode ordinal has always had. (This also makes
+        // chunk-boundary checkpoints complete: lane streams are derived
+        // from the saved ε clock and episode counter, never stored.)
         lanes.clear();
         lanes.extend(
             (episodes.len()..episodes.len() + chunk.len())
@@ -564,8 +659,50 @@ pub fn train_dqn_online_traced<F: BackendFactory>(
             }
             episodes.push(result);
         }
+        if let Some(c) = ckpt {
+            let at = episodes.len();
+            let halt = c.halt_after.is_some_and(|h| at >= h);
+            if halt || (c.every_episodes > 0 && at - last_saved >= c.every_episodes) {
+                snapshot_dqn(cfg, width, &agent, &replay, &rng, &episodes).save(&c.path)?;
+                last_saved = at;
+            }
+            if halt {
+                return Ok(DqnTrainRun {
+                    agent,
+                    replay,
+                    episodes,
+                    halted: true,
+                });
+            }
+        }
     }
-    (agent, replay, episodes)
+    Ok(DqnTrainRun {
+        agent,
+        replay,
+        episodes,
+        halted: false,
+    })
+}
+
+fn snapshot_dqn(
+    cfg: &TrainConfig,
+    lanes: usize,
+    agent: &DqnAgent,
+    replay: &BalancedReplay,
+    rng: &StdRng,
+    episodes: &[EpisodeResult],
+) -> DqnTrainCheckpoint {
+    let (wc, ww, wb) = replay.wait().raw_parts();
+    let (sc, sw, sb) = replay.submit().raw_parts();
+    DqnTrainCheckpoint {
+        cfg_seed: cfg.seed,
+        lanes: lanes as u64,
+        agent: agent.export_state(),
+        replay_wait: (wc as u64, ww as u64, wb.to_vec()),
+        replay_submit: (sc as u64, sw as u64, sb.to_vec()),
+        rng: rng.state(),
+        episodes: episodes.to_vec(),
+    }
 }
 
 /// Warm-starts the P-head (and shared foundation) by behavior-cloning the
@@ -666,6 +803,48 @@ pub fn train_pg_online_traced<F: BackendFactory>(
     cfg: &TrainConfig,
     starts: &[i64],
 ) -> (PgAgent, Vec<EpisodeResult>) {
+    let run = pg_online_loop(net, pool, trace, cfg, starts, None, None)
+        .expect("un-checkpointed training cannot fail");
+    (run.agent, run.episodes)
+}
+
+/// A (possibly halted) checkpointed PG training run.
+#[derive(Debug)]
+pub struct PgTrainRun {
+    /// The trained (or mid-training, if halted) agent.
+    pub agent: PgAgent,
+    /// Per-episode records (decisions drained into REINFORCE samples).
+    pub episodes: Vec<EpisodeResult>,
+    /// Whether [`CheckpointConfig::halt_after`] stopped the run early.
+    pub halted: bool,
+}
+
+/// [`train_pg_online`] with crash-safe checkpointing: weights, Adam
+/// moments, the EMA baseline, the not-yet-trained pending REINFORCE
+/// batch and the episode counter are snapshotted to `ckpt.path` at
+/// chunk boundaries. Pass `resume_from` to continue an interrupted run
+/// bit-identically (see `tests/crash_resume.rs`).
+pub fn train_pg_online_checkpointed<F: BackendFactory>(
+    net: DualHeadNet,
+    pool: &BackendPool<F>,
+    trace: &[JobRecord],
+    cfg: &TrainConfig,
+    starts: &[i64],
+    ckpt: &CheckpointConfig,
+    resume_from: Option<&std::path::Path>,
+) -> Result<PgTrainRun, ResumeError> {
+    pg_online_loop(net, pool, trace, cfg, starts, Some(ckpt), resume_from)
+}
+
+fn pg_online_loop<F: BackendFactory>(
+    net: DualHeadNet,
+    pool: &BackendPool<F>,
+    trace: &[JobRecord],
+    cfg: &TrainConfig,
+    starts: &[i64],
+    ckpt: Option<&CheckpointConfig>,
+    resume_from: Option<&std::path::Path>,
+) -> Result<PgTrainRun, ResumeError> {
     let mut agent = PgAgent::new(net, cfg.pg);
     let update_batch = 4usize;
     let mut pending: Vec<EpisodeSample> = Vec::with_capacity(update_batch);
@@ -681,9 +860,34 @@ pub fn train_pg_online_traced<F: BackendFactory>(
         &cfg.episode,
         cfg.collect_lanes_for(pool.workers()),
     );
+    let width = collector.lanes();
     let mut episodes: Vec<EpisodeResult> = Vec::with_capacity(t0s.len());
-    let mut lanes: Vec<ExploreLane> = Vec::with_capacity(collector.lanes());
-    for chunk in t0s.chunks(collector.lanes()) {
+
+    if let Some(path) = resume_from {
+        let saved = PgTrainCheckpoint::load(path)?;
+        check_match("seed", saved.cfg_seed, cfg.seed)?;
+        check_match("collect lanes", saved.lanes, width as u64)?;
+        let done = saved.episodes.len();
+        if done % width != 0 && done < t0s.len() {
+            return Err(ResumeError::ConfigMismatch {
+                field: "episode counter (must sit on a chunk boundary)",
+                saved: done.to_string(),
+                current: format!("multiple of {width}"),
+            });
+        }
+        agent.import_state(saved.agent);
+        pending = saved.pending;
+        episodes = saved.episodes;
+    }
+
+    let done = episodes.len();
+    let mut last_saved = done;
+    let mut lanes: Vec<ExploreLane> = Vec::with_capacity(width);
+    for chunk_start in (0..t0s.len()).step_by(width) {
+        let chunk = &t0s[chunk_start..(chunk_start + width).min(t0s.len())];
+        if chunk_start + chunk.len() <= done {
+            continue;
+        }
         lanes.clear();
         lanes.extend(
             (episodes.len()..episodes.len() + chunk.len())
@@ -707,11 +911,37 @@ pub fn train_pg_online_traced<F: BackendFactory>(
             }
             episodes.push(result);
         }
+        if let Some(c) = ckpt {
+            let at = episodes.len();
+            let halt = c.halt_after.is_some_and(|h| at >= h);
+            if halt || (c.every_episodes > 0 && at - last_saved >= c.every_episodes) {
+                PgTrainCheckpoint {
+                    cfg_seed: cfg.seed,
+                    lanes: width as u64,
+                    agent: agent.export_state(),
+                    pending: pending.clone(),
+                    episodes: episodes.clone(),
+                }
+                .save(&c.path)?;
+                last_saved = at;
+            }
+            if halt {
+                return Ok(PgTrainRun {
+                    agent,
+                    episodes,
+                    halted: true,
+                });
+            }
+        }
     }
     if !pending.is_empty() {
         agent.train_episodes(&pending);
     }
-    (agent, episodes)
+    Ok(PgTrainRun {
+        agent,
+        episodes,
+        halted: false,
+    })
 }
 
 /// Trains one §6 method end to end and returns it as a policy. For the

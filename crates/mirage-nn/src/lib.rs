@@ -14,7 +14,9 @@
 //! * [`optim`] — SGD and Adam,
 //! * [`loss`] — MSE/Huber/cross-entropy/REINFORCE surrogates,
 //! * [`gradcheck`] — the finite-difference checker used across the tests,
-//! * [`serialize`] — JSON checkpoints.
+//! * [`serialize`] — crash-safe checkpoints: atomic replace-on-rename
+//!   writes, a versioned/checksummed envelope validated on load with
+//!   typed errors, and human-inspectable JSON weight payloads.
 
 pub mod activation;
 pub mod attention;
@@ -40,6 +42,7 @@ pub use moe::{GatingKind, MoEFoundation};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{Grads, ParamId, ParamSet};
 pub use scratch::Scratch;
+pub use serialize::{load_params, save_params, write_atomic, CheckpointError};
 pub use tensor::Matrix;
 pub use transformer::{EmbedRowCache, TransformerConfig, TransformerEncoder};
 

@@ -111,6 +111,22 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// The full internal state — step count and first/second moments,
+    /// indexed by parameter position — for crash-safe checkpointing.
+    /// Round-trips through [`Adam::restore_state`].
+    pub fn state(&self) -> (u64, &[Option<Matrix>], &[Option<Matrix>]) {
+        (self.t, &self.m, &self.v)
+    }
+
+    /// Restores the state captured by [`Adam::state`]: after this, the
+    /// next `step` is bit-identical to what the snapshotted optimizer
+    /// would have produced.
+    pub fn restore_state(&mut self, t: u64, m: Vec<Option<Matrix>>, v: Vec<Option<Matrix>>) {
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
 }
 
 impl Optimizer for Adam {

@@ -1,22 +1,294 @@
-//! Checkpointing: save/load parameter sets as JSON.
+//! Checkpointing: crash-safe, checksummed parameter-set files.
 //!
-//! JSON keeps checkpoints human-inspectable and append-friendly for the
-//! experiment manifests; the models here are small enough (10⁴–10⁶
-//! scalars) that a binary format buys nothing. The format is written and
-//! parsed by hand (the build environment has no serde_json), as a single
-//! object:
+//! # Checkpoint format
+//!
+//! Every checkpoint is a one-line ASCII envelope header followed by the
+//! raw payload bytes:
+//!
+//! ```text
+//! MIRAGECKPT <version> <kind> <payload-len> <crc32-hex>\n
+//! <payload bytes>
+//! ```
+//!
+//! * `version` — format version, currently `1`. Loaders reject newer
+//!   versions with a typed error instead of misparsing them.
+//! * `kind` — a four-character tag naming the payload type (`NNPS` for a
+//!   parameter-set JSON body; `mirage-core` seals its training-state
+//!   snapshots with its own tags). Loading a checkpoint under the wrong
+//!   kind is a typed error, so a training-state file can never be
+//!   silently misread as bare network weights.
+//! * `payload-len` / `crc32-hex` — the payload's byte length and IEEE
+//!   CRC-32, both validated on load. Truncation and bit corruption each
+//!   map to their own [`CheckpointError`] variant; a corrupted checkpoint
+//!   can never yield a silently-wrong [`ParamSet`].
+//!
+//! Parameter-set payloads stay human-inspectable JSON (the build
+//! environment has no serde_json, so the body is written and parsed by
+//! hand):
 //!
 //! ```json
 //! {"params": [{"name": "layer.w", "rows": 2, "cols": 2,
 //!              "data": [1.5, -2.0, 0.0, 3.25]}, ...]}
 //! ```
+//!
+//! # Recovery semantics
+//!
+//! [`save_params`] (and any writer built on [`write_atomic`]) never
+//! modifies the destination file in place: the sealed bytes go to a
+//! temporary file in the same directory, which is fsynced and then
+//! renamed over the target. A crash mid-write leaves either the previous
+//! checkpoint or the new one — never a torn file. Non-finite parameters
+//! are rejected *before* anything touches the filesystem, so a diverged
+//! run cannot clobber its last good checkpoint with an unloadable one.
+//! Headerless files that start with `{` are accepted by [`load_params`]
+//! as legacy bare-JSON checkpoints (no integrity check is possible for
+//! those).
 
+use std::fmt;
 use std::fs::File;
-use std::io::{BufWriter, Error, ErrorKind, Read, Write};
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 use crate::param::ParamSet;
 use crate::tensor::Matrix;
+
+/// Leading magic token of every sealed checkpoint.
+pub const CHECKPOINT_MAGIC: &str = "MIRAGECKPT";
+/// Current envelope format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+/// Payload-kind tag for parameter-set (network weights) checkpoints.
+pub const KIND_PARAMS: &str = "NNPS";
+
+/// Typed checkpoint failure: every way a save or load can go wrong,
+/// distinguishable by the caller. Corruption is always one of these —
+/// never a panic, never a silently different payload.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (open/read/write/fsync/rename).
+    Io(std::io::Error),
+    /// The file does not begin with a `MIRAGECKPT` envelope header.
+    BadMagic,
+    /// The envelope is from a newer (or unknown) format version.
+    UnsupportedVersion(u32),
+    /// The payload kind does not match what the loader expected.
+    WrongKind {
+        /// Kind tag the loader asked for.
+        expected: &'static str,
+        /// Kind tag found in the header.
+        found: String,
+    },
+    /// The header is structurally malformed (missing or unparsable field).
+    Header(String),
+    /// The payload is shorter or longer than the header's declared length.
+    Truncated {
+        /// Byte length declared in the header.
+        expected: usize,
+        /// Byte length actually present.
+        found: usize,
+    },
+    /// The payload bytes do not hash to the header's CRC-32.
+    ChecksumMismatch {
+        /// CRC-32 declared in the header.
+        expected: u32,
+        /// CRC-32 of the bytes actually present.
+        found: u32,
+    },
+    /// The payload passed integrity checks but is not valid checkpoint
+    /// JSON (or violates a structural invariant like `data.len != r×c`).
+    Parse {
+        /// Byte offset inside the payload where parsing failed.
+        pos: usize,
+        /// What the parser expected.
+        msg: String,
+    },
+    /// A parameter holds NaN/∞ and cannot be written losslessly.
+    NonFinite(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::BadMagic => write!(f, "not a mirage checkpoint (bad magic)"),
+            Self::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            Self::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "wrong checkpoint kind: expected {expected}, found {found}"
+                )
+            }
+            Self::Header(msg) => write!(f, "malformed checkpoint header: {msg}"),
+            Self::Truncated { expected, found } => write!(
+                f,
+                "truncated checkpoint: header declares {expected} payload bytes, found {found}"
+            ),
+            Self::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: header {expected:08x}, payload {found:08x}"
+            ),
+            Self::Parse { pos, msg } => {
+                write!(f, "checkpoint parse error at byte {pos}: {msg}")
+            }
+            Self::NonFinite(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// IEEE CRC-32 lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` (the checksum in every envelope header).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Wraps `payload` in the versioned, checksummed envelope under a
+/// four-character `kind` tag. The inverse of [`unseal`].
+pub fn seal(kind: &str, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(
+        kind.len() == 4 && kind.is_ascii(),
+        "checkpoint kind tags are four ASCII characters"
+    );
+    let mut out = format!(
+        "{CHECKPOINT_MAGIC} {CHECKPOINT_VERSION} {kind} {} {:08x}\n",
+        payload.len(),
+        crc32(payload)
+    )
+    .into_bytes();
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates the envelope of `bytes` (magic, version, kind, length,
+/// checksum) and returns the payload slice.
+pub fn unseal<'a>(kind: &'static str, bytes: &'a [u8]) -> Result<&'a [u8], CheckpointError> {
+    // The header always fits well within the first 128 bytes; bounding
+    // the newline scan keeps garbage inputs from scanning megabytes.
+    let nl = bytes
+        .iter()
+        .take(128)
+        .position(|&b| b == b'\n')
+        .ok_or(CheckpointError::BadMagic)?;
+    let header = std::str::from_utf8(&bytes[..nl]).map_err(|_| CheckpointError::BadMagic)?;
+    let mut fields = header.split(' ');
+    if fields.next() != Some(CHECKPOINT_MAGIC) {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version: u32 = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Header("unparsable version".into()))?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let found_kind = fields
+        .next()
+        .ok_or_else(|| CheckpointError::Header("missing kind tag".into()))?;
+    if found_kind != kind {
+        return Err(CheckpointError::WrongKind {
+            expected: kind,
+            found: found_kind.to_string(),
+        });
+    }
+    let len: usize = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Header("unparsable payload length".into()))?;
+    let declared_crc = fields
+        .next()
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| CheckpointError::Header("unparsable checksum".into()))?;
+    if fields.next().is_some() {
+        return Err(CheckpointError::Header("trailing header fields".into()));
+    }
+    let payload = &bytes[nl + 1..];
+    if payload.len() != len {
+        return Err(CheckpointError::Truncated {
+            expected: len,
+            found: payload.len(),
+        });
+    }
+    let found_crc = crc32(payload);
+    if found_crc != declared_crc {
+        return Err(CheckpointError::ChecksumMismatch {
+            expected: declared_crc,
+            found: found_crc,
+        });
+    }
+    Ok(payload)
+}
+
+/// Atomically replaces `path` with `bytes`: write to a same-directory
+/// temporary file, fsync it, then rename over the target (with a
+/// best-effort directory fsync so the rename itself is durable). A crash
+/// at any point leaves either the old file or the new one, never a torn
+/// mix; on error the temporary file is cleaned up.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let dir: PathBuf = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| CheckpointError::Header(format!("{} has no file name", path.display())))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let write = (|| -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    } else if let Ok(d) = File::open(&dir) {
+        d.sync_all().ok();
+    }
+    write.map_err(CheckpointError::Io)
+}
 
 fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
@@ -40,7 +312,7 @@ fn write_json_string(out: &mut String, s: &str) {
 /// tokens, so writing them would produce a checkpoint that can never be
 /// loaded back — better to refuse at save time, when the diverged
 /// training run is still debuggable.
-pub fn params_to_json(ps: &ParamSet) -> Result<String, Error> {
+pub fn params_to_json(ps: &ParamSet) -> Result<String, CheckpointError> {
     use std::fmt::Write as _;
 
     let mut out = String::from("{\"params\": [");
@@ -58,14 +330,11 @@ pub fn params_to_json(ps: &ParamSet) -> Result<String, Error> {
         );
         for (j, v) in m.data().iter().enumerate() {
             if !v.is_finite() {
-                return Err(Error::new(
-                    ErrorKind::InvalidData,
-                    format!(
-                        "parameter {:?} contains non-finite value {v} at index {j}; \
-                         refusing to write an unloadable checkpoint",
-                        ps.name(id)
-                    ),
-                ));
+                return Err(CheckpointError::NonFinite(format!(
+                    "parameter {:?} contains non-finite value {v} at index {j}; \
+                     refusing to write an unloadable checkpoint",
+                    ps.name(id)
+                )));
             }
             if j > 0 {
                 out.push(',');
@@ -94,11 +363,11 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn err(&self, msg: &str) -> Error {
-        Error::new(
-            ErrorKind::InvalidData,
-            format!("checkpoint parse error at byte {}: {msg}", self.pos),
-        )
+    fn err(&self, msg: &str) -> CheckpointError {
+        CheckpointError::Parse {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -116,7 +385,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), Error> {
+    fn expect(&mut self, c: u8) -> Result<(), CheckpointError> {
         if self.peek() == Some(c) {
             self.pos += 1;
             Ok(())
@@ -134,7 +403,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, Error> {
+    fn string(&mut self) -> Result<String, CheckpointError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -192,7 +461,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<f64, Error> {
+    fn number(&mut self) -> Result<f64, CheckpointError> {
         self.skip_ws();
         let start = self.pos;
         while let Some(&b) = self.bytes.get(self.pos) {
@@ -219,7 +488,7 @@ fn utf8_width(first: u8) -> usize {
 }
 
 /// Parses the checkpoint JSON format back into a parameter set.
-pub fn params_from_json(text: &str) -> Result<ParamSet, Error> {
+pub fn params_from_json(text: &str) -> Result<ParamSet, CheckpointError> {
     let mut p = Parser::new(text);
     let mut ps = ParamSet::new();
     p.expect(b'{')?;
@@ -263,7 +532,10 @@ pub fn params_from_json(text: &str) -> Result<ParamSet, Error> {
             }
             p.expect(b'}')?;
             let name = name.ok_or_else(|| p.err("missing name"))?;
-            if data.len() != rows * cols {
+            let expected = rows
+                .checked_mul(cols)
+                .ok_or_else(|| p.err("rows x cols overflows"))?;
+            if data.len() != expected {
                 return Err(p.err("data length does not match rows x cols"));
             }
             ps.alloc(name, Matrix::from_vec(rows, cols, data));
@@ -277,21 +549,37 @@ pub fn params_from_json(text: &str) -> Result<ParamSet, Error> {
     Ok(ps)
 }
 
-/// Saves a parameter set to `path` as JSON. Fails (without touching the
-/// file) if any parameter is non-finite.
-pub fn save_params(ps: &ParamSet, path: impl AsRef<Path>) -> std::io::Result<()> {
-    let text = params_to_json(ps)?;
-    let file = File::create(path)?;
-    let mut w = BufWriter::new(file);
-    w.write_all(text.as_bytes())?;
-    w.flush()
+/// Decodes a parameter set from sealed checkpoint bytes, accepting
+/// headerless bare JSON (a `{` first byte) as the legacy format.
+pub fn params_from_bytes(bytes: &[u8]) -> Result<ParamSet, CheckpointError> {
+    if bytes.first() == Some(&b'{') {
+        let text = std::str::from_utf8(bytes).map_err(|_| CheckpointError::Parse {
+            pos: 0,
+            msg: "legacy checkpoint is not UTF-8".into(),
+        })?;
+        return params_from_json(text);
+    }
+    let payload = unseal(KIND_PARAMS, bytes)?;
+    let text = std::str::from_utf8(payload).map_err(|_| CheckpointError::Parse {
+        pos: 0,
+        msg: "payload is not UTF-8".into(),
+    })?;
+    params_from_json(text)
 }
 
-/// Loads a parameter set from a JSON file written by [`save_params`].
-pub fn load_params(path: impl AsRef<Path>) -> std::io::Result<ParamSet> {
-    let mut text = String::new();
-    File::open(path)?.read_to_string(&mut text)?;
-    params_from_json(&text)
+/// Saves a parameter set to `path` as a sealed, atomically-replaced
+/// checkpoint. Fails (without touching the file) if any parameter is
+/// non-finite.
+pub fn save_params(ps: &ParamSet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let text = params_to_json(ps)?;
+    write_atomic(path, &seal(KIND_PARAMS, text.as_bytes()))
+}
+
+/// Loads a parameter set from a checkpoint written by [`save_params`]
+/// (or a legacy headerless JSON checkpoint).
+pub fn load_params(path: impl AsRef<Path>) -> Result<ParamSet, CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    params_from_bytes(&bytes)
 }
 
 #[cfg(test)]
@@ -321,7 +609,10 @@ mod tests {
 
     #[test]
     fn missing_file_is_an_error() {
-        assert!(load_params("/nonexistent/mirage/ckpt.json").is_err());
+        assert!(matches!(
+            load_params("/nonexistent/mirage/ckpt.json"),
+            Err(CheckpointError::Io(_))
+        ));
     }
 
     #[test]
@@ -369,5 +660,96 @@ mod tests {
             "{\"params\": [{\"name\": \"x\", \"rows\": 2, \"cols\": 2, \"data\": [1.0]}]}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip_and_kind_check() {
+        let sealed = seal("TEST", b"payload bytes");
+        assert_eq!(unseal("TEST", &sealed).unwrap(), b"payload bytes");
+        assert!(matches!(
+            unseal("OTHR", &sealed),
+            Err(CheckpointError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn envelope_corruption_yields_typed_errors() {
+        let sealed = seal(KIND_PARAMS, b"{\"params\": []}");
+        // Truncated payload.
+        assert!(matches!(
+            unseal(KIND_PARAMS, &sealed[..sealed.len() - 3]),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        // Flipped payload bit.
+        let mut flipped = sealed.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        assert!(matches!(
+            unseal(KIND_PARAMS, &flipped),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        // Garbage prefix.
+        assert!(matches!(
+            unseal(KIND_PARAMS, b"not a checkpoint\nat all"),
+            Err(CheckpointError::BadMagic)
+        ));
+        // Future version.
+        let future = seal(KIND_PARAMS, b"x").splice_version();
+        assert!(matches!(
+            unseal(KIND_PARAMS, &future),
+            Err(CheckpointError::UnsupportedVersion(_))
+        ));
+    }
+
+    trait SpliceVersion {
+        fn splice_version(self) -> Vec<u8>;
+    }
+
+    impl SpliceVersion for Vec<u8> {
+        /// Rewrites the header's version field to `9`.
+        fn splice_version(mut self) -> Vec<u8> {
+            let pos = CHECKPOINT_MAGIC.len() + 1;
+            self[pos] = b'9';
+            self
+        }
+    }
+
+    #[test]
+    fn legacy_headerless_json_still_loads() {
+        let mut ps = ParamSet::new();
+        let id = ps.alloc("w", Matrix::from_vec(1, 2, vec![0.25, -4.0]));
+        let text = params_to_json(&ps).unwrap();
+        let dir = std::env::temp_dir().join("mirage_nn_ser_legacy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(&path, text.as_bytes()).unwrap();
+        let loaded = load_params(&path).unwrap();
+        assert_eq!(loaded.get(id), ps.get(id));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("mirage_nn_ser_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.ckpt");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No stray temp files left behind.
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(strays.is_empty(), "temp files left behind: {strays:?}");
+        std::fs::remove_file(path).ok();
     }
 }

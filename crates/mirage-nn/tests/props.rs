@@ -1,6 +1,11 @@
-//! Property-based tests for the tensor and layer algebra.
+//! Property-based tests for the tensor and layer algebra, plus the
+//! checkpoint envelope's corruption contract: damaged bytes are typed
+//! errors, never panics or silently-wrong parameters.
+
+use std::sync::OnceLock;
 
 use mirage_nn::foundation::{FoundationKind, FoundationNet};
+use mirage_nn::serialize::{params_from_bytes, params_to_json, seal, KIND_PARAMS};
 use mirage_nn::tensor::Matrix;
 use mirage_nn::transformer::TransformerConfig;
 use mirage_nn::transformer::TransformerEncoder;
@@ -12,6 +17,27 @@ use rand::SeedableRng;
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-3.0f32..3.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// One sealed reference checkpoint, built once and shared across
+/// corruption cases (the bytes being damaged are always the same —
+/// only the damage varies).
+fn sealed_reference() -> &'static (ParamSet, Vec<u8>) {
+    static SEALED: OnceLock<(ParamSet, Vec<u8>)> = OnceLock::new();
+    SEALED.get_or_init(|| {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        ps.alloc("w1", Matrix::xavier(4, 6, &mut rng));
+        ps.alloc("b1", Matrix::xavier(1, 6, &mut rng));
+        ps.alloc("w2", Matrix::xavier(6, 2, &mut rng));
+        let json = params_to_json(&ps).expect("reference params serialize");
+        let bytes = seal(KIND_PARAMS, json.as_bytes());
+        (ps, bytes)
+    })
+}
+
+fn params_bitwise_eq(a: &ParamSet, b: &ParamSet) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|((_, ma), (_, mb))| ma == mb)
 }
 
 proptest! {
@@ -250,6 +276,56 @@ proptest! {
             }
             window.row_mut(seq - 1).copy_from_slice(fresh.row(0));
         }
+    }
+
+    /// Truncating a valid sealed checkpoint at *any* byte offset is a
+    /// typed error — never a panic, never a partial `ParamSet`.
+    #[test]
+    fn truncated_checkpoints_are_typed_errors(frac in 0.0f64..1.0) {
+        let (_, bytes) = sealed_reference();
+        let cut = ((bytes.len() as f64) * frac) as usize; // 0..len, never the full file
+        let cut = cut.min(bytes.len() - 1);
+        prop_assert!(
+            params_from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} must not load",
+            bytes.len()
+        );
+    }
+
+    /// Flipping any single bit of a sealed checkpoint either fails with
+    /// a typed error or (if the flip is somehow harmless) loads the
+    /// *exact* original parameters — the loader never hands back
+    /// silently-wrong weights.
+    #[test]
+    fn bit_flipped_checkpoints_never_load_wrong_params(
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let (original, bytes) = sealed_reference();
+        let pos = (((bytes.len() - 1) as f64) * byte_frac) as usize;
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 1 << bit;
+        match params_from_bytes(&flipped) {
+            Err(_) => {}
+            Ok(loaded) => prop_assert!(
+                params_bitwise_eq(&loaded, original),
+                "flip at byte {pos} bit {bit} loaded different params"
+            ),
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the loader; anything that is
+    /// not a legacy headerless-JSON candidate (leading `{{`) must be a
+    /// typed error.
+    #[test]
+    fn garbage_bytes_never_panic_the_loader(garbage in prop::collection::vec(0u8..255, 0..512)) {
+        let result = params_from_bytes(&garbage);
+        if garbage.first() != Some(&b'{') {
+            prop_assert!(result.is_err(), "garbage without the legacy JSON marker must not load");
+        }
+        // Leading '{' goes down the legacy JSON path, where random bytes
+        // still only ever produce a typed parse error (reaching here at
+        // all proves no panic).
     }
 
     /// Gradient accumulation is commutative: merge(a, b) == merge(b, a).

@@ -64,6 +64,30 @@ fn epsilon_draw(rng: &mut impl Rng, eps: f32, greedy: impl FnOnce() -> usize) ->
     }
 }
 
+/// Everything a [`DqnAgent`] needs to resume bit-identically after a
+/// crash: online/target weights, Adam moments and both step clocks.
+/// Derived state (scratch arenas, embed-row caches) is rebuilt empty on
+/// import — it never affects results, only allocation reuse.
+#[derive(Debug, Clone)]
+pub struct DqnAgentState {
+    /// Online-network parameters, in [`ParamSet`](mirage_nn::ParamSet)
+    /// allocation order.
+    pub net_params: Vec<Matrix>,
+    /// Target-network parameters (`None` when no target network is
+    /// configured).
+    pub target_params: Option<Vec<Matrix>>,
+    /// Adam update steps taken.
+    pub opt_t: u64,
+    /// Adam first moments, by parameter position.
+    pub opt_m: Vec<Option<Matrix>>,
+    /// Adam second moments, by parameter position.
+    pub opt_v: Vec<Option<Matrix>>,
+    /// Environment steps (the global ε clock).
+    pub steps: u64,
+    /// Mini-batch updates taken (drives target syncs).
+    pub train_steps: u64,
+}
+
 /// DQN agent over a [`DualHeadNet`].
 #[derive(Debug, Clone)]
 pub struct DqnAgent {
@@ -108,6 +132,65 @@ impl DqnAgent {
     /// Current exploration rate.
     pub fn epsilon(&self) -> f32 {
         self.cfg.epsilon.value(self.steps)
+    }
+
+    /// The raw Q-pair `[Q(wait), Q(submit)]` for one state — the guarded
+    /// inference path reads this to validate outputs before acting on
+    /// them. Identical to what [`act_greedy`](Self::act_greedy) argmaxes.
+    pub fn q_pair(&mut self, state: &Matrix) -> [f32; 2] {
+        self.net.q_values(state, &mut self.scratch)
+    }
+
+    /// Snapshots the full training state for crash-safe checkpointing.
+    /// Round-trips through [`import_state`](Self::import_state).
+    pub fn export_state(&self) -> DqnAgentState {
+        DqnAgentState {
+            net_params: self.net.ps.iter().map(|(_, m)| m.clone()).collect(),
+            target_params: self
+                .target
+                .as_ref()
+                .map(|t| t.ps.iter().map(|(_, m)| m.clone()).collect()),
+            opt_t: self.opt.steps(),
+            opt_m: self.opt.state().1.to_vec(),
+            opt_v: self.opt.state().2.to_vec(),
+            steps: self.steps,
+            train_steps: self.train_steps,
+        }
+    }
+
+    /// Restores an [`export_state`](Self::export_state) snapshot into an
+    /// agent freshly built over the same network architecture. After
+    /// this, every act/train call is bit-identical to what the
+    /// snapshotted agent would have produced. Panics if the parameter
+    /// count does not match the agent's network (wrong architecture).
+    pub fn import_state(&mut self, state: DqnAgentState) {
+        assert_eq!(
+            state.net_params.len(),
+            self.net.ps.len(),
+            "checkpoint parameter count does not match the network"
+        );
+        let ids: Vec<_> = self.net.ps.iter().map(|(id, _)| id).collect();
+        for (id, m) in ids.iter().zip(state.net_params) {
+            *self.net.ps.get_mut(*id) = m;
+        }
+        match state.target_params {
+            Some(params) => {
+                let mut target = self.net.clone();
+                let tids: Vec<_> = target.ps.iter().map(|(id, _)| id).collect();
+                assert_eq!(params.len(), tids.len(), "target parameter count mismatch");
+                for (id, m) in tids.iter().zip(params) {
+                    *target.ps.get_mut(*id) = m;
+                }
+                self.target = Some(target);
+            }
+            None => self.target = None,
+        }
+        self.opt
+            .restore_state(state.opt_t, state.opt_m, state.opt_v);
+        self.steps = state.steps;
+        self.train_steps = state.train_steps;
+        // Cached embed rows belong to the pre-restore weights.
+        self.batch_cache.clear();
     }
 
     /// ε-greedy action; advances the agent's global exploration clock.

@@ -11,21 +11,26 @@
 //! * [`pg::PgAgent`] — REINFORCE with moving-average baseline and entropy
 //!   regularization (§2.3, §4.9.2),
 //! * [`offline::pretrain_foundation`] — supervised reward-regression
-//!   pretraining of the foundation (§4.9.1).
+//!   pretraining of the foundation (§4.9.1),
+//! * [`guard::GuardedPolicy`] — output validation with graceful
+//!   degradation to the reactive heuristic when a network emits
+//!   non-finite or degenerate values.
 
 pub mod dqn;
 pub mod dualhead;
 pub mod env;
+pub mod guard;
 pub mod offline;
 pub mod pg;
 pub mod replay;
 pub mod schedule;
 
-pub use dqn::{DqnAgent, DqnConfig};
+pub use dqn::{DqnAgent, DqnAgentState, DqnConfig};
 pub use dualhead::{ActionEncoding, BatchInferCache, DualHeadConfig, DualHeadNet};
 pub use env::{rollout, Environment, StepResult};
+pub use guard::{prob_pair_is_valid, q_pair_is_valid, GuardStats, GuardedPolicy, FALLBACK_ACTION};
 pub use offline::{pretrain_foundation, reward_mse, PretrainConfig, RewardSample};
-pub use pg::{EpisodeSample, PgAgent, PgConfig};
+pub use pg::{EpisodeSample, PgAgent, PgAgentState, PgConfig};
 pub use replay::{BalancedReplay, Experience, ReplayBuffer};
 pub use schedule::{EpsilonSchedule, ExploreLane, ServiceLanes};
 

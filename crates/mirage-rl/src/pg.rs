@@ -62,6 +62,27 @@ pub struct EpisodeSample {
     pub episode_return: f32,
 }
 
+/// Everything a [`PgAgent`] needs to resume bit-identically after a
+/// crash: weights, Adam moments, the EMA baseline and the episode clock.
+#[derive(Debug, Clone)]
+pub struct PgAgentState {
+    /// Network parameters, in [`ParamSet`](mirage_nn::ParamSet)
+    /// allocation order.
+    pub net_params: Vec<Matrix>,
+    /// Adam update steps taken.
+    pub opt_t: u64,
+    /// Adam first moments, by parameter position.
+    pub opt_m: Vec<Option<Matrix>>,
+    /// Adam second moments, by parameter position.
+    pub opt_v: Vec<Option<Matrix>>,
+    /// EMA return baseline.
+    pub baseline: f32,
+    /// Whether the baseline has absorbed its first batch.
+    pub baseline_initialized: bool,
+    /// Episodes consumed so far.
+    pub episodes: u64,
+}
+
 /// REINFORCE agent over a [`DualHeadNet`].
 #[derive(Debug, Clone)]
 pub struct PgAgent {
@@ -103,6 +124,49 @@ impl PgAgent {
     /// Current return baseline.
     pub fn baseline(&self) -> f32 {
         self.baseline
+    }
+
+    /// The raw probability pair `[p(wait), p(submit)]` for one state —
+    /// the guarded inference path reads this to validate outputs before
+    /// sampling from them. Identical to what [`act`](Self::act) samples.
+    pub fn p_pair(&mut self, state: &Matrix) -> [f32; 2] {
+        self.net.p_probs(state, &mut self.scratch)
+    }
+
+    /// Snapshots the full training state for crash-safe checkpointing.
+    /// Round-trips through [`import_state`](Self::import_state).
+    pub fn export_state(&self) -> PgAgentState {
+        PgAgentState {
+            net_params: self.net.ps.iter().map(|(_, m)| m.clone()).collect(),
+            opt_t: self.opt.steps(),
+            opt_m: self.opt.state().1.to_vec(),
+            opt_v: self.opt.state().2.to_vec(),
+            baseline: self.baseline,
+            baseline_initialized: self.baseline_initialized,
+            episodes: self.episodes,
+        }
+    }
+
+    /// Restores an [`export_state`](Self::export_state) snapshot into an
+    /// agent freshly built over the same network architecture. Panics if
+    /// the parameter count does not match (wrong architecture).
+    pub fn import_state(&mut self, state: PgAgentState) {
+        assert_eq!(
+            state.net_params.len(),
+            self.net.ps.len(),
+            "checkpoint parameter count does not match the network"
+        );
+        let ids: Vec<_> = self.net.ps.iter().map(|(id, _)| id).collect();
+        for (id, m) in ids.iter().zip(state.net_params) {
+            *self.net.ps.get_mut(*id) = m;
+        }
+        self.opt
+            .restore_state(state.opt_t, state.opt_m, state.opt_v);
+        self.baseline = state.baseline;
+        self.baseline_initialized = state.baseline_initialized;
+        self.episodes = state.episodes;
+        // Cached embed rows belong to the pre-restore weights.
+        self.batch_cache.clear();
     }
 
     /// Samples an action from the policy distribution (allocation-free

@@ -109,6 +109,28 @@ impl ReplayBuffer {
     pub fn iter(&self) -> impl Iterator<Item = &Experience> {
         self.buf.iter()
     }
+
+    /// The raw ring state — `(capacity, write cursor, stored slots in
+    /// ring order)` — for crash-safe checkpointing. Round-trips through
+    /// [`ReplayBuffer::from_raw_parts`] bit for bit, eviction order
+    /// included.
+    pub fn raw_parts(&self) -> (usize, usize, &[Experience]) {
+        (self.capacity, self.write, &self.buf)
+    }
+
+    /// Rebuilds a buffer from a [`ReplayBuffer::raw_parts`] snapshot:
+    /// the restored ring pushes, evicts and samples exactly as the
+    /// snapshotted one would have.
+    pub fn from_raw_parts(capacity: usize, write: usize, buf: Vec<Experience>) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(buf.len() <= capacity, "ring holds more than its capacity");
+        assert!(write < capacity, "write cursor out of range");
+        Self {
+            buf,
+            capacity,
+            write,
+        }
+    }
 }
 
 /// Class-balanced wait/submit replay (§4.9.2a).
@@ -161,6 +183,13 @@ impl BalancedReplay {
     /// The submit-class (action 1) buffer.
     pub fn submit(&self) -> &ReplayBuffer {
         &self.submit
+    }
+
+    /// Reassembles a pool from two restored class rings (the
+    /// checkpoint-resume path; pair with [`ReplayBuffer::raw_parts`] /
+    /// [`ReplayBuffer::from_raw_parts`] on each class).
+    pub fn from_buffers(wait: ReplayBuffer, submit: ReplayBuffer) -> Self {
+        Self { wait, submit }
     }
 
     /// Samples an `n`-transition class-balanced mini-batch into `out`

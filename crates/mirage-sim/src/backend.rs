@@ -17,14 +17,22 @@
 //!   parallel collection,
 //! * [`BackendPool`] — N independently seeded backends fanned out over
 //!   std threads (the vendored `rayon` is sequential, so this is the
-//!   workspace's real parallelism for episode collection).
+//!   workspace's real parallelism for episode collection). The pool is
+//!   **supervised**: a task that panics does not kill the run — the
+//!   worker catches the unwind, rebuilds its backend from the factory,
+//!   and the task is retried (on whichever worker claims it next) under
+//!   a bounded-backoff budget, with every incident counted in
+//!   [`PoolHealth`]. [`PanicPlan`] injects deterministic panics so the
+//!   supervision path itself is testable.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use mirage_trace::{split_seed, JobRecord};
 
-use crate::fault::{FaultModel, FaultStats, JobFaults, RetryPolicy};
+use crate::fault::{FaultModel, FaultStats, JobFaults, RetryPolicy, SimConfigError};
 use crate::metrics::{ServiceUsage, SimMetrics};
 use crate::reference::{ReferenceConfig, ReferenceSimulator};
 use crate::simulator::{JobStatus, SimConfig, Simulator};
@@ -639,12 +647,28 @@ impl SimBuilder {
 
     /// Builds the selected backend ([`BackendKind::Pooled`] yields one
     /// event-driven instance; use [`build_pool`](Self::build_pool) for the
-    /// fan-out).
+    /// fan-out). Panics with the [`SimConfigError`] message on an invalid
+    /// configuration — use [`try_build`](Self::try_build) to handle it.
     pub fn build(&self) -> AnyBackend {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("SimBuilder::build: {e}"))
+    }
+
+    /// Builds the selected backend after validating every numeric field
+    /// (partition size, cadences, fault and retry parameters), so a NaN
+    /// failure probability or negative MTBF is a typed error here instead
+    /// of a garbage fault tape mid-run.
+    pub fn try_build(&self) -> Result<AnyBackend, SimConfigError> {
         match self.kind {
-            BackendKind::Tick => AnyBackend::Tick(ReferenceSimulator::new(self.reference_config())),
+            BackendKind::Tick => {
+                let cfg = self.reference_config();
+                cfg.validate()?;
+                Ok(AnyBackend::Tick(ReferenceSimulator::new(cfg)))
+            }
             BackendKind::EventDriven | BackendKind::Pooled { .. } => {
-                AnyBackend::Event(Simulator::new(self.sim_config()))
+                let cfg = self.sim_config();
+                cfg.validate()?;
+                Ok(AnyBackend::Event(Simulator::new(cfg)))
             }
         }
     }
@@ -699,16 +723,114 @@ fn default_workers() -> usize {
         .clamp(1, 16)
 }
 
+/// Maximum times one task is attempted before the pool gives up and
+/// propagates the panic (1 initial try + 2 retries).
+pub const MAX_TASK_ATTEMPTS: u32 = 3;
+
+/// Cumulative supervision counters of one [`BackendPool`] (monotone
+/// across [`BackendPool::map`] calls; snapshot via
+/// [`BackendPool::health`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Task executions that panicked (caught by the supervisor).
+    pub panics: u64,
+    /// Tasks re-queued for another attempt after a panic.
+    pub retries: u64,
+    /// Worker backends rebuilt from the factory after a panic poisoned
+    /// their state.
+    pub rebuilds: u64,
+    /// Tasks that produced a result (retried tasks count once).
+    pub completed: u64,
+}
+
+#[derive(Debug, Default)]
+struct PoolHealthCounters {
+    panics: AtomicU64,
+    retries: AtomicU64,
+    rebuilds: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl PoolHealthCounters {
+    fn snapshot(&self) -> PoolHealth {
+        PoolHealth {
+            panics: self.panics.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Deterministic panic injection for supervision tests: the listed task
+/// indices panic on their *first* attempt (each index fires once, then
+/// is spent), so a seeded plan exercises the catch-unwind / rebuild /
+/// retry path reproducibly — and, because retried tasks run on freshly
+/// rebuilt backends, a planned run's results are identical to a
+/// panic-free run's.
+#[derive(Debug, Clone, Default)]
+pub struct PanicPlan {
+    tasks: Vec<usize>,
+}
+
+impl PanicPlan {
+    /// Panic on the first attempt of exactly these task indices.
+    pub fn tasks(tasks: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            tasks: tasks.into_iter().collect(),
+        }
+    }
+
+    /// `count` distinct task indices drawn deterministically from
+    /// `seed` over `0..n_tasks`.
+    pub fn seeded(seed: u64, n_tasks: usize, count: usize) -> Self {
+        let mut tasks: Vec<usize> = Vec::new();
+        if n_tasks == 0 {
+            return Self { tasks };
+        }
+        let mut stream = 0u64;
+        while tasks.len() < count.min(n_tasks) {
+            let i = (split_seed(seed, stream) % n_tasks as u64) as usize;
+            if !tasks.contains(&i) {
+                tasks.push(i);
+            }
+            stream += 1;
+        }
+        Self { tasks }
+    }
+
+    /// The task indices this plan will panic on.
+    pub fn indices(&self) -> &[usize] {
+        &self.tasks
+    }
+}
+
+/// Recovers the inner value of a possibly poisoned mutex: the pool's
+/// slot writes are all-or-nothing (`*guard = Some(r)`), so a poisoned
+/// result slot still holds a coherent value — recover it instead of
+/// cascading the panic into the collector.
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// N independently seeded backends fanned out over std threads.
 ///
 /// Tasks are claimed from a shared cursor, every worker drives its own
 /// backend built by the factory (seeded `base_seed ^ worker_index`), and
 /// results land at their task's index — so the output is identical to a
 /// sequential run over the same tasks, whatever the thread interleaving.
+///
+/// Workers are supervised: a panicking task is caught, the worker's
+/// backend is rebuilt from the factory (panic-poisoned simulator state
+/// must not leak into later tasks), and the task is re-queued with a
+/// small backoff for up to [`MAX_TASK_ATTEMPTS`] attempts before the
+/// panic is propagated. [`BackendPool::health`] exposes the counters.
 pub struct BackendPool<F: BackendFactory> {
     factory: F,
     workers: usize,
     base_seed: u64,
+    health: PoolHealthCounters,
+    panic_plan: Mutex<HashSet<usize>>,
 }
 
 impl<F: BackendFactory> BackendPool<F> {
@@ -723,12 +845,27 @@ impl<F: BackendFactory> BackendPool<F> {
             factory,
             workers: workers.max(1),
             base_seed,
+            health: PoolHealthCounters::default(),
+            panic_plan: Mutex::new(HashSet::new()),
         }
     }
 
     /// Worker (= backend instance) count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Snapshot of the supervision counters (cumulative over this
+    /// pool's lifetime).
+    pub fn health(&self) -> PoolHealth {
+        self.health.snapshot()
+    }
+
+    /// Arms deterministic panic injection for the next
+    /// [`BackendPool::map`] call(s): each planned index fires once, on
+    /// that task's first attempt. Supervision-test hook.
+    pub fn inject_panics(&mut self, plan: PanicPlan) {
+        *lock_recovering(&self.panic_plan) = plan.tasks.into_iter().collect();
     }
 
     /// Builds one backend outside the pool (worker index 0's seed).
@@ -759,6 +896,12 @@ impl<F: BackendFactory> BackendPool<F> {
     /// results in task order. `f` must leave the backend reusable (the
     /// episode driver resets it), which is what makes results independent
     /// of the task-to-worker assignment.
+    ///
+    /// Tasks are supervised: a panic inside `f` is caught, the worker's
+    /// backend is rebuilt from the factory, and the task is re-queued
+    /// (with a small backoff) until it succeeds or exhausts
+    /// [`MAX_TASK_ATTEMPTS`], at which point the panic is propagated to
+    /// the caller with the task index and attempt count.
     pub fn map<T, R, G>(&self, tasks: &[T], f: G) -> Vec<R>
     where
         T: Sync,
@@ -766,38 +909,110 @@ impl<F: BackendFactory> BackendPool<F> {
         G: Fn(&mut F::Backend, &T) -> R + Sync,
     {
         let workers = self.workers.min(tasks.len()).max(1);
-        if workers == 1 {
-            let mut backend = self.factory.build(self.base_seed);
-            return tasks.iter().map(|t| f(&mut backend, t)).collect();
-        }
-
         let cursor = AtomicUsize::new(0);
+        let retry_queue: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let attempts: Vec<AtomicU32> = (0..tasks.len()).map(|_| AtomicU32::new(0)).collect();
         let slots: Vec<Mutex<Option<R>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+        type PanicPayload = Box<dyn std::any::Any + Send>;
+        let fatal: Mutex<Option<(usize, u32, PanicPayload)>> = Mutex::new(None);
+
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let cursor = &cursor;
+                let retry_queue = &retry_queue;
+                let attempts = &attempts;
                 let slots = &slots;
+                let fatal = &fatal;
                 let f = &f;
                 let factory = &self.factory;
+                let health = &self.health;
+                let panic_plan = &self.panic_plan;
                 let seed = self.base_seed ^ (w as u64);
                 scope.spawn(move || {
                     let mut backend = factory.build(seed);
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= tasks.len() {
+                        if lock_recovering(fatal).is_some() {
                             break;
                         }
-                        let r = f(&mut backend, &tasks[i]);
-                        *slots[i].lock().expect("unpoisoned result slot") = Some(r);
+                        // Retried tasks take priority over fresh ones, so
+                        // a crashed task finishes close to where it would
+                        // have. If a panic pushes a retry *after* another
+                        // worker saw an empty queue and exited, the
+                        // pushing worker is still alive (it caught its own
+                        // unwind) and claims the retry on its next pass —
+                        // retries are never orphaned.
+                        let (i, is_retry) = match lock_recovering(retry_queue).pop() {
+                            Some(i) => (i, true),
+                            None => {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= tasks.len() {
+                                    break;
+                                }
+                                (i, false)
+                            }
+                        };
+                        if is_retry {
+                            let prior = attempts[i].load(Ordering::Relaxed);
+                            let backoff_ms = 1u64 << prior.min(3);
+                            std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                        }
+                        let inject = lock_recovering(panic_plan).remove(&i);
+                        let outcome = if inject {
+                            catch_unwind(|| -> R { panic!("injected panic (task {i})") })
+                        } else {
+                            catch_unwind(AssertUnwindSafe(|| f(&mut backend, &tasks[i])))
+                        };
+                        match outcome {
+                            Ok(r) => {
+                                *lock_recovering(&slots[i]) = Some(r);
+                                health.completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(payload) => {
+                                health.panics.fetch_add(1, Ordering::Relaxed);
+                                // The unwind may have left the simulator
+                                // mid-step; rebuild from the factory with
+                                // the same seed so later tasks on this
+                                // worker see pristine state.
+                                backend = factory.build(seed);
+                                health.rebuilds.fetch_add(1, Ordering::Relaxed);
+                                let made = attempts[i].fetch_add(1, Ordering::Relaxed) + 1;
+                                if made < MAX_TASK_ATTEMPTS {
+                                    health.retries.fetch_add(1, Ordering::Relaxed);
+                                    lock_recovering(retry_queue).push(i);
+                                } else {
+                                    let mut g = lock_recovering(fatal);
+                                    if g.is_none() {
+                                        *g = Some((i, made, payload));
+                                    }
+                                    break;
+                                }
+                            }
+                        }
                     }
                 });
             }
         });
+
+        if let Some((i, made, payload)) = fatal
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("pool task {i} panicked on all {made} attempts; giving up (last panic: {msg})");
+        }
         slots
             .into_iter()
             .map(|slot| {
+                // Recover the value from a poisoned slot: the write is
+                // all-or-nothing, so a poisoned mutex still holds a
+                // coherent result (satellite of the supervision work —
+                // the collector must not cascade a worker's panic).
                 slot.into_inner()
-                    .expect("unpoisoned result slot")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .expect("every task index was claimed exactly once")
             })
             .collect()
@@ -1046,5 +1261,136 @@ mod tests {
         let pool = BackendPool::new(factory, 2);
         let totals = pool.map(&[0u8, 1, 2], |b, _| b.total_nodes());
         assert_eq!(totals, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn seeded_panics_are_recovered_and_results_match_panic_free() {
+        // Fault-free builder: worker backends differ only by seed, and a
+        // rebuilt worker replays the exact same stream — so a run with
+        // injected panics must produce bit-identical results to a clean
+        // run, with the incidents visible only in the health counters.
+        let builder = SimConfig::builder().nodes(4).seed(9);
+        let tasks: Vec<i64> = (0..17).map(|i| i * HOUR).collect();
+        let run = |backend: &mut AnyBackend, &t: &i64| -> (i64, usize) {
+            backend.reset_with(&small_trace());
+            backend.run_until(t);
+            (
+                t,
+                backend.sample().running.len() + backend.completed().len(),
+            )
+        };
+        let clean = BackendPool::with_seed(builder.clone(), 4, 9).map(&tasks, run);
+
+        let plan = PanicPlan::seeded(77, tasks.len(), 5);
+        let injected = plan.indices().len() as u64;
+        assert_eq!(injected, 5, "seeded plan draws the requested count");
+        let mut pool = BackendPool::with_seed(builder, 4, 9);
+        pool.inject_panics(plan);
+        let supervised = pool.map(&tasks, run);
+
+        assert_eq!(clean, supervised, "recovery does not perturb results");
+        let health = pool.health();
+        assert_eq!(health.panics, injected);
+        assert_eq!(health.retries, injected, "first-attempt panics all retry");
+        assert_eq!(health.rebuilds, injected);
+        assert_eq!(health.completed, tasks.len() as u64);
+    }
+
+    #[test]
+    fn seeded_panic_plans_are_deterministic_and_distinct() {
+        let a = PanicPlan::seeded(3, 10, 4);
+        let b = PanicPlan::seeded(3, 10, 4);
+        assert_eq!(a.indices(), b.indices());
+        assert_eq!(a.indices().len(), 4);
+        for (n, &i) in a.indices().iter().enumerate() {
+            assert!(i < 10);
+            assert!(!a.indices()[..n].contains(&i), "indices are distinct");
+        }
+        // Requesting more panics than tasks saturates instead of spinning.
+        assert_eq!(PanicPlan::seeded(3, 2, 9).indices().len(), 2);
+        assert!(PanicPlan::seeded(3, 0, 9).indices().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked on all 3 attempts")]
+    fn exhausted_retries_propagate_with_context() {
+        // A task that fails deterministically (every attempt, any worker)
+        // must surface as a panic naming the task, not hang or silently
+        // drop the result.
+        let factory = |_seed: u64| Simulator::new(SimConfig::new(2));
+        let pool = BackendPool::new(factory, 3);
+        pool.map(&[0usize, 1, 2, 3], |_, &i| {
+            if i == 2 {
+                panic!("task {i} is cursed");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn try_build_rejects_unsound_configs_with_typed_errors() {
+        // Valid configs build on every backend kind.
+        for kind in [
+            BackendKind::EventDriven,
+            BackendKind::Tick,
+            BackendKind::Pooled { workers: 2 },
+        ] {
+            assert!(SimConfig::builder()
+                .nodes(2)
+                .backend(kind)
+                .try_build()
+                .is_ok());
+        }
+        // NaN failure probability is a typed error, not a NaN fault tape.
+        let nan_faults = FaultModel {
+            job_fail_prob: f64::NAN,
+            ..FaultModel::moderate(1)
+        };
+        let err = SimConfig::builder()
+            .nodes(2)
+            .faults(nan_faults)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field, "faults.job_fail_prob");
+        // The tick backend additionally validates its cadences.
+        let err = SimConfig::builder()
+            .nodes(2)
+            .backend(BackendKind::Tick)
+            .tick(0)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field, "tick");
+        // An empty partition fails on either backend.
+        assert!(SimConfig::builder().nodes(0).try_build().is_err());
+        assert_eq!(
+            SimConfig::new(0).validate().unwrap_err().field,
+            "nodes",
+            "SimConfig::validate is usable standalone"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulator config: faults.mtbf")]
+    fn build_panics_with_the_typed_message() {
+        let bad = FaultModel {
+            mtbf: -1,
+            ..FaultModel::moderate(1)
+        };
+        let _ = SimConfig::builder().nodes(2).faults(bad).build();
+    }
+
+    #[test]
+    fn poisoned_mutexes_yield_their_value() {
+        // Satellite: the collector recovers the inner value from a
+        // poisoned slot instead of cascading the worker's panic.
+        let slot: std::sync::Arc<Mutex<Option<u32>>> = std::sync::Arc::new(Mutex::new(Some(41)));
+        let poisoner = std::sync::Arc::clone(&slot);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().expect("first lock");
+            panic!("poison the slot");
+        })
+        .join();
+        assert!(slot.is_poisoned());
+        assert_eq!(*lock_recovering(&slot), Some(41));
     }
 }

@@ -10,10 +10,48 @@
 //! methods on the same crashes.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use mirage_trace::faults::NodeFaultEvent;
 use mirage_trace::{fault_schedule, splitmix64, DAY, HOUR, MINUTE};
 use serde::{Deserialize, Serialize};
+
+/// A numeric field of a simulator / fault configuration that cannot
+/// yield a sound simulation — NaN or out-of-range probabilities,
+/// negative durations, an empty partition. Produced by the
+/// `validate()` / `try_build` family so a bad config surfaces as a
+/// typed error at build time instead of a NaN fault tape at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfigError {
+    /// Dotted path of the offending field (e.g. `faults.mtbf`).
+    pub field: &'static str,
+    /// The rejected value, rendered for the message.
+    pub value: String,
+    /// Why the value is rejected.
+    pub reason: &'static str,
+}
+
+impl SimConfigError {
+    fn new(field: &'static str, value: impl fmt::Display, reason: &'static str) -> Self {
+        Self {
+            field,
+            value: value.to_string(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid simulator config: {} = {} ({})",
+            self.field, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for SimConfigError {}
 
 /// Node failure/recovery + transient job-failure model.
 ///
@@ -96,6 +134,48 @@ impl FaultModel {
         self.mtbf <= 0 && self.job_fail_prob <= 0.0
     }
 
+    /// Rejects fields that cannot parameterize the fault processes: a
+    /// non-finite or out-of-`[0, 1]` failure probability, or negative
+    /// durations (`0` stays valid — it means "off").
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if !self.job_fail_prob.is_finite() {
+            return Err(SimConfigError::new(
+                "faults.job_fail_prob",
+                self.job_fail_prob,
+                "must be finite",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.job_fail_prob) {
+            return Err(SimConfigError::new(
+                "faults.job_fail_prob",
+                self.job_fail_prob,
+                "must lie in [0, 1]",
+            ));
+        }
+        if self.mtbf < 0 {
+            return Err(SimConfigError::new(
+                "faults.mtbf",
+                self.mtbf,
+                "must be >= 0 (0 disables node faults)",
+            ));
+        }
+        if self.mttr < 0 {
+            return Err(SimConfigError::new(
+                "faults.mttr",
+                self.mttr,
+                "must be >= 0",
+            ));
+        }
+        if self.horizon < 0 {
+            return Err(SimConfigError::new(
+                "faults.horizon",
+                self.horizon,
+                "must be >= 0",
+            ));
+        }
+        Ok(())
+    }
+
     /// The deterministic crash/recovery tape for a partition of `nodes`
     /// nodes (empty when node faults are disabled).
     pub fn node_schedule(&self, nodes: u32) -> Vec<NodeFaultEvent> {
@@ -162,6 +242,28 @@ impl RetryPolicy {
     /// Whether a job that has already started `attempts` times may retry.
     pub fn allows(&self, attempts: u32) -> bool {
         attempts < self.max_attempts
+    }
+
+    /// Rejects negative backoff fields (`0` stays valid — [`delay`]
+    /// clamps it up to 1 s).
+    ///
+    /// [`delay`]: RetryPolicy::delay
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.backoff_base < 0 {
+            return Err(SimConfigError::new(
+                "retry.backoff_base",
+                self.backoff_base,
+                "must be >= 0",
+            ));
+        }
+        if self.backoff_cap < 0 {
+            return Err(SimConfigError::new(
+                "retry.backoff_cap",
+                self.backoff_cap,
+                "must be >= 0",
+            ));
+        }
+        Ok(())
     }
 
     /// Backoff delay before retry number `retry` (1-based): exponential
@@ -318,5 +420,68 @@ mod tests {
             log.count(i64::MAX / 2, i64::MAX / 2),
             EVICTION_LOG_CAP as u32
         );
+    }
+
+    #[test]
+    fn fault_model_validation_rejects_unsound_fields() {
+        assert!(FaultModel::none().validate().is_ok());
+        assert!(FaultModel::moderate(1).validate().is_ok());
+        assert!(FaultModel::severe(1).validate().is_ok());
+
+        let nan = FaultModel {
+            job_fail_prob: f64::NAN,
+            ..FaultModel::none()
+        };
+        let err = nan.validate().unwrap_err();
+        assert_eq!(err.field, "faults.job_fail_prob");
+        assert!(err.to_string().contains("finite"), "message: {err}");
+
+        for bad_prob in [-0.1, 1.5, f64::INFINITY] {
+            let m = FaultModel {
+                job_fail_prob: bad_prob,
+                ..FaultModel::none()
+            };
+            assert!(m.validate().is_err(), "prob {bad_prob} must be rejected");
+        }
+        for (field, m) in [
+            (
+                "faults.mtbf",
+                FaultModel {
+                    mtbf: -1,
+                    ..FaultModel::none()
+                },
+            ),
+            (
+                "faults.mttr",
+                FaultModel {
+                    mttr: -HOUR,
+                    ..FaultModel::none()
+                },
+            ),
+            (
+                "faults.horizon",
+                FaultModel {
+                    horizon: -1,
+                    ..FaultModel::none()
+                },
+            ),
+        ] {
+            assert_eq!(m.validate().unwrap_err().field, field);
+        }
+    }
+
+    #[test]
+    fn retry_policy_validation_rejects_negative_backoff() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        let bad_base = RetryPolicy {
+            backoff_base: -1,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(bad_base.validate().unwrap_err().field, "retry.backoff_base");
+        let bad_cap = RetryPolicy {
+            backoff_cap: -MINUTE,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(bad_cap.validate().unwrap_err().field, "retry.backoff_cap");
     }
 }

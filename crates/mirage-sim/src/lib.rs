@@ -17,7 +17,10 @@
 //!   deliberately slower and anchors the §5.2 fidelity study
 //!   ([`fidelity`]).
 //! * [`BackendPool`] — N independently seeded backends fanned out over
-//!   std threads, for parallel episode collection.
+//!   std threads, for parallel episode collection. Workers are
+//!   supervised: a panicking task is caught, its backend rebuilt, and
+//!   the task retried under a bounded budget ([`PoolHealth`] counts the
+//!   incidents).
 //!
 //! Both simulators share one scheduling-plan core
 //! ([`backfill::plan_schedule`]: multifactor priority + EASY backfill) and
@@ -54,10 +57,11 @@ pub mod simulator;
 pub mod snapshot;
 
 pub use backend::{
-    AnyBackend, BackendFactory, BackendKind, BackendPool, ClusterBackend, SimBuilder,
+    AnyBackend, BackendFactory, BackendKind, BackendPool, ClusterBackend, PanicPlan, PoolHealth,
+    SimBuilder, MAX_TASK_ATTEMPTS,
 };
 pub use backfill::{plan_schedule, plan_schedule_into, BackfillPolicy, PendingView, PlanScratch};
-pub use fault::{EvictionLog, FaultModel, FaultStats, JobFaults, RetryPolicy};
+pub use fault::{EvictionLog, FaultModel, FaultStats, JobFaults, RetryPolicy, SimConfigError};
 pub use fidelity::{compare, run_both, run_both_backends, run_timed, FidelityReport};
 pub use metrics::{ServiceUsage, SimMetrics};
 pub use priority::PriorityWeights;

@@ -67,6 +67,35 @@ impl ReferenceConfig {
             retry: RetryPolicy::default(),
         }
     }
+
+    /// Rejects configurations that cannot run a sound tick-driven
+    /// simulation: an empty partition, non-positive cadences, or
+    /// fault/retry fields their own `validate()`s reject.
+    pub fn validate(&self) -> Result<(), crate::fault::SimConfigError> {
+        use crate::fault::SimConfigError;
+        if self.nodes == 0 {
+            return Err(SimConfigError {
+                field: "nodes",
+                value: "0".to_string(),
+                reason: "partition needs at least one node",
+            });
+        }
+        for (field, v) in [
+            ("tick", self.tick),
+            ("sched_interval", self.sched_interval),
+            ("backfill_interval", self.backfill_interval),
+        ] {
+            if v <= 0 {
+                return Err(SimConfigError {
+                    field,
+                    value: v.to_string(),
+                    reason: "cadence must be positive",
+                });
+            }
+        }
+        self.faults.validate()?;
+        self.retry.validate()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::admission::{prepare_admission, RecentStarts};
 use crate::backfill::{plan_schedule_into, BackfillPolicy, PendingView, PlanScratch};
 use crate::event::{Event, EventKind, EventQueue};
-use crate::fault::{EvictionLog, FaultModel, FaultStats, JobFaults, RetryPolicy};
+use crate::fault::{EvictionLog, FaultModel, FaultStats, JobFaults, RetryPolicy, SimConfigError};
 use crate::metrics::{ServiceUsage, SimMetrics};
 use crate::priority::{priority, FairshareTracker, PriorityWeights};
 use crate::snapshot::{ClusterSnapshot, QueuedJobView, RunningJobView};
@@ -57,6 +57,30 @@ impl SimConfig {
             faults: FaultModel::none(),
             retry: RetryPolicy::default(),
         }
+    }
+
+    /// Rejects configurations that cannot run a sound simulation: an
+    /// empty partition, a zero scheduling depth, or fault/retry fields
+    /// their own `validate()`s reject. Called by
+    /// [`SimBuilder::try_build`](crate::backend::SimBuilder::try_build)
+    /// so bad configs fail at build time with a typed error.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.nodes == 0 {
+            return Err(SimConfigError {
+                field: "nodes",
+                value: "0".to_string(),
+                reason: "partition needs at least one node",
+            });
+        }
+        if self.sched_depth == 0 {
+            return Err(SimConfigError {
+                field: "sched_depth",
+                value: "0".to_string(),
+                reason: "each scheduling pass must consider at least one job",
+            });
+        }
+        self.faults.validate()?;
+        self.retry.validate()
     }
 }
 
