@@ -407,7 +407,12 @@ fn training_workload(
     let mut cfg = TrainConfig {
         online_episodes: episodes,
         collect_lanes: Some(lanes),
-        updates_per_episode: 1,
+        // Replay ratio of 8 gradient steps per ~290-decision episode —
+        // still light by DQN standards, but enough that the update path
+        // (the part PR 9's row-stacked backward accelerates) carries a
+        // realistic share of the trained-decisions/s total instead of
+        // being noise behind collection.
+        updates_per_episode: 8,
         ..TrainConfig::default()
     };
     // Fine-tuning regime, not cold-start: a pretrained provisioner holds
@@ -446,8 +451,17 @@ fn training_workload(
     (trace, cfg, starts, net)
 }
 
-fn training_loop(nodes: u32, episodes: usize, lanes: usize, net_seed: u64) -> (f64, u64) {
-    let (trace, cfg, starts, net) = training_workload(episodes, lanes, net_seed);
+fn training_loop(
+    nodes: u32,
+    episodes: usize,
+    lanes: usize,
+    workers: usize,
+    net_seed: u64,
+) -> (f64, u64) {
+    let (trace, mut cfg, starts, net) = training_workload(episodes, lanes, net_seed);
+    // W synchronized workers: each collects its own `lanes` lockstep
+    // lanes per window and every update all-reduces across the same W.
+    cfg.train_workers = workers;
     let pool = SimConfig::builder()
         .nodes(nodes)
         .backend(BackendKind::Pooled { workers: lanes })
@@ -461,6 +475,74 @@ fn training_loop(nodes: u32, episodes: usize, lanes: usize, net_seed: u64) -> (f
     assert_eq!(results.len(), episodes);
     // One act per recorded decision: `steps` is the trained-decision
     // count (and defeats dead-code elimination).
+    (agent.steps as f64 / elapsed, agent.steps)
+}
+
+/// The *PR-8* training stack, reproduced shape for shape: the same
+/// lockstep batched collection, but every mini-batch update through the
+/// pinned per-sample scalar reference (`train_batch_scalar`) — one
+/// forward + backward per experience, exactly the update path the
+/// batched-backward tentpole replaced. Bit-compatible with the current
+/// loop at one worker (`batched_training_identity.rs` pins the update
+/// paths equal), so the ratio isolates the row-stacked backward.
+fn scalar_update_training_loop(
+    nodes: u32,
+    episodes: usize,
+    lanes: usize,
+    net_seed: u64,
+) -> (f64, u64) {
+    use mirage_core::trainloop::{BatchedCollector, DqnActWindow};
+
+    let (trace, cfg, starts, net) = training_workload(episodes, lanes, net_seed);
+    let pool = SimConfig::builder()
+        .nodes(nodes)
+        .backend(BackendKind::Pooled { workers: lanes })
+        .build_pool();
+    let mut agent = DqnAgent::new(net, cfg.dqn);
+    let mut replay = BalancedReplay::new(8192, 4096);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed ^ 0xD9);
+    let t0s: Vec<i64> = starts
+        .iter()
+        .cycle()
+        .take(cfg.online_episodes)
+        .copied()
+        .collect();
+    let collector = BatchedCollector::new(&pool, &trace, &cfg.episode, lanes);
+    let width = collector.lanes();
+
+    let t = Instant::now();
+    let mut done = 0usize;
+    let mut lane_states: Vec<ExploreLane> = Vec::with_capacity(width);
+    for chunk in t0s.chunks(width) {
+        lane_states.clear();
+        lane_states.extend(
+            (done..done + chunk.len())
+                .map(|i| ExploreLane::seeded(dqn_episode_seed(cfg.seed, i), agent.steps)),
+        );
+        let mut driver = collector.window(chunk);
+        driver.run_lanes(&mut DqnActWindow {
+            agent: &mut agent,
+            lanes: &mut lane_states,
+        });
+        let (results, _) = driver.finish();
+        for mut result in results {
+            let reward = cfg.shaper.reward(&result.outcome);
+            agent.steps += result.decisions.len() as u64;
+            for (state, action) in result.take_decisions() {
+                replay.push(Experience::terminal(state, action, reward));
+            }
+            if replay.len() >= cfg.batch_size {
+                let mut batch = Vec::with_capacity(cfg.batch_size);
+                for _ in 0..cfg.updates_per_episode.max(1) {
+                    replay.sample_into(&mut rng, cfg.batch_size, &mut batch);
+                    agent.train_batch_scalar(&batch);
+                }
+            }
+            done += 1;
+        }
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(done, episodes);
     (agent.steps as f64 / elapsed, agent.steps)
 }
 
@@ -948,7 +1030,7 @@ fn main() {
         // TRAIN_NET_SEED from whichever seeds stay in the wait-greedy
         // (long-episode) regime.
         for s in 0..16u64 {
-            let (_, steps) = training_loop(8, 2, 1, s);
+            let (_, steps) = training_loop(8, 2, 1, 1, s);
             eprintln!("seed {s}: {steps} decisions over 2 episodes");
         }
         return;
@@ -960,13 +1042,19 @@ fn main() {
     // touching what is measured.
     let train_reps = if quick { 1 } else { 3 };
     let (mut train_seq, mut train_steps_seq) = (0.0f64, 0u64);
+    let (mut train_scalar, mut train_steps_scalar) = (0.0f64, 0u64);
     let (mut train_batched, mut train_steps_batched) = (0.0f64, 0u64);
     for _ in 0..train_reps {
         let (dps, steps) = legacy_training_loop(8, train_episodes, TRAIN_NET_SEED);
         if dps > train_seq {
             (train_seq, train_steps_seq) = (dps, steps);
         }
-        let (dps, steps) = training_loop(8, train_episodes, train_batch, TRAIN_NET_SEED);
+        let (dps, steps) =
+            scalar_update_training_loop(8, train_episodes, train_batch, TRAIN_NET_SEED);
+        if dps > train_scalar {
+            (train_scalar, train_steps_scalar) = (dps, steps);
+        }
+        let (dps, steps) = training_loop(8, train_episodes, train_batch, 1, TRAIN_NET_SEED);
         if dps > train_batched {
             (train_batched, train_steps_batched) = (dps, steps);
         }
@@ -976,12 +1064,37 @@ fn main() {
     // episode-construction benchmark — fail loudly instead.
     assert!(
         train_steps_seq as usize >= train_episodes * 100
+            && train_steps_scalar as usize >= train_episodes * 100
             && train_steps_batched as usize >= train_episodes * 100,
-        "training lane left the long-episode regime: {train_steps_seq}/{train_steps_batched} \
+        "training lane left the long-episode regime: {train_steps_seq}/{train_steps_scalar}/{train_steps_batched} \
          decisions over {train_episodes} episodes — re-pick TRAIN_NET_SEED \
          (MIRAGE_TRAIN_SEED_PROBE=1)"
     );
     let speedup_training = train_batched / train_seq;
+    // Batched backward in isolation: the same lockstep collection with
+    // per-sample scalar updates (the PR-8 stack) vs row-stacked batched
+    // updates, interleaved above so machine drift cancels.
+    let training_batched_bwd_speedup = train_batched / train_scalar;
+
+    // Synchronized multi-worker sweep: W workers × `train_batch` lanes
+    // each, collection sharded across W threads and every update
+    // all-reduced over W gradient shards. Best W is reported; the
+    // parallel speedup is against the PR-8 stack (scalar updates, one
+    // worker), the number this PR is accountable for.
+    let mut training_workers = 1usize;
+    let mut train_parallel = train_batched;
+    for w in [2usize, 4] {
+        let (dps, steps) = training_loop(8, train_episodes, train_batch, w, TRAIN_NET_SEED);
+        assert!(
+            steps as usize >= train_episodes * 100,
+            "W={w} training lane left the long-episode regime: {steps} decisions"
+        );
+        if dps > train_parallel {
+            train_parallel = dps;
+            training_workers = w;
+        }
+    }
+    let training_parallel_speedup = train_parallel / train_scalar;
 
     // Multi-service lane: RL vs heuristic baselines on the canonical
     // diurnal and bursty shared-cluster scenarios.
@@ -1041,7 +1154,7 @@ fn main() {
         None => String::new(),
     };
     let json = format!(
-        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic traces, {} decisions at {}s cadence, k={}; batched: {} lanes x {} lockstep ticks; training: {} online DQN episodes (48h pairs, light synthetic load), pre-refactor sequential loop vs {} lockstep lanes; multiservice: {} services x {} episodes on a shared {}-node cluster, diurnal+bursty, DQN vs 3 heuristics; chaos: RL vs reactive, {} episodes/severity (none|moderate|severe) on identically seeded fault tapes\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"decisions_per_sec_lanes_unbatched\": {:.1},\n  \"decisions_per_sec_batched\": {:.1},\n  \"batch_width\": {},\n  \"workers\": {},\n  \"speedup\": {:.2},\n  \"speedup_batched\": {:.2},\n  \"training_decisions_per_sec_sequential\": {:.1},\n  \"training_decisions_per_sec_batched\": {:.1},\n  \"training_batch_width\": {},\n  \"speedup_training\": {:.2},\n  \"multiservice_services\": {},\n  \"multiservice_episodes\": {},\n  \"multiservice_decisions_per_sec\": {:.1},\n  \"multiservice_diurnal_rl_reward\": {:.3},\n  \"multiservice_diurnal_rl_interruption_h\": {:.3},\n  \"multiservice_diurnal_uniform_share_reward\": {:.3},\n  \"multiservice_diurnal_greedy_per_service_reward\": {:.3},\n  \"multiservice_diurnal_shortest_queue_reward\": {:.3},\n  \"multiservice_bursty_rl_reward\": {:.3},\n  \"multiservice_bursty_rl_interruption_h\": {:.3},\n  \"multiservice_bursty_uniform_share_reward\": {:.3},\n  \"multiservice_bursty_greedy_per_service_reward\": {:.3},\n  \"multiservice_bursty_shortest_queue_reward\": {:.3},\n  \"chaos_episodes\": {},\n  \"chaos_eval_secs\": {:.2},\n{}  \"resilience_checkpoint_bytes\": {},\n  \"resilience_checkpoint_save_ms\": {:.2},\n  \"resilience_checkpoint_load_ms\": {:.2},\n  \"resilience_guard_fallbacks\": {},\n  \"resilience_pool_recovered_panics\": {},\n  \"resilience_pool_retries\": {},\n  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_decision_batched\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
+        "{{\n  \"bench\": \"episode_throughput\",\n  \"quick\": {},\n  \"workload\": \"{} 1-month synthetic traces, {} decisions at {}s cadence, k={}; batched: {} lanes x {} lockstep ticks; training: {} online DQN episodes (48h pairs, light synthetic load), pre-refactor sequential loop vs {} lockstep lanes, scalar vs batched-backward updates, synchronized worker sweep 1/2/4; multiservice: {} services x {} episodes on a shared {}-node cluster, diurnal+bursty, DQN vs 3 heuristics; chaos: RL vs reactive, {} episodes/severity (none|moderate|severe) on identically seeded fault tapes\",\n  \"decisions_per_sec_before\": {:.1},\n  \"decisions_per_sec_after\": {:.1},\n  \"decisions_per_sec_lanes_unbatched\": {:.1},\n  \"decisions_per_sec_batched\": {:.1},\n  \"batch_width\": {},\n  \"workers\": {},\n  \"speedup\": {:.2},\n  \"speedup_batched\": {:.2},\n  \"training_decisions_per_sec_sequential\": {:.1},\n  \"training_decisions_per_sec_batched\": {:.1},\n  \"training_batch_width\": {},\n  \"speedup_training\": {:.2},\n  \"training_decisions_per_sec_scalar\": {:.1},\n  \"training_decisions_per_sec_parallel\": {:.1},\n  \"training_workers\": {},\n  \"training_batched_bwd_speedup\": {:.2},\n  \"training_parallel_speedup\": {:.2},\n  \"multiservice_services\": {},\n  \"multiservice_episodes\": {},\n  \"multiservice_decisions_per_sec\": {:.1},\n  \"multiservice_diurnal_rl_reward\": {:.3},\n  \"multiservice_diurnal_rl_interruption_h\": {:.3},\n  \"multiservice_diurnal_uniform_share_reward\": {:.3},\n  \"multiservice_diurnal_greedy_per_service_reward\": {:.3},\n  \"multiservice_diurnal_shortest_queue_reward\": {:.3},\n  \"multiservice_bursty_rl_reward\": {:.3},\n  \"multiservice_bursty_rl_interruption_h\": {:.3},\n  \"multiservice_bursty_uniform_share_reward\": {:.3},\n  \"multiservice_bursty_greedy_per_service_reward\": {:.3},\n  \"multiservice_bursty_shortest_queue_reward\": {:.3},\n  \"chaos_episodes\": {},\n  \"chaos_eval_secs\": {:.2},\n{}  \"resilience_checkpoint_bytes\": {},\n  \"resilience_checkpoint_save_ms\": {:.2},\n  \"resilience_checkpoint_load_ms\": {:.2},\n  \"resilience_guard_fallbacks\": {},\n  \"resilience_pool_recovered_panics\": {},\n  \"resilience_pool_retries\": {},\n  \"ns_per_decision_before\": {:.0},\n  \"ns_per_decision_after\": {:.0},\n  \"ns_per_decision_batched\": {:.0},\n  \"ns_per_forward_before\": {:.0},\n  \"ns_per_forward_after\": {:.0},\n  \"sim_events_per_sec\": {:.0}{}\n}}\n",
         quick,
         profile.name,
         decisions,
@@ -1067,6 +1180,11 @@ fn main() {
         train_batched,
         train_batch,
         speedup_training,
+        train_scalar,
+        train_parallel,
+        training_workers,
+        training_batched_bwd_speedup,
+        training_parallel_speedup,
         ms_services,
         ms_episodes,
         ms_dps,
@@ -1100,12 +1218,14 @@ fn main() {
     std::fs::write(OUT_PATH, &json).expect("write bench output");
     print!("{json}");
     eprintln!(
-        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); batched x{batch}: {:.0}/s ({speedup_batched:.2}x over single); training: {:.0}/s -> {:.0}/s ({speedup_training:.2}x, x{train_batch} lanes); multiservice x{ms_services}: {:.0} dec/s, diurnal dqn {:.2} vs greedy {:.2}; chaos severe: {} evictions, {} retried-to-completion; resilience: ckpt {}B save {:.1}ms load {:.1}ms, {} guard fallbacks, {} recovered pool panics; forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
+        "decision loop: {:.0}/s -> {:.0}/s ({speedup:.2}x); batched x{batch}: {:.0}/s ({speedup_batched:.2}x over single); training: {:.0}/s -> {:.0}/s ({speedup_training:.2}x, x{train_batch} lanes); training updates: scalar {:.0}/s, batched-bwd {training_batched_bwd_speedup:.2}x, W={training_workers} parallel {:.0}/s ({training_parallel_speedup:.2}x); multiservice x{ms_services}: {:.0} dec/s, diurnal dqn {:.2} vs greedy {:.2}; chaos severe: {} evictions, {} retried-to-completion; resilience: ckpt {}B save {:.1}ms load {:.1}ms, {} guard fallbacks, {} recovered pool panics; forward {:.0}ns -> {:.0}ns; sim {:.0} events/s",
         before.decisions_per_sec,
         after.decisions_per_sec,
         batched.decisions_per_sec,
         train_seq,
         train_batched,
+        train_scalar,
+        train_parallel,
         ms_dps,
         ms_method(&ms_diurnal, "dqn").mean_reward,
         ms_method(&ms_diurnal, "greedy-per-service").mean_reward,

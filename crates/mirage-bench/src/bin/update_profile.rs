@@ -1,0 +1,131 @@
+//! Micro-benchmark for the DQN update path: times scalar (per-sample
+//! backward) vs batched (row-stacked backward) mini-batch updates on the
+//! training-lane network shape, plus the isolated forward/backward
+//! halves of the batched step. This is the drill-down companion to the
+//! `episode_throughput` training lane: when `training_batched_bwd_speedup`
+//! moves, run this to see which half of the update moved.
+//!
+//! Usage: `update_profile [scalar|batched|both] [reps]` — single-mode
+//! runs exist so a sampling profiler (e.g. `gprofng collect app`)
+//! attributes every cycle to one update path.
+
+use std::time::Instant;
+
+use mirage_nn::foundation::FoundationKind;
+use mirage_nn::scratch::Scratch;
+use mirage_nn::tensor::Matrix;
+use mirage_nn::transformer::TransformerConfig;
+use mirage_nn::{GradSink, Grads};
+use mirage_rl::{
+    ActionEncoding, DqnAgent, DqnConfig, DualHeadConfig, DualHeadNet, Experience, HeadBatchCache,
+    MiniBatch,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training-lane geometry: the `episode_throughput` training workload's
+/// network (k = 12 history rows of 42 state vars, d_model 16) and the
+/// online loop's default mini-batch of 32.
+const SEQ: usize = 12;
+const INPUT: usize = 42;
+const BATCH: usize = 32;
+
+fn agent() -> DqnAgent {
+    let net = DualHeadNet::new(DualHeadConfig {
+        foundation: FoundationKind::Transformer,
+        transformer: TransformerConfig {
+            input_dim: INPUT,
+            seq_len: SEQ,
+            d_model: 16,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        },
+        action_encoding: ActionEncoding::TwoHead,
+        freeze_foundation: false,
+        seed: 9,
+    });
+    DqnAgent::new(
+        net,
+        DqnConfig {
+            gamma: 0.9,
+            // Keep target-net clones out of the timed loops.
+            target_sync: 1_000_000,
+            ..DqnConfig::default()
+        },
+    )
+}
+
+fn sample_batch(rng: &mut StdRng) -> Vec<Experience> {
+    (0..BATCH)
+        .map(|i| {
+            let state = Matrix::xavier(SEQ, INPUT, rng);
+            let reward = rng.gen::<f32>() - 0.5;
+            if i % 3 == 0 {
+                Experience::terminal(state, i % 2, reward)
+            } else {
+                Experience::step(state, i % 2, reward, Matrix::xavier(SEQ, INPUT, rng))
+            }
+        })
+        .collect()
+}
+
+fn time_per_update(label: &str, reps: usize, mut step: impl FnMut() -> f32) {
+    // One warm-up rep grows every retained buffer before the clock starts.
+    let warm = step();
+    let t0 = Instant::now();
+    let mut sink = 0.0f32;
+    for _ in 0..reps {
+        sink += step();
+    }
+    let us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    println!("{label}: {us:.1} us/update (warm loss {warm:.4}, sink {sink:.2})");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args.get(1).map(String::as_str).unwrap_or("both");
+    let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2000);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let batch = sample_batch(&mut rng);
+    let refs: Vec<&Experience> = batch.iter().collect();
+    let mut mb = MiniBatch::new();
+    mb.assemble_refs(&refs);
+
+    if mode == "scalar" || mode == "both" {
+        let mut a = agent();
+        time_per_update("scalar  (per-sample bwd)", reps, || {
+            a.train_batch_scalar(&refs)
+        });
+    }
+    if mode == "batched" || mode == "both" {
+        let mut a = agent();
+        time_per_update("batched (row-stacked bwd)", reps, || a.train_minibatch(&mb));
+    }
+    if mode == "parts" || mode == "both" {
+        // The batched step's halves in isolation, on the same row-stacked
+        // batch: forward fills the train cache, backward consumes it with
+        // a fused sink (the update-path configuration).
+        let net = agent().net;
+        let mut scratch = Scratch::new();
+        let mut cache = HeadBatchCache::default();
+        let mut q = Matrix::zeros(BATCH, 2);
+        let mut dq = Matrix::zeros(BATCH, 2);
+        for i in 0..BATCH {
+            dq.set(i, i % 2, 0.1);
+        }
+        let mut grads = Grads::new(&net.ps);
+        time_per_update("  fwd_batch_train", reps, || {
+            net.q_forward_batch_train(&mb.states, BATCH, &mut q, &mut cache, &mut scratch);
+            q.get(0, 0)
+        });
+        net.q_forward_batch_train(&mb.states, BATCH, &mut q, &mut cache, &mut scratch);
+        time_per_update("  bwd_batch (fused)", reps, || {
+            grads.reset();
+            let mut sink = GradSink::Fused(&mut grads);
+            net.q_backward_batch(&mut cache, &mb.states, &dq, BATCH, &mut sink, &mut scratch);
+            0.0
+        });
+    }
+}

@@ -129,9 +129,13 @@ impl From<CheckpointError> for ResumeError {
 pub struct DqnTrainCheckpoint {
     /// `TrainConfig::seed` of the run (validated on resume).
     pub cfg_seed: u64,
-    /// Lockstep lane count of the run (validated on resume: chunk
-    /// boundaries move with it).
+    /// Lockstep lane count **per training worker** of the run (validated
+    /// on resume: chunk boundaries move with it).
     pub lanes: u64,
+    /// Synchronized training worker count (W) of the run (validated on
+    /// resume: the chunk width is `lanes × workers`, and per-lane seed
+    /// streams are laid out per worker).
+    pub workers: u64,
     /// Agent snapshot: weights, target, Adam moments, ε/train clocks.
     pub agent: DqnAgentState,
     /// Wait-class replay ring (capacity, write cursor, slots).
@@ -151,8 +155,12 @@ pub struct DqnTrainCheckpoint {
 pub struct PgTrainCheckpoint {
     /// `TrainConfig::seed` of the run (validated on resume).
     pub cfg_seed: u64,
-    /// Lockstep lane count of the run (validated on resume).
+    /// Lockstep lane count **per training worker** of the run (validated
+    /// on resume).
     pub lanes: u64,
+    /// Synchronized training worker count (W) of the run (validated on
+    /// resume).
+    pub workers: u64,
     /// Agent snapshot: weights, Adam moments, baseline, episode clock.
     pub agent: PgAgentState,
     /// Collected episodes not yet folded into a REINFORCE update (the
@@ -447,6 +455,7 @@ impl DqnTrainCheckpoint {
         let mut w = ByteWriter::new();
         w.u64(self.cfg_seed);
         w.u64(self.lanes);
+        w.u64(self.workers);
         w.u64(self.agent.steps);
         w.u64(self.agent.train_steps);
         w.u64(self.agent.opt_t);
@@ -476,6 +485,7 @@ impl DqnTrainCheckpoint {
         let mut r = ByteReader::new(payload);
         let cfg_seed = r.u64()?;
         let lanes = r.u64()?;
+        let workers = r.u64()?;
         let steps = r.u64()?;
         let train_steps = r.u64()?;
         let opt_t = r.u64()?;
@@ -498,6 +508,7 @@ impl DqnTrainCheckpoint {
         Ok(Self {
             cfg_seed,
             lanes,
+            workers,
             agent,
             replay_wait,
             replay_submit,
@@ -542,6 +553,7 @@ impl PgTrainCheckpoint {
         let mut w = ByteWriter::new();
         w.u64(self.cfg_seed);
         w.u64(self.lanes);
+        w.u64(self.workers);
         w.u64(self.agent.episodes);
         w.u64(self.agent.opt_t);
         w.matrices(&self.agent.net_params);
@@ -564,6 +576,7 @@ impl PgTrainCheckpoint {
         let mut r = ByteReader::new(payload);
         let cfg_seed = r.u64()?;
         let lanes = r.u64()?;
+        let workers = r.u64()?;
         let episodes_clock = r.u64()?;
         let opt_t = r.u64()?;
         let net_params = r.matrices()?;
@@ -585,6 +598,7 @@ impl PgTrainCheckpoint {
         Ok(Self {
             cfg_seed,
             lanes,
+            workers,
             agent: PgAgentState {
                 net_params,
                 opt_t,
@@ -665,6 +679,7 @@ mod tests {
         DqnTrainCheckpoint {
             cfg_seed: 11,
             lanes: 2,
+            workers: 3,
             agent: DqnAgentState {
                 net_params: vec![mat(1, 4, 4), mat(2, 1, 4)],
                 target_params: Some(vec![mat(3, 4, 4), mat(4, 1, 4)]),
@@ -702,6 +717,7 @@ mod tests {
         let back = DqnTrainCheckpoint::from_bytes(&bytes).unwrap();
         assert_eq!(back.cfg_seed, ck.cfg_seed);
         assert_eq!(back.lanes, ck.lanes);
+        assert_eq!(back.workers, ck.workers);
         assert_eq!(back.agent.steps, ck.agent.steps);
         assert_eq!(back.agent.train_steps, ck.agent.train_steps);
         assert_eq!(back.agent.opt_t, ck.agent.opt_t);
@@ -726,6 +742,7 @@ mod tests {
         let ck = PgTrainCheckpoint {
             cfg_seed: 5,
             lanes: 4,
+            workers: 2,
             agent: PgAgentState {
                 net_params: vec![mat(7, 3, 3)],
                 opt_t: 2,
@@ -743,6 +760,7 @@ mod tests {
         };
         let back = PgTrainCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
         assert_eq!(back.cfg_seed, 5);
+        assert_eq!(back.workers, 2);
         assert_eq!(back.agent.episodes, 6);
         assert_eq!(back.agent.baseline, -1.25);
         assert!(back.agent.baseline_initialized);

@@ -44,7 +44,10 @@ use crate::policy::{
 };
 use crate::reward::RewardShaper;
 use crate::state::STATE_VARS;
-use crate::trainloop::{BatchedCollector, DqnActWindow, PgActWindow, SplitCollectPolicy};
+use crate::trainloop::{
+    dqn_collect_sharded, pg_collect_sharded, BatchedCollector, DqnActWindow, PgActWindow,
+    SplitCollectPolicy,
+};
 
 /// The eight §6 methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,15 +132,31 @@ pub struct TrainConfig {
     pub batch_size: usize,
     /// Replay mini-batch updates after each online episode.
     pub updates_per_episode: usize,
-    /// Lockstep episode lanes per online-collection window (and per
-    /// offline-collection window, capped by the pool width). Each
-    /// window's acting shares the window-start weights; `Some(1)`
-    /// recovers the fully sequential collect-update cadence bit for bit,
-    /// and every lane is bit-identical to a sequential run under its own
-    /// `(seed, ε-base)` whatever the width (see `crate::trainloop`).
-    /// `None` (the default) auto-sizes to the machine via
-    /// [`TrainConfig::collect_lanes_for`]: `min(pool workers, 8)`.
+    /// Lockstep episode lanes **per training worker** per
+    /// online-collection window (and per offline-collection window,
+    /// capped by the pool width). Each window's acting shares the
+    /// window-start weights; `Some(1)` recovers the fully sequential
+    /// collect-update cadence bit for bit, and every lane is
+    /// bit-identical to a sequential run under its own `(seed, ε-base)`
+    /// whatever the width (see `crate::trainloop`). `None` (the default)
+    /// auto-sizes to the machine via
+    /// [`TrainConfig::collect_lanes_for`]: `min(pool workers,`
+    /// [`l1_lane_cap`](Self::l1_lane_cap)`)`.
     pub collect_lanes: Option<usize>,
+    /// Synchronized lockstep training workers (W). Each online window
+    /// spans `W × collect_lanes` episodes: every worker collects its own
+    /// `collect_lanes` contiguous lanes on its own pool-seeded backends,
+    /// and every weight update shards its batch across the same `W`
+    /// threads with a deterministic ascending-order gradient all-reduce
+    /// before one shared Adam step. `1` (the default) is bit-identical
+    /// to the single-worker trainer, and `W` workers × `L` lanes is
+    /// bit-identical to one worker × `W·L` lanes (pinned by
+    /// `tests/lockstep_training.rs`). Joins the checkpoint fingerprint:
+    /// resumes refuse a different worker count. Clamped to at least one
+    /// worker everywhere it is read, so a zero (e.g. from an absent
+    /// config field) behaves as one.
+    #[serde(default)]
+    pub train_workers: usize,
     /// Cap on reward samples used for foundation pretraining (subsampled
     /// deterministically when the pool is larger).
     pub max_pretrain_samples: usize,
@@ -184,6 +203,7 @@ impl Default for TrainConfig {
             // bit-identical to the pre-lockstep sequential loop, whose
             // REINFORCE batch is 4).
             collect_lanes: None,
+            train_workers: 1,
             max_pretrain_samples: 2500,
             d_model: 16,
             heads: 2,
@@ -196,12 +216,30 @@ impl TrainConfig {
     /// Resolves [`collect_lanes`](Self::collect_lanes) against the
     /// backend pool driving collection: an explicit override wins
     /// (clamped to at least one lane); `None` auto-sizes to
-    /// `min(pool_workers, 8)` — one lane per collection thread, capped
-    /// where wider windows stop paying for their update staleness.
+    /// `min(pool_workers,` [`l1_lane_cap`](Self::l1_lane_cap)`)` — one
+    /// lane per collection thread, capped where the lockstep batch stops
+    /// fitting in cache (and where wider windows stop paying for their
+    /// update staleness).
     pub fn collect_lanes_for(&self, pool_workers: usize) -> usize {
         self.collect_lanes
-            .unwrap_or_else(|| pool_workers.min(8))
+            .unwrap_or_else(|| pool_workers.min(self.l1_lane_cap()))
             .max(1)
+    }
+
+    /// Deterministic cache-residency probe for the auto-sized lockstep
+    /// width: the widest lane count whose hot per-tick state — one
+    /// `history_k × STATE_VARS` observation row-stack plus one `d_model`
+    /// activation row per lane, in `f32` — still fits a conservative
+    /// 32 KiB L1 data cache, clamped to `[2, 16]`. Derived purely from
+    /// the config (never from runtime timing), so auto-sized runs are
+    /// reproducible across machines; an explicit
+    /// [`collect_lanes`](Self::collect_lanes) override bypasses it
+    /// entirely.
+    pub fn l1_lane_cap(&self) -> usize {
+        const L1_BYTES: usize = 32 * 1024;
+        let per_lane =
+            (self.episode.history_k * STATE_VARS + self.d_model) * std::mem::size_of::<f32>();
+        (L1_BYTES / per_lane.max(1)).clamp(2, 16)
     }
 }
 
@@ -591,13 +629,18 @@ fn dqn_online_loop<F: BackendFactory>(
         &cfg.episode,
         cfg.collect_lanes_for(pool.workers()),
     );
-    let width = collector.lanes();
+    let workers = cfg.train_workers.max(1);
+    let per_worker = collector.lanes();
+    // A window spans every worker's lanes; workers collect their own
+    // contiguous sub-windows and updates all-reduce across the same W.
+    let width = per_worker * workers;
     let mut episodes: Vec<EpisodeResult> = Vec::with_capacity(t0s.len());
 
     if let Some(path) = resume_from {
         let mut saved = DqnTrainCheckpoint::load(path)?;
         check_match("seed", saved.cfg_seed, cfg.seed)?;
-        check_match("collect lanes", saved.lanes, width as u64)?;
+        check_match("collect lanes", saved.lanes, per_worker as u64)?;
+        check_match("train workers", saved.workers, workers as u64)?;
         let done = saved.episodes.len();
         if done % width != 0 && done < t0s.len() {
             return Err(ResumeError::ConfigMismatch {
@@ -616,6 +659,10 @@ fn dqn_online_loop<F: BackendFactory>(
     let done = episodes.len();
     let mut last_saved = done;
     let mut lanes: Vec<ExploreLane> = Vec::with_capacity(width);
+    // One row-stacked mini-batch buffer for the whole run, refilled in
+    // place per update (`sample_minibatch` re-stacks from scratch), so
+    // steady-state updates allocate nothing.
+    let mut mb = mirage_rl::MiniBatch::new();
     for chunk_start in (0..t0s.len()).step_by(width) {
         let chunk = &t0s[chunk_start..(chunk_start + width).min(t0s.len())];
         if chunk_start + chunk.len() <= done {
@@ -632,12 +679,20 @@ fn dqn_online_loop<F: BackendFactory>(
             (episodes.len()..episodes.len() + chunk.len())
                 .map(|i| ExploreLane::seeded(dqn_episode_seed(cfg.seed, i), agent.steps)),
         );
-        let mut driver = collector.window(chunk);
-        driver.run_lanes(&mut DqnActWindow {
-            agent: &mut agent,
-            lanes: &mut lanes,
-        });
-        let (results, _) = driver.finish();
+        let results = if workers <= 1 {
+            let mut driver = collector.window(chunk);
+            driver.run_lanes(&mut DqnActWindow {
+                agent: &mut agent,
+                lanes: &mut lanes,
+            });
+            driver.finish().0
+        } else {
+            // Each worker drives its own contiguous `per_worker`-lane
+            // sub-window on its own pool-seeded backends; the collective
+            // lane sequence is identical to one worker driving `width`
+            // lanes (weights are frozen within a window).
+            dqn_collect_sharded(&collector, chunk, per_worker, &agent, &mut lanes)
+        };
         // Replay pushes and updates keep the sequential per-episode
         // cadence: results arrive in episode order.
         for mut result in results {
@@ -647,14 +702,9 @@ fn dqn_online_loop<F: BackendFactory>(
                 replay.push(Experience::terminal(state, action, reward));
             }
             if replay.len() >= cfg.batch_size {
-                // One mini-batch buffer per episode, refilled in place
-                // across its updates (`sample_into` clears first) — the
-                // borrow on `replay` must end before the next episode's
-                // pushes, so the buffer cannot live any longer.
-                let mut batch: Vec<&Experience> = Vec::with_capacity(cfg.batch_size);
                 for _ in 0..cfg.updates_per_episode.max(1) {
-                    replay.sample_into(&mut rng, cfg.batch_size, &mut batch);
-                    agent.train_batch(&batch);
+                    replay.sample_minibatch(&mut rng, cfg.batch_size, &mut mb);
+                    agent.train_minibatch_sharded(&mb, workers);
                 }
             }
             episodes.push(result);
@@ -663,7 +713,8 @@ fn dqn_online_loop<F: BackendFactory>(
             let at = episodes.len();
             let halt = c.halt_after.is_some_and(|h| at >= h);
             if halt || (c.every_episodes > 0 && at - last_saved >= c.every_episodes) {
-                snapshot_dqn(cfg, width, &agent, &replay, &rng, &episodes).save(&c.path)?;
+                snapshot_dqn(cfg, per_worker, workers, &agent, &replay, &rng, &episodes)
+                    .save(&c.path)?;
                 last_saved = at;
             }
             if halt {
@@ -687,6 +738,7 @@ fn dqn_online_loop<F: BackendFactory>(
 fn snapshot_dqn(
     cfg: &TrainConfig,
     lanes: usize,
+    workers: usize,
     agent: &DqnAgent,
     replay: &BalancedReplay,
     rng: &StdRng,
@@ -697,6 +749,7 @@ fn snapshot_dqn(
     DqnTrainCheckpoint {
         cfg_seed: cfg.seed,
         lanes: lanes as u64,
+        workers: workers as u64,
         agent: agent.export_state(),
         replay_wait: (wc as u64, ww as u64, wb.to_vec()),
         replay_submit: (sc as u64, sw as u64, sb.to_vec()),
@@ -860,13 +913,16 @@ fn pg_online_loop<F: BackendFactory>(
         &cfg.episode,
         cfg.collect_lanes_for(pool.workers()),
     );
-    let width = collector.lanes();
+    let workers = cfg.train_workers.max(1);
+    let per_worker = collector.lanes();
+    let width = per_worker * workers;
     let mut episodes: Vec<EpisodeResult> = Vec::with_capacity(t0s.len());
 
     if let Some(path) = resume_from {
         let saved = PgTrainCheckpoint::load(path)?;
         check_match("seed", saved.cfg_seed, cfg.seed)?;
-        check_match("collect lanes", saved.lanes, width as u64)?;
+        check_match("collect lanes", saved.lanes, per_worker as u64)?;
+        check_match("train workers", saved.workers, workers as u64)?;
         let done = saved.episodes.len();
         if done % width != 0 && done < t0s.len() {
             return Err(ResumeError::ConfigMismatch {
@@ -893,12 +949,16 @@ fn pg_online_loop<F: BackendFactory>(
             (episodes.len()..episodes.len() + chunk.len())
                 .map(|i| ExploreLane::seeded(pg_episode_seed(cfg.seed, i), 0)),
         );
-        let mut driver = collector.window(chunk);
-        driver.run_lanes(&mut PgActWindow {
-            agent: &mut agent,
-            lanes: &mut lanes,
-        });
-        let (results, _) = driver.finish();
+        let results = if workers <= 1 {
+            let mut driver = collector.window(chunk);
+            driver.run_lanes(&mut PgActWindow {
+                agent: &mut agent,
+                lanes: &mut lanes,
+            });
+            driver.finish().0
+        } else {
+            pg_collect_sharded(&collector, chunk, per_worker, &agent, &mut lanes)
+        };
         for mut result in results {
             let reward = cfg.shaper.reward(&result.outcome);
             pending.push(EpisodeSample {
@@ -906,7 +966,7 @@ fn pg_online_loop<F: BackendFactory>(
                 episode_return: reward,
             });
             if pending.len() >= update_batch {
-                agent.train_episodes(&pending);
+                agent.train_episodes_sharded(&pending, workers);
                 pending.clear();
             }
             episodes.push(result);
@@ -917,7 +977,8 @@ fn pg_online_loop<F: BackendFactory>(
             if halt || (c.every_episodes > 0 && at - last_saved >= c.every_episodes) {
                 PgTrainCheckpoint {
                     cfg_seed: cfg.seed,
-                    lanes: width as u64,
+                    lanes: per_worker as u64,
+                    workers: workers as u64,
                     agent: agent.export_state(),
                     pending: pending.clone(),
                     episodes: episodes.clone(),
@@ -935,7 +996,7 @@ fn pg_online_loop<F: BackendFactory>(
         }
     }
     if !pending.is_empty() {
-        agent.train_episodes(&pending);
+        agent.train_episodes_sharded(&pending, workers);
     }
     Ok(PgTrainRun {
         agent,
@@ -1169,12 +1230,32 @@ mod tests {
     fn collect_lanes_auto_sizes_to_the_pool() {
         let auto = TrainConfig::default();
         assert_eq!(auto.collect_lanes, None);
-        // None tracks the pool width up to the cap of 8.
+        // The default shape's hot per-lane state is
+        // (12·42 + 16)·4 B = 2080 B → 15 lanes fit the 32 KiB budget.
+        assert_eq!(auto.l1_lane_cap(), 15);
+        // None tracks the pool width up to the L1-residency cap.
         assert_eq!(auto.collect_lanes_for(1), 1);
         assert_eq!(auto.collect_lanes_for(6), 6);
-        assert_eq!(auto.collect_lanes_for(32), 8);
+        assert_eq!(auto.collect_lanes_for(32), auto.l1_lane_cap());
         // A degenerate zero-width pool still yields one lane.
         assert_eq!(auto.collect_lanes_for(0), 1);
+        // The probe is config-derived (deterministic), clamped to [2, 16]:
+        // a huge model cannot auto-size below two lanes, and a tiny one
+        // cannot blow past the staleness-bounded ceiling.
+        let huge = TrainConfig {
+            d_model: 64 * 1024,
+            ..TrainConfig::default()
+        };
+        assert_eq!(huge.l1_lane_cap(), 2);
+        let tiny = TrainConfig {
+            episode: EpisodeConfig {
+                history_k: 4,
+                ..EpisodeConfig::default()
+            },
+            d_model: 8,
+            ..TrainConfig::default()
+        };
+        assert_eq!(tiny.l1_lane_cap(), 16);
         // Explicit overrides win, whatever the pool looks like.
         let pinned = TrainConfig {
             collect_lanes: Some(3),

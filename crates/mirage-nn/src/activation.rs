@@ -145,6 +145,17 @@ impl Activation {
         let deriv = cache.x.map(|v| self.derivative(v));
         dy.hadamard(&deriv)
     }
+
+    /// Allocation-free backward into `dx`: each element is the same
+    /// `dy · f′(x)` product as [`Activation::backward`], so the result is
+    /// bit-identical regardless of how rows are blocked into a batch.
+    pub fn backward_into(self, x: &Matrix, dy: &Matrix, dx: &mut Matrix) {
+        assert_eq!(x.shape(), dy.shape(), "activation backward shape mismatch");
+        dx.reset(x.rows(), x.cols());
+        for ((o, &xv), &dv) in dx.data_mut().iter_mut().zip(x.data()).zip(dy.data()) {
+            *o = dv * self.derivative(xv);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 use rand::Rng;
 
 use crate::linear::{Linear, LinearCache};
-use crate::param::{Grads, ParamSet};
+use crate::param::{GradSink, Grads, ParamSet};
 use crate::scratch::Scratch;
 use crate::tensor::Matrix;
 
@@ -39,6 +39,21 @@ pub struct AttentionCache {
     k: Matrix,
     v: Matrix,
     /// Per-head softmaxed attention matrices (`seq × seq`).
+    attn: Vec<Matrix>,
+}
+
+/// Retained training cache for a row-stacked batch of sequences. All
+/// buffers are reused across calls (reset in place), so a warm update
+/// loop never allocates.
+#[derive(Debug, Clone, Default)]
+pub struct AttentionBatchCache {
+    /// The stacked layer input (needed for the projection backward).
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    concat: Matrix,
+    /// Softmaxed attention per `(block, head)`, indexed `b·heads + h`.
     attn: Vec<Matrix>,
 }
 
@@ -268,6 +283,160 @@ impl MultiHeadAttention {
         let dx_v = self.wv.backward(ps, &cache.cv, &dv, grads);
         dx_q.add(&dx_k).add(&dx_v)
     }
+
+    /// Training forward over a row-stacked batch of `batch` independent
+    /// `seq × d_model` sequences: writes the attention output into `out`
+    /// and fills `cache` for [`MultiHeadAttention::backward_batch`].
+    ///
+    /// Projections run as one matmul each over the whole stack (row-local,
+    /// so row-stacking cannot change them); the score/softmax/mix stage is
+    /// block-confined, using the exact per-sample kernels of
+    /// [`MultiHeadAttention::forward`] on materialized head slices — per
+    /// block the result is bit-identical to the cached per-sample forward.
+    pub fn forward_batch_cache(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        cache: &mut AttentionBatchCache,
+        scratch: &mut Scratch,
+    ) {
+        let rows = x.rows();
+        assert!(
+            batch >= 1 && rows.is_multiple_of(batch),
+            "batch {batch} must evenly divide {rows} stacked rows"
+        );
+        let seq = rows / batch;
+        let dh = self.d_head();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        cache.x.copy_from(x);
+        self.wq.forward_into(ps, x, &mut cache.q);
+        self.wk.forward_into(ps, x, &mut cache.k);
+        self.wv.forward_into(ps, x, &mut cache.v);
+        cache.concat.reset(rows, self.d_model);
+        cache.attn.resize_with(batch * self.heads, Matrix::default);
+
+        let mut qh = scratch.take(seq, dh);
+        let mut kh = scratch.take(seq, dh);
+        let mut vh = scratch.take(seq, dh);
+        let mut oh = scratch.take(seq, dh);
+        let mut tbuf = scratch.take(dh, seq);
+        for b in 0..batch {
+            let row0 = b * seq;
+            for h in 0..self.heads {
+                col_slice_range_into(&cache.q, row0, seq, h * dh, dh, &mut qh);
+                col_slice_range_into(&cache.k, row0, seq, h * dh, dh, &mut kh);
+                col_slice_range_into(&cache.v, row0, seq, h * dh, dh, &mut vh);
+                let a = &mut cache.attn[b * self.heads + h];
+                qh.matmul_t_buf_into(&kh, a, &mut tbuf);
+                a.scale_in_place(scale);
+                a.softmax_rows_in_place();
+                a.matmul_into(&vh, &mut oh);
+                col_slice_write_range(&mut cache.concat, row0, &oh, h * dh);
+            }
+        }
+        self.wo.forward_into(ps, &cache.concat, out);
+        scratch.give(tbuf);
+        scratch.give(oh);
+        scratch.give(vh);
+        scratch.give(kh);
+        scratch.give(qh);
+    }
+
+    /// Batched backward for [`MultiHeadAttention::forward_batch_cache`].
+    /// Block `b`'s projection gradients go to `sink.grads_for(b)` in
+    /// ascending block order (wo, then wq/wk/wv — per-parameter chains
+    /// stay flat ascending sums, so a fused sink is bit-identical to the
+    /// sequential per-sample backward); `dx` receives the row-stacked
+    /// input gradient.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch(
+        &self,
+        ps: &ParamSet,
+        cache: &AttentionBatchCache,
+        dy: &Matrix,
+        batch: usize,
+        sink: &mut GradSink<'_>,
+        dx: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        let rows = dy.rows();
+        assert!(
+            batch >= 1 && rows.is_multiple_of(batch),
+            "batch {batch} must evenly divide {rows} stacked rows"
+        );
+        let seq = rows / batch;
+        let dh = self.d_head();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut d_concat = scratch.take(rows, self.d_model);
+        self.wo
+            .backward_batch(ps, &cache.concat, dy, batch, sink, &mut d_concat, scratch);
+
+        let mut dq = scratch.take(rows, self.d_model);
+        let mut dk = scratch.take(rows, self.d_model);
+        let mut dv = scratch.take(rows, self.d_model);
+        let mut doh = scratch.take(seq, dh);
+        let mut qh = scratch.take(seq, dh);
+        let mut kh = scratch.take(seq, dh);
+        let mut vh = scratch.take(seq, dh);
+        let mut da = scratch.take(seq, seq);
+        let mut ds = scratch.take(seq, seq);
+        let mut dqh = scratch.take(seq, dh);
+        let mut dkh = scratch.take(seq, dh);
+        let mut dvh = scratch.take(seq, dh);
+        let mut tbuf = scratch.take(dh, seq);
+        for b in 0..batch {
+            let row0 = b * seq;
+            for h in 0..self.heads {
+                col_slice_range_into(&d_concat, row0, seq, h * dh, dh, &mut doh);
+                col_slice_range_into(&cache.q, row0, seq, h * dh, dh, &mut qh);
+                col_slice_range_into(&cache.k, row0, seq, h * dh, dh, &mut kh);
+                col_slice_range_into(&cache.v, row0, seq, h * dh, dh, &mut vh);
+                let a = &cache.attn[b * self.heads + h];
+                doh.matmul_t_buf_into(&vh, &mut da, &mut tbuf);
+                a.t_matmul_into(&doh, &mut dvh);
+                softmax_rows_backward_into(a, &da, &mut ds);
+                ds.scale_in_place(scale);
+                ds.matmul_into(&kh, &mut dqh);
+                ds.t_matmul_into(&qh, &mut dkh);
+                col_slice_write_range(&mut dq, row0, &dqh, h * dh);
+                col_slice_write_range(&mut dk, row0, &dkh, h * dh);
+                col_slice_write_range(&mut dv, row0, &dvh, h * dh);
+            }
+        }
+        scratch.give(tbuf);
+        scratch.give(dvh);
+        scratch.give(dkh);
+        scratch.give(dqh);
+        scratch.give(ds);
+        scratch.give(da);
+        scratch.give(vh);
+        scratch.give(kh);
+        scratch.give(qh);
+        scratch.give(doh);
+
+        self.wq
+            .backward_batch(ps, &cache.x, &dq, batch, sink, dx, scratch);
+        let mut dx_k = scratch.take(rows, self.d_model);
+        let mut dx_v = scratch.take(rows, self.d_model);
+        self.wk
+            .backward_batch(ps, &cache.x, &dk, batch, sink, &mut dx_k, scratch);
+        self.wv
+            .backward_batch(ps, &cache.x, &dv, batch, sink, &mut dx_v, scratch);
+        // Same elementwise (q + k) + v order as the per-sample backward's
+        // `dx_q.add(&dx_k).add(&dx_v)`.
+        dx.add_assign(&dx_k);
+        dx.add_assign(&dx_v);
+        scratch.give(dx_v);
+        scratch.give(dx_k);
+        scratch.give(dv);
+        scratch.give(dk);
+        scratch.give(dq);
+        scratch.give(d_concat);
+    }
 }
 
 /// Copies columns `[start, start+width)` into a new matrix.
@@ -283,10 +452,45 @@ fn col_slice_write(dst: &mut Matrix, src: &Matrix, start: usize) {
     }
 }
 
+/// Copies the `rows`-row band starting at `row0` of columns
+/// `[start, start+width)` into `out` — the band-local equivalent of
+/// `col_slice` on a standalone copy of the block (same element reads).
+fn col_slice_range_into(
+    m: &Matrix,
+    row0: usize,
+    rows: usize,
+    start: usize,
+    width: usize,
+    out: &mut Matrix,
+) {
+    out.reset(rows, width);
+    for r in 0..rows {
+        out.row_mut(r)
+            .copy_from_slice(&m.row(row0 + r)[start..start + width]);
+    }
+}
+
+/// Writes `src` into columns `[start, ...)` of the row band of `dst`
+/// starting at `row0`.
+fn col_slice_write_range(dst: &mut Matrix, row0: usize, src: &Matrix, start: usize) {
+    let width = src.cols();
+    for r in 0..src.rows() {
+        dst.row_mut(row0 + r)[start..start + width].copy_from_slice(src.row(r));
+    }
+}
+
 /// Row-wise softmax Jacobian-vector product: given the softmax output `a`
 /// and upstream `da`, returns `ds` where `s` are the pre-softmax scores.
 pub fn softmax_rows_backward(a: &Matrix, da: &Matrix) -> Matrix {
-    let mut ds = Matrix::zeros(a.rows(), a.cols());
+    let mut ds = Matrix::zeros(0, 0);
+    softmax_rows_backward_into(a, da, &mut ds);
+    ds
+}
+
+/// Allocation-free variant of [`softmax_rows_backward`]: identical
+/// per-row arithmetic written into `ds`.
+pub fn softmax_rows_backward_into(a: &Matrix, da: &Matrix, ds: &mut Matrix) {
+    ds.reset(a.rows(), a.cols());
     for r in 0..a.rows() {
         let arow = a.row(r);
         let darow = da.row(r);
@@ -295,7 +499,6 @@ pub fn softmax_rows_backward(a: &Matrix, da: &Matrix) -> Matrix {
             ds.set(r, c, arow[c] * (darow[c] - dot));
         }
     }
-    ds
 }
 
 #[cfg(test)]

@@ -8,11 +8,13 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::moe::{GatingKind, MoECache, MoEFoundation};
-use crate::param::{Grads, ParamSet};
+use crate::moe::{GatingKind, MoEBatchCache, MoECache, MoEFoundation};
+use crate::param::{GradSink, Grads, ParamSet};
 use crate::scratch::Scratch;
 use crate::tensor::Matrix;
-use crate::transformer::{EmbedRowCache, TransformerCache, TransformerConfig, TransformerEncoder};
+use crate::transformer::{
+    EmbedRowCache, TransformerBatchCache, TransformerCache, TransformerConfig, TransformerEncoder,
+};
 
 /// Which foundation architecture to build (§6 compares both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,6 +51,24 @@ pub enum FoundationCache {
     Transformer(TransformerCache),
     /// MoE cache.
     MoE(MoECache),
+}
+
+/// Retained batched-training cache of a foundation network. Construct
+/// once with [`FoundationBatchCache::default`] and reuse across updates —
+/// the variant is (re)established on every
+/// [`FoundationNet::forward_batch_train`] call.
+#[derive(Debug, Clone)]
+pub enum FoundationBatchCache {
+    /// Transformer cache.
+    Transformer(TransformerBatchCache),
+    /// Dense-MoE cache.
+    MoE(MoEBatchCache),
+}
+
+impl Default for FoundationBatchCache {
+    fn default() -> Self {
+        FoundationBatchCache::Transformer(TransformerBatchCache::default())
+    }
 }
 
 impl FoundationNet {
@@ -170,6 +190,131 @@ impl FoundationNet {
                 t.backward(ps, c, d_feat, grads)
             }
             (FoundationNet::MoE(m), FoundationCache::MoE(c)) => m.backward(ps, c, d_feat, grads),
+            _ => panic!("foundation cache kind mismatch"),
+        }
+    }
+
+    /// [`FoundationNet::backward`] for callers that discard `dx`: the
+    /// transformer skips its embedding input-gradient product entirely;
+    /// MoE (no params-only path) computes and drops it. Parameter
+    /// gradients are bit-identical to the full backward.
+    pub fn backward_params_only(
+        &self,
+        ps: &ParamSet,
+        cache: &FoundationCache,
+        d_feat: &Matrix,
+        grads: &mut Grads,
+    ) {
+        match (self, cache) {
+            (FoundationNet::Transformer(t), FoundationCache::Transformer(c)) => {
+                t.backward_params_only(ps, c, d_feat, grads)
+            }
+            (FoundationNet::MoE(m), FoundationCache::MoE(c)) => {
+                let _ = m.backward(ps, c, d_feat, grads);
+            }
+            _ => panic!("foundation cache kind mismatch"),
+        }
+    }
+
+    /// Whether this foundation has a batched training path. Top-1 MoE
+    /// picks a different expert per block, so it keeps the per-sample
+    /// training loop; callers should fall back to
+    /// [`FoundationNet::forward`]/[`FoundationNet::backward`] when this
+    /// returns false.
+    pub fn supports_batched_train(&self) -> bool {
+        match self {
+            FoundationNet::Transformer(_) => true,
+            FoundationNet::MoE(m) => m.kind == GatingKind::Dense,
+        }
+    }
+
+    /// Training encode over a row-stacked batch: row `b` of the
+    /// `batch × d_model` output receives block `b`'s pooled feature, and
+    /// `cache` is filled for [`FoundationNet::backward_batch`] (its
+    /// variant is re-established to match `self` if needed). Per block,
+    /// bit-identical to [`FoundationNet::forward`]. Panics when
+    /// [`FoundationNet::supports_batched_train`] is false.
+    pub fn forward_batch_train(
+        &self,
+        ps: &ParamSet,
+        xs: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        cache: &mut FoundationBatchCache,
+        scratch: &mut Scratch,
+    ) {
+        match self {
+            FoundationNet::Transformer(t) => {
+                if !matches!(cache, FoundationBatchCache::Transformer(_)) {
+                    *cache = FoundationBatchCache::Transformer(TransformerBatchCache::default());
+                }
+                let FoundationBatchCache::Transformer(c) = cache else {
+                    unreachable!()
+                };
+                t.forward_batch_train(ps, xs, batch, out, c, scratch);
+            }
+            FoundationNet::MoE(m) => {
+                if !matches!(cache, FoundationBatchCache::MoE(_)) {
+                    *cache = FoundationBatchCache::MoE(MoEBatchCache::default());
+                }
+                let FoundationBatchCache::MoE(c) = cache else {
+                    unreachable!()
+                };
+                m.forward_batch_train(ps, xs, batch, out, c, scratch);
+            }
+        }
+    }
+
+    /// Batched backward for [`FoundationNet::forward_batch_train`]: block
+    /// `b`'s parameter gradients go to `sink.grads_for(b)` in ascending
+    /// block order per parameter; `dx` receives the stacked input
+    /// gradient.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch(
+        &self,
+        ps: &ParamSet,
+        cache: &FoundationBatchCache,
+        xs: &Matrix,
+        d_pooled: &Matrix,
+        sink: &mut GradSink<'_>,
+        dx: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        match (self, cache) {
+            (FoundationNet::Transformer(t), FoundationBatchCache::Transformer(c)) => {
+                t.backward_batch(ps, c, xs, d_pooled, sink, dx, scratch)
+            }
+            (FoundationNet::MoE(m), FoundationBatchCache::MoE(c)) => {
+                m.backward_batch(ps, c, xs, d_pooled, sink, dx, scratch)
+            }
+            _ => panic!("foundation cache kind mismatch"),
+        }
+    }
+
+    /// [`FoundationNet::backward_batch`] for callers that discard the
+    /// stacked `dx` (see [`FoundationNet::backward_params_only`]). MoE
+    /// falls back to the full backward into a scratch buffer. Per-block
+    /// parameter gradients are bit-identical to the full batched
+    /// backward.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch_params(
+        &self,
+        ps: &ParamSet,
+        cache: &FoundationBatchCache,
+        xs: &Matrix,
+        d_pooled: &Matrix,
+        sink: &mut GradSink<'_>,
+        scratch: &mut Scratch,
+    ) {
+        match (self, cache) {
+            (FoundationNet::Transformer(t), FoundationBatchCache::Transformer(c)) => {
+                t.backward_batch_params(ps, c, xs, d_pooled, sink, scratch)
+            }
+            (FoundationNet::MoE(m), FoundationBatchCache::MoE(c)) => {
+                let mut dx = scratch.take(0, 0);
+                m.backward_batch(ps, c, xs, d_pooled, sink, &mut dx, scratch);
+                scratch.give(dx);
+            }
             _ => panic!("foundation cache kind mismatch"),
         }
     }

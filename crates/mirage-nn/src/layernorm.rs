@@ -1,6 +1,7 @@
 //! Layer normalization with learnable gain/bias and exact backward pass.
 
-use crate::param::{Grads, ParamId, ParamSet};
+use crate::param::{GradSink, Grads, ParamId, ParamSet};
+use crate::scratch::Scratch;
 use crate::tensor::Matrix;
 
 /// Per-row layer normalization: each row is standardized, then scaled by
@@ -20,6 +21,14 @@ pub struct LayerNorm {
 /// Forward cache: standardized input and per-row inverse std.
 #[derive(Debug, Clone)]
 pub struct LayerNormCache {
+    x_hat: Matrix,
+    inv_std: Vec<f32>,
+}
+
+/// Retained training cache for a row-stacked batch. Buffers are reused
+/// across calls (reset in place), so a warm update loop never allocates.
+#[derive(Debug, Clone, Default)]
+pub struct LayerNormBatchCache {
     x_hat: Matrix,
     inv_std: Vec<f32>,
 }
@@ -124,6 +133,105 @@ impl LayerNorm {
         grads.accumulate(self.gamma, dgamma);
         grads.accumulate(self.beta, dbeta);
         dx
+    }
+
+    /// Training forward over a row-stacked batch: writes `y` into `out`
+    /// and fills `cache` with the stacked standardized input + per-row
+    /// inverse std. Per-row arithmetic is identical to
+    /// [`LayerNorm::forward`], so outputs are bit-identical regardless of
+    /// how rows are blocked.
+    pub fn forward_batch_cache(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        out: &mut Matrix,
+        cache: &mut LayerNormBatchCache,
+    ) {
+        debug_assert_eq!(x.cols(), self.dim);
+        let n = self.dim as f32;
+        let gamma = ps.get(self.gamma).row(0);
+        let beta = ps.get(self.beta).row(0);
+        out.reset(x.rows(), x.cols());
+        cache.x_hat.reset(x.rows(), x.cols());
+        cache.inv_std.clear();
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            cache.inv_std.push(istd);
+            let hrow = cache.x_hat.row_mut(r);
+            for (c, &xv) in row.iter().enumerate() {
+                let xh = (xv - mean) * istd;
+                hrow[c] = xh;
+            }
+            let orow = out.row_mut(r);
+            for c in 0..row.len() {
+                orow[c] = cache.x_hat.get(r, c) * gamma[c] + beta[c];
+            }
+        }
+    }
+
+    /// Batched backward over a row-stacked batch of `batch` equal-height
+    /// blocks (the cache from [`LayerNorm::forward_batch_cache`]). Block
+    /// `b`'s `dgamma`/`dbeta` go to `sink.grads_for(b)` in ascending
+    /// order; per-row arithmetic is the exact body of
+    /// [`LayerNorm::backward`], so a fused sink reproduces the sequential
+    /// per-block backward bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch(
+        &self,
+        ps: &ParamSet,
+        cache: &LayerNormBatchCache,
+        dy: &Matrix,
+        batch: usize,
+        sink: &mut GradSink<'_>,
+        dx: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        assert!(
+            batch > 0 && dy.rows().is_multiple_of(batch),
+            "rows must split into blocks"
+        );
+        let block_rows = dy.rows() / batch;
+        let n = self.dim as f32;
+        let gamma = ps.get(self.gamma);
+        dx.reset(dy.rows(), dy.cols());
+        let mut dgamma = scratch.take(1, self.dim);
+        let mut dbeta = scratch.take(1, self.dim);
+        let mut dxhat = scratch.take(1, self.dim);
+        for b in 0..batch {
+            dgamma.reset(1, self.dim);
+            dbeta.reset(1, self.dim);
+            for r in b * block_rows..(b + 1) * block_rows {
+                let istd = cache.inv_std[r];
+                let mut sum_dxhat = 0.0;
+                let mut sum_dxhat_xhat = 0.0;
+                for c in 0..self.dim {
+                    let g = dy.get(r, c) * gamma.get(0, c);
+                    dxhat.set(0, c, g);
+                    sum_dxhat += g;
+                    sum_dxhat_xhat += g * cache.x_hat.get(r, c);
+                    dgamma.set(
+                        0,
+                        c,
+                        dgamma.get(0, c) + dy.get(r, c) * cache.x_hat.get(r, c),
+                    );
+                    dbeta.set(0, c, dbeta.get(0, c) + dy.get(r, c));
+                }
+                for c in 0..self.dim {
+                    let xh = cache.x_hat.get(r, c);
+                    let v = (n * dxhat.get(0, c) - sum_dxhat - xh * sum_dxhat_xhat) * istd / n;
+                    dx.set(r, c, v);
+                }
+            }
+            let g = sink.grads_for(b);
+            g.accumulate_ref(self.gamma, &dgamma);
+            g.accumulate_ref(self.beta, &dbeta);
+        }
+        scratch.give(dxhat);
+        scratch.give(dbeta);
+        scratch.give(dgamma);
     }
 }
 

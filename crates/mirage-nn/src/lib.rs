@@ -35,12 +35,12 @@ pub mod transformer;
 
 pub use activation::Activation;
 pub use attention::MultiHeadAttention;
-pub use foundation::{FoundationCache, FoundationKind, FoundationNet};
+pub use foundation::{FoundationBatchCache, FoundationCache, FoundationKind, FoundationNet};
 pub use layernorm::LayerNorm;
 pub use linear::Linear;
 pub use moe::{GatingKind, MoEFoundation};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use param::{Grads, ParamId, ParamSet};
+pub use param::{GradSink, Grads, ParamId, ParamSet};
 pub use scratch::Scratch;
 pub use serialize::{load_params, save_params, write_atomic, CheckpointError};
 pub use tensor::Matrix;

@@ -2,7 +2,8 @@
 
 use rand::Rng;
 
-use crate::param::{Grads, ParamId, ParamSet};
+use crate::param::{GradSink, Grads, ParamId, ParamSet};
+use crate::scratch::Scratch;
 use crate::tensor::Matrix;
 
 /// `y = x W + b` over rows of `x`.
@@ -71,6 +72,88 @@ impl Linear {
         grads.accumulate(self.w, cache.x.t_matmul(dy));
         grads.accumulate(self.b, dy.sum_rows());
         dy.matmul_t(ps.get(self.w))
+    }
+
+    /// Parameter gradients only: [`Linear::backward`] without the
+    /// `dx = dy Wᵀ` product. For a network's first layer the input
+    /// gradient feeds nothing, and that discarded product is the largest
+    /// transposed matmul in the net — skipping it leaves every parameter
+    /// gradient bit-identical.
+    pub fn backward_params(&self, cache: &LinearCache, dy: &Matrix, grads: &mut Grads) {
+        grads.accumulate(self.w, cache.x.t_matmul(dy));
+        grads.accumulate(self.b, dy.sum_rows());
+    }
+
+    /// Batched backward over a row-stacked input: `x` and `dy` hold
+    /// `batch` equal-height blocks and block `b`'s parameter gradients go
+    /// to `sink.grads_for(b)` (ascending). The per-block `dW`/`db` use the
+    /// same row-band kernels as [`Linear::backward`] on a standalone
+    /// block, and `dx = dy Wᵀ` is row-local, so with a fused sink the
+    /// result is bit-identical to `batch` sequential backward calls.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        dy: &Matrix,
+        batch: usize,
+        sink: &mut GradSink<'_>,
+        dx: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        assert_eq!(x.rows(), dy.rows(), "linear backward_batch row mismatch");
+        assert!(
+            batch > 0 && x.rows().is_multiple_of(batch),
+            "rows must split into blocks"
+        );
+        let block_rows = x.rows() / batch;
+        let mut dw = scratch.take(self.in_dim, self.out_dim);
+        let mut db = scratch.take(1, self.out_dim);
+        for b in 0..batch {
+            let (r0, r1) = (b * block_rows, (b + 1) * block_rows);
+            x.t_matmul_range_into(dy, r0, r1, &mut dw);
+            dy.sum_rows_range_into(r0, r1, &mut db);
+            let g = sink.grads_for(b);
+            g.accumulate_ref(self.w, &dw);
+            g.accumulate_ref(self.b, &db);
+        }
+        let mut wt = scratch.take(self.out_dim, self.in_dim);
+        dy.matmul_t_buf_into(ps.get(self.w), dx, &mut wt);
+        scratch.give(wt);
+        scratch.give(db);
+        scratch.give(dw);
+    }
+
+    /// Batched parameter gradients only: [`Linear::backward_batch`]
+    /// without the `dx = dy Wᵀ` product (see
+    /// [`Linear::backward_params`]). Per-block gradients are
+    /// bit-identical to the full batched backward.
+    pub fn backward_batch_params(
+        &self,
+        x: &Matrix,
+        dy: &Matrix,
+        batch: usize,
+        sink: &mut GradSink<'_>,
+        scratch: &mut Scratch,
+    ) {
+        assert_eq!(x.rows(), dy.rows(), "linear backward_batch row mismatch");
+        assert!(
+            batch > 0 && x.rows().is_multiple_of(batch),
+            "rows must split into blocks"
+        );
+        let block_rows = x.rows() / batch;
+        let mut dw = scratch.take(self.in_dim, self.out_dim);
+        let mut db = scratch.take(1, self.out_dim);
+        for b in 0..batch {
+            let (r0, r1) = (b * block_rows, (b + 1) * block_rows);
+            x.t_matmul_range_into(dy, r0, r1, &mut dw);
+            dy.sum_rows_range_into(r0, r1, &mut db);
+            let g = sink.grads_for(b);
+            g.accumulate_ref(self.w, &dw);
+            g.accumulate_ref(self.b, &db);
+        }
+        scratch.give(db);
+        scratch.give(dw);
     }
 }
 

@@ -13,12 +13,14 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::attention::softmax_rows_backward;
+use crate::attention::{softmax_rows_backward, softmax_rows_backward_into};
 use crate::linear::{Linear, LinearCache};
-use crate::param::{Grads, ParamSet};
+use crate::param::{GradSink, Grads, ParamSet};
 use crate::scratch::Scratch;
 use crate::tensor::Matrix;
-use crate::transformer::{TransformerCache, TransformerConfig, TransformerEncoder};
+use crate::transformer::{
+    TransformerBatchCache, TransformerCache, TransformerConfig, TransformerEncoder,
+};
 
 /// Expert combination scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,6 +52,23 @@ pub struct MoECache {
     /// Expert outputs and caches; `None` for experts skipped under Top-1.
     expert_out: Vec<Option<(Matrix, TransformerCache)>>,
     x_shape: (usize, usize),
+}
+
+/// Retained training cache for a row-stacked batch (dense gating only —
+/// Top-1 picks a different expert per block, so its training path stays
+/// per-sample). All buffers are reused across calls.
+#[derive(Debug, Clone, Default)]
+pub struct MoEBatchCache {
+    /// Per-block zero-padded flattened states (`batch × seq_len·m`).
+    flat: Matrix,
+    /// Gate probabilities (`batch × E`).
+    gate_probs: Matrix,
+    /// One encoder training cache per expert.
+    c_experts: Vec<TransformerBatchCache>,
+    /// Per-expert pooled features (`batch × d_model` each).
+    feats: Vec<Matrix>,
+    seq: usize,
+    batch: usize,
 }
 
 impl MoEFoundation {
@@ -273,6 +292,153 @@ impl MoEFoundation {
             }
         }
         dx
+    }
+
+    /// Training forward over a row-stacked batch (dense gating only):
+    /// fills `cache` for [`MoEFoundation::backward_batch`] and writes the
+    /// per-block mixtures into `out` (`batch × d_model`). Gate and every
+    /// expert run batched; per block the arithmetic is bit-identical to
+    /// [`MoEFoundation::forward`].
+    pub fn forward_batch_train(
+        &self,
+        ps: &ParamSet,
+        xs: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        cache: &mut MoEBatchCache,
+        scratch: &mut Scratch,
+    ) {
+        assert_eq!(
+            self.kind,
+            GatingKind::Dense,
+            "batched MoE training requires dense gating"
+        );
+        assert!(
+            batch >= 1 && xs.rows().is_multiple_of(batch),
+            "batch {batch} must evenly divide {} stacked rows",
+            xs.rows()
+        );
+        let seq = xs.rows() / batch;
+        let width = self.cfg.input_dim;
+        cache.seq = seq;
+        cache.batch = batch;
+        cache.flat.reset(batch, self.cfg.seq_len * width);
+        for blk in 0..batch {
+            for r in 0..seq {
+                let frow = &mut cache.flat.row_mut(blk)[r * width..r * width + width];
+                frow.copy_from_slice(&xs.row(blk * seq + r)[..width]);
+            }
+        }
+        self.gate
+            .forward_into(ps, &cache.flat, &mut cache.gate_probs);
+        cache.gate_probs.softmax_rows_in_place();
+
+        let e_count = self.experts.len();
+        cache
+            .c_experts
+            .resize_with(e_count, TransformerBatchCache::default);
+        cache.feats.resize_with(e_count, Matrix::default);
+        out.reset(batch, self.out_dim());
+        for (e, expert) in self.experts.iter().enumerate() {
+            expert.forward_batch_train(
+                ps,
+                xs,
+                batch,
+                &mut cache.feats[e],
+                &mut cache.c_experts[e],
+                scratch,
+            );
+            let feat = &cache.feats[e];
+            for blk in 0..batch {
+                let g = cache.gate_probs.get(blk, e);
+                for (o, &f) in out.row_mut(blk).iter_mut().zip(feat.row(blk)) {
+                    *o += g * f;
+                }
+            }
+        }
+    }
+
+    /// Batched backward for [`MoEFoundation::forward_batch_train`]: block
+    /// `b`'s gradients (every expert, then the gate) go to
+    /// `sink.grads_for(b)` in ascending block order per parameter, and
+    /// `dx` receives the stacked input gradient. With a fused sink this
+    /// reproduces the sequential per-sample [`MoEFoundation::backward`]
+    /// bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch(
+        &self,
+        ps: &ParamSet,
+        cache: &MoEBatchCache,
+        xs: &Matrix,
+        d_out: &Matrix,
+        sink: &mut GradSink<'_>,
+        dx: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        let (seq, batch) = (cache.seq, cache.batch);
+        let rows = seq * batch;
+        let width = xs.cols();
+        let e_count = self.experts.len();
+        assert_eq!(d_out.rows(), batch, "one output gradient row per block");
+
+        dx.reset(rows, width);
+        let mut d_gate_probs = scratch.take(batch, e_count);
+        let mut d_feat = scratch.take(batch, self.out_dim());
+        let mut dxe = scratch.take(rows, width);
+        for (e, expert) in self.experts.iter().enumerate() {
+            let feat = &cache.feats[e];
+            for blk in 0..batch {
+                // Same ascending product-sum as `d_out.hadamard(feat).sum()`.
+                let dot: f32 = d_out
+                    .row(blk)
+                    .iter()
+                    .zip(feat.row(blk))
+                    .map(|(x, y)| x * y)
+                    .sum();
+                d_gate_probs.set(blk, e, dot);
+                let g = cache.gate_probs.get(blk, e);
+                for (o, &v) in d_feat.row_mut(blk).iter_mut().zip(d_out.row(blk)) {
+                    *o = v * g;
+                }
+            }
+            expert.backward_batch(
+                ps,
+                &cache.c_experts[e],
+                xs,
+                &d_feat,
+                sink,
+                &mut dxe,
+                scratch,
+            );
+            dx.add_assign(&dxe);
+        }
+        // Through the softmax and the gate linear (one row per block).
+        let mut d_logits = scratch.take(batch, e_count);
+        softmax_rows_backward_into(&cache.gate_probs, &d_gate_probs, &mut d_logits);
+        let mut d_flat = scratch.take(batch, self.cfg.seq_len * width);
+        self.gate.backward_batch(
+            ps,
+            &cache.flat,
+            &d_logits,
+            batch,
+            sink,
+            &mut d_flat,
+            scratch,
+        );
+        // Fold the flattened-gate gradient back onto the stacked input.
+        for blk in 0..batch {
+            for r in 0..seq {
+                for c in 0..width {
+                    let v = dx.get(blk * seq + r, c) + d_flat.get(blk, r * width + c);
+                    dx.set(blk * seq + r, c, v);
+                }
+            }
+        }
+        scratch.give(d_flat);
+        scratch.give(d_logits);
+        scratch.give(dxe);
+        scratch.give(d_feat);
+        scratch.give(d_gate_probs);
     }
 }
 

@@ -84,9 +84,19 @@ impl ParamSet {
 ///
 /// Entries are lazily allocated: untouched parameters cost nothing, which
 /// matters when only a head is being trained on top of a frozen foundation.
+///
+/// Buffers are *retained* across [`Grads::reset`]: a slot keeps its
+/// allocation when cleared and the next accumulation copies into it, so a
+/// shape-stationary update loop (one `reset` + accumulate + step per
+/// mini-batch) stops allocating after the first pass. The first
+/// accumulation into a cleared slot is a copy, not a zero-then-add — that
+/// keeps `-0.0` contributions bit-identical to a freshly inserted matrix.
 #[derive(Debug, Clone, Default)]
 pub struct Grads {
     grads: Vec<Option<Matrix>>,
+    /// Slots logically filled since the last [`Grads::reset`]. A `Some`
+    /// slot with `filled == false` is a parked buffer, not a gradient.
+    filled: Vec<bool>,
 }
 
 impl Grads {
@@ -94,47 +104,109 @@ impl Grads {
     pub fn new(params: &ParamSet) -> Self {
         Self {
             grads: vec![None; params.len()],
+            filled: vec![false; params.len()],
         }
+    }
+
+    /// Clears all gradients while keeping their allocations parked for
+    /// reuse. After a reset the accumulator behaves exactly like
+    /// [`Grads::new`] — but steady-state accumulation is allocation-free.
+    pub fn reset(&mut self) {
+        self.filled.fill(false);
     }
 
     /// Accumulates `g` into the gradient of `id`.
     pub fn accumulate(&mut self, id: ParamId, g: Matrix) {
-        match &mut self.grads[id.0] {
-            Some(existing) => existing.add_assign(&g),
-            slot => *slot = Some(g),
+        if self.filled[id.0] {
+            self.grads[id.0]
+                .as_mut()
+                .expect("filled slot")
+                .add_assign(&g);
+        } else {
+            match &mut self.grads[id.0] {
+                Some(parked) => parked.copy_from(&g),
+                slot => *slot = Some(g),
+            }
+            self.filled[id.0] = true;
+        }
+    }
+
+    /// Borrowing variant of [`Grads::accumulate`]: same arithmetic, no
+    /// buffer handoff, so warm slots never allocate.
+    pub fn accumulate_ref(&mut self, id: ParamId, g: &Matrix) {
+        if self.filled[id.0] {
+            self.grads[id.0]
+                .as_mut()
+                .expect("filled slot")
+                .add_assign(g);
+        } else {
+            match &mut self.grads[id.0] {
+                Some(parked) => parked.copy_from(g),
+                slot => *slot = Some(g.clone()),
+            }
+            self.filled[id.0] = true;
         }
     }
 
     /// Gradient of `id`, if any has been accumulated.
     pub fn get(&self, id: ParamId) -> Option<&Matrix> {
-        self.grads[id.0].as_ref()
+        if self.filled[id.0] {
+            self.grads[id.0].as_ref()
+        } else {
+            None
+        }
     }
 
     /// Merges another accumulator into this one (summing).
     pub fn merge(&mut self, other: Grads) {
         assert_eq!(self.grads.len(), other.grads.len(), "grads size mismatch");
-        for (mine, theirs) in self.grads.iter_mut().zip(other.grads) {
-            match (mine.as_mut(), theirs) {
-                (Some(m), Some(t)) => m.add_assign(&t),
-                (None, Some(t)) => *mine = Some(t),
-                _ => {}
+        for (i, theirs) in other.grads.into_iter().enumerate() {
+            if !other.filled[i] {
+                continue;
+            }
+            let t = theirs.expect("filled slot");
+            if self.filled[i] {
+                self.grads[i].as_mut().expect("filled slot").add_assign(&t);
+            } else {
+                match &mut self.grads[i] {
+                    Some(parked) => parked.copy_from(&t),
+                    slot => *slot = Some(t),
+                }
+                self.filled[i] = true;
+            }
+        }
+    }
+
+    /// Borrowing variant of [`Grads::merge`] (summing; `other` is left
+    /// untouched, so a reduction can fold the same shard set repeatedly).
+    pub fn merge_ref(&mut self, other: &Grads) {
+        assert_eq!(self.grads.len(), other.grads.len(), "grads size mismatch");
+        for (i, g) in other.iter().map(|(id, g)| (id.0, g)) {
+            if self.filled[i] {
+                self.grads[i].as_mut().expect("filled slot").add_assign(g);
+            } else {
+                match &mut self.grads[i] {
+                    Some(parked) => parked.copy_from(g),
+                    slot => *slot = Some(g.clone()),
+                }
+                self.filled[i] = true;
             }
         }
     }
 
     /// Scales every gradient by `alpha` (e.g. 1/batch for averaging).
     pub fn scale(&mut self, alpha: f32) {
-        for g in self.grads.iter_mut().flatten() {
-            *g = g.scale(alpha);
+        for (i, g) in self.grads.iter_mut().enumerate() {
+            if self.filled[i] {
+                g.as_mut().expect("filled slot").scale_in_place(alpha);
+            }
         }
     }
 
     /// Global L2 norm across all gradients.
     pub fn global_norm(&self) -> f32 {
-        self.grads
-            .iter()
-            .flatten()
-            .map(|g| g.data().iter().map(|v| v * v).sum::<f32>())
+        self.iter()
+            .map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f32>())
             .sum::<f32>()
             .sqrt()
     }
@@ -149,10 +221,46 @@ impl Grads {
 
     /// Iterates over accumulated `(id, grad)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
-        self.grads
-            .iter()
-            .enumerate()
-            .filter_map(|(i, g)| g.as_ref().map(|g| (ParamId(i), g)))
+        self.grads.iter().enumerate().filter_map(|(i, g)| {
+            if self.filled[i] {
+                g.as_ref().map(|g| (ParamId(i), g))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Destination for the per-block gradient contributions a `backward_batch`
+/// pass produces.
+///
+/// Every batched backward walks its row-stacked blocks in ascending order
+/// and hands each block's parameter contributions to the sink:
+///
+/// * [`GradSink::Fused`] folds all blocks into one accumulator — because
+///   blocks arrive ascending, the per-parameter addition chains are
+///   *flat* sums in block order, bit-identical to running the sequential
+///   per-sample backward and accumulating into the same `Grads`.
+/// * [`GradSink::PerBlock`] keeps one accumulator per block (slice length
+///   must be ≥ the block count). A coordinator can then fold the blocks
+///   in any grouping it needs — e.g. a deterministic all-reduce across
+///   training workers that stays bit-identical to the single-worker fold.
+#[derive(Debug)]
+pub enum GradSink<'a> {
+    /// All blocks fold into one shared accumulator (ascending order).
+    Fused(&'a mut Grads),
+    /// Block `b` accumulates into the `b`-th `Grads`.
+    PerBlock(&'a mut [Grads]),
+}
+
+impl GradSink<'_> {
+    /// The accumulator block `b`'s contributions belong to.
+    #[inline]
+    pub fn grads_for(&mut self, block: usize) -> &mut Grads {
+        match self {
+            GradSink::Fused(g) => g,
+            GradSink::PerBlock(gs) => &mut gs[block],
+        }
     }
 }
 

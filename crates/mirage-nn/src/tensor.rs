@@ -13,7 +13,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -50,8 +50,8 @@ const MM_TILE_I: usize = 3;
 /// loop (and therefore independent of `R`: the 4/2/1-row instantiations
 /// that tile the output agree bitwise).
 ///
-/// `out` must be pre-zeroed over the computed rows (the column tail
-/// accumulates in place).
+/// `out` must be pre-zeroed over the final `n % MM_LANES` columns of the
+/// computed rows (only the sub-vector column tail accumulates in place).
 #[inline(always)]
 fn mm_row_block<const R: usize>(
     lhs: &[f32],
@@ -83,9 +83,31 @@ fn mm_row_block<const R: usize>(
             out[o..o + MM_TILE_J].copy_from_slice(accr);
         }
     }
-    // Column tail (n % MM_TILE_J): stream each rhs row once, accumulating
+    let mut jj = tiles * MM_TILE_J;
+    // Half tile — one MM_LANES-wide accumulator vector per row — so
+    // narrow products (attention's per-head `n = d_head` / `n = seq`
+    // shapes) still run register-resident instead of falling straight
+    // through to the scalar tail. Per element the accumulation is the
+    // same single ascending-`k` chain as the full tile.
+    if jj + MM_LANES <= n {
+        let mut acc = [[0.0f32; MM_LANES]; R];
+        for k in 0..kdim {
+            let brow = &rhs[k * n + jj..k * n + jj + MM_LANES];
+            for r in 0..R {
+                let av = arows[r][k];
+                for t in 0..MM_LANES {
+                    acc[r][t] += av * brow[t];
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let o = (r0 + r) * n + jj;
+            out[o..o + MM_LANES].copy_from_slice(accr);
+        }
+        jj += MM_LANES;
+    }
+    // Column tail (n % MM_LANES): stream each rhs row once, accumulating
     // into the (pre-zeroed) output — still ascending k per element.
-    let jj = tiles * MM_TILE_J;
     if jj < n {
         for k in 0..kdim {
             let brow = &rhs[k * n + jj..(k + 1) * n];
@@ -220,6 +242,23 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Reshapes in place to `rows × cols` like [`Matrix::reset`] but
+    /// leaves existing contents **unspecified** instead of zero-filling
+    /// (new capacity is still zero-initialized). Only for kernels that
+    /// overwrite every element before it can be read — skipping the
+    /// redundant clear matters on hot paths where the output is written
+    /// immediately after.
+    fn reset_unfilled(&mut self, rows: usize, cols: usize) {
+        let need = rows * cols;
+        if self.data.len() < need {
+            self.data.resize(need, 0.0);
+        } else {
+            self.data.truncate(need);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Copies `src`'s shape and contents into this matrix, reusing the
     /// allocation when it is large enough.
     pub fn copy_from(&mut self, src: &Matrix) {
@@ -255,7 +294,16 @@ impl Matrix {
             rhs.shape()
         );
         let (m, kdim, n) = (self.rows, self.cols, rhs.cols);
-        out.reset(m, n);
+        // Full and half tiles are stored (never read), so only the
+        // accumulating sub-vector column tail needs pre-zeroing — not the
+        // whole output.
+        out.reset_unfilled(m, n);
+        let tail = (n / MM_LANES) * MM_LANES;
+        if tail < n {
+            for r in 0..m {
+                out.data[r * n + tail..(r + 1) * n].fill(0.0);
+            }
+        }
         let mut r = 0;
         while r + MM_TILE_I <= m {
             mm_row_block::<MM_TILE_I>(&self.data, kdim, &rhs.data, n, &mut out.data, r);
@@ -279,6 +327,16 @@ impl Matrix {
 
     /// `selfᵀ × rhs` written into `out` (no allocation once warm).
     pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.t_matmul_range_into(rhs, 0, self.rows, out);
+    }
+
+    /// `selfᵀ × rhs` restricted to the row band `[r0, r1)` of both
+    /// operands, written into `out`. The inner loops are the exact body of
+    /// [`Matrix::t_matmul_into`] (which delegates here with the full
+    /// range), so a per-block gradient computed over a band of a
+    /// row-stacked batch is bit-identical to computing it on a standalone
+    /// copy of that block.
+    pub fn t_matmul_range_into(&self, rhs: &Matrix, r0: usize, r1: usize, out: &mut Matrix) {
         assert_eq!(
             self.rows,
             rhs.rows,
@@ -286,15 +344,45 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "t_matmul row band out of range"
+        );
         out.reset(self.cols, rhs.cols);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let brow = rhs.row(r);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let n = rhs.cols;
+        // Four streamed rows per pass: each output row is loaded and
+        // stored once per four rank-1 updates instead of once per update.
+        // Within an element the four adds stay separate statements on a
+        // register accumulator in ascending-`r` order, so the result is
+        // bit-identical to the one-row-at-a-time loop below.
+        let mut r = r0;
+        while r + 4 <= r1 {
+            let (a0, a1, a2, a3) = (
+                self.row(r),
+                self.row(r + 1),
+                self.row(r + 2),
+                self.row(r + 3),
+            );
+            let (b0, b1, b2, b3) = (rhs.row(r), rhs.row(r + 1), rhs.row(r + 2), rhs.row(r + 3));
+            for i in 0..self.cols {
+                let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    let mut o = orow[j];
+                    o += x0 * b0[j];
+                    o += x1 * b1[j];
+                    o += x2 * b2[j];
+                    o += x3 * b3[j];
+                    orow[j] = o;
                 }
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            }
+            r += 4;
+        }
+        for rr in r..r1 {
+            let arow = self.row(rr);
+            let brow = rhs.row(rr);
+            for (i, &a) in arow.iter().enumerate() {
+                let orow = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in orow.iter_mut().zip(brow) {
                     *o += a * b;
                 }
@@ -302,15 +390,32 @@ impl Matrix {
         }
     }
 
-    /// `self × rhsᵀ` without materializing the transpose.
+    /// `self × rhsᵀ`.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(0, 0);
         self.matmul_t_into(rhs, &mut out);
         out
     }
 
-    /// `self × rhsᵀ` written into `out` (no allocation once warm).
+    /// `self × rhsᵀ` written into `out`. Allocates a transient transpose
+    /// each call; hot loops with a reusable buffer should prefer
+    /// [`Matrix::matmul_t_buf_into`], which this delegates to (so the two
+    /// agree bitwise).
     pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        let mut rhs_t = Matrix::zeros(0, 0);
+        self.matmul_t_buf_into(rhs, out, &mut rhs_t);
+    }
+
+    /// `self × rhsᵀ` written into `out`, materializing `rhsᵀ` in
+    /// `rhs_t_buf` (reshaped in place; no allocation once warm) and
+    /// running the tiled [`mm_row_block`] kernel over it. `rhs` is the
+    /// small operand at every call site — a weight matrix or a per-head
+    /// block — so the transpose is cheap next to the product, and the
+    /// contiguous streaming it buys replaces one horizontal reduction per
+    /// output element with dense row-wise FMAs. Per output element the
+    /// accumulation runs in ascending-`k` order: bit-identical to
+    /// `self.matmul(&rhs.transpose())`.
+    pub fn matmul_t_buf_into(&self, rhs: &Matrix, out: &mut Matrix, rhs_t_buf: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.cols,
@@ -318,19 +423,24 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        out.reset(self.rows, rhs.rows);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let orow = &mut out.data[r * rhs.rows..(r + 1) * rhs.rows];
-            for (o, c) in orow.iter_mut().zip(0..rhs.rows) {
-                *o = dot(arow, rhs.row(c));
-            }
-        }
+        rhs.transpose_into(rhs_t_buf);
+        self.matmul_into(rhs_t_buf, out);
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Transpose written into `out` (reshaped in place; no allocation
+    /// once `out`'s buffer is large enough).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset_unfilled(self.cols, self.rows);
+        for r in 0..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
     }
 
     /// Elementwise sum (shapes must match).
@@ -448,6 +558,23 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Sums the row band `[r0, r1)` into a `1 × cols` vector written into
+    /// `out`. Same ascending-row inner loop as [`Matrix::sum_rows`], so a
+    /// per-block bias gradient over a band of a row-stacked batch is
+    /// bit-identical to `sum_rows` on a standalone copy of that block.
+    pub fn sum_rows_range_into(&self, r0: usize, r1: usize, out: &mut Matrix) {
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "sum_rows row band out of range"
+        );
+        out.reset(1, self.cols);
+        for r in r0..r1 {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
     }
 
     /// Mean of all rows as a `1 × cols` vector.

@@ -10,10 +10,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::activation::{Activation, ActivationCache};
-use crate::attention::{AttentionCache, MultiHeadAttention};
-use crate::layernorm::{LayerNorm, LayerNormCache};
+use crate::attention::{AttentionBatchCache, AttentionCache, MultiHeadAttention};
+use crate::layernorm::{LayerNorm, LayerNormBatchCache, LayerNormCache};
 use crate::linear::{Linear, LinearCache};
-use crate::param::{Grads, ParamSet};
+use crate::param::{GradSink, Grads, ParamSet};
 use crate::scratch::Scratch;
 use crate::tensor::Matrix;
 
@@ -70,6 +70,22 @@ pub struct EncoderLayerCache {
     c_ff1: LinearCache,
     c_act: ActivationCache,
     c_ff2: LinearCache,
+}
+
+/// Retained training cache of one encoder layer for a row-stacked batch.
+/// Every buffer is reused across calls, so a warm update loop never
+/// allocates.
+#[derive(Debug, Clone, Default)]
+pub struct EncoderLayerBatchCache {
+    c_ln1: LayerNormBatchCache,
+    c_attn: AttentionBatchCache,
+    c_ln2: LayerNormBatchCache,
+    /// LN2 output — the FFN input (`rows × d_model`).
+    n2: Matrix,
+    /// Pre-activation FFN hidden (`rows × d_ff`).
+    f1: Matrix,
+    /// Post-activation FFN hidden (`rows × d_ff`).
+    g: Matrix,
 }
 
 impl EncoderLayer {
@@ -169,6 +185,97 @@ impl EncoderLayer {
         let d_x_attn = self.ln1.backward(ps, &cache.c_ln1, &d_a, grads);
         dh.add(&d_x_attn)
     }
+
+    /// Training forward over a row-stacked batch: same data flow as
+    /// [`EncoderLayer::forward_batch_into`] but filling `cache` for
+    /// [`EncoderLayer::backward_batch`]. Per block, bit-identical to
+    /// [`EncoderLayer::forward`] on that block alone.
+    fn forward_batch_cache(
+        &self,
+        ps: &ParamSet,
+        x: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        cache: &mut EncoderLayerBatchCache,
+        scratch: &mut Scratch,
+    ) {
+        let (rows, d) = x.shape();
+        let mut n1 = scratch.take(rows, d);
+        self.ln1
+            .forward_batch_cache(ps, x, &mut n1, &mut cache.c_ln1);
+        let mut a = scratch.take(rows, d);
+        self.attn
+            .forward_batch_cache(ps, &n1, batch, &mut a, &mut cache.c_attn, scratch);
+        // h = x + a
+        let mut h = scratch.take(rows, d);
+        h.copy_from(x);
+        h.add_assign(&a);
+        self.ln2
+            .forward_batch_cache(ps, &h, &mut cache.n2, &mut cache.c_ln2);
+        self.ff1.forward_into(ps, &cache.n2, &mut cache.f1);
+        cache.g.copy_from(&cache.f1);
+        self.act.apply_in_place(&mut cache.g);
+        // y = h + FFN(…), same operand order as `h.add(&f2)`.
+        self.ff2.forward_into(ps, &cache.g, out);
+        let mut y = scratch.take(0, 0);
+        y.copy_from(&h);
+        y.add_assign(out);
+        std::mem::swap(&mut y, out);
+        scratch.give(y);
+        scratch.give(h);
+        scratch.give(a);
+        scratch.give(n1);
+    }
+
+    /// Batched backward mirroring [`EncoderLayer::backward`] sublayer by
+    /// sublayer. Block `b`'s parameter gradients go to `sink.grads_for(b)`
+    /// in ascending block order per parameter, so a fused sink reproduces
+    /// the sequential per-sample backward bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_batch(
+        &self,
+        ps: &ParamSet,
+        cache: &EncoderLayerBatchCache,
+        dy: &Matrix,
+        batch: usize,
+        sink: &mut GradSink<'_>,
+        dx: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        let (rows, d) = dy.shape();
+        let d_ff = self.ff1.out_dim;
+        // y = h + FFN(LN2(h)) → dh = dy + LN2ᵀ(FFNᵀ(dy)).
+        let mut dg = scratch.take(rows, d_ff);
+        self.ff2
+            .backward_batch(ps, &cache.g, dy, batch, sink, &mut dg, scratch);
+        let mut df1 = scratch.take(rows, d_ff);
+        self.act.backward_into(&cache.f1, &dg, &mut df1);
+        let mut d_n2 = scratch.take(rows, d);
+        self.ff1
+            .backward_batch(ps, &cache.n2, &df1, batch, sink, &mut d_n2, scratch);
+        let mut d_h_ffn = scratch.take(rows, d);
+        self.ln2
+            .backward_batch(ps, &cache.c_ln2, &d_n2, batch, sink, &mut d_h_ffn, scratch);
+        let mut dh = scratch.take(rows, d);
+        dh.copy_from(dy);
+        dh.add_assign(&d_h_ffn);
+        // h = x + MHSA(LN1(x)) → dx = dh + LN1ᵀ(MHSAᵀ(dh)).
+        let mut d_a = scratch.take(rows, d);
+        self.attn
+            .backward_batch(ps, &cache.c_attn, &dh, batch, sink, &mut d_a, scratch);
+        let mut d_x_attn = scratch.take(rows, d);
+        self.ln1
+            .backward_batch(ps, &cache.c_ln1, &d_a, batch, sink, &mut d_x_attn, scratch);
+        dx.copy_from(&dh);
+        dx.add_assign(&d_x_attn);
+        scratch.give(d_x_attn);
+        scratch.give(d_a);
+        scratch.give(dh);
+        scratch.give(d_h_ffn);
+        scratch.give(d_n2);
+        scratch.give(df1);
+        scratch.give(dg);
+    }
 }
 
 /// Full encoder: row embedding + positional encoding + layer stack +
@@ -189,6 +296,17 @@ pub struct TransformerCache {
     c_embed: LinearCache,
     c_layers: Vec<EncoderLayerCache>,
     seq: usize,
+}
+
+/// Retained training cache for a row-stacked batch of sequences
+/// (`batch` blocks of `seq` rows each). The stacked input `xs` is *not*
+/// cached — [`TransformerEncoder::backward_batch`] takes it from the
+/// caller for the embedding backward.
+#[derive(Debug, Clone, Default)]
+pub struct TransformerBatchCache {
+    c_layers: Vec<EncoderLayerBatchCache>,
+    seq: usize,
+    batch: usize,
 }
 
 /// Incremental embed-row cache for the inference path (one per episode):
@@ -562,6 +680,37 @@ impl TransformerEncoder {
         d_pooled: &Matrix,
         grads: &mut Grads,
     ) -> Matrix {
+        let dh = self.backward_to_embed(ps, cache, d_pooled, grads);
+        // Positional encodings are constants: gradient passes through.
+        self.embed.backward(ps, &cache.c_embed, &dh, grads)
+    }
+
+    /// [`TransformerEncoder::backward`] minus the input gradient: the
+    /// embedding's `dx = dh Wᵀ` — the largest transposed product in the
+    /// net — feeds nothing when the encoder is a network's first layer,
+    /// so callers that discard it skip it here. Parameter gradients are
+    /// bit-identical to the full backward.
+    pub fn backward_params_only(
+        &self,
+        ps: &ParamSet,
+        cache: &TransformerCache,
+        d_pooled: &Matrix,
+        grads: &mut Grads,
+    ) {
+        let dh = self.backward_to_embed(ps, cache, d_pooled, grads);
+        self.embed.backward_params(&cache.c_embed, &dh, grads);
+    }
+
+    /// Shared spine of the two backward entry points: pooled-gradient
+    /// spread plus the encoder-layer chain, stopping just before the
+    /// embedding.
+    fn backward_to_embed(
+        &self,
+        ps: &ParamSet,
+        cache: &TransformerCache,
+        d_pooled: &Matrix,
+        grads: &mut Grads,
+    ) -> Matrix {
         // Mean pooling spreads the gradient evenly over sequence rows.
         let seq = cache.seq;
         let scale = 1.0 / seq as f32;
@@ -569,8 +718,142 @@ impl TransformerEncoder {
         for (layer, c) in self.layers.iter().zip(&cache.c_layers).rev() {
             dh = layer.backward(ps, c, &dh, grads);
         }
-        // Positional encodings are constants: gradient passes through.
-        self.embed.backward(ps, &cache.c_embed, &dh, grads)
+        dh
+    }
+
+    /// Training encode over a row-stacked batch: `xs` stacks `batch`
+    /// independent `seq × input_dim` state matrices, row `b` of the
+    /// `batch × d_model` output receives block `b`'s pooled feature, and
+    /// `cache` is filled for [`TransformerEncoder::backward_batch`]. The
+    /// embedding runs as one matmul over the whole stack; per block the
+    /// arithmetic is bit-identical to [`TransformerEncoder::forward`].
+    pub fn forward_batch_train(
+        &self,
+        ps: &ParamSet,
+        xs: &Matrix,
+        batch: usize,
+        out: &mut Matrix,
+        cache: &mut TransformerBatchCache,
+        scratch: &mut Scratch,
+    ) {
+        let seq = self.batch_seq(xs, batch);
+        cache.seq = seq;
+        cache.batch = batch;
+        cache
+            .c_layers
+            .resize_with(self.layers.len(), EncoderLayerBatchCache::default);
+        let mut h = scratch.take(xs.rows(), self.cfg.d_model);
+        self.embed.forward_into(ps, xs, &mut h);
+        // e + positional encoding, pos row index restarting per block —
+        // the same element order as `forward` / `encode_embedded`.
+        for blk in 0..batch {
+            for r in 0..seq {
+                for (hv, &pv) in h.row_mut(blk * seq + r).iter_mut().zip(self.pos.row(r)) {
+                    *hv += pv;
+                }
+            }
+        }
+        let mut next = scratch.take(h.rows(), self.cfg.d_model);
+        for (layer, c) in self.layers.iter().zip(cache.c_layers.iter_mut()) {
+            layer.forward_batch_cache(ps, &h, batch, &mut next, c, scratch);
+            std::mem::swap(&mut h, &mut next);
+        }
+        // Per-block mean pooling with the exact `mean_rows` arithmetic.
+        out.reset(batch, self.cfg.d_model);
+        for blk in 0..batch {
+            let orow = out.row_mut(blk);
+            for r in 0..seq {
+                for (o, &v) in orow.iter_mut().zip(h.row(blk * seq + r)) {
+                    *o += v;
+                }
+            }
+            let inv = 1.0 / seq.max(1) as f32;
+            for o in orow.iter_mut() {
+                *o *= inv;
+            }
+        }
+        scratch.give(next);
+        scratch.give(h);
+    }
+
+    /// Batched backward for [`TransformerEncoder::forward_batch_train`]:
+    /// `d_pooled` is `batch × d_model` (one pooled-feature gradient row
+    /// per block), `xs` is the same stacked input the forward saw, and
+    /// block `b`'s parameter gradients go to `sink.grads_for(b)` in
+    /// ascending block order per parameter. `dx` receives the stacked
+    /// input gradient.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch(
+        &self,
+        ps: &ParamSet,
+        cache: &TransformerBatchCache,
+        xs: &Matrix,
+        d_pooled: &Matrix,
+        sink: &mut GradSink<'_>,
+        dx: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        self.backward_batch_inner(ps, cache, xs, d_pooled, sink, Some(dx), scratch);
+    }
+
+    /// [`TransformerEncoder::backward_batch`] minus the stacked input
+    /// gradient (see [`TransformerEncoder::backward_params_only`]).
+    /// Per-block parameter gradients are bit-identical to the full
+    /// batched backward.
+    pub fn backward_batch_params(
+        &self,
+        ps: &ParamSet,
+        cache: &TransformerBatchCache,
+        xs: &Matrix,
+        d_pooled: &Matrix,
+        sink: &mut GradSink<'_>,
+        scratch: &mut Scratch,
+    ) {
+        self.backward_batch_inner(ps, cache, xs, d_pooled, sink, None, scratch);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn backward_batch_inner(
+        &self,
+        ps: &ParamSet,
+        cache: &TransformerBatchCache,
+        xs: &Matrix,
+        d_pooled: &Matrix,
+        sink: &mut GradSink<'_>,
+        dx: Option<&mut Matrix>,
+        scratch: &mut Scratch,
+    ) {
+        let (seq, batch) = (cache.seq, cache.batch);
+        assert_eq!(d_pooled.rows(), batch, "one pooled gradient row per block");
+        assert_eq!(xs.rows(), seq * batch, "stacked input mismatch");
+        let rows = seq * batch;
+        // Mean pooling spreads each block's gradient evenly over its
+        // rows — the exact `d_pooled · (1/seq)` product of `backward`.
+        let scale = 1.0 / seq as f32;
+        let mut dh = scratch.take(rows, self.cfg.d_model);
+        for blk in 0..batch {
+            let drow = d_pooled.row(blk);
+            for r in 0..seq {
+                for (o, &g) in dh.row_mut(blk * seq + r).iter_mut().zip(drow) {
+                    *o = g * scale;
+                }
+            }
+        }
+        let mut next = scratch.take(rows, self.cfg.d_model);
+        for (layer, c) in self.layers.iter().zip(cache.c_layers.iter()).rev() {
+            layer.backward_batch(ps, c, &dh, batch, sink, &mut next, scratch);
+            std::mem::swap(&mut dh, &mut next);
+        }
+        match dx {
+            Some(dx) => self
+                .embed
+                .backward_batch(ps, xs, &dh, batch, sink, dx, scratch),
+            None => self
+                .embed
+                .backward_batch_params(xs, &dh, batch, sink, scratch),
+        }
+        scratch.give(next);
+        scratch.give(dh);
     }
 }
 

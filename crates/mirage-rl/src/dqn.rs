@@ -2,22 +2,25 @@
 //!
 //! ε-greedy action selection over the dual-head network's Q-values, with
 //! experience-replay mini-batches, Huber TD loss, an optional target
-//! network, gradient clipping and Adam. Mini-batch gradients are computed
-//! data-parallel with rayon (each sample's forward/backward runs against
-//! the shared `&ParamSet`).
+//! network, gradient clipping and Adam. The update path runs **one
+//! batched forward/backward per mini-batch** over a row-stacked
+//! [`MiniBatch`] (bit-identical to the per-experience loop, which is kept
+//! as [`DqnAgent::train_batch_scalar`], the pinned reference), and
+//! [`DqnAgent::train_minibatch_sharded`] splits the batch across OS
+//! threads with a deterministic per-sample gradient all-reduce.
 
 use mirage_nn::loss::huber;
 use mirage_nn::optim::{Adam, Optimizer};
-use mirage_nn::param::Grads;
+use mirage_nn::param::{GradSink, Grads};
 use mirage_nn::scratch::Scratch;
 use mirage_nn::tensor::Matrix;
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::dualhead::{ActionEncoding, BatchInferCache, DualHeadNet};
+use crate::dualhead::{ActionEncoding, BatchInferCache, DualHeadNet, HeadBatchCache};
 use crate::greedy_pair;
-use crate::replay::Experience;
+use crate::replay::{Experience, MiniBatch};
 use crate::schedule::{EpsilonSchedule, ExploreLane};
 
 /// DQN hyperparameters.
@@ -61,6 +64,154 @@ fn epsilon_draw(rng: &mut impl Rng, eps: f32, greedy: impl FnOnce() -> usize) ->
         rng.gen_range(0..2)
     } else {
         greedy()
+    }
+}
+
+/// Scalar Huber loss/derivative for one `1 × 1` prediction: exactly the
+/// [`huber`] arithmetic at `n = 1` (where the `/ n` normalizations are
+/// exact identities), inlined so the batched TD pass computes per-sample
+/// losses without building row-vector matrices.
+#[inline]
+fn huber_scalar(pred: f32, target: f32, delta: f32) -> (f32, f32) {
+    let d = pred - target;
+    if d.abs() <= delta {
+        (0.5 * d * d, d)
+    } else {
+        (delta * (d.abs() - 0.5 * delta), delta * d.signum())
+    }
+}
+
+/// Bootstrap targets for a row-stacked mini-batch: `targets[i]` starts at
+/// sample `i`'s reward and bootstrap-eligible samples add
+/// `γ · max(Q'(s'))` from the `bootstrap` network. The successor features
+/// run through the batched inference encode (bit-identical per block to
+/// the sequential `forward_into` loop the reference path uses) and the
+/// Q-head as one matmul over the stacked feature rows.
+fn minibatch_targets(
+    bootstrap: &DualHeadNet,
+    gamma: f32,
+    mb: &MiniBatch,
+    scratch: &mut Scratch,
+    targets: &mut Vec<f32>,
+) {
+    targets.clear();
+    targets.extend_from_slice(&mb.rewards);
+    if mb.next_idx.is_empty() {
+        return;
+    }
+    let d = bootstrap.foundation.out_dim();
+    let count = mb.next_idx.len();
+    let rows_per = match bootstrap.cfg.action_encoding {
+        ActionEncoding::TwoHead => 1,
+        ActionEncoding::OrdinalInput => 2,
+    };
+    let mut feats = scratch.take(count * rows_per, d);
+    match bootstrap.cfg.action_encoding {
+        ActionEncoding::TwoHead => {
+            bootstrap.foundation.forward_batch_into(
+                &bootstrap.ps,
+                &mb.next_states,
+                count,
+                &mut feats,
+                scratch,
+            );
+        }
+        ActionEncoding::OrdinalInput => {
+            // One augmented batch pass per ordinal, interleaved into the
+            // same `j·2 + a` feature layout as the per-sample reference.
+            let mut aug = scratch.take(0, 0);
+            let mut pass = scratch.take(count, d);
+            for (a, ordinal) in [-1.0f32, 1.0].iter().enumerate() {
+                bootstrap.augment_into(&mb.next_states, *ordinal, &mut aug);
+                bootstrap.foundation.forward_batch_into(
+                    &bootstrap.ps,
+                    &aug,
+                    count,
+                    &mut pass,
+                    scratch,
+                );
+                for j in 0..count {
+                    feats.row_mut(j * 2 + a).copy_from_slice(pass.row(j));
+                }
+            }
+            scratch.give(pass);
+            scratch.give(aug);
+        }
+    }
+    let mut qs = scratch.take(feats.rows(), bootstrap.q_head.out_dim);
+    bootstrap
+        .q_head
+        .forward_into(&bootstrap.ps, &feats, &mut qs);
+    for (j, &i) in mb.next_idx.iter().enumerate() {
+        let (q0, q1) = match bootstrap.cfg.action_encoding {
+            ActionEncoding::TwoHead => (qs.get(j, 0), qs.get(j, 1)),
+            ActionEncoding::OrdinalInput => (qs.get(j * 2, 0), qs.get(j * 2 + 1, 0)),
+        };
+        targets[i] += gamma * q0.max(q1);
+    }
+    scratch.give(qs);
+    scratch.give(feats);
+}
+
+/// One shard of [`DqnAgent::train_minibatch_sharded`]: computes the
+/// per-sample gradients and losses for samples `[start, start + k)` of
+/// `mb` into `grads`/`losses` (both length `k`). Batched when the network
+/// supports it, per-sample scalar otherwise; either way `grads[j]` holds
+/// exactly sample `start + j`'s contribution, so the coordinator's
+/// ascending flat fold is bit-identical to the single-threaded update.
+fn dqn_shard(
+    net: &DualHeadNet,
+    mb: &MiniBatch,
+    targets: &[f32],
+    delta: f32,
+    start: usize,
+    grads: &mut [Grads],
+    losses: &mut [f32],
+) {
+    let k = grads.len();
+    let mut scratch = Scratch::new();
+    if net.supports_batched_q_train() {
+        let mut cache = HeadBatchCache::default();
+        let mut states = scratch.take(k * mb.seq, mb.states.cols());
+        for r in 0..states.rows() {
+            states
+                .row_mut(r)
+                .copy_from_slice(mb.states.row(start * mb.seq + r));
+        }
+        let mut q = scratch.take(k, 2);
+        net.q_forward_batch_train(&states, k, &mut q, &mut cache, &mut scratch);
+        let mut dq = scratch.take(k, 2);
+        for j in 0..k {
+            let a = mb.actions[start + j];
+            let (loss, dl) = huber_scalar(q.get(j, a), targets[start + j], delta);
+            dq.set(j, a, dl);
+            losses[j] = loss;
+        }
+        let mut sink = GradSink::PerBlock(grads);
+        net.q_backward_batch(&mut cache, &states, &dq, k, &mut sink, &mut scratch);
+        scratch.give(dq);
+        scratch.give(q);
+        scratch.give(states);
+    } else {
+        let mut state = scratch.take(mb.seq, mb.states.cols());
+        for (j, (g, l)) in grads.iter_mut().zip(losses.iter_mut()).enumerate() {
+            let i = start + j;
+            for r in 0..mb.seq {
+                state
+                    .row_mut(r)
+                    .copy_from_slice(mb.states.row(i * mb.seq + r));
+            }
+            let (qv, cache) = net.q_forward(&state);
+            let a = mb.actions[i];
+            let pred = Matrix::row_vector(vec![qv[a]]);
+            let tgt = Matrix::row_vector(vec![targets[i]]);
+            let (loss, dl) = huber(&pred, &tgt, delta);
+            let mut dqv = [0.0f32; 2];
+            dqv[a] = dl.get(0, 0);
+            net.q_backward(&cache, dqv, g);
+            *l = loss;
+        }
+        scratch.give(state);
     }
 }
 
@@ -109,6 +260,16 @@ pub struct DqnAgent {
     batch_cache: BatchInferCache,
     /// Reusable Q-pair buffer for the batched greedy path.
     batch_vals: Vec<[f32; 2]>,
+    /// Retained buffers for the batched update path.
+    train_cache: HeadBatchCache,
+    /// Mini-batch gradient accumulator (reset per update).
+    grads: Grads,
+    /// Per-sample accumulator for the scalar fallback update path.
+    sample_grads: Grads,
+    /// Bootstrap-target buffer (refilled per update).
+    targets_buf: Vec<f32>,
+    /// Retained mini-batch for the reference-batch compatibility wrapper.
+    minibatch: MiniBatch,
 }
 
 impl DqnAgent {
@@ -116,6 +277,8 @@ impl DqnAgent {
     pub fn new(net: DualHeadNet, cfg: DqnConfig) -> Self {
         let target = (cfg.target_sync > 0).then(|| net.clone());
         let opt = Adam::new(cfg.lr);
+        let grads = Grads::new(&net.ps);
+        let sample_grads = Grads::new(&net.ps);
         Self {
             net,
             target,
@@ -126,6 +289,11 @@ impl DqnAgent {
             scratch: Scratch::new(),
             batch_cache: BatchInferCache::new(),
             batch_vals: Vec::new(),
+            train_cache: HeadBatchCache::default(),
+            grads,
+            sample_grads,
+            targets_buf: Vec::new(),
+            minibatch: MiniBatch::new(),
         }
     }
 
@@ -336,8 +504,25 @@ impl DqnAgent {
         targets
     }
 
-    /// One mini-batch update; returns the mean TD loss.
+    /// One mini-batch update from a reference batch; returns the mean TD
+    /// loss. Compatibility wrapper: assembles a retained row-stacked
+    /// [`MiniBatch`] and runs [`DqnAgent::train_minibatch`], bit-identical
+    /// to the per-experience reference
+    /// [`DqnAgent::train_batch_scalar`].
     pub fn train_batch(&mut self, batch: &[&Experience]) -> f32 {
+        assert!(!batch.is_empty(), "empty training batch");
+        let mut mb = std::mem::take(&mut self.minibatch);
+        mb.assemble_refs(batch);
+        let loss = self.train_minibatch(&mb);
+        self.minibatch = mb;
+        loss
+    }
+
+    /// The pinned per-experience reference update: one `q_forward` /
+    /// `q_backward` per sample, gradients folded sequentially in batch
+    /// order. [`DqnAgent::train_minibatch`] must match this bit for bit —
+    /// the property tests compare the two directly.
+    pub fn train_batch_scalar(&mut self, batch: &[&Experience]) -> f32 {
         assert!(!batch.is_empty(), "empty training batch");
         // Bootstrap targets first (batched, inference-only), then the
         // per-sample gradient passes against the online network.
@@ -371,19 +556,150 @@ impl DqnAgent {
                     (l1 + l2, g1)
                 });
 
-        let mut grads = merged;
-        grads.scale(1.0 / batch.len() as f32);
-        if self.cfg.grad_clip > 0.0 {
-            grads.clip_global_norm(self.cfg.grad_clip);
+        self.grads.reset();
+        self.grads.merge(merged);
+        self.apply_update(total_loss, batch.len())
+    }
+
+    /// One batched mini-batch update: a single forward/backward over the
+    /// row-stacked states (one matmul per layer instead of one per
+    /// sample) when the network supports it, with the per-sample loop as
+    /// fallback. Bit-identical to [`DqnAgent::train_batch_scalar`] on the
+    /// same samples; allocation-free once the retained buffers are warm.
+    pub fn train_minibatch(&mut self, mb: &MiniBatch) -> f32 {
+        assert!(!mb.is_empty(), "empty training batch");
+        minibatch_targets(
+            self.target.as_ref().unwrap_or(&self.net),
+            self.cfg.gamma,
+            mb,
+            &mut self.scratch,
+            &mut self.targets_buf,
+        );
+        let delta = self.cfg.huber_delta;
+        let n = mb.len;
+        self.grads.reset();
+        let mut total_loss = 0.0f32;
+        if self.net.supports_batched_q_train() {
+            let net = &self.net;
+            let scratch = &mut self.scratch;
+            let mut q = scratch.take(n, 2);
+            net.q_forward_batch_train(&mb.states, n, &mut q, &mut self.train_cache, scratch);
+            let mut dq = scratch.take(n, 2);
+            for i in 0..n {
+                let a = mb.actions[i];
+                let (loss, dl) = huber_scalar(q.get(i, a), self.targets_buf[i], delta);
+                dq.set(i, a, dl);
+                total_loss += loss;
+            }
+            let mut sink = GradSink::Fused(&mut self.grads);
+            net.q_backward_batch(
+                &mut self.train_cache,
+                &mb.states,
+                &dq,
+                n,
+                &mut sink,
+                scratch,
+            );
+            scratch.give(dq);
+            scratch.give(q);
+        } else {
+            // Ordinal encoding / top-1 MoE: the per-sample reference
+            // loop, accumulated through the same deterministic fold.
+            let net = &self.net;
+            let mut state = self.scratch.take(mb.seq, mb.states.cols());
+            for i in 0..n {
+                for r in 0..mb.seq {
+                    state
+                        .row_mut(r)
+                        .copy_from_slice(mb.states.row(i * mb.seq + r));
+                }
+                let (qv, cache) = net.q_forward(&state);
+                let a = mb.actions[i];
+                let pred = Matrix::row_vector(vec![qv[a]]);
+                let tgt = Matrix::row_vector(vec![self.targets_buf[i]]);
+                let (loss, dl) = huber(&pred, &tgt, delta);
+                let mut dqv = [0.0f32; 2];
+                dqv[a] = dl.get(0, 0);
+                self.sample_grads.reset();
+                net.q_backward(&cache, dqv, &mut self.sample_grads);
+                self.grads.merge_ref(&self.sample_grads);
+                total_loss += loss;
+            }
+            self.scratch.give(state);
         }
-        self.opt.step(&mut self.net.ps, &grads);
+        self.apply_update(total_loss, n)
+    }
+
+    /// Synchronized multi-worker mini-batch update: the batch is split
+    /// into `workers` contiguous shards, each shard computes **per-sample**
+    /// gradients on its own OS thread, and the coordinator all-reduces by
+    /// flat-folding every per-sample gradient in ascending sample order
+    /// before one shared Adam step. That global flat fold is the same
+    /// addition chain as the single-threaded update, so the result is
+    /// bit-identical to [`DqnAgent::train_minibatch`] for **any** worker
+    /// count.
+    pub fn train_minibatch_sharded(&mut self, mb: &MiniBatch, workers: usize) -> f32 {
+        let workers = workers.max(1).min(mb.len.max(1));
+        if workers <= 1 {
+            return self.train_minibatch(mb);
+        }
+        assert!(!mb.is_empty(), "empty training batch");
+        minibatch_targets(
+            self.target.as_ref().unwrap_or(&self.net),
+            self.cfg.gamma,
+            mb,
+            &mut self.scratch,
+            &mut self.targets_buf,
+        );
+        let n = mb.len;
+        let net = &self.net;
+        let targets = &self.targets_buf;
+        let delta = self.cfg.huber_delta;
+        let mut per_sample: Vec<Grads> = (0..n).map(|_| Grads::new(&net.ps)).collect();
+        let mut losses = vec![0.0f32; n];
+        std::thread::scope(|scope| {
+            let mut grads_rest = per_sample.as_mut_slice();
+            let mut losses_rest = losses.as_mut_slice();
+            let mut start = 0usize;
+            for w in 0..workers {
+                // Spread the remainder over the leading shards.
+                let k = n / workers + usize::from(w < n % workers);
+                let (g, gr) = grads_rest.split_at_mut(k);
+                let (l, lr) = losses_rest.split_at_mut(k);
+                grads_rest = gr;
+                losses_rest = lr;
+                let shard_start = start;
+                start += k;
+                scope.spawn(move || dqn_shard(net, mb, targets, delta, shard_start, g, l));
+            }
+        });
+        // Deterministic all-reduce: ascending flat fold over every
+        // per-sample gradient, losses summed in the same order.
+        self.grads.reset();
+        let mut total_loss = 0.0f32;
+        for (l, g) in losses.iter().zip(&per_sample) {
+            total_loss += *l;
+            self.grads.merge_ref(g);
+        }
+        self.apply_update(total_loss, n)
+    }
+
+    /// Shared update tail: mean-scales the accumulated gradients, clips,
+    /// steps Adam, invalidates the inference caches and advances the
+    /// target-sync clock. Returns the mean loss.
+    fn apply_update(&mut self, total_loss: f32, n: usize) -> f32 {
+        self.grads.scale(1.0 / n as f32);
+        if self.cfg.grad_clip > 0.0 {
+            self.grads.clip_global_norm(self.cfg.grad_clip);
+        }
+        self.opt.step(&mut self.net.ps, &self.grads);
         // The parameters moved: cached embed rows are stale.
         self.batch_cache.clear();
         self.train_steps += 1;
         if self.cfg.target_sync > 0 && self.train_steps.is_multiple_of(self.cfg.target_sync) {
             self.target = Some(self.net.clone());
         }
-        total_loss / batch.len() as f32
+        total_loss / n as f32
     }
 }
 

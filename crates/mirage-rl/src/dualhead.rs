@@ -18,9 +18,9 @@
 //! ordinal action variable (−1 / +1, 0 for the P-head) is appended to every
 //! state row and the foundation runs once per queried action.
 
-use mirage_nn::foundation::{FoundationCache, FoundationKind, FoundationNet};
+use mirage_nn::foundation::{FoundationBatchCache, FoundationCache, FoundationKind, FoundationNet};
 use mirage_nn::linear::{Linear, LinearCache};
-use mirage_nn::param::{Grads, ParamSet};
+use mirage_nn::param::{GradSink, Grads, ParamSet};
 use mirage_nn::scratch::Scratch;
 use mirage_nn::tensor::Matrix;
 use mirage_nn::transformer::{EmbedRowCache, TransformerConfig};
@@ -123,6 +123,24 @@ pub struct HeadCache {
 #[derive(Debug, Clone, Default)]
 pub struct BatchInferCache {
     passes: Vec<Vec<EmbedRowCache>>,
+}
+
+/// Retained buffers for one batched *training* pass through a head path
+/// (Q or P): the foundation batch cache, the stacked feature matrix the
+/// head reads, and the gradient buffers the backward pass writes. Keep
+/// one per head path and reuse it across updates — every buffer is reset
+/// in place, so a shape-stationary training loop stops allocating after
+/// its first mini-batch.
+#[derive(Debug, Clone, Default)]
+pub struct HeadBatchCache {
+    f_cache: FoundationBatchCache,
+    /// Ordinal-augmented input stack (P path only; unused under
+    /// [`ActionEncoding::TwoHead`]).
+    aug: Matrix,
+    /// `batch × d_model` pooled features out of the foundation.
+    feats: Matrix,
+    /// Head-input gradient (`batch × d_model`).
+    d_feats: Matrix,
 }
 
 impl BatchInferCache {
@@ -252,7 +270,8 @@ impl DualHeadNet {
                 let dy = Matrix::row_vector(vec![dq[0], dq[1]]);
                 let d_feat = self.q_head.backward(&self.ps, l_cache, &dy, grads);
                 if !self.cfg.freeze_foundation {
-                    self.foundation.backward(&self.ps, f_cache, &d_feat, grads);
+                    self.foundation
+                        .backward_params_only(&self.ps, f_cache, &d_feat, grads);
                 }
             }
             ActionEncoding::OrdinalInput => {
@@ -263,7 +282,8 @@ impl DualHeadNet {
                     let dy = Matrix::row_vector(vec![dq[i]]);
                     let d_feat = self.q_head.backward(&self.ps, l_cache, &dy, grads);
                     if !self.cfg.freeze_foundation {
-                        self.foundation.backward(&self.ps, f_cache, &d_feat, grads);
+                        self.foundation
+                            .backward_params_only(&self.ps, f_cache, &d_feat, grads);
                     }
                 }
             }
@@ -286,7 +306,7 @@ impl DualHeadNet {
             .backward(&self.ps, &cache.l_cache, d_logits, grads);
         if !self.cfg.freeze_foundation {
             self.foundation
-                .backward(&self.ps, &cache.f_cache, &d_feat, grads);
+                .backward_params_only(&self.ps, &cache.f_cache, &d_feat, grads);
         }
     }
 
@@ -313,7 +333,7 @@ impl DualHeadNet {
             .reward_head
             .backward(&self.ps, &cache.l_cache, &dy, grads);
         self.foundation
-            .backward(&self.ps, &cache.f_cache, &d_feat, grads);
+            .backward_params_only(&self.ps, &cache.f_cache, &d_feat, grads);
     }
 
     /// Inference-only Q-values: no caches, every temporary drawn from
@@ -488,6 +508,160 @@ impl DualHeadNet {
         out.extend((0..batch).map(|b| [logits.get(b, 0), logits.get(b, 1)]));
         scratch.give(logits);
         scratch.give(feats);
+    }
+
+    /// Whether the batched Q *training* path applies: the two-head
+    /// encoding runs one foundation pass per state (the ordinal layout
+    /// runs one per queried action with data-dependent skips, so it keeps
+    /// the per-sample loop), and the foundation itself must support
+    /// batched training (top-1 MoE does not).
+    pub fn supports_batched_q_train(&self) -> bool {
+        self.cfg.action_encoding == ActionEncoding::TwoHead
+            && self.foundation.supports_batched_train()
+    }
+
+    /// Whether the batched P *training* path applies. The policy head
+    /// always feeds the foundation one pass per state (ordinal 0), so
+    /// only the foundation's own support matters.
+    pub fn supports_batched_p_train(&self) -> bool {
+        self.foundation.supports_batched_train()
+    }
+
+    /// Batched Q training forward: `states` row-stacks `batch` state
+    /// matrices, `q` receives the `batch × 2` Q-pairs and `cache` is
+    /// filled for [`DualHeadNet::q_backward_batch`]. Row `b` is
+    /// bit-identical to [`DualHeadNet::q_forward`] on block `b` alone.
+    /// Panics unless [`DualHeadNet::supports_batched_q_train`].
+    pub fn q_forward_batch_train(
+        &self,
+        states: &Matrix,
+        batch: usize,
+        q: &mut Matrix,
+        cache: &mut HeadBatchCache,
+        scratch: &mut Scratch,
+    ) {
+        assert!(
+            self.supports_batched_q_train(),
+            "batched Q training requires the two-head encoding and a batch-capable foundation"
+        );
+        self.foundation.forward_batch_train(
+            &self.ps,
+            states,
+            batch,
+            &mut cache.feats,
+            &mut cache.f_cache,
+            scratch,
+        );
+        self.q_head.forward_into(&self.ps, &cache.feats, q);
+    }
+
+    /// Batched backward through the Q path: `dq` holds one `[dQ0, dQ1]`
+    /// row per block and block `b`'s parameter gradients go to
+    /// `sink.grads_for(b)` in ascending block order per parameter. With a
+    /// fused sink this is bit-identical to `batch` sequential
+    /// [`DualHeadNet::q_backward`] calls accumulating into one `Grads`.
+    pub fn q_backward_batch(
+        &self,
+        cache: &mut HeadBatchCache,
+        states: &Matrix,
+        dq: &Matrix,
+        batch: usize,
+        sink: &mut GradSink<'_>,
+        scratch: &mut Scratch,
+    ) {
+        self.q_head.backward_batch(
+            &self.ps,
+            &cache.feats,
+            dq,
+            batch,
+            sink,
+            &mut cache.d_feats,
+            scratch,
+        );
+        if !self.cfg.freeze_foundation {
+            self.foundation.backward_batch_params(
+                &self.ps,
+                &cache.f_cache,
+                states,
+                &cache.d_feats,
+                sink,
+                scratch,
+            );
+        }
+    }
+
+    /// Batched P training forward: the policy analogue of
+    /// [`DualHeadNet::q_forward_batch_train`]. `logits` receives the
+    /// `batch × 2` logit rows; under the ordinal encoding the stacked
+    /// input is augmented with the P-head's ordinal 0 exactly as
+    /// [`DualHeadNet::p_forward`] does per sample. Panics unless
+    /// [`DualHeadNet::supports_batched_p_train`].
+    pub fn p_forward_batch_train(
+        &self,
+        states: &Matrix,
+        batch: usize,
+        logits: &mut Matrix,
+        cache: &mut HeadBatchCache,
+        scratch: &mut Scratch,
+    ) {
+        assert!(
+            self.supports_batched_p_train(),
+            "batched P training requires a batch-capable foundation"
+        );
+        let xs: &Matrix = match self.cfg.action_encoding {
+            ActionEncoding::TwoHead => states,
+            ActionEncoding::OrdinalInput => {
+                self.augment_into(states, 0.0, &mut cache.aug);
+                &cache.aug
+            }
+        };
+        self.foundation.forward_batch_train(
+            &self.ps,
+            xs,
+            batch,
+            &mut cache.feats,
+            &mut cache.f_cache,
+            scratch,
+        );
+        self.p_head.forward_into(&self.ps, &cache.feats, logits);
+    }
+
+    /// Batched backward through the P path: `d_logits` holds one row per
+    /// block; gradients land in `sink.grads_for(b)` ascending, making a
+    /// fused sink bit-identical to sequential [`DualHeadNet::p_backward`]
+    /// calls in block order.
+    pub fn p_backward_batch(
+        &self,
+        cache: &mut HeadBatchCache,
+        states: &Matrix,
+        d_logits: &Matrix,
+        batch: usize,
+        sink: &mut GradSink<'_>,
+        scratch: &mut Scratch,
+    ) {
+        self.p_head.backward_batch(
+            &self.ps,
+            &cache.feats,
+            d_logits,
+            batch,
+            sink,
+            &mut cache.d_feats,
+            scratch,
+        );
+        if !self.cfg.freeze_foundation {
+            let xs: &Matrix = match self.cfg.action_encoding {
+                ActionEncoding::TwoHead => states,
+                ActionEncoding::OrdinalInput => &cache.aug,
+            };
+            self.foundation.backward_batch_params(
+                &self.ps,
+                &cache.f_cache,
+                xs,
+                &cache.d_feats,
+                sink,
+                scratch,
+            );
+        }
     }
 
     /// Greedy action under the Q function (allocating compatibility

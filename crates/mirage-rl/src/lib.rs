@@ -26,12 +26,12 @@ pub mod replay;
 pub mod schedule;
 
 pub use dqn::{DqnAgent, DqnAgentState, DqnConfig};
-pub use dualhead::{ActionEncoding, BatchInferCache, DualHeadConfig, DualHeadNet};
+pub use dualhead::{ActionEncoding, BatchInferCache, DualHeadConfig, DualHeadNet, HeadBatchCache};
 pub use env::{rollout, Environment, StepResult};
 pub use guard::{prob_pair_is_valid, q_pair_is_valid, GuardStats, GuardedPolicy, FALLBACK_ACTION};
 pub use offline::{pretrain_foundation, reward_mse, PretrainConfig, RewardSample};
 pub use pg::{EpisodeSample, PgAgent, PgAgentState, PgConfig};
-pub use replay::{BalancedReplay, Experience, ReplayBuffer};
+pub use replay::{BalancedReplay, Experience, MiniBatch, ReplayBuffer};
 pub use schedule::{EpsilonSchedule, ExploreLane, ServiceLanes};
 
 /// Greedy action over a `[Q(no-submit), Q(submit)]` (or probability)

@@ -4,18 +4,22 @@
 //! sampled from it ("non-deterministic policy", §4.4). Training follows
 //! Eq. 6: Monte-Carlo rollouts, return-weighted log-probability gradients,
 //! with a moving-average baseline and optional entropy regularization for
-//! variance control.
+//! variance control. Each episode's steps run as **one batched
+//! forward/backward** (bit-identical to the per-step loop, kept as
+//! [`PgAgent::train_episodes_scalar`], the pinned reference), and
+//! [`PgAgent::train_episodes_sharded`] distributes whole episodes across
+//! OS threads with a deterministic per-episode gradient all-reduce.
 
 use mirage_nn::loss::policy_gradient_loss;
 use mirage_nn::optim::{Adam, Optimizer};
-use mirage_nn::param::Grads;
+use mirage_nn::param::{GradSink, Grads};
 use mirage_nn::scratch::Scratch;
 use mirage_nn::tensor::Matrix;
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::dualhead::{BatchInferCache, DualHeadNet};
+use crate::dualhead::{BatchInferCache, DualHeadNet, HeadBatchCache};
 use crate::greedy_pair;
 use crate::schedule::ExploreLane;
 
@@ -102,12 +106,20 @@ pub struct PgAgent {
     batch_cache: BatchInferCache,
     /// Reusable probability-pair buffer for the batched greedy path.
     batch_vals: Vec<[f32; 2]>,
+    /// Retained activation caches for the batched training path.
+    train_cache: HeadBatchCache,
+    /// Retained accumulated-gradient buffer (reset each update).
+    grads: Grads,
+    /// Retained per-episode gradient buffer for the batched path.
+    ep_grads: Grads,
 }
 
 impl PgAgent {
     /// Wraps a network with REINFORCE training machinery.
     pub fn new(net: DualHeadNet, cfg: PgConfig) -> Self {
         let opt = Adam::new(cfg.lr);
+        let grads = Grads::new(&net.ps);
+        let ep_grads = Grads::new(&net.ps);
         Self {
             net,
             opt,
@@ -118,6 +130,9 @@ impl PgAgent {
             scratch: Scratch::new(),
             batch_cache: BatchInferCache::new(),
             batch_vals: Vec::new(),
+            train_cache: HeadBatchCache::default(),
+            grads,
+            ep_grads,
         }
     }
 
@@ -228,9 +243,23 @@ impl PgAgent {
 
     /// One REINFORCE update from a batch of complete episodes; returns the
     /// mean surrogate loss.
+    ///
+    /// When the foundation supports batched training, each episode's
+    /// steps run as **one** row-stacked forward/backward; the result is
+    /// bit-identical to [`train_episodes_scalar`](Self::train_episodes_scalar),
+    /// the pinned per-step reference (property-tested).
     pub fn train_episodes(&mut self, episodes: &[EpisodeSample]) -> f32 {
-        assert!(!episodes.is_empty(), "empty episode batch");
-        // Baseline from the batch (EMA across calls).
+        if self.net.supports_batched_p_train() {
+            self.train_episodes_batched(episodes)
+        } else {
+            self.train_episodes_scalar(episodes)
+        }
+    }
+
+    /// Folds the batch's mean return into the EMA baseline and returns the
+    /// value every episode's advantage is measured against. Shared by all
+    /// three training paths so their advantages can never diverge.
+    fn advance_baseline(&mut self, episodes: &[EpisodeSample]) -> f32 {
         let batch_mean: f32 =
             episodes.iter().map(|e| e.episode_return).sum::<f32>() / episodes.len() as f32;
         if self.baseline_initialized {
@@ -240,7 +269,30 @@ impl PgAgent {
             self.baseline = batch_mean;
             self.baseline_initialized = true;
         }
-        let baseline = self.baseline;
+        self.baseline
+    }
+
+    /// Shared update tail: mean-normalize, clip, Adam step, cache
+    /// invalidation and the episode clock. Returns the mean loss.
+    fn apply_update(&mut self, total_loss: f32, step_count: usize, n_episodes: usize) -> f32 {
+        self.grads.scale(1.0 / step_count.max(1) as f32);
+        if self.cfg.grad_clip > 0.0 {
+            self.grads.clip_global_norm(self.cfg.grad_clip);
+        }
+        self.opt.step(&mut self.net.ps, &self.grads);
+        // The parameters moved: cached embed rows are stale.
+        self.batch_cache.clear();
+        self.episodes += n_episodes as u64;
+        total_loss / step_count.max(1) as f32
+    }
+
+    /// Pinned per-step reference implementation: one forward/backward per
+    /// visited state, per-episode gradients merged in ascending episode
+    /// order. The batched and sharded paths are property-tested
+    /// bit-identical against this.
+    pub fn train_episodes_scalar(&mut self, episodes: &[EpisodeSample]) -> f32 {
+        assert!(!episodes.is_empty(), "empty episode batch");
+        let baseline = self.advance_baseline(episodes);
         let entropy_coef = self.cfg.entropy_coef;
         let net = &self.net;
 
@@ -272,16 +324,189 @@ impl PgAgent {
             },
         );
 
-        let mut grads = merged;
-        grads.scale(1.0 / step_count.max(1) as f32);
-        if self.cfg.grad_clip > 0.0 {
-            grads.clip_global_norm(self.cfg.grad_clip);
+        self.grads.reset();
+        self.grads.merge(merged);
+        self.apply_update(total_loss, step_count, episodes.len())
+    }
+
+    /// Batched path: every episode's steps in one row-stacked
+    /// forward/backward against retained buffers. Gradient accumulation
+    /// stays per-episode (fused flat fold within an episode, ascending
+    /// episode-order merge across episodes) so the f32 addition chains
+    /// match the scalar reference exactly.
+    fn train_episodes_batched(&mut self, episodes: &[EpisodeSample]) -> f32 {
+        assert!(!episodes.is_empty(), "empty episode batch");
+        let baseline = self.advance_baseline(episodes);
+        let entropy_coef = self.cfg.entropy_coef;
+        let step_count: usize = episodes.iter().map(|e| e.steps.len()).sum();
+
+        let net = &self.net;
+        let scratch = &mut self.scratch;
+        self.grads.reset();
+        let mut total_loss = 0.0f32;
+        for ep in episodes {
+            if ep.steps.is_empty() {
+                // An empty episode contributes exactly +0.0 loss and no
+                // gradient in the scalar fold; skipping it is bitwise
+                // equivalent (the running total is never -0.0).
+                continue;
+            }
+            let advantage = ep.episode_return - baseline;
+            self.ep_grads.reset();
+            let loss_sum = pg_episode_batched(
+                net,
+                ep,
+                advantage,
+                entropy_coef,
+                &mut self.train_cache,
+                &mut self.ep_grads,
+                scratch,
+            );
+            self.grads.merge_ref(&self.ep_grads);
+            total_loss += loss_sum;
         }
-        self.opt.step(&mut self.net.ps, &grads);
-        // The parameters moved: cached embed rows are stale.
-        self.batch_cache.clear();
-        self.episodes += episodes.len() as u64;
-        total_loss / step_count.max(1) as f32
+        self.apply_update(total_loss, step_count, episodes.len())
+    }
+
+    /// Distributes whole episodes across `workers` OS threads, each
+    /// producing isolated per-episode gradients, then all-reduces them in
+    /// ascending episode order on the coordinator — bit-identical to
+    /// [`train_episodes`](Self::train_episodes) for every worker count.
+    pub fn train_episodes_sharded(&mut self, episodes: &[EpisodeSample], workers: usize) -> f32 {
+        let workers = workers.max(1).min(episodes.len().max(1));
+        if workers <= 1 {
+            return self.train_episodes(episodes);
+        }
+        assert!(!episodes.is_empty(), "empty episode batch");
+        let baseline = self.advance_baseline(episodes);
+        let entropy_coef = self.cfg.entropy_coef;
+        let step_count: usize = episodes.iter().map(|e| e.steps.len()).sum();
+
+        let net = &self.net;
+        let n = episodes.len();
+        let mut per_episode: Vec<Grads> = (0..n).map(|_| Grads::new(&net.ps)).collect();
+        let mut losses = vec![0.0f32; n];
+        std::thread::scope(|scope| {
+            let mut eps_rest = episodes;
+            let mut grads_rest = per_episode.as_mut_slice();
+            let mut losses_rest = losses.as_mut_slice();
+            for w in 0..workers {
+                // Contiguous shards, remainder spread over leading workers.
+                let k = n / workers + usize::from(w < n % workers);
+                let (eps, er) = eps_rest.split_at(k);
+                let (g, gr) = grads_rest.split_at_mut(k);
+                let (l, lr) = losses_rest.split_at_mut(k);
+                eps_rest = er;
+                grads_rest = gr;
+                losses_rest = lr;
+                scope.spawn(move || pg_shard(net, eps, baseline, entropy_coef, g, l));
+            }
+        });
+
+        // Deterministic all-reduce: ascending episode order, regardless of
+        // which worker produced which gradient.
+        self.grads.reset();
+        let mut total_loss = 0.0f32;
+        for (l, g) in losses.iter().zip(&per_episode) {
+            total_loss += *l;
+            self.grads.merge_ref(g);
+        }
+        self.apply_update(total_loss, step_count, episodes.len())
+    }
+}
+
+/// One episode's REINFORCE pass as a single row-stacked forward/backward.
+/// Accumulates into `grads` (caller resets) and returns the episode's loss
+/// sum. Bit-identical to the per-step loop in `train_episodes_scalar`.
+fn pg_episode_batched(
+    net: &DualHeadNet,
+    ep: &EpisodeSample,
+    advantage: f32,
+    entropy_coef: f32,
+    cache: &mut HeadBatchCache,
+    grads: &mut Grads,
+    scratch: &mut Scratch,
+) -> f32 {
+    let t_count = ep.steps.len();
+    if t_count == 0 {
+        return 0.0;
+    }
+    let (seq, m) = ep.steps[0].0.shape();
+    let mut states = scratch.take(t_count * seq, m);
+    for (t, (state, _)) in ep.steps.iter().enumerate() {
+        assert_eq!(
+            state.shape(),
+            (seq, m),
+            "episode states must share one shape"
+        );
+        for r in 0..seq {
+            states.row_mut(t * seq + r).copy_from_slice(state.row(r));
+        }
+    }
+    let mut logits = scratch.take(t_count, 2);
+    net.p_forward_batch_train(&states, t_count, &mut logits, cache, scratch);
+
+    let mut dl = scratch.take(t_count, 2);
+    let mut row = scratch.take(1, 2);
+    let mut loss_sum = 0.0f32;
+    for (t, (_, action)) in ep.steps.iter().enumerate() {
+        row.row_mut(0).copy_from_slice(logits.row(t));
+        let (loss, mut d_logits) = policy_gradient_loss(&row, *action, advantage);
+        if entropy_coef > 0.0 {
+            d_logits.add_assign(&entropy_grad(&row).scale(entropy_coef));
+        }
+        dl.row_mut(t).copy_from_slice(d_logits.row(0));
+        loss_sum += loss;
+    }
+
+    let mut sink = GradSink::Fused(grads);
+    net.p_backward_batch(cache, &states, &dl, t_count, &mut sink, scratch);
+    scratch.give(row);
+    scratch.give(dl);
+    scratch.give(logits);
+    scratch.give(states);
+    loss_sum
+}
+
+/// Worker body for [`PgAgent::train_episodes_sharded`]: one isolated
+/// gradient + loss per episode in the shard, batched per episode when the
+/// foundation supports it, otherwise the pinned per-step reference.
+fn pg_shard(
+    net: &DualHeadNet,
+    episodes: &[EpisodeSample],
+    baseline: f32,
+    entropy_coef: f32,
+    grads: &mut [Grads],
+    losses: &mut [f32],
+) {
+    let mut scratch = Scratch::new();
+    let batched = net.supports_batched_p_train();
+    let mut cache = HeadBatchCache::default();
+    for (ep, (g, l)) in episodes.iter().zip(grads.iter_mut().zip(losses.iter_mut())) {
+        let advantage = ep.episode_return - baseline;
+        if batched {
+            *l = pg_episode_batched(
+                net,
+                ep,
+                advantage,
+                entropy_coef,
+                &mut cache,
+                g,
+                &mut scratch,
+            );
+        } else {
+            let mut loss_sum = 0.0f32;
+            for (state, action) in &ep.steps {
+                let (logits, step_cache) = net.p_forward(state);
+                let (loss, mut d_logits) = policy_gradient_loss(&logits, *action, advantage);
+                if entropy_coef > 0.0 {
+                    d_logits.add_assign(&entropy_grad(&logits).scale(entropy_coef));
+                }
+                net.p_backward(&step_cache, &d_logits, g);
+                loss_sum += loss;
+            }
+            *l = loss_sum;
+        }
     }
 }
 

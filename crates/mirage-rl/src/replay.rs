@@ -110,6 +110,24 @@ impl ReplayBuffer {
         self.buf.iter()
     }
 
+    /// Records `n` uniform draws as `(tag, slot)` pairs without touching
+    /// the stored experiences. One `gen_range` per draw, in draw order —
+    /// the exact RNG stream of [`ReplayBuffer::sample_into`].
+    fn record_draws(&self, rng: &mut impl Rng, n: usize, tag: bool, out: &mut Vec<(bool, usize)>) {
+        assert!(!self.buf.is_empty(), "cannot sample an empty buffer");
+        out.extend((0..n).map(|_| (tag, rng.gen_range(0..self.buf.len()))));
+    }
+
+    /// Samples `n` transitions straight into a row-stacked [`MiniBatch`]
+    /// (no intermediate `Vec<&Experience>`): the same RNG stream and draw
+    /// order as [`ReplayBuffer::sample_into`], assembled for the batched
+    /// training path. Allocation-free once `mb` is warm.
+    pub fn sample_minibatch(&self, rng: &mut impl Rng, n: usize, mb: &mut MiniBatch) {
+        mb.draws.clear();
+        self.record_draws(rng, n, false, &mut mb.draws);
+        mb.assemble_draws(|_, slot| &self.buf[slot]);
+    }
+
     /// The raw ring state — `(capacity, write cursor, stored slots in
     /// ring order)` — for crash-safe checkpointing. Round-trips through
     /// [`ReplayBuffer::from_raw_parts`] bit for bit, eviction order
@@ -209,6 +227,154 @@ impl BalancedReplay {
         self.wait.sample_into(rng, n - half, out);
         if !self.submit.is_empty() {
             self.submit.sample_into(rng, half, out);
+        }
+    }
+
+    /// [`BalancedReplay::sample_into`] assembling straight into a
+    /// row-stacked [`MiniBatch`]: identical RNG stream, draw order and
+    /// class balancing, but the sampled states land directly in the
+    /// stacked matrices the batched update consumes — no intermediate
+    /// reference `Vec`. Allocation-free once `mb` is warm.
+    pub fn sample_minibatch(&self, rng: &mut impl Rng, n: usize, mb: &mut MiniBatch) {
+        mb.draws.clear();
+        if self.wait.is_empty() {
+            self.submit.record_draws(rng, n, true, &mut mb.draws);
+        } else {
+            let half = n / 2;
+            self.wait.record_draws(rng, n - half, false, &mut mb.draws);
+            if !self.submit.is_empty() {
+                self.submit.record_draws(rng, half, true, &mut mb.draws);
+            }
+        }
+        mb.assemble_draws(|submit, slot| {
+            if submit {
+                &self.submit.buf[slot]
+            } else {
+                &self.wait.buf[slot]
+            }
+        });
+    }
+}
+
+/// A sampled mini-batch assembled as row-stacked matrices, ready for one
+/// batched forward/backward per update instead of per-experience passes.
+///
+/// `states` stacks the `len` sampled state matrices (each `seq` rows) in
+/// draw order; `next_states` stacks only the bootstrap-eligible successor
+/// states (non-terminal, successor present), with `next_idx[j]` naming
+/// the sample index block `j` belongs to. All buffers are retained across
+/// refills, so steady-state sampling and assembly allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MiniBatch {
+    /// Row-stacked sampled states, `(len · seq) × m`.
+    pub states: Matrix,
+    /// Action index per sample, in draw order.
+    pub actions: Vec<usize>,
+    /// Observed reward per sample, in draw order.
+    pub rewards: Vec<f32>,
+    /// Row-stacked successor states of bootstrap-eligible samples.
+    pub next_states: Matrix,
+    /// Sample index of each `next_states` block, ascending.
+    pub next_idx: Vec<usize>,
+    /// Sample count.
+    pub len: usize,
+    /// Rows per state matrix.
+    pub seq: usize,
+    /// Recorded `(submit-class, slot)` draws (scratch for two-pass
+    /// assembly; retained so sampling never allocates once warm).
+    draws: Vec<(bool, usize)>,
+}
+
+impl MiniBatch {
+    /// Empty mini-batch; buffers grow on first fill and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mini-batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Assembles from an already-sampled reference batch (the sequential
+    /// API's shape), stacking states in slice order. Used by the
+    /// compatibility wrappers; the sampling fast path assembles directly
+    /// from recorded draws.
+    pub fn assemble_refs(&mut self, batch: &[&Experience]) {
+        self.assemble_with(batch.len(), |i| batch[i]);
+    }
+
+    /// Two-pass assembly from the recorded `draws`.
+    fn assemble_draws<'a>(&mut self, lookup: impl Fn(bool, usize) -> &'a Experience) {
+        // Detach the draw list so the lookup closure can read it while
+        // the matrices fill (returned below — the buffer stays warm).
+        let draws = std::mem::take(&mut self.draws);
+        self.assemble_with(draws.len(), |i| {
+            let (submit, slot) = draws[i];
+            lookup(submit, slot)
+        });
+        self.draws = draws;
+    }
+
+    /// Shared assembly core: `lookup(i)` yields sample `i` of `n`.
+    fn assemble_with<'a>(&mut self, n: usize, lookup: impl Fn(usize) -> &'a Experience) {
+        self.len = n;
+        self.actions.clear();
+        self.rewards.clear();
+        self.next_idx.clear();
+        if n == 0 {
+            self.seq = 0;
+            self.states.reset(0, 0);
+            self.next_states.reset(0, 0);
+            return;
+        }
+        let (seq, m) = lookup(0).state.shape();
+        self.seq = seq;
+        self.states.reset(n * seq, m);
+        let bootstrap = (0..n)
+            .filter(|&i| {
+                let e = lookup(i);
+                e.next_state.is_some() && !e.done
+            })
+            .count();
+        self.next_states.reset(bootstrap * seq, m);
+        let mut j = 0;
+        for i in 0..n {
+            let e = lookup(i);
+            assert_eq!(
+                e.state.shape(),
+                (seq, m),
+                "mini-batch states must share one shape"
+            );
+            for r in 0..seq {
+                self.states
+                    .row_mut(i * seq + r)
+                    .copy_from_slice(e.state.row(r));
+            }
+            self.actions.push(e.action);
+            self.rewards.push(e.reward);
+            if e.done {
+                continue;
+            }
+            if let Some(next) = &e.next_state {
+                assert_eq!(
+                    next.shape(),
+                    (seq, m),
+                    "mini-batch successor states must share the state shape"
+                );
+                for r in 0..seq {
+                    self.next_states
+                        .row_mut(j * seq + r)
+                        .copy_from_slice(next.row(r));
+                }
+                self.next_idx.push(i);
+                j += 1;
+            }
         }
     }
 }

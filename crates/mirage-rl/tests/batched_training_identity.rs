@@ -1,0 +1,280 @@
+//! Agent-level bit-identity contracts for the batched/parallel training
+//! paths (PR 9 tentpole):
+//!
+//! * `DqnAgent::train_batch` (batched row-stacked update) must be
+//!   bitwise identical to `train_batch_scalar`, the pinned per-sample
+//!   reference — losses and every parameter, across foundation kinds and
+//!   action encodings, over multiple sequential updates (retained caches
+//!   must never go stale).
+//! * `DqnAgent::train_minibatch_sharded` (multi-thread deterministic
+//!   all-reduce) must be bitwise identical to the unsharded update for
+//!   every worker count.
+//! * `ReplayBuffer::sample_minibatch` / `BalancedReplay::sample_minibatch`
+//!   must consume the exact RNG draw stream of `sample_into` and assemble
+//!   the same rows.
+//! * `PgAgent::train_episodes` (batched) and `train_episodes_sharded`
+//!   must match `train_episodes_scalar` bitwise.
+
+use mirage_nn::foundation::FoundationKind;
+use mirage_nn::tensor::Matrix;
+use mirage_nn::transformer::TransformerConfig;
+use mirage_rl::{
+    ActionEncoding, BalancedReplay, DqnAgent, DqnConfig, DualHeadConfig, DualHeadNet,
+    EpisodeSample, Experience, MiniBatch, PgAgent, PgConfig, ReplayBuffer,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KINDS: [FoundationKind; 3] = [
+    FoundationKind::Transformer,
+    FoundationKind::MoE { experts: 2 },
+    FoundationKind::MoETopOne { experts: 2 },
+];
+
+fn tiny_net(kind: FoundationKind, encoding: ActionEncoding, seed: u64) -> DualHeadNet {
+    DualHeadNet::new(DualHeadConfig {
+        foundation: kind,
+        transformer: TransformerConfig {
+            input_dim: 3,
+            seq_len: 2,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        },
+        action_encoding: encoding,
+        freeze_foundation: false,
+        seed,
+    })
+}
+
+fn assert_nets_bitwise_eq(a: &DualHeadNet, b: &DualHeadNet, ctx: &str) {
+    for ((id_a, m_a), (id_b, m_b)) in a.ps.iter().zip(b.ps.iter()) {
+        assert_eq!(id_a, id_b, "{ctx}: param order diverged");
+        for (i, (&x, &y)) in m_a.data().iter().zip(m_b.data().iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{ctx}: param {id_a:?} element {i}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+/// `n` experiences over `2 × 3` states: input-dim 3 minus the ordinal
+/// column the `OrdinalInput` encoding appends. A mix of terminal and
+/// bootstrapped transitions, with ties in neither.
+fn make_batch(rng: &mut StdRng, n: usize, cols: usize) -> Vec<Experience> {
+    (0..n)
+        .map(|i| {
+            let state = Matrix::xavier(2, cols, rng);
+            let action = i % 2;
+            let reward = rng.gen::<f32>() - 0.5;
+            if i % 3 == 0 {
+                Experience::terminal(state, action, reward)
+            } else {
+                Experience::step(state, action, reward, Matrix::xavier(2, cols, rng))
+            }
+        })
+        .collect()
+}
+
+/// State row width: `input_dim` under both encodings (`OrdinalInput`
+/// widens the network input internally for the appended ordinal column).
+const STATE_COLS: usize = 3;
+
+#[test]
+fn dqn_batched_update_matches_scalar_reference_bitwise() {
+    for kind in KINDS {
+        for encoding in [ActionEncoding::TwoHead, ActionEncoding::OrdinalInput] {
+            let cfg = DqnConfig {
+                gamma: 0.9,
+                target_sync: 2, // exercise a target sync mid-sequence
+                ..DqnConfig::default()
+            };
+            let mut batched = DqnAgent::new(tiny_net(kind, encoding, 7), cfg);
+            let mut scalar = batched.clone();
+            let mut rng = StdRng::seed_from_u64(11);
+            for step in 0..3 {
+                let batch = make_batch(&mut rng, 5 + step, STATE_COLS);
+                let refs: Vec<&Experience> = batch.iter().collect();
+                let lb = batched.train_batch(&refs);
+                let ls = scalar.train_batch_scalar(&refs);
+                assert_eq!(
+                    lb.to_bits(),
+                    ls.to_bits(),
+                    "{kind:?}/{encoding:?} step {step}: loss {lb} vs {ls}"
+                );
+                assert_nets_bitwise_eq(
+                    &batched.net,
+                    &scalar.net,
+                    &format!("{kind:?}/{encoding:?} step {step}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dqn_sharded_update_matches_unsharded_bitwise() {
+    for kind in KINDS {
+        for workers in [2usize, 3, 8] {
+            let cfg = DqnConfig {
+                gamma: 0.9,
+                target_sync: 2,
+                ..DqnConfig::default()
+            };
+            let mut unsharded = DqnAgent::new(tiny_net(kind, ActionEncoding::TwoHead, 19), cfg);
+            let mut sharded = unsharded.clone();
+            let mut rng = StdRng::seed_from_u64(23);
+            let mut mb = MiniBatch::new();
+            for step in 0..3 {
+                let batch = make_batch(&mut rng, 6, 3);
+                let refs: Vec<&Experience> = batch.iter().collect();
+                mb.assemble_refs(&refs);
+                let lu = unsharded.train_minibatch(&mb);
+                let lw = sharded.train_minibatch_sharded(&mb, workers);
+                assert_eq!(
+                    lu.to_bits(),
+                    lw.to_bits(),
+                    "{kind:?} W={workers} step {step}: loss {lu} vs {lw}"
+                );
+                assert_nets_bitwise_eq(
+                    &unsharded.net,
+                    &sharded.net,
+                    &format!("{kind:?} W={workers} step {step}"),
+                );
+            }
+        }
+    }
+}
+
+fn assert_minibatch_matches_refs(mb: &MiniBatch, refs: &[&Experience], ctx: &str) {
+    let mut expect = MiniBatch::new();
+    expect.assemble_refs(refs);
+    assert_eq!(mb.len, expect.len, "{ctx}: len");
+    assert_eq!(mb.seq, expect.seq, "{ctx}: seq");
+    assert_eq!(mb.actions, expect.actions, "{ctx}: actions");
+    assert_eq!(mb.next_idx, expect.next_idx, "{ctx}: next_idx");
+    for (name, got, want) in [
+        ("states", &mb.states, &expect.states),
+        ("next_states", &mb.next_states, &expect.next_states),
+    ] {
+        assert_eq!(got.shape(), want.shape(), "{ctx}: {name} shape");
+        for (&x, &y) in got.data().iter().zip(want.data().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: {name} payload");
+        }
+    }
+    for (r, (&x, &y)) in mb.rewards.iter().zip(expect.rewards.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: reward {r}");
+    }
+}
+
+#[test]
+fn replay_sample_minibatch_consumes_the_sample_into_draw_stream() {
+    let mut fill_rng = StdRng::seed_from_u64(31);
+    let mut plain = ReplayBuffer::new(16);
+    let mut balanced = BalancedReplay::new(16, 16);
+    for e in make_batch(&mut fill_rng, 12, 3) {
+        plain.push(e.clone());
+        balanced.push(e);
+    }
+
+    for n in [1usize, 4, 9] {
+        // Plain buffer: identical draws, identical rows.
+        let mut rng_a = StdRng::seed_from_u64(100 + n as u64);
+        let mut rng_b = rng_a.clone();
+        let mut refs = Vec::new();
+        plain.sample_into(&mut rng_a, n, &mut refs);
+        let mut mb = MiniBatch::new();
+        plain.sample_minibatch(&mut rng_b, n, &mut mb);
+        assert_minibatch_matches_refs(&mb, &refs, &format!("plain n={n}"));
+        // Both samplers must leave the RNG at the same point.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "plain n={n}: rng");
+
+        // Balanced buffer: same wait/submit split and draw order.
+        let mut rng_a = StdRng::seed_from_u64(200 + n as u64);
+        let mut rng_b = rng_a.clone();
+        refs.clear();
+        balanced.sample_into(&mut rng_a, n, &mut refs);
+        balanced.sample_minibatch(&mut rng_b, n, &mut mb);
+        assert_minibatch_matches_refs(&mb, &refs, &format!("balanced n={n}"));
+        assert_eq!(
+            rng_a.gen::<u64>(),
+            rng_b.gen::<u64>(),
+            "balanced n={n}: rng"
+        );
+    }
+}
+
+fn make_episodes(rng: &mut StdRng, n: usize, cols: usize) -> Vec<EpisodeSample> {
+    (0..n)
+        .map(|i| EpisodeSample {
+            // Varying lengths, including an empty episode (crashed lane).
+            steps: (0..(i % 4))
+                .map(|t| (Matrix::xavier(2, cols, rng), t % 2))
+                .collect(),
+            episode_return: rng.gen::<f32>() * 2.0 - 1.0,
+        })
+        .collect()
+}
+
+#[test]
+fn pg_batched_update_matches_scalar_reference_bitwise() {
+    for kind in KINDS {
+        for encoding in [ActionEncoding::TwoHead, ActionEncoding::OrdinalInput] {
+            let mut batched = PgAgent::new(tiny_net(kind, encoding, 43), PgConfig::default());
+            let mut scalar = batched.clone();
+            let mut rng = StdRng::seed_from_u64(47);
+            for step in 0..3 {
+                let eps = make_episodes(&mut rng, 5 + step, STATE_COLS);
+                let lb = batched.train_episodes(&eps);
+                let ls = scalar.train_episodes_scalar(&eps);
+                assert_eq!(
+                    lb.to_bits(),
+                    ls.to_bits(),
+                    "{kind:?}/{encoding:?} step {step}: loss {lb} vs {ls}"
+                );
+                assert_nets_bitwise_eq(
+                    &batched.net,
+                    &scalar.net,
+                    &format!("{kind:?}/{encoding:?} step {step}"),
+                );
+                assert_eq!(
+                    batched.baseline().to_bits(),
+                    scalar.baseline().to_bits(),
+                    "{kind:?}/{encoding:?} step {step}: baseline"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pg_sharded_update_matches_unsharded_bitwise() {
+    for kind in KINDS {
+        for workers in [2usize, 3, 8] {
+            let mut unsharded = PgAgent::new(
+                tiny_net(kind, ActionEncoding::TwoHead, 53),
+                PgConfig::default(),
+            );
+            let mut sharded = unsharded.clone();
+            let mut rng = StdRng::seed_from_u64(59);
+            for step in 0..3 {
+                let eps = make_episodes(&mut rng, 6, 3);
+                let lu = unsharded.train_episodes(&eps);
+                let lw = sharded.train_episodes_sharded(&eps, workers);
+                assert_eq!(
+                    lu.to_bits(),
+                    lw.to_bits(),
+                    "{kind:?} W={workers} step {step}: loss {lu} vs {lw}"
+                );
+                assert_nets_bitwise_eq(
+                    &unsharded.net,
+                    &sharded.net,
+                    &format!("{kind:?} W={workers} step {step}"),
+                );
+            }
+        }
+    }
+}

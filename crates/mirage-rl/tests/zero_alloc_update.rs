@@ -1,0 +1,128 @@
+//! Steady-state allocation regression pin for the batched DQN update
+//! (PR 9 tentpole): once the agent's retained buffers — mini-batch
+//! row-stacks, forward/backward caches, gradient accumulators, Adam
+//! moments — are warmed by two identically-shaped updates, a third
+//! update must not touch the allocator at all.
+//!
+//! This test must stay in its own integration-test binary so no
+//! concurrently running test shares its address space, and the counting
+//! window is gated by a **thread-local** flag: the `#[global_allocator]`
+//! sees every thread in the process — including the libtest harness
+//! thread, which allocates at its own pace while the test body runs —
+//! so only the test thread's allocations may count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mirage_nn::foundation::FoundationKind;
+use mirage_nn::tensor::Matrix;
+use mirage_nn::transformer::TransformerConfig;
+use mirage_rl::{
+    ActionEncoding, DqnAgent, DqnConfig, DualHeadConfig, DualHeadNet, Experience, MiniBatch,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct CountingAlloc;
+
+thread_local! {
+    // Const-initialized so reading it from inside the allocator never
+    // triggers a lazy TLS initialization (which could itself allocate).
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+/// True only on the thread that armed the counter — `try_with` so
+/// allocations during TLS teardown never panic inside the allocator.
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_batched_update_does_not_allocate() {
+    let net = DualHeadNet::new(DualHeadConfig {
+        foundation: FoundationKind::Transformer,
+        transformer: TransformerConfig {
+            input_dim: 3,
+            seq_len: 2,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_mult: 2,
+        },
+        action_encoding: ActionEncoding::TwoHead,
+        freeze_foundation: false,
+        seed: 7,
+    });
+    let mut agent = DqnAgent::new(
+        net,
+        DqnConfig {
+            gamma: 0.9,
+            // Far enough out that no target-net clone lands inside the
+            // measured window (syncing allocates a fresh network).
+            target_sync: 1000,
+            ..DqnConfig::default()
+        },
+    );
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let batch: Vec<Experience> = (0..8)
+        .map(|i| {
+            let state = Matrix::xavier(2, 3, &mut rng);
+            let reward = rng.gen::<f32>() - 0.5;
+            if i % 3 == 0 {
+                Experience::terminal(state, i % 2, reward)
+            } else {
+                Experience::step(state, i % 2, reward, Matrix::xavier(2, 3, &mut rng))
+            }
+        })
+        .collect();
+    let refs: Vec<&Experience> = batch.iter().collect();
+    let mut mb = MiniBatch::new();
+    mb.assemble_refs(&refs);
+
+    // Two warm-up updates grow every retained buffer to the batch shape
+    // (including Adam's lazily-created moment matrices on the first).
+    agent.train_minibatch(&mb);
+    agent.train_minibatch(&mb);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    let loss = agent.train_minibatch(&mb);
+    COUNTING.with(|c| c.set(false));
+    let n = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(loss.is_finite(), "update still trains: loss {loss}");
+    assert_eq!(n, 0, "steady-state batched update allocated {n} times");
+}

@@ -887,7 +887,17 @@ impl<F: BackendFactory> BackendPool<F> {
     /// pool. `n` may exceed the worker count; lockstep instances are
     /// stepped by one thread, so the pool's width only namespaces seeds.
     pub fn build_n(&self, n: usize) -> Vec<F::Backend> {
-        (0..n)
+        self.build_range(0, n)
+    }
+
+    /// Builds the backends of lane slots `first .. first + n` (seeded
+    /// `base_seed ^ slot`, exactly as [`BackendPool::build_n`] seeds the
+    /// same slots) — the construction path for a *sub*-window of a wider
+    /// lockstep window: `W` training workers each building their
+    /// contiguous lane range get, collectively, the identical backend
+    /// sequence one worker building the whole window would.
+    pub fn build_range(&self, first: usize, n: usize) -> Vec<F::Backend> {
+        (first..first + n)
             .map(|w| self.factory.build(self.base_seed ^ (w as u64)))
             .collect()
     }
