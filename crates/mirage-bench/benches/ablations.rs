@@ -80,7 +80,7 @@ fn bench_history_length(c: &mut Criterion) {
             })
         });
     }
-    assert_eq!(STATE_VARS, 40);
+    assert_eq!(STATE_VARS, 46);
     group.finish();
 }
 

@@ -24,10 +24,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Training-lane geometry: the `episode_throughput` training workload's
-/// network (k = 12 history rows of 42 state vars, d_model 16) and the
+/// network (k = 12 history rows of 46 state vars, d_model 16) and the
 /// online loop's default mini-batch of 32.
 const SEQ: usize = 12;
-const INPUT: usize = 42;
+const INPUT: usize = 46;
 const BATCH: usize = 32;
 
 fn agent() -> DqnAgent {

@@ -267,6 +267,7 @@ mod tests {
             warmup: DAY,
             pair_user: 999,
             fault_features: true,
+            hetero_features: false,
         }
     }
 

@@ -110,6 +110,11 @@ pub struct EpisodeConfig {
     /// pre-fault encoder, which is what the bit-identity pins rely on.
     #[serde(default)]
     pub fault_features: bool,
+    /// Expose the backend's heterogeneity surface (per-pool headroom,
+    /// contended running share) as extra state features. Off by default,
+    /// with the same bit-identity guarantee as `fault_features`.
+    #[serde(default)]
+    pub hetero_features: bool,
 }
 
 impl Default for EpisodeConfig {
@@ -126,6 +131,7 @@ impl Default for EpisodeConfig {
             warmup: 12 * DAY,
             pair_user: 1_000_000,
             fault_features: false,
+            hetero_features: false,
         }
     }
 }
@@ -219,6 +225,7 @@ impl<B: ClusterBackend> EpisodeDriver<B> {
 
         let mut encoder = StateEncoder::new(total_nodes, cfg.pair_timelimit.max(48 * HOUR));
         encoder.fault_features = cfg.fault_features;
+        encoder.hetero_features = cfg.hetero_features;
         let mut history = StateHistory::new(cfg.history_k.max(1));
         let succ_spec = SuccessorSpec {
             nodes: cfg.pair_nodes,
@@ -557,6 +564,7 @@ mod tests {
             warmup: DAY,
             pair_user: 999,
             fault_features: false,
+            hetero_features: false,
         }
     }
 

@@ -62,6 +62,7 @@ mod tests {
                 recent_evictions: 0,
                 queued: vec![],
                 running: vec![],
+                ..ClusterSnapshot::default()
             },
         }
     }

@@ -175,6 +175,7 @@ mod tests {
             warmup: DAY,
             pair_user: 999,
             fault_features: false,
+            hetero_features: false,
         }
     }
 

@@ -37,7 +37,8 @@
 //!
 //! This crate assembles the substrates into the full system:
 //!
-//! * [`state`] — the §4.1 40-variable state encoding and the `k × m`
+//! * [`state`] — the §4.1 state encoding (40 paper variables plus the
+//!   flag-gated fault and pool extensions) and the `k × m`
 //!   state-matrix history,
 //! * [`reward`] — the §4.5 interruption/overlap reward with the
 //!   user-configurable `e_I`/`e_O` coefficients,
@@ -66,6 +67,9 @@
 //!   fractions, reduction vs reactive),
 //! * [`chaos`] — degradation under fault injection: RL vs heuristics on
 //!   identically seeded crash tapes across a none/moderate/severe sweep,
+//! * [`hetero`] — heterogeneous-cluster evaluation: RL vs the classic
+//!   FCFS/SJF/shortest-queue/pool-greedy baselines on identically seeded
+//!   pool scenarios (balanced and scarce accelerator tiers),
 //! * [`checkpoint`] — crash-safe training checkpoints: full online
 //!   training state (weights, optimizer moments, replay, RNG streams,
 //!   ε clock, episode counter) snapshotted atomically and resumable bit
@@ -83,6 +87,7 @@ pub mod episode;
 pub mod eval;
 pub mod features;
 pub mod gym;
+pub mod hetero;
 pub mod multiservice;
 pub mod policy;
 pub mod reward;
@@ -105,15 +110,22 @@ pub use episode::{
 };
 pub use eval::{evaluate, EvalConfig, EvalReport, LoadLevel, MethodSummary};
 pub use gym::ProvisionEnv;
+pub use hetero::{
+    classic_baselines, evaluate_hetero, HeteroConfig, HeteroLane, HeteroMethodSummary,
+    HeteroReport, HeteroScenario,
+};
 pub use multiservice::{
     bursty_scenario, diurnal_scenario, evaluate_multiservice, ExploringRlPolicy,
     GreedyPerServicePolicy, MultiMethodSummary, MultiServiceBatch, MultiServiceConfig,
     MultiServiceEnv, MultiServicePolicy, MultiServiceReport, MultiServiceResult, RlServicePolicy,
     ServiceEpisode, ServiceSlo, ServiceSpec, ShortestQueuePolicy, SlotContext, UniformSharePolicy,
 };
+// `policy::ShortestQueuePolicy` (the submit-timing baseline) stays
+// path-qualified: the crate root already exports the multi-service node
+// allocator of the same name.
 pub use policy::{
-    AvgWaitPolicy, DqnPolicy, GuardedDqnPolicy, GuardedPgPolicy, PgPolicy, ProvisionPolicy,
-    ReactivePolicy, WaitModel, WaitPredictorPolicy,
+    AvgWaitPolicy, DqnPolicy, FcfsPolicy, GuardedDqnPolicy, GuardedPgPolicy, PgPolicy,
+    PoolGreedyPolicy, ProvisionPolicy, ReactivePolicy, SjfPolicy, WaitModel, WaitPredictorPolicy,
 };
 pub use reward::{EpisodeOutcome, RewardShaper};
 pub use state::{PredecessorState, StateEncoder, StateHistory, SuccessorSpec, STATE_VARS};
@@ -133,6 +145,9 @@ pub mod prelude {
     };
     pub use crate::eval::{evaluate, EvalConfig, EvalReport, LoadLevel, MethodSummary};
     pub use crate::gym::ProvisionEnv;
+    pub use crate::hetero::{
+        classic_baselines, evaluate_hetero, HeteroConfig, HeteroReport, HeteroScenario,
+    };
     pub use crate::multiservice::{
         bursty_scenario, diurnal_scenario, evaluate_multiservice, MultiServiceBatch,
         MultiServiceConfig, MultiServiceEnv, MultiServicePolicy, MultiServiceReport, ServiceSlo,

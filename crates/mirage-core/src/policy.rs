@@ -285,6 +285,132 @@ impl ProvisionPolicy for GuardedPgPolicy {
     }
 }
 
+// ---------------------------------------------------------------------
+// Classic-scheduler baselines for the heterogeneous lane.
+//
+// Each reinterprets a textbook queueing discipline as a submit-timing
+// rule, so the hetero evaluation compares RL against the moves a classic
+// scheduler would imply — not against straw men. All four are stateless
+// and deterministic, which keeps the lane's seeded comparisons exact.
+
+/// First-come-first-served: enter the queue immediately and let arrival
+/// order do the rest. Maximal overlap exposure, minimal interruption —
+/// the "book a node the moment you can" discipline.
+#[derive(Debug, Clone, Default)]
+pub struct FcfsPolicy;
+
+impl ProvisionPolicy for FcfsPolicy {
+    fn name(&self) -> String {
+        "fcfs".into()
+    }
+
+    fn decide(&mut self, _ctx: &DecisionContext) -> Action {
+        Action::Submit
+    }
+}
+
+/// Expected work of one queued job, node-seconds: half the wall-clock
+/// limit is the classic requested-vs-actual runtime prior.
+fn queued_work(nodes: u32, timelimit: i64) -> f64 {
+    nodes as f64 * timelimit as f64 / 2.0
+}
+
+/// Shortest-job-first: only the queued jobs *shorter* than the successor
+/// would run ahead of it under SJF order, so the estimated wait is their
+/// aggregate work spread over the partition. Submit once the
+/// predecessor's remaining time drops below that estimate.
+#[derive(Debug, Clone, Default)]
+pub struct SjfPolicy;
+
+impl ProvisionPolicy for SjfPolicy {
+    fn name(&self) -> String {
+        "sjf".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext) -> Action {
+        if !ctx.pred_started {
+            return Action::Wait;
+        }
+        let ahead: f64 = ctx
+            .snapshot
+            .queued
+            .iter()
+            .filter(|q| q.timelimit <= ctx.successor.timelimit)
+            .map(|q| queued_work(q.nodes, q.timelimit))
+            .sum();
+        let est_wait = ahead / ctx.snapshot.total_nodes.max(1) as f64;
+        if ctx.pred_remaining as f64 <= est_wait {
+            Action::Submit
+        } else {
+            Action::Wait
+        }
+    }
+}
+
+/// Shortest-queue: estimate the whole backlog's drain time (every queued
+/// job's expected work over the partition) and join once the
+/// predecessor's remaining time drops below it — the deeper the queue,
+/// the earlier this submits. Distinct from the multi-service allocator
+/// of the same name ([`crate::multiservice::ShortestQueuePolicy`]),
+/// which splits *nodes* across services; this one times a *submission*.
+#[derive(Debug, Clone, Default)]
+pub struct ShortestQueuePolicy;
+
+impl ProvisionPolicy for ShortestQueuePolicy {
+    fn name(&self) -> String {
+        "shortest_queue".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext) -> Action {
+        if !ctx.pred_started {
+            return Action::Wait;
+        }
+        let backlog: f64 = ctx
+            .snapshot
+            .queued
+            .iter()
+            .map(|q| queued_work(q.nodes, q.timelimit))
+            .sum();
+        let drain = backlog / ctx.snapshot.total_nodes.max(1) as f64;
+        if ctx.pred_remaining as f64 <= drain {
+            Action::Submit
+        } else {
+            Action::Wait
+        }
+    }
+}
+
+/// Pool-greedy: the heterogeneity-aware claim-it-while-it's-free rule.
+/// Submits the moment any node pool has enough free nodes to host the
+/// successor outright (falling back to aggregate free nodes on a
+/// homogeneous cluster with no pool snapshot). Greedy capacity grabbing
+/// front-runs contention but pays overlap whenever the cluster is quiet.
+#[derive(Debug, Clone, Default)]
+pub struct PoolGreedyPolicy;
+
+impl ProvisionPolicy for PoolGreedyPolicy {
+    fn name(&self) -> String {
+        "pool_greedy".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext) -> Action {
+        if !ctx.pred_started {
+            return Action::Wait;
+        }
+        let snap = ctx.snapshot;
+        let fits = if snap.pool_free.is_empty() {
+            snap.free_nodes >= ctx.successor.nodes
+        } else {
+            snap.pool_free.iter().any(|&f| f >= ctx.successor.nodes)
+        };
+        if fits {
+            Action::Submit
+        } else {
+            Action::Wait
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +435,7 @@ mod tests {
                 recent_evictions: 0,
                 queued: vec![],
                 running: vec![],
+                ..ClusterSnapshot::default()
             },
         }
     }
@@ -413,6 +540,74 @@ mod tests {
     fn unguarded_policies_report_zero_fallbacks() {
         assert_eq!(ReactivePolicy.guard_fallbacks(), 0);
         assert_eq!(AvgWaitPolicy::default().guard_fallbacks(), 0);
+    }
+
+    #[test]
+    fn classic_baselines_follow_their_disciplines() {
+        use mirage_sim::QueuedJobView;
+        let mut d = data();
+        let (mut fcfs, mut sjf) = (FcfsPolicy, SjfPolicy);
+        let (mut sq, mut pg) = (ShortestQueuePolicy, PoolGreedyPolicy);
+        assert_eq!(fcfs.name(), "fcfs");
+        assert_eq!(sjf.name(), "sjf");
+        assert_eq!(sq.name(), "shortest_queue");
+        assert_eq!(pg.name(), "pool_greedy");
+
+        // FCFS submits unconditionally — even before the predecessor runs.
+        assert_eq!(fcfs.decide(&ctx(&d, false, HOUR, None)), Action::Submit);
+        // Everyone else holds until the predecessor is at least running.
+        for p in [
+            sjf.decide(&ctx(&d, false, 0, None)),
+            sq.decide(&ctx(&d, false, 0, None)),
+            pg.decide(&ctx(&d, false, 0, None)),
+        ] {
+            assert_eq!(p, Action::Wait);
+        }
+
+        // Empty queue → zero estimated wait: SJF and shortest-queue hold
+        // to the very end.
+        assert_eq!(sjf.decide(&ctx(&d, true, HOUR, None)), Action::Wait);
+        assert_eq!(sq.decide(&ctx(&d, true, HOUR, None)), Action::Wait);
+        assert_eq!(sjf.decide(&ctx(&d, true, 0, None)), Action::Submit);
+
+        // Eight 1-node jobs at a 4 h limit ≈ 2 h of expected work over the
+        // 8-node partition → both submit at 2 h remaining, neither at 3 h.
+        let short = |id| QueuedJobView {
+            id,
+            nodes: 1,
+            submit: 0,
+            age: 0,
+            timelimit: 4 * HOUR,
+            user: 1,
+        };
+        d.snap.queued = (0..8).map(short).collect();
+        assert_eq!(sjf.decide(&ctx(&d, true, 3 * HOUR, None)), Action::Wait);
+        assert_eq!(sjf.decide(&ctx(&d, true, 2 * HOUR, None)), Action::Submit);
+        assert_eq!(sq.decide(&ctx(&d, true, 2 * HOUR, None)), Action::Submit);
+
+        // A queued monster over the successor's own limit inflates the
+        // whole-backlog drain but is invisible to SJF order.
+        d.snap.queued.push(QueuedJobView {
+            id: 99,
+            nodes: 8,
+            submit: 0,
+            age: 0,
+            timelimit: 96 * HOUR,
+            user: 1,
+        });
+        assert_eq!(sjf.decide(&ctx(&d, true, 3 * HOUR, None)), Action::Wait);
+        assert_eq!(sq.decide(&ctx(&d, true, 3 * HOUR, None)), Action::Submit);
+
+        // Pool-greedy keys on per-pool headroom when pools are reported…
+        d.snap.pool_free = vec![0, 0];
+        assert_eq!(pg.decide(&ctx(&d, true, HOUR, None)), Action::Wait);
+        d.snap.pool_free = vec![0, 2];
+        assert_eq!(pg.decide(&ctx(&d, true, HOUR, None)), Action::Submit);
+        // …and on aggregate free nodes on a homogeneous cluster.
+        d.snap.pool_free.clear();
+        assert_eq!(pg.decide(&ctx(&d, true, HOUR, None)), Action::Submit);
+        d.snap.free_nodes = 0;
+        assert_eq!(pg.decide(&ctx(&d, true, HOUR, None)), Action::Wait);
     }
 
     #[test]

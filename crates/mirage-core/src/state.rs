@@ -1,6 +1,6 @@
 //! State encoding (§4.1–4.2 of the paper).
 //!
-//! Each instant is summarized by an `m = 42`-dimensional vector:
+//! Each instant is summarized by an `m = 46`-dimensional vector:
 //!
 //! | vars   | content                                                        |
 //! |--------|----------------------------------------------------------------|
@@ -15,11 +15,16 @@
 //! | 35–38  | predecessor size, limit, queue time, elapsed                   |
 //! | 39–40  | successor size, limit                                          |
 //! | 41–42  | fault state: available-node fraction, recent eviction rate     |
+//! | 43–46  | hetero state: pool 0/1 free fractions, tail-pool free, contention |
 //!
 //! The fault pair is written only when
 //! [`StateEncoder::fault_features`] is set (off by default): with the
 //! flag off both variables are the constant `0.0`, keeping every
-//! pre-fault encoding byte-identical.
+//! pre-fault encoding byte-identical. The hetero quad follows the same
+//! discipline behind [`StateEncoder::hetero_features`]: the free-node
+//! fractions of the first two pools, the aggregate free fraction of any
+//! remaining pools, and the contended share of running jobs — all `0.0`
+//! with the flag off, so hetero-off encodings stay byte-identical too.
 //!
 //! `k` consecutive vectors, recorded every `interval` seconds, stack into
 //! the `k × m` state matrix the foundation model consumes (the paper's
@@ -34,8 +39,9 @@ use mirage_sim::ClusterSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Width of the per-instant state vector: the paper's 40 variables plus
-/// the two fault-state variables (zero unless fault features are on).
-pub const STATE_VARS: usize = 42;
+/// the two fault-state variables (zero unless fault features are on) plus
+/// the four hetero-state variables (zero unless hetero features are on).
+pub const STATE_VARS: usize = 46;
 
 /// Predecessor-job status at encoding time (§4.1(c)).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,6 +80,11 @@ pub struct StateEncoder {
     /// pre-fault layout.
     #[serde(default)]
     pub fault_features: bool,
+    /// Whether to write the hetero-state variables (vars 43–46). Off by
+    /// default so hetero-off encodings stay byte-identical to the
+    /// pre-pool layout.
+    #[serde(default)]
+    pub hetero_features: bool,
 }
 
 /// Reusable working memory for [`StateEncoder::encode_into`]: one value
@@ -92,6 +103,7 @@ impl StateEncoder {
             max_time,
             queue_scale: 1000.0,
             fault_features: false,
+            hetero_features: false,
         }
     }
 
@@ -110,7 +122,7 @@ impl StateEncoder {
         (1.0 + c).ln() / (1.0 + self.queue_scale).ln()
     }
 
-    /// Encodes one instant into the 42-variable vector (allocating
+    /// Encodes one instant into the 46-variable vector (allocating
     /// convenience wrapper around [`StateEncoder::encode_into`]).
     pub fn encode(
         &self,
@@ -121,7 +133,7 @@ impl StateEncoder {
         self.encode_into(snap, pred, succ, &mut EncoderScratch::default())
     }
 
-    /// Encodes one instant into the 42-variable vector, computing every
+    /// Encodes one instant into the 46-variable vector, computing every
     /// percentile through the reusable `scratch` buffer: no allocation
     /// once its capacity covers the deepest queue/running set seen. The
     /// output is identical to [`StateEncoder::encode`].
@@ -171,6 +183,17 @@ impl StateEncoder {
         if self.fault_features {
             v[40] = self.norm_nodes(snap.available_nodes() as f32);
             v[41] = self.norm_count(snap.recent_evictions as f32);
+        }
+
+        // (f) hetero state, gated the same way: per-pool headroom for the
+        // two head pools, aggregate headroom of the tail, and the
+        // contended share of running jobs.
+        if self.hetero_features {
+            v[42] = self.norm_nodes(snap.pool_free.first().copied().unwrap_or(0) as f32);
+            v[43] = self.norm_nodes(snap.pool_free.get(1).copied().unwrap_or(0) as f32);
+            let tail: u32 = snap.pool_free.iter().skip(2).sum();
+            v[44] = self.norm_nodes(tail as f32);
+            v[45] = snap.contention() as f32;
         }
         v
     }
@@ -350,6 +373,7 @@ mod tests {
                     user: 2,
                 })
                 .collect(),
+            ..ClusterSnapshot::default()
         }
     }
 
@@ -370,15 +394,15 @@ mod tests {
     }
 
     #[test]
-    fn vector_is_forty_two_wide_and_finite() {
+    fn vector_is_forty_six_wide_and_finite() {
         let enc = StateEncoder::new(16, 48 * HOUR);
         let v = enc.encode(&snap(5, 3), &pred(), &succ());
-        assert_eq!(v.len(), 42);
+        assert_eq!(v.len(), 46);
         assert!(v.iter().all(|x| x.is_finite()));
         assert_eq!(
             &v[40..],
-            &[0.0, 0.0],
-            "fault vars stay zero with the flag off"
+            &[0.0; 6],
+            "fault and hetero vars stay zero with the flags off"
         );
     }
 
@@ -397,7 +421,31 @@ mod tests {
         off.fault_features = false;
         let v_off = off.encode(&s, &pred(), &succ());
         assert_eq!(&v[..40], &v_off[..40]);
-        assert_eq!(&v_off[40..], &[0.0, 0.0]);
+        assert_eq!(&v_off[40..], &[0.0; 6]);
+    }
+
+    #[test]
+    fn hetero_features_encode_pool_headroom_and_contention() {
+        let mut enc = StateEncoder::new(16, 48 * HOUR);
+        enc.hetero_features = true;
+        let mut s = snap(2, 4);
+        s.pool_free = vec![2, 6, 3, 1];
+        s.pool_total = vec![4, 8, 3, 1];
+        s.contended_running = 1;
+        let v = enc.encode(&s, &pred(), &succ());
+        assert!((v[42] - 2.0 / 16.0).abs() < 1e-6, "pool 0 headroom");
+        assert!((v[43] - 6.0 / 16.0).abs() < 1e-6, "pool 1 headroom");
+        assert!((v[44] - 4.0 / 16.0).abs() < 1e-6, "tail pools aggregate");
+        assert!((v[45] - 0.25).abs() < 1e-6, "1 of 4 running contended");
+        // The first 42 variables are untouched by the flag, and a
+        // homogeneous snapshot encodes zeros even with the flag on.
+        let mut off = enc;
+        off.hetero_features = false;
+        let v_off = off.encode(&s, &pred(), &succ());
+        assert_eq!(&v[..42], &v_off[..42]);
+        assert_eq!(&v_off[42..], &[0.0; 4]);
+        let v_homog = enc.encode(&snap(2, 0), &pred(), &succ());
+        assert_eq!(&v_homog[42..], &[0.0; 4]);
     }
 
     #[test]

@@ -1109,6 +1109,7 @@ mod tests {
                 warmup: DAY,
                 pair_user: 999,
                 fault_features: false,
+                hetero_features: false,
             },
             offline_episodes: 3,
             split_points: 3,
@@ -1231,8 +1232,10 @@ mod tests {
         let auto = TrainConfig::default();
         assert_eq!(auto.collect_lanes, None);
         // The default shape's hot per-lane state is
-        // (12·42 + 16)·4 B = 2080 B → 15 lanes fit the 32 KiB budget.
-        assert_eq!(auto.l1_lane_cap(), 15);
+        // (12·46 + 16)·4 B = 2272 B → 14 lanes fit the 32 KiB budget
+        // (the hetero widening of STATE_VARS from 42 to 46 cost one lane:
+        // at 42 vars a lane was 2080 B and 15 fit).
+        assert_eq!(auto.l1_lane_cap(), 14);
         // None tracks the pool width up to the L1-residency cap.
         assert_eq!(auto.collect_lanes_for(1), 1);
         assert_eq!(auto.collect_lanes_for(6), 6);

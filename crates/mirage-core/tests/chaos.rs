@@ -35,6 +35,7 @@ fn episode_cfg() -> EpisodeConfig {
         warmup: DAY,
         pair_user: 999,
         fault_features: true,
+        hetero_features: false,
     }
 }
 

@@ -1,0 +1,143 @@
+//! Integration tests for the heterogeneous-cluster evaluation lane.
+
+use mirage_core::episode::{run_episode, Action, EpisodeConfig};
+use mirage_core::hetero::{classic_baselines, evaluate_hetero, HeteroConfig, HeteroScenario};
+use mirage_sim::{BackendKind, ClusterBackend, HeteroModel, NodePool, SimConfig};
+use mirage_trace::{JobRecord, DAY, HOUR, MINUTE};
+
+fn busy_trace(days: i64) -> Vec<JobRecord> {
+    (0..days * 24)
+        .map(|i| {
+            JobRecord::new(
+                i as u64 + 1,
+                format!("bg{i}"),
+                (i % 3) as u32,
+                i * HOUR,
+                3,
+                6 * HOUR,
+                3 * HOUR,
+            )
+        })
+        .collect()
+}
+
+fn tiny_episode(hetero_features: bool) -> EpisodeConfig {
+    EpisodeConfig {
+        pair_nodes: 2,
+        pair_timelimit: 4 * HOUR,
+        pair_runtime: 4 * HOUR,
+        decision_interval: 30 * MINUTE,
+        history_k: 4,
+        warmup: DAY,
+        pair_user: 999,
+        fault_features: false,
+        hetero_features,
+    }
+}
+
+/// The CI smoke: a two-pool contended scenario must actually exercise
+/// cross-pool placement — spanning placements and contention slowdowns
+/// both occur — and the lane must report every classic baseline.
+#[test]
+fn hetero_smoke_episode() {
+    let trace = busy_trace(8);
+    let mut methods = classic_baselines();
+    let cfg = HeteroConfig {
+        episode: tiny_episode(true),
+        n_episodes: 2,
+        nodes: 8,
+        ..HeteroConfig::default()
+    };
+    let report = evaluate_hetero(
+        &mut methods,
+        &SimConfig::builder(),
+        &trace,
+        (0, 8 * DAY),
+        &cfg,
+    );
+    assert_eq!(report.lanes.len(), 2, "balanced and scarce scenarios");
+    for lane in &report.lanes {
+        let names: Vec<_> = lane.methods.iter().map(|m| m.method.as_str()).collect();
+        assert_eq!(names, ["fcfs", "sjf", "shortest_queue", "pool_greedy"]);
+        // ≥2 pools with contention on: background jobs wider than the
+        // fast pool must stripe across pools and draw slowdowns.
+        assert!(
+            lane.hetero.span_placements > 0,
+            "{}: no placement ever spanned pools",
+            lane.scenario.label()
+        );
+        assert!(
+            lane.hetero.slowdowns > 0,
+            "{}: contention never slowed a placement",
+            lane.scenario.label()
+        );
+        for m in &lane.methods {
+            assert_eq!(m.episodes, 2);
+            assert!(m.mean_reward.is_finite() && m.mean_reward <= 0.0);
+            assert!((0.0..=1.0).contains(&m.zero_interruption_frac));
+        }
+    }
+    // Identical seeds replay the identical lane.
+    let again = evaluate_hetero(
+        &mut classic_baselines(),
+        &SimConfig::builder(),
+        &trace,
+        (0, 8 * DAY),
+        &cfg,
+    );
+    for (a, b) in report.lanes.iter().zip(&again.lanes) {
+        assert_eq!(a.hetero, b.hetero);
+        assert_eq!(a.methods, b.methods);
+    }
+}
+
+/// A degenerate hetero config (one baseline-speed pool, contention off,
+/// features off) leaves whole-episode outcomes byte-identical to the
+/// homogeneous simulator — on both backends.
+#[test]
+fn degenerate_hetero_episode_matches_homogeneous() {
+    let trace = busy_trace(8);
+    let degenerate = HeteroModel::with_pools(vec![NodePool::new("v100", 8, 1.0)], 0.0, 3);
+    for kind in [BackendKind::EventDriven, BackendKind::Tick] {
+        let mut plain = SimConfig::builder().nodes(8).backend(kind).build();
+        let mut pooled = SimConfig::builder()
+            .nodes(8)
+            .backend(kind)
+            .hetero(degenerate.clone())
+            .build();
+        let cfg = tiny_episode(false);
+        for t0 in [2 * DAY, 3 * DAY + 5 * HOUR] {
+            let policy = |ctx: &mirage_core::episode::DecisionContext| {
+                if ctx.pred_started && ctx.pred_remaining <= 2 * HOUR {
+                    Action::Submit
+                } else {
+                    Action::Wait
+                }
+            };
+            let a = run_episode(&mut plain, &trace, &cfg, t0, policy);
+            let b = run_episode(&mut pooled, &trace, &cfg, t0, policy);
+            assert_eq!(a.outcome, b.outcome, "{kind:?} t0={t0}");
+            assert_eq!(a.decisions, b.decisions, "{kind:?} t0={t0}");
+            assert_eq!(
+                (a.pred_start, a.pred_end, a.succ_submit, a.succ_start),
+                (b.pred_start, b.pred_end, b.succ_submit, b.succ_start),
+            );
+            assert_eq!(pooled.hetero_stats().slowdowns, 0);
+        }
+    }
+}
+
+/// Scenario models validate against their partition and differ in the
+/// expected direction: scarce is more contended than balanced.
+#[test]
+fn scenario_models_are_sound() {
+    for nodes in [8u32, 16, 88] {
+        for seed in [0u64, 7, 7171] {
+            let b = HeteroScenario::Balanced.model(nodes, seed);
+            let s = HeteroScenario::Scarce.model(nodes, seed);
+            b.validate(nodes).unwrap();
+            s.validate(nodes).unwrap();
+            assert!(s.contention > b.contention);
+        }
+    }
+}

@@ -46,6 +46,7 @@ fn tiny_cfg(lanes: usize) -> TrainConfig {
             warmup: DAY,
             pair_user: 999,
             fault_features: false,
+            hetero_features: false,
         },
         offline_episodes: 2,
         split_points: 3,

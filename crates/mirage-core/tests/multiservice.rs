@@ -57,6 +57,7 @@ fn episode_cfg(interval: i64, k: usize, runtime_h: i64) -> EpisodeConfig {
         warmup: DAY,
         pair_user: 999,
         fault_features: false,
+        hetero_features: false,
     }
 }
 

@@ -55,6 +55,7 @@ proptest! {
                     timelimit: limit, user: 2,
                 })
                 .collect(),
+            ..ClusterSnapshot::default()
         };
         let enc = StateEncoder::new(88, 48 * HOUR);
         let pred = PredecessorState { nodes: 1, timelimit: 48 * HOUR, queue_time: 0, elapsed: 0 };
@@ -111,6 +112,7 @@ proptest! {
             warmup: DAY,
             pair_user: 999,
             fault_features: false,
+            hetero_features: false,
         };
         let t0 = 2 * DAY;
         let mut sim = mirage_sim::Simulator::new(mirage_sim::SimConfig::new(4));
@@ -168,6 +170,7 @@ proptest! {
             warmup: DAY,
             pair_user: 999,
             fault_features: false,
+            hetero_features: false,
         };
         let t0s: Vec<i64> = t0_offsets.iter().map(|&h| 2 * DAY + h * HOUR).collect();
         let net = || DualHeadNet::new(DualHeadConfig {

@@ -33,6 +33,7 @@ use std::sync::Mutex;
 use mirage_trace::{split_seed, JobRecord};
 
 use crate::fault::{FaultModel, FaultStats, JobFaults, RetryPolicy, SimConfigError};
+use crate::hetero::{HeteroModel, HeteroStats};
 use crate::metrics::{ServiceUsage, SimMetrics};
 use crate::reference::{ReferenceConfig, ReferenceSimulator};
 use crate::simulator::{JobStatus, SimConfig, Simulator};
@@ -84,6 +85,31 @@ pub trait ClusterBackend {
     fn job_faults(&self, id: u64) -> JobFaults {
         let _ = id;
         JobFaults::default()
+    }
+
+    /// Per-pool free-node counts on a heterogeneous partition, in pool
+    /// declaration order. The default assumes a homogeneous cluster
+    /// (empty); pool-aware backends override it.
+    fn pool_free(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    /// Per-pool node totals, aligned with [`pool_free`](Self::pool_free)
+    /// (empty on a homogeneous cluster).
+    fn pool_total(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    /// Aggregate placement/contention counters of the run so far (all
+    /// zero without heterogeneity).
+    fn hetero_stats(&self) -> HeteroStats {
+        HeteroStats::default()
+    }
+
+    /// Running jobs currently suffering a contention slowdown (0 without
+    /// heterogeneity).
+    fn contended_running(&self) -> u32 {
+        0
     }
 
     /// Loads a trace of future arrivals (ids preserved when unique).
@@ -202,6 +228,18 @@ impl<T: ClusterBackend + ?Sized> ClusterBackend for &mut T {
     fn job_faults(&self, id: u64) -> JobFaults {
         (**self).job_faults(id)
     }
+    fn pool_free(&self) -> Vec<u32> {
+        (**self).pool_free()
+    }
+    fn pool_total(&self) -> Vec<u32> {
+        (**self).pool_total()
+    }
+    fn hetero_stats(&self) -> HeteroStats {
+        (**self).hetero_stats()
+    }
+    fn contended_running(&self) -> u32 {
+        (**self).contended_running()
+    }
     fn load_trace(&mut self, jobs: &[JobRecord]) {
         (**self).load_trace(jobs);
     }
@@ -268,6 +306,18 @@ impl ClusterBackend for Simulator {
     fn job_faults(&self, id: u64) -> JobFaults {
         Simulator::job_faults(self, id)
     }
+    fn pool_free(&self) -> Vec<u32> {
+        Simulator::pool_free(self)
+    }
+    fn pool_total(&self) -> Vec<u32> {
+        Simulator::pool_total(self)
+    }
+    fn hetero_stats(&self) -> HeteroStats {
+        Simulator::hetero_stats(self)
+    }
+    fn contended_running(&self) -> u32 {
+        Simulator::contended_running(self)
+    }
     fn load_trace(&mut self, jobs: &[JobRecord]) {
         Simulator::load_trace(self, jobs);
     }
@@ -333,6 +383,18 @@ impl ClusterBackend for ReferenceSimulator {
     }
     fn job_faults(&self, id: u64) -> JobFaults {
         ReferenceSimulator::job_faults(self, id)
+    }
+    fn pool_free(&self) -> Vec<u32> {
+        ReferenceSimulator::pool_free(self)
+    }
+    fn pool_total(&self) -> Vec<u32> {
+        ReferenceSimulator::pool_total(self)
+    }
+    fn hetero_stats(&self) -> HeteroStats {
+        ReferenceSimulator::hetero_stats(self)
+    }
+    fn contended_running(&self) -> u32 {
+        ReferenceSimulator::contended_running(self)
     }
     fn load_trace(&mut self, jobs: &[JobRecord]) {
         ReferenceSimulator::load_trace(self, jobs);
@@ -435,6 +497,18 @@ impl ClusterBackend for AnyBackend {
     fn job_faults(&self, id: u64) -> JobFaults {
         any_dispatch!(self, b => b.job_faults(id))
     }
+    fn pool_free(&self) -> Vec<u32> {
+        any_dispatch!(self, b => b.pool_free())
+    }
+    fn pool_total(&self) -> Vec<u32> {
+        any_dispatch!(self, b => b.pool_total())
+    }
+    fn hetero_stats(&self) -> HeteroStats {
+        any_dispatch!(self, b => b.hetero_stats())
+    }
+    fn contended_running(&self) -> u32 {
+        any_dispatch!(self, b => b.contended_running())
+    }
     fn load_trace(&mut self, jobs: &[JobRecord]) {
         any_dispatch!(self, b => b.load_trace(jobs));
     }
@@ -517,6 +591,7 @@ pub struct SimBuilder {
     backfill_interval: i64,
     faults: FaultModel,
     retry: RetryPolicy,
+    hetero: HeteroModel,
 }
 
 impl Default for SimBuilder {
@@ -536,6 +611,7 @@ impl Default for SimBuilder {
             backfill_interval: reference.backfill_interval,
             faults: FaultModel::none(),
             retry: RetryPolicy::default(),
+            hetero: HeteroModel::none(),
         }
     }
 }
@@ -567,6 +643,16 @@ impl SimBuilder {
     /// Retry policy for evicted / failed jobs.
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Heterogeneous node-pool model shared by whichever backend is
+    /// built. [`HeteroModel::none`] (the default) keeps the partition
+    /// homogeneous. Unlike the fault seed, the hetero seed is *not* split
+    /// per pool worker: placement draws are keyed per job id, and the
+    /// evaluation lanes want every method to face the identical hardware.
+    pub fn hetero(mut self, hetero: HeteroModel) -> Self {
+        self.hetero = hetero;
         self
     }
 
@@ -628,6 +714,7 @@ impl SimBuilder {
             sched_depth: self.sched_depth,
             faults: self.faults,
             retry: self.retry,
+            hetero: self.hetero.clone(),
         }
     }
 
@@ -642,6 +729,7 @@ impl SimBuilder {
             tick: self.tick,
             faults: self.faults,
             retry: self.retry,
+            hetero: self.hetero.clone(),
         }
     }
 
@@ -1370,6 +1458,48 @@ mod tests {
             .try_build()
             .unwrap_err();
         assert_eq!(err.field, "tick");
+        // Hetero misconfigurations are typed errors on both backends: an
+        // enabled model with no pools, a non-positive throughput, and pool
+        // totals disagreeing with the partition size.
+        let empty_pools = HeteroModel::with_pools(Vec::new(), 0.5, 1);
+        let err = SimConfig::builder()
+            .nodes(2)
+            .hetero(empty_pools.clone())
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field, "hetero.pools");
+        let err = SimConfig::builder()
+            .nodes(2)
+            .backend(BackendKind::Tick)
+            .hetero(empty_pools)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field, "hetero.pools");
+        let bad_thr =
+            HeteroModel::with_pools(vec![crate::hetero::NodePool::new("p", 2, 0.0)], 0.5, 1);
+        let err = SimConfig::builder()
+            .nodes(2)
+            .hetero(bad_thr)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field, "hetero.pools.throughput");
+        let wrong_sum =
+            HeteroModel::with_pools(vec![crate::hetero::NodePool::new("p", 3, 1.0)], 0.5, 1);
+        let err = SimConfig::builder()
+            .nodes(2)
+            .hetero(wrong_sum)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field, "hetero.pools");
+        // A sound hetero model builds fine on both backends.
+        for kind in [BackendKind::EventDriven, BackendKind::Tick] {
+            assert!(SimConfig::builder()
+                .nodes(8)
+                .backend(kind)
+                .hetero(HeteroModel::balanced(8, 3))
+                .try_build()
+                .is_ok());
+        }
         // An empty partition fails on either backend.
         assert!(SimConfig::builder().nodes(0).try_build().is_err());
         assert_eq!(

@@ -32,7 +32,7 @@ pub struct SimConfigError {
 }
 
 impl SimConfigError {
-    fn new(field: &'static str, value: impl fmt::Display, reason: &'static str) -> Self {
+    pub(crate) fn new(field: &'static str, value: impl fmt::Display, reason: &'static str) -> Self {
         Self {
             field,
             value: value.to_string(),

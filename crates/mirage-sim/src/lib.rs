@@ -47,9 +47,11 @@ mod admission;
 
 pub mod backend;
 pub mod backfill;
+pub mod config_io;
 pub mod event;
 pub mod fault;
 pub mod fidelity;
+pub mod hetero;
 pub mod metrics;
 pub mod priority;
 pub mod reference;
@@ -61,8 +63,10 @@ pub use backend::{
     SimBuilder, MAX_TASK_ATTEMPTS,
 };
 pub use backfill::{plan_schedule, plan_schedule_into, BackfillPolicy, PendingView, PlanScratch};
+pub use config_io::ConfigJsonError;
 pub use fault::{EvictionLog, FaultModel, FaultStats, JobFaults, RetryPolicy, SimConfigError};
 pub use fidelity::{compare, run_both, run_both_backends, run_timed, FidelityReport};
+pub use hetero::{scale_runtime, HeteroModel, HeteroStats, NodePool, Placement};
 pub use metrics::{ServiceUsage, SimMetrics};
 pub use priority::PriorityWeights;
 pub use reference::{ReferenceConfig, ReferenceSimulator};

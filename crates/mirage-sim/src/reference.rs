@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use crate::admission::{prepare_admission, RecentStarts};
 use crate::backfill::{plan_schedule, BackfillPolicy, PendingView};
 use crate::fault::{EvictionLog, FaultModel, FaultStats, JobFaults, RetryPolicy};
+use crate::hetero::{scale_runtime, HeteroModel, HeteroStats};
 use crate::metrics::{ServiceUsage, SimMetrics};
 use crate::priority::{priority, FairshareTracker, PriorityWeights};
 use crate::simulator::JobStatus;
@@ -51,6 +52,11 @@ pub struct ReferenceConfig {
     /// How evicted / failed jobs re-enter the queue.
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Heterogeneous node pools and placement-sensitive contention (same
+    /// model — and for the same seed, the same slowdown draws — as the
+    /// fast simulator's `SimConfig::hetero`).
+    #[serde(default)]
+    pub hetero: HeteroModel,
 }
 
 impl ReferenceConfig {
@@ -65,6 +71,7 @@ impl ReferenceConfig {
             tick: 30,
             faults: FaultModel::none(),
             retry: RetryPolicy::default(),
+            hetero: HeteroModel::none(),
         }
     }
 
@@ -94,6 +101,7 @@ impl ReferenceConfig {
             }
         }
         self.faults.validate()?;
+        self.hetero.validate(self.nodes)?;
         self.retry.validate()
     }
 }
@@ -114,6 +122,11 @@ pub struct ReferenceSimulator {
     cfg: ReferenceConfig,
     now: i64,
     free_nodes: u32,
+    /// Per-pool free-node counts (empty on a homogeneous partition).
+    pool_free: Vec<u32>,
+    hetero_stats: HeteroStats,
+    /// Running jobs whose current placement drew a slowdown.
+    contended_running: u32,
     jobs: Vec<JobRecord>,
     status: Vec<RefStatus>,
     /// Per-job index into `running` while the job runs (kept current by
@@ -134,6 +147,11 @@ pub struct ReferenceSimulator {
     attempt: Vec<u32>,
     evicted_at: Vec<i64>,
     job_faults_v: Vec<JobFaults>,
+    /// Per-job pool allocations while running (empty vectors on a
+    /// homogeneous partition).
+    pool_alloc: Vec<Vec<u32>>,
+    /// Whether the job's current attempt drew a contention slowdown.
+    slowed: Vec<bool>,
     pending: Vec<usize>,
     running: Vec<usize>, // arena indices of running jobs (<= nodes entries)
     id_map: HashMap<u64, usize>,
@@ -156,10 +174,18 @@ impl ReferenceSimulator {
     pub fn new(cfg: ReferenceConfig) -> Self {
         let free = cfg.nodes;
         let node_events = cfg.faults.node_schedule(cfg.nodes);
+        let pool_free = if cfg.hetero.is_none() {
+            Vec::new()
+        } else {
+            cfg.hetero.pool_totals()
+        };
         Self {
             cfg,
             now: 0,
             free_nodes: free,
+            pool_free,
+            hetero_stats: HeteroStats::default(),
+            contended_running: 0,
             jobs: Vec::new(),
             status: Vec::new(),
             run_slot: Vec::new(),
@@ -173,6 +199,8 @@ impl ReferenceSimulator {
             attempt: Vec::new(),
             evicted_at: Vec::new(),
             job_faults_v: Vec::new(),
+            pool_alloc: Vec::new(),
+            slowed: Vec::new(),
             pending: Vec::new(),
             running: Vec::new(),
             id_map: HashMap::new(),
@@ -225,6 +253,8 @@ impl ReferenceSimulator {
         self.attempt.push(0);
         self.evicted_at.push(0);
         self.job_faults_v.push(JobFaults::default());
+        self.pool_alloc.push(Vec::new());
+        self.slowed.push(false);
         self.id_map.insert(id, idx);
         self.arrivals.push(Reverse((submit, idx)));
         id
@@ -263,6 +293,30 @@ impl ReferenceSimulator {
     /// Aggregate fault counters of the run so far.
     pub fn fault_stats(&self) -> FaultStats {
         self.fault_stats
+    }
+
+    /// Per-pool free-node counts (empty on a homogeneous partition).
+    pub fn pool_free(&self) -> Vec<u32> {
+        self.pool_free.clone()
+    }
+
+    /// Per-pool node totals (empty on a homogeneous partition).
+    pub fn pool_total(&self) -> Vec<u32> {
+        if self.cfg.hetero.is_none() {
+            Vec::new()
+        } else {
+            self.cfg.hetero.pool_totals()
+        }
+    }
+
+    /// Aggregate heterogeneity counters of the run so far.
+    pub fn hetero_stats(&self) -> HeteroStats {
+        self.hetero_stats
+    }
+
+    /// Running jobs whose current placement drew a contention slowdown.
+    pub fn contended_running(&self) -> u32 {
+        self.contended_running
     }
 
     /// Per-job fault ledger by id (zero for unknown ids and untouched jobs).
@@ -309,6 +363,15 @@ impl ReferenceSimulator {
         out.total_nodes = self.cfg.nodes;
         out.down_nodes = self.down_nodes;
         out.recent_evictions = self.evictions_log.count(self.now, DAY);
+        out.pool_free.clear();
+        out.pool_total.clear();
+        out.contended_running = 0;
+        if !self.cfg.hetero.is_none() {
+            out.pool_free.extend_from_slice(&self.pool_free);
+            out.pool_total
+                .extend(self.cfg.hetero.pools.iter().map(|p| p.nodes));
+            out.contended_running = self.contended_running;
+        }
         out.queued.clear();
         out.queued.extend(self.pending.iter().map(|&i| {
             let r = &self.jobs[i];
@@ -406,6 +469,7 @@ impl ReferenceSimulator {
             self.jobs[idx].start = Some(start);
             self.jobs[idx].end = Some(t);
             self.free_nodes += self.jobs[idx].nodes;
+            self.release_pools(idx);
             // O(1) removal via the stored running slot (mirrors the fast
             // simulator).
             self.unlink_running(idx);
@@ -440,10 +504,34 @@ impl ReferenceSimulator {
                 debug_assert!(self.down_nodes > 0, "recovery without a crash");
                 self.down_nodes -= 1;
                 self.free_nodes += 1;
+                if !self.cfg.hetero.is_none() {
+                    let p = self.cfg.hetero.pool_of_node(ev.node);
+                    self.pool_free[p] += 1;
+                }
             } else {
                 self.fault_stats.node_crashes += 1;
                 self.down_nodes += 1;
-                if self.free_nodes > 0 {
+                if !self.cfg.hetero.is_none() {
+                    // Pool-local crash (same rule as the fast simulator):
+                    // the crashed node's pool absorbs it or gives up its
+                    // most recently started job.
+                    let p = self.cfg.hetero.pool_of_node(ev.node);
+                    if self.pool_free[p] == 0 {
+                        let victim = self
+                            .running
+                            .iter()
+                            .copied()
+                            .filter(|&i| self.pool_alloc[i].get(p).is_some_and(|&c| c > 0))
+                            .max_by_key(|&i| match self.status[i] {
+                                RefStatus::Running { start } => (start, self.jobs[i].id),
+                                _ => unreachable!("running list holds only running jobs"),
+                            })
+                            .expect("crashed pool fully busy but hosts no job");
+                        self.evict_running(victim, ev.time);
+                    }
+                    self.pool_free[p] -= 1;
+                    self.free_nodes -= 1;
+                } else if self.free_nodes > 0 {
                     self.free_nodes -= 1;
                 } else {
                     // Same LIFO victim rule as the fast simulator: evict
@@ -500,6 +588,25 @@ impl ReferenceSimulator {
         self.now = t;
     }
 
+    /// Returns a job's pool allocation to the per-pool free counters and
+    /// clears its contention mark. No-op on a homogeneous partition.
+    fn release_pools(&mut self, idx: usize) {
+        if self.cfg.hetero.is_none() {
+            return;
+        }
+        for (c, f) in self.pool_alloc[idx]
+            .iter_mut()
+            .zip(self.pool_free.iter_mut())
+        {
+            *f += *c;
+            *c = 0;
+        }
+        if self.slowed[idx] {
+            self.contended_running -= 1;
+            self.slowed[idx] = false;
+        }
+    }
+
     /// O(1) removal from the running list via the stored slot index.
     fn unlink_running(&mut self, idx: usize) {
         let slot = self.run_slot[idx];
@@ -519,6 +626,7 @@ impl ReferenceSimulator {
             unreachable!("evicting a non-running job");
         };
         self.free_nodes += self.jobs[idx].nodes;
+        self.release_pools(idx);
         let consumed = f64::from(self.jobs[idx].nodes) * (t - start) as f64;
         self.fairshare.record(self.jobs[idx].user, consumed);
         self.unlink_running(idx);
@@ -607,7 +715,25 @@ impl ReferenceSimulator {
                 // Downtime the eviction inflicted: eviction → restart.
                 self.job_faults_v[idx].downtime += self.now - self.evicted_at[idx];
             }
-            let run = self.jobs[idx].runtime.min(self.jobs[idx].timelimit);
+            let mut run = self.jobs[idx].runtime.min(self.jobs[idx].timelimit);
+            if !self.cfg.hetero.is_none() {
+                // Same placement model (and the same slowdown draws, being
+                // a pure hash of id/attempt) as the fast simulator.
+                let placed = self.cfg.hetero.place(
+                    &mut self.pool_free,
+                    &self.jobs[idx].pool,
+                    self.jobs[idx].nodes,
+                    self.jobs[idx].id,
+                    self.attempt[idx],
+                    &mut self.pool_alloc[idx],
+                );
+                self.hetero_stats.record(&placed);
+                self.slowed[idx] = placed.scale > 1.0;
+                if self.slowed[idx] {
+                    self.contended_running += 1;
+                }
+                run = scale_runtime(run, placed.scale).min(self.jobs[idx].timelimit);
+            }
             let epoch = self.attempt[idx];
             // The transient-failure draw is a pure hash of (id, attempt),
             // so both simulators reach the same verdict for the same
@@ -855,5 +981,71 @@ mod tests {
         assert_eq!(s.completed(), first.0, "reset replays the same crashes");
         assert_eq!(s.fault_stats(), first.1);
         assert_eq!(s.metrics(), first.2);
+    }
+
+    #[test]
+    fn fast_pool_shortens_runtimes_on_tick_cadence() {
+        use crate::hetero::{HeteroModel, NodePool};
+        use mirage_trace::PoolRequest;
+        let mut cfg = ReferenceConfig::new(8);
+        cfg.hetero = HeteroModel::with_pools(
+            vec![NodePool::new("a100", 2, 2.0), NodePool::new("v100", 6, 1.0)],
+            0.0,
+            1,
+        );
+        cfg.validate().unwrap();
+        let mut s = ReferenceSimulator::new(cfg);
+        s.load_trace(&[
+            job(1, 0, 2, HOUR, 2 * HOUR).with_pool(PoolRequest::Demand("a100".into())),
+            job(2, 0, 2, HOUR, 2 * HOUR).with_pool(PoolRequest::Demand("v100".into())),
+        ]);
+        s.run_to_completion();
+        let done = s.completed();
+        let j1 = done.iter().find(|j| j.id == 1).unwrap();
+        let j2 = done.iter().find(|j| j.id == 2).unwrap();
+        let (s1, s2) = (j1.start.unwrap(), j2.start.unwrap());
+        assert_eq!(j1.end, Some(s1 + HOUR / 2), "a100 runs at 2x");
+        assert_eq!(j2.end, Some(s2 + HOUR), "v100 is baseline speed");
+        assert_eq!(s.pool_free(), vec![2, 6]);
+        assert_eq!(s.pool_total(), vec![2, 6]);
+        assert_eq!(s.hetero_stats().placements, 2);
+        assert_eq!(s.contended_running(), 0);
+    }
+
+    #[test]
+    fn hetero_contention_replays_identically_after_reset() {
+        let mut cfg = ReferenceConfig::new(8);
+        cfg.hetero = HeteroModel::balanced(8, 5);
+        cfg.faults = FaultModel::severe(11);
+        cfg.validate().unwrap();
+        let mut s = ReferenceSimulator::new(cfg);
+        let trace: Vec<_> = (0..40u32)
+            .map(|i| {
+                job(
+                    u64::from(i) + 1,
+                    i64::from(i) * 600,
+                    1 + i % 4,
+                    3 * HOUR,
+                    4 * HOUR,
+                )
+            })
+            .collect();
+        s.load_trace(&trace);
+        s.run_to_completion();
+        let first = (
+            s.completed(),
+            s.fault_stats(),
+            s.hetero_stats(),
+            s.metrics(),
+        );
+        assert!(first.2.slowdowns > 0, "balanced scenario must contend");
+        s.reset();
+        assert_eq!(s.pool_free(), s.pool_total(), "reset refills the pools");
+        s.load_trace(&trace);
+        s.run_to_completion();
+        assert_eq!(s.completed(), first.0, "reset replays the same placements");
+        assert_eq!(s.fault_stats(), first.1);
+        assert_eq!(s.hetero_stats(), first.2);
+        assert_eq!(s.metrics(), first.3);
     }
 }

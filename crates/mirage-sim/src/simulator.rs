@@ -16,6 +16,7 @@ use crate::admission::{prepare_admission, RecentStarts};
 use crate::backfill::{plan_schedule_into, BackfillPolicy, PendingView, PlanScratch};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::{EvictionLog, FaultModel, FaultStats, JobFaults, RetryPolicy, SimConfigError};
+use crate::hetero::{scale_runtime, HeteroModel, HeteroStats};
 use crate::metrics::{ServiceUsage, SimMetrics};
 use crate::priority::{priority, FairshareTracker, PriorityWeights};
 use crate::snapshot::{ClusterSnapshot, QueuedJobView, RunningJobView};
@@ -43,6 +44,11 @@ pub struct SimConfig {
     /// How evicted / failed jobs re-enter the queue.
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Heterogeneous node pools and placement-sensitive contention.
+    /// [`HeteroModel::none`] (the default) keeps the homogeneous
+    /// single-counter model.
+    #[serde(default)]
+    pub hetero: HeteroModel,
 }
 
 impl SimConfig {
@@ -56,6 +62,7 @@ impl SimConfig {
             sched_depth: 512,
             faults: FaultModel::none(),
             retry: RetryPolicy::default(),
+            hetero: HeteroModel::none(),
         }
     }
 
@@ -80,6 +87,7 @@ impl SimConfig {
             });
         }
         self.faults.validate()?;
+        self.hetero.validate(self.nodes)?;
         self.retry.validate()
     }
 }
@@ -129,6 +137,12 @@ struct SimJob {
     evicted_at: i64,
     /// Per-job fault ledger: evictions suffered and service downtime.
     faults: JobFaults,
+    /// Nodes held per pool while running (empty on a homogeneous
+    /// partition; indexed like `HeteroModel::pools`).
+    pool_alloc: Vec<u32>,
+    /// Whether the current attempt's placement drew a slowdown (> 1.0
+    /// runtime scale), for the contention metric.
+    slowed: bool,
 }
 
 /// Event-driven Slurm simulator.
@@ -139,6 +153,12 @@ pub struct Simulator {
     free_nodes: u32,
     /// Crashed nodes (capacity the scheduler cannot see until recovery).
     down_nodes: u32,
+    /// Per-pool free-node counts (empty on a homogeneous partition).
+    /// Invariant per pool: `free + allocated + down == pool.nodes`.
+    pool_free: Vec<u32>,
+    hetero_stats: HeteroStats,
+    /// Running jobs whose current placement drew a slowdown.
+    contended_running: u32,
     fault_stats: FaultStats,
     evictions_log: EvictionLog,
     jobs: Vec<SimJob>,
@@ -186,11 +206,19 @@ impl Simulator {
     /// same config (and seed) always replays the same faults.
     pub fn new(cfg: SimConfig) -> Self {
         let free_nodes = cfg.nodes;
+        let pool_free = if cfg.hetero.is_none() {
+            Vec::new()
+        } else {
+            cfg.hetero.pool_totals()
+        };
         let mut sim = Self {
             cfg,
             now: 0,
             free_nodes,
             down_nodes: 0,
+            pool_free,
+            hetero_stats: HeteroStats::default(),
+            contended_running: 0,
             fault_stats: FaultStats::default(),
             evictions_log: EvictionLog::default(),
             jobs: Vec::new(),
@@ -262,6 +290,30 @@ impl Simulator {
         self.fault_stats
     }
 
+    /// Per-pool free-node counts (empty on a homogeneous partition).
+    pub fn pool_free(&self) -> Vec<u32> {
+        self.pool_free.clone()
+    }
+
+    /// Per-pool node totals (empty on a homogeneous partition).
+    pub fn pool_total(&self) -> Vec<u32> {
+        if self.cfg.hetero.is_none() {
+            Vec::new()
+        } else {
+            self.cfg.hetero.pool_totals()
+        }
+    }
+
+    /// Aggregate heterogeneity counters of the run so far.
+    pub fn hetero_stats(&self) -> HeteroStats {
+        self.hetero_stats
+    }
+
+    /// Running jobs whose current placement drew a contention slowdown.
+    pub fn contended_running(&self) -> u32 {
+        self.contended_running
+    }
+
     /// Per-job fault ledger by id (zero for unknown ids and untouched jobs).
     pub fn job_faults(&self, id: u64) -> JobFaults {
         self.id_map
@@ -307,6 +359,8 @@ impl Simulator {
             attempt: 0,
             evicted_at: 0,
             faults: JobFaults::default(),
+            pool_alloc: Vec::new(),
+            slowed: false,
         });
         self.id_map.insert(id, idx);
         // Steady-state allocation hygiene: every job contributes at most
@@ -345,6 +399,15 @@ impl Simulator {
         out.total_nodes = self.cfg.nodes;
         out.down_nodes = self.down_nodes;
         out.recent_evictions = self.evictions_log.count(self.now, DAY);
+        out.pool_free.clear();
+        out.pool_total.clear();
+        out.contended_running = 0;
+        if !self.cfg.hetero.is_none() {
+            out.pool_free.extend_from_slice(&self.pool_free);
+            out.pool_total
+                .extend(self.cfg.hetero.pools.iter().map(|p| p.nodes));
+            out.contended_running = self.contended_running;
+        }
         out.queued.clear();
         out.queued.extend(self.pending.iter().map(|&i| {
             let r = &self.jobs[i].record;
@@ -523,10 +586,10 @@ impl Simulator {
         while self.events.peek_time() == Some(t) {
             let ev = self.events.pop().expect("peeked");
             match ev.kind {
-                EventKind::NodeUp => self.node_up(),
+                EventKind::NodeUp => self.node_up(ev.job),
                 EventKind::Completion => self.complete_job(ev.job, ev.epoch),
                 EventKind::JobFail => self.fail_job_attempt(ev.job, ev.epoch),
-                EventKind::NodeDown => self.node_down(),
+                EventKind::NodeDown => self.node_down(ev.job),
                 EventKind::Arrival => self.arrive_job(ev.job),
             }
         }
@@ -564,6 +627,16 @@ impl Simulator {
         job.record.start = Some(start);
         job.record.end = Some(now);
         self.free_nodes += job.record.nodes;
+        if !self.cfg.hetero.is_none() {
+            for (c, f) in job.pool_alloc.iter_mut().zip(self.pool_free.iter_mut()) {
+                *f += *c;
+                *c = 0;
+            }
+            if job.slowed {
+                self.contended_running -= 1;
+                job.slowed = false;
+            }
+        }
         let consumed = f64::from(job.record.nodes) * (now - start) as f64;
         let user = job.record.user;
         let submit = job.record.submit;
@@ -615,7 +688,27 @@ impl Simulator {
         }
         self.free_nodes -= job.record.nodes;
         // Jobs are killed at their wall-clock limit.
-        let run = job.record.runtime.min(job.record.timelimit);
+        let mut run = job.record.runtime.min(job.record.timelimit);
+        if !self.cfg.hetero.is_none() {
+            // Pool placement: fill the named kind first, then spill in
+            // declaration order. The resulting scale folds pool speed and
+            // any contention slowdown into the effective runtime (still
+            // capped by the wall-clock limit).
+            let placed = self.cfg.hetero.place(
+                &mut self.pool_free,
+                &job.record.pool,
+                job.record.nodes,
+                job.record.id,
+                job.attempt,
+                &mut job.pool_alloc,
+            );
+            self.hetero_stats.record(&placed);
+            job.slowed = placed.scale > 1.0;
+            if job.slowed {
+                self.contended_running += 1;
+            }
+            run = scale_runtime(run, placed.scale).min(job.record.timelimit);
+        }
         let ev = match self.cfg.faults.job_fails(job.record.id, job.attempt) {
             Some(frac) if run > 0 => {
                 // Transient mid-run death at a deterministic fraction of
@@ -640,20 +733,49 @@ impl Simulator {
         self.events.push(ev);
     }
 
-    /// A crashed node recovered.
-    fn node_up(&mut self) {
+    /// A crashed node recovered. `node` is the crashed node's index, which
+    /// maps the recovery back to its pool on a heterogeneous partition.
+    fn node_up(&mut self, node: usize) {
         self.fault_stats.node_recoveries += 1;
         debug_assert!(self.down_nodes > 0, "recovery without a crash");
         self.down_nodes -= 1;
         self.free_nodes += 1;
+        if !self.cfg.hetero.is_none() {
+            let p = self.cfg.hetero.pool_of_node(node as u32);
+            self.pool_free[p] += 1;
+        }
     }
 
     /// A node crashed. An idle node absorbs the crash silently; otherwise
     /// the most recently started running job (LIFO victim rule — the
     /// least sunk work) is evicted and one of its freed nodes marked down.
-    fn node_down(&mut self) {
+    /// On a heterogeneous partition the crash is pool-local: `node`'s pool
+    /// must absorb it, and the victim is the most recently started job
+    /// holding nodes *in that pool*.
+    fn node_down(&mut self, node: usize) {
         self.fault_stats.node_crashes += 1;
         self.down_nodes += 1;
+        if !self.cfg.hetero.is_none() {
+            let p = self.cfg.hetero.pool_of_node(node as u32);
+            if self.pool_free[p] == 0 {
+                let victim = self
+                    .running
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.jobs[i].pool_alloc.get(p).is_some_and(|&c| c > 0))
+                    .max_by_key(|&i| match self.jobs[i].status {
+                        JobStatus::Running { start } => (start, self.jobs[i].record.id),
+                        _ => unreachable!("running list holds only running jobs"),
+                    });
+                let Some(victim) = victim else {
+                    unreachable!("crashed pool fully busy but hosts no job");
+                };
+                self.evict_job(victim);
+            }
+            self.pool_free[p] -= 1;
+            self.free_nodes -= 1;
+            return;
+        }
         if self.free_nodes > 0 {
             self.free_nodes -= 1;
             return;
@@ -694,6 +816,16 @@ impl Simulator {
             unreachable!("evicting a non-running job");
         };
         self.free_nodes += job.record.nodes;
+        if !self.cfg.hetero.is_none() {
+            for (c, f) in job.pool_alloc.iter_mut().zip(self.pool_free.iter_mut()) {
+                *f += *c;
+                *c = 0;
+            }
+            if job.slowed {
+                self.contended_running -= 1;
+                job.slowed = false;
+            }
+        }
         let consumed = f64::from(job.record.nodes) * (now - start) as f64;
         self.fairshare.record(job.record.user, consumed);
         job.faults.evictions += 1;
@@ -1195,5 +1327,130 @@ mod tests {
         assert_eq!(a.fault_stats(), first.1);
         assert_eq!(a.metrics(), first.2);
         assert!(first.1.node_crashes > 0, "severe model must actually crash");
+    }
+
+    fn hetero_sim(nodes: u32, hetero: crate::hetero::HeteroModel) -> Simulator {
+        let mut cfg = SimConfig::new(nodes);
+        cfg.hetero = hetero;
+        cfg.validate().unwrap();
+        Simulator::new(cfg)
+    }
+
+    #[test]
+    fn fast_pool_shortens_runtimes() {
+        use crate::hetero::{HeteroModel, NodePool};
+        use mirage_trace::PoolRequest;
+        // Contention 0 isolates the pure pool-speed scaling: a job demanding
+        // the double-speed pool finishes in half its trace runtime.
+        let m = HeteroModel::with_pools(
+            vec![NodePool::new("a100", 2, 2.0), NodePool::new("v100", 6, 1.0)],
+            0.0,
+            1,
+        );
+        let mut s = hetero_sim(8, m);
+        s.load_trace(&[
+            job(1, 0, 2, HOUR, 2 * HOUR).with_pool(PoolRequest::Demand("a100".into())),
+            job(2, 0, 2, HOUR, 2 * HOUR).with_pool(PoolRequest::Demand("v100".into())),
+        ]);
+        s.run_to_completion();
+        let done = s.completed();
+        let j1 = done.iter().find(|j| j.id == 1).unwrap();
+        let j2 = done.iter().find(|j| j.id == 2).unwrap();
+        assert_eq!(j1.end, Some(HOUR / 2), "a100 runs at 2x");
+        assert_eq!(j2.end, Some(HOUR), "v100 is baseline speed");
+        assert_eq!(s.pool_free(), vec![2, 6], "pools drain back to full");
+        assert_eq!(s.pool_total(), vec![2, 6]);
+        assert_eq!(s.contended_running(), 0);
+        assert_eq!(s.hetero_stats().placements, 2);
+        assert_eq!(s.hetero_stats().span_placements, 0);
+    }
+
+    #[test]
+    fn spanning_placements_draw_a_contention_slowdown() {
+        use crate::hetero::{HeteroModel, NodePool};
+        // Equal-speed pools, contention on: a job wider than any single
+        // pool must span, draw a slowdown, and show up in the contended
+        // counter while it runs.
+        let m = HeteroModel::with_pools(
+            vec![NodePool::new("a", 2, 1.0), NodePool::new("b", 6, 1.0)],
+            1.0,
+            7,
+        );
+        let mut s = hetero_sim(8, m.clone());
+        s.load_trace(&[job(1, 0, 8, HOUR, 3 * HOUR)]);
+        s.step(1);
+        assert_eq!(s.contended_running(), 1);
+        assert_eq!(s.sample().contended_running, 1);
+        s.run_to_completion();
+        let stats = s.hetero_stats();
+        assert_eq!(stats.span_placements, 1);
+        assert_eq!(stats.slowdowns, 1);
+        assert_eq!(s.contended_running(), 0, "completion releases the flag");
+        let expected = crate::hetero::scale_runtime(HOUR, m.slowdown(1, 1));
+        let done = s.completed();
+        assert_eq!(done[0].end, Some(expected), "slowdown replays the draw");
+        assert!(expected > HOUR);
+    }
+
+    #[test]
+    fn node_crash_evicts_within_the_crashed_pool() {
+        use crate::hetero::{HeteroModel, NodePool};
+        use mirage_trace::PoolRequest;
+        // Homogeneous LIFO would evict the most recently started job
+        // (job 2); pool-aware eviction must pick the job actually holding
+        // nodes in the crashed pool (job 1 on the a100 node 0).
+        let m = HeteroModel::with_pools(
+            vec![NodePool::new("a100", 1, 1.0), NodePool::new("v100", 1, 1.0)],
+            0.0,
+            1,
+        );
+        let mut s = hetero_sim(2, m);
+        s.load_trace(&[
+            job(1, 0, 1, 2 * HOUR, 3 * HOUR).with_pool(PoolRequest::Demand("a100".into())),
+            job(2, 50, 1, 2 * HOUR, 3 * HOUR).with_pool(PoolRequest::Demand("v100".into())),
+        ]);
+        s.events.push(Event::new(100, EventKind::NodeDown, 0));
+        s.events.push(Event::new(200, EventKind::NodeUp, 0));
+        s.run_to_completion();
+        assert_eq!(s.job_faults(1).evictions, 1, "pool-0 holder is the victim");
+        assert_eq!(s.job_faults(2).evictions, 0, "later starter survives");
+        assert_eq!(s.pool_free(), vec![1, 1]);
+    }
+
+    #[test]
+    fn hetero_and_fault_tapes_both_survive_reset() {
+        let mut cfg = SimConfig::new(8);
+        cfg.hetero = crate::hetero::HeteroModel::balanced(8, 5);
+        cfg.faults = FaultModel::severe(11);
+        cfg.validate().unwrap();
+        let mut s = Simulator::new(cfg);
+        let trace: Vec<_> = (0..40u32)
+            .map(|i| {
+                job(
+                    u64::from(i) + 1,
+                    i64::from(i) * 600,
+                    1 + i % 4,
+                    3 * HOUR,
+                    4 * HOUR,
+                )
+            })
+            .collect();
+        s.load_trace(&trace);
+        s.run_to_completion();
+        let first = (
+            s.completed(),
+            s.fault_stats(),
+            s.hetero_stats(),
+            s.metrics(),
+        );
+        assert!(first.2.slowdowns > 0, "balanced scenario must contend");
+        s.reset();
+        assert_eq!(s.pool_free(), s.pool_total(), "reset refills the pools");
+        s.load_trace(&trace);
+        s.run_to_completion();
+        assert_eq!(s.completed(), first.0, "reset replays the same placements");
+        assert_eq!(s.fault_stats(), first.1);
+        assert_eq!(s.hetero_stats(), first.2);
+        assert_eq!(s.metrics(), first.3);
     }
 }

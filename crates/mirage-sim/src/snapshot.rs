@@ -61,6 +61,19 @@ pub struct ClusterSnapshot {
     /// injection.
     #[serde(default)]
     pub recent_evictions: u32,
+    /// Per-pool free-node counts on a heterogeneous partition, in pool
+    /// declaration order. Empty on a homogeneous cluster.
+    #[serde(default)]
+    pub pool_free: Vec<u32>,
+    /// Per-pool node totals, aligned with `pool_free`. Empty on a
+    /// homogeneous cluster.
+    #[serde(default)]
+    pub pool_total: Vec<u32>,
+    /// Running jobs whose placement drew a contention slowdown (spanning
+    /// pools, congested pool, or off-type demand). 0 without
+    /// heterogeneity.
+    #[serde(default)]
+    pub contended_running: u32,
     /// Pending jobs (unordered).
     pub queued: Vec<QueuedJobView>,
     /// Running jobs (unordered).
@@ -90,6 +103,16 @@ impl ClusterSnapshot {
     /// Total nodes requested by the queue (demand backlog).
     pub fn queued_nodes(&self) -> u32 {
         self.queued.iter().map(|q| q.nodes).sum()
+    }
+
+    /// Fraction of running jobs currently suffering a contention slowdown
+    /// — the scalar contention metric exposed to policies and encoders.
+    pub fn contention(&self) -> f64 {
+        if self.running.is_empty() {
+            0.0
+        } else {
+            f64::from(self.contended_running) / self.running.len() as f64
+        }
     }
 }
 
@@ -123,7 +146,7 @@ mod tests {
                     user: 2,
                 },
             ],
-            running: vec![],
+            ..ClusterSnapshot::default()
         };
         assert_eq!(snap.busy_nodes(), 6);
         assert!((snap.utilization() - 0.75).abs() < 1e-12);
@@ -132,17 +155,10 @@ mod tests {
 
     #[test]
     fn empty_cluster_is_safe() {
-        let snap = ClusterSnapshot {
-            now: 0,
-            free_nodes: 0,
-            total_nodes: 0,
-            down_nodes: 0,
-            recent_evictions: 0,
-            queued: vec![],
-            running: vec![],
-        };
+        let snap = ClusterSnapshot::default();
         assert_eq!(snap.utilization(), 0.0);
         assert_eq!(snap.queued_nodes(), 0);
+        assert_eq!(snap.contention(), 0.0);
     }
 
     #[test]
@@ -153,10 +169,31 @@ mod tests {
             total_nodes: 8,
             down_nodes: 3,
             recent_evictions: 1,
-            queued: vec![],
-            running: vec![],
+            ..ClusterSnapshot::default()
         };
         assert_eq!(snap.available_nodes(), 5);
         assert_eq!(snap.busy_nodes(), 3, "8 total − 2 idle − 3 crashed");
+    }
+
+    #[test]
+    fn contention_is_the_slowed_share_of_running_jobs() {
+        let run = |id| RunningJobView {
+            id,
+            nodes: 1,
+            start: 0,
+            elapsed: 10,
+            timelimit: 100,
+            user: 1,
+        };
+        let snap = ClusterSnapshot {
+            free_nodes: 0,
+            total_nodes: 4,
+            contended_running: 1,
+            pool_free: vec![0, 0],
+            pool_total: vec![1, 3],
+            running: vec![run(1), run(2), run(3), run(4)],
+            ..ClusterSnapshot::default()
+        };
+        assert!((snap.contention() - 0.25).abs() < 1e-12);
     }
 }

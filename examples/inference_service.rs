@@ -41,6 +41,7 @@ fn main() {
             warmup: 4 * DAY,
             pair_user: 77777,
             fault_features: false,
+            hetero_features: false,
         },
         offline_episodes: 12,
         ..TrainConfig::default()

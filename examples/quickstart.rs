@@ -53,6 +53,7 @@ fn main() {
         warmup: 3 * DAY,
         pair_user: 9999,
         fault_features: false,
+        hetero_features: false,
     };
     let t0 = 14 * DAY;
     let reactive = run_episode(&mut backend, &jobs, &ecfg, t0, |_| Action::Wait);
